@@ -1,0 +1,262 @@
+//! Hash aggregation for the row engine.
+
+use std::collections::{HashMap, HashSet};
+
+use tqp_data::LogicalType;
+use tqp_ir::expr::{AggCall, AggFunc, BoundExpr};
+use tqp_tensor::Scalar;
+
+use crate::eval::{eval_expr, scalar_key, KeyPart};
+use crate::Row;
+
+/// One accumulator per (group, aggregate call).
+enum Acc {
+    SumI(i64),
+    SumF(f64),
+    Min(Option<Scalar>),
+    Max(Option<Scalar>),
+    Count(i64),
+    CountStar(i64),
+    Avg { sum: f64, n: i64 },
+    Distinct(HashSet<KeyPart>),
+}
+
+impl Acc {
+    fn new(call: &AggCall) -> Acc {
+        match call.func {
+            AggFunc::Sum => {
+                if call.ty == LogicalType::Int64 {
+                    Acc::SumI(0)
+                } else {
+                    Acc::SumF(0.0)
+                }
+            }
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::CountStar => Acc::CountStar(0),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::CountDistinct => Acc::Distinct(HashSet::new()),
+        }
+    }
+
+    fn update(&mut self, call: &AggCall, row: &Row) {
+        let arg = call.arg.as_ref().map(|a| eval_expr(a, row));
+        match self {
+            Acc::CountStar(n) => *n += 1,
+            Acc::SumI(acc) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        *acc += v.as_i64();
+                    }
+                }
+            }
+            Acc::SumF(acc) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        *acc += v.as_f64();
+                    }
+                }
+            }
+            Acc::Min(slot) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        let better = slot
+                            .as_ref()
+                            .map(|cur| v.cmp_sql(cur) == std::cmp::Ordering::Less)
+                            .unwrap_or(true);
+                        if better {
+                            *slot = Some(v);
+                        }
+                    }
+                }
+            }
+            Acc::Max(slot) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        let better = slot
+                            .as_ref()
+                            .map(|cur| v.cmp_sql(cur) == std::cmp::Ordering::Greater)
+                            .unwrap_or(true);
+                        if better {
+                            *slot = Some(v);
+                        }
+                    }
+                }
+            }
+            Acc::Count(n) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        *sum += v.as_f64();
+                        *n += 1;
+                    }
+                }
+            }
+            Acc::Distinct(set) => {
+                if let Some(v) = arg {
+                    if let Some(k) = scalar_key(&v) {
+                        set.insert(k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalize into an output scalar. Empty-input semantics (shared with
+    /// the tensor engine): SUM/AVG → 0, MIN/MAX → 0 of the result type,
+    /// counts → 0.
+    fn finish(self, call: &AggCall) -> Scalar {
+        match self {
+            Acc::SumI(v) => Scalar::I64(v),
+            Acc::SumF(v) => Scalar::F64(v),
+            Acc::Count(n) | Acc::CountStar(n) => Scalar::I64(n),
+            Acc::Avg { sum, n } => Scalar::F64(if n == 0 { 0.0 } else { sum / n as f64 }),
+            Acc::Distinct(set) => Scalar::I64(set.len() as i64),
+            Acc::Min(slot) | Acc::Max(slot) => slot.unwrap_or(match call.ty {
+                LogicalType::Int64 | LogicalType::Date => Scalar::I64(0),
+                LogicalType::Str => Scalar::Str(String::new()),
+                LogicalType::Bool => Scalar::Bool(false),
+                LogicalType::Float64 => Scalar::F64(0.0),
+            }),
+        }
+    }
+}
+
+/// Hash-aggregate rows. Output rows: group values then aggregate values.
+/// With no group keys, exactly one row is produced even for empty input.
+pub fn aggregate(rows: Vec<Row>, group_by: &[BoundExpr], aggs: &[AggCall]) -> Vec<Row> {
+    if group_by.is_empty() {
+        let mut accs: Vec<Acc> = aggs.iter().map(Acc::new).collect();
+        for row in &rows {
+            for (acc, call) in accs.iter_mut().zip(aggs) {
+                acc.update(call, row);
+            }
+        }
+        return vec![accs.into_iter().zip(aggs).map(|(a, c)| a.finish(c)).collect()];
+    }
+    // Group keys may be NULL (outer-join results); NULLs form their own
+    // group per SQL GROUP BY semantics — encode with a sentinel.
+    let encode = |row: &Row| -> Vec<Option<KeyPart>> {
+        group_by.iter().map(|g| scalar_key(&eval_expr(g, row))).collect()
+    };
+    let mut groups: HashMap<Vec<Option<KeyPart>>, (Vec<Scalar>, Vec<Acc>)> = HashMap::new();
+    let mut order: Vec<Vec<Option<KeyPart>>> = Vec::new();
+    for row in &rows {
+        let key = encode(row);
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            let values: Vec<Scalar> = group_by.iter().map(|g| eval_expr(g, row)).collect();
+            (values, aggs.iter().map(Acc::new).collect())
+        });
+        for (acc, call) in entry.1.iter_mut().zip(aggs) {
+            acc.update(call, row);
+        }
+    }
+    // Emit in first-seen order (deterministic given input order).
+    order
+        .into_iter()
+        .map(|k| {
+            let (values, accs) = groups.remove(&k).expect("group present");
+            let mut row = values;
+            row.extend(accs.into_iter().zip(aggs).map(|(a, c)| a.finish(c)));
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqp_ir::expr::BoundExpr as E;
+
+    fn call(func: AggFunc, col: Option<usize>, ty: LogicalType) -> AggCall {
+        AggCall { func, arg: col.map(|c| E::col(c, LogicalType::Float64)), ty }
+    }
+
+    #[test]
+    fn grouped_sums() {
+        let rows = vec![
+            vec![Scalar::Str("a".into()), Scalar::F64(1.0)],
+            vec![Scalar::Str("b".into()), Scalar::F64(2.0)],
+            vec![Scalar::Str("a".into()), Scalar::F64(3.0)],
+        ];
+        let out = aggregate(
+            rows,
+            &[E::col(0, LogicalType::Str)],
+            &[call(AggFunc::Sum, Some(1), LogicalType::Float64)],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![Scalar::Str("a".into()), Scalar::F64(4.0)]);
+    }
+
+    #[test]
+    fn global_empty_input_single_row() {
+        let out = aggregate(
+            vec![],
+            &[],
+            &[
+                call(AggFunc::Sum, Some(0), LogicalType::Float64),
+                call(AggFunc::CountStar, None, LogicalType::Int64),
+                call(AggFunc::Min, Some(0), LogicalType::Float64),
+            ],
+        );
+        assert_eq!(out, vec![vec![Scalar::F64(0.0), Scalar::I64(0), Scalar::F64(0.0)]]);
+    }
+
+    #[test]
+    fn nulls_skipped_by_count_but_not_count_star() {
+        let rows = vec![
+            vec![Scalar::Null],
+            vec![Scalar::F64(1.0)],
+        ];
+        let out = aggregate(
+            rows,
+            &[],
+            &[
+                call(AggFunc::Count, Some(0), LogicalType::Int64),
+                call(AggFunc::CountStar, None, LogicalType::Int64),
+                call(AggFunc::Avg, Some(0), LogicalType::Float64),
+            ],
+        );
+        assert_eq!(out[0], vec![Scalar::I64(1), Scalar::I64(2), Scalar::F64(1.0)]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rows = vec![
+            vec![Scalar::F64(1.0)],
+            vec![Scalar::F64(1.0)],
+            vec![Scalar::F64(2.0)],
+            vec![Scalar::Null],
+        ];
+        let out = aggregate(
+            rows,
+            &[],
+            &[call(AggFunc::CountDistinct, Some(0), LogicalType::Int64)],
+        );
+        assert_eq!(out[0], vec![Scalar::I64(2)]);
+    }
+
+    #[test]
+    fn null_group_keys_form_group() {
+        let rows = vec![
+            vec![Scalar::Null, Scalar::F64(1.0)],
+            vec![Scalar::Null, Scalar::F64(2.0)],
+            vec![Scalar::I64(1), Scalar::F64(5.0)],
+        ];
+        let out = aggregate(
+            rows,
+            &[E::col(0, LogicalType::Int64)],
+            &[call(AggFunc::Sum, Some(1), LogicalType::Float64)],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][1], Scalar::F64(3.0));
+    }
+}

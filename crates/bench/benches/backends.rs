@@ -1,0 +1,34 @@
+//! Ablation: Eager vs Fused backends (the TorchScript-vs-eager design
+//! choice of paper §2.2) on TPC-H Q1 and Q6, plus the Graph backend's
+//! artifact overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tqp_core::QueryConfig;
+use tqp_data::tpch::{queries, TpchConfig, TpchData};
+use tqp_exec::Backend;
+
+fn session() -> tqp_core::Session {
+    let data = TpchData::generate(&TpchConfig { scale_factor: 0.02, seed: 3 });
+    let mut s = tqp_core::Session::new();
+    s.register_tpch(&data);
+    s
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let s = session();
+    for qn in [1usize, 6] {
+        let sql = queries::query(qn);
+        let mut g = c.benchmark_group(format!("q{qn}"));
+        g.sample_size(10);
+        for backend in [Backend::Eager, Backend::Fused, Backend::Graph] {
+            let q = s.compile(sql, QueryConfig::default().backend(backend)).unwrap();
+            g.bench_function(format!("{backend:?}"), |b| {
+                b.iter(|| q.run(&s).unwrap().0.nrows())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Kernel microbenchmarks: the tensor primitives behind every relational
+//! operator, compared against their row-at-a-time equivalents. These are
+//! the micro-scale explanation for Figure 1's CPU gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tqp_tensor::index::{filter, mask_to_indices, take};
+use tqp_tensor::ops::{compare_scalar, CmpOp};
+use tqp_tensor::reduce::sum_f64;
+use tqp_tensor::sort::{argsort, Order};
+use tqp_tensor::strings::{like, LikePattern};
+use tqp_tensor::{Scalar, Tensor};
+
+fn make_f64(n: usize) -> Tensor {
+    Tensor::from_f64((0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 10.0).collect())
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter");
+    g.sample_size(20);
+    for &n in &[10_000usize, 1_000_000] {
+        let col = make_f64(n);
+        g.bench_with_input(BenchmarkId::new("tensor_mask_take", n), &n, |b, _| {
+            b.iter(|| {
+                let mask = compare_scalar(CmpOp::Lt, &col, &Scalar::F64(24.0));
+                filter(&col, &mask)
+            })
+        });
+        // The row-engine formulation: dynamic dispatch per value.
+        let vals: Vec<Scalar> = col.to_f64_vec().into_iter().map(Scalar::F64).collect();
+        g.bench_with_input(BenchmarkId::new("row_scalar_loop", n), &n, |b, _| {
+            b.iter(|| {
+                vals.iter()
+                    .filter(|v| matches!(v, Scalar::F64(x) if *x < 24.0))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sum");
+    g.sample_size(20);
+    let n = 1_000_000;
+    let col = make_f64(n);
+    g.bench_function("tensor_sum_1M", |b| b.iter(|| sum_f64(&col)));
+    let vals: Vec<Scalar> = col.to_f64_vec().into_iter().map(Scalar::F64).collect();
+    g.bench_function("row_scalar_sum_1M", |b| {
+        b.iter(|| vals.iter().map(|v| v.as_f64()).sum::<f64>())
+    });
+    g.finish();
+}
+
+fn bench_sort_take(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort");
+    g.sample_size(10);
+    let n = 300_000;
+    let col = make_f64(n);
+    g.bench_function("argsort_300k", |b| b.iter(|| argsort(&col, Order::Asc)));
+    let idx = argsort(&col, Order::Asc);
+    g.bench_function("take_300k", |b| b.iter(|| take(&col, &idx)));
+    g.finish();
+}
+
+fn bench_like(c: &mut Criterion) {
+    let mut g = c.benchmark_group("like");
+    g.sample_size(10);
+    let words = ["forest green metal", "PROMO plated steel", "misty rose", "economy brushed tin"];
+    let strs: Vec<&str> = (0..200_000).map(|i| words[i % 4]).collect();
+    let col = Tensor::from_strings(&strs, 0);
+    let pat = LikePattern::compile("%green%");
+    g.bench_function("contains_200k", |b| b.iter(|| like(&col, &pat)));
+    let pat2 = LikePattern::compile("PROMO%");
+    g.bench_function("prefix_200k", |b| b.iter(|| like(&col, &pat2)));
+    g.finish();
+}
+
+fn bench_mask_compaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mask_to_indices");
+    g.sample_size(20);
+    let n = 1_000_000;
+    let mask = Tensor::from_bool((0..n).map(|i| i % 7 == 0).collect());
+    g.bench_function("1M_sparse", |b| b.iter(|| mask_to_indices(&mask)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter,
+    bench_sum,
+    bench_sort_take,
+    bench_like,
+    bench_mask_compaction
+);
+criterion_main!(benches);

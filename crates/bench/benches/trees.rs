@@ -1,0 +1,50 @@
+//! Ablation (Hummingbird): GEMM vs TreeTraversal tree-compilation
+//! strategies over a depth sweep — reproducing the known crossover: GEMM
+//! wins for shallow/bushy trees, traversal for deep ones (its work is
+//! O(depth) instead of O(nodes)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tqp_ml::compile::{CompiledTrees, TreeStrategy};
+use tqp_ml::tree::{DecisionTree, TreeParams};
+use tqp_tensor::Tensor;
+
+fn synth(n: usize, k: usize) -> (Tensor, Tensor) {
+    let mut xs = Vec::with_capacity(n * k);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..k {
+            let v = (((i * 31 + j * 17) % 977) as f64) / 977.0;
+            xs.push(v);
+            acc += if j % 2 == 0 { v } else { -v };
+        }
+        ys.push(acc);
+    }
+    (Tensor::from_f64_matrix(xs, n, k), Tensor::from_f64(ys))
+}
+
+fn bench_tree_strategies(c: &mut Criterion) {
+    let (train_x, train_y) = synth(4000, 8);
+    let (test_x, _) = synth(50_000, 8);
+    let mut g = c.benchmark_group("tree_inference_50k_rows");
+    g.sample_size(10);
+    for depth in [3usize, 6, 10] {
+        let tree = DecisionTree::fit(
+            &train_x,
+            &train_y,
+            TreeParams { max_depth: depth, min_samples_split: 2 },
+        );
+        let gemm = CompiledTrees::from_tree(&tree, TreeStrategy::Gemm);
+        let trav = CompiledTrees::from_tree(&tree, TreeStrategy::Traversal);
+        g.bench_with_input(BenchmarkId::new("gemm", depth), &depth, |b, _| {
+            b.iter(|| gemm.predict_matrix(&test_x).nrows())
+        });
+        g.bench_with_input(BenchmarkId::new("traversal", depth), &depth, |b, _| {
+            b.iter(|| trav.predict_matrix(&test_x).nrows())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree_strategies);
+criterion_main!(benches);

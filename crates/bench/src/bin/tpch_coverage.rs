@@ -1,0 +1,80 @@
+//! **TPC-H coverage table** — the paper's §1/§2.2 claim: "TQP is expressive
+//! enough to support all the 22 queries composing the TPC-H benchmark".
+//!
+//! Runs every query on the tensor engine (fused, CPU), validates the result
+//! against the row oracle, and reports per-query timings plus the speedup.
+
+use tqp_bench::{fmt_ms, median_us};
+use tqp_core::QueryConfig;
+use tqp_data::tpch::queries;
+use tqp_exec::Backend;
+use tqp_tensor::Scalar;
+
+fn canon(frame: &tqp_data::DataFrame) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = (0..frame.nrows())
+        .map(|i| {
+            frame
+                .row(i)
+                .into_iter()
+                .map(|s| match s {
+                    Scalar::F64(v) => format!("{:.3}", v),
+                    other => other.to_string(),
+                })
+                .collect()
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn main() {
+    let session = tqp_bench::tpch_session();
+    println!(
+        "TPC-H coverage @ SF {} — tensor engine (fused, CPU) vs row oracle\n",
+        tqp_bench::scale_factor()
+    );
+    println!(
+        "  {:<5} {:>6} {:>12} {:>12} {:>9}  {}",
+        "query", "rows", "row engine", "TQP", "speedup", "validated"
+    );
+    let mut total_tqp = 0u64;
+    let mut total_row = 0u64;
+    let mut wins = 0usize;
+    for (n, sql) in queries::all() {
+        let q = session
+            .compile(sql, QueryConfig::default().backend(Backend::Fused))
+            .unwrap_or_else(|e| panic!("Q{n}: {e}"));
+        let (result, _) = q.run(&session).unwrap();
+        let oracle = session.sql_baseline(sql).unwrap();
+        let ok = canon(&result) == canon(&oracle);
+        let tqp = median_us(|| {
+            let _ = q.run(&session).unwrap();
+            None
+        });
+        let row = median_us(|| {
+            let _ = session.sql_baseline(sql).unwrap();
+            None
+        });
+        total_tqp += tqp;
+        total_row += row;
+        if tqp < row {
+            wins += 1;
+        }
+        println!(
+            "  Q{n:<4} {:>6} {:>12} {:>12} {:>8.1}x  {}",
+            result.nrows(),
+            fmt_ms(row),
+            fmt_ms(tqp),
+            row as f64 / tqp.max(1) as f64,
+            if ok { "✓" } else { "✗ MISMATCH" }
+        );
+        assert!(ok, "Q{n} mismatch against the oracle");
+    }
+    println!(
+        "\nall 22 queries validated ✓ — geometric totals: row {} vs TQP {} ({:.1}x), TQP faster on {}/22",
+        fmt_ms(total_row),
+        fmt_ms(total_tqp),
+        total_row as f64 / total_tqp.max(1) as f64,
+        wins
+    );
+}

@@ -1,0 +1,339 @@
+//! # tqp-core — the TQP public façade
+//!
+//! The Rust equivalent of the paper's pip-installable `tqp` Python package:
+//! a [`Session`] holds tables (ingested to the tensor format of §2.1) and
+//! registered `PREDICT` models; [`Session::compile`] runs the 4-layer
+//! compilation stack (parse → bind → optimize → plan → executor) and
+//! returns a [`CompiledQuery`] bound to a backend/device configuration.
+//!
+//! The paper's Figure 3 one-line backend switch looks like this:
+//!
+//! ```
+//! use tqp_core::{Session, QueryConfig};
+//! use tqp_exec::{Backend, Device};
+//! # use tqp_data::{frame::df, Column};
+//! let mut session = Session::new();
+//! # session.register_table("lineitem", df(vec![("l_quantity", Column::from_f64(vec![1.0, 30.0]))]));
+//! let sql = "select count(*) as n from lineitem where l_quantity < 24";
+//!
+//! let cpu = session.compile(sql, QueryConfig::default()).unwrap();
+//! // ... switching to the simulated GPU is one line:
+//! let gpu = session.compile(sql, QueryConfig::default().device(Device::GpuSim)).unwrap();
+//!
+//! let (result, stats) = cpu.run(&session).unwrap();
+//! assert_eq!(result.column(0).get(0).as_i64(), 1);
+//! assert!(stats.wall_us > 0);
+//! let (gpu_result, gpu_stats) = gpu.run(&session).unwrap();
+//! assert_eq!(gpu_result.column(0).get(0).as_i64(), 1);
+//! assert!(gpu_stats.gpu_modeled_us.is_some());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tqp_baseline::RowEngine;
+use tqp_data::DataFrame;
+use tqp_exec::{Backend, Device, ExecConfig, Executor, GpuStrategy, Storage};
+use tqp_ir::physical::PhysicalPlan;
+use tqp_ir::{compile_sql, Catalog, CompileError, PhysicalOptions};
+use tqp_ml::{Model, ModelRegistry};
+use tqp_profile::Profiler;
+
+/// Per-query configuration: physical strategies + backend + device.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    pub physical: PhysicalOptions,
+    pub backend: Backend,
+    pub device: Device,
+    pub gpu_strategy: GpuStrategy,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            physical: PhysicalOptions::default(),
+            backend: Backend::Eager,
+            device: Device::Cpu,
+            gpu_strategy: GpuStrategy::Resident,
+        }
+    }
+}
+
+impl QueryConfig {
+    /// Builder-style backend selection.
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Builder-style device selection (the Figure 3 one-liner).
+    pub fn device(mut self, d: Device) -> Self {
+        self.device = d;
+        self
+    }
+
+    /// Builder-style GPU placement strategy.
+    pub fn gpu_strategy(mut self, s: GpuStrategy) -> Self {
+        self.gpu_strategy = s;
+        self
+    }
+
+    /// Builder-style physical options.
+    pub fn physical(mut self, p: PhysicalOptions) -> Self {
+        self.physical = p;
+        self
+    }
+}
+
+/// Errors surfaced by the façade.
+#[derive(Debug)]
+pub enum TqpError {
+    Compile(CompileError),
+    UnknownTable(String),
+}
+
+impl std::fmt::Display for TqpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TqpError::Compile(e) => write!(f, "{e}"),
+            TqpError::UnknownTable(t) => write!(f, "table {t} not registered"),
+        }
+    }
+}
+
+impl std::error::Error for TqpError {}
+
+/// A TQP session: tables (row + tensor form), models, catalog, profiler.
+pub struct Session {
+    frames: HashMap<String, DataFrame>,
+    storage: Storage,
+    catalog: Catalog,
+    models: ModelRegistry,
+    profiler: Profiler,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// An empty session with profiling disabled.
+    pub fn new() -> Session {
+        Session {
+            frames: HashMap::new(),
+            storage: Storage::new(),
+            catalog: Catalog::new(),
+            models: ModelRegistry::new(),
+            profiler: Profiler::disabled(),
+        }
+    }
+
+    /// Register (or replace) a table; it is immediately ingested into the
+    /// tensor representation (paper §2.1 — numerics zero-copy).
+    pub fn register_table(&mut self, name: &str, frame: DataFrame) {
+        let key = name.to_ascii_lowercase();
+        self.catalog.register(&key, frame.schema().clone(), frame.nrows());
+        self.storage.insert(key.clone(), tqp_data::ingest::frame_to_tensors(&frame));
+        self.frames.insert(key, frame);
+    }
+
+    /// Register a whole TPC-H instance.
+    pub fn register_tpch(&mut self, data: &tqp_data::tpch::TpchData) {
+        for (name, frame) in data.tables() {
+            self.register_table(name, frame.clone());
+        }
+    }
+
+    /// Register a `PREDICT`-able model.
+    pub fn register_model(&mut self, name: &str, model: Arc<dyn Model>) {
+        self.models.register(name, model);
+    }
+
+    /// Enable span recording (Scenario 1: profiling/TensorBoard).
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Profiler::new();
+    }
+
+    /// The session profiler (breakdowns, Chrome traces).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The session catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The model registry.
+    pub fn models(&self) -> &ModelRegistry {
+        &self.models
+    }
+
+    /// Row-format table access (for the baseline engine and inspection).
+    pub fn frames(&self) -> &HashMap<String, DataFrame> {
+        &self.frames
+    }
+
+    /// Tensor-format storage access.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Compile SQL into an executable query for the given configuration.
+    pub fn compile(&self, sql: &str, cfg: QueryConfig) -> Result<CompiledQuery, TqpError> {
+        let plan = compile_sql(sql, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
+        let exec_cfg = ExecConfig {
+            backend: cfg.backend,
+            device: cfg.device,
+            gpu_strategy: cfg.gpu_strategy,
+        };
+        Ok(CompiledQuery { executor: Executor::compile(&plan, exec_cfg) })
+    }
+
+    /// Compile a pre-built physical plan (the external/JSON plan frontend —
+    /// how a Spark-produced plan enters TQP).
+    pub fn compile_plan(&self, plan: &PhysicalPlan, cfg: QueryConfig) -> CompiledQuery {
+        let exec_cfg = ExecConfig {
+            backend: cfg.backend,
+            device: cfg.device,
+            gpu_strategy: cfg.gpu_strategy,
+        };
+        CompiledQuery { executor: Executor::compile(plan, exec_cfg) }
+    }
+
+    /// One-shot convenience: compile + run on the default configuration.
+    pub fn sql(&self, sql: &str) -> Result<DataFrame, TqpError> {
+        let q = self.compile(sql, QueryConfig::default())?;
+        Ok(q.run(self)?.0)
+    }
+
+    /// Execute on the row-oriented baseline engine (the paper's Spark
+    /// comparison axis) — same plan, different substrate.
+    pub fn sql_baseline(&self, sql: &str) -> Result<DataFrame, TqpError> {
+        let plan = compile_sql(sql, &self.catalog, &PhysicalOptions::default())
+            .map_err(TqpError::Compile)?;
+        let engine = RowEngine::new(&self.frames, &self.models);
+        Ok(engine.execute(&plan))
+    }
+}
+
+/// A compiled, configured, reusable query.
+pub struct CompiledQuery {
+    executor: Executor,
+}
+
+impl CompiledQuery {
+    /// Execute against the session. Returns the result frame and stats
+    /// (wall time; modeled device time on the simulated GPU).
+    pub fn run(&self, session: &Session) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+        Ok(self.executor.run(&session.storage, &session.models, &session.profiler))
+    }
+
+    /// The underlying physical plan.
+    pub fn plan(&self) -> &PhysicalPlan {
+        self.executor.plan()
+    }
+
+    /// EXPLAIN-style plan tree.
+    pub fn explain(&self) -> String {
+        self.executor.plan().display_tree()
+    }
+
+    /// Graphviz DOT of the executor graph (paper Figure 4).
+    pub fn to_dot(&self, title: &str) -> String {
+        tqp_exec::viz::plan_to_dot(self.executor.plan(), title)
+    }
+
+    /// Size of the serialized Graph/Wasm artifact, if any.
+    pub fn artifact_size(&self) -> Option<usize> {
+        self.executor.artifact_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqp_data::frame::df;
+    use tqp_data::Column;
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.register_table(
+            "t",
+            df(vec![
+                ("id", Column::from_i64(vec![1, 2, 3])),
+                ("v", Column::from_f64(vec![1.5, 2.5, 3.5])),
+            ]),
+        );
+        s
+    }
+
+    #[test]
+    fn sql_roundtrip() {
+        let s = session();
+        let out = s.sql("select id from t where v > 2.0 order by id").unwrap();
+        assert_eq!(out.nrows(), 2);
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let s = session();
+        let sql = "select id, v * 2 as vv from t where v > 1.9 order by id";
+        let reference = s.sql_baseline(sql).unwrap();
+        for backend in [Backend::Eager, Backend::Fused, Backend::Graph, Backend::Wasm] {
+            let q = s.compile(sql, QueryConfig::default().backend(backend)).unwrap();
+            let (out, _) = q.run(&s).unwrap();
+            assert_eq!(out.nrows(), reference.nrows(), "{backend:?}");
+            for i in 0..out.nrows() {
+                assert_eq!(out.row(i), reference.row(i), "{backend:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_sim_reports_modeled_time() {
+        let s = session();
+        let q = s
+            .compile("select count(*) from t", QueryConfig::default().device(Device::GpuSim))
+            .unwrap();
+        let (_, stats) = q.run(&s).unwrap();
+        assert!(stats.gpu_modeled_us.is_some());
+        assert!(stats.reported_us() == stats.gpu_modeled_us.unwrap());
+    }
+
+    #[test]
+    fn unknown_table_is_compile_error() {
+        let s = Session::new();
+        assert!(s.sql("select * from missing").is_err());
+    }
+
+    #[test]
+    fn explain_and_dot() {
+        let s = session();
+        let q = s.compile("select id from t where v > 2.0", QueryConfig::default()).unwrap();
+        assert!(q.explain().contains("Scan(t)"));
+        assert!(q.to_dot("test").contains("digraph"));
+    }
+
+    #[test]
+    fn plan_frontend_accepts_external_plans() {
+        let s = session();
+        let q1 = s.compile("select id from t", QueryConfig::default()).unwrap();
+        // Ship the plan as JSON (the Spark-frontend path) and re-import.
+        let json = q1.plan().to_json();
+        let plan = PhysicalPlan::from_json(&json).unwrap();
+        let q2 = s.compile_plan(&plan, QueryConfig::default());
+        let (out, _) = q2.run(&s).unwrap();
+        assert_eq!(out.nrows(), 3);
+    }
+
+    #[test]
+    fn profiling_session_records() {
+        let mut s = session();
+        s.enable_profiling();
+        let _ = s.sql("select sum(v) from t").unwrap();
+        assert!(!s.profiler().spans().is_empty());
+    }
+}

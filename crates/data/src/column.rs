@@ -1,0 +1,192 @@
+//! Typed columns and the logical type system shared by every engine layer.
+//!
+//! Columns hold their buffers behind `Arc` so that handing a numeric column
+//! to the tensor runtime is zero-copy (paper §2.1): the `DataFrame` and the
+//! `Tensor` alias the same allocation.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use tqp_tensor::Scalar;
+
+/// SQL-level column types. `Decimal` values are carried as `f64` in this
+/// reproduction (documented precision substitution; TPC-H validation uses
+/// 1e-6 relative tolerance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicalType {
+    Bool,
+    Int64,
+    Float64,
+    /// Day-aligned date carried as epoch nanoseconds (paper §2.1).
+    Date,
+    Str,
+}
+
+impl LogicalType {
+    /// True for Int64/Float64.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, LogicalType::Int64 | LogicalType::Float64)
+    }
+}
+
+/// A typed column of values with shared storage.
+#[derive(Debug, Clone)]
+pub enum Column {
+    Bool(Arc<Vec<bool>>),
+    Int64(Arc<Vec<i64>>),
+    Float64(Arc<Vec<f64>>),
+    /// Epoch nanoseconds.
+    Date(Arc<Vec<i64>>),
+    Str(Arc<Vec<String>>),
+}
+
+impl Column {
+    /// Column from owned bools.
+    pub fn from_bool(v: Vec<bool>) -> Column {
+        Column::Bool(Arc::new(v))
+    }
+
+    /// Column from owned i64s.
+    pub fn from_i64(v: Vec<i64>) -> Column {
+        Column::Int64(Arc::new(v))
+    }
+
+    /// Column from owned f64s.
+    pub fn from_f64(v: Vec<f64>) -> Column {
+        Column::Float64(Arc::new(v))
+    }
+
+    /// Date column from epoch-nanosecond values.
+    pub fn from_date_ns(v: Vec<i64>) -> Column {
+        Column::Date(Arc::new(v))
+    }
+
+    /// Column from owned strings.
+    pub fn from_str(v: Vec<String>) -> Column {
+        Column::Str(Arc::new(v))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool(v) => v.len(),
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Date(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's logical type.
+    pub fn logical_type(&self) -> LogicalType {
+        match self {
+            Column::Bool(_) => LogicalType::Bool,
+            Column::Int64(_) => LogicalType::Int64,
+            Column::Float64(_) => LogicalType::Float64,
+            Column::Date(_) => LogicalType::Date,
+            Column::Str(_) => LogicalType::Str,
+        }
+    }
+
+    /// Dynamically-typed element access.
+    pub fn get(&self, i: usize) -> Scalar {
+        match self {
+            Column::Bool(v) => Scalar::Bool(v[i]),
+            Column::Int64(v) => Scalar::I64(v[i]),
+            Column::Float64(v) => Scalar::F64(v[i]),
+            Column::Date(v) => Scalar::I64(v[i]),
+            Column::Str(v) => Scalar::Str(v[i].clone()),
+        }
+    }
+
+    /// Render element `i` for display/CSV (dates format as `YYYY-MM-DD`).
+    pub fn display(&self, i: usize) -> String {
+        match self {
+            Column::Date(v) => crate::dates::format_ns(v[i]),
+            Column::Float64(v) => format!("{:.4}", v[i]),
+            other => other.get(i).to_string(),
+        }
+    }
+
+    /// Gather rows by index (used by test fixtures and CSV round-trips).
+    pub fn take(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Bool(v) => Column::from_bool(idx.iter().map(|&i| v[i]).collect()),
+            Column::Int64(v) => Column::from_i64(idx.iter().map(|&i| v[i]).collect()),
+            Column::Float64(v) => Column::from_f64(idx.iter().map(|&i| v[i]).collect()),
+            Column::Date(v) => Column::from_date_ns(idx.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::from_str(idx.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Build a column of `ty` from dynamically-typed scalars (NULLs are not
+    /// representable in a `DataFrame`; callers must substitute defaults).
+    pub fn from_scalars(ty: LogicalType, values: &[Scalar]) -> Column {
+        match ty {
+            LogicalType::Bool => {
+                Column::from_bool(values.iter().map(|s| s.as_bool()).collect())
+            }
+            LogicalType::Int64 => Column::from_i64(values.iter().map(|s| s.as_i64()).collect()),
+            LogicalType::Float64 => {
+                Column::from_f64(values.iter().map(|s| s.as_f64()).collect())
+            }
+            LogicalType::Date => Column::from_date_ns(values.iter().map(|s| s.as_i64()).collect()),
+            LogicalType::Str => {
+                Column::from_str(values.iter().map(|s| s.as_str().to_owned()).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_access() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.logical_type(), LogicalType::Int64);
+        assert_eq!(c.get(1), Scalar::I64(2));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn date_display() {
+        let ns = crate::dates::parse_to_ns("1994-02-01").unwrap();
+        let c = Column::from_date_ns(vec![ns]);
+        assert_eq!(c.display(0), "1994-02-01");
+        assert_eq!(c.logical_type(), LogicalType::Date);
+    }
+
+    #[test]
+    fn take_reorders() {
+        let c = Column::from_str(vec!["a".into(), "b".into(), "c".into()]);
+        let t = c.take(&[2, 0]);
+        assert_eq!(t.get(0), Scalar::Str("c".into()));
+        assert_eq!(t.get(1), Scalar::Str("a".into()));
+    }
+
+    #[test]
+    fn from_scalars_roundtrip() {
+        let vals = vec![Scalar::F64(1.5), Scalar::F64(2.5)];
+        let c = Column::from_scalars(LogicalType::Float64, &vals);
+        assert_eq!(c.get(0), Scalar::F64(1.5));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let c = Column::from_i64(vec![0; 1000]);
+        let d = c.clone();
+        if let (Column::Int64(a), Column::Int64(b)) = (&c, &d) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal schema-aware CSV import/export (the Pandas `read_csv` stand-in
+//! used by the examples to persist generated TPC-H tables).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::column::{Column, LogicalType};
+use crate::dates;
+use crate::frame::{DataFrame, Schema};
+
+/// Errors raised while reading CSV data.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    /// A cell failed to parse as the schema's type.
+    Parse { line: usize, column: String, value: String },
+    /// Wrong number of cells in a row.
+    Arity { line: usize, expected: usize, got: usize },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Parse { line, column, value } => {
+                write!(f, "csv parse error at line {line}, column {column}: {value:?}")
+            }
+            CsvError::Arity { line, expected, got } => {
+                write!(f, "csv line {line}: expected {expected} cells, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// Split one CSV line honouring double-quote escaping.
+fn split_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+/// Write a frame as CSV with a header row.
+pub fn write_csv(frame: &DataFrame, path: &Path) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    let header: Vec<String> =
+        frame.schema().fields.iter().map(|f| escape(&f.name)).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for i in 0..frame.nrows() {
+        let row: Vec<String> =
+            frame.columns().iter().map(|c| escape(&c.display(i))).collect();
+        writeln!(out, "{}", row.join(","))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read a CSV file against a known schema (header row is validated against
+/// field names positionally and then skipped).
+pub fn read_csv(schema: &Schema, path: &Path) -> Result<DataFrame, CsvError> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut lines = reader.lines();
+    let _header = lines.next().transpose()?;
+    let ncols = schema.len();
+    let mut builders: Vec<Vec<String>> = vec![Vec::new(); ncols];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells = split_line(&line);
+        if cells.len() != ncols {
+            return Err(CsvError::Arity { line: lineno + 2, expected: ncols, got: cells.len() });
+        }
+        for (b, c) in builders.iter_mut().zip(cells) {
+            b.push(c);
+        }
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for (field, cells) in schema.fields.iter().zip(builders) {
+        let col = match field.ty {
+            LogicalType::Bool => Column::from_bool(
+                cells
+                    .iter()
+                    .map(|c| c.eq_ignore_ascii_case("true"))
+                    .collect(),
+            ),
+            LogicalType::Int64 => {
+                let mut vals = Vec::with_capacity(cells.len());
+                for (i, c) in cells.iter().enumerate() {
+                    vals.push(c.parse::<i64>().map_err(|_| CsvError::Parse {
+                        line: i + 2,
+                        column: field.name.clone(),
+                        value: c.clone(),
+                    })?);
+                }
+                Column::from_i64(vals)
+            }
+            LogicalType::Float64 => {
+                let mut vals = Vec::with_capacity(cells.len());
+                for (i, c) in cells.iter().enumerate() {
+                    vals.push(c.parse::<f64>().map_err(|_| CsvError::Parse {
+                        line: i + 2,
+                        column: field.name.clone(),
+                        value: c.clone(),
+                    })?);
+                }
+                Column::from_f64(vals)
+            }
+            LogicalType::Date => {
+                let mut vals = Vec::with_capacity(cells.len());
+                for (i, c) in cells.iter().enumerate() {
+                    vals.push(dates::parse_to_ns(c).ok_or_else(|| CsvError::Parse {
+                        line: i + 2,
+                        column: field.name.clone(),
+                        value: c.clone(),
+                    })?);
+                }
+                Column::from_date_ns(vals)
+            }
+            LogicalType::Str => Column::from_str(cells),
+        };
+        columns.push(col);
+    }
+    Ok(DataFrame::new(schema.clone(), columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::df;
+
+    #[test]
+    fn roundtrip_with_quoting() {
+        let frame = df(vec![
+            ("id", Column::from_i64(vec![1, 2])),
+            (
+                "comment",
+                Column::from_str(vec!["plain".into(), "has, comma and \"quote\"".into()]),
+            ),
+            ("when", Column::from_date_ns(vec![0, 86_400_000_000_000])),
+        ]);
+        let dir = std::env::temp_dir().join("tqp_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        write_csv(&frame, &path).unwrap();
+        let back = read_csv(frame.schema(), &path).unwrap();
+        assert_eq!(back.nrows(), 2);
+        assert_eq!(back.column(1).get(1), frame.column(1).get(1));
+        assert_eq!(back.column(2).get(1), frame.column(2).get(1));
+    }
+
+    #[test]
+    fn split_line_cases() {
+        assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_line("\"a,b\",c"), vec!["a,b", "c"]);
+        assert_eq!(split_line("\"he said \"\"hi\"\"\",x"), vec!["he said \"hi\"", "x"]);
+        assert_eq!(split_line(""), vec![""]);
+    }
+
+    #[test]
+    fn arity_error() {
+        let dir = std::env::temp_dir().join("tqp_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b\n1\n").unwrap();
+        let schema = Schema::new(vec![
+            crate::frame::Field::new("a", LogicalType::Int64),
+            crate::frame::Field::new("b", LogicalType::Int64),
+        ]);
+        assert!(matches!(read_csv(&schema, &path), Err(CsvError::Arity { .. })));
+    }
+
+    #[test]
+    fn parse_error_reports_column() {
+        let dir = std::env::temp_dir().join("tqp_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("badparse.csv");
+        std::fs::write(&path, "a\nnot_a_number\n").unwrap();
+        let schema = Schema::new(vec![crate::frame::Field::new("a", LogicalType::Int64)]);
+        match read_csv(&schema, &path) {
+            Err(CsvError::Parse { column, .. }) => assert_eq!(column, "a"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Datasets for the paper's Scenario 3 (prediction queries, §3.3):
+//!
+//! * **Iris** — Fisher's 150-flower table (public domain, embedded verbatim);
+//!   the demo runs a regression on it.
+//! * **Amazon-style product reviews** — the paper uses the Datafiniti
+//!   consumer-reviews Kaggle dataset, which is proprietary; we substitute a
+//!   synthetic generator that preserves the property the demo needs: review
+//!   *text* whose sentiment correlates (imperfectly) with the star *rating*,
+//!   grouped by brand (the Figure 4 query compares `rating >= 3` with
+//!   `PREDICT('sentiment_classifier', text)` per brand).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::column::{Column, LogicalType};
+use crate::frame::{DataFrame, Field, Schema};
+
+/// The classic Iris measurements: (sepal_length, sepal_width, petal_length,
+/// petal_width, species). Values from Fisher (1936) / UCI.
+pub fn iris() -> DataFrame {
+    let mut sl = Vec::with_capacity(150);
+    let mut sw = Vec::with_capacity(150);
+    let mut pl = Vec::with_capacity(150);
+    let mut pw = Vec::with_capacity(150);
+    let mut sp: Vec<String> = Vec::with_capacity(150);
+    for (a, b, c, d, s) in IRIS_ROWS {
+        sl.push(*a);
+        sw.push(*b);
+        pl.push(*c);
+        pw.push(*d);
+        sp.push(s.to_string());
+    }
+    DataFrame::new(
+        Schema::new(vec![
+            Field::new("sepal_length", LogicalType::Float64),
+            Field::new("sepal_width", LogicalType::Float64),
+            Field::new("petal_length", LogicalType::Float64),
+            Field::new("petal_width", LogicalType::Float64),
+            Field::new("species", LogicalType::Str),
+        ]),
+        vec![
+            Column::from_f64(sl),
+            Column::from_f64(sw),
+            Column::from_f64(pl),
+            Column::from_f64(pw),
+            Column::from_str(sp),
+        ],
+    )
+}
+
+/// Positive sentiment vocabulary.
+pub const POSITIVE_WORDS: &[&str] = &[
+    "great", "excellent", "love", "perfect", "amazing", "wonderful", "fantastic", "best",
+    "happy", "recommend", "sturdy", "fast", "beautiful", "comfortable", "reliable",
+];
+
+/// Negative sentiment vocabulary.
+pub const NEGATIVE_WORDS: &[&str] = &[
+    "terrible", "awful", "broke", "refund", "disappointed", "waste", "poor", "worst",
+    "slow", "cheap", "defective", "useless", "returned", "flimsy", "horrible",
+];
+
+/// Neutral filler vocabulary.
+pub const NEUTRAL_WORDS: &[&str] = &[
+    "the", "product", "arrived", "box", "ordered", "item", "battery", "screen", "device",
+    "works", "used", "bought", "price", "shipping", "day", "week", "tablet", "kids",
+    "gift", "second", "color", "size", "setup", "manual", "charger",
+];
+
+/// Brands appearing in the synthetic review stream.
+pub const BRANDS: &[&str] = &["Amazon", "Fire", "Kindle", "Echo", "Ring", "Eero"];
+
+/// Generate `n` synthetic product reviews: `(review_id, brand, rating, text)`.
+///
+/// Ratings are drawn 1-5 (skewed positive like real review corpora). Text is
+/// built from the sentiment vocabularies with mixing noise, so a classifier
+/// trained on text recovers the rating imperfectly — giving the Figure 4
+/// demo its "actual vs predicted positive" comparison something to show.
+pub fn amazon_reviews(n: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = Vec::with_capacity(n);
+    let mut brands = Vec::with_capacity(n);
+    let mut ratings = Vec::with_capacity(n);
+    let mut texts = Vec::with_capacity(n);
+    for i in 0..n {
+        // Skewed rating distribution: P(5)≈.35, P(4)≈.25, P(3)≈.15, P(2)≈.12, P(1)≈.13
+        let r: f64 = rng.gen();
+        let rating = if r < 0.35 {
+            5
+        } else if r < 0.60 {
+            4
+        } else if r < 0.75 {
+            3
+        } else if r < 0.87 {
+            2
+        } else {
+            1
+        };
+        let positive = rating >= 3;
+        let len = rng.gen_range(6..=18);
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            let x: f64 = rng.gen();
+            // 35% sentiment-aligned word, 10% contrarian (noise), 55% neutral.
+            let w = if x < 0.35 {
+                if positive {
+                    POSITIVE_WORDS[rng.gen_range(0..POSITIVE_WORDS.len())]
+                } else {
+                    NEGATIVE_WORDS[rng.gen_range(0..NEGATIVE_WORDS.len())]
+                }
+            } else if x < 0.45 {
+                if positive {
+                    NEGATIVE_WORDS[rng.gen_range(0..NEGATIVE_WORDS.len())]
+                } else {
+                    POSITIVE_WORDS[rng.gen_range(0..POSITIVE_WORDS.len())]
+                }
+            } else {
+                NEUTRAL_WORDS[rng.gen_range(0..NEUTRAL_WORDS.len())]
+            };
+            words.push(w);
+        }
+        ids.push(i as i64 + 1);
+        brands.push(BRANDS[rng.gen_range(0..BRANDS.len())].to_string());
+        ratings.push(rating);
+        texts.push(words.join(" "));
+    }
+    DataFrame::new(
+        Schema::new(vec![
+            Field::new("review_id", LogicalType::Int64),
+            Field::new("brand", LogicalType::Str),
+            Field::new("rating", LogicalType::Int64),
+            Field::new("text", LogicalType::Str),
+        ]),
+        vec![
+            Column::from_i64(ids),
+            Column::from_str(brands),
+            Column::from_i64(ratings),
+            Column::from_str(texts),
+        ],
+    )
+}
+
+// The 150 Iris rows (sepal_length, sepal_width, petal_length, petal_width, species).
+#[rustfmt::skip]
+const IRIS_ROWS: &[(f64, f64, f64, f64, &str)] = &[
+    (5.1,3.5,1.4,0.2,"setosa"),(4.9,3.0,1.4,0.2,"setosa"),(4.7,3.2,1.3,0.2,"setosa"),
+    (4.6,3.1,1.5,0.2,"setosa"),(5.0,3.6,1.4,0.2,"setosa"),(5.4,3.9,1.7,0.4,"setosa"),
+    (4.6,3.4,1.4,0.3,"setosa"),(5.0,3.4,1.5,0.2,"setosa"),(4.4,2.9,1.4,0.2,"setosa"),
+    (4.9,3.1,1.5,0.1,"setosa"),(5.4,3.7,1.5,0.2,"setosa"),(4.8,3.4,1.6,0.2,"setosa"),
+    (4.8,3.0,1.4,0.1,"setosa"),(4.3,3.0,1.1,0.1,"setosa"),(5.8,4.0,1.2,0.2,"setosa"),
+    (5.7,4.4,1.5,0.4,"setosa"),(5.4,3.9,1.3,0.4,"setosa"),(5.1,3.5,1.4,0.3,"setosa"),
+    (5.7,3.8,1.7,0.3,"setosa"),(5.1,3.8,1.5,0.3,"setosa"),(5.4,3.4,1.7,0.2,"setosa"),
+    (5.1,3.7,1.5,0.4,"setosa"),(4.6,3.6,1.0,0.2,"setosa"),(5.1,3.3,1.7,0.5,"setosa"),
+    (4.8,3.4,1.9,0.2,"setosa"),(5.0,3.0,1.6,0.2,"setosa"),(5.0,3.4,1.6,0.4,"setosa"),
+    (5.2,3.5,1.5,0.2,"setosa"),(5.2,3.4,1.4,0.2,"setosa"),(4.7,3.2,1.6,0.2,"setosa"),
+    (4.8,3.1,1.6,0.2,"setosa"),(5.4,3.4,1.5,0.4,"setosa"),(5.2,4.1,1.5,0.1,"setosa"),
+    (5.5,4.2,1.4,0.2,"setosa"),(4.9,3.1,1.5,0.2,"setosa"),(5.0,3.2,1.2,0.2,"setosa"),
+    (5.5,3.5,1.3,0.2,"setosa"),(4.9,3.6,1.4,0.1,"setosa"),(4.4,3.0,1.3,0.2,"setosa"),
+    (5.1,3.4,1.5,0.2,"setosa"),(5.0,3.5,1.3,0.3,"setosa"),(4.5,2.3,1.3,0.3,"setosa"),
+    (4.4,3.2,1.3,0.2,"setosa"),(5.0,3.5,1.6,0.6,"setosa"),(5.1,3.8,1.9,0.4,"setosa"),
+    (4.8,3.0,1.4,0.3,"setosa"),(5.1,3.8,1.6,0.2,"setosa"),(4.6,3.2,1.4,0.2,"setosa"),
+    (5.3,3.7,1.5,0.2,"setosa"),(5.0,3.3,1.4,0.2,"setosa"),
+    (7.0,3.2,4.7,1.4,"versicolor"),(6.4,3.2,4.5,1.5,"versicolor"),(6.9,3.1,4.9,1.5,"versicolor"),
+    (5.5,2.3,4.0,1.3,"versicolor"),(6.5,2.8,4.6,1.5,"versicolor"),(5.7,2.8,4.5,1.3,"versicolor"),
+    (6.3,3.3,4.7,1.6,"versicolor"),(4.9,2.4,3.3,1.0,"versicolor"),(6.6,2.9,4.6,1.3,"versicolor"),
+    (5.2,2.7,3.9,1.4,"versicolor"),(5.0,2.0,3.5,1.0,"versicolor"),(5.9,3.0,4.2,1.5,"versicolor"),
+    (6.0,2.2,4.0,1.0,"versicolor"),(6.1,2.9,4.7,1.4,"versicolor"),(5.6,2.9,3.6,1.3,"versicolor"),
+    (6.7,3.1,4.4,1.4,"versicolor"),(5.6,3.0,4.5,1.5,"versicolor"),(5.8,2.7,4.1,1.0,"versicolor"),
+    (6.2,2.2,4.5,1.5,"versicolor"),(5.6,2.5,3.9,1.1,"versicolor"),(5.9,3.2,4.8,1.8,"versicolor"),
+    (6.1,2.8,4.0,1.3,"versicolor"),(6.3,2.5,4.9,1.5,"versicolor"),(6.1,2.8,4.7,1.2,"versicolor"),
+    (6.4,2.9,4.3,1.3,"versicolor"),(6.6,3.0,4.4,1.4,"versicolor"),(6.8,2.8,4.8,1.4,"versicolor"),
+    (6.7,3.0,5.0,1.7,"versicolor"),(6.0,2.9,4.5,1.5,"versicolor"),(5.7,2.6,3.5,1.0,"versicolor"),
+    (5.5,2.4,3.8,1.1,"versicolor"),(5.5,2.4,3.7,1.0,"versicolor"),(5.8,2.7,3.9,1.2,"versicolor"),
+    (6.0,2.7,5.1,1.6,"versicolor"),(5.4,3.0,4.5,1.5,"versicolor"),(6.0,3.4,4.5,1.6,"versicolor"),
+    (6.7,3.1,4.7,1.5,"versicolor"),(6.3,2.3,4.4,1.3,"versicolor"),(5.6,3.0,4.1,1.3,"versicolor"),
+    (5.5,2.5,4.0,1.3,"versicolor"),(5.5,2.6,4.4,1.2,"versicolor"),(6.1,3.0,4.6,1.4,"versicolor"),
+    (5.8,2.6,4.0,1.2,"versicolor"),(5.0,2.3,3.3,1.0,"versicolor"),(5.6,2.7,4.2,1.3,"versicolor"),
+    (5.7,3.0,4.2,1.2,"versicolor"),(5.7,2.9,4.2,1.3,"versicolor"),(6.2,2.9,4.3,1.3,"versicolor"),
+    (5.1,2.5,3.0,1.1,"versicolor"),(5.7,2.8,4.1,1.3,"versicolor"),
+    (6.3,3.3,6.0,2.5,"virginica"),(5.8,2.7,5.1,1.9,"virginica"),(7.1,3.0,5.9,2.1,"virginica"),
+    (6.3,2.9,5.6,1.8,"virginica"),(6.5,3.0,5.8,2.2,"virginica"),(7.6,3.0,6.6,2.1,"virginica"),
+    (4.9,2.5,4.5,1.7,"virginica"),(7.3,2.9,6.3,1.8,"virginica"),(6.7,2.5,5.8,1.8,"virginica"),
+    (7.2,3.6,6.1,2.5,"virginica"),(6.5,3.2,5.1,2.0,"virginica"),(6.4,2.7,5.3,1.9,"virginica"),
+    (6.8,3.0,5.5,2.1,"virginica"),(5.7,2.5,5.0,2.0,"virginica"),(5.8,2.8,5.1,2.4,"virginica"),
+    (6.4,3.2,5.3,2.3,"virginica"),(6.5,3.0,5.5,1.8,"virginica"),(7.7,3.8,6.7,2.2,"virginica"),
+    (7.7,2.6,6.9,2.3,"virginica"),(6.0,2.2,5.0,1.5,"virginica"),(6.9,3.2,5.7,2.3,"virginica"),
+    (5.6,2.8,4.9,2.0,"virginica"),(7.7,2.8,6.7,2.0,"virginica"),(6.3,2.7,4.9,1.8,"virginica"),
+    (6.7,3.3,5.7,2.1,"virginica"),(7.2,3.2,6.0,1.8,"virginica"),(6.2,2.8,4.8,1.8,"virginica"),
+    (6.1,3.0,4.9,1.8,"virginica"),(6.4,2.8,5.6,2.1,"virginica"),(7.2,3.0,5.8,1.6,"virginica"),
+    (7.4,2.8,6.1,1.9,"virginica"),(7.9,3.8,6.4,2.0,"virginica"),(6.4,2.8,5.6,2.2,"virginica"),
+    (6.3,2.8,5.1,1.5,"virginica"),(6.1,2.6,5.6,1.4,"virginica"),(7.7,3.0,6.1,2.3,"virginica"),
+    (6.3,3.4,5.6,2.4,"virginica"),(6.4,3.1,5.5,1.8,"virginica"),(6.0,3.0,4.8,1.8,"virginica"),
+    (6.9,3.1,5.4,2.1,"virginica"),(6.7,3.1,5.6,2.4,"virginica"),(6.9,3.1,5.1,2.3,"virginica"),
+    (5.8,2.7,5.1,1.9,"virginica"),(6.8,3.2,5.9,2.3,"virginica"),(6.7,3.3,5.7,2.5,"virginica"),
+    (6.7,3.0,5.2,2.3,"virginica"),(6.3,2.5,5.0,1.9,"virginica"),(6.5,3.0,5.2,2.0,"virginica"),
+    (6.2,3.4,5.4,2.3,"virginica"),(5.9,3.0,5.1,1.8,"virginica"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iris_shape() {
+        let f = iris();
+        assert_eq!(f.nrows(), 150);
+        assert_eq!(f.ncols(), 5);
+        // 50 of each species.
+        let sp = f.column_by_name("species").unwrap();
+        let setosa = (0..150).filter(|&i| sp.get(i).as_str() == "setosa").count();
+        assert_eq!(setosa, 50);
+    }
+
+    #[test]
+    fn iris_value_ranges() {
+        let f = iris();
+        let pw = f.column_by_name("petal_width").unwrap();
+        for i in 0..150 {
+            let v = pw.get(i).as_f64();
+            assert!((0.1..=2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn reviews_shape_and_determinism() {
+        let a = amazon_reviews(500, 9);
+        let b = amazon_reviews(500, 9);
+        assert_eq!(a.nrows(), 500);
+        assert_eq!(a.row(123), b.row(123));
+    }
+
+    #[test]
+    fn reviews_sentiment_correlates() {
+        let f = amazon_reviews(2000, 1);
+        let rating = f.column_by_name("rating").unwrap();
+        let text = f.column_by_name("text").unwrap();
+        let mut pos_hits = 0usize;
+        let mut pos_total = 0usize;
+        let mut neg_hits = 0usize;
+        let mut neg_total = 0usize;
+        for i in 0..f.nrows() {
+            let t = text.get(i).as_str().to_string();
+            let has_pos = POSITIVE_WORDS.iter().any(|w| t.contains(w));
+            if rating.get(i).as_i64() >= 3 {
+                pos_total += 1;
+                pos_hits += has_pos as usize;
+            } else {
+                neg_total += 1;
+                neg_hits += has_pos as usize;
+            }
+        }
+        let p = pos_hits as f64 / pos_total as f64;
+        let n = neg_hits as f64 / neg_total as f64;
+        assert!(p > n + 0.2, "positive reviews should use positive words more ({p} vs {n})");
+    }
+}

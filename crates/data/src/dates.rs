@@ -1,0 +1,218 @@
+//! Proleptic-Gregorian calendar arithmetic.
+//!
+//! TQP represents dates as `I64` UNIX-epoch **nanoseconds** (paper §2.1).
+//! SQL surfaces them as `DATE 'YYYY-MM-DD'` literals and `INTERVAL`
+//! arithmetic; this module provides the conversions. The day↔civil
+//! conversions use Howard Hinnant's branchless algorithms.
+
+/// Nanoseconds per day (dates are day-aligned in TPC-H).
+pub const NS_PER_DAY: i64 = 86_400_000_000_000;
+
+/// A calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date {
+    pub year: i32,
+    pub month: u32,
+    pub day: u32,
+}
+
+impl Date {
+    /// Construct, panicking on out-of-range month/day.
+    pub fn new(year: i32, month: u32, day: u32) -> Date {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} invalid");
+        Date { year, month, day }
+    }
+
+    /// Days since 1970-01-01.
+    pub fn to_epoch_days(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Nanoseconds since 1970-01-01T00:00:00.
+    pub fn to_epoch_ns(self) -> i64 {
+        self.to_epoch_days() * NS_PER_DAY
+    }
+
+    /// Date from days since the epoch.
+    pub fn from_epoch_days(days: i64) -> Date {
+        let (year, month, day) = civil_from_days(days);
+        Date { year, month, day }
+    }
+
+    /// Date from epoch nanoseconds (floor to day).
+    pub fn from_epoch_ns(ns: i64) -> Date {
+        Date::from_epoch_days(ns.div_euclid(NS_PER_DAY))
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.split('-');
+        let y: i32 = it.next()?.parse().ok()?;
+        let m: u32 = it.next()?.parse().ok()?;
+        let d: u32 = it.next()?.parse().ok()?;
+        if it.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        Some(Date { year: y, month: m, day: d })
+    }
+
+    /// Add a number of days.
+    pub fn add_days(self, days: i64) -> Date {
+        Date::from_epoch_days(self.to_epoch_days() + days)
+    }
+
+    /// Add calendar months, clamping the day to the target month's length
+    /// (SQL `INTERVAL 'n' MONTH` semantics).
+    pub fn add_months(self, months: i32) -> Date {
+        let total = self.year * 12 + self.month as i32 - 1 + months;
+        let year = total.div_euclid(12);
+        let month = (total.rem_euclid(12) + 1) as u32;
+        let day = self.day.min(days_in_month(year, month));
+        Date { year, month, day }
+    }
+
+    /// Add calendar years (clamping Feb 29).
+    pub fn add_years(self, years: i32) -> Date {
+        self.add_months(years * 12)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in a month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month} out of range"),
+    }
+}
+
+/// Hinnant's `days_from_civil`: days since 1970-01-01.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Hinnant's `civil_from_days`: inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m, d)
+}
+
+/// Extract the year from an epoch-nanosecond date value (`EXTRACT(YEAR ...)`)
+pub fn extract_year(ns: i64) -> i64 {
+    Date::from_epoch_ns(ns).year as i64
+}
+
+/// Extract the month (1-12) from an epoch-nanosecond date value.
+pub fn extract_month(ns: i64) -> i64 {
+    Date::from_epoch_ns(ns).month as i64
+}
+
+/// Convenience: parse a date string straight to epoch nanoseconds.
+pub fn parse_to_ns(s: &str) -> Option<i64> {
+    Date::parse(s).map(|d| d.to_epoch_ns())
+}
+
+/// Format epoch nanoseconds back to `YYYY-MM-DD`.
+pub fn format_ns(ns: i64) -> String {
+    Date::from_epoch_ns(ns).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Date::new(1970, 1, 1).to_epoch_days(), 0);
+        assert_eq!(Date::from_epoch_days(0), Date::new(1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(Date::new(1992, 1, 1).to_epoch_days(), 8035);
+        assert_eq!(Date::new(1998, 12, 31).to_epoch_days(), 10_591);
+        assert_eq!(Date::from_epoch_days(10_591), Date::new(1998, 12, 31));
+    }
+
+    #[test]
+    fn roundtrip_every_day_in_range() {
+        for d in Date::new(1992, 1, 1).to_epoch_days()..=Date::new(1998, 12, 31).to_epoch_days() {
+            let date = Date::from_epoch_days(d);
+            assert_eq!(date.to_epoch_days(), d);
+        }
+    }
+
+    #[test]
+    fn parse_and_format() {
+        let d = Date::parse("1994-01-01").unwrap();
+        assert_eq!(d, Date::new(1994, 1, 1));
+        assert_eq!(d.to_string(), "1994-01-01");
+        assert!(Date::parse("1994-13-01").is_none());
+        assert!(Date::parse("1994-02-30").is_none());
+        assert!(Date::parse("nope").is_none());
+        assert_eq!(format_ns(parse_to_ns("1995-06-17").unwrap()), "1995-06-17");
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let d = Date::new(1993, 7, 1);
+        assert_eq!(d.add_months(3), Date::new(1993, 10, 1));
+        assert_eq!(d.add_days(-90), Date::new(1993, 4, 2));
+        assert_eq!(d.add_years(1), Date::new(1994, 7, 1));
+        // Month-end clamping.
+        assert_eq!(Date::new(1996, 1, 31).add_months(1), Date::new(1996, 2, 29));
+        assert_eq!(Date::new(1995, 1, 31).add_months(1), Date::new(1995, 2, 28));
+        // Negative month crossing year boundary.
+        assert_eq!(Date::new(1995, 1, 15).add_months(-2), Date::new(1994, 11, 15));
+    }
+
+    #[test]
+    fn leap_rules() {
+        assert!(is_leap(1996));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1997, 2), 28);
+    }
+
+    #[test]
+    fn extract_fields() {
+        let ns = parse_to_ns("1995-09-14").unwrap();
+        assert_eq!(extract_year(ns), 1995);
+        assert_eq!(extract_month(ns), 9);
+    }
+}

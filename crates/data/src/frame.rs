@@ -1,0 +1,253 @@
+//! Schema and DataFrame: the Pandas stand-in used for ingestion and results.
+
+use serde::{Deserialize, Serialize};
+use tqp_tensor::Scalar;
+
+use crate::column::{Column, LogicalType};
+
+/// A named, typed column slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub ty: LogicalType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, ty: LogicalType) -> Field {
+        Field { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Schema from `(name, type)` pairs.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Field lookup by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+}
+
+/// Columnar table: a schema plus one [`Column`] per field, all equal length.
+#[derive(Debug, Clone)]
+pub struct DataFrame {
+    schema: Schema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl DataFrame {
+    /// Build a frame, validating column/schema agreement.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> DataFrame {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        let nrows = columns.first().map_or(0, |c| c.len());
+        for (f, c) in schema.fields.iter().zip(&columns) {
+            assert_eq!(c.len(), nrows, "column {} length mismatch", f.name);
+            assert_eq!(c.logical_type(), f.ty, "column {} type mismatch", f.name);
+        }
+        DataFrame { schema, columns, nrows }
+    }
+
+    /// An empty frame with the given schema.
+    pub fn empty(schema: Schema) -> DataFrame {
+        let columns = schema
+            .fields
+            .iter()
+            .map(|f| match f.ty {
+                LogicalType::Bool => Column::from_bool(vec![]),
+                LogicalType::Int64 => Column::from_i64(vec![]),
+                LogicalType::Float64 => Column::from_f64(vec![]),
+                LogicalType::Date => Column::from_date_ns(vec![]),
+                LogicalType::Str => Column::from_str(vec![]),
+            })
+            .collect();
+        DataFrame::new(schema, columns)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the frame holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Row `i` as dynamically-typed scalars.
+    pub fn row(&self, i: usize) -> Vec<Scalar> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Gather a subset/reordering of rows.
+    pub fn take(&self, idx: &[usize]) -> DataFrame {
+        let columns = self.columns.iter().map(|c| c.take(idx)).collect();
+        DataFrame::new(self.schema.clone(), columns)
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> DataFrame {
+        let idx: Vec<usize> = (0..n.min(self.nrows)).collect();
+        self.take(&idx)
+    }
+
+    /// Render as an aligned text table (up to `max_rows` rows), the
+    /// notebook-style output used by the examples.
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let headers: Vec<String> = self.schema.fields.iter().map(|f| f.name.clone()).collect();
+        let nshow = self.nrows.min(max_rows);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(nshow);
+        for i in 0..nshow {
+            cells.push(self.columns.iter().map(|c| c.display(i)).collect());
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &cells {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            let cols: Vec<String> =
+                row.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            format!("| {} |", cols.join(" | "))
+        };
+        let sep: String =
+            format!("+{}+", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+"));
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &cells {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        if self.nrows > nshow {
+            out.push_str(&format!("\n({} more rows)", self.nrows - nshow));
+        }
+        out
+    }
+}
+
+/// Convenience builder used heavily by tests: construct a frame from
+/// `(name, column)` pairs, inferring the schema from column types.
+pub fn df(pairs: Vec<(&str, Column)>) -> DataFrame {
+    let schema = Schema::new(
+        pairs.iter().map(|(n, c)| Field::new(*n, c.logical_type())).collect(),
+    );
+    DataFrame::new(schema, pairs.into_iter().map(|(_, c)| c).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        df(vec![
+            ("id", Column::from_i64(vec![1, 2, 3])),
+            ("price", Column::from_f64(vec![9.5, 2.0, 4.25])),
+            ("name", Column::from_str(vec!["a".into(), "b".into(), "c".into()])),
+        ])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let f = sample();
+        assert_eq!(f.nrows(), 3);
+        assert_eq!(f.ncols(), 3);
+        assert_eq!(f.schema().index_of("PRICE"), Some(1));
+        assert_eq!(f.column_by_name("id").unwrap().get(2), Scalar::I64(3));
+        assert!(f.column_by_name("missing").is_none());
+        assert_eq!(f.row(0), vec![
+            Scalar::I64(1),
+            Scalar::F64(9.5),
+            Scalar::Str("a".into())
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_ragged_columns() {
+        df(vec![
+            ("a", Column::from_i64(vec![1])),
+            ("b", Column::from_i64(vec![1, 2])),
+        ]);
+    }
+
+    #[test]
+    fn take_and_head() {
+        let f = sample();
+        let t = f.take(&[2, 0]);
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.column(0).get(0), Scalar::I64(3));
+        assert_eq!(f.head(2).nrows(), 2);
+        assert_eq!(f.head(99).nrows(), 3);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = DataFrame::empty(Schema::new(vec![Field::new("x", LogicalType::Float64)]));
+        assert!(f.is_empty());
+        assert_eq!(f.ncols(), 1);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let s = sample().to_table_string(2);
+        assert!(s.contains("id"));
+        assert!(s.contains("9.5000"));
+        assert!(s.contains("(1 more rows)"));
+    }
+}

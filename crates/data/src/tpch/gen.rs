@@ -1,0 +1,642 @@
+//! Deterministic dbgen-style data generation.
+//!
+//! Every table is generated from a seeded `StdRng`, so two runs with the same
+//! [`TpchConfig`] produce byte-identical data — a property the differential
+//! test suite depends on. Cross-table consistency rules of the spec that the
+//! queries rely on are honoured:
+//!
+//! * `l_suppkey` is one of the four suppliers stocking `l_partkey`
+//!   (dbgen's spread formula), so Q2/Q9/Q20 joins have matches;
+//! * `l_extendedprice = l_quantity × retailprice(partkey)`;
+//! * `o_orderstatus` reflects the line statuses, `o_totalprice` their sum;
+//! * every third customer places no orders (Q13/Q22 need order-less
+//!   customers);
+//! * `c_phone` country code is `10 + nationkey` (Q22's substring filter).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::column::Column;
+use crate::dates::Date;
+use crate::frame::DataFrame;
+use crate::tpch::text::*;
+use crate::tpch::Table;
+
+/// Scale factor and RNG seed for one generated database instance.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// TPC-H scale factor; SF 1 ≈ 6M lineitem rows. Fractional SFs scale
+    /// every table proportionally (minimum one row).
+    pub scale_factor: f64,
+    /// Master RNG seed; each table derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { scale_factor: 0.01, seed: 0x7C9A_11B5 }
+    }
+}
+
+/// One fully generated database instance.
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    pub region: DataFrame,
+    pub nation: DataFrame,
+    pub supplier: DataFrame,
+    pub part: DataFrame,
+    pub partsupp: DataFrame,
+    pub customer: DataFrame,
+    pub orders: DataFrame,
+    pub lineitem: DataFrame,
+}
+
+impl TpchData {
+    /// Generate all eight tables.
+    pub fn generate(cfg: &TpchConfig) -> TpchData {
+        let sizes = Sizes::new(cfg.scale_factor);
+        let region = gen_region();
+        let nation = gen_nation();
+        let supplier = gen_supplier(cfg, &sizes);
+        let part = gen_part(cfg, &sizes);
+        let partsupp = gen_partsupp(cfg, &sizes);
+        let customer = gen_customer(cfg, &sizes);
+        let (orders, lineitem) = gen_orders_lineitem(cfg, &sizes);
+        TpchData { region, nation, supplier, part, partsupp, customer, orders, lineitem }
+    }
+
+    /// Look up a table by enum.
+    pub fn table(&self, t: Table) -> &DataFrame {
+        match t {
+            Table::Region => &self.region,
+            Table::Nation => &self.nation,
+            Table::Supplier => &self.supplier,
+            Table::Part => &self.part,
+            Table::PartSupp => &self.partsupp,
+            Table::Customer => &self.customer,
+            Table::Orders => &self.orders,
+            Table::Lineitem => &self.lineitem,
+        }
+    }
+
+    /// `(name, frame)` pairs for catalog registration.
+    pub fn tables(&self) -> Vec<(&'static str, &DataFrame)> {
+        Table::ALL.iter().map(|&t| (t.name(), self.table(t))).collect()
+    }
+}
+
+/// Scaled table cardinalities.
+struct Sizes {
+    suppliers: usize,
+    parts: usize,
+    customers: usize,
+    orders: usize,
+}
+
+impl Sizes {
+    fn new(sf: f64) -> Sizes {
+        let scale = |base: usize| ((base as f64 * sf).round() as usize).max(1);
+        Sizes {
+            suppliers: scale(10_000),
+            parts: scale(200_000),
+            customers: scale(150_000),
+            orders: scale(1_500_000),
+        }
+    }
+}
+
+/// The spec's "current date" used for return flags and line statuses.
+fn current_date() -> Date {
+    Date::new(1995, 6, 17)
+}
+
+fn rng_for(cfg: &TpchConfig, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+}
+
+/// Money values: uniform in [lo, hi] rounded to cents.
+fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    let cents = rng.gen_range((lo * 100.0) as i64..=(hi * 100.0) as i64);
+    cents as f64 / 100.0
+}
+
+/// Random v-string (addresses): alphanumeric, length 10-25.
+fn vstring(rng: &mut StdRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+    let len = rng.gen_range(10..=25);
+    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+}
+
+/// Random comment text of `words` words from the TPC-H-ish vocabulary.
+fn comment(rng: &mut StdRng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())]);
+    }
+    out
+}
+
+/// Phone: `CC-ddd-ddd-dddd` with CC = 10 + nationkey (Q22 depends on this).
+fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10_000)
+    )
+}
+
+/// dbgen's retail price formula: deterministic in the part key.
+fn retail_price(partkey: i64) -> f64 {
+    (90_000.0 + ((partkey / 10) % 20_001) as f64 + 100.0 * (partkey % 1_000) as f64) / 100.0
+}
+
+/// dbgen's supplier-spread formula: the `i`-th (0..4) supplier of a part.
+fn part_supplier(partkey: i64, i: i64, suppliers: usize) -> i64 {
+    let s = suppliers as i64;
+    ((partkey + i * (s / 4 + (partkey - 1) / s)) % s) + 1
+}
+
+fn gen_region() -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = REGIONS.len();
+    DataFrame::new(
+        Table::Region.schema(),
+        vec![
+            Column::from_i64((0..n as i64).collect()),
+            Column::from_str(REGIONS.iter().map(|s| s.to_string()).collect()),
+            Column::from_str((0..n).map(|_| comment(&mut rng, 8)).collect()),
+        ],
+    )
+}
+
+fn gen_nation() -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = NATIONS.len();
+    DataFrame::new(
+        Table::Nation.schema(),
+        vec![
+            Column::from_i64((0..n as i64).collect()),
+            Column::from_str(NATIONS.iter().map(|&(s, _)| s.to_string()).collect()),
+            Column::from_i64(NATIONS.iter().map(|&(_, r)| r).collect()),
+            Column::from_str((0..n).map(|_| comment(&mut rng, 10)).collect()),
+        ],
+    )
+}
+
+fn gen_supplier(cfg: &TpchConfig, sizes: &Sizes) -> DataFrame {
+    let mut rng = rng_for(cfg, 3);
+    let n = sizes.suppliers;
+    let mut names = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    let mut nations = Vec::with_capacity(n);
+    let mut phones = Vec::with_capacity(n);
+    let mut bals = Vec::with_capacity(n);
+    let mut comments = Vec::with_capacity(n);
+    for k in 1..=n as i64 {
+        let nk = rng.gen_range(0..25i64);
+        names.push(format!("Supplier#{k:09}"));
+        addrs.push(vstring(&mut rng));
+        nations.push(nk);
+        phones.push(phone(&mut rng, nk));
+        bals.push(money(&mut rng, -999.99, 9999.99));
+        // Q16 filters suppliers whose comment matches '%Customer%Complaints%'.
+        let c = if k % 197 == 3 {
+            format!("{} Customer {} Complaints {}", comment(&mut rng, 2), comment(&mut rng, 2), comment(&mut rng, 2))
+        } else {
+            comment(&mut rng, 8)
+        };
+        comments.push(c);
+    }
+    DataFrame::new(
+        Table::Supplier.schema(),
+        vec![
+            Column::from_i64((1..=n as i64).collect()),
+            Column::from_str(names),
+            Column::from_str(addrs),
+            Column::from_i64(nations),
+            Column::from_str(phones),
+            Column::from_f64(bals),
+            Column::from_str(comments),
+        ],
+    )
+}
+
+fn gen_part(cfg: &TpchConfig, sizes: &Sizes) -> DataFrame {
+    let mut rng = rng_for(cfg, 4);
+    let n = sizes.parts;
+    let mut names = Vec::with_capacity(n);
+    let mut mfgrs = Vec::with_capacity(n);
+    let mut brands = Vec::with_capacity(n);
+    let mut types = Vec::with_capacity(n);
+    let mut psizes = Vec::with_capacity(n);
+    let mut containers = Vec::with_capacity(n);
+    let mut prices = Vec::with_capacity(n);
+    let mut comments = Vec::with_capacity(n);
+    for k in 1..=n as i64 {
+        // P_NAME: 5 distinct colors.
+        let mut words = Vec::with_capacity(5);
+        while words.len() < 5 {
+            let w = COLORS[rng.gen_range(0..COLORS.len())];
+            if !words.contains(&w) {
+                words.push(w);
+            }
+        }
+        names.push(words.join(" "));
+        let m = rng.gen_range(1..=5);
+        mfgrs.push(format!("Manufacturer#{m}"));
+        brands.push(format!("Brand#{m}{}", rng.gen_range(1..=5)));
+        types.push(format!(
+            "{} {} {}",
+            TYPE_S1[rng.gen_range(0..TYPE_S1.len())],
+            TYPE_S2[rng.gen_range(0..TYPE_S2.len())],
+            TYPE_S3[rng.gen_range(0..TYPE_S3.len())]
+        ));
+        psizes.push(rng.gen_range(1..=50i64));
+        containers.push(format!(
+            "{} {}",
+            CONTAINER_S1[rng.gen_range(0..CONTAINER_S1.len())],
+            CONTAINER_S2[rng.gen_range(0..CONTAINER_S2.len())]
+        ));
+        prices.push(retail_price(k));
+        comments.push(comment(&mut rng, 5));
+    }
+    DataFrame::new(
+        Table::Part.schema(),
+        vec![
+            Column::from_i64((1..=n as i64).collect()),
+            Column::from_str(names),
+            Column::from_str(mfgrs),
+            Column::from_str(brands),
+            Column::from_str(types),
+            Column::from_i64(psizes),
+            Column::from_str(containers),
+            Column::from_f64(prices),
+            Column::from_str(comments),
+        ],
+    )
+}
+
+fn gen_partsupp(cfg: &TpchConfig, sizes: &Sizes) -> DataFrame {
+    let mut rng = rng_for(cfg, 5);
+    let n = sizes.parts * 4;
+    let mut partkeys = Vec::with_capacity(n);
+    let mut suppkeys = Vec::with_capacity(n);
+    let mut qtys = Vec::with_capacity(n);
+    let mut costs = Vec::with_capacity(n);
+    let mut comments = Vec::with_capacity(n);
+    for pk in 1..=sizes.parts as i64 {
+        for i in 0..4i64 {
+            partkeys.push(pk);
+            suppkeys.push(part_supplier(pk, i, sizes.suppliers));
+            qtys.push(rng.gen_range(1..=9999i64));
+            costs.push(money(&mut rng, 1.0, 1000.0));
+            comments.push(comment(&mut rng, 10));
+        }
+    }
+    DataFrame::new(
+        Table::PartSupp.schema(),
+        vec![
+            Column::from_i64(partkeys),
+            Column::from_i64(suppkeys),
+            Column::from_i64(qtys),
+            Column::from_f64(costs),
+            Column::from_str(comments),
+        ],
+    )
+}
+
+fn gen_customer(cfg: &TpchConfig, sizes: &Sizes) -> DataFrame {
+    let mut rng = rng_for(cfg, 6);
+    let n = sizes.customers;
+    let mut names = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    let mut nations = Vec::with_capacity(n);
+    let mut phones = Vec::with_capacity(n);
+    let mut bals = Vec::with_capacity(n);
+    let mut segments = Vec::with_capacity(n);
+    let mut comments = Vec::with_capacity(n);
+    for k in 1..=n as i64 {
+        let nk = rng.gen_range(0..25i64);
+        names.push(format!("Customer#{k:09}"));
+        addrs.push(vstring(&mut rng));
+        nations.push(nk);
+        phones.push(phone(&mut rng, nk));
+        bals.push(money(&mut rng, -999.99, 9999.99));
+        segments.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string());
+        comments.push(comment(&mut rng, 12));
+    }
+    DataFrame::new(
+        Table::Customer.schema(),
+        vec![
+            Column::from_i64((1..=n as i64).collect()),
+            Column::from_str(names),
+            Column::from_str(addrs),
+            Column::from_i64(nations),
+            Column::from_str(phones),
+            Column::from_f64(bals),
+            Column::from_str(segments),
+            Column::from_str(comments),
+        ],
+    )
+}
+
+fn gen_orders_lineitem(cfg: &TpchConfig, sizes: &Sizes) -> (DataFrame, DataFrame) {
+    let mut rng = rng_for(cfg, 7);
+    let n_orders = sizes.orders;
+    let start = Date::new(1992, 1, 1).to_epoch_days();
+    // Latest order date leaves room for ship+receipt (spec: ENDDATE-151).
+    let end = Date::new(1998, 8, 2).to_epoch_days() - 151;
+    let today = current_date().to_epoch_days();
+
+    // Orders columns.
+    let mut o_custkey = Vec::with_capacity(n_orders);
+    let mut o_status = Vec::with_capacity(n_orders);
+    let mut o_total = Vec::with_capacity(n_orders);
+    let mut o_date = Vec::with_capacity(n_orders);
+    let mut o_prio = Vec::with_capacity(n_orders);
+    let mut o_clerk = Vec::with_capacity(n_orders);
+    let mut o_ship = Vec::with_capacity(n_orders);
+    let mut o_comment = Vec::with_capacity(n_orders);
+
+    // Lineitem columns (~4x orders).
+    let cap = n_orders * 4;
+    let mut l_orderkey = Vec::with_capacity(cap);
+    let mut l_partkey = Vec::with_capacity(cap);
+    let mut l_suppkey = Vec::with_capacity(cap);
+    let mut l_linenumber = Vec::with_capacity(cap);
+    let mut l_quantity = Vec::with_capacity(cap);
+    let mut l_extprice = Vec::with_capacity(cap);
+    let mut l_discount = Vec::with_capacity(cap);
+    let mut l_tax = Vec::with_capacity(cap);
+    let mut l_retflag: Vec<String> = Vec::with_capacity(cap);
+    let mut l_status: Vec<String> = Vec::with_capacity(cap);
+    let mut l_shipdate = Vec::with_capacity(cap);
+    let mut l_commitdate = Vec::with_capacity(cap);
+    let mut l_receiptdate = Vec::with_capacity(cap);
+    let mut l_instruct = Vec::with_capacity(cap);
+    let mut l_mode = Vec::with_capacity(cap);
+    let mut l_comment = Vec::with_capacity(cap);
+
+    let clerks = (sizes.orders / 1000).max(1);
+    let ns = crate::dates::NS_PER_DAY;
+
+    for ok in 1..=n_orders as i64 {
+        // Every third customer has no orders (Q13/Q22 shape).
+        let mut ck = rng.gen_range(1..=sizes.customers as i64);
+        if sizes.customers >= 3 {
+            while ck % 3 == 0 {
+                ck = rng.gen_range(1..=sizes.customers as i64);
+            }
+        }
+        let odate = rng.gen_range(start..=end);
+        let nlines = rng.gen_range(1..=7);
+        let mut total = 0.0;
+        let mut n_f = 0;
+        let mut n_o = 0;
+        for line in 1..=nlines {
+            let pk = rng.gen_range(1..=sizes.parts as i64);
+            let sk = part_supplier(pk, rng.gen_range(0..4), sizes.suppliers);
+            let qty = rng.gen_range(1..=50i64) as f64;
+            let price = (qty * retail_price(pk) * 100.0).round() / 100.0;
+            let disc = rng.gen_range(0..=10) as f64 / 100.0;
+            let tax = rng.gen_range(0..=8) as f64 / 100.0;
+            let ship = odate + rng.gen_range(1..=121);
+            let commit = odate + rng.gen_range(30..=90);
+            let receipt = ship + rng.gen_range(1..=30);
+            let retflag = if receipt <= today {
+                if rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let status = if ship <= today {
+                n_f += 1;
+                "F"
+            } else {
+                n_o += 1;
+                "O"
+            };
+            total += price * (1.0 + tax) * (1.0 - disc);
+            l_orderkey.push(ok);
+            l_partkey.push(pk);
+            l_suppkey.push(sk);
+            l_linenumber.push(line as i64);
+            l_quantity.push(qty);
+            l_extprice.push(price);
+            l_discount.push(disc);
+            l_tax.push(tax);
+            l_retflag.push(retflag.to_string());
+            l_status.push(status.to_string());
+            l_shipdate.push(ship * ns);
+            l_commitdate.push(commit * ns);
+            l_receiptdate.push(receipt * ns);
+            l_instruct.push(INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())].to_string());
+            l_mode.push(MODES[rng.gen_range(0..MODES.len())].to_string());
+            l_comment.push(comment(&mut rng, 4));
+        }
+        o_custkey.push(ck);
+        o_status.push(
+            if n_o == 0 {
+                "F"
+            } else if n_f == 0 {
+                "O"
+            } else {
+                "P"
+            }
+            .to_string(),
+        );
+        o_total.push((total * 100.0).round() / 100.0);
+        o_date.push(odate * ns);
+        o_prio.push(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string());
+        o_clerk.push(format!("Clerk#{:09}", rng.gen_range(1..=clerks)));
+        o_ship.push(0i64);
+        // Q13 excludes comments matching '%special%requests%'; inject ~1.5%.
+        let c = if rng.gen_bool(0.015) {
+            format!("{} special {} requests {}", comment(&mut rng, 2), comment(&mut rng, 1), comment(&mut rng, 2))
+        } else {
+            comment(&mut rng, 6)
+        };
+        o_comment.push(c);
+    }
+
+    let orders = DataFrame::new(
+        Table::Orders.schema(),
+        vec![
+            Column::from_i64((1..=n_orders as i64).collect()),
+            Column::from_i64(o_custkey),
+            Column::from_str(o_status),
+            Column::from_f64(o_total),
+            Column::from_date_ns(o_date),
+            Column::from_str(o_prio),
+            Column::from_str(o_clerk),
+            Column::from_i64(o_ship),
+            Column::from_str(o_comment),
+        ],
+    );
+    let lineitem = DataFrame::new(
+        Table::Lineitem.schema(),
+        vec![
+            Column::from_i64(l_orderkey),
+            Column::from_i64(l_partkey),
+            Column::from_i64(l_suppkey),
+            Column::from_i64(l_linenumber),
+            Column::from_f64(l_quantity),
+            Column::from_f64(l_extprice),
+            Column::from_f64(l_discount),
+            Column::from_f64(l_tax),
+            Column::from_str(l_retflag),
+            Column::from_str(l_status),
+            Column::from_date_ns(l_shipdate),
+            Column::from_date_ns(l_commitdate),
+            Column::from_date_ns(l_receiptdate),
+            Column::from_str(l_instruct),
+            Column::from_str(l_mode),
+            Column::from_str(l_comment),
+        ],
+    );
+    (orders, lineitem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TpchData {
+        TpchData::generate(&TpchConfig { scale_factor: 0.001, seed: 42 })
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.lineitem.nrows(), b.lineitem.nrows());
+        for r in [0, a.lineitem.nrows() - 1] {
+            assert_eq!(a.lineitem.row(r), b.lineitem.row(r));
+        }
+        let c = TpchData::generate(&TpchConfig { scale_factor: 0.001, seed: 43 });
+        assert_ne!(a.lineitem.row(0), c.lineitem.row(0));
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let d = tiny();
+        assert_eq!(d.region.nrows(), 5);
+        assert_eq!(d.nation.nrows(), 25);
+        assert_eq!(d.supplier.nrows(), 10);
+        assert_eq!(d.part.nrows(), 200);
+        assert_eq!(d.partsupp.nrows(), 800);
+        assert_eq!(d.customer.nrows(), 150);
+        assert_eq!(d.orders.nrows(), 1500);
+        let avg_lines = d.lineitem.nrows() as f64 / d.orders.nrows() as f64;
+        assert!((3.0..5.0).contains(&avg_lines), "avg lines {avg_lines}");
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let d = tiny();
+        let nparts = d.part.nrows() as i64;
+        let nsupp = d.supplier.nrows() as i64;
+        let ncust = d.customer.nrows() as i64;
+        let norders = d.orders.nrows() as i64;
+        let pk = match d.lineitem.column_by_name("l_partkey").unwrap() {
+            Column::Int64(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        assert!(pk.iter().all(|&k| k >= 1 && k <= nparts));
+        let sk = match d.lineitem.column_by_name("l_suppkey").unwrap() {
+            Column::Int64(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        assert!(sk.iter().all(|&k| k >= 1 && k <= nsupp));
+        let ok = match d.lineitem.column_by_name("l_orderkey").unwrap() {
+            Column::Int64(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        assert!(ok.iter().all(|&k| k >= 1 && k <= norders));
+        let ck = match d.orders.column_by_name("o_custkey").unwrap() {
+            Column::Int64(v) => v.clone(),
+            _ => unreachable!(),
+        };
+        assert!(ck.iter().all(|&k| k >= 1 && k <= ncust && k % 3 != 0));
+    }
+
+    #[test]
+    fn lineitem_supplier_stocks_part() {
+        // Every (l_partkey, l_suppkey) must exist in partsupp.
+        let d = tiny();
+        let mut pairs = std::collections::HashSet::new();
+        let (pk, sk) = (
+            d.partsupp.column_by_name("ps_partkey").unwrap(),
+            d.partsupp.column_by_name("ps_suppkey").unwrap(),
+        );
+        for i in 0..d.partsupp.nrows() {
+            pairs.insert((pk.get(i).as_i64(), sk.get(i).as_i64()));
+        }
+        let (lp, ls) = (
+            d.lineitem.column_by_name("l_partkey").unwrap(),
+            d.lineitem.column_by_name("l_suppkey").unwrap(),
+        );
+        for i in 0..d.lineitem.nrows() {
+            assert!(pairs.contains(&(lp.get(i).as_i64(), ls.get(i).as_i64())));
+        }
+    }
+
+    #[test]
+    fn date_ordering_constraints() {
+        let d = tiny();
+        let ship = d.lineitem.column_by_name("l_shipdate").unwrap();
+        let receipt = d.lineitem.column_by_name("l_receiptdate").unwrap();
+        for i in 0..d.lineitem.nrows() {
+            assert!(receipt.get(i).as_i64() > ship.get(i).as_i64());
+        }
+    }
+
+    #[test]
+    fn predicate_selectivities_plausible() {
+        let d = TpchData::generate(&TpchConfig { scale_factor: 0.005, seed: 7 });
+        // Q6-style: shipdate in 1994, discount in [0.05, 0.07], qty < 24.
+        let ship = d.lineitem.column_by_name("l_shipdate").unwrap();
+        let disc = d.lineitem.column_by_name("l_discount").unwrap();
+        let qty = d.lineitem.column_by_name("l_quantity").unwrap();
+        let lo = crate::dates::parse_to_ns("1994-01-01").unwrap();
+        let hi = crate::dates::parse_to_ns("1995-01-01").unwrap();
+        let mut hits = 0;
+        for i in 0..d.lineitem.nrows() {
+            let s = ship.get(i).as_i64();
+            let dv = disc.get(i).as_f64();
+            let q = qty.get(i).as_f64();
+            if s >= lo && s < hi && (0.05..=0.07).contains(&dv) && q < 24.0 {
+                hits += 1;
+            }
+        }
+        let sel = hits as f64 / d.lineitem.nrows() as f64;
+        assert!(sel > 0.005 && sel < 0.05, "Q6 selectivity {sel}");
+        // PROMO parts are ~1/6 of all parts.
+        let ptype = d.part.column_by_name("p_type").unwrap();
+        let promo = (0..d.part.nrows())
+            .filter(|&i| ptype.get(i).as_str().starts_with("PROMO"))
+            .count();
+        let frac = promo as f64 / d.part.nrows() as f64;
+        assert!(frac > 0.08 && frac < 0.30, "PROMO fraction {frac}");
+    }
+
+    #[test]
+    fn status_consistent_with_dates() {
+        let d = tiny();
+        let today = current_date().to_epoch_ns();
+        let ship = d.lineitem.column_by_name("l_shipdate").unwrap();
+        let st = d.lineitem.column_by_name("l_linestatus").unwrap();
+        for i in 0..d.lineitem.nrows() {
+            let expect = if ship.get(i).as_i64() <= today { "F" } else { "O" };
+            assert_eq!(st.get(i).as_str(), expect);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! TPC-H text domains: the word lists dbgen draws from. Keeping these
+//! faithful matters because the published queries predicate on them
+//! (Q9 `%green%`, Q2 `%BRASS`, Q14 `PROMO%`, Q16 `MEDIUM POLISHED%`,
+//! Q19 containers, Q12 ship modes, ...).
+
+/// The 92 part-name colors of dbgen (`P_NAME` is 5 of these joined).
+pub const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab",
+    "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+    "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint",
+    "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
+    "peach", "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
+    "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke",
+    "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+];
+
+/// `P_TYPE` syllable 1.
+pub const TYPE_S1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// `P_TYPE` syllable 2.
+pub const TYPE_S2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// `P_TYPE` syllable 3.
+pub const TYPE_S3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// `P_CONTAINER` syllable 1.
+pub const CONTAINER_S1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// `P_CONTAINER` syllable 2.
+pub const CONTAINER_S2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Customer market segments.
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities.
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Lineitem ship instructions.
+pub const INSTRUCTIONS: &[&str] =
+    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Lineitem ship modes.
+pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// The 25 TPC-H nations with their region keys (spec table 4.2.3).
+pub const NATIONS: &[(&str, i64)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The 5 TPC-H regions.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Comment vocabulary (condensed from dbgen's grammar; enough variety for
+/// realistic LIKE selectivity).
+pub const COMMENT_WORDS: &[&str] = &[
+    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "bold",
+    "regular", "express", "even", "silent", "pending", "unusual", "special", "requests",
+    "deposits", "packages", "accounts", "instructions", "theodolites", "excuses", "platelets",
+    "foxes", "ideas", "dependencies", "pinto", "beans", "asymptotes", "courts", "dolphins",
+    "multipliers", "sauternes", "warhorses", "sheaves", "realms", "sentiments", "gifts",
+    "braids", "nag", "sleep", "wake", "haggle", "cajole", "integrate", "detect", "engage",
+    "about", "above", "according", "across", "against", "along", "the", "and", "are", "use",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_cardinalities() {
+        assert_eq!(COLORS.len(), 92);
+        assert!(COLORS.contains(&"green") && COLORS.contains(&"forest"));
+        assert_eq!(TYPE_S1.len() * TYPE_S2.len() * TYPE_S3.len(), 150);
+        assert_eq!(CONTAINER_S1.len() * CONTAINER_S2.len(), 40);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert_eq!(SEGMENTS.len(), 5);
+        assert_eq!(PRIORITIES.len(), 5);
+        assert_eq!(MODES.len(), 7);
+        assert_eq!(INSTRUCTIONS.len(), 4);
+    }
+
+    #[test]
+    fn nation_region_keys_valid() {
+        assert!(NATIONS.iter().all(|&(_, r)| (0..5).contains(&r)));
+        // Q5/Q8/Q21 parameters rely on these specific entries.
+        assert!(NATIONS.iter().any(|&(n, r)| n == "GERMANY" && r == 3));
+        assert!(NATIONS.iter().any(|&(n, r)| n == "BRAZIL" && r == 1));
+        assert!(NATIONS.iter().any(|&(n, r)| n == "SAUDI ARABIA" && r == 4));
+    }
+}

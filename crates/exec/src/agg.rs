@@ -1,0 +1,569 @@
+//! Tensor aggregation: sort-based (default) and hash-based strategies.
+//!
+//! Sort strategy (the tensor-native formulation, paper §2.2): multi-key
+//! stable argsort → run-boundary detection → dense group ids via prefix sum
+//! → segmented reductions. Hash strategy: FxHash group table with collision
+//! chains → scatter reductions. `COUNT(DISTINCT x)` sorts `(keys…, x)` and
+//! counts distinct runs per group.
+//!
+//! Empty-input semantics (shared with the row oracle): a global aggregate
+//! yields one row of zeros; a grouped aggregate yields no rows.
+
+use std::collections::HashMap;
+
+use tqp_data::LogicalType;
+use tqp_ir::expr::{AggCall, AggFunc, BoundExpr};
+use tqp_ml::ModelRegistry;
+use tqp_tensor::index::{mask_to_indices, take};
+use tqp_tensor::reduce::{
+    segmented_min_str, segmented_reduce, segmented_reduce_i64, sum_f64, sum_i64, AggFn,
+};
+use tqp_tensor::sort::{argsort_multi, Order, SortKey};
+use tqp_tensor::unique::{group_ids, run_lengths, run_starts, Groups};
+use tqp_tensor::{DType, Tensor};
+
+use crate::batch::Batch;
+use crate::expr::{eval, hash_rows};
+use crate::join::FxBuild;
+
+/// Aggregation strategy selector (mirrors `tqp_ir::AggStrategy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    Sort,
+    Hash,
+}
+
+/// Execute an aggregation over a batch.
+pub fn aggregate(
+    input: &Batch,
+    group_by: &[BoundExpr],
+    aggs: &[AggCall],
+    strategy: Strategy,
+    models: &ModelRegistry,
+) -> Batch {
+    if group_by.is_empty() {
+        return global_aggregate(input, aggs, models);
+    }
+    let keys: Vec<Tensor> = group_by
+        .iter()
+        .map(|g| {
+            let (v, validity) = eval(g, input, models);
+            assert!(validity.is_none(), "NULL group keys unsupported in the tensor engine");
+            v
+        })
+        .collect();
+    match strategy {
+        Strategy::Sort => sort_aggregate(input, &keys, aggs, models),
+        Strategy::Hash => hash_aggregate(input, &keys, aggs, models),
+    }
+}
+
+fn global_aggregate(input: &Batch, aggs: &[AggCall], models: &ModelRegistry) -> Batch {
+    let columns = aggs
+        .iter()
+        .map(|call| match call.func {
+            AggFunc::CountStar => Tensor::from_i64(vec![input.nrows() as i64]),
+            _ => {
+                let (vals, validity) =
+                    eval(call.arg.as_ref().expect("agg arg"), input, models);
+                let (vals, n_valid) = apply_validity(vals, validity);
+                match call.func {
+                    AggFunc::Sum if call.ty == LogicalType::Int64 => {
+                        Tensor::from_i64(vec![sum_i64(&vals)])
+                    }
+                    AggFunc::Sum => Tensor::from_f64(vec![sum_f64(&vals)]),
+                    AggFunc::Avg => {
+                        let s = sum_f64(&vals);
+                        Tensor::from_f64(vec![if n_valid == 0 { 0.0 } else { s / n_valid as f64 }])
+                    }
+                    AggFunc::Min | AggFunc::Max => global_minmax(&vals, call),
+                    AggFunc::Count => Tensor::from_i64(vec![n_valid as i64]),
+                    AggFunc::CountDistinct => {
+                        Tensor::from_i64(vec![count_distinct_all(&vals)])
+                    }
+                    AggFunc::CountStar => unreachable!(),
+                }
+            }
+        })
+        .collect();
+    Batch::new(columns)
+}
+
+fn global_minmax(vals: &Tensor, call: &AggCall) -> Tensor {
+    let min = call.func == AggFunc::Min;
+    if vals.is_empty() {
+        return default_minmax(call, 1);
+    }
+    if vals.dtype() == DType::U8 {
+        let ids = Tensor::from_i64(vec![0; vals.nrows()]);
+        return segmented_min_str(vals, &ids, 1, min);
+    }
+    if call.ty == LogicalType::Int64 || call.ty == LogicalType::Date {
+        let ids = Tensor::from_i64(vec![0; vals.nrows()]);
+        return segmented_reduce_i64(vals, &ids, 1, if min { AggFn::Min } else { AggFn::Max });
+    }
+    let v = if min {
+        tqp_tensor::reduce::min_f64(vals).unwrap_or(0.0)
+    } else {
+        tqp_tensor::reduce::max_f64(vals).unwrap_or(0.0)
+    };
+    Tensor::from_f64(vec![v])
+}
+
+fn default_minmax(call: &AggCall, n: usize) -> Tensor {
+    match call.ty {
+        LogicalType::Int64 | LogicalType::Date => Tensor::from_i64(vec![0; n]),
+        LogicalType::Str => Tensor::from_strings(&vec![""; n], 1),
+        LogicalType::Bool => Tensor::from_bool(vec![false; n]),
+        LogicalType::Float64 => Tensor::from_f64(vec![0.0; n]),
+    }
+}
+
+fn count_distinct_all(vals: &Tensor) -> i64 {
+    if vals.is_empty() {
+        return 0;
+    }
+    let perm = tqp_tensor::sort::argsort(vals, Order::Asc);
+    let sorted = take(vals, &perm);
+    let starts = run_starts(&[&sorted]);
+    tqp_tensor::index::count_true(&starts) as i64
+}
+
+/// Compact away invalid rows; returns the values and the valid count.
+fn apply_validity(vals: Tensor, validity: Option<Tensor>) -> (Tensor, usize) {
+    match validity {
+        None => {
+            let n = vals.nrows();
+            (vals, n)
+        }
+        Some(mask) => {
+            let idx = mask_to_indices(&mask);
+            let n = idx.nrows();
+            (take(&vals, &idx), n)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sort strategy
+// ---------------------------------------------------------------------
+
+fn sort_aggregate(input: &Batch, keys: &[Tensor], aggs: &[AggCall], models: &ModelRegistry) -> Batch {
+    let n = input.nrows();
+    let sort_keys: Vec<SortKey> = keys.iter().map(|k| SortKey::asc(k.clone())).collect();
+    let perm = argsort_multi(&sort_keys);
+    let sorted_keys: Vec<Tensor> = keys.iter().map(|k| take(k, &perm)).collect();
+    let key_refs: Vec<&Tensor> = sorted_keys.iter().collect();
+    let groups = group_ids(&key_refs);
+
+    let mut columns: Vec<Tensor> = sorted_keys.iter().map(|k| take(k, &groups.firsts)).collect();
+    for call in aggs {
+        columns.push(one_agg_sorted(input, call, &perm, &groups, &sorted_keys, n, models));
+    }
+    Batch::new(columns)
+}
+
+fn one_agg_sorted(
+    input: &Batch,
+    call: &AggCall,
+    perm: &Tensor,
+    groups: &Groups,
+    sorted_keys: &[Tensor],
+    n: usize,
+    models: &ModelRegistry,
+) -> Tensor {
+    let g = groups.num_groups;
+    match call.func {
+        AggFunc::CountStar => run_lengths(groups, n),
+        AggFunc::CountDistinct => {
+            let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+            let vals = take(&vals, perm);
+            let validity = validity.map(|m| take(&m, perm));
+            distinct_per_group(sorted_keys, &vals, validity, groups)
+        }
+        _ => {
+            let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+            let vals = take(&vals, perm);
+            let validity = validity.map(|m| take(&m, perm));
+            let (vals, ids) = match validity {
+                None => (vals, groups.ids.clone()),
+                Some(mask) => {
+                    let idx = mask_to_indices(&mask);
+                    (take(&vals, &idx), take(&groups.ids, &idx))
+                }
+            };
+            reduce_by_ids(&vals, &ids, g, call)
+        }
+    }
+}
+
+/// Segmented reduction dispatch with type- and emptiness-aware finalization.
+fn reduce_by_ids(vals: &Tensor, ids: &Tensor, g: usize, call: &AggCall) -> Tensor {
+    match call.func {
+        AggFunc::Sum if call.ty == LogicalType::Int64 => {
+            segmented_reduce_i64(vals, ids, g, AggFn::Sum)
+        }
+        AggFunc::Sum => segmented_reduce(vals, ids, g, AggFn::Sum),
+        AggFunc::Avg => segmented_reduce(vals, ids, g, AggFn::Avg),
+        AggFunc::Count => segmented_reduce_i64(
+            &Tensor::from_i64(vec![1; vals.nrows()]),
+            ids,
+            g,
+            AggFn::Sum,
+        ),
+        AggFunc::Min | AggFunc::Max => {
+            let min = call.func == AggFunc::Min;
+            if vals.dtype() == DType::U8 {
+                return minmax_str_with_defaults(vals, ids, g, min, call);
+            }
+            // Fix groups whose members were all NULL to the shared default.
+            let counts =
+                segmented_reduce_i64(&Tensor::from_i64(vec![1; vals.nrows()]), ids, g, AggFn::Sum);
+            if call.ty == LogicalType::Int64 || call.ty == LogicalType::Date {
+                let r =
+                    segmented_reduce_i64(vals, ids, g, if min { AggFn::Min } else { AggFn::Max });
+                let fixed: Vec<i64> = r
+                    .as_i64()
+                    .iter()
+                    .zip(counts.as_i64())
+                    .map(|(&v, &c)| if c == 0 { 0 } else { v })
+                    .collect();
+                Tensor::from_i64(fixed)
+            } else {
+                let r = segmented_reduce(vals, ids, g, if min { AggFn::Min } else { AggFn::Max });
+                let fixed: Vec<f64> = r
+                    .as_f64()
+                    .iter()
+                    .zip(counts.as_i64())
+                    .map(|(&v, &c)| if c == 0 { 0.0 } else { v })
+                    .collect();
+                Tensor::from_f64(fixed)
+            }
+        }
+        AggFunc::CountStar | AggFunc::CountDistinct => unreachable!("handled by caller"),
+    }
+}
+
+fn minmax_str_with_defaults(
+    vals: &Tensor,
+    ids: &Tensor,
+    g: usize,
+    min: bool,
+    _call: &AggCall,
+) -> Tensor {
+    // String min/max groups are never empty in practice (no validity on
+    // string aggregates in TPC-H); assert instead of patching.
+    let mut seen = vec![false; g];
+    for &i in ids.as_i64() {
+        seen[i as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "empty group in string MIN/MAX");
+    segmented_min_str(vals, ids, g, min)
+}
+
+/// Distinct `(keys, value)` runs per group — COUNT(DISTINCT x).
+fn distinct_per_group(
+    sorted_keys: &[Tensor],
+    vals_sorted_by_keys: &Tensor,
+    validity: Option<Tensor>,
+    groups: &Groups,
+) -> Tensor {
+    // Re-sort within the key order by value (stable, so key order holds).
+    let mut all_keys: Vec<SortKey> = sorted_keys.iter().map(|k| SortKey::asc(k.clone())).collect();
+    all_keys.push(SortKey::asc(vals_sorted_by_keys.clone()));
+    // Sorting by (keys..., val) from scratch: keys are already grouped, so a
+    // stable multi-key sort reproduces group order with values ordered.
+    let perm2 = argsort_multi(&all_keys);
+    let vals2 = take(vals_sorted_by_keys, &perm2);
+    let ids2 = take(&groups.ids, &perm2);
+    let keep = match validity {
+        None => None,
+        Some(m) => Some(mask_to_indices(&take(&m, &perm2))),
+    };
+    let (vals2, ids2) = match keep {
+        None => (vals2, ids2),
+        Some(idx) => (take(&vals2, &idx), take(&ids2, &idx)),
+    };
+    // Runs over (group id, value).
+    let starts = run_starts(&[&ids2, &vals2]);
+    let ones = starts.cast(DType::I64).expect("bool->i64");
+    tqp_tensor::index::scatter_add_i64(groups.num_groups, &ids2, &ones)
+}
+
+// ---------------------------------------------------------------------
+// Hash strategy
+// ---------------------------------------------------------------------
+
+fn hash_aggregate(input: &Batch, keys: &[Tensor], aggs: &[AggCall], models: &ModelRegistry) -> Batch {
+    let n = input.nrows();
+    let key_refs: Vec<&Tensor> = keys.iter().collect();
+    let hashes = hash_rows(&key_refs);
+    let hv = hashes.as_i64();
+    // hash → chain of (first_row, gid); verify on collision.
+    let mut table: HashMap<i64, Vec<(u32, u32)>, FxBuild> =
+        HashMap::with_capacity_and_hasher(n * 2, FxBuild);
+    let mut gids = vec![0i64; n];
+    let mut firsts: Vec<i64> = Vec::new();
+    for i in 0..n {
+        let chain = table.entry(hv[i]).or_default();
+        let mut found = None;
+        for &(first, gid) in chain.iter() {
+            if rows_equal(keys, i, first as usize) {
+                found = Some(gid);
+                break;
+            }
+        }
+        let gid = match found {
+            Some(g) => g,
+            None => {
+                let g = firsts.len() as u32;
+                chain.push((i as u32, g));
+                firsts.push(i as i64);
+                g
+            }
+        };
+        gids[i] = gid as i64;
+    }
+    let g = firsts.len();
+    let ids = Tensor::from_i64(gids);
+    let firsts = Tensor::from_i64(firsts);
+
+    let mut columns: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
+    for call in aggs {
+        let col = match call.func {
+            AggFunc::CountStar => tqp_tensor::index::scatter_add_i64(
+                g,
+                &ids,
+                &Tensor::from_i64(vec![1; n]),
+            ),
+            AggFunc::CountDistinct => {
+                let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+                // Sort by (gid, value) then count runs per gid.
+                let perm = argsort_multi(&[SortKey::asc(ids.clone()), SortKey::asc(vals.clone())]);
+                let ids_s = take(&ids, &perm);
+                let vals_s = take(&vals, &perm);
+                let validity_s = validity.map(|m| take(&m, &perm));
+                let (ids_s, vals_s) = match validity_s {
+                    None => (ids_s, vals_s),
+                    Some(m) => {
+                        let idx = mask_to_indices(&m);
+                        (take(&ids_s, &idx), take(&vals_s, &idx))
+                    }
+                };
+                let starts = run_starts(&[&ids_s, &vals_s]);
+                let ones = starts.cast(DType::I64).expect("bool->i64");
+                tqp_tensor::index::scatter_add_i64(g, &ids_s, &ones)
+            }
+            _ => {
+                let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+                let (vals, ids2) = match validity {
+                    None => (vals, ids.clone()),
+                    Some(m) => {
+                        let idx = mask_to_indices(&m);
+                        (take(&vals, &idx), take(&ids, &idx))
+                    }
+                };
+                reduce_by_ids(&vals, &ids2, g, call)
+            }
+        };
+        columns.push(col);
+    }
+    Batch::new(columns)
+}
+
+fn rows_equal(keys: &[Tensor], i: usize, j: usize) -> bool {
+    keys.iter().all(|k| match k.dtype() {
+        DType::I64 => k.as_i64()[i] == k.as_i64()[j],
+        DType::I32 => k.as_i32()[i] == k.as_i32()[j],
+        DType::F64 => k.as_f64()[i].to_bits() == k.as_f64()[j].to_bits(),
+        DType::Bool => k.as_bool()[i] == k.as_bool()[j],
+        DType::U8 => k.str_row(i) == k.str_row(j),
+        DType::F32 => k.as_f32()[i].to_bits() == k.as_f32()[j].to_bits(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqp_ir::expr::BoundExpr as E;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Tensor::from_strings(&["a", "b", "a", "b", "a"], 0),
+            Tensor::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            Tensor::from_i64(vec![7, 7, 8, 8, 7]),
+        ])
+    }
+
+    fn call(func: AggFunc, col: usize, ty: LogicalType) -> AggCall {
+        let arg_ty = if col == 1 { LogicalType::Float64 } else { LogicalType::Int64 };
+        AggCall { func, arg: Some(E::col(col, arg_ty)), ty }
+    }
+
+    fn star() -> AggCall {
+        AggCall { func: AggFunc::CountStar, arg: None, ty: LogicalType::Int64 }
+    }
+
+    fn run(strategy: Strategy) -> Batch {
+        aggregate(
+            &batch(),
+            &[E::col(0, LogicalType::Str)],
+            &[
+                call(AggFunc::Sum, 1, LogicalType::Float64),
+                star(),
+                call(AggFunc::Min, 1, LogicalType::Float64),
+                call(AggFunc::Max, 1, LogicalType::Float64),
+                call(AggFunc::Avg, 1, LogicalType::Float64),
+                call(AggFunc::CountDistinct, 2, LogicalType::Int64),
+            ],
+            strategy,
+            &ModelRegistry::new(),
+        )
+    }
+
+    fn group_of(out: &Batch, key: &str) -> Vec<f64> {
+        for i in 0..out.nrows() {
+            if out.columns[0].str_at(i) == key {
+                return (1..out.ncols())
+                    .map(|c| match out.columns[c].dtype() {
+                        DType::F64 => out.columns[c].as_f64()[i],
+                        DType::I64 => out.columns[c].as_i64()[i] as f64,
+                        _ => panic!(),
+                    })
+                    .collect();
+            }
+        }
+        panic!("group {key} missing");
+    }
+
+    #[test]
+    fn sort_and_hash_agree() {
+        for strat in [Strategy::Sort, Strategy::Hash] {
+            let out = run(strat);
+            assert_eq!(out.nrows(), 2, "{strat:?}");
+            // a: vals 1,3,5; i64 7,8,7 → 2 distinct
+            assert_eq!(group_of(&out, "a"), vec![9.0, 3.0, 1.0, 5.0, 3.0, 2.0]);
+            // b: vals 2,4; i64 7,8 → 2 distinct
+            assert_eq!(group_of(&out, "b"), vec![6.0, 2.0, 2.0, 4.0, 3.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let out = aggregate(
+            &batch(),
+            &[],
+            &[
+                call(AggFunc::Sum, 1, LogicalType::Float64),
+                star(),
+                call(AggFunc::CountDistinct, 2, LogicalType::Int64),
+            ],
+            Strategy::Sort,
+            &ModelRegistry::new(),
+        );
+        assert_eq!(out.nrows(), 1);
+        assert_eq!(out.columns[0].as_f64(), &[15.0]);
+        assert_eq!(out.columns[1].as_i64(), &[5]);
+        assert_eq!(out.columns[2].as_i64(), &[2]);
+    }
+
+    #[test]
+    fn global_empty_input_defaults() {
+        let empty = Batch::new(vec![
+            Tensor::from_strings(&[], 1),
+            Tensor::from_f64(vec![]),
+            Tensor::from_i64(vec![]),
+        ]);
+        let out = aggregate(
+            &empty,
+            &[],
+            &[
+                call(AggFunc::Sum, 1, LogicalType::Float64),
+                star(),
+                call(AggFunc::Min, 1, LogicalType::Float64),
+                call(AggFunc::Avg, 1, LogicalType::Float64),
+            ],
+            Strategy::Sort,
+            &ModelRegistry::new(),
+        );
+        assert_eq!(out.nrows(), 1);
+        assert_eq!(out.columns[0].as_f64(), &[0.0]);
+        assert_eq!(out.columns[1].as_i64(), &[0]);
+        assert_eq!(out.columns[2].as_f64(), &[0.0]);
+        assert_eq!(out.columns[3].as_f64(), &[0.0]);
+    }
+
+    #[test]
+    fn grouped_empty_input_no_rows() {
+        let empty = Batch::new(vec![
+            Tensor::from_strings(&[], 1),
+            Tensor::from_f64(vec![]),
+            Tensor::from_i64(vec![]),
+        ]);
+        let out = aggregate(
+            &empty,
+            &[E::col(0, LogicalType::Str)],
+            &[star()],
+            Strategy::Sort,
+            &ModelRegistry::new(),
+        );
+        assert_eq!(out.nrows(), 0);
+    }
+
+    #[test]
+    fn validity_skipped_in_count_and_sum() {
+        // Simulates a left-join output: 2 valid + 1 invalid value.
+        let b = Batch::with_validity(
+            vec![
+                Tensor::from_i64(vec![1, 1, 1]),
+                Tensor::from_f64(vec![10.0, 99.0, 20.0]),
+            ],
+            vec![None, Some(Tensor::from_bool(vec![true, false, true]))],
+        );
+        for strat in [Strategy::Sort, Strategy::Hash] {
+            let out = aggregate(
+                &b,
+                &[E::col(0, LogicalType::Int64)],
+                &[
+                    AggCall {
+                        func: AggFunc::Count,
+                        arg: Some(E::col(1, LogicalType::Float64)),
+                        ty: LogicalType::Int64,
+                    },
+                    AggCall {
+                        func: AggFunc::Sum,
+                        arg: Some(E::col(1, LogicalType::Float64)),
+                        ty: LogicalType::Float64,
+                    },
+                    star(),
+                ],
+                strat,
+                &ModelRegistry::new(),
+            );
+            assert_eq!(out.columns[1].as_i64(), &[2], "{strat:?}");
+            assert_eq!(out.columns[2].as_f64(), &[30.0]);
+            assert_eq!(out.columns[3].as_i64(), &[3]);
+        }
+    }
+
+    #[test]
+    fn string_minmax_grouped() {
+        let b = Batch::new(vec![
+            Tensor::from_i64(vec![1, 1, 2]),
+            Tensor::from_strings(&["pear", "apple", "kiwi"], 0),
+        ]);
+        let out = aggregate(
+            &b,
+            &[E::col(0, LogicalType::Int64)],
+            &[AggCall {
+                func: AggFunc::Min,
+                arg: Some(E::col(1, LogicalType::Str)),
+                ty: LogicalType::Str,
+            }],
+            Strategy::Sort,
+            &ModelRegistry::new(),
+        );
+        assert_eq!(out.columns[1].str_at(0), "apple");
+        assert_eq!(out.columns[1].str_at(1), "kiwi");
+    }
+}

@@ -1,0 +1,123 @@
+//! Column batches: the unit of data flowing between tensor operators.
+//!
+//! A batch is one tensor per column (paper §2.1's representation) plus an
+//! optional validity mask per column — NULLs exist only downstream of
+//! left-outer joins in the TPC-H workload, so most columns carry `None`.
+
+use tqp_tensor::index::take;
+use tqp_tensor::Tensor;
+
+/// A set of equal-length column tensors with optional validity.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub columns: Vec<Tensor>,
+    /// `validity[i]` is `None` (all rows valid) or a `Bool` tensor.
+    pub validity: Vec<Option<Tensor>>,
+    nrows: usize,
+}
+
+impl Batch {
+    /// Build from all-valid columns.
+    pub fn new(columns: Vec<Tensor>) -> Batch {
+        let nrows = columns.first().map_or(0, |c| c.nrows());
+        for c in &columns {
+            assert_eq!(c.nrows(), nrows, "batch columns must align");
+        }
+        let validity = vec![None; columns.len()];
+        Batch { columns, validity, nrows }
+    }
+
+    /// Build with explicit validity masks.
+    pub fn with_validity(columns: Vec<Tensor>, validity: Vec<Option<Tensor>>) -> Batch {
+        assert_eq!(columns.len(), validity.len());
+        let nrows = columns.first().map_or(0, |c| c.nrows());
+        Batch { columns, validity, nrows }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total payload bytes (drives the GPU cost model).
+    pub fn nbytes(&self) -> usize {
+        self.columns.iter().map(|c| c.nbytes()).sum()
+    }
+
+    /// Gather rows by an `I64` index tensor (columns and validity move
+    /// together) — the compaction step behind filters and joins.
+    pub fn take(&self, idx: &Tensor) -> Batch {
+        let columns = self.columns.iter().map(|c| take(c, idx)).collect();
+        let validity = self
+            .validity
+            .iter()
+            .map(|v| v.as_ref().map(|m| take(m, idx)))
+            .collect();
+        Batch { columns, validity, nrows: idx.nrows() }
+    }
+
+    /// Horizontal concatenation (join output assembly).
+    pub fn hcat(mut self, right: Batch) -> Batch {
+        assert_eq!(self.nrows, right.nrows, "hcat row mismatch");
+        self.columns.extend(right.columns);
+        self.validity.extend(right.validity);
+        self
+    }
+
+    /// A sub-batch of the given columns.
+    pub fn select(&self, cols: &[usize]) -> Batch {
+        Batch {
+            columns: cols.iter().map(|&c| self.columns[c].clone()).collect(),
+            validity: cols.iter().map(|&c| self.validity[c].clone()).collect(),
+            nrows: self.nrows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_meta() {
+        let b = Batch::new(vec![
+            Tensor::from_i64(vec![1, 2, 3]),
+            Tensor::from_f64(vec![0.5, 1.5, 2.5]),
+        ]);
+        assert_eq!(b.nrows(), 3);
+        assert_eq!(b.ncols(), 2);
+        assert_eq!(b.nbytes(), 48);
+    }
+
+    #[test]
+    fn take_moves_validity() {
+        let b = Batch::with_validity(
+            vec![Tensor::from_i64(vec![10, 20, 30])],
+            vec![Some(Tensor::from_bool(vec![true, false, true]))],
+        );
+        let t = b.take(&Tensor::from_i64(vec![2, 1]));
+        assert_eq!(t.columns[0].as_i64(), &[30, 20]);
+        assert_eq!(t.validity[0].as_ref().unwrap().as_bool(), &[true, false]);
+    }
+
+    #[test]
+    fn hcat_and_select() {
+        let a = Batch::new(vec![Tensor::from_i64(vec![1, 2])]);
+        let b = Batch::new(vec![Tensor::from_f64(vec![5.0, 6.0])]);
+        let c = a.hcat(b);
+        assert_eq!(c.ncols(), 2);
+        let s = c.select(&[1]);
+        assert_eq!(s.columns[0].as_f64(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn rejects_misaligned() {
+        Batch::new(vec![Tensor::from_i64(vec![1]), Tensor::from_i64(vec![1, 2])]);
+    }
+}

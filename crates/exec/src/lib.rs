@@ -1,0 +1,215 @@
+//! # tqp-exec — TQP's planning and execution layers (paper §2.2)
+//!
+//! Lowers a physical plan into a *tensor program* and executes it on a
+//! choice of backend × device:
+//!
+//! | paper               | here                                            |
+//! |---------------------|-------------------------------------------------|
+//! | PyTorch eager       | [`Backend::Eager`] — vectorized interpreter     |
+//! | TorchScript         | [`Backend::Fused`] — selection-vector fusion,   |
+//! |                     | pre-compiled LIKE, short-circuit conjuncts      |
+//! | ONNX                | [`Backend::Graph`] — serialized plan artifact + |
+//! |                     | standalone vectorized graph VM                  |
+//! | ORT-Web (WASM)      | [`Backend::Wasm`] — the Graph artifact on a     |
+//! |                     | single-threaded scalar VM with simulated        |
+//! |                     | sandbox copies                                  |
+//! | CUDA device         | [`Device::GpuSim`] — kernels run on CPU for     |
+//! |                     | correctness, wall-clock is replaced by an       |
+//! |                     | analytical P100 cost model ([`device`])         |
+//!
+//! Switching is one line of configuration — the paper's Figure 3:
+//!
+//! ```ignore
+//! let cfg = ExecConfig { backend: Backend::Fused, device: Device::GpuSim, ..Default::default() };
+//! ```
+
+pub mod agg;
+pub mod batch;
+pub mod device;
+pub mod expr;
+pub mod graphvm;
+pub mod interp;
+pub mod join;
+pub mod viz;
+
+use std::collections::HashMap;
+
+use tqp_data::ingest::TensorTable;
+use tqp_data::DataFrame;
+use tqp_ir::physical::PhysicalPlan;
+use tqp_ml::ModelRegistry;
+use tqp_profile::Profiler;
+
+/// Execution backend (the paper's lowering targets, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Vectorized operator-at-a-time interpretation (PyTorch eager).
+    Eager,
+    /// Eager + fusion: selection vectors, short-circuit conjunct evaluation,
+    /// pattern pre-compilation (TorchScript / `torch.jit`).
+    Fused,
+    /// Serialize the program to a portable artifact, execute with the
+    /// standalone graph VM (ONNX + ORT).
+    Graph,
+    /// The Graph artifact interpreted by a scalar, single-threaded VM with
+    /// per-operator sandbox copies (ORT-Web on WASM).
+    Wasm,
+}
+
+/// Hardware target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Real execution, real wall-clock, all cores.
+    Cpu,
+    /// Simulated GPU: results computed on CPU, time from the cost model.
+    GpuSim,
+}
+
+/// GPU data-placement policy (the TQP-vs-BlazingSQL axis of §1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuStrategy {
+    /// Whole query resident on device; one H2D upload, one D2H download.
+    Resident,
+    /// Every operator ships inputs to the device and results back
+    /// (BlazingSQL-style per-operator transfers).
+    PerOpTransfer,
+}
+
+/// Full execution configuration (paper Figure 3's one-line switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    pub backend: Backend,
+    pub device: Device,
+    pub gpu_strategy: GpuStrategy,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { backend: Backend::Eager, device: Device::Cpu, gpu_strategy: GpuStrategy::Resident }
+    }
+}
+
+/// Tensor-format table storage: the output of ingestion (paper §2.1).
+pub type Storage = HashMap<String, TensorTable>;
+
+/// Timing/accounting for one execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Real wall-clock of the run, microseconds.
+    pub wall_us: u64,
+    /// Modeled device time (populated when `device == GpuSim`).
+    pub gpu_modeled_us: Option<u64>,
+    /// Output rows.
+    pub rows: usize,
+}
+
+impl ExecStats {
+    /// The figure-of-merit: modeled time on the simulated GPU, otherwise
+    /// real wall time.
+    pub fn reported_us(&self) -> u64 {
+        self.gpu_modeled_us.unwrap_or(self.wall_us)
+    }
+}
+
+/// A compiled query ready to run. Compilation is cheap (the heavy lifting
+/// is plan optimization upstream); the Graph/Wasm backends additionally
+/// serialize the plan into the portable artifact at compile time.
+pub struct Executor {
+    plan: PhysicalPlan,
+    cfg: ExecConfig,
+    /// Serialized artifact for Graph/Wasm (the "ONNX file").
+    artifact: Option<bytes::Bytes>,
+}
+
+impl Executor {
+    /// Compile a physical plan for a backend/device configuration.
+    pub fn compile(plan: &PhysicalPlan, cfg: ExecConfig) -> Executor {
+        let artifact = match cfg.backend {
+            Backend::Graph | Backend::Wasm => Some(graphvm::serialize_plan(plan)),
+            _ => None,
+        };
+        Executor { plan: plan.clone(), cfg, artifact }
+    }
+
+    /// The physical plan this executor runs.
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    /// The configuration this executor was compiled for.
+    pub fn config(&self) -> ExecConfig {
+        self.cfg
+    }
+
+    /// Size of the serialized artifact in bytes (Graph/Wasm backends).
+    pub fn artifact_size(&self) -> Option<usize> {
+        self.artifact.as_ref().map(|b| b.len())
+    }
+
+    /// Execute against tensor storage + models, recording spans into the
+    /// profiler. Returns the materialized result and stats.
+    pub fn run(
+        &self,
+        storage: &Storage,
+        models: &ModelRegistry,
+        profiler: &Profiler,
+    ) -> (DataFrame, ExecStats) {
+        let t0 = std::time::Instant::now();
+        let (frame, meter) = match self.cfg.backend {
+            Backend::Eager => {
+                let mut cx = interp::Interp::new(storage, models, profiler, self.cfg, false);
+                let out = cx.execute(&self.plan);
+                (out, cx.into_meter())
+            }
+            Backend::Fused => {
+                let mut cx = interp::Interp::new(storage, models, profiler, self.cfg, true);
+                let out = cx.execute(&self.plan);
+                (out, cx.into_meter())
+            }
+            Backend::Graph => {
+                let artifact = self.artifact.as_ref().expect("graph artifact");
+                graphvm::run_graph(artifact, storage, models, profiler, self.cfg)
+            }
+            Backend::Wasm => {
+                let artifact = self.artifact.as_ref().expect("graph artifact");
+                graphvm::run_wasm(artifact, storage, models, profiler)
+            }
+        };
+        let wall_us = t0.elapsed().as_micros() as u64;
+        let gpu_modeled_us = match self.cfg.device {
+            Device::GpuSim => Some(meter.total_us()),
+            Device::Cpu => None,
+        };
+        let rows = frame.nrows();
+        (frame, ExecStats { wall_us, gpu_modeled_us, rows })
+    }
+}
+
+/// Ingest a map of DataFrames into tensor storage.
+pub fn ingest_tables(tables: &HashMap<String, DataFrame>) -> Storage {
+    tables
+        .iter()
+        .map(|(name, frame)| (name.clone(), tqp_data::ingest::frame_to_tensors(frame)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_eager_cpu() {
+        let c = ExecConfig::default();
+        assert_eq!(c.backend, Backend::Eager);
+        assert_eq!(c.device, Device::Cpu);
+        assert_eq!(c.gpu_strategy, GpuStrategy::Resident);
+    }
+
+    #[test]
+    fn stats_prefer_modeled_time() {
+        let s = ExecStats { wall_us: 100, gpu_modeled_us: Some(7), rows: 0 };
+        assert_eq!(s.reported_us(), 7);
+        let s = ExecStats { wall_us: 100, gpu_modeled_us: None, rows: 0 };
+        assert_eq!(s.reported_us(), 100);
+    }
+}

@@ -1,0 +1,1281 @@
+//! Binder: resolve the SQL AST against a catalog into typed logical IR.
+//!
+//! Responsibilities:
+//!
+//! * name resolution with qualifier support (`n1.n_name`), CTE scopes, and
+//!   one level of correlation (subqueries may reference the enclosing
+//!   query's FROM columns, which bind as [`BoundExpr::OuterRef`]);
+//! * type checking and SQL numeric promotion;
+//! * folding `DATE ± INTERVAL` literals (all TPC-H interval arithmetic is
+//!   over literals, so intervals never survive binding);
+//! * desugaring: `BETWEEN` → two comparisons, `SELECT DISTINCT` →
+//!   group-by-all, non-literal `IN` lists → OR chains;
+//! * aggregate placement: grouped queries become
+//!   `Aggregate → (Filter having) → Project → (Sort) → (Limit)`, with
+//!   SELECT/HAVING expressions rewritten over the aggregate's output.
+
+use std::collections::HashMap;
+
+use tqp_data::dates::Date;
+use tqp_data::LogicalType;
+use tqp_sql::{Expr as Ast, JoinKind, Literal, OrderItem, Query, Select, SelectItem, TableRef};
+use tqp_tensor::Scalar;
+
+use crate::catalog::Catalog;
+use crate::expr::{eval_binary_scalar, AggCall, AggFunc, BinOp, BoundExpr, ScalarFunc};
+use crate::plan::{agg_result_type, ColMeta, JoinType, LogicalPlan, PlanSchema, SortKey};
+
+/// Binding failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindError {
+    pub message: String,
+}
+
+impl BindError {
+    fn new(msg: impl Into<String>) -> BindError {
+        BindError { message: msg.into() }
+    }
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bind error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BindError {}
+
+type Result<T> = std::result::Result<T, BindError>;
+
+/// Bind a parsed query against a catalog.
+pub fn bind_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
+    let mut binder = Binder { catalog, ctes: HashMap::new() };
+    binder.query(query, None)
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+    /// CTE name → bound plan (cloned per reference).
+    ctes: HashMap<String, LogicalPlan>,
+}
+
+/// Name-resolution scope: the current FROM schema plus at most one outer
+/// schema (single-level correlation — sufficient for TPC-H; deeper nesting
+/// is rejected with a clear error).
+struct Scope<'s> {
+    cols: &'s PlanSchema,
+    outer: Option<&'s PlanSchema>,
+}
+
+impl<'s> Scope<'s> {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<BoundExpr> {
+        if let Some((i, ty)) = lookup(self.cols, table, name)? {
+            return Ok(BoundExpr::Column { index: i, ty });
+        }
+        if let Some(outer) = self.outer {
+            if let Some((i, ty)) = lookup(outer, table, name)? {
+                return Ok(BoundExpr::OuterRef { index: i, ty });
+            }
+        }
+        Err(BindError::new(format!(
+            "column {} not found",
+            match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.to_string(),
+            }
+        )))
+    }
+}
+
+/// Case-insensitive (qualifier, name) lookup; errors on ambiguity.
+fn lookup(
+    schema: &PlanSchema,
+    table: Option<&str>,
+    name: &str,
+) -> Result<Option<(usize, LogicalType)>> {
+    let mut found: Option<(usize, LogicalType)> = None;
+    for (i, c) in schema.iter().enumerate() {
+        if !c.name.eq_ignore_ascii_case(name) {
+            continue;
+        }
+        if let Some(t) = table {
+            let q_matches = c.qualifier.as_deref().map(|q| q.eq_ignore_ascii_case(t));
+            if q_matches != Some(true) {
+                continue;
+            }
+        }
+        if found.is_some() {
+            return Err(BindError::new(format!("ambiguous column reference {name}")));
+        }
+        found = Some((i, c.ty));
+    }
+    Ok(found)
+}
+
+impl<'a> Binder<'a> {
+    fn query(&mut self, q: &Query, outer: Option<&PlanSchema>) -> Result<LogicalPlan> {
+        // Bind CTEs in order; later CTEs and the body may reference them.
+        let saved: Vec<(String, Option<LogicalPlan>)> = q
+            .ctes
+            .iter()
+            .map(|(n, _)| (n.to_ascii_lowercase(), self.ctes.get(&n.to_ascii_lowercase()).cloned()))
+            .collect();
+        for (name, cte_q) in &q.ctes {
+            let plan = self.query(cte_q, None)?;
+            self.ctes.insert(name.to_ascii_lowercase(), plan);
+        }
+        let result = self.select(&q.select, &q.order_by, q.limit, outer);
+        // Restore CTE visibility (scoped to this query).
+        for (name, old) in saved {
+            match old {
+                Some(p) => {
+                    self.ctes.insert(name, p);
+                }
+                None => {
+                    self.ctes.remove(&name);
+                }
+            }
+        }
+        result
+    }
+
+    fn select(
+        &mut self,
+        sel: &Select,
+        order_by: &[OrderItem],
+        limit: Option<usize>,
+        outer: Option<&PlanSchema>,
+    ) -> Result<LogicalPlan> {
+        // ---- FROM ----
+        let (mut plan, from_schema) = self.bind_from(&sel.from, outer)?;
+
+        // ---- WHERE ----
+        if let Some(w) = &sel.selection {
+            let pred = self.bind_expr(w, &Scope { cols: &from_schema, outer })?;
+            expect_bool(&pred, "WHERE")?;
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+        }
+
+        // ---- aggregation detection ----
+        let mut agg_asts: Vec<Ast> = Vec::new();
+        for item in &sel.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggs(expr, &mut agg_asts);
+            }
+        }
+        if let Some(h) = &sel.having {
+            collect_aggs(h, &mut agg_asts);
+        }
+        let grouped = !sel.group_by.is_empty() || !agg_asts.is_empty();
+
+        let (mut plan, out_exprs, out_schema) = if grouped {
+            // Bind group keys and aggregate arguments over the FROM scope.
+            let scope = Scope { cols: &from_schema, outer };
+            let mut group_exprs = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                group_exprs.push(self.bind_expr(g, &scope)?);
+            }
+            let mut aggs = Vec::with_capacity(agg_asts.len());
+            for a in &agg_asts {
+                aggs.push(self.bind_agg(a, &scope)?);
+            }
+            // Aggregate output schema: group cols (named after their AST
+            // when simple) then agg slots.
+            let mut agg_schema: PlanSchema = Vec::new();
+            for (ge, ga) in group_exprs.iter().zip(&sel.group_by) {
+                agg_schema.push(ColMeta::new(ast_name(ga), ge.ty()));
+            }
+            for (ac, ast) in aggs.iter().zip(&agg_asts) {
+                agg_schema.push(ColMeta::new(ast_name(ast), ac.ty));
+            }
+            let agg_plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by: group_exprs,
+                aggs,
+                schema: agg_schema.clone(),
+            };
+            let mut plan = agg_plan;
+
+            // HAVING binds over the aggregate output.
+            if let Some(h) = &sel.having {
+                let pred =
+                    self.bind_post_agg(h, &sel.group_by, &agg_asts, &agg_schema, outer)?;
+                expect_bool(&pred, "HAVING")?;
+                plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+            }
+
+            // SELECT items over the aggregate output.
+            let mut out_exprs = Vec::new();
+            let mut out_schema: PlanSchema = Vec::new();
+            for item in &sel.projection {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(BindError::new("SELECT * is invalid with GROUP BY"))
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let be = self.bind_post_agg(
+                            expr,
+                            &sel.group_by,
+                            &agg_asts,
+                            &agg_schema,
+                            outer,
+                        )?;
+                        let name = alias.clone().unwrap_or_else(|| ast_name(expr));
+                        out_schema.push(ColMeta::new(name, be.ty()));
+                        out_exprs.push(be);
+                    }
+                }
+            }
+            (plan, out_exprs, out_schema)
+        } else {
+            // Ungrouped: SELECT items over the FROM scope.
+            let scope = Scope { cols: &from_schema, outer };
+            let mut out_exprs = Vec::new();
+            let mut out_schema: PlanSchema = Vec::new();
+            for item in &sel.projection {
+                match item {
+                    SelectItem::Wildcard => {
+                        for (i, c) in from_schema.iter().enumerate() {
+                            out_exprs.push(BoundExpr::Column { index: i, ty: c.ty });
+                            out_schema.push(c.clone());
+                        }
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let be = self.bind_expr(expr, &scope)?;
+                        let name = alias.clone().unwrap_or_else(|| ast_name(expr));
+                        // Bare unaliased columns keep their qualifier so
+                        // `SELECT a.id, b.id ... ORDER BY a.id` resolves.
+                        let qualifier = match (alias, expr) {
+                            (None, tqp_sql::Expr::Column { table, .. }) => table.clone(),
+                            _ => None,
+                        };
+                        out_schema.push(ColMeta { qualifier, name, ty: be.ty() });
+                        out_exprs.push(be);
+                    }
+                }
+            }
+            (plan, out_exprs, out_schema)
+        };
+
+        // Skip identity projections (all columns passed through unchanged).
+        let identity = out_exprs.len() == plan.arity()
+            && out_exprs.iter().enumerate().all(|(i, e)| matches!(
+                e,
+                BoundExpr::Column { index, .. } if *index == i
+            ))
+            && {
+                // Names must also carry over for identity skip to be safe.
+                let in_schema = plan.schema();
+                out_schema
+                    .iter()
+                    .zip(&in_schema)
+                    .all(|(o, i)| o.name.eq_ignore_ascii_case(&i.name))
+            };
+        if !identity {
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs: out_exprs,
+                schema: out_schema.clone(),
+            };
+        }
+
+        // DISTINCT → group-by-all-columns.
+        if sel.distinct {
+            let schema = plan.schema();
+            let group_by: Vec<BoundExpr> = schema
+                .iter()
+                .enumerate()
+                .map(|(i, c)| BoundExpr::Column { index: i, ty: c.ty })
+                .collect();
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by,
+                aggs: vec![],
+                schema,
+            };
+        }
+
+        // ---- ORDER BY over the output schema ----
+        if !order_by.is_empty() {
+            let out = plan.schema();
+            let scope = Scope { cols: &out, outer: None };
+            let mut keys = Vec::with_capacity(order_by.len());
+            for item in order_by {
+                // Output columns carry no qualifier; `ORDER BY t.id` retries
+                // as `ORDER BY id` when the qualified lookup misses.
+                let bound = self.bind_expr(&item.expr, &scope).or_else(|e| {
+                    if let tqp_sql::Expr::Column { table: Some(_), name } = &item.expr {
+                        self.bind_expr(
+                            &tqp_sql::Expr::Column { table: None, name: name.clone() },
+                            &scope,
+                        )
+                    } else {
+                        Err(e)
+                    }
+                });
+                let expr = bound
+                    .map_err(|e| BindError::new(format!("in ORDER BY: {}", e.message)))?;
+                keys.push(SortKey { expr, desc: item.desc });
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+        }
+
+        if let Some(n) = limit {
+            plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        }
+        Ok(plan)
+    }
+
+    /// Bind the FROM clause to a plan and its name-resolution schema.
+    fn bind_from(
+        &mut self,
+        from: &[TableRef],
+        outer: Option<&PlanSchema>,
+    ) -> Result<(LogicalPlan, PlanSchema)> {
+        if from.is_empty() {
+            // SELECT without FROM: single-row, zero-column relation is not
+            // modeled; bind as an error (TPC-H never does this).
+            return Err(BindError::new("queries without FROM are not supported"));
+        }
+        let mut iter = from.iter();
+        let (mut plan, mut schema) = self.bind_table_ref(iter.next().unwrap(), outer)?;
+        for tr in iter {
+            let (rp, rs) = self.bind_table_ref(tr, outer)?;
+            plan = LogicalPlan::CrossJoin { left: Box::new(plan), right: Box::new(rp) };
+            schema.extend(rs);
+        }
+        Ok((plan, schema))
+    }
+
+    fn bind_table_ref(
+        &mut self,
+        tr: &TableRef,
+        outer: Option<&PlanSchema>,
+    ) -> Result<(LogicalPlan, PlanSchema)> {
+        match tr {
+            TableRef::Table { name, alias } => {
+                let key = name.to_ascii_lowercase();
+                if let Some(cte_plan) = self.ctes.get(&key).cloned() {
+                    let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+                    let schema: PlanSchema = cte_plan
+                        .schema()
+                        .into_iter()
+                        .map(|c| ColMeta::qualified(&qualifier, c.name, c.ty))
+                        .collect();
+                    return Ok((cte_plan, schema));
+                }
+                let meta = self.catalog.get(name).ok_or_else(|| {
+                    BindError::new(format!(
+                        "table {name} not found (known: {})",
+                        self.catalog.names().join(", ")
+                    ))
+                })?;
+                let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+                let schema: PlanSchema = meta
+                    .schema
+                    .fields
+                    .iter()
+                    .map(|f| ColMeta::qualified(&qualifier, f.name.clone(), f.ty))
+                    .collect();
+                let plan = LogicalPlan::Scan {
+                    table: key,
+                    schema: schema.clone(),
+                    projection: None,
+                };
+                Ok((plan, schema))
+            }
+            TableRef::Subquery { query, alias } => {
+                let plan = self.query(query, None)?;
+                let schema: PlanSchema = plan
+                    .schema()
+                    .into_iter()
+                    .map(|c| ColMeta::qualified(alias, c.name, c.ty))
+                    .collect();
+                Ok((plan, schema))
+            }
+            TableRef::Join { left, right, kind, on } => {
+                let (lp, ls) = self.bind_table_ref(left, outer)?;
+                let (rp, rs) = self.bind_table_ref(right, outer)?;
+                let mut schema = ls;
+                schema.extend(rs);
+                match kind {
+                    JoinKind::Cross => Ok((
+                        LogicalPlan::CrossJoin { left: Box::new(lp), right: Box::new(rp) },
+                        schema,
+                    )),
+                    JoinKind::Inner | JoinKind::Left => {
+                        let cond = match on {
+                            Some(c) => {
+                                let e =
+                                    self.bind_expr(c, &Scope { cols: &schema, outer })?;
+                                expect_bool(&e, "JOIN ON")?;
+                                Some(e)
+                            }
+                            None => None,
+                        };
+                        let jt = if *kind == JoinKind::Left {
+                            JoinType::Left
+                        } else {
+                            JoinType::Inner
+                        };
+                        // Equi-key extraction happens in the optimizer; until
+                        // then the whole ON condition rides as residual.
+                        Ok((
+                            LogicalPlan::Join {
+                                left: Box::new(lp),
+                                right: Box::new(rp),
+                                join_type: jt,
+                                on: vec![],
+                                residual: cond,
+                            },
+                            schema,
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn bind_expr(&mut self, ast: &Ast, scope: &Scope<'_>) -> Result<BoundExpr> {
+        match ast {
+            Ast::Column { table, name } => scope.resolve(table.as_deref(), name),
+            Ast::Literal(lit) => bind_literal(lit),
+            Ast::Binary { op, left, right } => {
+                let l = self.bind_expr(left, scope)?;
+                let r = self.bind_expr(right, scope)?;
+                self.bind_binary(BinOp::from_ast(*op), l, r)
+            }
+            Ast::Neg(e) => {
+                let inner = self.bind_expr(e, scope)?;
+                if !inner.ty().is_numeric() {
+                    return Err(BindError::new("negation of non-numeric expression"));
+                }
+                // Fold -literal immediately (keeps folded dates etc. tidy).
+                if let BoundExpr::Literal { value, ty } = &inner {
+                    let folded = match value {
+                        Scalar::I64(v) => Some(Scalar::I64(-v)),
+                        Scalar::F64(v) => Some(Scalar::F64(-v)),
+                        _ => None,
+                    };
+                    if let Some(v) = folded {
+                        return Ok(BoundExpr::Literal { value: v, ty: *ty });
+                    }
+                }
+                Ok(BoundExpr::Neg(Box::new(inner)))
+            }
+            Ast::Not(e) => {
+                let inner = self.bind_expr(e, scope)?;
+                expect_bool(&inner, "NOT")?;
+                // NOT over subquery placeholders flips their negated flag so
+                // decorrelation sees canonical forms.
+                Ok(match inner {
+                    BoundExpr::Exists { plan, negated } => {
+                        BoundExpr::Exists { plan, negated: !negated }
+                    }
+                    BoundExpr::InSubquery { expr, plan, negated } => {
+                        BoundExpr::InSubquery { expr, plan, negated: !negated }
+                    }
+                    other => BoundExpr::Not(Box::new(other)),
+                })
+            }
+            Ast::Case { branches, else_expr } => {
+                let mut bound_branches = Vec::with_capacity(branches.len());
+                let mut ty: Option<LogicalType> = None;
+                for (c, v) in branches {
+                    let bc = self.bind_expr(c, scope)?;
+                    expect_bool(&bc, "CASE WHEN")?;
+                    let bv = self.bind_expr(v, scope)?;
+                    ty = Some(unify(ty, bv.ty())?);
+                    bound_branches.push((bc, bv));
+                }
+                let be = match else_expr {
+                    Some(e) => {
+                        let b = self.bind_expr(e, scope)?;
+                        ty = Some(unify(ty, b.ty())?);
+                        b
+                    }
+                    None => {
+                        // ELSE defaults: 0 for numeric (TPC-H's usage), ''
+                        // for strings.
+                        match ty.unwrap() {
+                            LogicalType::Str => BoundExpr::lit_str(""),
+                            LogicalType::Float64 => BoundExpr::lit_f64(0.0),
+                            _ => BoundExpr::lit_i64(0),
+                        }
+                    }
+                };
+                Ok(BoundExpr::Case {
+                    branches: bound_branches,
+                    else_expr: Box::new(be),
+                    ty: ty.unwrap(),
+                })
+            }
+            Ast::Like { expr, pattern, negated } => {
+                let e = self.bind_expr(expr, scope)?;
+                if e.ty() != LogicalType::Str {
+                    return Err(BindError::new("LIKE requires a string operand"));
+                }
+                Ok(BoundExpr::Like {
+                    expr: Box::new(e),
+                    pattern: pattern.clone(),
+                    negated: *negated,
+                })
+            }
+            Ast::InList { expr, list, negated } => {
+                let e = self.bind_expr(expr, scope)?;
+                let mut scalars = Vec::with_capacity(list.len());
+                for item in list {
+                    let b = self.bind_expr(item, scope)?;
+                    match b {
+                        BoundExpr::Literal { value, .. } => scalars.push(value),
+                        _ => {
+                            return Err(BindError::new(
+                                "IN lists must contain literals (desugar upstream)",
+                            ))
+                        }
+                    }
+                }
+                Ok(BoundExpr::InList { expr: Box::new(e), list: scalars, negated: *negated })
+            }
+            Ast::Between { expr, low, high, negated } => {
+                // Desugar to (e >= low AND e <= high), negated → NOT(...).
+                let e = self.bind_expr(expr, scope)?;
+                let lo = self.bind_expr(low, scope)?;
+                let hi = self.bind_expr(high, scope)?;
+                let ge = self.bind_binary(BinOp::GtEq, e.clone(), lo)?;
+                let le = self.bind_binary(BinOp::LtEq, e, hi)?;
+                let both = BoundExpr::Binary {
+                    op: BinOp::And,
+                    left: Box::new(ge),
+                    right: Box::new(le),
+                    ty: LogicalType::Bool,
+                };
+                Ok(if *negated { BoundExpr::Not(Box::new(both)) } else { both })
+            }
+            Ast::IsNull { expr, negated } => {
+                let e = self.bind_expr(expr, scope)?;
+                Ok(BoundExpr::IsNull { expr: Box::new(e), negated: *negated })
+            }
+            Ast::Func { name, args, distinct } => {
+                if is_agg_name(name) {
+                    return Err(BindError::new(format!(
+                        "aggregate {name}() is not allowed in this context"
+                    )));
+                }
+                if *distinct {
+                    return Err(BindError::new("DISTINCT only applies to aggregates"));
+                }
+                self.bind_scalar_func(name, args, scope)
+            }
+            Ast::Predict { model, args } => {
+                let mut bound = Vec::with_capacity(args.len());
+                for a in args {
+                    bound.push(self.bind_expr(a, scope)?);
+                }
+                Ok(BoundExpr::Predict {
+                    model: model.clone(),
+                    args: bound,
+                    ty: LogicalType::Float64,
+                })
+            }
+            Ast::ScalarSubquery(q) => {
+                let plan = self.subquery_plan(q, scope)?;
+                let schema = plan.schema();
+                if schema.len() != 1 {
+                    return Err(BindError::new("scalar subquery must return one column"));
+                }
+                let ty = schema[0].ty;
+                Ok(BoundExpr::ScalarSubquery { plan: Box::new(plan), ty })
+            }
+            Ast::InSubquery { expr, query, negated } => {
+                let e = self.bind_expr(expr, scope)?;
+                let plan = self.subquery_plan(query, scope)?;
+                if plan.arity() != 1 {
+                    return Err(BindError::new("IN subquery must return one column"));
+                }
+                Ok(BoundExpr::InSubquery {
+                    expr: Box::new(e),
+                    plan: Box::new(plan),
+                    negated: *negated,
+                })
+            }
+            Ast::Exists { query, negated } => {
+                let plan = self.subquery_plan(query, scope)?;
+                Ok(BoundExpr::Exists { plan: Box::new(plan), negated: *negated })
+            }
+        }
+    }
+
+    /// Bind a subquery with the current FROM schema as its outer scope.
+    /// Correlation is single-level by construction: the inner query sees
+    /// only the immediately enclosing scope (sufficient for TPC-H).
+    fn subquery_plan(&mut self, q: &Query, scope: &Scope<'_>) -> Result<LogicalPlan> {
+        self.query(q, Some(scope.cols))
+    }
+
+    fn bind_binary(&mut self, op: BinOp, l: BoundExpr, r: BoundExpr) -> Result<BoundExpr> {
+        use LogicalType as T;
+        // DATE ± INTERVAL folding (intervals only exist as literals).
+        if let (
+            BoundExpr::Literal { value: Scalar::I64(ns), ty: T::Date },
+            BoundExpr::Literal { value: Scalar::Str(ival), .. },
+        ) = (&l, &r)
+        {
+            if let Some(folded) = fold_interval(op, *ns, ival)? {
+                return Ok(folded);
+            }
+        }
+        let (lt, rt) = (l.ty(), r.ty());
+        let ty = match op {
+            BinOp::And | BinOp::Or => {
+                if lt != T::Bool || rt != T::Bool {
+                    return Err(BindError::new(format!("{op:?} requires boolean operands")));
+                }
+                T::Bool
+            }
+            _ if op.is_comparison() => {
+                let compatible = (lt.is_numeric() && rt.is_numeric())
+                    || lt == rt
+                    || (lt == T::Date && rt == T::Date);
+                if !compatible {
+                    return Err(BindError::new(format!(
+                        "cannot compare {lt:?} with {rt:?}"
+                    )));
+                }
+                T::Bool
+            }
+            _ => {
+                if !(lt.is_numeric() && rt.is_numeric()) {
+                    return Err(BindError::new(format!(
+                        "arithmetic {op:?} requires numeric operands, got {lt:?}/{rt:?}"
+                    )));
+                }
+                if lt == T::Int64 && rt == T::Int64 {
+                    T::Int64
+                } else {
+                    T::Float64
+                }
+            }
+        };
+        // Immediate literal folding keeps downstream IR small.
+        if let (BoundExpr::Literal { value: lv, .. }, BoundExpr::Literal { value: rv, .. }) =
+            (&l, &r)
+        {
+            if let Some(v) = eval_binary_scalar(op, lv, rv) {
+                if !v.is_null() {
+                    let vt = match &v {
+                        Scalar::Bool(_) => T::Bool,
+                        Scalar::I64(_) | Scalar::I32(_) => T::Int64,
+                        Scalar::F64(_) | Scalar::F32(_) => T::Float64,
+                        Scalar::Str(_) => T::Str,
+                        Scalar::Null => ty,
+                    };
+                    // Preserve date-ness of comparisons' operands (Date
+                    // arithmetic results stay I64-backed dates).
+                    let vt = if ty == T::Int64 && (lt == T::Date || rt == T::Date) {
+                        T::Date
+                    } else {
+                        vt
+                    };
+                    return Ok(BoundExpr::Literal { value: v, ty: vt });
+                }
+            }
+        }
+        Ok(BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty })
+    }
+
+    fn bind_scalar_func(
+        &mut self,
+        name: &str,
+        args: &[Ast],
+        scope: &Scope<'_>,
+    ) -> Result<BoundExpr> {
+        let mut bound = Vec::with_capacity(args.len());
+        for a in args {
+            bound.push(self.bind_expr(a, scope)?);
+        }
+        match name {
+            "extract_year" | "extract_month" => {
+                if bound.len() != 1 || bound[0].ty() != LogicalType::Date {
+                    return Err(BindError::new("EXTRACT requires a single date argument"));
+                }
+                let func = if name == "extract_year" {
+                    ScalarFunc::ExtractYear
+                } else {
+                    ScalarFunc::ExtractMonth
+                };
+                Ok(BoundExpr::Func { func, args: bound, ty: LogicalType::Int64 })
+            }
+            "substring" => {
+                if bound.len() != 3 || bound[0].ty() != LogicalType::Str {
+                    return Err(BindError::new("SUBSTRING requires (string, start, len)"));
+                }
+                let (start, len) = match (&bound[1], &bound[2]) {
+                    (
+                        BoundExpr::Literal { value: Scalar::I64(s), .. },
+                        BoundExpr::Literal { value: Scalar::I64(l), .. },
+                    ) => (*s, *l),
+                    _ => {
+                        return Err(BindError::new(
+                            "SUBSTRING start/len must be integer literals",
+                        ))
+                    }
+                };
+                if start < 1 || len < 0 {
+                    return Err(BindError::new("SUBSTRING start must be >= 1, len >= 0"));
+                }
+                let arg = bound.into_iter().next().unwrap();
+                Ok(BoundExpr::Func {
+                    func: ScalarFunc::Substring { start, len },
+                    args: vec![arg],
+                    ty: LogicalType::Str,
+                })
+            }
+            "abs" => {
+                if bound.len() != 1 || !bound[0].ty().is_numeric() {
+                    return Err(BindError::new("ABS requires one numeric argument"));
+                }
+                let ty = bound[0].ty();
+                Ok(BoundExpr::Func { func: ScalarFunc::Abs, args: bound, ty })
+            }
+            other => Err(BindError::new(format!("unknown function {other}()"))),
+        }
+    }
+
+    fn bind_agg(&mut self, ast: &Ast, scope: &Scope<'_>) -> Result<AggCall> {
+        let (name, args, distinct) = match ast {
+            Ast::Func { name, args, distinct } => (name.as_str(), args, *distinct),
+            _ => return Err(BindError::new("internal: bind_agg on non-function")),
+        };
+        if name == "count" && args.is_empty() {
+            return Ok(AggCall { func: AggFunc::CountStar, arg: None, ty: LogicalType::Int64 });
+        }
+        if args.len() != 1 {
+            return Err(BindError::new(format!("{name}() takes exactly one argument")));
+        }
+        let arg = self.bind_expr(&args[0], scope)?;
+        let func = match (name, distinct) {
+            ("count", true) => AggFunc::CountDistinct,
+            ("count", false) => AggFunc::Count,
+            ("sum", _) => AggFunc::Sum,
+            ("avg", _) => AggFunc::Avg,
+            ("min", _) => AggFunc::Min,
+            ("max", _) => AggFunc::Max,
+            _ => return Err(BindError::new(format!("unknown aggregate {name}()"))),
+        };
+        if matches!(func, AggFunc::Sum | AggFunc::Avg) && !arg.ty().is_numeric() {
+            return Err(BindError::new(format!("{name}() requires a numeric argument")));
+        }
+        let ty = agg_result_type(func, Some(arg.ty()));
+        Ok(AggCall { func, arg: Some(arg), ty })
+    }
+
+    /// Bind an expression appearing *above* an aggregation: group-by
+    /// expressions and aggregate calls are replaced by references into the
+    /// aggregate's output schema.
+    fn bind_post_agg(
+        &mut self,
+        ast: &Ast,
+        group_asts: &[Ast],
+        agg_asts: &[Ast],
+        agg_schema: &PlanSchema,
+        outer: Option<&PlanSchema>,
+    ) -> Result<BoundExpr> {
+        // Whole-expression matches first.
+        for (i, g) in group_asts.iter().enumerate() {
+            if ast == g {
+                return Ok(BoundExpr::Column { index: i, ty: agg_schema[i].ty });
+            }
+        }
+        for (j, a) in agg_asts.iter().enumerate() {
+            if ast == a {
+                let idx = group_asts.len() + j;
+                return Ok(BoundExpr::Column { index: idx, ty: agg_schema[idx].ty });
+            }
+        }
+        match ast {
+            Ast::Binary { op, left, right } => {
+                let l = self.bind_post_agg(left, group_asts, agg_asts, agg_schema, outer)?;
+                let r = self.bind_post_agg(right, group_asts, agg_asts, agg_schema, outer)?;
+                self.bind_binary(BinOp::from_ast(*op), l, r)
+            }
+            Ast::Neg(e) => {
+                let inner = self.bind_post_agg(e, group_asts, agg_asts, agg_schema, outer)?;
+                Ok(BoundExpr::Neg(Box::new(inner)))
+            }
+            Ast::Not(e) => {
+                let inner = self.bind_post_agg(e, group_asts, agg_asts, agg_schema, outer)?;
+                expect_bool(&inner, "NOT")?;
+                Ok(BoundExpr::Not(Box::new(inner)))
+            }
+            Ast::Literal(lit) => bind_literal(lit),
+            Ast::Case { branches, else_expr } => {
+                let mut bb = Vec::new();
+                let mut ty: Option<LogicalType> = None;
+                for (c, v) in branches {
+                    let bc = self.bind_post_agg(c, group_asts, agg_asts, agg_schema, outer)?;
+                    let bv = self.bind_post_agg(v, group_asts, agg_asts, agg_schema, outer)?;
+                    ty = Some(unify(ty, bv.ty())?);
+                    bb.push((bc, bv));
+                }
+                let be = match else_expr {
+                    Some(e) => {
+                        let b =
+                            self.bind_post_agg(e, group_asts, agg_asts, agg_schema, outer)?;
+                        ty = Some(unify(ty, b.ty())?);
+                        b
+                    }
+                    None => BoundExpr::lit_i64(0),
+                };
+                Ok(BoundExpr::Case { branches: bb, else_expr: Box::new(be), ty: ty.unwrap() })
+            }
+            // Subqueries in HAVING (Q11) bind over the aggregate output as
+            // their "outer" scope — they are uncorrelated in TPC-H.
+            Ast::ScalarSubquery(q) => {
+                let plan = self.query(q, Some(agg_schema))?;
+                let schema = plan.schema();
+                if schema.len() != 1 {
+                    return Err(BindError::new("scalar subquery must return one column"));
+                }
+                let ty = schema[0].ty;
+                Ok(BoundExpr::ScalarSubquery { plan: Box::new(plan), ty })
+            }
+            Ast::Column { table, name } => {
+                // A bare column above aggregation must match a group column
+                // by *name* (the AST-equality fast path above catches the
+                // qualified/identical cases).
+                for (i, g) in group_asts.iter().enumerate() {
+                    if let Ast::Column { name: gname, .. } = g {
+                        if gname.eq_ignore_ascii_case(name) {
+                            return Ok(BoundExpr::Column { index: i, ty: agg_schema[i].ty });
+                        }
+                    }
+                }
+                Err(BindError::new(format!(
+                    "column {}{name} must appear in GROUP BY or inside an aggregate",
+                    table.as_deref().map(|t| format!("{t}.")).unwrap_or_default()
+                )))
+            }
+            other => Err(BindError::new(format!(
+                "unsupported expression above aggregation: {other}"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+fn bind_literal(lit: &Literal) -> Result<BoundExpr> {
+    Ok(match lit {
+        Literal::Int(v) => BoundExpr::lit_i64(*v),
+        Literal::Float(v) => BoundExpr::lit_f64(*v),
+        Literal::Str(s) => BoundExpr::lit_str(s),
+        Literal::Bool(b) => BoundExpr::lit_bool(*b),
+        Literal::Date(ns) => {
+            BoundExpr::Literal { value: Scalar::I64(*ns), ty: LogicalType::Date }
+        }
+        Literal::Interval { n, unit } => {
+            // Intervals ride as tagged strings until folded against a date.
+            let tag = match unit {
+                tqp_sql::IntervalUnit::Day => format!("{n}d"),
+                tqp_sql::IntervalUnit::Month => format!("{n}m"),
+                tqp_sql::IntervalUnit::Year => format!("{n}y"),
+            };
+            BoundExpr::Literal { value: Scalar::Str(tag), ty: LogicalType::Str }
+        }
+        Literal::Null => BoundExpr::Literal { value: Scalar::Null, ty: LogicalType::Int64 },
+    })
+}
+
+/// Fold `DATE ± INTERVAL` into a date literal. Returns Ok(None) when the
+/// string literal is not an interval tag.
+fn fold_interval(op: BinOp, date_ns: i64, tag: &str) -> Result<Option<BoundExpr>> {
+    let (body, unit) = match tag.char_indices().last() {
+        Some((i, c @ ('d' | 'm' | 'y'))) => (&tag[..i], c),
+        _ => return Ok(None),
+    };
+    let n: i64 = match body.parse() {
+        Ok(v) => v,
+        Err(_) => return Ok(None),
+    };
+    let sign = match op {
+        BinOp::Add => 1,
+        BinOp::Sub => -1,
+        _ => return Err(BindError::new("intervals only support + and -")),
+    };
+    let date = Date::from_epoch_ns(date_ns);
+    let out = match unit {
+        'd' => date.add_days(sign * n),
+        'm' => date.add_months((sign * n) as i32),
+        'y' => date.add_years((sign * n) as i32),
+        _ => unreachable!(),
+    };
+    Ok(Some(BoundExpr::Literal {
+        value: Scalar::I64(out.to_epoch_ns()),
+        ty: LogicalType::Date,
+    }))
+}
+
+fn expect_bool(e: &BoundExpr, what: &str) -> Result<()> {
+    if e.ty() != LogicalType::Bool {
+        return Err(BindError::new(format!("{what} must be boolean, got {:?}", e.ty())));
+    }
+    Ok(())
+}
+
+/// Unify branch types for CASE (numeric promotion; otherwise exact match).
+fn unify(acc: Option<LogicalType>, t: LogicalType) -> Result<LogicalType> {
+    use LogicalType as T;
+    Ok(match acc {
+        None => t,
+        Some(a) if a == t => a,
+        Some(a) if a.is_numeric() && t.is_numeric() => T::Float64,
+        Some(a) => {
+            return Err(BindError::new(format!("CASE branches mix {a:?} and {t:?}")));
+        }
+    })
+}
+
+/// True for aggregate function names.
+fn is_agg_name(name: &str) -> bool {
+    matches!(name, "sum" | "avg" | "min" | "max" | "count")
+}
+
+/// Collect aggregate calls (without descending into subqueries — their
+/// aggregates belong to the inner query).
+fn collect_aggs(ast: &Ast, out: &mut Vec<Ast>) {
+    match ast {
+        Ast::Func { name, .. } if is_agg_name(name) => {
+            if !out.contains(ast) {
+                out.push(ast.clone());
+            }
+        }
+        Ast::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        Ast::Neg(e) | Ast::Not(e) => collect_aggs(e, out),
+        Ast::Case { branches, else_expr } => {
+            for (c, v) in branches {
+                collect_aggs(c, out);
+                collect_aggs(v, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggs(e, out);
+            }
+        }
+        Ast::Like { expr, .. } | Ast::IsNull { expr, .. } => collect_aggs(expr, out),
+        Ast::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for e in list {
+                collect_aggs(e, out);
+            }
+        }
+        Ast::Between { expr, low, high, .. } => {
+            collect_aggs(expr, out);
+            collect_aggs(low, out);
+            collect_aggs(high, out);
+        }
+        Ast::Func { args, .. } | Ast::Predict { args, .. } => {
+            for a in args {
+                collect_aggs(a, out);
+            }
+        }
+        // Do NOT descend into subqueries.
+        Ast::ScalarSubquery(_) | Ast::InSubquery { .. } | Ast::Exists { .. } => {}
+        Ast::Column { .. } | Ast::Literal(_) => {}
+    }
+}
+
+/// Derive an output column name from an AST expression.
+fn ast_name(ast: &Ast) -> String {
+    match ast {
+        Ast::Column { name, .. } => name.clone(),
+        Ast::Func { name, .. } => name.clone(),
+        other => {
+            let s = other.to_string();
+            if s.len() > 40 {
+                format!("{}…", &s[..40])
+            } else {
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqp_data::{Field, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "t",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("b", LogicalType::Float64),
+                Field::new("s", LogicalType::Str),
+                Field::new("d", LogicalType::Date),
+            ]),
+            100,
+        );
+        c.register(
+            "u",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("x", LogicalType::Float64),
+            ]),
+            50,
+        );
+        c
+    }
+
+    fn bind(sql: &str) -> LogicalPlan {
+        bind_query(&tqp_sql::parse(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    fn bind_err(sql: &str) -> BindError {
+        bind_query(&tqp_sql::parse(sql).unwrap(), &catalog()).unwrap_err()
+    }
+
+    #[test]
+    fn simple_projection_types() {
+        let p = bind("select a, b * 2 as bb from t");
+        let s = p.schema();
+        assert_eq!(s[0].ty, LogicalType::Int64);
+        assert_eq!(s[1].name, "bb");
+        assert_eq!(s[1].ty, LogicalType::Float64);
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let p = bind("select * from t");
+        assert_eq!(p.arity(), 4);
+    }
+
+    #[test]
+    fn qualified_and_ambiguous() {
+        let p = bind("select t.a, u.a from t, u where t.a = u.a");
+        assert_eq!(p.arity(), 2);
+        let e = bind_err("select a from t, u");
+        assert!(e.message.contains("ambiguous"));
+    }
+
+    #[test]
+    fn missing_column_and_table() {
+        assert!(bind_err("select zz from t").message.contains("not found"));
+        assert!(bind_err("select a from nope").message.contains("not found"));
+    }
+
+    #[test]
+    fn where_must_be_bool() {
+        assert!(bind_err("select a from t where a + 1").message.contains("boolean"));
+    }
+
+    #[test]
+    fn date_interval_folds() {
+        let p = bind("select a from t where d < date '1998-12-01' - interval '90' day");
+        // The predicate must be a simple comparison against a Date literal.
+        fn find_filter(p: &LogicalPlan) -> Option<&BoundExpr> {
+            match p {
+                LogicalPlan::Filter { predicate, .. } => Some(predicate),
+                _ => p.children().into_iter().find_map(find_filter),
+            }
+        }
+        let pred = find_filter(&p).unwrap();
+        match pred {
+            BoundExpr::Binary { right, .. } => match right.as_ref() {
+                BoundExpr::Literal { value: Scalar::I64(ns), ty: LogicalType::Date } => {
+                    assert_eq!(
+                        tqp_data::dates::format_ns(*ns),
+                        "1998-09-02" // 1998-12-01 minus 90 days
+                    );
+                }
+                other => panic!("expected folded date, got {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let p = bind("select s, sum(b) as total, count(*) from t group by s order by total desc");
+        let schema = p.schema();
+        assert_eq!(schema[0].name, "s");
+        assert_eq!(schema[1].name, "total");
+        assert_eq!(schema[1].ty, LogicalType::Float64);
+        assert_eq!(schema[2].ty, LogicalType::Int64);
+    }
+
+    #[test]
+    fn agg_expression_arithmetic() {
+        // Q14-style: expression over two aggregates.
+        let p = bind("select 100.0 * sum(b) / sum(a) as ratio from t");
+        assert_eq!(p.schema()[0].ty, LogicalType::Float64);
+    }
+
+    #[test]
+    fn bare_column_outside_group_rejected() {
+        let e = bind_err("select a, sum(b) from t group by s");
+        assert!(e.message.contains("GROUP BY"), "{}", e.message);
+    }
+
+    #[test]
+    fn having_binds_over_aggregate() {
+        let p = bind("select s, sum(b) from t group by s having sum(b) > 10");
+        // Filter sits between Project and Aggregate.
+        fn has_filter_over_agg(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Filter { input, .. } => {
+                    matches!(**input, LogicalPlan::Aggregate { .. })
+                }
+                _ => p.children().into_iter().any(has_filter_over_agg),
+            }
+        }
+        assert!(has_filter_over_agg(&p));
+    }
+
+    #[test]
+    fn distinct_becomes_group_all() {
+        let p = bind("select distinct s from t");
+        fn has_agg(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::Aggregate { .. })
+                || p.children().into_iter().any(has_agg)
+        }
+        assert!(has_agg(&p));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let p = bind("select count(distinct s) from t");
+        fn find_agg(p: &LogicalPlan) -> Option<&Vec<AggCall>> {
+            match p {
+                LogicalPlan::Aggregate { aggs, .. } => Some(aggs),
+                _ => p.children().into_iter().find_map(find_agg),
+            }
+        }
+        assert_eq!(find_agg(&p).unwrap()[0].func, AggFunc::CountDistinct);
+    }
+
+    #[test]
+    fn correlated_subquery_binds_outer_ref() {
+        let p = bind("select a from t where b > (select avg(x) from u where u.a = t.a)");
+        fn find_scalar_sub(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Filter { predicate, input } => {
+                    let mut found = false;
+                    predicate.visit(&mut |e| {
+                        if let BoundExpr::ScalarSubquery { plan, .. } = e {
+                            // Inner plan must contain an OuterRef.
+                            fn has_outer(p: &LogicalPlan) -> bool {
+                                match p {
+                                    LogicalPlan::Filter { predicate, input } => {
+                                        predicate.has_outer_ref() || has_outer(input)
+                                    }
+                                    _ => p.children().into_iter().any(has_outer),
+                                }
+                            }
+                            found |= has_outer(plan);
+                        }
+                    });
+                    found || find_scalar_sub(input)
+                }
+                _ => p.children().into_iter().any(find_scalar_sub),
+            }
+        }
+        assert!(find_scalar_sub(&p));
+    }
+
+    #[test]
+    fn exists_and_in_subquery() {
+        let p = bind("select a from t where exists (select * from u where u.a = t.a)");
+        assert_eq!(p.arity(), 1);
+        let p = bind("select a from t where a in (select a from u)");
+        assert_eq!(p.arity(), 1);
+        // NOT flips negation flags.
+        let p = bind("select a from t where not exists (select * from u where u.a = t.a)");
+        fn find_exists_negated(p: &LogicalPlan) -> Option<bool> {
+            match p {
+                LogicalPlan::Filter { predicate, input } => {
+                    let mut neg = None;
+                    predicate.visit(&mut |e| {
+                        if let BoundExpr::Exists { negated, .. } = e {
+                            neg = Some(*negated);
+                        }
+                    });
+                    neg.or_else(|| find_exists_negated(input))
+                }
+                _ => p.children().into_iter().find_map(find_exists_negated),
+            }
+        }
+        assert_eq!(find_exists_negated(&p), Some(true));
+    }
+
+    #[test]
+    fn cte_binds_and_scopes() {
+        let p = bind("with v as (select a, b from t) select a from v where b > 1.0");
+        assert_eq!(p.arity(), 1);
+        // CTE not visible outside.
+        assert!(bind_err("select a from v").message.contains("not found"));
+    }
+
+    #[test]
+    fn left_join_keeps_condition_as_residual() {
+        let p = bind("select t.a from t left outer join u on t.a = u.a");
+        fn find_join(p: &LogicalPlan) -> Option<(&JoinType, bool)> {
+            match p {
+                LogicalPlan::Join { join_type, residual, .. } => {
+                    Some((join_type, residual.is_some()))
+                }
+                _ => p.children().into_iter().find_map(find_join),
+            }
+        }
+        let (jt, has_res) = find_join(&p).unwrap();
+        assert_eq!(*jt, JoinType::Left);
+        assert!(has_res);
+    }
+
+    #[test]
+    fn between_desugars() {
+        let p = bind("select a from t where b between 1.0 and 2.0");
+        fn find_filter(p: &LogicalPlan) -> Option<&BoundExpr> {
+            match p {
+                LogicalPlan::Filter { predicate, .. } => Some(predicate),
+                _ => p.children().into_iter().find_map(find_filter),
+            }
+        }
+        let pred = find_filter(&p).unwrap();
+        assert!(matches!(pred, BoundExpr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn substring_literal_args() {
+        let p = bind("select substring(s from 1 for 2) as cc from t");
+        assert_eq!(p.schema()[0].ty, LogicalType::Str);
+        assert!(bind_err("select substring(s from a for 2) from t")
+            .message
+            .contains("integer literals"));
+    }
+
+    #[test]
+    fn case_type_unification() {
+        let p = bind("select case when a > 1 then b else 0 end from t");
+        assert_eq!(p.schema()[0].ty, LogicalType::Float64);
+        assert!(bind_err("select case when a > 1 then s else 0 end from t")
+            .message
+            .contains("mix"));
+    }
+
+    #[test]
+    fn predict_binds() {
+        let p = bind("select predict('m', b, a) from t");
+        assert_eq!(p.schema()[0].ty, LogicalType::Float64);
+    }
+}

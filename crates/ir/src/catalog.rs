@@ -1,0 +1,89 @@
+//! Table catalog: name → schema + row-count statistics.
+//!
+//! The optimizer's greedy join ordering uses the row counts; the binder uses
+//! the schemas. The catalog deliberately knows nothing about where the data
+//! lives — execution engines resolve table names against their own storage
+//! (a `Session` in `tqp-core`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tqp_data::Schema;
+
+/// Metadata for one registered table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableMeta {
+    pub schema: Schema,
+    /// Estimated (or exact) row count, used for join ordering.
+    pub rows: usize,
+}
+
+/// A name → table metadata map (case-insensitive names).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: HashMap<String, TableMeta>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: &str, schema: Schema, rows: usize) {
+        self.tables.insert(name.to_ascii_lowercase(), TableMeta { schema, rows });
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&TableMeta> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Registered table names (sorted, for deterministic error messages).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A catalog pre-populated with the 8 TPC-H tables at the given scale
+    /// factor's cardinalities (no data — schemas and stats only).
+    pub fn tpch(scale_factor: f64) -> Catalog {
+        let mut c = Catalog::new();
+        for t in tqp_data::tpch::Table::ALL {
+            let rows = ((t.base_rows() as f64 * scale_factor).round() as usize).max(1);
+            let rows = match t {
+                tqp_data::tpch::Table::Region => 5,
+                tqp_data::tpch::Table::Nation => 25,
+                _ => rows,
+            };
+            c.register(t.name(), t.schema(), rows);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqp_data::{Field, LogicalType};
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register("T", Schema::new(vec![Field::new("x", LogicalType::Int64)]), 10);
+        assert!(c.get("t").is_some());
+        assert_eq!(c.get("T").unwrap().rows, 10);
+        assert!(c.get("nope").is_none());
+    }
+
+    #[test]
+    fn tpch_catalog() {
+        let c = Catalog::tpch(0.01);
+        assert_eq!(c.get("lineitem").unwrap().schema.len(), 16);
+        assert_eq!(c.get("region").unwrap().rows, 5);
+        assert_eq!(c.get("supplier").unwrap().rows, 100);
+        assert_eq!(c.names().len(), 8);
+    }
+}

@@ -1,0 +1,491 @@
+//! Bound (resolved, typed) expressions.
+//!
+//! After binding, every column reference is a positional index into the
+//! input plan's schema, every literal carries its type, and date/interval
+//! arithmetic has been folded away. These are the expressions both engines
+//! evaluate — vectorized over tensors in `tqp-exec`, row-at-a-time in
+//! `tqp-baseline` — so their semantics are defined once here (including
+//! scalar constant evaluation used by the folding pass).
+
+use serde::{Deserialize, Serialize};
+use tqp_data::LogicalType;
+use tqp_tensor::Scalar;
+
+/// Binary operators over bound expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// True for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+
+    /// Convert from the AST operator.
+    pub fn from_ast(op: tqp_sql::BinaryOp) -> BinOp {
+        use tqp_sql::BinaryOp as A;
+        match op {
+            A::Add => BinOp::Add,
+            A::Sub => BinOp::Sub,
+            A::Mul => BinOp::Mul,
+            A::Div => BinOp::Div,
+            A::Mod => BinOp::Mod,
+            A::Eq => BinOp::Eq,
+            A::NotEq => BinOp::NotEq,
+            A::Lt => BinOp::Lt,
+            A::LtEq => BinOp::LtEq,
+            A::Gt => BinOp::Gt,
+            A::GtEq => BinOp::GtEq,
+            A::And => BinOp::And,
+            A::Or => BinOp::Or,
+        }
+    }
+}
+
+/// Scalar (non-aggregate) functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarFunc {
+    /// `EXTRACT(YEAR FROM date)` → Int64.
+    ExtractYear,
+    /// `EXTRACT(MONTH FROM date)` → Int64.
+    ExtractMonth,
+    /// `SUBSTRING(str, start, len)` with literal 1-based start/len.
+    Substring { start: i64, len: i64 },
+    /// Absolute value.
+    Abs,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Count,
+    CountDistinct,
+    /// `COUNT(*)` — no argument.
+    CountStar,
+}
+
+/// One aggregate call inside an `Aggregate` plan node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggCall {
+    pub func: AggFunc,
+    /// Argument expression over the aggregate input (None for `COUNT(*)`).
+    pub arg: Option<BoundExpr>,
+    /// Result type.
+    pub ty: LogicalType,
+}
+
+/// A typed, resolved expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundExpr {
+    /// Positional reference into the input schema.
+    Column { index: usize, ty: LogicalType },
+    /// Reference to the immediately enclosing scope (inside a subquery plan,
+    /// before decorrelation removes it).
+    OuterRef { index: usize, ty: LogicalType },
+    Literal { value: Scalar, ty: LogicalType },
+    Binary { op: BinOp, left: Box<BoundExpr>, right: Box<BoundExpr>, ty: LogicalType },
+    Not(Box<BoundExpr>),
+    Neg(Box<BoundExpr>),
+    Case {
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        else_expr: Box<BoundExpr>,
+        ty: LogicalType,
+    },
+    Like { expr: Box<BoundExpr>, pattern: String, negated: bool },
+    /// Literal membership list (non-literal lists are desugared to ORs by
+    /// the binder).
+    InList { expr: Box<BoundExpr>, list: Vec<Scalar>, negated: bool },
+    IsNull { expr: Box<BoundExpr>, negated: bool },
+    Func { func: ScalarFunc, args: Vec<BoundExpr>, ty: LogicalType },
+    /// ML inference splice point (paper §3.3). `ty` is the prediction type.
+    Predict { model: String, args: Vec<BoundExpr>, ty: LogicalType },
+    /// Scalar subquery placeholder (removed by decorrelation).
+    ScalarSubquery { plan: Box<crate::plan::LogicalPlan>, ty: LogicalType },
+    /// `expr IN (subquery)` placeholder (removed by decorrelation).
+    InSubquery {
+        expr: Box<BoundExpr>,
+        plan: Box<crate::plan::LogicalPlan>,
+        negated: bool,
+    },
+    /// `EXISTS (subquery)` placeholder (removed by decorrelation).
+    Exists { plan: Box<crate::plan::LogicalPlan>, negated: bool },
+}
+
+impl BoundExpr {
+    /// Result type of the expression.
+    pub fn ty(&self) -> LogicalType {
+        match self {
+            BoundExpr::Column { ty, .. }
+            | BoundExpr::OuterRef { ty, .. }
+            | BoundExpr::Literal { ty, .. }
+            | BoundExpr::Binary { ty, .. }
+            | BoundExpr::Case { ty, .. }
+            | BoundExpr::Func { ty, .. }
+            | BoundExpr::Predict { ty, .. }
+            | BoundExpr::ScalarSubquery { ty, .. } => *ty,
+            BoundExpr::Not(_)
+            | BoundExpr::Like { .. }
+            | BoundExpr::InList { .. }
+            | BoundExpr::IsNull { .. }
+            | BoundExpr::InSubquery { .. }
+            | BoundExpr::Exists { .. } => LogicalType::Bool,
+            BoundExpr::Neg(e) => e.ty(),
+        }
+    }
+
+    /// Shorthand column-ref constructor.
+    pub fn col(index: usize, ty: LogicalType) -> BoundExpr {
+        BoundExpr::Column { index, ty }
+    }
+
+    /// Shorthand literal constructors.
+    pub fn lit_i64(v: i64) -> BoundExpr {
+        BoundExpr::Literal { value: Scalar::I64(v), ty: LogicalType::Int64 }
+    }
+
+    /// Float literal.
+    pub fn lit_f64(v: f64) -> BoundExpr {
+        BoundExpr::Literal { value: Scalar::F64(v), ty: LogicalType::Float64 }
+    }
+
+    /// Boolean literal.
+    pub fn lit_bool(v: bool) -> BoundExpr {
+        BoundExpr::Literal { value: Scalar::Bool(v), ty: LogicalType::Bool }
+    }
+
+    /// String literal.
+    pub fn lit_str(v: &str) -> BoundExpr {
+        BoundExpr::Literal { value: Scalar::Str(v.to_string()), ty: LogicalType::Str }
+    }
+
+    /// Visit every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a BoundExpr)) {
+        f(self);
+        match self {
+            BoundExpr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            BoundExpr::Not(e) | BoundExpr::Neg(e) => e.visit(f),
+            BoundExpr::Case { branches, else_expr, .. } => {
+                for (c, v) in branches {
+                    c.visit(f);
+                    v.visit(f);
+                }
+                else_expr.visit(f);
+            }
+            BoundExpr::Like { expr, .. }
+            | BoundExpr::InList { expr, .. }
+            | BoundExpr::IsNull { expr, .. } => expr.visit(f),
+            BoundExpr::Func { args, .. } | BoundExpr::Predict { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            BoundExpr::InSubquery { expr, .. } => expr.visit(f),
+            BoundExpr::Column { .. }
+            | BoundExpr::OuterRef { .. }
+            | BoundExpr::Literal { .. }
+            | BoundExpr::ScalarSubquery { .. }
+            | BoundExpr::Exists { .. } => {}
+        }
+    }
+
+    /// Rebuild the tree bottom-up through `f` (applied post-order to every
+    /// node). Subquery plans are *not* descended into.
+    pub fn transform(self, f: &impl Fn(BoundExpr) -> BoundExpr) -> BoundExpr {
+        let mapped = match self {
+            BoundExpr::Binary { op, left, right, ty } => BoundExpr::Binary {
+                op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+                ty,
+            },
+            BoundExpr::Not(e) => BoundExpr::Not(Box::new(e.transform(f))),
+            BoundExpr::Neg(e) => BoundExpr::Neg(Box::new(e.transform(f))),
+            BoundExpr::Case { branches, else_expr, ty } => BoundExpr::Case {
+                branches: branches
+                    .into_iter()
+                    .map(|(c, v)| (c.transform(f), v.transform(f)))
+                    .collect(),
+                else_expr: Box::new(else_expr.transform(f)),
+                ty,
+            },
+            BoundExpr::Like { expr, pattern, negated } => {
+                BoundExpr::Like { expr: Box::new(expr.transform(f)), pattern, negated }
+            }
+            BoundExpr::InList { expr, list, negated } => {
+                BoundExpr::InList { expr: Box::new(expr.transform(f)), list, negated }
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                BoundExpr::IsNull { expr: Box::new(expr.transform(f)), negated }
+            }
+            BoundExpr::Func { func, args, ty } => BoundExpr::Func {
+                func,
+                args: args.into_iter().map(|a| a.transform(f)).collect(),
+                ty,
+            },
+            BoundExpr::Predict { model, args, ty } => BoundExpr::Predict {
+                model,
+                args: args.into_iter().map(|a| a.transform(f)).collect(),
+                ty,
+            },
+            BoundExpr::InSubquery { expr, plan, negated } => {
+                BoundExpr::InSubquery { expr: Box::new(expr.transform(f)), plan, negated }
+            }
+            leaf => leaf,
+        };
+        f(mapped)
+    }
+
+    /// Shift every `Column` index by `delta` (used when splicing expressions
+    /// onto the right side of a join schema).
+    pub fn shift_columns(self, delta: usize) -> BoundExpr {
+        self.transform(&|e| match e {
+            BoundExpr::Column { index, ty } => BoundExpr::Column { index: index + delta, ty },
+            other => other,
+        })
+    }
+
+    /// True if the subtree contains any aggregate-related placeholder that
+    /// the optimizer must remove before execution.
+    pub fn has_subquery(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(
+                e,
+                BoundExpr::ScalarSubquery { .. }
+                    | BoundExpr::InSubquery { .. }
+                    | BoundExpr::Exists { .. }
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True if the subtree references any outer-scope column.
+    pub fn has_outer_ref(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, BoundExpr::OuterRef { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Collect the set of input column indexes this expression reads.
+    pub fn referenced_columns(&self, out: &mut std::collections::BTreeSet<usize>) {
+        self.visit(&mut |e| {
+            if let BoundExpr::Column { index, .. } = e {
+                out.insert(*index);
+            }
+        });
+    }
+
+    /// True when the expression is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, BoundExpr::Literal { .. })
+    }
+}
+
+/// Evaluate a closed (column-free) expression to a constant. Returns `None`
+/// if the expression is not closed or hits an unsupported case. This is the
+/// single source of truth for constant folding.
+pub fn eval_const(e: &BoundExpr) -> Option<Scalar> {
+    match e {
+        BoundExpr::Literal { value, .. } => Some(value.clone()),
+        BoundExpr::Neg(inner) => match eval_const(inner)? {
+            Scalar::I64(v) => Some(Scalar::I64(-v)),
+            Scalar::F64(v) => Some(Scalar::F64(-v)),
+            _ => None,
+        },
+        BoundExpr::Not(inner) => match eval_const(inner)? {
+            Scalar::Bool(b) => Some(Scalar::Bool(!b)),
+            _ => None,
+        },
+        BoundExpr::Binary { op, left, right, .. } => {
+            let l = eval_const(left)?;
+            let r = eval_const(right)?;
+            eval_binary_scalar(*op, &l, &r)
+        }
+        _ => None,
+    }
+}
+
+/// Scalar semantics of the binary operators (shared by folding and the row
+/// engine). Returns `None` for NULL propagation or type errors.
+pub fn eval_binary_scalar(op: BinOp, l: &Scalar, r: &Scalar) -> Option<Scalar> {
+    use Scalar::*;
+    if l.is_null() || r.is_null() {
+        // SQL three-valued logic: AND/OR have special NULL absorption that
+        // the row engine handles; for folding, propagate NULL.
+        return Some(Null);
+    }
+    match op {
+        BinOp::And => Some(Bool(l.as_bool() && r.as_bool())),
+        BinOp::Or => Some(Bool(l.as_bool() || r.as_bool())),
+        _ if op.is_comparison() => {
+            let ord = match (l, r) {
+                (Str(a), Str(b)) => a.cmp(b),
+                (a, b)
+                    if matches!(a, I32(_) | I64(_) | Bool(_))
+                        && matches!(b, I32(_) | I64(_) | Bool(_)) =>
+                {
+                    a.as_i64().cmp(&b.as_i64())
+                }
+                (a, b) => a.as_f64().partial_cmp(&b.as_f64())?,
+            };
+            let v = match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::NotEq => ord.is_ne(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::LtEq => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Some(Bool(v))
+        }
+        _ => {
+            // Arithmetic: integer when both sides integral, else f64.
+            let both_int = matches!(l, I32(_) | I64(_)) && matches!(r, I32(_) | I64(_));
+            if both_int {
+                let (a, b) = (l.as_i64(), r.as_i64());
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Some(Null);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            return Some(Null);
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    _ => unreachable!(),
+                };
+                Some(I64(v))
+            } else {
+                let (a, b) = (l.as_f64(), r.as_f64());
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Mod => a % b,
+                    _ => unreachable!(),
+                };
+                Some(F64(v))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types() {
+        assert_eq!(BoundExpr::lit_i64(1).ty(), LogicalType::Int64);
+        assert_eq!(BoundExpr::lit_bool(true).ty(), LogicalType::Bool);
+        let e = BoundExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(BoundExpr::lit_i64(1)),
+            right: Box::new(BoundExpr::lit_i64(2)),
+            ty: LogicalType::Bool,
+        };
+        assert_eq!(e.ty(), LogicalType::Bool);
+    }
+
+    #[test]
+    fn const_eval_arithmetic() {
+        let e = BoundExpr::Binary {
+            op: BinOp::Add,
+            left: Box::new(BoundExpr::lit_i64(2)),
+            right: Box::new(BoundExpr::lit_i64(3)),
+            ty: LogicalType::Int64,
+        };
+        assert_eq!(eval_const(&e), Some(Scalar::I64(5)));
+        let e = BoundExpr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(BoundExpr::lit_f64(0.5)),
+            right: Box::new(BoundExpr::lit_i64(4)),
+            ty: LogicalType::Float64,
+        };
+        assert_eq!(eval_const(&e), Some(Scalar::F64(2.0)));
+    }
+
+    #[test]
+    fn const_eval_open_expr_is_none() {
+        let e = BoundExpr::col(0, LogicalType::Int64);
+        assert_eq!(eval_const(&e), None);
+    }
+
+    #[test]
+    fn scalar_comparisons() {
+        assert_eq!(
+            eval_binary_scalar(BinOp::Lt, &Scalar::Str("a".into()), &Scalar::Str("b".into())),
+            Some(Scalar::Bool(true))
+        );
+        assert_eq!(
+            eval_binary_scalar(BinOp::Eq, &Scalar::I64(3), &Scalar::F64(3.0)),
+            Some(Scalar::Bool(true))
+        );
+        assert_eq!(
+            eval_binary_scalar(BinOp::Div, &Scalar::I64(1), &Scalar::I64(0)),
+            Some(Scalar::Null)
+        );
+        assert_eq!(
+            eval_binary_scalar(BinOp::Add, &Scalar::Null, &Scalar::I64(1)),
+            Some(Scalar::Null)
+        );
+    }
+
+    #[test]
+    fn shift_columns() {
+        let e = BoundExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(BoundExpr::col(1, LogicalType::Int64)),
+            right: Box::new(BoundExpr::col(3, LogicalType::Int64)),
+            ty: LogicalType::Bool,
+        };
+        let shifted = e.shift_columns(10);
+        let mut idx = std::collections::BTreeSet::new();
+        shifted.referenced_columns(&mut idx);
+        assert_eq!(idx.into_iter().collect::<Vec<_>>(), vec![11, 13]);
+    }
+}

@@ -1,0 +1,607 @@
+//! Subquery decorrelation: rewrite `EXISTS` / `IN` / scalar subqueries into
+//! semi/anti/inner joins.
+//!
+//! The rewrites implemented here cover the (well-known) patterns that the
+//! entire TPC-H suite reduces to:
+//!
+//! * `[NOT] EXISTS (SELECT ... WHERE outer = inner AND ...)` →
+//!   **semi/anti join** on the equality correlations, with non-equality
+//!   correlated conjuncts (Q21's `l2.l_suppkey <> l1.l_suppkey`) carried as
+//!   join residuals;
+//! * `x [NOT] IN (subquery)` → **semi/anti join** of `x` against the
+//!   subquery's output column (Q16, Q18, Q20);
+//! * `expr CMP (SELECT agg(...) WHERE outer = inner)` → group the subquery
+//!   by its correlation columns and **inner-join** the aggregate back
+//!   (Q2, Q17, Q20); uncorrelated scalar subqueries (Q11, Q15, Q22)
+//!   become a **cross join** against their single-row result.
+//!
+//! Correlation is single-level (enforced by the binder), so every
+//! `OuterRef { index }` refers to the plan the filter predicate runs over.
+//!
+//! Unsupported shapes (e.g. correlation without any equality predicate)
+//! panic with a descriptive message rather than silently mis-executing.
+
+use tqp_data::LogicalType;
+
+use crate::expr::{BinOp, BoundExpr};
+use crate::optimize::{conjoin, map_children, split_conjuncts};
+use crate::plan::{ColMeta, JoinType, LogicalPlan};
+
+/// Remove every subquery placeholder from the plan.
+pub fn decorrelate(plan: LogicalPlan) -> LogicalPlan {
+    let plan = map_children(plan, &mut decorrelate);
+    match plan {
+        LogicalPlan::Filter { input, predicate } => rewrite_filter(*input, predicate),
+        other => other,
+    }
+}
+
+fn rewrite_filter(input: LogicalPlan, predicate: BoundExpr) -> LogicalPlan {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(predicate, &mut conjuncts);
+    let (subq, plain): (Vec<_>, Vec<_>) =
+        conjuncts.into_iter().partition(|c| c.has_subquery());
+    let mut plan = if plain.is_empty() {
+        input
+    } else {
+        LogicalPlan::Filter { input: Box::new(input), predicate: conjoin(plain) }
+    };
+    if subq.is_empty() {
+        return plan;
+    }
+    let original_schema = plan.schema();
+    for conjunct in subq {
+        plan = apply_subquery_conjunct(plan, conjunct);
+    }
+    // Restore the original column layout if scalar rewrites appended columns.
+    if plan.arity() != original_schema.len() {
+        let exprs: Vec<BoundExpr> = original_schema
+            .iter()
+            .enumerate()
+            .map(|(i, c)| BoundExpr::Column { index: i, ty: c.ty })
+            .collect();
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            schema: original_schema,
+        };
+    }
+    plan
+}
+
+fn apply_subquery_conjunct(left: LogicalPlan, conjunct: BoundExpr) -> LogicalPlan {
+    match conjunct {
+        BoundExpr::Exists { plan: sub, negated } => apply_exists(left, *sub, negated),
+        BoundExpr::InSubquery { expr, plan: sub, negated } => {
+            apply_in(left, *expr, *sub, negated)
+        }
+        other => apply_scalar_conjunct(left, other),
+    }
+}
+
+// ---------------------------------------------------------------------
+// EXISTS / NOT EXISTS
+// ---------------------------------------------------------------------
+
+fn apply_exists(left: LogicalPlan, sub: LogicalPlan, negated: bool) -> LogicalPlan {
+    let sub = decorrelate(sub);
+    let left_arity = left.arity();
+    // EXISTS ignores the subquery projection — drop a root Project so the
+    // correlation filter sits at the top.
+    let sub = strip_root_projects(sub);
+    let (base, conjs) = peel_filters(sub);
+    let (corr, plain): (Vec<_>, Vec<_>) = conjs.into_iter().partition(|c| c.has_outer_ref());
+    let base = if plain.is_empty() {
+        base
+    } else {
+        LogicalPlan::Filter { input: Box::new(base), predicate: conjoin(plain) }
+    };
+    let (keys, residual) = classify_correlations(corr, left_arity);
+    assert!(
+        !keys.is_empty(),
+        "decorrelation requires at least one equality correlation in EXISTS"
+    );
+    LogicalPlan::Join {
+        left: Box::new(left),
+        right: Box::new(base),
+        join_type: if negated { JoinType::Anti } else { JoinType::Semi },
+        on: keys,
+        residual,
+    }
+}
+
+// ---------------------------------------------------------------------
+// IN / NOT IN subqueries
+// ---------------------------------------------------------------------
+
+fn apply_in(left: LogicalPlan, expr: BoundExpr, sub: LogicalPlan, negated: bool) -> LogicalPlan {
+    let sub = decorrelate(sub);
+    assert_eq!(sub.arity(), 1, "IN subquery must produce one column");
+    let jt = if negated { JoinType::Anti } else { JoinType::Semi };
+    // Materialize the probe key if it is not a bare column.
+    let (left2, key_idx, appended) = ensure_key_column(left, expr);
+    if !plan_has_outer(&sub) {
+        let join = LogicalPlan::Join {
+            left: Box::new(left2),
+            right: Box::new(sub),
+            join_type: jt,
+            on: vec![(key_idx, 0)],
+            residual: None,
+        };
+        return strip_appended(join, appended);
+    }
+    // Correlated IN: peel the output projection and correlation filters.
+    let left_arity = left2.arity();
+    let (out_col, inner) = match sub {
+        LogicalPlan::Project { input, exprs, .. } => match exprs.as_slice() {
+            [BoundExpr::Column { index, .. }] => (*index, *input),
+            _ => panic!("correlated IN subquery must project a bare column"),
+        },
+        other => (0, other),
+    };
+    let (base, conjs) = peel_filters(inner);
+    let (corr, plain): (Vec<_>, Vec<_>) = conjs.into_iter().partition(|c| c.has_outer_ref());
+    let base = if plain.is_empty() {
+        base
+    } else {
+        LogicalPlan::Filter { input: Box::new(base), predicate: conjoin(plain) }
+    };
+    let (mut keys, residual) = classify_correlations(corr, left_arity);
+    keys.push((key_idx, out_col));
+    let join = LogicalPlan::Join {
+        left: Box::new(left2),
+        right: Box::new(base),
+        join_type: jt,
+        on: keys,
+        residual,
+    };
+    strip_appended(join, appended)
+}
+
+// ---------------------------------------------------------------------
+// Scalar subqueries inside arbitrary comparison conjuncts
+// ---------------------------------------------------------------------
+
+fn apply_scalar_conjunct(mut left: LogicalPlan, mut conjunct: BoundExpr) -> LogicalPlan {
+    // Replace scalar subqueries one at a time; each replacement joins the
+    // subquery result onto `left` and rewires the placeholder column.
+    loop {
+        let mut found: Option<(LogicalPlan, LogicalType)> = None;
+        conjunct = take_first_scalar_sub(conjunct, &mut found);
+        let Some((sub, ty)) = found else { break };
+        let sub = decorrelate(sub);
+        let left_arity = left.arity();
+        let value_idx;
+        if !plan_has_outer(&sub) {
+            value_idx = left_arity;
+            left = LogicalPlan::CrossJoin { left: Box::new(left), right: Box::new(sub) };
+        } else {
+            let (joined, vidx) = join_correlated_scalar(left, sub, left_arity);
+            left = joined;
+            value_idx = vidx;
+        }
+        // Patch the sentinel placeholder.
+        conjunct = conjunct.transform(&|e| match e {
+            BoundExpr::Column { index, ty: t } if index == usize::MAX => {
+                BoundExpr::Column { index: value_idx, ty: t }
+            }
+            other => other,
+        });
+        let _ = ty;
+    }
+    LogicalPlan::Filter { input: Box::new(left), predicate: conjunct }
+}
+
+/// Rewrite a correlated scalar-aggregate subquery into a grouped aggregate
+/// joined on its correlation columns. Returns the joined plan and the index
+/// of the scalar value column.
+fn join_correlated_scalar(
+    left: LogicalPlan,
+    sub: LogicalPlan,
+    left_arity: usize,
+) -> (LogicalPlan, usize) {
+    // Expected shape: [Project]? over Aggregate{group_by: []} over Filter* .
+    let (proj, agg) = match sub {
+        LogicalPlan::Project { input, exprs, .. } => (Some(exprs), *input),
+        other => (None, other),
+    };
+    let LogicalPlan::Aggregate { input, group_by, aggs, schema: agg_schema } = agg else {
+        panic!("correlated scalar subquery must be a single aggregate (TPC-H shape)");
+    };
+    assert!(group_by.is_empty(), "correlated scalar subquery already grouped");
+    let (base, conjs) = peel_filters(*input);
+    let (corr, plain): (Vec<_>, Vec<_>) = conjs.into_iter().partition(|c| c.has_outer_ref());
+    let base = if plain.is_empty() {
+        base
+    } else {
+        LogicalPlan::Filter { input: Box::new(base), predicate: conjoin(plain) }
+    };
+    let (keys, residual) = classify_correlations(corr, left_arity);
+    assert!(
+        residual.is_none(),
+        "non-equality correlation in scalar subquery is unsupported"
+    );
+    assert!(!keys.is_empty(), "correlated scalar subquery needs equality correlations");
+    let base_schema = base.schema();
+    let n_keys = keys.len();
+    // Group the aggregate by the inner correlation columns.
+    let group_by: Vec<BoundExpr> = keys
+        .iter()
+        .map(|&(_, j)| BoundExpr::Column { index: j, ty: base_schema[j].ty })
+        .collect();
+    let mut new_schema: Vec<ColMeta> =
+        keys.iter().map(|&(_, j)| base_schema[j].clone()).collect();
+    new_schema.extend(agg_schema.iter().cloned());
+    let grouped = LogicalPlan::Aggregate {
+        input: Box::new(base),
+        group_by,
+        aggs,
+        schema: new_schema.clone(),
+    };
+    // Re-apply the optional projection, passing group columns through.
+    let right = match proj {
+        None => grouped,
+        Some(exprs) => {
+            let mut new_exprs: Vec<BoundExpr> = (0..n_keys)
+                .map(|i| BoundExpr::Column { index: i, ty: new_schema[i].ty })
+                .collect();
+            let mut proj_schema: Vec<ColMeta> = new_schema[..n_keys].to_vec();
+            for e in exprs {
+                let shifted = e.shift_columns(n_keys);
+                proj_schema.push(ColMeta::new("scalar", shifted.ty()));
+                new_exprs.push(shifted);
+            }
+            let schema = proj_schema;
+            LogicalPlan::Project { input: Box::new(grouped), exprs: new_exprs, schema }
+        }
+    };
+    let on: Vec<(usize, usize)> = keys.iter().enumerate().map(|(g, &(i, _))| (i, g)).collect();
+    let value_idx = left_arity + n_keys;
+    let joined = LogicalPlan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        join_type: JoinType::Inner,
+        on,
+        residual: None,
+    };
+    (joined, value_idx)
+}
+
+/// Depth-first replacement of the first `ScalarSubquery` with a sentinel
+/// column (`usize::MAX`), yielding the extracted plan through `found`.
+fn take_first_scalar_sub(
+    e: BoundExpr,
+    found: &mut Option<(LogicalPlan, LogicalType)>,
+) -> BoundExpr {
+    if found.is_some() {
+        return e;
+    }
+    match e {
+        BoundExpr::ScalarSubquery { plan, ty } => {
+            *found = Some((*plan, ty));
+            BoundExpr::Column { index: usize::MAX, ty }
+        }
+        BoundExpr::Binary { op, left, right, ty } => {
+            let l = take_first_scalar_sub(*left, found);
+            let r = take_first_scalar_sub(*right, found);
+            BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+        }
+        BoundExpr::Not(inner) => BoundExpr::Not(Box::new(take_first_scalar_sub(*inner, found))),
+        BoundExpr::Neg(inner) => BoundExpr::Neg(Box::new(take_first_scalar_sub(*inner, found))),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// Split correlated conjuncts into equi-join keys `(outer, inner)` and a
+/// residual predicate over the concatenated (left ++ right) schema.
+fn classify_correlations(
+    corr: Vec<BoundExpr>,
+    left_arity: usize,
+) -> (Vec<(usize, usize)>, Option<BoundExpr>) {
+    let mut keys = Vec::new();
+    let mut residual_parts = Vec::new();
+    for c in corr {
+        match &c {
+            BoundExpr::Binary { op: BinOp::Eq, left, right, .. } => {
+                match (left.as_ref(), right.as_ref()) {
+                    (BoundExpr::OuterRef { index: o, .. }, BoundExpr::Column { index: i, .. }) => {
+                        keys.push((*o, *i));
+                        continue;
+                    }
+                    (BoundExpr::Column { index: i, .. }, BoundExpr::OuterRef { index: o, .. }) => {
+                        keys.push((*o, *i));
+                        continue;
+                    }
+                    _ => {}
+                }
+                residual_parts.push(rewrite_residual(c, left_arity));
+            }
+            _ => residual_parts.push(rewrite_residual(c, left_arity)),
+        }
+    }
+    let residual = if residual_parts.is_empty() { None } else { Some(conjoin(residual_parts)) };
+    (keys, residual)
+}
+
+/// Map a correlated conjunct into (left ++ right) space: `OuterRef(i)` →
+/// `Column(i)`, `Column(j)` → `Column(left_arity + j)`.
+fn rewrite_residual(e: BoundExpr, left_arity: usize) -> BoundExpr {
+    e.transform(&|node| match node {
+        BoundExpr::OuterRef { index, ty } => BoundExpr::Column { index, ty },
+        BoundExpr::Column { index, ty } => BoundExpr::Column { index: index + left_arity, ty },
+        other => other,
+    })
+}
+
+/// Peel consecutive root `Filter`s, returning the base plan and all
+/// conjuncts.
+fn peel_filters(plan: LogicalPlan) -> (LogicalPlan, Vec<BoundExpr>) {
+    let mut conjs = Vec::new();
+    let mut cur = plan;
+    while let LogicalPlan::Filter { input, predicate } = cur {
+        split_conjuncts(predicate, &mut conjs);
+        cur = *input;
+    }
+    (cur, conjs)
+}
+
+/// Remove root projections (EXISTS does not care about output columns).
+fn strip_root_projects(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Project { input, .. } => strip_root_projects(*input),
+        other => other,
+    }
+}
+
+/// Ensure the IN-probe expression is available as a column; returns the
+/// (possibly wrapped) plan, the key column index, and whether a column was
+/// appended (to be projected away afterwards).
+fn ensure_key_column(left: LogicalPlan, expr: BoundExpr) -> (LogicalPlan, usize, bool) {
+    if let BoundExpr::Column { index, .. } = expr {
+        return (left, index, false);
+    }
+    let schema = left.schema();
+    let mut exprs: Vec<BoundExpr> = schema
+        .iter()
+        .enumerate()
+        .map(|(i, c)| BoundExpr::Column { index: i, ty: c.ty })
+        .collect();
+    let mut new_schema = schema;
+    new_schema.push(ColMeta::new("__in_key", expr.ty()));
+    exprs.push(expr);
+    let idx = exprs.len() - 1;
+    (
+        LogicalPlan::Project { input: Box::new(left), exprs, schema: new_schema },
+        idx,
+        true,
+    )
+}
+
+/// Drop a previously appended key column (semi/anti join output = left).
+fn strip_appended(plan: LogicalPlan, appended: bool) -> LogicalPlan {
+    if !appended {
+        return plan;
+    }
+    let schema = plan.schema();
+    let keep = schema.len() - 1;
+    let exprs: Vec<BoundExpr> = schema[..keep]
+        .iter()
+        .enumerate()
+        .map(|(i, c)| BoundExpr::Column { index: i, ty: c.ty })
+        .collect();
+    LogicalPlan::Project {
+        input: Box::new(plan),
+        exprs,
+        schema: schema[..keep].to_vec(),
+    }
+}
+
+/// True if any expression anywhere in the plan references the outer scope.
+pub(crate) fn plan_has_outer(plan: &LogicalPlan) -> bool {
+    let mut found = false;
+    visit_plan_exprs(plan, &mut |e| {
+        if e.has_outer_ref() {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Visit every expression in the plan (including nested subquery plans).
+pub(crate) fn visit_plan_exprs<'a>(plan: &'a LogicalPlan, f: &mut impl FnMut(&'a BoundExpr)) {
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Filter { input, predicate } => {
+            f(predicate);
+            visit_plan_exprs(input, f);
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            for e in exprs {
+                f(e);
+            }
+            visit_plan_exprs(input, f);
+        }
+        LogicalPlan::Join { left, right, residual, .. } => {
+            if let Some(r) = residual {
+                f(r);
+            }
+            visit_plan_exprs(left, f);
+            visit_plan_exprs(right, f);
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            visit_plan_exprs(left, f);
+            visit_plan_exprs(right, f);
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+            for e in group_by {
+                f(e);
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    f(arg);
+                }
+            }
+            visit_plan_exprs(input, f);
+        }
+        LogicalPlan::Sort { input, keys } => {
+            for k in keys {
+                f(&k.expr);
+            }
+            visit_plan_exprs(input, f);
+        }
+        LogicalPlan::Limit { input, .. } => visit_plan_exprs(input, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_query;
+    use crate::catalog::Catalog;
+    use tqp_data::{Field, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "t",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("b", LogicalType::Float64),
+            ]),
+            100,
+        );
+        c.register(
+            "u",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("x", LogicalType::Float64),
+            ]),
+            50,
+        );
+        c
+    }
+
+    fn plan(sql: &str) -> LogicalPlan {
+        let bound = bind_query(&tqp_sql::parse(sql).unwrap(), &catalog()).unwrap();
+        decorrelate(bound)
+    }
+
+    fn no_subqueries(p: &LogicalPlan) -> bool {
+        let mut ok = true;
+        visit_plan_exprs(p, &mut |e| {
+            if e.has_subquery() {
+                ok = false;
+            }
+        });
+        ok
+    }
+
+    fn find_join_types(p: &LogicalPlan, out: &mut Vec<JoinType>) {
+        if let LogicalPlan::Join { join_type, left, right, .. } = p {
+            out.push(*join_type);
+            find_join_types(left, out);
+            find_join_types(right, out);
+        } else {
+            for c in p.children() {
+                find_join_types(c, out);
+            }
+        }
+    }
+
+    #[test]
+    fn exists_becomes_semi_join() {
+        let p = plan("select a from t where exists (select * from u where u.a = t.a)");
+        assert!(no_subqueries(&p));
+        let mut jts = vec![];
+        find_join_types(&p, &mut jts);
+        assert_eq!(jts, vec![JoinType::Semi]);
+    }
+
+    #[test]
+    fn not_exists_becomes_anti_join() {
+        let p = plan("select a from t where not exists (select * from u where u.a = t.a)");
+        let mut jts = vec![];
+        find_join_types(&p, &mut jts);
+        assert_eq!(jts, vec![JoinType::Anti]);
+    }
+
+    #[test]
+    fn exists_with_noneq_residual() {
+        let p = plan(
+            "select a from t where exists (select * from u where u.a = t.a and u.x <> t.b)",
+        );
+        fn find_residual(p: &LogicalPlan) -> Option<&BoundExpr> {
+            match p {
+                LogicalPlan::Join { residual: Some(r), .. } => Some(r),
+                _ => p.children().into_iter().find_map(find_residual),
+            }
+        }
+        assert!(find_residual(&p).is_some());
+    }
+
+    #[test]
+    fn in_subquery_becomes_semi() {
+        let p = plan("select a from t where a in (select a from u)");
+        let mut jts = vec![];
+        find_join_types(&p, &mut jts);
+        assert_eq!(jts, vec![JoinType::Semi]);
+        let p = plan("select a from t where a not in (select a from u)");
+        let mut jts = vec![];
+        find_join_types(&p, &mut jts);
+        assert_eq!(jts, vec![JoinType::Anti]);
+    }
+
+    #[test]
+    fn uncorrelated_scalar_becomes_cross_join() {
+        let p = plan("select a from t where b > (select avg(x) from u)");
+        assert!(no_subqueries(&p));
+        fn has_cross(p: &LogicalPlan) -> bool {
+            matches!(p, LogicalPlan::CrossJoin { .. })
+                || p.children().into_iter().any(has_cross)
+        }
+        assert!(has_cross(&p));
+        // Output arity restored to 1.
+        assert_eq!(p.arity(), 1);
+    }
+
+    #[test]
+    fn correlated_scalar_becomes_grouped_join() {
+        let p = plan("select a from t where b > (select avg(x) from u where u.a = t.a)");
+        assert!(no_subqueries(&p));
+        // There must be an Aggregate grouped by one key under a Join.
+        fn find_grouped_agg(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Aggregate { group_by, .. } => !group_by.is_empty(),
+                _ => p.children().into_iter().any(find_grouped_agg),
+            }
+        }
+        assert!(find_grouped_agg(&p));
+        assert_eq!(p.arity(), 1);
+    }
+
+    #[test]
+    fn correlated_scalar_with_projection() {
+        // Q17 shape: 0.2 * avg(...).
+        let p =
+            plan("select a from t where b < (select 0.2 * avg(x) from u where u.a = t.a)");
+        assert!(no_subqueries(&p));
+        assert_eq!(p.arity(), 1);
+    }
+
+    #[test]
+    fn in_with_computed_key() {
+        let p = plan("select a from t where a + 1 in (select a from u)");
+        assert!(no_subqueries(&p));
+        assert_eq!(p.arity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equality correlation")]
+    fn exists_without_equality_panics() {
+        plan("select a from t where exists (select * from u where u.x > t.b)");
+    }
+}

@@ -1,0 +1,232 @@
+//! Constant folding and boolean simplification.
+
+use crate::expr::{eval_const, BinOp, BoundExpr};
+use crate::optimize::map_children;
+use crate::plan::LogicalPlan;
+use tqp_data::LogicalType;
+use tqp_tensor::Scalar;
+
+/// Fold constants in every expression of the plan (including inside
+/// not-yet-decorrelated subquery plans).
+pub fn fold_plan(plan: LogicalPlan) -> LogicalPlan {
+    let plan = map_children(plan, &mut fold_plan);
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let p = fold_expr(predicate);
+            // `WHERE true` disappears entirely.
+            if matches!(
+                p,
+                BoundExpr::Literal { value: Scalar::Bool(true), .. }
+            ) {
+                *input
+            } else {
+                LogicalPlan::Filter { input, predicate: p }
+            }
+        }
+        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+            input,
+            exprs: exprs.into_iter().map(fold_expr).collect(),
+            schema,
+        },
+        LogicalPlan::Join { left, right, join_type, on, residual } => LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            residual: residual.map(fold_expr),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs, schema } => LogicalPlan::Aggregate {
+            input,
+            group_by: group_by.into_iter().map(fold_expr).collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|mut a| {
+                    a.arg = a.arg.map(fold_expr);
+                    a
+                })
+                .collect(),
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input,
+            keys: keys
+                .into_iter()
+                .map(|mut k| {
+                    k.expr = fold_expr(k.expr);
+                    k
+                })
+                .collect(),
+        },
+        other => other,
+    }
+}
+
+/// Fold one expression bottom-up.
+pub fn fold_expr(e: BoundExpr) -> BoundExpr {
+    // Recurse into embedded subquery plans first.
+    let e = match e {
+        BoundExpr::ScalarSubquery { plan, ty } => {
+            BoundExpr::ScalarSubquery { plan: Box::new(fold_plan(*plan)), ty }
+        }
+        BoundExpr::InSubquery { expr, plan, negated } => BoundExpr::InSubquery {
+            expr,
+            plan: Box::new(fold_plan(*plan)),
+            negated,
+        },
+        BoundExpr::Exists { plan, negated } => {
+            BoundExpr::Exists { plan: Box::new(fold_plan(*plan)), negated }
+        }
+        other => other,
+    };
+    e.transform(&|node| simplify(node))
+}
+
+fn simplify(e: BoundExpr) -> BoundExpr {
+    // Whole-node constant evaluation.
+    if !e.is_literal() {
+        if let Some(v) = eval_const(&e) {
+            if !v.is_null() {
+                let ty = match &v {
+                    Scalar::Bool(_) => LogicalType::Bool,
+                    Scalar::I64(_) | Scalar::I32(_) => {
+                        if e.ty() == LogicalType::Date {
+                            LogicalType::Date
+                        } else {
+                            LogicalType::Int64
+                        }
+                    }
+                    Scalar::F64(_) | Scalar::F32(_) => LogicalType::Float64,
+                    Scalar::Str(_) => LogicalType::Str,
+                    Scalar::Null => e.ty(),
+                };
+                return BoundExpr::Literal { value: v, ty };
+            }
+        }
+    }
+    match e {
+        // Boolean identities.
+        BoundExpr::Binary { op: BinOp::And, left, right, ty } => {
+            match (is_bool_lit(&left), is_bool_lit(&right)) {
+                (Some(true), _) => *right,
+                (_, Some(true)) => *left,
+                (Some(false), _) | (_, Some(false)) => BoundExpr::lit_bool(false),
+                _ => BoundExpr::Binary { op: BinOp::And, left, right, ty },
+            }
+        }
+        BoundExpr::Binary { op: BinOp::Or, left, right, ty } => {
+            match (is_bool_lit(&left), is_bool_lit(&right)) {
+                (Some(false), _) => *right,
+                (_, Some(false)) => *left,
+                (Some(true), _) | (_, Some(true)) => BoundExpr::lit_bool(true),
+                _ => BoundExpr::Binary { op: BinOp::Or, left, right, ty },
+            }
+        }
+        BoundExpr::Not(inner) => match *inner {
+            BoundExpr::Not(x) => *x,
+            BoundExpr::Literal { value: Scalar::Bool(b), .. } => BoundExpr::lit_bool(!b),
+            // Push NOT through comparisons.
+            BoundExpr::Binary { op, left, right, ty } if op.is_comparison() => {
+                let flipped = match op {
+                    BinOp::Eq => BinOp::NotEq,
+                    BinOp::NotEq => BinOp::Eq,
+                    BinOp::Lt => BinOp::GtEq,
+                    BinOp::LtEq => BinOp::Gt,
+                    BinOp::Gt => BinOp::LtEq,
+                    BinOp::GtEq => BinOp::Lt,
+                    _ => unreachable!(),
+                };
+                BoundExpr::Binary { op: flipped, left, right, ty }
+            }
+            BoundExpr::Like { expr, pattern, negated } => {
+                BoundExpr::Like { expr, pattern, negated: !negated }
+            }
+            BoundExpr::InList { expr, list, negated } => {
+                BoundExpr::InList { expr, list, negated: !negated }
+            }
+            other => BoundExpr::Not(Box::new(other)),
+        },
+        other => other,
+    }
+}
+
+fn is_bool_lit(e: &BoundExpr) -> Option<bool> {
+    match e {
+        BoundExpr::Literal { value: Scalar::Bool(b), .. } => Some(*b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn band(l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(l),
+            right: Box::new(r),
+            ty: LogicalType::Bool,
+        }
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        let e = BoundExpr::Binary {
+            op: BinOp::Sub,
+            left: Box::new(BoundExpr::lit_f64(0.06)),
+            right: Box::new(BoundExpr::lit_f64(0.01)),
+            ty: LogicalType::Float64,
+        };
+        match fold_expr(e) {
+            BoundExpr::Literal { value: Scalar::F64(v), .. } => {
+                assert!((v - 0.05).abs() < 1e-12)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_true_elides() {
+        let col = BoundExpr::col(0, LogicalType::Bool);
+        assert_eq!(fold_expr(band(BoundExpr::lit_bool(true), col.clone())), col);
+        assert_eq!(
+            fold_expr(band(col, BoundExpr::lit_bool(false))),
+            BoundExpr::lit_bool(false)
+        );
+    }
+
+    #[test]
+    fn not_pushes_through() {
+        let cmp = BoundExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(BoundExpr::col(0, LogicalType::Int64)),
+            right: Box::new(BoundExpr::lit_i64(5)),
+            ty: LogicalType::Bool,
+        };
+        let folded = fold_expr(BoundExpr::Not(Box::new(cmp)));
+        assert!(matches!(folded, BoundExpr::Binary { op: BinOp::GtEq, .. }));
+        let like = BoundExpr::Like {
+            expr: Box::new(BoundExpr::col(0, LogicalType::Str)),
+            pattern: "x%".into(),
+            negated: false,
+        };
+        assert!(matches!(
+            fold_expr(BoundExpr::Not(Box::new(like))),
+            BoundExpr::Like { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn filter_true_disappears() {
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: vec![crate::plan::ColMeta::new("a", LogicalType::Int64)],
+            projection: None,
+        };
+        let p = LogicalPlan::Filter {
+            input: Box::new(scan.clone()),
+            predicate: band(BoundExpr::lit_bool(true), BoundExpr::lit_bool(true)),
+        };
+        assert_eq!(fold_plan(p), scan);
+    }
+}

@@ -1,0 +1,560 @@
+//! Cross-join elimination: turn `FROM a, b, c WHERE a.x = b.y AND ...`
+//! (the TPC-H style) into an equi-join tree with greedy, statistics-driven
+//! ordering, and extract equi-keys from explicit `JOIN ... ON` conditions.
+//!
+//! The pass also hoists conjuncts common to every branch of an `OR` —
+//! essential for Q19, whose entire WHERE clause is a disjunction that
+//! repeats `p_partkey = l_partkey` in every branch; without hoisting the
+//! only plan is a Cartesian product.
+
+use crate::catalog::Catalog;
+use crate::expr::{BinOp, BoundExpr};
+use crate::optimize::{conjoin, map_children, split_conjuncts};
+use crate::plan::{ColMeta, JoinType, LogicalPlan};
+
+/// Run the pass bottom-up over the whole plan.
+pub fn extract_joins(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
+    let plan = map_children(plan, &mut |p| extract_joins(p, catalog));
+    match plan {
+        LogicalPlan::Filter { input, predicate } => match *input {
+            LogicalPlan::CrossJoin { .. } => {
+                rebuild_cross_chain(*input, predicate, catalog)
+            }
+            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+        },
+        LogicalPlan::Join { left, right, join_type, on, residual } if on.is_empty() => {
+            extract_on_condition(*left, *right, join_type, residual)
+        }
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explicit JOIN ... ON key extraction
+// ---------------------------------------------------------------------
+
+fn extract_on_condition(
+    left: LogicalPlan,
+    right: LogicalPlan,
+    join_type: JoinType,
+    residual: Option<BoundExpr>,
+) -> LogicalPlan {
+    let Some(cond) = residual else {
+        return LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            join_type,
+            on: vec![],
+            residual: None,
+        };
+    };
+    let la = left.arity();
+    let total = la + right.arity();
+    let mut conjuncts = Vec::new();
+    split_conjuncts(cond, &mut conjuncts);
+    let mut on = Vec::new();
+    let mut push_left = Vec::new();
+    let mut push_right = Vec::new();
+    let mut leftover = Vec::new();
+    for c in conjuncts {
+        if let Some((l, r)) = as_equi_key(&c, la) {
+            on.push((l, r));
+            continue;
+        }
+        let mut refs = std::collections::BTreeSet::new();
+        c.referenced_columns(&mut refs);
+        let all_left = refs.iter().all(|&i| i < la);
+        let all_right = refs.iter().all(|&i| i >= la && i < total);
+        if all_right {
+            // Right-only ON conjuncts restrict matches; for LEFT joins this
+            // is exactly "filter the right input first".
+            push_right.push(c.shift_left(la));
+        } else if all_left && join_type == JoinType::Inner {
+            push_left.push(c);
+        } else {
+            leftover.push(c);
+        }
+    }
+    let left = if push_left.is_empty() {
+        left
+    } else {
+        LogicalPlan::Filter { input: Box::new(left), predicate: conjoin(push_left) }
+    };
+    let right = if push_right.is_empty() {
+        right
+    } else {
+        LogicalPlan::Filter { input: Box::new(right), predicate: conjoin(push_right) }
+    };
+    LogicalPlan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        join_type,
+        on,
+        residual: if leftover.is_empty() { None } else { Some(conjoin(leftover)) },
+    }
+}
+
+impl BoundExpr {
+    /// Shift column indexes *down* by `delta` (move right-side expressions
+    /// into the right child's own coordinate space).
+    fn shift_left(self, delta: usize) -> BoundExpr {
+        self.transform(&|e| match e {
+            BoundExpr::Column { index, ty } => BoundExpr::Column { index: index - delta, ty },
+            other => other,
+        })
+    }
+}
+
+/// Bare-column equality across the boundary → join key.
+fn as_equi_key(c: &BoundExpr, la: usize) -> Option<(usize, usize)> {
+    if let BoundExpr::Binary { op: BinOp::Eq, left, right, .. } = c {
+        if let (BoundExpr::Column { index: a, .. }, BoundExpr::Column { index: b, .. }) =
+            (left.as_ref(), right.as_ref())
+        {
+            if *a < la && *b >= la {
+                return Some((*a, *b - la));
+            }
+            if *b < la && *a >= la {
+                return Some((*b, *a - la));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Comma-join chains
+// ---------------------------------------------------------------------
+
+fn rebuild_cross_chain(
+    cross: LogicalPlan,
+    predicate: BoundExpr,
+    catalog: &Catalog,
+) -> LogicalPlan {
+    // Flatten the cross-join tree into relations with global column offsets.
+    let mut rels: Vec<LogicalPlan> = Vec::new();
+    flatten_cross(cross, &mut rels);
+    let arities: Vec<usize> = rels.iter().map(|r| r.arity()).collect();
+    let offsets: Vec<usize> = arities
+        .iter()
+        .scan(0usize, |acc, &a| {
+            let o = *acc;
+            *acc += a;
+            Some(o)
+        })
+        .collect();
+    let total: usize = arities.iter().sum();
+    let original_schema: Vec<ColMeta> =
+        rels.iter().flat_map(|r| r.schema()).collect();
+
+    // Conjuncts, with OR-common-factor hoisting (Q19).
+    let mut raw = Vec::new();
+    split_conjuncts(predicate, &mut raw);
+    let mut conjuncts = Vec::new();
+    for c in raw {
+        hoist_or_common(c, &mut conjuncts);
+    }
+
+    // Classify.
+    let rel_of = |col: usize| -> usize {
+        offsets.iter().rposition(|&o| o <= col).expect("column offset")
+    };
+    let mut local: Vec<Vec<BoundExpr>> = vec![Vec::new(); rels.len()];
+    let mut keys: Vec<(usize, usize, usize, usize)> = Vec::new(); // (rel_i, col_i, rel_j, col_j) local cols
+    let mut residual: Vec<BoundExpr> = Vec::new();
+    for c in conjuncts {
+        let mut refs = std::collections::BTreeSet::new();
+        c.referenced_columns(&mut refs);
+        let rel_set: std::collections::BTreeSet<usize> =
+            refs.iter().map(|&i| rel_of(i)).collect();
+        if rel_set.len() <= 1 {
+            let rel = rel_set.into_iter().next().unwrap_or(0);
+            local[rel].push(c.shift_to_local(offsets[rel]));
+            continue;
+        }
+        if rel_set.len() == 2 {
+            if let BoundExpr::Binary { op: BinOp::Eq, left, right, .. } = &c {
+                if let (
+                    BoundExpr::Column { index: a, .. },
+                    BoundExpr::Column { index: b, .. },
+                ) = (left.as_ref(), right.as_ref())
+                {
+                    let (ra, rb) = (rel_of(*a), rel_of(*b));
+                    keys.push((ra, a - offsets[ra], rb, b - offsets[rb]));
+                    continue;
+                }
+            }
+        }
+        residual.push(c);
+    }
+
+    // Apply local filters and estimate sizes.
+    let rels: Vec<LogicalPlan> = rels
+        .into_iter()
+        .zip(local)
+        .map(|(r, fs)| {
+            if fs.is_empty() {
+                r
+            } else {
+                LogicalPlan::Filter { input: Box::new(r), predicate: conjoin(fs) }
+            }
+        })
+        .collect();
+    let sizes: Vec<f64> = rels.iter().map(|r| estimate(r, catalog)).collect();
+
+    // Greedy left-deep join ordering.
+    let n = rels.len();
+    let mut in_set = vec![false; n];
+    let mut colmap: Vec<usize> = vec![usize::MAX; total];
+    let has_edge = |i: usize, in_set: &[bool]| {
+        keys.iter().any(|&(a, _, b, _)| {
+            (a == i && in_set[b]) || (b == i && in_set[a])
+        })
+    };
+    // Start with the smallest relation that participates in any key (or the
+    // smallest overall when no keys exist).
+    let start = (0..n)
+        .filter(|&i| keys.iter().any(|&(a, _, b, _)| a == i || b == i))
+        .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
+        .unwrap_or_else(|| {
+            (0..n).min_by(|&a, &b| sizes[a].total_cmp(&sizes[b])).unwrap()
+        });
+    let mut rels_opt: Vec<Option<LogicalPlan>> = rels.into_iter().map(Some).collect();
+    let mut plan = rels_opt[start].take().unwrap();
+    in_set[start] = true;
+    for c in 0..arities[start] {
+        colmap[offsets[start] + c] = c;
+    }
+    let mut cur_arity = arities[start];
+    for _ in 1..n {
+        // Prefer a key-connected relation; otherwise fall back to a cross
+        // join with the smallest remaining one.
+        let next = (0..n)
+            .filter(|&i| !in_set[i] && has_edge(i, &in_set))
+            .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
+            .or_else(|| {
+                (0..n)
+                    .filter(|&i| !in_set[i])
+                    .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
+            })
+            .unwrap();
+        let rel = rels_opt[next].take().unwrap();
+        let mut on: Vec<(usize, usize)> = Vec::new();
+        for &(a, ca, b, cb) in &keys {
+            if a == next && in_set[b] {
+                on.push((colmap[offsets[b] + cb], ca));
+            } else if b == next && in_set[a] {
+                on.push((colmap[offsets[a] + ca], cb));
+            }
+        }
+        plan = if on.is_empty() {
+            LogicalPlan::CrossJoin { left: Box::new(plan), right: Box::new(rel) }
+        } else {
+            LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(rel),
+                join_type: JoinType::Inner,
+                on,
+                residual: None,
+            }
+        };
+        in_set[next] = true;
+        for c in 0..arities[next] {
+            colmap[offsets[next] + c] = cur_arity + c;
+        }
+        cur_arity += arities[next];
+    }
+
+    // Residual predicates over the new layout.
+    if !residual.is_empty() {
+        let remapped: Vec<BoundExpr> = residual
+            .into_iter()
+            .map(|c| {
+                c.transform(&|e| match e {
+                    BoundExpr::Column { index, ty } => {
+                        BoundExpr::Column { index: colmap[index], ty }
+                    }
+                    other => other,
+                })
+            })
+            .collect();
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: conjoin(remapped) };
+    }
+
+    // Restore the original column layout so parents' indexes stay valid.
+    let needs_restore = colmap.iter().enumerate().any(|(old, &new)| old != new);
+    if needs_restore {
+        let exprs: Vec<BoundExpr> = (0..total)
+            .map(|old| BoundExpr::Column { index: colmap[old], ty: original_schema[old].ty })
+            .collect();
+        plan = LogicalPlan::Project { input: Box::new(plan), exprs, schema: original_schema };
+    }
+    plan
+}
+
+impl BoundExpr {
+    fn shift_to_local(self, offset: usize) -> BoundExpr {
+        self.transform(&|e| match e {
+            BoundExpr::Column { index, ty } => {
+                BoundExpr::Column { index: index - offset, ty }
+            }
+            other => other,
+        })
+    }
+}
+
+fn flatten_cross(plan: LogicalPlan, out: &mut Vec<LogicalPlan>) {
+    match plan {
+        LogicalPlan::CrossJoin { left, right } => {
+            flatten_cross(*left, out);
+            flatten_cross(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// `OR(A∧X, A∧Y)` → `A ∧ OR(X, Y)`: hoist conjuncts present in every
+/// branch of a disjunction.
+fn hoist_or_common(c: BoundExpr, out: &mut Vec<BoundExpr>) {
+    if !matches!(c, BoundExpr::Binary { op: BinOp::Or, .. }) {
+        out.push(c);
+        return;
+    }
+    let mut branches = Vec::new();
+    split_disjuncts(c, &mut branches);
+    let branch_sets: Vec<Vec<BoundExpr>> = branches
+        .into_iter()
+        .map(|b| {
+            let mut v = Vec::new();
+            split_conjuncts(b, &mut v);
+            v
+        })
+        .collect();
+    let first = branch_sets[0].clone();
+    let common: Vec<BoundExpr> = first
+        .into_iter()
+        .filter(|c| branch_sets[1..].iter().all(|s| s.contains(c)))
+        .collect();
+    if common.is_empty() {
+        out.push(rejoin_or(branch_sets));
+        return;
+    }
+    let stripped: Vec<Vec<BoundExpr>> = branch_sets
+        .into_iter()
+        .map(|s| {
+            let mut remaining = s;
+            for c in &common {
+                if let Some(pos) = remaining.iter().position(|x| x == c) {
+                    remaining.remove(pos);
+                }
+            }
+            remaining
+        })
+        .collect();
+    out.extend(common);
+    // Any branch reduced to empty means the OR is implied by the common part.
+    if stripped.iter().all(|s| !s.is_empty()) {
+        out.push(rejoin_or(stripped));
+    }
+}
+
+fn split_disjuncts(e: BoundExpr, out: &mut Vec<BoundExpr>) {
+    match e {
+        BoundExpr::Binary { op: BinOp::Or, left, right, .. } => {
+            split_disjuncts(*left, out);
+            split_disjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn rejoin_or(branch_sets: Vec<Vec<BoundExpr>>) -> BoundExpr {
+    let mut it = branch_sets.into_iter().map(conjoin);
+    let first = it.next().unwrap();
+    it.fold(first, |acc, b| BoundExpr::Binary {
+        op: BinOp::Or,
+        left: Box::new(acc),
+        right: Box::new(b),
+        ty: tqp_data::LogicalType::Bool,
+    })
+}
+
+/// Cardinality estimate used for greedy ordering.
+pub(crate) fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            catalog.get(table).map(|m| m.rows as f64).unwrap_or(1000.0)
+        }
+        LogicalPlan::Filter { input, .. } => estimate(input, catalog) * 0.2,
+        LogicalPlan::Project { input, .. } => estimate(input, catalog),
+        LogicalPlan::Join { left, right, join_type, .. } => match join_type {
+            JoinType::Semi | JoinType::Anti => estimate(left, catalog) * 0.5,
+            _ => estimate(left, catalog).max(estimate(right, catalog)),
+        },
+        LogicalPlan::CrossJoin { left, right } => {
+            estimate(left, catalog) * estimate(right, catalog)
+        }
+        LogicalPlan::Aggregate { input, group_by, .. } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                estimate(input, catalog) * 0.1
+            }
+        }
+        LogicalPlan::Sort { input, .. } => estimate(input, catalog),
+        LogicalPlan::Limit { input, n } => estimate(input, catalog).min(*n as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_query;
+    use crate::catalog::Catalog;
+    use tqp_data::{Field, LogicalType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "big",
+            Schema::new(vec![
+                Field::new("id", LogicalType::Int64),
+                Field::new("small_id", LogicalType::Int64),
+                Field::new("v", LogicalType::Float64),
+            ]),
+            10_000,
+        );
+        c.register(
+            "small",
+            Schema::new(vec![
+                Field::new("id", LogicalType::Int64),
+                Field::new("name", LogicalType::Str),
+            ]),
+            10,
+        );
+        c.register(
+            "mid",
+            Schema::new(vec![
+                Field::new("id", LogicalType::Int64),
+                Field::new("big_id", LogicalType::Int64),
+            ]),
+            1_000,
+        );
+        c
+    }
+
+    fn plan(sql: &str) -> LogicalPlan {
+        let cat = catalog();
+        let bound = bind_query(&tqp_sql::parse(sql).unwrap(), &cat).unwrap();
+        extract_joins(bound, &cat)
+    }
+
+    fn count_nodes(p: &LogicalPlan, pred: &dyn Fn(&LogicalPlan) -> bool) -> usize {
+        let mut n = usize::from(pred(p));
+        for c in p.children() {
+            n += count_nodes(c, pred);
+        }
+        n
+    }
+
+    #[test]
+    fn comma_join_becomes_equi_join() {
+        let p = plan("select big.v from big, small where big.small_id = small.id");
+        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 0);
+        assert_eq!(
+            count_nodes(
+                &p,
+                &|n| matches!(n, LogicalPlan::Join { join_type: JoinType::Inner, .. })
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn smallest_relation_drives_order() {
+        let p = plan(
+            "select big.v from big, small, mid where big.small_id = small.id \
+             and mid.big_id = big.id",
+        );
+        // No cross joins left, two inner joins.
+        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 0);
+        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::Join { .. })), 2);
+    }
+
+    #[test]
+    fn local_filters_pushed_during_extraction() {
+        let p = plan(
+            "select big.v from big, small where big.small_id = small.id and small.name = 'x'",
+        );
+        // The small-side filter must sit below the join.
+        fn filter_below_join(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Join { left, right, .. } => {
+                    matches!(**left, LogicalPlan::Filter { .. })
+                        || matches!(**right, LogicalPlan::Filter { .. })
+                        || filter_below_join(left)
+                        || filter_below_join(right)
+                }
+                _ => p.children().into_iter().any(filter_below_join),
+            }
+        }
+        assert!(filter_below_join(&p));
+    }
+
+    #[test]
+    fn or_common_hoisting_enables_join() {
+        // Q19 shape: OR branches all contain the join predicate.
+        let p = plan(
+            "select big.v from big, small where \
+             (big.small_id = small.id and small.name = 'a' and big.v > 1.0) or \
+             (big.small_id = small.id and small.name = 'b' and big.v > 2.0)",
+        );
+        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 0);
+        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::Join { .. })), 1);
+    }
+
+    #[test]
+    fn layout_restoring_projection_added() {
+        // Join order differs from FROM order → a Project restores layout, so
+        // the output schema names match the original SELECT.
+        let p = plan("select big.v, small.name from big, small where big.small_id = small.id");
+        let schema = p.schema();
+        assert_eq!(schema[0].name, "v");
+        assert_eq!(schema[1].name, "name");
+    }
+
+    #[test]
+    fn explicit_on_extracts_keys() {
+        let p = plan("select big.v from big join small on big.small_id = small.id");
+        fn has_keyed_join(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Join { on, .. } => !on.is_empty(),
+                _ => p.children().into_iter().any(has_keyed_join),
+            }
+        }
+        assert!(has_keyed_join(&p));
+    }
+
+    #[test]
+    fn left_join_right_condition_pushed() {
+        let p = plan(
+            "select big.v from big left outer join small \
+             on big.small_id = small.id and small.name = 'x'",
+        );
+        fn join_right_is_filter(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Join { right, join_type: JoinType::Left, .. } => {
+                    matches!(**right, LogicalPlan::Filter { .. })
+                }
+                _ => p.children().into_iter().any(join_right_is_filter),
+            }
+        }
+        assert!(join_right_is_filter(&p));
+    }
+
+    #[test]
+    fn no_keys_stays_cross() {
+        let p = plan("select big.v from big, small where big.v > 1.0");
+        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Filter pushdown: move predicates as close to the scans as possible.
+
+use crate::expr::BoundExpr;
+use crate::optimize::{conjoin, map_children, split_conjuncts};
+use crate::plan::{JoinType, LogicalPlan};
+
+/// Push filters down through projects, joins, and aggregates.
+pub fn push_filters(plan: LogicalPlan) -> LogicalPlan {
+    let plan = match plan {
+        LogicalPlan::Filter { input, predicate } => push_into(*input, predicate),
+        other => other,
+    };
+    map_children(plan, &mut push_filters)
+}
+
+/// Push `predicate` into `input`, returning the combined plan.
+fn push_into(input: LogicalPlan, predicate: BoundExpr) -> LogicalPlan {
+    let mut conjuncts = Vec::new();
+    split_conjuncts(predicate, &mut conjuncts);
+    push_conjuncts(input, conjuncts)
+}
+
+fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan {
+    match input {
+        // Merge stacked filters, then keep pushing.
+        LogicalPlan::Filter { input: inner, predicate } => {
+            let mut all = conjuncts;
+            split_conjuncts(predicate, &mut all);
+            push_conjuncts(*inner, all)
+        }
+        // Substitute projection expressions and push below.
+        LogicalPlan::Project { input: inner, exprs, schema } => {
+            let substituted: Vec<BoundExpr> = conjuncts
+                .into_iter()
+                .map(|c| {
+                    c.transform(&|e| match e {
+                        BoundExpr::Column { index, .. } => exprs[index].clone(),
+                        other => other,
+                    })
+                })
+                .collect();
+            let inner = push_conjuncts(*inner, substituted);
+            LogicalPlan::Project { input: Box::new(inner), exprs, schema }
+        }
+        LogicalPlan::Join { left, right, join_type, on, residual } => {
+            let la = left.arity();
+            let total = la
+                + match join_type {
+                    JoinType::Semi | JoinType::Anti => right.arity(),
+                    _ => right.arity(),
+                };
+            let mut left_parts = Vec::new();
+            let mut right_parts = Vec::new();
+            let mut keep = Vec::new();
+            for c in conjuncts {
+                let mut refs = std::collections::BTreeSet::new();
+                c.referenced_columns(&mut refs);
+                let all_left = refs.iter().all(|&i| i < la);
+                let all_right = refs.iter().all(|&i| i >= la && i < total);
+                match join_type {
+                    // Above semi/anti the schema is left-only: always safe.
+                    JoinType::Semi | JoinType::Anti => left_parts.push(c),
+                    JoinType::Inner => {
+                        if all_left {
+                            left_parts.push(c);
+                        } else if all_right {
+                            right_parts.push(shift_down(c, la));
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                    JoinType::Left => {
+                        // Only left-side predicates commute with a left
+                        // outer join (right-side ones would observe NULLs).
+                        if all_left {
+                            left_parts.push(c);
+                        } else {
+                            keep.push(c);
+                        }
+                    }
+                }
+            }
+            let new_left = if left_parts.is_empty() {
+                *left
+            } else {
+                push_conjuncts(*left, left_parts)
+            };
+            let new_right = if right_parts.is_empty() {
+                *right
+            } else {
+                push_conjuncts(*right, right_parts)
+            };
+            let join = LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                join_type,
+                on,
+                residual,
+            };
+            wrap(join, keep)
+        }
+        LogicalPlan::CrossJoin { left, right } => {
+            let la = left.arity();
+            let mut left_parts = Vec::new();
+            let mut right_parts = Vec::new();
+            let mut keep = Vec::new();
+            for c in conjuncts {
+                let mut refs = std::collections::BTreeSet::new();
+                c.referenced_columns(&mut refs);
+                if refs.iter().all(|&i| i < la) {
+                    left_parts.push(c);
+                } else if refs.iter().all(|&i| i >= la) {
+                    right_parts.push(shift_down(c, la));
+                } else {
+                    keep.push(c);
+                }
+            }
+            let new_left = if left_parts.is_empty() {
+                *left
+            } else {
+                push_conjuncts(*left, left_parts)
+            };
+            let new_right = if right_parts.is_empty() {
+                *right
+            } else {
+                push_conjuncts(*right, right_parts)
+            };
+            wrap(
+                LogicalPlan::CrossJoin { left: Box::new(new_left), right: Box::new(new_right) },
+                keep,
+            )
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
+            // Conjuncts touching only group columns commute with grouping.
+            let n_groups = group_by.len();
+            let mut push = Vec::new();
+            let mut keep = Vec::new();
+            for c in conjuncts {
+                let mut refs = std::collections::BTreeSet::new();
+                c.referenced_columns(&mut refs);
+                if refs.iter().all(|&i| i < n_groups) {
+                    let rewritten = c.transform(&|e| match e {
+                        BoundExpr::Column { index, .. } if index < n_groups => {
+                            group_by[index].clone()
+                        }
+                        other => other,
+                    });
+                    push.push(rewritten);
+                } else {
+                    keep.push(c);
+                }
+            }
+            let inner = if push.is_empty() { *input } else { push_conjuncts(*input, push) };
+            wrap(
+                LogicalPlan::Aggregate {
+                    input: Box::new(inner),
+                    group_by,
+                    aggs,
+                    schema,
+                },
+                keep,
+            )
+        }
+        // Sort commutes with filtering.
+        LogicalPlan::Sort { input, keys } => {
+            let inner = push_conjuncts(*input, conjuncts);
+            LogicalPlan::Sort { input: Box::new(inner), keys }
+        }
+        other => wrap(other, conjuncts),
+    }
+}
+
+fn shift_down(e: BoundExpr, la: usize) -> BoundExpr {
+    e.transform(&|node| match node {
+        BoundExpr::Column { index, ty } => BoundExpr::Column { index: index - la, ty },
+        other => other,
+    })
+}
+
+fn wrap(plan: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan {
+    if conjuncts.is_empty() {
+        plan
+    } else {
+        LogicalPlan::Filter { input: Box::new(plan), predicate: conjoin(conjuncts) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_query;
+    use crate::catalog::Catalog;
+    use tqp_data::{Field, LogicalType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "t",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("b", LogicalType::Float64),
+            ]),
+            100,
+        );
+        c.register(
+            "u",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("x", LogicalType::Float64),
+            ]),
+            50,
+        );
+        c
+    }
+
+    fn opt(sql: &str) -> LogicalPlan {
+        let cat = catalog();
+        let p = bind_query(&tqp_sql::parse(sql).unwrap(), &cat).unwrap();
+        let p = crate::optimize::joins::extract_joins(p, &cat);
+        push_filters(p)
+    }
+
+    fn scan_has_filter_above(p: &LogicalPlan, table: &str) -> bool {
+        match p {
+            LogicalPlan::Filter { input, .. } => {
+                matches!(&**input, LogicalPlan::Scan { table: t, .. } if t == table)
+                    || scan_has_filter_above(input, table)
+            }
+            _ => p.children().into_iter().any(|c| scan_has_filter_above(c, table)),
+        }
+    }
+
+    #[test]
+    fn pushes_through_join_sides() {
+        let p = opt("select t.a from t, u where t.a = u.a and t.b > 1.0 and u.x < 2.0");
+        assert!(scan_has_filter_above(&p, "t"));
+        assert!(scan_has_filter_above(&p, "u"));
+    }
+
+    #[test]
+    fn pushes_through_projection() {
+        let p = opt("select aa from (select a as aa from t) as s where aa > 5");
+        assert!(scan_has_filter_above(&p, "t"));
+    }
+
+    #[test]
+    fn group_key_filter_pushes_below_aggregate() {
+        let p = opt("select a, sum(b) from t group by a having a > 3 and sum(b) > 1.0");
+        // `a > 3` goes under the Aggregate; `sum(b) > 1.0` stays above.
+        fn agg_has_filter_below(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Aggregate { input, .. } => {
+                    matches!(&**input, LogicalPlan::Filter { .. })
+                }
+                _ => p.children().into_iter().any(agg_has_filter_below),
+            }
+        }
+        fn agg_has_filter_above(p: &LogicalPlan) -> bool {
+            match p {
+                LogicalPlan::Filter { input, .. } => {
+                    matches!(&**input, LogicalPlan::Aggregate { .. })
+                        || agg_has_filter_above(input)
+                }
+                _ => p.children().into_iter().any(agg_has_filter_above),
+            }
+        }
+        assert!(agg_has_filter_below(&p));
+        assert!(agg_has_filter_above(&p));
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let cat = catalog();
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: vec![
+                crate::plan::ColMeta::new("a", LogicalType::Int64),
+                crate::plan::ColMeta::new("b", LogicalType::Float64),
+            ],
+            projection: None,
+        };
+        let _ = cat;
+        let stacked = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan),
+                predicate: BoundExpr::lit_bool(true),
+            }),
+            predicate: BoundExpr::lit_bool(true),
+        };
+        let pushed = push_filters(stacked);
+        // One merged filter remains.
+        fn filter_depth(p: &LogicalPlan) -> usize {
+            match p {
+                LogicalPlan::Filter { input, .. } => 1 + filter_depth(input),
+                _ => 0,
+            }
+        }
+        assert_eq!(filter_depth(&pushed), 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Physical planning: annotate the logical plan with algorithm choices.
+//!
+//! TQP's planning layer (paper §2.2) maps each IR operator to a tensor
+//! program; which program depends on the physical operator chosen here.
+//! Two strategy axes are exposed — they are the ablation knobs of the
+//! benchmark suite:
+//!
+//! * joins: **sort-merge** (the tensor-native formulation built on argsort +
+//!   `searchsorted`) vs **hash** (row-hash tables);
+//! * aggregation: **sort-based** (sort + run detection + segmented reduce)
+//!   vs **hash-based** (group table + scatter).
+//!
+//! The same physical plan drives the row-Volcano baseline, which is exactly
+//! the paper's experimental setup: identical plans, different execution
+//! substrates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::{AggCall, BoundExpr};
+use crate::plan::{ColMeta, JoinType, LogicalPlan, PlanSchema, SortKey};
+
+/// Join algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinStrategy {
+    /// Argsort + `searchsorted` probe (tensor-native; the paper's default).
+    SortMerge,
+    /// Row-hash build + probe.
+    Hash,
+}
+
+/// Aggregation algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggStrategy {
+    /// Multi-key sort + run boundaries + segmented reduction.
+    Sort,
+    /// Hash group table + scatter reduction.
+    Hash,
+}
+
+/// Physical planning options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysicalOptions {
+    pub join: JoinStrategy,
+    pub agg: AggStrategy,
+}
+
+impl Default for PhysicalOptions {
+    fn default() -> Self {
+        PhysicalOptions { join: JoinStrategy::SortMerge, agg: AggStrategy::Sort }
+    }
+}
+
+/// The physical plan: structurally the logical plan plus algorithm tags.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalPlan {
+    Scan {
+        table: String,
+        schema: PlanSchema,
+        projection: Option<Vec<usize>>,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: BoundExpr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<BoundExpr>,
+        schema: PlanSchema,
+    },
+    Join {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        join_type: JoinType,
+        strategy: JoinStrategy,
+        on: Vec<(usize, usize)>,
+        residual: Option<BoundExpr>,
+    },
+    CrossJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+    },
+    Aggregate {
+        input: Box<PhysicalPlan>,
+        strategy: AggStrategy,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggCall>,
+        schema: PlanSchema,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        n: usize,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output schema.
+    pub fn schema(&self) -> PlanSchema {
+        match self {
+            PhysicalPlan::Scan { schema, projection, .. } => match projection {
+                Some(idx) => idx.iter().map(|&i| schema[i].clone()).collect(),
+                None => schema.clone(),
+            },
+            PhysicalPlan::Filter { input, .. } => input.schema(),
+            PhysicalPlan::Project { schema, .. } => schema.clone(),
+            PhysicalPlan::Join { left, right, join_type, .. } => match join_type {
+                JoinType::Semi | JoinType::Anti => left.schema(),
+                _ => {
+                    let mut s = left.schema();
+                    s.extend(right.schema());
+                    s
+                }
+            },
+            PhysicalPlan::CrossJoin { left, right } => {
+                let mut s = left.schema();
+                s.extend(right.schema());
+                s
+            }
+            PhysicalPlan::Aggregate { schema, .. } => schema.clone(),
+            PhysicalPlan::Sort { input, .. } => input.schema(),
+            PhysicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        self.schema().len()
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::Scan { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Aggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+            PhysicalPlan::Join { left, right, .. }
+            | PhysicalPlan::CrossJoin { left, right } => vec![left, right],
+        }
+    }
+
+    /// Operator name for profiling / display.
+    pub fn op_name(&self) -> String {
+        match self {
+            PhysicalPlan::Scan { table, .. } => format!("Scan({table})"),
+            PhysicalPlan::Filter { .. } => "Filter".into(),
+            PhysicalPlan::Project { .. } => "Project".into(),
+            PhysicalPlan::Join { strategy, join_type, .. } => {
+                format!("{strategy:?}Join({join_type:?})")
+            }
+            PhysicalPlan::CrossJoin { .. } => "CrossJoin".into(),
+            PhysicalPlan::Aggregate { strategy, .. } => format!("{strategy:?}Aggregate"),
+            PhysicalPlan::Sort { .. } => "Sort".into(),
+            PhysicalPlan::Limit { .. } => "Limit".into(),
+        }
+    }
+
+    /// EXPLAIN-style indented tree.
+    pub fn display_tree(&self) -> String {
+        fn go(p: &PhysicalPlan, out: &mut String, depth: usize) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&p.op_name());
+            out.push('\n');
+            for c in p.children() {
+                go(c, out, depth + 1);
+            }
+        }
+        let mut s = String::new();
+        go(self, &mut s, 0);
+        s
+    }
+
+    /// Serialize to the JSON interchange format (the "external frontend"
+    /// representation — how a Spark-produced plan would arrive).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("physical plan serializes")
+    }
+
+    /// Deserialize a plan from JSON.
+    pub fn from_json(s: &str) -> Result<PhysicalPlan, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Convert an optimized logical plan into a physical plan.
+pub fn plan_physical(plan: &LogicalPlan, opts: &PhysicalOptions) -> PhysicalPlan {
+    match plan {
+        LogicalPlan::Scan { table, schema, projection } => PhysicalPlan::Scan {
+            table: table.clone(),
+            schema: schema.clone(),
+            projection: projection.clone(),
+        },
+        LogicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(plan_physical(input, opts)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, exprs, schema } => PhysicalPlan::Project {
+            input: Box::new(plan_physical(input, opts)),
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Join { left, right, join_type, on, residual } => PhysicalPlan::Join {
+            left: Box::new(plan_physical(left, opts)),
+            right: Box::new(plan_physical(right, opts)),
+            join_type: *join_type,
+            strategy: opts.join,
+            on: on.clone(),
+            residual: residual.clone(),
+        },
+        LogicalPlan::CrossJoin { left, right } => PhysicalPlan::CrossJoin {
+            left: Box::new(plan_physical(left, opts)),
+            right: Box::new(plan_physical(right, opts)),
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs, schema } => PhysicalPlan::Aggregate {
+            input: Box::new(plan_physical(input, opts)),
+            strategy: opts.agg,
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(plan_physical(input, opts)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => {
+            PhysicalPlan::Limit { input: Box::new(plan_physical(input, opts)), n: *n }
+        }
+    }
+}
+
+/// Flatten the schema into a `tqp_data::Schema` (drops qualifiers).
+pub fn to_data_schema(schema: &PlanSchema) -> tqp_data::Schema {
+    tqp_data::Schema::new(
+        schema
+            .iter()
+            .map(|c| tqp_data::Field::new(c.name.clone(), c.ty))
+            .collect(),
+    )
+}
+
+/// Make output column names unique for display (duplicate names get a
+/// positional suffix) — mirrors what DataFrame engines do.
+pub fn dedup_names(schema: &PlanSchema) -> Vec<ColMeta> {
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    schema
+        .iter()
+        .map(|c| {
+            let n = seen.entry(c.name.to_ascii_lowercase()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                c.clone()
+            } else {
+                ColMeta {
+                    qualifier: c.qualifier.clone(),
+                    name: format!("{}_{}", c.name, n),
+                    ty: c.ty,
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind_query;
+    use crate::catalog::Catalog;
+    use tqp_data::{Field, LogicalType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "t",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("b", LogicalType::Float64),
+            ]),
+            100,
+        );
+        c.register(
+            "u",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("x", LogicalType::Float64),
+            ]),
+            50,
+        );
+        c
+    }
+
+    fn physical(sql: &str, opts: PhysicalOptions) -> PhysicalPlan {
+        let cat = catalog();
+        let p = bind_query(&tqp_sql::parse(sql).unwrap(), &cat).unwrap();
+        let p = crate::optimize::optimize(p, &cat);
+        plan_physical(&p, &opts)
+    }
+
+    #[test]
+    fn strategies_propagate() {
+        let p = physical(
+            "select t.a, sum(t.b) from t, u where t.a = u.a group by t.a",
+            PhysicalOptions { join: JoinStrategy::Hash, agg: AggStrategy::Hash },
+        );
+        fn check(p: &PhysicalPlan) -> (bool, bool) {
+            let mut j = false;
+            let mut a = false;
+            if let PhysicalPlan::Join { strategy, .. } = p {
+                j |= *strategy == JoinStrategy::Hash;
+            }
+            if let PhysicalPlan::Aggregate { strategy, .. } = p {
+                a |= *strategy == AggStrategy::Hash;
+            }
+            for c in p.children() {
+                let (cj, ca) = check(c);
+                j |= cj;
+                a |= ca;
+            }
+            (j, a)
+        }
+        let (j, a) = check(&p);
+        assert!(j && a);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = physical("select a from t where b > 1.0 order by a limit 3",
+            PhysicalOptions::default());
+        let json = p.to_json();
+        let back = PhysicalPlan::from_json(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn display_and_names() {
+        let p = physical("select a, b from t", PhysicalOptions::default());
+        let tree = p.display_tree();
+        assert!(tree.contains("Scan(t)"));
+        let schema = vec![
+            ColMeta::new("x", LogicalType::Int64),
+            ColMeta::new("x", LogicalType::Int64),
+        ];
+        let dd = dedup_names(&schema);
+        assert_eq!(dd[0].name, "x");
+        assert_eq!(dd[1].name, "x_2");
+    }
+}

@@ -1,0 +1,281 @@
+//! The logical plan IR: relational operators over bound expressions.
+
+use serde::{Deserialize, Serialize};
+use tqp_data::LogicalType;
+
+use crate::expr::{AggCall, AggFunc, BoundExpr};
+
+/// One output column of a plan node: an optional qualifier (table alias),
+/// the column name, and its type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColMeta {
+    pub qualifier: Option<String>,
+    pub name: String,
+    pub ty: LogicalType,
+}
+
+impl ColMeta {
+    /// Unqualified column.
+    pub fn new(name: impl Into<String>, ty: LogicalType) -> ColMeta {
+        ColMeta { qualifier: None, name: name.into(), ty }
+    }
+
+    /// Qualified column.
+    pub fn qualified(q: &str, name: impl Into<String>, ty: LogicalType) -> ColMeta {
+        ColMeta { qualifier: Some(q.to_string()), name: name.into(), ty }
+    }
+}
+
+/// Ordered output schema of a plan node.
+pub type PlanSchema = Vec<ColMeta>;
+
+/// Join flavours of the IR. `Semi`/`Anti` come from decorrelation
+/// (`EXISTS` / `IN` and their negations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinType {
+    Inner,
+    /// Left outer (right columns become NULLable).
+    Left,
+    /// Emit left rows with ≥1 match.
+    Semi,
+    /// Emit left rows with 0 matches.
+    Anti,
+}
+
+/// A sort key: expression + direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SortKey {
+    pub expr: BoundExpr,
+    pub desc: bool,
+}
+
+/// The logical plan tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalPlan {
+    /// Base table scan. `projection` holds the retained column indexes of
+    /// the catalog schema (column pruning rewrites it).
+    Scan { table: String, schema: PlanSchema, projection: Option<Vec<usize>> },
+    /// Row filter.
+    Filter { input: Box<LogicalPlan>, predicate: BoundExpr },
+    /// Expression projection.
+    Project { input: Box<LogicalPlan>, exprs: Vec<BoundExpr>, schema: PlanSchema },
+    /// Equi-join with optional residual predicate. `on` pairs are
+    /// (left column index, right column index); the residual is evaluated
+    /// over the concatenated (left ++ right) schema.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        join_type: JoinType,
+        on: Vec<(usize, usize)>,
+        residual: Option<BoundExpr>,
+    },
+    /// Cartesian product (removed by join extraction where possible).
+    CrossJoin { left: Box<LogicalPlan>, right: Box<LogicalPlan> },
+    /// Group-by aggregation. Output schema: group columns then agg results.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggCall>,
+        schema: PlanSchema,
+    },
+    /// Total-order sort.
+    Sort { input: Box<LogicalPlan>, keys: Vec<SortKey> },
+    /// First-k truncation.
+    Limit { input: Box<LogicalPlan>, n: usize },
+}
+
+impl LogicalPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> PlanSchema {
+        match self {
+            LogicalPlan::Scan { schema, projection, .. } => match projection {
+                Some(idx) => idx.iter().map(|&i| schema[i].clone()).collect(),
+                None => schema.clone(),
+            },
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { schema, .. } => schema.clone(),
+            LogicalPlan::Join { left, right, join_type, .. } => match join_type {
+                JoinType::Semi | JoinType::Anti => left.schema(),
+                _ => {
+                    let mut s = left.schema();
+                    s.extend(right.schema());
+                    s
+                }
+            },
+            LogicalPlan::CrossJoin { left, right } => {
+                let mut s = left.schema();
+                s.extend(right.schema());
+                s
+            }
+            LogicalPlan::Aggregate { schema, .. } => schema.clone(),
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Number of output columns (cheaper than materializing the schema).
+    pub fn arity(&self) -> usize {
+        match self {
+            LogicalPlan::Scan { schema, projection, .. } => {
+                projection.as_ref().map_or(schema.len(), |p| p.len())
+            }
+            LogicalPlan::Filter { input, .. } => input.arity(),
+            LogicalPlan::Project { exprs, .. } => exprs.len(),
+            LogicalPlan::Join { left, right, join_type, .. } => match join_type {
+                JoinType::Semi | JoinType::Anti => left.arity(),
+                _ => left.arity() + right.arity(),
+            },
+            LogicalPlan::CrossJoin { left, right } => left.arity() + right.arity(),
+            LogicalPlan::Aggregate { group_by, aggs, .. } => group_by.len() + aggs.len(),
+            LogicalPlan::Sort { input, .. } => input.arity(),
+            LogicalPlan::Limit { input, .. } => input.arity(),
+        }
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::CrossJoin { left, right } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Render the plan as an indented tree (EXPLAIN-style).
+    pub fn display_tree(&self) -> String {
+        let mut out = String::new();
+        self.fmt_tree(&mut out, 0);
+        out
+    }
+
+    fn fmt_tree(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            LogicalPlan::Scan { table, projection, .. } => match projection {
+                Some(p) => format!("Scan {table} (cols {p:?})"),
+                None => format!("Scan {table}"),
+            },
+            LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate:?}")
+                .chars()
+                .take(120)
+                .collect::<String>(),
+            LogicalPlan::Project { exprs, .. } => format!("Project ({} exprs)", exprs.len()),
+            LogicalPlan::Join { join_type, on, residual, .. } => format!(
+                "Join {:?} on {:?}{}",
+                join_type,
+                on,
+                if residual.is_some() { " + residual" } else { "" }
+            ),
+            LogicalPlan::CrossJoin { .. } => "CrossJoin".to_string(),
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                format!("Aggregate (groups {}, aggs {})", group_by.len(), aggs.len())
+            }
+            LogicalPlan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            LogicalPlan::Limit { n, .. } => format!("Limit {n}"),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.fmt_tree(out, depth + 1);
+        }
+    }
+}
+
+/// Result type of an aggregate call given its argument type.
+pub fn agg_result_type(func: AggFunc, arg_ty: Option<LogicalType>) -> LogicalType {
+    match func {
+        AggFunc::Count | AggFunc::CountDistinct | AggFunc::CountStar => LogicalType::Int64,
+        AggFunc::Avg => LogicalType::Float64,
+        AggFunc::Sum => match arg_ty {
+            Some(LogicalType::Int64) => LogicalType::Int64,
+            _ => LogicalType::Float64,
+        },
+        AggFunc::Min | AggFunc::Max => arg_ty.unwrap_or(LogicalType::Float64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BoundExpr;
+
+    fn scan2() -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".into(),
+            schema: vec![
+                ColMeta::new("a", LogicalType::Int64),
+                ColMeta::new("b", LogicalType::Float64),
+            ],
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn scan_schema_and_projection() {
+        let s = scan2();
+        assert_eq!(s.arity(), 2);
+        let pruned = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: s.schema(),
+            projection: Some(vec![1]),
+        };
+        assert_eq!(pruned.arity(), 1);
+        assert_eq!(pruned.schema()[0].name, "b");
+    }
+
+    #[test]
+    fn join_schema_concat_and_semi() {
+        let l = scan2();
+        let r = scan2();
+        let inner = LogicalPlan::Join {
+            left: Box::new(l.clone()),
+            right: Box::new(r.clone()),
+            join_type: JoinType::Inner,
+            on: vec![(0, 0)],
+            residual: None,
+        };
+        assert_eq!(inner.arity(), 4);
+        let semi = LogicalPlan::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            join_type: JoinType::Semi,
+            on: vec![(0, 0)],
+            residual: None,
+        };
+        assert_eq!(semi.arity(), 2);
+    }
+
+    #[test]
+    fn agg_types() {
+        assert_eq!(agg_result_type(AggFunc::CountStar, None), LogicalType::Int64);
+        assert_eq!(agg_result_type(AggFunc::Avg, Some(LogicalType::Int64)), LogicalType::Float64);
+        assert_eq!(agg_result_type(AggFunc::Sum, Some(LogicalType::Int64)), LogicalType::Int64);
+        assert_eq!(
+            agg_result_type(AggFunc::Sum, Some(LogicalType::Float64)),
+            LogicalType::Float64
+        );
+        assert_eq!(agg_result_type(AggFunc::Min, Some(LogicalType::Date)), LogicalType::Date);
+    }
+
+    #[test]
+    fn display_tree_nested() {
+        let p = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan2()),
+                predicate: BoundExpr::lit_bool(true),
+            }),
+            n: 5,
+        };
+        let txt = p.display_tree();
+        assert!(txt.contains("Limit 5"));
+        assert!(txt.contains("  Filter"));
+        assert!(txt.contains("    Scan t"));
+    }
+}

@@ -1,0 +1,393 @@
+//! Hummingbird-style compilation of tree ensembles into tensor programs.
+//!
+//! Two strategies, mirroring Nakandala et al. (OSDI'20), which TQP
+//! "integrates and expands" (paper §3.3):
+//!
+//! * **GEMM**: a tree becomes three dense matrix products —
+//!   `S = 1[(X·A) < B]`, `P = S·C`, `Y = 1[P = D]·E`. Every input row
+//!   evaluates *every* internal node; optimal for small/bushy trees on
+//!   throughput-oriented hardware.
+//! * **Traversal**: vectorized pointer chasing — per iteration, gather each
+//!   row's current node, compare against its threshold, and advance to the
+//!   left/right child; leaves self-loop. Work proportional to tree depth.
+//!
+//! The `trees` bench sweeps depth/ensemble-size to reproduce the crossover
+//! between the two strategies.
+
+use tqp_tensor::gemm::matmul_f64;
+use tqp_tensor::index::take;
+use tqp_tensor::Tensor;
+
+use crate::design_matrix;
+use crate::registry::Model;
+use crate::tree::{DecisionTree, GradientBoostedTrees, RandomForest};
+
+/// Which tensor program to compile a tree into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeStrategy {
+    Gemm,
+    Traversal,
+}
+
+/// How ensemble member outputs combine.
+#[derive(Debug, Clone, Copy)]
+enum Combine {
+    /// Mean (random forest / single tree).
+    Mean,
+    /// `base + lr * Σ` (gradient boosting).
+    WeightedSum { base: f64, lr: f64 },
+}
+
+/// One tree compiled to the GEMM formulation.
+#[derive(Debug, Clone)]
+struct GemmTree {
+    /// `(k × ni)` feature selector.
+    a: Tensor,
+    /// `(ni)` thresholds.
+    b: Vec<f64>,
+    /// `(ni × nl)` path matrix (+1 left, -1 right).
+    c: Tensor,
+    /// `(nl)` left-turn counts per leaf.
+    d: Vec<f64>,
+    /// `(nl)` leaf values.
+    e: Vec<f64>,
+    /// Constant shortcut for single-leaf trees.
+    constant: Option<f64>,
+}
+
+impl GemmTree {
+    fn compile(tree: &DecisionTree, k: usize) -> GemmTree {
+        let internal: Vec<usize> =
+            (0..tree.n_nodes()).filter(|&i| tree.feature[i] != usize::MAX).collect();
+        let leaves: Vec<usize> =
+            (0..tree.n_nodes()).filter(|&i| tree.feature[i] == usize::MAX).collect();
+        if internal.is_empty() {
+            return GemmTree {
+                a: Tensor::from_f64_matrix(vec![], 0, 0),
+                b: vec![],
+                c: Tensor::from_f64_matrix(vec![], 0, 0),
+                d: vec![],
+                e: vec![],
+                constant: Some(tree.value[leaves[0]]),
+            };
+        }
+        let ni = internal.len();
+        let nl = leaves.len();
+        let node_to_internal: std::collections::HashMap<usize, usize> =
+            internal.iter().enumerate().map(|(pos, &n)| (n, pos)).collect();
+        let leaf_pos: std::collections::HashMap<usize, usize> =
+            leaves.iter().enumerate().map(|(pos, &n)| (n, pos)).collect();
+        let mut a = vec![0f64; k * ni];
+        let mut b = vec![0f64; ni];
+        for (pos, &n) in internal.iter().enumerate() {
+            a[tree.feature[n] * ni + pos] = 1.0;
+            b[pos] = tree.threshold[n];
+        }
+        // Walk every root-to-leaf path to fill C and D.
+        let mut c = vec![0f64; ni * nl];
+        let mut d = vec![0f64; nl];
+        let mut stack: Vec<(usize, Vec<(usize, bool)>)> = vec![(0, vec![])];
+        while let Some((node, path)) = stack.pop() {
+            if tree.feature[node] == usize::MAX {
+                let l = leaf_pos[&node];
+                for &(inode, went_left) in &path {
+                    let ipos = node_to_internal[&inode];
+                    c[ipos * nl + l] = if went_left { 1.0 } else { -1.0 };
+                    if went_left {
+                        d[l] += 1.0;
+                    }
+                }
+                continue;
+            }
+            let mut lp = path.clone();
+            lp.push((node, true));
+            stack.push((tree.left[node], lp));
+            let mut rp = path;
+            rp.push((node, false));
+            stack.push((tree.right[node], rp));
+        }
+        let e = leaves.iter().map(|&n| tree.value[n]).collect();
+        GemmTree {
+            a: Tensor::from_f64_matrix(a, k, ni),
+            b,
+            c: Tensor::from_f64_matrix(c, ni, nl),
+            d,
+            e,
+            constant: None,
+        }
+    }
+
+    fn predict(&self, x: &Tensor) -> Tensor {
+        let n = x.shape()[0];
+        if let Some(v) = self.constant {
+            return Tensor::from_f64(vec![v; n]);
+        }
+        let ni = self.b.len();
+        let nl = self.d.len();
+        // T = X @ A ; S = 1[T < B]
+        let t = matmul_f64(x, &self.a);
+        let tv = t.as_f64();
+        let mut s = vec![0f64; n * ni];
+        for i in 0..n {
+            for j in 0..ni {
+                s[i * ni + j] = f64::from(tv[i * ni + j] < self.b[j]);
+            }
+        }
+        // P = S @ C ; match = 1[P == D] ; Y = match @ E
+        let p = matmul_f64(&Tensor::from_f64_matrix(s, n, ni), &self.c);
+        let pv = p.as_f64();
+        let mut y = vec![0f64; n];
+        for i in 0..n {
+            for l in 0..nl {
+                if pv[i * nl + l] == self.d[l] {
+                    y[i] += self.e[l];
+                }
+            }
+        }
+        Tensor::from_f64(y)
+    }
+}
+
+/// One tree compiled to the traversal formulation (index tensors).
+#[derive(Debug, Clone)]
+struct TraversalTree {
+    feature: Tensor,
+    threshold: Tensor,
+    left: Tensor,
+    right: Tensor,
+    value: Tensor,
+    depth: usize,
+}
+
+impl TraversalTree {
+    fn compile(tree: &DecisionTree) -> TraversalTree {
+        let feature: Vec<i64> = tree
+            .feature
+            .iter()
+            .map(|&f| if f == usize::MAX { 0 } else { f as i64 })
+            .collect();
+        TraversalTree {
+            feature: Tensor::from_i64(feature),
+            threshold: Tensor::from_f64(tree.threshold.clone()),
+            left: Tensor::from_i64(tree.left.iter().map(|&v| v as i64).collect()),
+            right: Tensor::from_i64(tree.right.iter().map(|&v| v as i64).collect()),
+            value: Tensor::from_f64(tree.value.clone()),
+            depth: tree.depth(),
+        }
+    }
+
+    fn predict(&self, x: &Tensor) -> Tensor {
+        let (n, k) = (x.shape()[0], x.shape()[1]);
+        let xv = x.as_f64();
+        let mut idx = Tensor::from_i64(vec![0i64; n]);
+        for _ in 0..self.depth {
+            let feat = take(&self.feature, &idx);
+            let thr = take(&self.threshold, &idx);
+            let lch = take(&self.left, &idx);
+            let rch = take(&self.right, &idx);
+            // Row-wise feature gather: xg[i] = x[i, feat[i]].
+            let fv = feat.as_i64();
+            let tv = thr.as_f64();
+            let lv = lch.as_i64();
+            let rv = rch.as_i64();
+            let next: Vec<i64> = (0..n)
+                .map(|i| {
+                    if xv[i * k + fv[i] as usize] < tv[i] {
+                        lv[i]
+                    } else {
+                        rv[i]
+                    }
+                })
+                .collect();
+            idx = Tensor::from_i64(next);
+        }
+        take(&self.value, &idx)
+    }
+}
+
+enum CompiledTree {
+    Gemm(GemmTree),
+    Traversal(TraversalTree),
+}
+
+/// A tree ensemble compiled into a tensor program under a chosen strategy.
+/// Implements [`Model`], so it can be registered for SQL `PREDICT`.
+pub struct CompiledTrees {
+    trees: Vec<CompiledTree>,
+    combine: Combine,
+    n_features: usize,
+    strategy: TreeStrategy,
+}
+
+impl CompiledTrees {
+    /// Compile a single decision tree.
+    pub fn from_tree(tree: &DecisionTree, strategy: TreeStrategy) -> CompiledTrees {
+        CompiledTrees {
+            trees: vec![compile_one(tree, strategy)],
+            combine: Combine::Mean,
+            n_features: tree.n_features,
+            strategy,
+        }
+    }
+
+    /// Compile a random forest (mean combination).
+    pub fn from_forest(f: &RandomForest, strategy: TreeStrategy) -> CompiledTrees {
+        CompiledTrees {
+            trees: f.trees.iter().map(|t| compile_one(t, strategy)).collect(),
+            combine: Combine::Mean,
+            n_features: f.trees[0].n_features,
+            strategy,
+        }
+    }
+
+    /// Compile a gradient-boosted ensemble.
+    pub fn from_gbt(g: &GradientBoostedTrees, strategy: TreeStrategy) -> CompiledTrees {
+        CompiledTrees {
+            trees: g.trees.iter().map(|t| compile_one(t, strategy)).collect(),
+            combine: Combine::WeightedSum { base: g.base, lr: g.learning_rate },
+            n_features: g.trees[0].n_features,
+            strategy,
+        }
+    }
+
+    /// The strategy this program was compiled under.
+    pub fn strategy(&self) -> TreeStrategy {
+        self.strategy
+    }
+
+    /// Predict over a `(n × k)` design matrix.
+    pub fn predict_matrix(&self, x: &Tensor) -> Tensor {
+        let n = x.shape()[0];
+        let mut acc = vec![
+            match self.combine {
+                Combine::Mean => 0.0,
+                Combine::WeightedSum { base, .. } => base,
+            };
+            n
+        ];
+        let w = match self.combine {
+            Combine::Mean => 1.0 / self.trees.len() as f64,
+            Combine::WeightedSum { lr, .. } => lr,
+        };
+        for t in &self.trees {
+            let p = match t {
+                CompiledTree::Gemm(g) => g.predict(x),
+                CompiledTree::Traversal(t) => t.predict(x),
+            };
+            for (a, &v) in acc.iter_mut().zip(p.as_f64()) {
+                *a += w * v;
+            }
+        }
+        Tensor::from_f64(acc)
+    }
+}
+
+fn compile_one(tree: &DecisionTree, strategy: TreeStrategy) -> CompiledTree {
+    match strategy {
+        TreeStrategy::Gemm => CompiledTree::Gemm(GemmTree::compile(tree, tree.n_features)),
+        TreeStrategy::Traversal => CompiledTree::Traversal(TraversalTree::compile(tree)),
+    }
+}
+
+impl Model for CompiledTrees {
+    fn family(&self) -> &'static str {
+        match self.strategy {
+            TreeStrategy::Gemm => "trees[gemm]",
+            TreeStrategy::Traversal => "trees[traversal]",
+        }
+    }
+    fn n_inputs(&self) -> usize {
+        self.n_features
+    }
+    fn predict(&self, inputs: &[Tensor]) -> Tensor {
+        self.predict_matrix(&design_matrix(inputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+
+    fn synth(n: usize, k: usize) -> (Tensor, Tensor) {
+        let mut xs = Vec::with_capacity(n * k);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..k {
+                let v = (((i * 31 + j * 17) % 97) as f64) / 97.0;
+                xs.push(v);
+                acc += if j % 2 == 0 { v } else { -v };
+            }
+            ys.push(if acc > 0.2 { 1.0 } else { 0.0 });
+        }
+        (Tensor::from_f64_matrix(xs, n, k), Tensor::from_f64(ys))
+    }
+
+    #[test]
+    fn gemm_matches_reference_exactly() {
+        let (x, y) = synth(300, 4);
+        let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: 5, min_samples_split: 2 });
+        let compiled = CompiledTrees::from_tree(&tree, TreeStrategy::Gemm);
+        let reference = tree.predict_matrix_reference(&x);
+        let got = compiled.predict_matrix(&x);
+        for (a, b) in got.as_f64().iter().zip(reference.as_f64()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn traversal_matches_reference_exactly() {
+        let (x, y) = synth(300, 4);
+        let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: 7, min_samples_split: 2 });
+        let compiled = CompiledTrees::from_tree(&tree, TreeStrategy::Traversal);
+        let reference = tree.predict_matrix_reference(&x);
+        let got = compiled.predict_matrix(&x);
+        assert_eq!(got.as_f64(), reference.as_f64());
+    }
+
+    #[test]
+    fn strategies_agree_on_forest() {
+        let (x, y) = synth(200, 3);
+        let f = crate::tree::RandomForest::fit(&x, &y, 4, TreeParams::default(), 11);
+        let g = CompiledTrees::from_forest(&f, TreeStrategy::Gemm).predict_matrix(&x);
+        let t = CompiledTrees::from_forest(&f, TreeStrategy::Traversal).predict_matrix(&x);
+        for (a, b) in g.as_f64().iter().zip(t.as_f64()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gbt_compiles_with_base_and_lr() {
+        let (x, y) = synth(150, 3);
+        let g = crate::tree::GradientBoostedTrees::fit(&x, &y, 10, 0.3, TreeParams {
+            max_depth: 3,
+            min_samples_split: 2,
+        });
+        let compiled = CompiledTrees::from_gbt(&g, TreeStrategy::Gemm);
+        // Reference: base + lr * sum of member trees.
+        let yv = y.to_f64_vec();
+        let mut reference = vec![g.base; yv.len()];
+        for t in &g.trees {
+            let tp = t.predict_matrix_reference(&x);
+            for (p, d) in reference.iter_mut().zip(tp.as_f64()) {
+                *p += g.learning_rate * d;
+            }
+        }
+        let got = compiled.predict_matrix(&x);
+        for (a, b) in got.as_f64().iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_tree_handled() {
+        let x = Tensor::from_f64_matrix(vec![1.0, 2.0], 2, 1);
+        let y = Tensor::from_f64(vec![3.0, 3.0]);
+        let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: 0, min_samples_split: 2 });
+        let g = CompiledTrees::from_tree(&tree, TreeStrategy::Gemm).predict_matrix(&x);
+        assert_eq!(g.as_f64(), &[3.0, 3.0]);
+        let t = CompiledTrees::from_tree(&tree, TreeStrategy::Traversal).predict_matrix(&x);
+        assert_eq!(t.as_f64(), &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,73 @@
+//! # tqp-ml — classical ML models compiled to tensor programs
+//!
+//! The stand-in for scikit-learn + Hummingbird + the HuggingFace models of
+//! the paper's Scenario 3 (§3.3). Everything here is trainable in-tree and
+//! compiles to pure tensor programs over `tqp-tensor`, which is exactly the
+//! Hummingbird thesis the paper builds on: *classical ML models are tensor
+//! programs too*.
+//!
+//! * [`linear`] — linear & logistic regression (gradient-descent training,
+//!   `matvec` inference);
+//! * [`tree`] — CART decision trees, random forests, gradient-boosted
+//!   trees;
+//! * [`compile`] — the two Hummingbird tree-compilation strategies:
+//!   [`compile::TreeStrategy::Gemm`] (trees as dense matrix cascades) and
+//!   [`compile::TreeStrategy::Traversal`] (vectorized pointer chasing) —
+//!   the ablation of the `trees` bench;
+//! * [`mlp`] — a small feed-forward network (backprop training);
+//! * [`text`] — hashed bag-of-words sentiment classifier (the
+//!   `sentiment_classifier` of the paper's Figure 4);
+//! * [`registry`] — the model registry backing the SQL `PREDICT` keyword.
+
+pub mod compile;
+pub mod linear;
+pub mod mlp;
+pub mod registry;
+pub mod text;
+pub mod tree;
+
+pub use registry::{Model, ModelRegistry};
+
+use tqp_tensor::Tensor;
+
+/// Assemble per-argument rank-1 `F64` feature tensors into a row-major
+/// `(n × k)` design matrix (the `X` every model consumes).
+pub fn design_matrix(inputs: &[Tensor]) -> Tensor {
+    assert!(!inputs.is_empty(), "design_matrix needs at least one feature");
+    let n = inputs[0].nrows();
+    let k = inputs.len();
+    let cols: Vec<Vec<f64>> = inputs
+        .iter()
+        .map(|t| {
+            assert_eq!(t.nrows(), n, "feature column length mismatch");
+            t.to_f64_vec()
+        })
+        .collect();
+    let mut data = vec![0f64; n * k];
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            data[i * k + j] = v;
+        }
+    }
+    Tensor::from_f64_matrix(data, n, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_matrix_layout() {
+        let a = Tensor::from_f64(vec![1.0, 2.0]);
+        let b = Tensor::from_i64(vec![10, 20]);
+        let x = design_matrix(&[a, b]);
+        assert_eq!(x.shape(), &[2, 2]);
+        assert_eq!(x.as_f64(), &[1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn design_matrix_rejects_ragged() {
+        design_matrix(&[Tensor::from_f64(vec![1.0]), Tensor::from_f64(vec![1.0, 2.0])]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Text classification over TQP's padded-byte string tensors: the
+//! `sentiment_classifier` of the paper's Figure 4.
+//!
+//! The paper demos HuggingFace transformers; the reproduction substitutes a
+//! hashed bag-of-words + logistic head (an EmbeddingBag-style model): the
+//! same code path — a string *tensor* flows into an ML operator inside the
+//! relational plan — with a laptop-trainable model. Tokenization itself is
+//! implemented over the `(n × m)` byte matrix, so text never leaves tensor
+//! land.
+
+use tqp_tensor::Tensor;
+
+use crate::registry::Model;
+
+/// Hash a token into one of `2^bits` feature buckets (FNV-1a).
+fn bucket(token: &[u8], bits: u32) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in token {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h & ((1 << bits) - 1)) as usize
+}
+
+/// Tokenize row `i` of a string matrix into hashed-bucket counts.
+fn featurize_row(text: &Tensor, i: usize, bits: u32, out: &mut [f64]) {
+    for x in out.iter_mut() {
+        *x = 0.0;
+    }
+    let row = text.str_row_trimmed(i);
+    for tok in row
+        .split(|&b| !b.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+    {
+        let lower: Vec<u8> = tok.iter().map(|b| b.to_ascii_lowercase()).collect();
+        out[bucket(&lower, bits)] += 1.0;
+    }
+}
+
+/// Hashed bag-of-words binary sentiment classifier.
+#[derive(Debug, Clone)]
+pub struct TextClassifier {
+    bits: u32,
+    weights: Vec<f64>,
+    bias: f64,
+    /// Return hard 0/1 labels (the Figure 4 query sums predictions).
+    pub hard_labels: bool,
+}
+
+impl TextClassifier {
+    /// Train by SGD on log-loss. `texts` is an `(n × m)` byte matrix,
+    /// `labels` 0/1.
+    pub fn fit(texts: &Tensor, labels: &Tensor, bits: u32, epochs: usize, lr: f64) -> Self {
+        let n = texts.nrows();
+        let dim = 1usize << bits;
+        let yv = labels.to_f64_vec();
+        let mut w = vec![0f64; dim];
+        let mut b = 0f64;
+        let mut feats = vec![0f64; dim];
+        for _ in 0..epochs {
+            for i in 0..n {
+                featurize_row(texts, i, bits, &mut feats);
+                let z: f64 = b + feats.iter().zip(&w).map(|(x, w)| x * w).sum::<f64>();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let err = p - yv[i];
+                for (wj, &xj) in w.iter_mut().zip(&feats) {
+                    if xj != 0.0 {
+                        *wj -= lr * err * xj;
+                    }
+                }
+                b -= lr * err;
+            }
+        }
+        TextClassifier { bits, weights: w, bias: b, hard_labels: true }
+    }
+
+    /// Class-1 probability per row of a string tensor.
+    pub fn predict_proba(&self, texts: &Tensor) -> Tensor {
+        let n = texts.nrows();
+        let mut feats = vec![0f64; self.weights.len()];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            featurize_row(texts, i, self.bits, &mut feats);
+            let z: f64 =
+                self.bias + feats.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>();
+            out.push(1.0 / (1.0 + (-z).exp()));
+        }
+        Tensor::from_f64(out)
+    }
+
+    /// Accuracy against 0/1 labels.
+    pub fn accuracy(&self, texts: &Tensor, labels: &Tensor) -> f64 {
+        let p = self.predict_proba(texts);
+        let yv = labels.to_f64_vec();
+        let hits = p
+            .as_f64()
+            .iter()
+            .zip(&yv)
+            .filter(|(p, y)| (**p >= 0.5) == (**y >= 0.5))
+            .count();
+        hits as f64 / yv.len().max(1) as f64
+    }
+}
+
+impl Model for TextClassifier {
+    fn family(&self) -> &'static str {
+        "text_classifier"
+    }
+    fn n_inputs(&self) -> usize {
+        1
+    }
+    fn predict(&self, inputs: &[Tensor]) -> Tensor {
+        assert_eq!(inputs.len(), 1, "text classifier takes one string column");
+        let p = self.predict_proba(&inputs[0]);
+        if self.hard_labels {
+            Tensor::from_f64(p.as_f64().iter().map(|&v| f64::from(v >= 0.5)).collect())
+        } else {
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_stable_and_bounded() {
+        let a = bucket(b"great", 10);
+        assert_eq!(a, bucket(b"great", 10));
+        assert!(a < 1024);
+        assert_ne!(bucket(b"great", 10), bucket(b"awful", 10));
+    }
+
+    #[test]
+    fn learns_simple_sentiment() {
+        let pos = ["great product love it", "excellent quality recommend", "amazing fast perfect"];
+        let neg = ["terrible broke refund", "awful waste disappointed", "poor quality worst"];
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..20 {
+            for p in pos {
+                texts.push(p);
+                labels.push(1.0);
+            }
+            for n in neg {
+                texts.push(n);
+                labels.push(0.0);
+            }
+        }
+        let t = Tensor::from_strings(&texts, 0);
+        let y = Tensor::from_f64(labels);
+        let m = TextClassifier::fit(&t, &y, 12, 3, 0.5);
+        assert!(m.accuracy(&t, &y) > 0.99);
+        // Unseen combinations of seen words.
+        let test = Tensor::from_strings(&["love this excellent thing", "broke terrible junk"], 0);
+        let p = m.predict(&[test]);
+        assert_eq!(p.as_f64(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn tokenizer_handles_punctuation_and_case() {
+        let t = Tensor::from_strings(&["Great, GREAT!  great."], 0);
+        let mut feats = vec![0f64; 1 << 10];
+        featurize_row(&t, 0, 10, &mut feats);
+        let idx = bucket(b"great", 10);
+        assert_eq!(feats[idx], 3.0);
+    }
+
+    #[test]
+    fn empty_text_predicts_without_panic() {
+        let t = Tensor::from_strings(&[""], 1);
+        let y = Tensor::from_f64(vec![1.0]);
+        let m = TextClassifier::fit(&t, &y, 8, 1, 0.1);
+        let p = m.predict_proba(&t);
+        assert_eq!(p.nrows(), 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! CART decision trees, random forests, and gradient-boosted trees —
+//! the "traditional ML models (e.g., created by libraries such as
+//! scikit-learn)" the paper's PREDICT supports through Hummingbird (§3.3).
+//!
+//! Trees are stored flattened (SoA arrays), which is the exact input format
+//! of the two compilation strategies in [`crate::compile`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tqp_tensor::Tensor;
+
+/// A fitted binary decision tree in flattened array form. Node `i` is
+/// internal iff `feature[i] != usize::MAX`; internal nodes route
+/// `x[feature] < threshold` to `left`, else `right`. Leaves carry `value`.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    pub feature: Vec<usize>,
+    pub threshold: Vec<f64>,
+    pub left: Vec<usize>,
+    pub right: Vec<usize>,
+    pub value: Vec<f64>,
+    pub n_features: usize,
+}
+
+/// Hyper-parameters for CART fitting.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 6, min_samples_split: 4 }
+    }
+}
+
+impl DecisionTree {
+    /// Fit a regression tree (variance-reduction splits; binary 0/1 labels
+    /// make this equivalent to Gini-style classification).
+    pub fn fit(x: &Tensor, y: &Tensor, params: TreeParams) -> DecisionTree {
+        let (n, k) = (x.shape()[0], x.shape()[1]);
+        let xv = x.as_f64();
+        let yv = y.to_f64_vec();
+        let mut tree = DecisionTree {
+            feature: vec![],
+            threshold: vec![],
+            left: vec![],
+            right: vec![],
+            value: vec![],
+            n_features: k,
+        };
+        let idx: Vec<usize> = (0..n).collect();
+        tree.build(xv, &yv, k, idx, 0, params);
+        tree
+    }
+
+    /// Recursively grow the tree; returns the new node index.
+    fn build(
+        &mut self,
+        xv: &[f64],
+        yv: &[f64],
+        k: usize,
+        idx: Vec<usize>,
+        depth: usize,
+        params: TreeParams,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| yv[i]).sum::<f64>() / idx.len().max(1) as f64;
+        let make_leaf = |t: &mut DecisionTree, v: f64| -> usize {
+            let node = t.feature.len();
+            t.feature.push(usize::MAX);
+            t.threshold.push(0.0);
+            t.left.push(node);
+            t.right.push(node);
+            t.value.push(v);
+            node
+        };
+        if depth >= params.max_depth || idx.len() < params.min_samples_split {
+            return make_leaf(self, mean);
+        }
+        // Find the best (feature, threshold) by variance reduction.
+        let mut best: Option<(usize, f64, f64)> = None; // (feat, thr, score)
+        for f in 0..k {
+            let mut vals: Vec<(f64, f64)> =
+                idx.iter().map(|&i| (xv[i * k + f], yv[i])).collect();
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let total_sum: f64 = vals.iter().map(|v| v.1).sum();
+            let total_sq: f64 = vals.iter().map(|v| v.1 * v.1).sum();
+            let n = vals.len() as f64;
+            let mut lsum = 0.0;
+            let mut lsq = 0.0;
+            for s in 1..vals.len() {
+                lsum += vals[s - 1].1;
+                lsq += vals[s - 1].1 * vals[s - 1].1;
+                if vals[s].0 == vals[s - 1].0 {
+                    continue; // can't split between equal values
+                }
+                let ln = s as f64;
+                let rn = n - ln;
+                let lvar = lsq - lsum * lsum / ln;
+                let rvar = (total_sq - lsq) - (total_sum - lsum) * (total_sum - lsum) / rn;
+                let score = lvar + rvar; // lower is better
+                let thr = (vals[s].0 + vals[s - 1].0) / 2.0;
+                if best.map_or(true, |(_, _, s0)| score < s0) {
+                    best = Some((f, thr, score));
+                }
+            }
+        }
+        let Some((f, thr, _)) = best else {
+            return make_leaf(self, mean);
+        };
+        let (lidx, ridx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| xv[i * k + f] < thr);
+        if lidx.is_empty() || ridx.is_empty() {
+            return make_leaf(self, mean);
+        }
+        let node = self.feature.len();
+        self.feature.push(f);
+        self.threshold.push(thr);
+        self.left.push(0); // patched below
+        self.right.push(0);
+        self.value.push(0.0);
+        let l = self.build(xv, yv, k, lidx, depth + 1, params);
+        let r = self.build(xv, yv, k, ridx, depth + 1, params);
+        self.left[node] = l;
+        self.right[node] = r;
+        node
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Maximum root-to-leaf depth.
+    pub fn depth(&self) -> usize {
+        fn go(t: &DecisionTree, node: usize) -> usize {
+            if t.feature[node] == usize::MAX {
+                return 0;
+            }
+            1 + go(t, t.left[node]).max(go(t, t.right[node]))
+        }
+        if self.feature.is_empty() {
+            0
+        } else {
+            go(self, 0)
+        }
+    }
+
+    /// Reference row-at-a-time prediction (the oracle the compiled
+    /// strategies are differential-tested against).
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        while self.feature[node] != usize::MAX {
+            node = if row[self.feature[node]] < self.threshold[node] {
+                self.left[node]
+            } else {
+                self.right[node]
+            };
+        }
+        self.value[node]
+    }
+
+    /// Reference prediction over a design matrix.
+    pub fn predict_matrix_reference(&self, x: &Tensor) -> Tensor {
+        let (n, k) = (x.shape()[0], x.shape()[1]);
+        let xv = x.as_f64();
+        let out: Vec<f64> = (0..n).map(|i| self.predict_row(&xv[i * k..(i + 1) * k])).collect();
+        Tensor::from_f64(out)
+    }
+}
+
+/// Bagged ensemble of CART trees (prediction = mean of members).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    pub trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit `n_trees` trees on bootstrap samples.
+    pub fn fit(x: &Tensor, y: &Tensor, n_trees: usize, params: TreeParams, seed: u64) -> Self {
+        let n = x.shape()[0];
+        let k = x.shape()[1];
+        let xv = x.as_f64();
+        let yv = y.to_f64_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = (0..n_trees)
+            .map(|_| {
+                let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let mut bx = Vec::with_capacity(n * k);
+                let mut by = Vec::with_capacity(n);
+                for &i in &sample {
+                    bx.extend_from_slice(&xv[i * k..(i + 1) * k]);
+                    by.push(yv[i]);
+                }
+                DecisionTree::fit(
+                    &Tensor::from_f64_matrix(bx, n, k),
+                    &Tensor::from_f64(by),
+                    params,
+                )
+            })
+            .collect();
+        RandomForest { trees }
+    }
+}
+
+/// Gradient-boosted regression trees: `f(x) = base + lr * Σ tree_i(x)`.
+#[derive(Debug, Clone)]
+pub struct GradientBoostedTrees {
+    pub base: f64,
+    pub learning_rate: f64,
+    pub trees: Vec<DecisionTree>,
+}
+
+impl GradientBoostedTrees {
+    /// Fit with squared-loss boosting.
+    pub fn fit(
+        x: &Tensor,
+        y: &Tensor,
+        n_trees: usize,
+        learning_rate: f64,
+        params: TreeParams,
+    ) -> Self {
+        let yv = y.to_f64_vec();
+        let n = yv.len();
+        let base = yv.iter().sum::<f64>() / n.max(1) as f64;
+        let mut pred = vec![base; n];
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let resid: Vec<f64> = yv.iter().zip(&pred).map(|(y, p)| y - p).collect();
+            let tree = DecisionTree::fit(x, &Tensor::from_f64(resid), params);
+            let tp = tree.predict_matrix_reference(x);
+            for (p, d) in pred.iter_mut().zip(tp.as_f64()) {
+                *p += learning_rate * d;
+            }
+            trees.push(tree);
+        }
+        GradientBoostedTrees { base, learning_rate, trees }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A dataset where y = 1 if x0 > 0.5 else (x1 > 0.3 ? 0.5 : 0).
+    fn synth(n: usize) -> (Tensor, Tensor) {
+        let mut xs = Vec::with_capacity(n * 2);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let x0 = (i % 10) as f64 / 10.0;
+            let x1 = ((i * 3) % 7) as f64 / 7.0;
+            xs.push(x0);
+            xs.push(x1);
+            ys.push(if x0 > 0.5 {
+                1.0
+            } else if x1 > 0.3 {
+                0.5
+            } else {
+                0.0
+            });
+        }
+        (Tensor::from_f64_matrix(xs, n, 2), Tensor::from_f64(ys))
+    }
+
+    #[test]
+    fn tree_fits_piecewise_function() {
+        let (x, y) = synth(200);
+        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 4, min_samples_split: 2 });
+        let p = t.predict_matrix_reference(&x);
+        let err: f64 = p
+            .as_f64()
+            .iter()
+            .zip(&y.to_f64_vec())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 200.0;
+        assert!(err < 0.01, "mean abs err {err}");
+        assert!(t.depth() <= 4);
+    }
+
+    #[test]
+    fn depth_zero_tree_is_constant() {
+        let (x, y) = synth(50);
+        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 0, min_samples_split: 2 });
+        assert_eq!(t.n_nodes(), 1);
+        let p = t.predict_matrix_reference(&x);
+        let mean = y.to_f64_vec().iter().sum::<f64>() / 50.0;
+        assert!((p.as_f64()[0] - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forest_reduces_to_members() {
+        let (x, y) = synth(120);
+        let f = RandomForest::fit(&x, &y, 5, TreeParams::default(), 7);
+        assert_eq!(f.trees.len(), 5);
+        // Forest mean of identical-data trees should still track the target.
+        let preds: Vec<Tensor> =
+            f.trees.iter().map(|t| t.predict_matrix_reference(&x)).collect();
+        let avg0: f64 = preds.iter().map(|p| p.as_f64()[0]).sum::<f64>() / 5.0;
+        assert!((avg0 - y.to_f64_vec()[0]).abs() < 0.4);
+    }
+
+    #[test]
+    fn gbt_improves_with_rounds() {
+        let (x, y) = synth(200);
+        let weak = GradientBoostedTrees::fit(&x, &y, 1, 0.5, TreeParams { max_depth: 2, min_samples_split: 2 });
+        let strong = GradientBoostedTrees::fit(&x, &y, 30, 0.5, TreeParams { max_depth: 2, min_samples_split: 2 });
+        let mse = |m: &GradientBoostedTrees| -> f64 {
+            let yv = y.to_f64_vec();
+            let mut pred = vec![m.base; yv.len()];
+            for t in &m.trees {
+                let tp = t.predict_matrix_reference(&x);
+                for (p, d) in pred.iter_mut().zip(tp.as_f64()) {
+                    *p += m.learning_rate * d;
+                }
+            }
+            pred.iter().zip(&yv).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / yv.len() as f64
+        };
+        assert!(mse(&strong) < mse(&weak));
+    }
+}

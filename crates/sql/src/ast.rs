@@ -1,0 +1,459 @@
+//! Abstract syntax tree for the TQP SQL dialect, with a pretty-printer whose
+//! output re-parses to the same tree (exercised by property tests).
+
+use serde::{Deserialize, Serialize};
+
+/// A full query: optional CTEs, a select body, ordering, and limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// `WITH name AS (query), ...` — expanded during binding.
+    pub ctes: Vec<(String, Query)>,
+    pub select: Select,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<usize>,
+}
+
+/// The `SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...` core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A relation in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TableRef {
+    /// Base table or CTE reference, with optional alias (`nation n1`).
+    Table { name: String, alias: Option<String> },
+    /// Parenthesized subquery with mandatory alias.
+    Subquery { query: Box<Query>, alias: String },
+    /// Explicit join (`a JOIN b ON ...`, `a LEFT OUTER JOIN b ON ...`).
+    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<Expr> },
+}
+
+/// Join flavours the dialect supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// `ORDER BY expr [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Binary operators (arithmetic, comparison, boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "and",
+            BinaryOp::Or => "or",
+        }
+    }
+
+    /// True for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+}
+
+/// Interval units for date arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalUnit {
+    Day,
+    Month,
+    Year,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'`, pre-converted to epoch nanoseconds.
+    Date(i64),
+    /// `INTERVAL 'n' unit`.
+    Interval { n: i64, unit: IntervalUnit },
+    Bool(bool),
+    Null,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Possibly-qualified column reference.
+    Column { table: Option<String>, name: String },
+    Literal(Literal),
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Boolean NOT.
+    Not(Box<Expr>),
+    /// Searched CASE (`CASE WHEN c THEN v ... [ELSE e] END`).
+    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
+    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InSubquery { expr: Box<Expr>, query: Box<Query>, negated: bool },
+    Exists { query: Box<Query>, negated: bool },
+    ScalarSubquery(Box<Query>),
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// Function call: aggregates (`sum`, `avg`, `min`, `max`, `count`) and
+    /// scalars (`extract_year`, `extract_month`, `substring`, `abs`).
+    /// `COUNT(*)` is `Func { name: "count", args: [], .. }`.
+    Func { name: String, args: Vec<Expr>, distinct: bool },
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// The paper's §3.3 extension: `PREDICT('model', arg, ...)`.
+    Predict { model: String, args: Vec<Expr> },
+}
+
+impl Expr {
+    /// Convenience constructor for unqualified columns.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// Walk the expression tree top-down.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.visit(f),
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    c.visit(f);
+                    v.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.visit(f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::Func { args, .. } | Expr::Predict { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Column { .. }
+            | Expr::Literal(_)
+            | Expr::Exists { .. }
+            | Expr::ScalarSubquery(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pretty-printing (round-trips through the parser)
+// ---------------------------------------------------------------------
+
+impl std::fmt::Display for Literal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Date(ns) => {
+                // Re-render as a date literal.
+                let days = ns / 86_400_000_000_000;
+                let (y, m, d) = civil_from_days_local(days);
+                write!(f, "date '{y:04}-{m:02}-{d:02}'")
+            }
+            Literal::Interval { n, unit } => {
+                let u = match unit {
+                    IntervalUnit::Day => "day",
+                    IntervalUnit::Month => "month",
+                    IntervalUnit::Year => "year",
+                };
+                write!(f, "interval '{n}' {u}")
+            }
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Null => write!(f, "null"),
+        }
+    }
+}
+
+// Local copy of the Hinnant inverse to avoid a dependency edge back into
+// tqp-data just for printing.
+fn civil_from_days_local(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (y + if m <= 2 { 1 } else { 0 }, m, d)
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            // NB: space after the minus — `-` followed by a negative literal
+            // would otherwise print `--`, which lexes as a comment (found by
+            // the round-trip property test).
+            Expr::Neg(e) => write!(f, "(- {e})"),
+            Expr::Not(e) => write!(f, "(not {e})"),
+            Expr::Case { branches, else_expr } => {
+                write!(f, "case")?;
+                for (c, v) in branches {
+                    write!(f, " when {c} then {v}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " else {e}")?;
+                }
+                write!(f, " end")
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let n = if *negated { "not " } else { "" };
+                write!(f, "({expr} {n}like '{}')", pattern.replace('\'', "''"))
+            }
+            Expr::InList { expr, list, negated } => {
+                let n = if *negated { "not " } else { "" };
+                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(f, "({expr} {n}in ({}))", items.join(", "))
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                let n = if *negated { "not " } else { "" };
+                write!(f, "({expr} {n}in ({query}))")
+            }
+            Expr::Exists { query, negated } => {
+                let n = if *negated { "not " } else { "" };
+                write!(f, "({n}exists ({query}))")
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Between { expr, low, high, negated } => {
+                let n = if *negated { "not " } else { "" };
+                write!(f, "({expr} {n}between {low} and {high})")
+            }
+            Expr::Func { name, args, distinct } => {
+                if name == "count" && args.is_empty() {
+                    return write!(f, "count(*)");
+                }
+                let d = if *distinct { "distinct " } else { "" };
+                let items: Vec<String> = args.iter().map(|e| e.to_string()).collect();
+                write!(f, "{name}({d}{})", items.join(", "))
+            }
+            Expr::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "({expr} is not null)")
+                } else {
+                    write!(f, "({expr} is null)")
+                }
+            }
+            Expr::Predict { model, args } => {
+                let items: Vec<String> = args.iter().map(|e| e.to_string()).collect();
+                write!(f, "predict('{model}', {})", items.join(", "))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TableRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableRef::Table { name, alias: Some(a) } => write!(f, "{name} {a}"),
+            TableRef::Table { name, alias: None } => write!(f, "{name}"),
+            TableRef::Subquery { query, alias } => write!(f, "({query}) as {alias}"),
+            TableRef::Join { left, right, kind, on } => {
+                let k = match kind {
+                    JoinKind::Inner => "join",
+                    JoinKind::Left => "left outer join",
+                    JoinKind::Cross => "cross join",
+                };
+                write!(f, "{left} {k} {right}")?;
+                if let Some(c) = on {
+                    write!(f, " on {c}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.ctes.is_empty() {
+            let parts: Vec<String> =
+                self.ctes.iter().map(|(n, q)| format!("{n} as ({q})")).collect();
+            write!(f, "with {} ", parts.join(", "))?;
+        }
+        write!(f, "select ")?;
+        if self.select.distinct {
+            write!(f, "distinct ")?;
+        }
+        let proj: Vec<String> = self
+            .select
+            .projection
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => "*".to_string(),
+                SelectItem::Expr { expr, alias: Some(a) } => format!("{expr} as {a}"),
+                SelectItem::Expr { expr, alias: None } => expr.to_string(),
+            })
+            .collect();
+        write!(f, "{}", proj.join(", "))?;
+        if !self.select.from.is_empty() {
+            let from: Vec<String> = self.select.from.iter().map(|t| t.to_string()).collect();
+            write!(f, " from {}", from.join(", "))?;
+        }
+        if let Some(w) = &self.select.selection {
+            write!(f, " where {w}")?;
+        }
+        if !self.select.group_by.is_empty() {
+            let g: Vec<String> = self.select.group_by.iter().map(|e| e.to_string()).collect();
+            write!(f, " group by {}", g.join(", "))?;
+        }
+        if let Some(h) = &self.select.having {
+            write!(f, " having {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            let o: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|i| {
+                    if i.desc {
+                        format!("{} desc", i.expr)
+                    } else {
+                        i.expr.to_string()
+                    }
+                })
+                .collect();
+            write!(f, " order by {}", o.join(", "))?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " limit {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_simple_expr() {
+        let e = Expr::bin(
+            BinaryOp::Lt,
+            Expr::col("l_quantity"),
+            Expr::Literal(Literal::Int(24)),
+        );
+        assert_eq!(e.to_string(), "(l_quantity < 24)");
+    }
+
+    #[test]
+    fn display_date_literal_roundtrip_text() {
+        let ns = 8035i64 * 86_400_000_000_000; // 1992-01-01
+        assert_eq!(Expr::Literal(Literal::Date(ns)).to_string(), "date '1992-01-01'");
+    }
+
+    #[test]
+    fn display_count_star() {
+        let e = Expr::Func { name: "count".into(), args: vec![], distinct: false };
+        assert_eq!(e.to_string(), "count(*)");
+    }
+
+    #[test]
+    fn visit_reaches_nested_nodes() {
+        let e = Expr::bin(
+            BinaryOp::And,
+            Expr::bin(BinaryOp::Eq, Expr::col("a"), Expr::col("b")),
+            Expr::Not(Box::new(Expr::col("c"))),
+        );
+        let mut cols = vec![];
+        e.visit(&mut |x| {
+            if let Expr::Column { name, .. } = x {
+                cols.push(name.clone());
+            }
+        });
+        assert_eq!(cols, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # tqp-sql — SQL frontend
+//!
+//! Lexer, AST, and recursive-descent parser for the SQL dialect TQP's demo
+//! exercises: the full TPC-H query set (comma joins, explicit
+//! `JOIN ... ON`, `LEFT OUTER JOIN`, correlated and uncorrelated subqueries
+//! — scalar, `IN`, `EXISTS` — `WITH` CTEs, `CASE`, `LIKE`, `BETWEEN`,
+//! `IN` lists, `EXTRACT`, `SUBSTRING`, date and interval literals,
+//! aggregates with `DISTINCT`) plus the paper's §3.3 extension: the
+//! `PREDICT('model', args...)` scalar function embedding ML inference into
+//! a query.
+//!
+//! This crate corresponds to TQP's *parsing layer* front half (paper §2.2):
+//! text → AST. The AST is bound, typed, and optimized in `tqp-ir`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::{parse, parse_expr, ParseError};

@@ -1,0 +1,898 @@
+//! Recursive-descent parser covering the TPC-H dialect plus `PREDICT`.
+//!
+//! Precedence (loosest binds last): `OR` < `AND` < `NOT` < predicates
+//! (`=`, `<>`, `<`, `<=`, `>`, `>=`, `BETWEEN`, `IN`, `LIKE`, `IS NULL`,
+//! `EXISTS`) < `+`/`-` < `*`/`/`/`%` < unary `-` < primary.
+
+use crate::ast::*;
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parse failure with byte offset into the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Words that cannot be used as bare aliases.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "having", "limit", "on", "join", "inner",
+    "left", "right", "outer", "cross", "as", "and", "or", "not", "asc", "desc", "union", "when",
+    "then", "else", "end", "case", "between", "in", "like", "is", "exists", "with", "distinct",
+    "by", "null",
+];
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parse a complete query (trailing `;` allowed).
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let toks = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    if p.peek_is(&Token::Semi) {
+        p.advance();
+    }
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone scalar expression (used by tests and the REPL-style
+/// examples).
+pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
+    let toks = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_is(&self, t: &Token) -> bool {
+        self.peek() == t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    fn peek2_kw(&self, kw: &str) -> bool {
+        self.toks.get(self.pos + 1).map(|s| s.tok.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.peek_is(&t) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.peek_is(&Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, offset: self.offset() }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query structure
+    // ------------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let name = self.ident()?;
+                self.expect_kw("as")?;
+                self.expect(Token::LParen)?;
+                let q = self.query()?;
+                self.expect(Token::RParen)?;
+                ctes.push((name, q));
+                if !self.peek_is(&Token::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let select = self.select_core()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.peek_is(&Token::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let mut limit = None;
+        if self.eat_kw("limit") {
+            match self.advance() {
+                Token::Int(n) if n >= 0 => limit = Some(n as usize),
+                other => return Err(self.err(format!("expected LIMIT count, found {other:?}"))),
+            }
+        }
+        Ok(Query { ctes, select, order_by, limit })
+    }
+
+    fn select_core(&mut self) -> Result<Select, ParseError> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut projection = Vec::new();
+        loop {
+            if self.peek_is(&Token::Star) {
+                self.advance();
+                projection.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = self.maybe_alias()?;
+                projection.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.peek_is(&Token::Comma) {
+                break;
+            }
+            self.advance();
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                from.push(self.table_ref()?);
+                if !self.peek_is(&Token::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let selection = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.peek_is(&Token::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+        Ok(Select { distinct, projection, from, selection, group_by, having })
+    }
+
+    fn maybe_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        if let Token::Ident(s) = self.peek() {
+            if !RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                let s = s.clone();
+                self.advance();
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let mut left = self.table_primary()?;
+        loop {
+            let kind = if self.peek_kw("join") {
+                self.advance();
+                JoinKind::Inner
+            } else if self.peek_kw("inner") && self.peek2_kw("join") {
+                self.advance();
+                self.advance();
+                JoinKind::Inner
+            } else if self.peek_kw("left") {
+                self.advance();
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::Left
+            } else if self.peek_kw("cross") && self.peek2_kw("join") {
+                self.advance();
+                self.advance();
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let right = self.table_primary()?;
+            let on = if kind != JoinKind::Cross && self.eat_kw("on") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn table_primary(&mut self) -> Result<TableRef, ParseError> {
+        if self.peek_is(&Token::LParen) {
+            self.advance();
+            let q = self.query()?;
+            self.expect(Token::RParen)?;
+            self.eat_kw("as");
+            let alias = self.ident()?;
+            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+        }
+        let name = self.ident()?;
+        let alias = self.maybe_alias()?;
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.peek_kw("and") {
+            self.advance();
+            let right = self.not_expr()?;
+            left = Expr::bin(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, ParseError> {
+        let left = self.additive()?;
+        // Comparison operators.
+        let cmp = match self.peek() {
+            Token::Eq => Some(BinaryOp::Eq),
+            Token::NotEq => Some(BinaryOp::NotEq),
+            Token::Lt => Some(BinaryOp::Lt),
+            Token::LtEq => Some(BinaryOp::LtEq),
+            Token::Gt => Some(BinaryOp::Gt),
+            Token::GtEq => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = cmp {
+            self.advance();
+            let right = self.additive()?;
+            return Ok(Expr::bin(op, left, right));
+        }
+        // Negatable postfix predicates.
+        let negated = if self.peek_kw("not")
+            && (self.peek2_kw("like") || self.peek2_kw("in") || self.peek2_kw("between"))
+        {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("like") {
+            let pattern = match self.advance() {
+                Token::Str(s) => s,
+                other => return Err(self.err(format!("LIKE expects a string, got {other:?}"))),
+            };
+            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+        }
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(Token::LParen)?;
+            if self.peek_kw("select") || self.peek_kw("with") {
+                let q = self.query()?;
+                self.expect(Token::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(q),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.peek_is(&Token::Comma) {
+                    break;
+                }
+                self.advance();
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if negated {
+            return Err(self.err("dangling NOT before predicate".into()));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Add,
+                Token::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Mul,
+                Token::Slash => BinaryOp::Div,
+                Token::Percent => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek_is(&Token::Minus) {
+            self.advance();
+            let inner = self.unary()?;
+            // Fold negated literals so `-1` is the literal -1 (keeps the
+            // printer/parser round-trip canonical).
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        if self.peek_is(&Token::Plus) {
+            self.advance();
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            Token::Float(v) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Float(v)))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Token::LParen => {
+                self.advance();
+                if self.peek_kw("select") || self.peek_kw("with") {
+                    let q = self.query()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(word) => self.ident_led(word),
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    /// Expressions starting with an identifier: keywords (`case`, `exists`,
+    /// `date`, `interval`, `extract`, `substring`, `predict`, `null`,
+    /// `true`/`false`), function calls, and column references.
+    fn ident_led(&mut self, word: String) -> Result<Expr, ParseError> {
+        let lower = word.to_ascii_lowercase();
+        match lower.as_str() {
+            "null" => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            "true" => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            "false" => {
+                self.advance();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            "date" => {
+                self.advance();
+                match self.advance() {
+                    Token::Str(s) => {
+                        let ns = parse_date_ns(&s)
+                            .ok_or_else(|| self.err(format!("invalid date literal '{s}'")))?;
+                        Ok(Expr::Literal(Literal::Date(ns)))
+                    }
+                    other => Err(self.err(format!("DATE expects a string, got {other:?}"))),
+                }
+            }
+            "interval" => {
+                self.advance();
+                let n: i64 = match self.advance() {
+                    Token::Str(s) => s
+                        .parse()
+                        .map_err(|_| self.err(format!("invalid interval count '{s}'")))?,
+                    Token::Int(v) => v,
+                    other => {
+                        return Err(self.err(format!("INTERVAL expects a count, got {other:?}")))
+                    }
+                };
+                let unit_word = self.ident()?.to_ascii_lowercase();
+                let unit = match unit_word.as_str() {
+                    "day" | "days" => IntervalUnit::Day,
+                    "month" | "months" => IntervalUnit::Month,
+                    "year" | "years" => IntervalUnit::Year,
+                    other => return Err(self.err(format!("unknown interval unit {other}"))),
+                };
+                Ok(Expr::Literal(Literal::Interval { n, unit }))
+            }
+            "case" => {
+                self.advance();
+                let mut branches = Vec::new();
+                while self.eat_kw("when") {
+                    let cond = self.expr()?;
+                    self.expect_kw("then")?;
+                    let val = self.expr()?;
+                    branches.push((cond, val));
+                }
+                let else_expr = if self.eat_kw("else") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_kw("end")?;
+                if branches.is_empty() {
+                    return Err(self.err("CASE requires at least one WHEN".into()));
+                }
+                Ok(Expr::Case { branches, else_expr })
+            }
+            "exists" => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let q = self.query()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Exists { query: Box::new(q), negated: false })
+            }
+            "extract" => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let field = self.ident()?.to_ascii_lowercase();
+                self.expect_kw("from")?;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                let name = match field.as_str() {
+                    "year" => "extract_year",
+                    "month" => "extract_month",
+                    other => return Err(self.err(format!("unsupported EXTRACT field {other}"))),
+                };
+                Ok(Expr::Func { name: name.into(), args: vec![e], distinct: false })
+            }
+            "substring" | "substr" => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let e = self.expr()?;
+                let (start, len) = if self.eat_kw("from") {
+                    let s = self.expr()?;
+                    self.expect_kw("for")?;
+                    let l = self.expr()?;
+                    (s, l)
+                } else {
+                    self.expect(Token::Comma)?;
+                    let s = self.expr()?;
+                    self.expect(Token::Comma)?;
+                    let l = self.expr()?;
+                    (s, l)
+                };
+                self.expect(Token::RParen)?;
+                Ok(Expr::Func {
+                    name: "substring".into(),
+                    args: vec![e, start, len],
+                    distinct: false,
+                })
+            }
+            "predict" => {
+                self.advance();
+                self.expect(Token::LParen)?;
+                let model = match self.advance() {
+                    Token::Str(s) => s,
+                    other => {
+                        return Err(
+                            self.err(format!("PREDICT expects a model name string, got {other:?}"))
+                        )
+                    }
+                };
+                let mut args = Vec::new();
+                while self.peek_is(&Token::Comma) {
+                    self.advance();
+                    args.push(self.expr()?);
+                }
+                self.expect(Token::RParen)?;
+                if args.is_empty() {
+                    return Err(self.err("PREDICT requires at least one argument".into()));
+                }
+                Ok(Expr::Predict { model, args })
+            }
+            "not" => Err(self.err("NOT is not valid here".into())),
+            _ if RESERVED.iter().any(|k| lower == *k) => {
+                Err(self.err(format!("unexpected keyword {word} in expression")))
+            }
+            _ => {
+                // Function call or (possibly qualified) column.
+                self.advance();
+                if self.peek_is(&Token::LParen) {
+                    self.advance();
+                    if lower == "count" && self.peek_is(&Token::Star) {
+                        self.advance();
+                        self.expect(Token::RParen)?;
+                        return Ok(Expr::Func { name: "count".into(), args: vec![], distinct: false });
+                    }
+                    let distinct = self.eat_kw("distinct");
+                    let mut args = Vec::new();
+                    if !self.peek_is(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.peek_is(&Token::Comma) {
+                                break;
+                            }
+                            self.advance();
+                        }
+                    }
+                    self.expect(Token::RParen)?;
+                    return Ok(Expr::Func { name: lower, args, distinct });
+                }
+                if self.peek_is(&Token::Dot) {
+                    self.advance();
+                    let col = self.ident()?;
+                    return Ok(Expr::Column { table: Some(word), name: col });
+                }
+                Ok(Expr::Column { table: None, name: word })
+            }
+        }
+    }
+}
+
+/// Local `YYYY-MM-DD` → epoch-ns conversion (kept dependency-free).
+fn parse_date_ns(s: &str) -> Option<i64> {
+    let mut it = s.split('-');
+    let y: i64 = it.next()?.parse().ok()?;
+    let m: i64 = it.next()?.parse().ok()?;
+    let d: i64 = it.next()?.parse().ok()?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let yy = y - if m <= 2 { 1 } else { 0 };
+    let era = if yy >= 0 { yy } else { yy - 399 } / 400;
+    let yoe = yy - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some((era * 146_097 + doe - 719_468) * 86_400_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse("select a, b as bee from t where x < 5").unwrap();
+        assert_eq!(q.select.projection.len(), 2);
+        assert!(matches!(
+            &q.select.projection[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert!(q.select.selection.is_some());
+    }
+
+    #[test]
+    fn comma_joins_and_aliases() {
+        let q = parse("select * from nation n1, nation n2, region").unwrap();
+        assert_eq!(q.select.from.len(), 3);
+        assert!(matches!(
+            &q.select.from[0],
+            TableRef::Table { name, alias: Some(a) } if name == "nation" && a == "n1"
+        ));
+    }
+
+    #[test]
+    fn explicit_joins() {
+        let q = parse(
+            "select * from customer left outer join orders on c_custkey = o_custkey",
+        )
+        .unwrap();
+        match &q.select.from[0] {
+            TableRef::Join { kind, on, .. } => {
+                assert_eq!(*kind, JoinKind::Left);
+                assert!(on.is_some());
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn date_and_interval_literals() {
+        let e = parse_expr("date '1994-01-01' + interval '3' month").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Add, left, right } => {
+                assert!(matches!(*left, Expr::Literal(Literal::Date(_))));
+                assert!(matches!(
+                    *right,
+                    Expr::Literal(Literal::Interval { n: 3, unit: IntervalUnit::Month })
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_with_arithmetic_bounds() {
+        let e = parse_expr("l_discount between 0.06 - 0.01 and 0.06 + 0.01").unwrap();
+        assert!(matches!(e, Expr::Between { .. }));
+    }
+
+    #[test]
+    fn in_list_and_subquery() {
+        let e = parse_expr("l_shipmode in ('MAIL', 'SHIP')").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, .. }));
+        let e = parse_expr("x not in (select y from t)").unwrap();
+        assert!(matches!(e, Expr::InSubquery { negated: true, .. }));
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let e = parse_expr("exists (select * from t)").unwrap();
+        assert!(matches!(e, Expr::Exists { negated: false, .. }));
+        // NOT EXISTS parses as Not(Exists) at the NOT level.
+        let e = parse_expr("not exists (select * from t)").unwrap();
+        assert!(matches!(e, Expr::Not(_)));
+    }
+
+    #[test]
+    fn case_when() {
+        let e = parse_expr(
+            "case when p_type like 'PROMO%' then l_extendedprice else 0 end",
+        )
+        .unwrap();
+        match e {
+            Expr::Case { branches, else_expr } => {
+                assert_eq!(branches.len(), 1);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_and_count_star() {
+        let e = parse_expr("count(*)").unwrap();
+        assert_eq!(e, Expr::Func { name: "count".into(), args: vec![], distinct: false });
+        let e = parse_expr("count(distinct ps_suppkey)").unwrap();
+        assert!(matches!(e, Expr::Func { distinct: true, .. }));
+        let e = parse_expr("sum(l_extendedprice * (1 - l_discount))").unwrap();
+        assert!(matches!(e, Expr::Func { .. }));
+    }
+
+    #[test]
+    fn extract_and_substring() {
+        let e = parse_expr("extract(year from l_shipdate)").unwrap();
+        assert!(matches!(e, Expr::Func { ref name, .. } if name == "extract_year"));
+        let a = parse_expr("substring(c_phone from 1 for 2)").unwrap();
+        let b = parse_expr("substring(c_phone, 1, 2)").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predict_extension() {
+        let e = parse_expr("predict('sentiment_classifier', text)").unwrap();
+        match e {
+            Expr::Predict { model, args } => {
+                assert_eq!(model, "sentiment_classifier");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_cte() {
+        let q = parse("with r as (select a from t) select * from r").unwrap();
+        assert_eq!(q.ctes.len(), 1);
+        assert_eq!(q.ctes[0].0, "r");
+    }
+
+    #[test]
+    fn order_limit() {
+        let q = parse("select a from t order by a desc, b limit 10").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn derived_table() {
+        let q = parse("select * from (select a from t) as sub").unwrap();
+        assert!(matches!(&q.select.from[0], TableRef::Subquery { alias, .. } if alias == "sub"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(e.to_string(), "(a + (b * c))");
+        let e = parse_expr("a or b and c").unwrap();
+        assert_eq!(e.to_string(), "(a or (b and c))");
+        let e = parse_expr("not a = b").unwrap();
+        assert_eq!(e.to_string(), "(not (a = b))");
+        let e = parse_expr("- a * b").unwrap();
+        assert_eq!(e.to_string(), "((- a) * b)");
+        let e = parse_expr("-1 * b").unwrap();
+        assert_eq!(e.to_string(), "(-1 * b)");
+    }
+
+    #[test]
+    fn all_22_tpch_queries_parse() {
+        for n in 1..=22 {
+            let text = tqp_test_queries(n);
+            parse(text).unwrap_or_else(|e| panic!("Q{n} failed: {e}"));
+        }
+    }
+
+    // Inline copy of query texts would be circular (tqp-data depends on
+    // nothing here); instead parse representative hard fragments.
+    fn tqp_test_queries(n: usize) -> &'static str {
+        match n {
+            13 => {
+                "select c_count, count(*) as custdist from (select c_custkey, \
+                 count(o_orderkey) as c_count from customer left outer join orders on \
+                 c_custkey = o_custkey and o_comment not like '%special%requests%' \
+                 group by c_custkey) as c_orders group by c_count order by custdist desc"
+            }
+            21 => {
+                "select s_name, count(*) as numwait from supplier, lineitem l1, orders, nation \
+                 where s_suppkey = l1.l_suppkey and o_orderkey = l1.l_orderkey and \
+                 exists (select * from lineitem l2 where l2.l_orderkey = l1.l_orderkey and \
+                 l2.l_suppkey <> l1.l_suppkey) and not exists (select * from lineitem l3 \
+                 where l3.l_orderkey = l1.l_orderkey and l3.l_receiptdate > l3.l_commitdate) \
+                 group by s_name order by numwait desc, s_name limit 100"
+            }
+            22 => {
+                "select cntrycode, count(*) as numcust from (select substring(c_phone from 1 \
+                 for 2) as cntrycode, c_acctbal from customer where substring(c_phone from 1 \
+                 for 2) in ('13', '31') and c_acctbal > (select avg(c_acctbal) from customer \
+                 where c_acctbal > 0.00) and not exists (select * from orders where \
+                 o_custkey = c_custkey)) as custsale group by cntrycode order by cntrycode"
+            }
+            _ => {
+                "select l_returnflag, sum(l_quantity) as sum_qty from lineitem where \
+                 l_shipdate <= date '1998-12-01' - interval '90' day group by l_returnflag \
+                 order by l_returnflag"
+            }
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("select from").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(parse("select a from t where").is_err());
+        assert!(parse("select a limit x").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let src = "select a, sum(b) as s from t where (c < 5 and d like 'x%') \
+                   group by a having sum(b) > 10 order by s desc limit 3";
+        let q1 = parse(src).unwrap();
+        let printed = q1.to_string();
+        let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Data types and scalar values.
+//!
+//! TQP's columnar representation (paper §2.1) needs numeric, boolean, date
+//! (encoded as `I64` UNIX-epoch nanoseconds) and padded-byte string columns;
+//! this is the closed dtype set implementing that.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a [`crate::Tensor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 1-byte boolean.
+    Bool,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer (also used for dates as epoch nanoseconds and
+    /// for index tensors, matching PyTorch's `int64` index convention).
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float (used for SQL decimals in the reproduction).
+    F64,
+    /// Raw byte, used for `(n × m)` padded UTF-8 string matrices.
+    U8,
+}
+
+impl DType {
+    /// Width of one element in bytes.
+    pub fn size_of(self) -> usize {
+        match self {
+            DType::Bool | DType::U8 => 1,
+            DType::I32 | DType::F32 => 4,
+            DType::I64 | DType::F64 => 8,
+        }
+    }
+
+    /// True for `F32`/`F64`.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F64)
+    }
+
+    /// True for `I32`/`I64`.
+    pub fn is_int(self) -> bool {
+        matches!(self, DType::I32 | DType::I64)
+    }
+
+    /// True if the type participates in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        self.is_float() || self.is_int()
+    }
+
+    /// The dtype arithmetic between `self` and `other` is carried out in
+    /// (SQL-style numeric promotion: any float ⇒ `F64` result for mixed
+    /// precision, `F32` only when both are `F32`; otherwise widest int).
+    /// `Bool` promotes with integers (0/1), which lets mask sums like
+    /// `SUM(CASE WHEN ...)` stay on the integer path. `U8` (strings) never
+    /// promotes.
+    pub fn promote(self, other: DType) -> DType {
+        use DType::*;
+        match (self, other) {
+            (U8, b) => panic!("no numeric promotion between U8 and {b:?}"),
+            (a, U8) => panic!("no numeric promotion between {a:?} and U8"),
+            (F64, _) | (_, F64) => F64,
+            (F32, F32) => F32,
+            (F32, _) | (_, F32) => F64,
+            (I64, _) | (_, I64) => I64,
+            (I32, _) | (_, I32) => I32,
+            (Bool, Bool) => I64,
+        }
+    }
+}
+
+/// A single dynamically-typed value: literals, aggregation results, and the
+/// row representation of the baseline Volcano engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scalar {
+    /// SQL NULL (arises from outer joins and empty aggregations).
+    Null,
+    Bool(bool),
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    /// UTF-8 string payload (unpadded).
+    Str(String),
+}
+
+impl Scalar {
+    /// Dtype this scalar maps to, or `None` for NULL.
+    pub fn dtype(&self) -> Option<DType> {
+        match self {
+            Scalar::Null => None,
+            Scalar::Bool(_) => Some(DType::Bool),
+            Scalar::I32(_) => Some(DType::I32),
+            Scalar::I64(_) => Some(DType::I64),
+            Scalar::F32(_) => Some(DType::F32),
+            Scalar::F64(_) => Some(DType::F64),
+            Scalar::Str(_) => Some(DType::U8),
+        }
+    }
+
+    /// True if this is [`Scalar::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Scalar::Null)
+    }
+
+    /// Numeric view as f64 (panics for non-numeric variants).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Scalar::I32(v) => *v as f64,
+            Scalar::I64(v) => *v as f64,
+            Scalar::F32(v) => *v as f64,
+            Scalar::F64(v) => *v,
+            Scalar::Bool(v) => *v as i64 as f64,
+            other => panic!("scalar {other:?} is not numeric"),
+        }
+    }
+
+    /// Numeric view as i64 (panics for non-integer variants).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Scalar::I32(v) => *v as i64,
+            Scalar::I64(v) => *v,
+            Scalar::Bool(v) => *v as i64,
+            other => panic!("scalar {other:?} is not an integer"),
+        }
+    }
+
+    /// Boolean view (panics otherwise).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Scalar::Bool(v) => *v,
+            other => panic!("scalar {other:?} is not a bool"),
+        }
+    }
+
+    /// String view (panics otherwise).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Scalar::Str(s) => s,
+            other => panic!("scalar {other:?} is not a string"),
+        }
+    }
+
+    /// SQL comparison. NULL compares less than everything (used only for
+    /// deterministic ORDER BY of the oracle engine; SQL predicates treat NULL
+    /// via three-valued logic upstream).
+    pub fn cmp_sql(&self, other: &Scalar) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Scalar::Null, Scalar::Null) => Ordering::Equal,
+            (Scalar::Null, _) => Ordering::Less,
+            (_, Scalar::Null) => Ordering::Greater,
+            (Scalar::Str(a), Scalar::Str(b)) => a.cmp(b),
+            (Scalar::Bool(a), Scalar::Bool(b)) => a.cmp(b),
+            (a, b) if a.dtype().map(|d| d.is_int()) == Some(true)
+                && b.dtype().map(|d| d.is_int()) == Some(true) =>
+            {
+                a.as_i64().cmp(&b.as_i64())
+            }
+            (a, b) => a
+                .as_f64()
+                .partial_cmp(&b.as_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl std::fmt::Display for Scalar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scalar::Null => write!(f, "NULL"),
+            Scalar::Bool(v) => write!(f, "{v}"),
+            Scalar::I32(v) => write!(f, "{v}"),
+            Scalar::I64(v) => write!(f, "{v}"),
+            Scalar::F32(v) => write!(f, "{v}"),
+            Scalar::F64(v) => write!(f, "{v:.4}"),
+            Scalar::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::Bool.size_of(), 1);
+        assert_eq!(DType::U8.size_of(), 1);
+        assert_eq!(DType::I32.size_of(), 4);
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::I64.size_of(), 8);
+        assert_eq!(DType::F64.size_of(), 8);
+    }
+
+    #[test]
+    fn promotion_rules() {
+        assert_eq!(DType::I32.promote(DType::I32), DType::I32);
+        assert_eq!(DType::I32.promote(DType::I64), DType::I64);
+        assert_eq!(DType::I64.promote(DType::F64), DType::F64);
+        assert_eq!(DType::F32.promote(DType::F32), DType::F32);
+        assert_eq!(DType::F32.promote(DType::I64), DType::F64);
+        assert_eq!(DType::F64.promote(DType::F32), DType::F64);
+        assert_eq!(DType::Bool.promote(DType::I64), DType::I64);
+        assert_eq!(DType::Bool.promote(DType::Bool), DType::I64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no numeric promotion")]
+    fn promotion_rejects_strings() {
+        DType::U8.promote(DType::I64);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Scalar::I32(7).as_i64(), 7);
+        assert_eq!(Scalar::I64(-3).as_f64(), -3.0);
+        assert!(Scalar::Bool(true).as_bool());
+        assert_eq!(Scalar::Str("abc".into()).as_str(), "abc");
+        assert!(Scalar::Null.is_null());
+        assert_eq!(Scalar::F64(1.5).dtype(), Some(DType::F64));
+        assert_eq!(Scalar::Null.dtype(), None);
+    }
+
+    #[test]
+    fn scalar_sql_ordering() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Scalar::Null.cmp_sql(&Scalar::I64(0)), Less);
+        assert_eq!(Scalar::I64(2).cmp_sql(&Scalar::I64(2)), Equal);
+        assert_eq!(Scalar::F64(1.5).cmp_sql(&Scalar::I64(1)), Greater);
+        assert_eq!(
+            Scalar::Str("a".into()).cmp_sql(&Scalar::Str("b".into())),
+            Less
+        );
+    }
+}

@@ -1,0 +1,605 @@
+//! Element-wise kernels: arithmetic, comparison, boolean logic, selection.
+//!
+//! These are the tensor equivalents of the expression nodes TQP's planning
+//! layer emits for filters, projections, and `CASE` expressions. All kernels
+//! are vectorized columnar loops, parallelised across cores for large inputs,
+//! and allocate exactly one output buffer.
+//!
+//! Numeric inputs of different dtypes are promoted SQL-style (see
+//! [`DType::promote`]); comparisons yield `Bool` tensors; `where_select`
+//! implements the ternary `CASE WHEN` building block the paper highlights in
+//! Figure 4.
+
+use crate::dtype::{DType, Scalar};
+use crate::pool::par_chunks_mut;
+use crate::tensor::Tensor;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// Remainder. Integer remainder by zero yields 0 (documented SQL-NULL
+    /// simplification; TPC-H never exercises it).
+    Mod,
+}
+
+/// Comparison operators producing `Bool` tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with operand sides swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluate on an `Ordering`.
+    pub fn eval_ord(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+fn assert_same_rows(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.nrows(), b.nrows(), "{what}: row count mismatch {} vs {}", a.nrows(), b.nrows());
+}
+
+macro_rules! arith_loop {
+    ($op:expr, $x:expr, $y:expr, $out:expr, int) => {
+        match $op {
+            BinOp::Add => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a.wrapping_add( b);
+                }
+            }),
+            BinOp::Sub => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a.wrapping_sub( b);
+                }
+            }),
+            BinOp::Mul => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a.wrapping_mul( b);
+                }
+            }),
+            BinOp::Div => par_chunks_mut($out, |s, c| {
+                for (i, o) in c.iter_mut().enumerate() {
+                    let d = $y[s + i];
+                    *o = if d == 0 { 0 } else { $x[s + i].wrapping_div(d) };
+                }
+            }),
+            BinOp::Mod => par_chunks_mut($out, |s, c| {
+                for (i, o) in c.iter_mut().enumerate() {
+                    let d = $y[s + i];
+                    *o = if d == 0 { 0 } else { $x[s + i].wrapping_rem(d) };
+                }
+            }),
+        }
+    };
+    ($op:expr, $x:expr, $y:expr, $out:expr, float) => {
+        match $op {
+            BinOp::Add => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a +  b;
+                }
+            }),
+            BinOp::Sub => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a -  b;
+                }
+            }),
+            BinOp::Mul => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a *  b;
+                }
+            }),
+            BinOp::Div => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a /  b;
+                }
+            }),
+            BinOp::Mod => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a %  b;
+                }
+            }),
+        }
+    };
+}
+
+/// Element-wise arithmetic over two equal-length rank-1 numeric tensors.
+pub fn binary(op: BinOp, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_rows(a, b, "binary");
+    let dt = a.dtype().promote(b.dtype());
+    let a = a.cast(dt).expect("promote cast");
+    let b = b.cast(dt).expect("promote cast");
+    match dt {
+        DType::I32 => {
+            let (x, y) = (a.as_i32(), b.as_i32());
+            let mut out = vec![0i32; x.len()];
+            arith_loop!(op, x, y, &mut out, int);
+            Tensor::from_i32(out)
+        }
+        DType::I64 => {
+            let (x, y) = (a.as_i64(), b.as_i64());
+            let mut out = vec![0i64; x.len()];
+            arith_loop!(op, x, y, &mut out, int);
+            Tensor::from_i64(out)
+        }
+        DType::F32 => {
+            let (x, y) = (a.as_f32(), b.as_f32());
+            let mut out = vec![0f32; x.len()];
+            arith_loop!(op, x, y, &mut out, float);
+            Tensor::from_f32(out)
+        }
+        DType::F64 => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            let mut out = vec![0f64; x.len()];
+            arith_loop!(op, x, y, &mut out, float);
+            Tensor::from_f64(out)
+        }
+        other => panic!("arithmetic on non-numeric dtype {other:?}"),
+    }
+}
+
+/// `a op scalar` with the scalar broadcast across all rows.
+pub fn binary_scalar(op: BinOp, a: &Tensor, s: &Scalar) -> Tensor {
+    binary(op, a, &Tensor::full(s, a.nrows()))
+}
+
+/// `scalar op a` (non-commutative forms need the scalar on the left).
+pub fn scalar_binary(op: BinOp, s: &Scalar, a: &Tensor) -> Tensor {
+    binary(op, &Tensor::full(s, a.nrows()), a)
+}
+
+/// Arithmetic negation.
+pub fn neg(a: &Tensor) -> Tensor {
+    match a.dtype() {
+        DType::I32 => Tensor::from_i32(a.as_i32().iter().map(|&x| -x).collect()),
+        DType::I64 => Tensor::from_i64(a.as_i64().iter().map(|&x| -x).collect()),
+        DType::F32 => Tensor::from_f32(a.as_f32().iter().map(|&x| -x).collect()),
+        DType::F64 => Tensor::from_f64(a.as_f64().iter().map(|&x| -x).collect()),
+        other => panic!("neg on non-numeric dtype {other:?}"),
+    }
+}
+
+/// Absolute value.
+pub fn abs(a: &Tensor) -> Tensor {
+    match a.dtype() {
+        DType::I32 => Tensor::from_i32(a.as_i32().iter().map(|&x| x.abs()).collect()),
+        DType::I64 => Tensor::from_i64(a.as_i64().iter().map(|&x| x.abs()).collect()),
+        DType::F32 => Tensor::from_f32(a.as_f32().iter().map(|&x| x.abs()).collect()),
+        DType::F64 => Tensor::from_f64(a.as_f64().iter().map(|&x| x.abs()).collect()),
+        other => panic!("abs on non-numeric dtype {other:?}"),
+    }
+}
+
+macro_rules! cmp_loop {
+    ($op:expr, $x:expr, $y:expr, $out:expr) => {
+        match $op {
+            CmpOp::Eq => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a ==  b;
+                }
+            }),
+            CmpOp::Ne => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a !=  b;
+                }
+            }),
+            CmpOp::Lt => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a <  b;
+                }
+            }),
+            CmpOp::Le => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a <=  b;
+                }
+            }),
+            CmpOp::Gt => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a >  b;
+                }
+            }),
+            CmpOp::Ge => par_chunks_mut($out, |s, c| {
+                let xs = &$x[s..s + c.len()];
+                let ys = &$y[s..s + c.len()];
+                for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+                    *o = a >=  b;
+                }
+            }),
+        }
+    };
+}
+
+/// Element-wise comparison producing a `Bool` mask. Supports numeric tensors
+/// (with promotion), bool tensors, and `(n×m)` string matrices (row-wise
+/// trimmed byte-lexicographic comparison, ≡ UTF-8 code-point order).
+pub fn compare(op: CmpOp, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_rows(a, b, "compare");
+    let n = a.nrows();
+    if a.dtype() == DType::U8 || b.dtype() == DType::U8 {
+        assert!(
+            a.dtype() == DType::U8 && b.dtype() == DType::U8,
+            "cannot compare string with {:?}",
+            if a.dtype() == DType::U8 { b.dtype() } else { a.dtype() }
+        );
+        let mut out = vec![false; n];
+        par_chunks_mut(&mut out, |s, c| {
+            for (i, o) in c.iter_mut().enumerate() {
+                let ord = a.str_row_trimmed(s + i).cmp(b.str_row_trimmed(s + i));
+                *o = op.eval_ord(ord);
+            }
+        });
+        return Tensor::from_bool(out);
+    }
+    if a.dtype() == DType::Bool && b.dtype() == DType::Bool {
+        let (x, y) = (a.as_bool(), b.as_bool());
+        let mut out = vec![false; n];
+        cmp_loop!(op, x, y, &mut out);
+        return Tensor::from_bool(out);
+    }
+    let dt = a.dtype().promote(b.dtype());
+    let a = a.cast(dt).expect("promote cast");
+    let b = b.cast(dt).expect("promote cast");
+    let mut out = vec![false; n];
+    match dt {
+        DType::I32 => cmp_loop!(op, a.as_i32(), b.as_i32(), &mut out),
+        DType::I64 => cmp_loop!(op, a.as_i64(), b.as_i64(), &mut out),
+        DType::F32 => cmp_loop!(op, a.as_f32(), b.as_f32(), &mut out),
+        DType::F64 => cmp_loop!(op, a.as_f64(), b.as_f64(), &mut out),
+        other => panic!("compare on dtype {other:?}"),
+    }
+    Tensor::from_bool(out)
+}
+
+/// Compare against a broadcast scalar. String scalars compare against the
+/// trimmed rows of a string matrix. Numeric scalars take a fused path that
+/// never materializes the broadcast tensor (this is the hottest kernel in
+/// TPC-H filters).
+pub fn compare_scalar(op: CmpOp, a: &Tensor, s: &Scalar) -> Tensor {
+    if let Scalar::Str(needle) = s {
+        assert_eq!(a.dtype(), DType::U8, "string comparison against {:?}", a.dtype());
+        let nb = needle.as_bytes();
+        let n = a.nrows();
+        let mut out = vec![false; n];
+        par_chunks_mut(&mut out, |st, c| {
+            for (i, o) in c.iter_mut().enumerate() {
+                *o = op.eval_ord(a.str_row_trimmed(st + i).cmp(nb));
+            }
+        });
+        return Tensor::from_bool(out);
+    }
+    macro_rules! cmp_const {
+        ($x:expr, $v:expr) => {{
+            let x = $x;
+            let v = $v;
+            let mut out = vec![false; x.len()];
+            match op {
+                CmpOp::Eq => par_chunks_mut(&mut out, |s, c| {
+                    let xs = &x[s..s + c.len()];
+                    for (o, &a) in c.iter_mut().zip(xs) {
+                        *o = a == v;
+                    }
+                }),
+                CmpOp::Ne => par_chunks_mut(&mut out, |s, c| {
+                    let xs = &x[s..s + c.len()];
+                    for (o, &a) in c.iter_mut().zip(xs) {
+                        *o = a != v;
+                    }
+                }),
+                CmpOp::Lt => par_chunks_mut(&mut out, |s, c| {
+                    let xs = &x[s..s + c.len()];
+                    for (o, &a) in c.iter_mut().zip(xs) {
+                        *o = a < v;
+                    }
+                }),
+                CmpOp::Le => par_chunks_mut(&mut out, |s, c| {
+                    let xs = &x[s..s + c.len()];
+                    for (o, &a) in c.iter_mut().zip(xs) {
+                        *o = a <= v;
+                    }
+                }),
+                CmpOp::Gt => par_chunks_mut(&mut out, |s, c| {
+                    let xs = &x[s..s + c.len()];
+                    for (o, &a) in c.iter_mut().zip(xs) {
+                        *o = a > v;
+                    }
+                }),
+                CmpOp::Ge => par_chunks_mut(&mut out, |s, c| {
+                    let xs = &x[s..s + c.len()];
+                    for (o, &a) in c.iter_mut().zip(xs) {
+                        *o = a >= v;
+                    }
+                }),
+            }
+            Tensor::from_bool(out)
+        }};
+    }
+    match (a.dtype(), s) {
+        (DType::I64, _) if s.dtype().map(|d| d.is_int()) == Some(true) => {
+            cmp_const!(a.as_i64(), s.as_i64())
+        }
+        (DType::I32, Scalar::I32(v)) => cmp_const!(a.as_i32(), *v),
+        (DType::F64, _) if s.dtype().map(|d| d.is_numeric()) == Some(true) => {
+            cmp_const!(a.as_f64(), s.as_f64())
+        }
+        _ => compare(op, a, &Tensor::full(s, a.nrows())),
+    }
+}
+
+/// Logical AND of two bool tensors.
+pub fn and(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_rows(a, b, "and");
+    let (x, y) = (a.as_bool(), b.as_bool());
+    let mut out = vec![false; x.len()];
+    par_chunks_mut(&mut out, |s, c| {
+        let xs = &x[s..s + c.len()];
+        let ys = &y[s..s + c.len()];
+        for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+            *o = a && b;
+        }
+    });
+    Tensor::from_bool(out)
+}
+
+/// Logical OR of two bool tensors.
+pub fn or(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_rows(a, b, "or");
+    let (x, y) = (a.as_bool(), b.as_bool());
+    let mut out = vec![false; x.len()];
+    par_chunks_mut(&mut out, |s, c| {
+        let xs = &x[s..s + c.len()];
+        let ys = &y[s..s + c.len()];
+        for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
+            *o = a || b;
+        }
+    });
+    Tensor::from_bool(out)
+}
+
+/// Logical NOT of a bool tensor.
+pub fn not(a: &Tensor) -> Tensor {
+    Tensor::from_bool(a.as_bool().iter().map(|&x| !x).collect())
+}
+
+/// Ternary select: `out[i] = if cond[i] { a[i] } else { b[i] }`.
+///
+/// This is the `torch.where` analogue the planning layer uses for `CASE WHEN`
+/// (paper Figure 4 ➌). `a` and `b` must share a numeric dtype after
+/// promotion, or both be string matrices (output width = max of both).
+pub fn where_select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_same_rows(cond, a, "where_select");
+    assert_same_rows(cond, b, "where_select");
+    let mask = cond.as_bool();
+    if a.dtype() == DType::U8 && b.dtype() == DType::U8 {
+        let m = a.row_width().max(b.row_width());
+        let n = a.nrows();
+        let mut out = vec![0u8; n * m];
+        for i in 0..n {
+            let src = if mask[i] { a.str_row_trimmed(i) } else { b.str_row_trimmed(i) };
+            out[i * m..i * m + src.len()].copy_from_slice(src);
+        }
+        return Tensor::from_u8_matrix(out, n, m);
+    }
+    if a.dtype() == DType::Bool && b.dtype() == DType::Bool {
+        let (x, y) = (a.as_bool(), b.as_bool());
+        let out = mask.iter().zip(x.iter().zip(y)).map(|(&c, (&x, &y))| if c { x } else { y });
+        return Tensor::from_bool(out.collect());
+    }
+    let dt = a.dtype().promote(b.dtype());
+    let a = a.cast(dt).expect("promote cast");
+    let b = b.cast(dt).expect("promote cast");
+    macro_rules! sel {
+        ($as:ident, $ctor:path) => {{
+            let (x, y) = (a.$as(), b.$as());
+            let mut out = vec![Default::default(); x.len()];
+            par_chunks_mut(&mut out, |s, c| {
+                let ms = &mask[s..s + c.len()];
+                let xs = &x[s..s + c.len()];
+                let ys = &y[s..s + c.len()];
+                for (((o, &m), &a), &b) in c.iter_mut().zip(ms).zip(xs).zip(ys) {
+                    *o = if m { a } else { b };
+                }
+            });
+            $ctor(out)
+        }};
+    }
+    match dt {
+        DType::I32 => sel!(as_i32, Tensor::from_i32),
+        DType::I64 => sel!(as_i64, Tensor::from_i64),
+        DType::F32 => sel!(as_f32, Tensor::from_f32),
+        DType::F64 => sel!(as_f64, Tensor::from_f64),
+        other => panic!("where_select on dtype {other:?}"),
+    }
+}
+
+/// Membership test against a literal list (`expr IN (v1, v2, ...)`),
+/// implemented as an OR-fold of equality masks — the tensor formulation of
+/// `IN` used by queries like TPC-H Q12/Q19/Q22.
+pub fn in_list(a: &Tensor, values: &[Scalar]) -> Tensor {
+    let mut acc = Tensor::from_bool(vec![false; a.nrows()]);
+    for v in values {
+        acc = or(&acc, &compare_scalar(CmpOp::Eq, a, v));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_int() {
+        let a = Tensor::from_i64(vec![1, 2, 3]);
+        let b = Tensor::from_i64(vec![10, 20, 30]);
+        assert_eq!(binary(BinOp::Add, &a, &b).as_i64(), &[11, 22, 33]);
+        assert_eq!(binary(BinOp::Sub, &b, &a).as_i64(), &[9, 18, 27]);
+        assert_eq!(binary(BinOp::Mul, &a, &b).as_i64(), &[10, 40, 90]);
+        assert_eq!(binary(BinOp::Div, &b, &a).as_i64(), &[10, 10, 10]);
+        assert_eq!(binary(BinOp::Mod, &b, &a).as_i64(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn int_div_by_zero_yields_zero() {
+        let a = Tensor::from_i64(vec![5]);
+        let z = Tensor::from_i64(vec![0]);
+        assert_eq!(binary(BinOp::Div, &a, &z).as_i64(), &[0]);
+        assert_eq!(binary(BinOp::Mod, &a, &z).as_i64(), &[0]);
+    }
+
+    #[test]
+    fn arithmetic_promotes() {
+        let a = Tensor::from_i32(vec![1, 2]);
+        let b = Tensor::from_f64(vec![0.5, 0.25]);
+        let r = binary(BinOp::Mul, &a, &b);
+        assert_eq!(r.dtype(), DType::F64);
+        assert_eq!(r.as_f64(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn scalar_forms() {
+        let a = Tensor::from_f64(vec![1.0, 2.0]);
+        assert_eq!(binary_scalar(BinOp::Add, &a, &Scalar::F64(1.0)).as_f64(), &[2.0, 3.0]);
+        assert_eq!(scalar_binary(BinOp::Sub, &Scalar::F64(10.0), &a).as_f64(), &[9.0, 8.0]);
+    }
+
+    #[test]
+    fn neg_abs() {
+        let a = Tensor::from_i64(vec![-1, 2]);
+        assert_eq!(neg(&a).as_i64(), &[1, -2]);
+        assert_eq!(abs(&a).as_i64(), &[1, 2]);
+        let f = Tensor::from_f64(vec![-1.5]);
+        assert_eq!(abs(&f).as_f64(), &[1.5]);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Tensor::from_i64(vec![1, 2, 3]);
+        let b = Tensor::from_i64(vec![2, 2, 2]);
+        assert_eq!(compare(CmpOp::Lt, &a, &b).as_bool(), &[true, false, false]);
+        assert_eq!(compare(CmpOp::Eq, &a, &b).as_bool(), &[false, true, false]);
+        assert_eq!(compare(CmpOp::Ge, &a, &b).as_bool(), &[false, true, true]);
+        assert_eq!(compare_scalar(CmpOp::Ne, &a, &Scalar::I64(2)).as_bool(), &[true, false, true]);
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let a = Tensor::from_strings(&["apple", "pear", "fig"], 0);
+        let b = Tensor::from_strings(&["apple", "plum", "aa"], 0);
+        assert_eq!(compare(CmpOp::Eq, &a, &b).as_bool(), &[true, false, false]);
+        assert_eq!(compare(CmpOp::Lt, &a, &b).as_bool(), &[false, true, false]);
+        assert_eq!(
+            compare_scalar(CmpOp::Ge, &a, &Scalar::Str("fig".into())).as_bool(),
+            &[false, true, true]
+        );
+    }
+
+    #[test]
+    fn string_prefix_ordering_with_padding() {
+        // "ab" < "abc": padding must not break lexicographic order.
+        let a = Tensor::from_strings(&["ab"], 3);
+        let b = Tensor::from_strings(&["abc"], 3);
+        assert_eq!(compare(CmpOp::Lt, &a, &b).as_bool(), &[true]);
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let a = Tensor::from_bool(vec![true, true, false, false]);
+        let b = Tensor::from_bool(vec![true, false, true, false]);
+        assert_eq!(and(&a, &b).as_bool(), &[true, false, false, false]);
+        assert_eq!(or(&a, &b).as_bool(), &[true, true, true, false]);
+        assert_eq!(not(&a).as_bool(), &[false, false, true, true]);
+    }
+
+    #[test]
+    fn where_select_numeric() {
+        let c = Tensor::from_bool(vec![true, false, true]);
+        let a = Tensor::from_i64(vec![1, 1, 1]);
+        let b = Tensor::from_i64(vec![0, 0, 0]);
+        assert_eq!(where_select(&c, &a, &b).as_i64(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn where_select_strings() {
+        let c = Tensor::from_bool(vec![true, false]);
+        let a = Tensor::from_strings(&["yes", "yes"], 0);
+        let b = Tensor::from_strings(&["no", "no"], 0);
+        let r = where_select(&c, &a, &b);
+        assert_eq!(r.str_at(0), "yes");
+        assert_eq!(r.str_at(1), "no");
+    }
+
+    #[test]
+    fn in_list_membership() {
+        let a = Tensor::from_i64(vec![1, 5, 7, 9]);
+        let r = in_list(&a, &[Scalar::I64(5), Scalar::I64(9)]);
+        assert_eq!(r.as_bool(), &[false, true, false, true]);
+        let s = Tensor::from_strings(&["MAIL", "AIR", "SHIP"], 0);
+        let r = in_list(&s, &[Scalar::Str("MAIL".into()), Scalar::Str("SHIP".into())]);
+        assert_eq!(r.as_bool(), &[true, false, true]);
+    }
+
+    #[test]
+    fn large_inputs_parallel_path() {
+        let n = crate::pool::PAR_THRESHOLD * 2 + 3;
+        let a = Tensor::from_i64((0..n as i64).collect());
+        let b = Tensor::from_i64(vec![1; n]);
+        let r = binary(BinOp::Add, &a, &b);
+        assert_eq!(r.as_i64()[0], 1);
+        assert_eq!(r.as_i64()[n - 1], n as i64);
+        let m = compare_scalar(CmpOp::Lt, &a, &Scalar::I64(10));
+        assert_eq!(m.as_bool().iter().filter(|&&x| x).count(), 10);
+    }
+}

@@ -1,0 +1,193 @@
+//! Stable sorting kernels.
+//!
+//! TQP's ORDER BY, sort-based aggregation, and sort-merge join are all built
+//! on *stable argsort*: produce a permutation, then [`crate::index::take`]
+//! every payload column through it. Multi-key ordering uses the classic
+//! LSD trick — repeated stable single-key sorts from the least-significant
+//! key to the most-significant — which is exactly how multi-column sorts are
+//! expressed on tensor runtimes that only expose per-column stable sorts.
+
+use crate::dtype::DType;
+use crate::index::take;
+use crate::tensor::Tensor;
+
+/// Sort direction for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    Asc,
+    Desc,
+}
+
+/// One sort key: the column tensor plus a direction.
+#[derive(Debug, Clone)]
+pub struct SortKey {
+    pub values: Tensor,
+    pub order: Order,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(values: Tensor) -> Self {
+        SortKey { values, order: Order::Asc }
+    }
+
+    /// Descending key.
+    pub fn desc(values: Tensor) -> Self {
+        SortKey { values, order: Order::Desc }
+    }
+}
+
+/// Stable argsort of a single rank-1 tensor (or rank-2 string matrix, whose
+/// rows order byte-lexicographically ≡ UTF-8 order). Returns an `I64`
+/// permutation tensor: `perm[k]` = original row index of output row `k`.
+///
+/// Floats order with a total order (NaN greatest), so the sort never panics.
+pub fn argsort(t: &Tensor, order: Order) -> Tensor {
+    let perm: Vec<i64> = (0..t.nrows() as i64).collect();
+    argsort_perm(t, order, perm)
+}
+
+/// Stable re-sort of an existing permutation by a new key: sorts `perm` by
+/// `key[perm[i]]`, keeping equal keys in `perm` order. This is the LSD step.
+fn argsort_perm(key: &Tensor, order: Order, mut perm: Vec<i64>) -> Tensor {
+    macro_rules! sort_by_slice {
+        ($as:ident) => {{
+            let vals = key.$as();
+            match order {
+                Order::Asc => perm.sort_by(|&a, &b| vals[a as usize].cmp(&vals[b as usize])),
+                Order::Desc => perm.sort_by(|&a, &b| vals[b as usize].cmp(&vals[a as usize])),
+            }
+        }};
+    }
+    match key.dtype() {
+        DType::Bool => sort_by_slice!(as_bool),
+        DType::I32 => sort_by_slice!(as_i32),
+        DType::I64 => sort_by_slice!(as_i64),
+        DType::F32 => {
+            let vals = key.as_f32();
+            match order {
+                Order::Asc => {
+                    perm.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]))
+                }
+                Order::Desc => {
+                    perm.sort_by(|&a, &b| vals[b as usize].total_cmp(&vals[a as usize]))
+                }
+            }
+        }
+        DType::F64 => {
+            let vals = key.as_f64();
+            match order {
+                Order::Asc => {
+                    perm.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]))
+                }
+                Order::Desc => {
+                    perm.sort_by(|&a, &b| vals[b as usize].total_cmp(&vals[a as usize]))
+                }
+            }
+        }
+        DType::U8 => {
+            // Rank-2 string matrix: rows compare as padded byte slices
+            // (trailing NULs sort below every printable byte, preserving
+            // prefix ordering).
+            let m = key.row_width();
+            let bytes = key.as_u8();
+            let row = |i: i64| &bytes[i as usize * m..(i as usize + 1) * m];
+            match order {
+                Order::Asc => perm.sort_by(|&a, &b| row(a).cmp(row(b))),
+                Order::Desc => perm.sort_by(|&a, &b| row(b).cmp(row(a))),
+            }
+        }
+    }
+    Tensor::from_i64(perm)
+}
+
+/// Stable multi-key argsort: `keys[0]` is the most significant. Implemented
+/// as LSD repeated stable sorts (sort by last key first).
+pub fn argsort_multi(keys: &[SortKey]) -> Tensor {
+    assert!(!keys.is_empty(), "argsort_multi needs at least one key");
+    let n = keys[0].values.nrows();
+    for k in keys {
+        assert_eq!(k.values.nrows(), n, "sort keys must have equal length");
+    }
+    let mut perm: Vec<i64> = (0..n as i64).collect();
+    for key in keys.iter().rev() {
+        perm = argsort_perm(&key.values, key.order, perm).to_i64_vec();
+    }
+    Tensor::from_i64(perm)
+}
+
+/// Sort a tensor by itself (values, not indices).
+pub fn sort(t: &Tensor, order: Order) -> Tensor {
+    take(t, &argsort(t, order))
+}
+
+/// True iff the rank-1 `I64` tensor is non-decreasing.
+pub fn is_sorted_i64(t: &Tensor) -> bool {
+    t.as_i64().windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_ints_stable() {
+        let t = Tensor::from_i64(vec![3, 1, 2, 1]);
+        let p = argsort(&t, Order::Asc);
+        assert_eq!(p.as_i64(), &[1, 3, 2, 0]); // ties keep original order
+        assert_eq!(sort(&t, Order::Asc).as_i64(), &[1, 1, 2, 3]);
+        assert_eq!(sort(&t, Order::Desc).as_i64(), &[3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn argsort_floats_with_nan() {
+        let t = Tensor::from_f64(vec![f64::NAN, 1.0, -1.0]);
+        let s = sort(&t, Order::Asc);
+        assert_eq!(s.as_f64()[0], -1.0);
+        assert_eq!(s.as_f64()[1], 1.0);
+        assert!(s.as_f64()[2].is_nan());
+    }
+
+    #[test]
+    fn argsort_strings() {
+        let t = Tensor::from_strings(&["pear", "apple", "ap"], 0);
+        let s = take(&t, &argsort(&t, Order::Asc));
+        assert_eq!(s.str_at(0), "ap");
+        assert_eq!(s.str_at(1), "apple");
+        assert_eq!(s.str_at(2), "pear");
+    }
+
+    #[test]
+    fn multi_key_orders_lexicographically() {
+        // (a, b) pairs; sort by a asc, b desc.
+        let a = Tensor::from_i64(vec![1, 2, 1, 2]);
+        let b = Tensor::from_f64(vec![10.0, 5.0, 20.0, 1.0]);
+        let p = argsort_multi(&[SortKey::asc(a.clone()), SortKey::desc(b.clone())]);
+        let sa = take(&a, &p);
+        let sb = take(&b, &p);
+        assert_eq!(sa.as_i64(), &[1, 1, 2, 2]);
+        assert_eq!(sb.as_f64(), &[20.0, 10.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn multi_key_with_string_primary() {
+        let s = Tensor::from_strings(&["b", "a", "b", "a"], 0);
+        let v = Tensor::from_i64(vec![2, 9, 1, 3]);
+        let p = argsort_multi(&[SortKey::asc(s.clone()), SortKey::asc(v.clone())]);
+        let sv = take(&v, &p);
+        assert_eq!(sv.as_i64(), &[3, 9, 1, 2]);
+    }
+
+    #[test]
+    fn empty_sort() {
+        let t = Tensor::from_i64(vec![]);
+        assert_eq!(argsort(&t, Order::Asc).nrows(), 0);
+        assert!(is_sorted_i64(&t));
+    }
+
+    #[test]
+    fn is_sorted_checks() {
+        assert!(is_sorted_i64(&Tensor::from_i64(vec![1, 1, 2])));
+        assert!(!is_sorted_i64(&Tensor::from_i64(vec![2, 1])));
+    }
+}

@@ -1,0 +1,282 @@
+//! Kernels over TQP's `(n × m)` right-zero-padded UTF-8 string matrices
+//! (paper §2.1), most importantly SQL `LIKE`.
+//!
+//! `LIKE` patterns compile once per query into a [`LikePattern`]; matching a
+//! column is then a vectorized row scan with fast paths for the four shapes
+//! that cover every TPC-H predicate (`exact`, `prefix%`, `%suffix`,
+//! `%contains%`) and a general wildcard matcher for the rest
+//! (e.g. Q13's `'%special%requests%'`).
+
+use crate::pool::par_chunks_mut;
+use crate::tensor::Tensor;
+
+/// A compiled `LIKE` pattern. `%` matches any run (possibly empty), `_`
+/// matches exactly one byte. (TQP operates on UTF-8 bytes; TPC-H text is
+/// ASCII so byte == character.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LikePattern {
+    /// No wildcards: equality.
+    Exact(Vec<u8>),
+    /// `lit%`.
+    Prefix(Vec<u8>),
+    /// `%lit`.
+    Suffix(Vec<u8>),
+    /// `%lit%`.
+    Contains(Vec<u8>),
+    /// Anything else: literal segments separated by `%`; `_` only supported
+    /// in the general form. `leading`/`trailing` indicate whether the
+    /// pattern starts/ends with `%`.
+    General { segments: Vec<Vec<u8>>, leading: bool, trailing: bool },
+}
+
+impl LikePattern {
+    /// Compile a SQL LIKE pattern string.
+    pub fn compile(pattern: &str) -> LikePattern {
+        let p = pattern.as_bytes();
+        let has_underscore = p.contains(&b'_');
+        let pct: Vec<usize> =
+            p.iter().enumerate().filter(|(_, &b)| b == b'%').map(|(i, _)| i).collect();
+        if !has_underscore {
+            match pct.len() {
+                0 => return LikePattern::Exact(p.to_vec()),
+                1 if pct[0] == p.len() - 1 => return LikePattern::Prefix(p[..pct[0]].to_vec()),
+                1 if pct[0] == 0 => return LikePattern::Suffix(p[1..].to_vec()),
+                2 if pct[0] == 0 && pct[1] == p.len() - 1 && p.len() >= 2 => {
+                    return LikePattern::Contains(p[1..p.len() - 1].to_vec())
+                }
+                _ => {}
+            }
+        }
+        let leading = p.first() == Some(&b'%');
+        let trailing = p.last() == Some(&b'%');
+        let segments: Vec<Vec<u8>> = p
+            .split(|&b| b == b'%')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.to_vec())
+            .collect();
+        LikePattern::General { segments, leading, trailing }
+    }
+
+    /// Match one trimmed byte string.
+    pub fn matches(&self, s: &[u8]) -> bool {
+        match self {
+            LikePattern::Exact(lit) => s == lit.as_slice(),
+            LikePattern::Prefix(lit) => s.starts_with(lit),
+            LikePattern::Suffix(lit) => s.ends_with(lit),
+            LikePattern::Contains(lit) => contains(s, lit),
+            LikePattern::General { segments, leading, trailing } => {
+                match_general(s, segments, *leading, *trailing)
+            }
+        }
+    }
+}
+
+/// Substring search (naive two-pointer; needles are short in practice).
+/// `_` inside the needle matches any byte.
+fn contains(hay: &[u8], needle: &[u8]) -> bool {
+    find_from(hay, needle, 0).is_some()
+}
+
+fn seg_match_at(hay: &[u8], needle: &[u8], at: usize) -> bool {
+    if at + needle.len() > hay.len() {
+        return false;
+    }
+    hay[at..at + needle.len()]
+        .iter()
+        .zip(needle)
+        .all(|(&h, &n)| n == b'_' || h == n)
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(from.min(hay.len()));
+    }
+    if from + needle.len() > hay.len() {
+        return None;
+    }
+    (from..=hay.len() - needle.len()).find(|&i| seg_match_at(hay, needle, i))
+}
+
+/// General `%`-separated segment matching: first segment anchored at start
+/// unless `leading`, last anchored at end unless `trailing`, middle segments
+/// greedy left-to-right (correct for `%`-separated literals).
+fn match_general(s: &[u8], segments: &[Vec<u8>], leading: bool, trailing: bool) -> bool {
+    if segments.is_empty() {
+        // Pattern was only '%'s: matches anything (or empty for no-%).
+        return leading || trailing || s.is_empty();
+    }
+    let mut pos = 0usize;
+    for (k, seg) in segments.iter().enumerate() {
+        let first = k == 0;
+        let last = k == segments.len() - 1;
+        if first && !leading {
+            if !seg_match_at(s, seg, 0) {
+                return false;
+            }
+            pos = seg.len();
+            if last && !trailing {
+                return pos == s.len();
+            }
+            continue;
+        }
+        if last && !trailing {
+            // Anchor at end; also must start at or after pos.
+            if s.len() < seg.len() {
+                return false;
+            }
+            let at = s.len() - seg.len();
+            return at >= pos && seg_match_at(s, seg, at);
+        }
+        match find_from(s, seg, pos) {
+            Some(at) => pos = at + seg.len(),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Vectorized `LIKE` over a string matrix: returns a `Bool` mask.
+pub fn like(col: &Tensor, pattern: &LikePattern) -> Tensor {
+    let n = col.nrows();
+    let mut out = vec![false; n];
+    par_chunks_mut(&mut out, |s, c| {
+        for (i, o) in c.iter_mut().enumerate() {
+            *o = pattern.matches(col.str_row_trimmed(s + i));
+        }
+    });
+    Tensor::from_bool(out)
+}
+
+/// SQL `SUBSTRING(col, start, len)` with 1-based `start`; returns a new
+/// `(n × len)` padded matrix (used by TPC-H Q22's country-code extraction).
+pub fn substring(col: &Tensor, start: usize, len: usize) -> Tensor {
+    assert!(start >= 1, "SQL SUBSTRING start is 1-based");
+    let n = col.nrows();
+    let w = len.max(1);
+    let mut out = vec![0u8; n * w];
+    for i in 0..n {
+        let row = col.str_row_trimmed(i);
+        let lo = (start - 1).min(row.len());
+        let hi = (lo + len).min(row.len());
+        out[i * w..i * w + (hi - lo)].copy_from_slice(&row[lo..hi]);
+    }
+    Tensor::from_u8_matrix(out, n, w)
+}
+
+/// Per-row character (byte) length, trimmed of padding.
+pub fn char_length(col: &Tensor) -> Tensor {
+    let n = col.nrows();
+    let mut out = vec![0i64; n];
+    par_chunks_mut(&mut out, |s, c| {
+        for (i, o) in c.iter_mut().enumerate() {
+            *o = col.str_row_trimmed(s + i).len() as i64;
+        }
+    });
+    Tensor::from_i64(out)
+}
+
+/// Vectorized prefix test (`starts_with`), a common planner fast path.
+pub fn starts_with(col: &Tensor, prefix: &str) -> Tensor {
+    like(col, &LikePattern::Prefix(prefix.as_bytes().to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        LikePattern::compile(pat).matches(s.as_bytes())
+    }
+
+    #[test]
+    fn compile_shapes() {
+        assert_eq!(LikePattern::compile("abc"), LikePattern::Exact(b"abc".to_vec()));
+        assert_eq!(LikePattern::compile("abc%"), LikePattern::Prefix(b"abc".to_vec()));
+        assert_eq!(LikePattern::compile("%abc"), LikePattern::Suffix(b"abc".to_vec()));
+        assert_eq!(LikePattern::compile("%abc%"), LikePattern::Contains(b"abc".to_vec()));
+        assert!(matches!(
+            LikePattern::compile("%a%b%"),
+            LikePattern::General { .. }
+        ));
+    }
+
+    #[test]
+    fn exact_prefix_suffix_contains() {
+        assert!(m("hello", "hello"));
+        assert!(!m("hello", "hell"));
+        assert!(m("PROMO%", "PROMO BURNISHED"));
+        assert!(!m("PROMO%", "STANDARD"));
+        assert!(m("%BRASS", "SMALL BRASS"));
+        assert!(!m("%BRASS", "BRASS NICKEL"));
+        assert!(m("%green%", "dark green metallic"));
+        assert!(m("%green%", "green"));
+        assert!(!m("%green%", "gren"));
+    }
+
+    #[test]
+    fn multi_segment_q13_pattern() {
+        assert!(m("%special%requests%", "handle special delivery requests now"));
+        assert!(!m("%special%requests%", "requests then special"));
+        assert!(m("%special%requests%", "specialrequests"));
+    }
+
+    #[test]
+    fn underscore_wildcards() {
+        assert!(m("h_llo", "hello"));
+        assert!(!m("h_llo", "hllo"));
+        assert!(m("%gr_en%", "big green box"));
+        assert!(m("a_c%", "abcdef"));
+        assert!(!m("a_c%", "abdef"));
+    }
+
+    #[test]
+    fn degenerate_patterns() {
+        assert!(m("%", "anything"));
+        assert!(m("%", ""));
+        assert!(m("%%", "x"));
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn anchored_general_both_sides() {
+        // No leading/trailing % with a middle %: 'ab%yz'
+        assert!(m("ab%yz", "abyz"));
+        assert!(m("ab%yz", "ab123yz"));
+        assert!(!m("ab%yz", "xab123yz"));
+        assert!(!m("ab%yz", "ab123yzx"));
+        // Overlap guard: last segment must start after first ends.
+        assert!(!m("abc%bcd", "abcd"));
+        assert!(m("abc%bcd", "abcbcd"));
+    }
+
+    #[test]
+    fn like_kernel_on_column() {
+        let col = Tensor::from_strings(&["PROMO A", "STD B", "PROMO C"], 0);
+        let mask = like(&col, &LikePattern::compile("PROMO%"));
+        assert_eq!(mask.as_bool(), &[true, false, true]);
+    }
+
+    #[test]
+    fn substring_sql_semantics() {
+        let col = Tensor::from_strings(&["13-345-222", "9", ""], 0);
+        let cc = substring(&col, 1, 2);
+        assert_eq!(cc.str_at(0), "13");
+        assert_eq!(cc.str_at(1), "9");
+        assert_eq!(cc.str_at(2), "");
+        let mid = substring(&col, 4, 3);
+        assert_eq!(mid.str_at(0), "345");
+    }
+
+    #[test]
+    fn char_length_trims_padding() {
+        let col = Tensor::from_strings(&["abc", "", "zz"], 0);
+        assert_eq!(char_length(&col).as_i64(), &[3, 0, 2]);
+    }
+
+    #[test]
+    fn starts_with_kernel() {
+        let col = Tensor::from_strings(&["forest green", "rose", "forestry"], 0);
+        assert_eq!(starts_with(&col, "forest").as_bool(), &[true, false, true]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Scenario 1 (paper §3.1): DS-tool integration — run a TPC-H query with
+//! the profiler active, inspect the operator runtime breakdown (Figure 2),
+//! and export a Chrome/Perfetto trace plus the executor graph.
+//!
+//! ```bash
+//! cargo run --release --example profiling
+//! ```
+
+use tqp_repro::core::{QueryConfig, Session};
+use tqp_repro::data::tpch::{queries, TpchConfig, TpchData};
+
+fn main() {
+    // Steps (1)-(2) of the scenario: import the library, ingest lineitem
+    // (the whole TPC-H instance here) as DataFrames.
+    let mut session = Session::new();
+    session.register_tpch(&TpchData::generate(&TpchConfig {
+        scale_factor: 0.05,
+        seed: 42,
+    }));
+
+    // Step (3): compile and execute the selected query.
+    let sql = queries::query(6);
+    let q = session.compile(sql, QueryConfig::default()).expect("compiles");
+    let (out, _) = q.run(&session).expect("runs");
+    println!("Q6 revenue = {}\n", out.column(0).display(0));
+
+    // Step (4): re-execute with the profiler activated and investigate the
+    // runtime breakdown (the Figure 2 view).
+    session.enable_profiling();
+    let (_, stats) = q.run(&session).expect("runs");
+    println!(
+        "operator runtime breakdown (total {} us):\n\n{}",
+        stats.wall_us,
+        session.profiler().breakdown(10)
+    );
+
+    std::fs::create_dir_all("target").ok();
+    let trace = session.profiler().chrome_trace();
+    std::fs::write("target/profiling_trace.json", &trace).expect("write trace");
+    println!("trace:          target/profiling_trace.json (open in chrome://tracing)");
+    let dot = q.to_dot("TPC-H Q6 executor");
+    std::fs::write("target/profiling_executor.dot", &dot).expect("write dot");
+    println!("executor graph: target/profiling_executor.dot");
+}

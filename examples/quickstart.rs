@@ -1,0 +1,56 @@
+//! Quickstart: the README's five-minute tour.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Mirrors the demo's notebook flow (paper §3.1 steps 1-3): create a
+//! session, ingest a DataFrame, compile a query, run it.
+
+use tqp_repro::core::{QueryConfig, Session};
+use tqp_repro::data::frame::df;
+use tqp_repro::data::Column;
+
+fn main() {
+    // 1. A session is the pip-installed `tqp` package's context.
+    let mut session = Session::new();
+
+    // 2. Ingest a Pandas-style DataFrame; numeric columns become tensors
+    //    zero-copy (paper §2.1).
+    session.register_table(
+        "orders",
+        df(vec![
+            ("order_id", Column::from_i64((1..=8).collect())),
+            (
+                "status",
+                Column::from_str(
+                    ["open", "open", "shipped", "open", "shipped", "open", "returned", "open"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
+                ),
+            ),
+            (
+                "amount",
+                Column::from_f64(vec![10.0, 35.5, 20.0, 9.99, 150.0, 75.25, 60.0, 12.5]),
+            ),
+        ]),
+    );
+
+    // 3. Compile SQL into a tensor program and execute it.
+    let query = session
+        .compile(
+            "select status, count(*) as n, sum(amount) as total \
+             from orders \
+             where amount > 10.0 \
+             group by status \
+             order by total desc",
+            QueryConfig::default(),
+        )
+        .expect("compiles");
+
+    println!("physical plan:\n{}", query.explain());
+    let (result, stats) = query.run(&session).expect("runs");
+    println!("{}", result.to_table_string(10));
+    println!("executed in {} us over tensors", stats.wall_us);
+}

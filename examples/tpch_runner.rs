@@ -1,0 +1,46 @@
+//! Run any TPC-H query on both engines and compare.
+//!
+//! ```bash
+//! cargo run --release --example tpch_runner -- 3        # query number
+//! TQP_SF=0.1 cargo run --release --example tpch_runner -- 17
+//! ```
+
+use std::time::Instant;
+
+use tqp_repro::core::{QueryConfig, Session};
+use tqp_repro::data::tpch::{queries, TpchConfig, TpchData};
+use tqp_repro::exec::Backend;
+
+fn main() {
+    let qn: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let sf: f64 = std::env::var("TQP_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let sql = queries::query(qn);
+    println!("TPC-H Q{qn} @ SF {sf}:\n{sql}\n");
+
+    let mut session = Session::new();
+    session.register_tpch(&TpchData::generate(&TpchConfig { scale_factor: sf, seed: 42 }));
+
+    let q = session
+        .compile(sql, QueryConfig::default().backend(Backend::Fused))
+        .expect("compiles");
+    println!("plan:\n{}", q.explain());
+
+    let t0 = Instant::now();
+    let (tensor_result, _) = q.run(&session).expect("runs");
+    let tensor_us = t0.elapsed().as_micros();
+
+    let t0 = Instant::now();
+    let row_result = session.sql_baseline(sql).expect("oracle runs");
+    let row_us = t0.elapsed().as_micros();
+
+    println!("{}", tensor_result.to_table_string(15));
+    println!(
+        "tensor engine: {} rows in {} us | row engine: {} rows in {} us ({:.1}x)",
+        tensor_result.nrows(),
+        tensor_us,
+        row_result.nrows(),
+        row_us,
+        row_us as f64 / tensor_us.max(1) as f64
+    );
+    assert_eq!(tensor_result.nrows(), row_result.nrows(), "engines disagree!");
+}

@@ -1,0 +1,125 @@
+//! Parser round-trip property: pretty-printing any generated expression and
+//! re-parsing it yields the same AST (print ∘ parse = id on the AST image).
+
+use proptest::prelude::*;
+use tqp_repro::sql::{parse_expr, BinaryOp, Expr, Literal};
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(|v| Expr::Literal(Literal::Int(v))),
+        (-100f64..100.0).prop_map(|v| Expr::Literal(Literal::Float((v * 16.0).round() / 16.0))),
+        "[a-z]{0,6}".prop_map(|s| Expr::Literal(Literal::Str(s))),
+    ]
+}
+
+fn column() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| !is_reserved(s)).prop_map(|name| {
+            Expr::Column { table: None, name }
+        }),
+        ("[a-z]{1,3}".prop_filter("not reserved", |s| !is_reserved(s)),
+         "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| !is_reserved(s)))
+            .prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+    ]
+}
+
+fn is_reserved(s: &str) -> bool {
+    [
+        "select", "from", "where", "group", "order", "having", "limit", "on", "join", "inner",
+        "left", "right", "outer", "cross", "as", "and", "or", "not", "asc", "desc", "union",
+        "when", "then", "else", "end", "case", "between", "in", "like", "is", "exists", "with",
+        "distinct", "by", "null", "date", "interval", "extract", "substring", "substr",
+        "predict", "true", "false", "count", "sum", "avg", "min", "max", "abs",
+    ]
+    .contains(&s)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), column()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Arithmetic / comparison / boolean binaries.
+            (
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::GtEq),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            // The parser canonicalizes negated literals into the literal
+            // itself; generate the canonical form directly.
+            inner.clone().prop_map(|e| match e {
+                Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+                Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+                other => Expr::Neg(Box::new(other)),
+            }),
+            // CASE WHEN.
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, v, e)| Expr::Case {
+                branches: vec![(c, v)],
+                else_expr: Some(Box::new(e)),
+            }),
+            // LIKE / IN list / BETWEEN / IS NULL.
+            (inner.clone(), "[a-z%_]{0,6}", any::<bool>()).prop_map(|(e, p, n)| Expr::Like {
+                expr: Box::new(e),
+                pattern: p,
+                negated: n,
+            }),
+            (inner.clone(), prop::collection::vec(literal(), 1..4), any::<bool>()).prop_map(
+                |(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }
+            ),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            // Aggregate-ish function calls.
+            (prop_oneof![Just("sum"), Just("min"), Just("count")], inner)
+                .prop_map(|(name, a)| Expr::Func {
+                    name: name.to_string(),
+                    args: vec![a],
+                    distinct: false,
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_print_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .map_err(|err| TestCaseError::fail(format!("{printed:?}: {err}")))?;
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn query_roundtrip_with_random_predicates(e in arb_expr()) {
+        // Any expression must survive embedding as a WHERE predicate.
+        let sql = format!("select a from t where ({}) is null order by a limit 7", e);
+        let q1 = tqp_repro::sql::parse(&sql)
+            .map_err(|err| TestCaseError::fail(format!("{sql}: {err}")))?;
+        let printed = q1.to_string();
+        let q2 = tqp_repro::sql::parse(&printed)
+            .map_err(|err| TestCaseError::fail(format!("reparse {printed}: {err}")))?;
+        prop_assert_eq!(q1, q2);
+    }
+}

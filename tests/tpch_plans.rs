@@ -1,0 +1,206 @@
+//! Plan-shape regression tests: the optimizer must produce the *expected
+//! operator structure* for representative TPC-H queries — no Cartesian
+//! products where joins exist, subqueries fully decorrelated, filters pushed
+//! to scans, and scans pruned to the referenced columns.
+
+use tqp_repro::data::tpch::queries;
+use tqp_repro::ir::physical::PhysicalPlan;
+use tqp_repro::ir::plan::JoinType;
+use tqp_repro::ir::{compile_sql, Catalog, PhysicalOptions};
+
+fn plan(n: usize) -> PhysicalPlan {
+    let catalog = Catalog::tpch(1.0);
+    compile_sql(queries::query(n), &catalog, &PhysicalOptions::default())
+        .unwrap_or_else(|e| panic!("Q{n}: {e}"))
+}
+
+fn count(p: &PhysicalPlan, pred: &dyn Fn(&PhysicalPlan) -> bool) -> usize {
+    let mut n = usize::from(pred(p));
+    for c in p.children() {
+        n += count(c, pred);
+    }
+    n
+}
+
+fn joins_of(p: &PhysicalPlan) -> Vec<JoinType> {
+    let mut out = Vec::new();
+    fn go(p: &PhysicalPlan, out: &mut Vec<JoinType>) {
+        if let PhysicalPlan::Join { join_type, .. } = p {
+            out.push(*join_type);
+        }
+        for c in p.children() {
+            go(c, out);
+        }
+    }
+    go(p, &mut out);
+    out
+}
+
+fn cross_joins(p: &PhysicalPlan) -> usize {
+    count(p, &|n| matches!(n, PhysicalPlan::CrossJoin { .. }))
+}
+
+#[test]
+fn q1_is_scan_filter_agg_sort() {
+    let p = plan(1);
+    assert_eq!(count(&p, &|n| matches!(n, PhysicalPlan::Join { .. })), 0);
+    assert_eq!(count(&p, &|n| matches!(n, PhysicalPlan::Aggregate { .. })), 1);
+    assert_eq!(count(&p, &|n| matches!(n, PhysicalPlan::Sort { .. })), 1);
+    // Column pruning: Q1 touches 7 of lineitem's 16 columns.
+    fn scan_width(p: &PhysicalPlan) -> Option<usize> {
+        match p {
+            PhysicalPlan::Scan { projection, schema, .. } => {
+                Some(projection.as_ref().map_or(schema.len(), |x| x.len()))
+            }
+            _ => p.children().into_iter().find_map(scan_width),
+        }
+    }
+    assert_eq!(scan_width(&p), Some(7));
+}
+
+#[test]
+fn q2_decorrelates_min_subquery_into_grouped_join() {
+    let p = plan(2);
+    // The correlated MIN becomes an Inner join against a grouped aggregate;
+    // the 5-way and 4-way comma joins become equi-join trees.
+    assert_eq!(cross_joins(&p), 0, "Q2 must not contain Cartesian products");
+    let grouped_aggs = count(&p, &|n| matches!(
+        n,
+        PhysicalPlan::Aggregate { group_by, .. } if !group_by.is_empty()
+    ));
+    assert_eq!(grouped_aggs, 1, "the decorrelated MIN is grouped by ps_partkey");
+    assert!(joins_of(&p).len() >= 8, "both join pyramids survive");
+}
+
+#[test]
+fn q4_exists_becomes_semi_join() {
+    let p = plan(4);
+    assert_eq!(joins_of(&p), vec![JoinType::Semi]);
+    assert_eq!(cross_joins(&p), 0);
+}
+
+#[test]
+fn q5_builds_full_join_tree() {
+    let p = plan(5);
+    assert_eq!(cross_joins(&p), 0, "6-table comma join fully extracted");
+    assert_eq!(joins_of(&p).len(), 5);
+}
+
+#[test]
+fn q13_left_join_with_pushed_right_filter() {
+    let p = plan(13);
+    let jts = joins_of(&p);
+    assert!(jts.contains(&JoinType::Left));
+    // The NOT LIKE on o_comment must sit on the right side *below* the join.
+    fn left_join_right_has_filter(p: &PhysicalPlan) -> bool {
+        match p {
+            PhysicalPlan::Join { join_type: JoinType::Left, right, .. } => {
+                fn has_filter(p: &PhysicalPlan) -> bool {
+                    matches!(p, PhysicalPlan::Filter { .. })
+                        || p.children().into_iter().any(has_filter)
+                }
+                has_filter(right)
+            }
+            _ => p.children().into_iter().any(left_join_right_has_filter),
+        }
+    }
+    assert!(left_join_right_has_filter(&p));
+}
+
+#[test]
+fn q16_not_in_becomes_anti_join() {
+    let p = plan(16);
+    assert!(joins_of(&p).contains(&JoinType::Anti));
+    assert_eq!(cross_joins(&p), 0);
+}
+
+#[test]
+fn q17_correlated_avg_decorrelated() {
+    let p = plan(17);
+    assert_eq!(cross_joins(&p), 0);
+    let grouped_aggs = count(&p, &|n| matches!(
+        n,
+        PhysicalPlan::Aggregate { group_by, .. } if !group_by.is_empty()
+    ));
+    assert!(grouped_aggs >= 1, "avg-per-partkey aggregate exists");
+}
+
+#[test]
+fn q19_or_hoisting_extracts_the_join() {
+    let p = plan(19);
+    assert_eq!(cross_joins(&p), 0, "common p_partkey = l_partkey must be hoisted from the OR");
+    assert_eq!(joins_of(&p).len(), 1);
+    // The residual OR survives as a filter above the join.
+    fn join_has_filter_above(p: &PhysicalPlan) -> bool {
+        match p {
+            PhysicalPlan::Filter { input, .. } => {
+                matches!(**input, PhysicalPlan::Join { .. }) || join_has_filter_above(input)
+            }
+            _ => p.children().into_iter().any(join_has_filter_above),
+        }
+    }
+    assert!(join_has_filter_above(&p));
+}
+
+#[test]
+fn q21_has_semi_and_anti_with_residuals() {
+    let p = plan(21);
+    let jts = joins_of(&p);
+    assert!(jts.contains(&JoinType::Semi), "EXISTS → semi");
+    assert!(jts.contains(&JoinType::Anti), "NOT EXISTS → anti");
+    // The `l2.l_suppkey <> l1.l_suppkey` correlation rides as a residual.
+    fn any_semi_anti_residual(p: &PhysicalPlan) -> bool {
+        match p {
+            PhysicalPlan::Join {
+                join_type: JoinType::Semi | JoinType::Anti,
+                residual: Some(_),
+                ..
+            } => true,
+            _ => p.children().into_iter().any(any_semi_anti_residual),
+        }
+    }
+    assert!(any_semi_anti_residual(&p));
+}
+
+#[test]
+fn q22_anti_join_and_scalar_cross() {
+    let p = plan(22);
+    let jts = joins_of(&p);
+    assert!(jts.contains(&JoinType::Anti), "NOT EXISTS orders → anti join");
+    // The uncorrelated AVG subquery becomes a single-row cross join.
+    assert!(cross_joins(&p) >= 1);
+}
+
+#[test]
+fn no_query_retains_subqueries_or_outer_refs() {
+    for n in 1..=22 {
+        let p = plan(n);
+        fn exprs_clean(p: &PhysicalPlan) -> bool {
+            use tqp_repro::ir::BoundExpr;
+            let check = |e: &BoundExpr| -> bool {
+                let mut ok = true;
+                e.visit(&mut |x| {
+                    if x.has_subquery() || matches!(x, BoundExpr::OuterRef { .. }) {
+                        ok = false;
+                    }
+                });
+                ok
+            };
+            let own = match p {
+                PhysicalPlan::Filter { predicate, .. } => check(predicate),
+                PhysicalPlan::Project { exprs, .. } => exprs.iter().all(check),
+                PhysicalPlan::Join { residual, .. } => {
+                    residual.as_ref().map_or(true, check)
+                }
+                PhysicalPlan::Aggregate { group_by, aggs, .. } => {
+                    group_by.iter().all(check)
+                        && aggs.iter().all(|a| a.arg.as_ref().map_or(true, check))
+                }
+                PhysicalPlan::Sort { keys, .. } => keys.iter().all(|k| check(&k.expr)),
+                _ => true,
+            };
+            own && p.children().into_iter().all(exprs_clean)
+        }
+        assert!(exprs_clean(&p), "Q{n} has undecorrelated expressions");
+    }
+}
