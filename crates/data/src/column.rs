@@ -6,13 +6,12 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 use tqp_tensor::Scalar;
 
 /// SQL-level column types. `Decimal` values are carried as `f64` in this
 /// reproduction (documented precision substitution; TPC-H validation uses
 /// 1e-6 relative tolerance).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LogicalType {
     Bool,
     Int64,

@@ -1,12 +1,11 @@
 //! Schema and DataFrame: the Pandas stand-in used for ingestion and results.
 
-use serde::{Deserialize, Serialize};
 use tqp_tensor::Scalar;
 
 use crate::column::{Column, LogicalType};
 
 /// A named, typed column slot.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub ty: LogicalType,
@@ -20,7 +19,7 @@ impl Field {
 }
 
 /// An ordered list of fields.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     pub fields: Vec<Field>,
 }

@@ -7,11 +7,10 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use tqp_data::Schema;
 
 /// Metadata for one registered table.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableMeta {
     pub schema: Schema,
     /// Estimated (or exact) row count, used for join ordering.
@@ -19,7 +18,7 @@ pub struct TableMeta {
 }
 
 /// A name → table metadata map (case-insensitive names).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableMeta>,
 }

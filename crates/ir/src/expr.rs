@@ -7,12 +7,11 @@
 //! `tqp-baseline` — so their semantics are defined once here (including
 //! scalar constant evaluation used by the folding pass).
 
-use serde::{Deserialize, Serialize};
 use tqp_data::LogicalType;
 use tqp_tensor::Scalar;
 
 /// Binary operators over bound expressions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -65,7 +64,7 @@ impl BinOp {
 }
 
 /// Scalar (non-aggregate) functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScalarFunc {
     /// `EXTRACT(YEAR FROM date)` → Int64.
     ExtractYear,
@@ -78,7 +77,7 @@ pub enum ScalarFunc {
 }
 
 /// Aggregate functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFunc {
     Sum,
     Avg,
@@ -91,7 +90,7 @@ pub enum AggFunc {
 }
 
 /// One aggregate call inside an `Aggregate` plan node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AggCall {
     pub func: AggFunc,
     /// Argument expression over the aggregate input (None for `COUNT(*)`).
@@ -101,7 +100,7 @@ pub struct AggCall {
 }
 
 /// A typed, resolved expression tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BoundExpr {
     /// Positional reference into the input schema.
     Column { index: usize, ty: LogicalType },

@@ -15,14 +15,16 @@
 //!    hash aggregation) that both execution substrates consume — the tensor
 //!    compiler in `tqp-exec` and the row-Volcano baseline in `tqp-baseline`.
 //!
-//! Plans are `serde`-serializable: the JSON plan frontend demonstrates the
+//! Plans serialize to JSON ([`json`]): the plan frontend demonstrates the
 //! paper's point that "the architecture decouples the physical plan
 //! specification from the other layers" (a Spark physical plan would enter
-//! here).
+//! here). The execution layer lowers plans further, into the flat
+//! `TensorProgram` op sequence that all backends run (`tqp_exec::program`).
 
 pub mod bind;
 pub mod catalog;
 pub mod expr;
+pub mod json;
 pub mod optimize;
 pub mod physical;
 pub mod plan;

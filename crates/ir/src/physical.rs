@@ -14,13 +14,12 @@
 //! the paper's experimental setup: identical plans, different execution
 //! substrates.
 
-use serde::{Deserialize, Serialize};
 
 use crate::expr::{AggCall, BoundExpr};
 use crate::plan::{ColMeta, JoinType, LogicalPlan, PlanSchema, SortKey};
 
 /// Join algorithm choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinStrategy {
     /// Argsort + `searchsorted` probe (tensor-native; the paper's default).
     SortMerge,
@@ -29,7 +28,7 @@ pub enum JoinStrategy {
 }
 
 /// Aggregation algorithm choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggStrategy {
     /// Multi-key sort + run boundaries + segmented reduction.
     Sort,
@@ -38,7 +37,7 @@ pub enum AggStrategy {
 }
 
 /// Physical planning options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhysicalOptions {
     pub join: JoinStrategy,
     pub agg: AggStrategy,
@@ -51,7 +50,7 @@ impl Default for PhysicalOptions {
 }
 
 /// The physical plan: structurally the logical plan plus algorithm tags.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
     Scan {
         table: String,
@@ -178,12 +177,13 @@ impl PhysicalPlan {
     /// Serialize to the JSON interchange format (the "external frontend"
     /// representation — how a Spark-produced plan would arrive).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("physical plan serializes")
+        crate::json::plan_to_json(self).to_string()
     }
 
     /// Deserialize a plan from JSON.
-    pub fn from_json(s: &str) -> Result<PhysicalPlan, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<PhysicalPlan, crate::json::PlanJsonError> {
+        let value = tqp_json::Json::parse(s)?;
+        crate::json::plan_from_json(&value)
     }
 }
 

@@ -1,13 +1,12 @@
 //! The logical plan IR: relational operators over bound expressions.
 
-use serde::{Deserialize, Serialize};
 use tqp_data::LogicalType;
 
 use crate::expr::{AggCall, AggFunc, BoundExpr};
 
 /// One output column of a plan node: an optional qualifier (table alias),
 /// the column name, and its type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColMeta {
     pub qualifier: Option<String>,
     pub name: String,
@@ -31,7 +30,7 @@ pub type PlanSchema = Vec<ColMeta>;
 
 /// Join flavours of the IR. `Semi`/`Anti` come from decorrelation
 /// (`EXISTS` / `IN` and their negations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinType {
     Inner,
     /// Left outer (right columns become NULLable).
@@ -43,14 +42,14 @@ pub enum JoinType {
 }
 
 /// A sort key: expression + direction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SortKey {
     pub expr: BoundExpr,
     pub desc: bool,
 }
 
 /// The logical plan tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
     /// Base table scan. `projection` holds the retained column indexes of
     /// the catalog schema (column pruning rewrites it).

@@ -16,10 +16,9 @@ pub mod graph;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use serde::Serialize;
 
 /// One recorded operator span.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Span {
     /// Operator name (e.g. `Filter`, `SortMergeJoin(Inner)`).
     pub name: String,
@@ -163,38 +162,35 @@ impl Profiler {
     /// Chrome-trace JSON (open in `chrome://tracing` or Perfetto — the same
     /// artifact the PyTorch profiler feeds to TensorBoard).
     pub fn chrome_trace(&self) -> String {
-        #[derive(Serialize)]
-        struct Event<'a> {
-            name: &'a str,
-            cat: &'a str,
-            ph: &'static str,
-            ts: u64,
-            dur: u64,
-            pid: u32,
-            tid: u32,
-            args: serde_json::Value,
-        }
+        use tqp_json::Json;
         let spans = self.spans.lock();
-        let events: Vec<Event> = spans
+        let events: Vec<Json> = spans
             .iter()
-            .map(|s| Event {
-                name: &s.name,
-                cat: &s.category,
-                ph: "X",
-                ts: s.start_us,
-                dur: s.dur_us,
-                pid: 1,
-                tid: 1,
-                args: serde_json::json!({ "rows": s.rows, "bytes": s.bytes }),
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::str(s.name.as_str())),
+                    ("cat", Json::str(s.category.as_str())),
+                    ("ph", Json::str("X")),
+                    ("ts", Json::I64(s.start_us as i64)),
+                    ("dur", Json::I64(s.dur_us as i64)),
+                    ("pid", Json::I64(1)),
+                    ("tid", Json::I64(1)),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("rows", Json::I64(s.rows as i64)),
+                            ("bytes", Json::I64(s.bytes as i64)),
+                        ]),
+                    ),
+                ])
             })
             .collect();
-        serde_json::to_string_pretty(&serde_json::json!({ "traceEvents": events }))
-            .expect("trace serializes")
+        Json::obj(vec![("traceEvents", Json::Arr(events))]).to_string_pretty()
     }
 }
 
 /// Aggregated per-operator statistics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OpStats {
     pub name: String,
     pub category: String,
@@ -254,9 +250,10 @@ mod tests {
         let p = Profiler::new();
         p.record("Scan(lineitem)", "relational", 5, 42, 1000, 8000);
         let trace = p.chrome_trace();
-        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
-        assert_eq!(v["traceEvents"][0]["name"], "Scan(lineitem)");
-        assert_eq!(v["traceEvents"][0]["dur"], 42);
+        let v = tqp_json::Json::parse(&trace).unwrap();
+        let event = v.get("traceEvents").and_then(|e| e.at(0)).unwrap();
+        assert_eq!(event.get("name").and_then(tqp_json::Json::as_str), Some("Scan(lineitem)"));
+        assert_eq!(event.get("dur").and_then(tqp_json::Json::as_i64), Some(42));
     }
 
     #[test]

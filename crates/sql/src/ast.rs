@@ -1,10 +1,9 @@
 //! Abstract syntax tree for the TQP SQL dialect, with a pretty-printer whose
 //! output re-parses to the same tree (exercised by property tests).
 
-use serde::{Deserialize, Serialize};
 
 /// A full query: optional CTEs, a select body, ordering, and limit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// `WITH name AS (query), ...` — expanded during binding.
     pub ctes: Vec<(String, Query)>,
@@ -14,7 +13,7 @@ pub struct Query {
 }
 
 /// The `SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ...` core.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Select {
     pub distinct: bool,
     pub projection: Vec<SelectItem>,
@@ -25,7 +24,7 @@ pub struct Select {
 }
 
 /// One projection item.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
     /// `*`
     Wildcard,
@@ -34,7 +33,7 @@ pub enum SelectItem {
 }
 
 /// A relation in the FROM clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TableRef {
     /// Base table or CTE reference, with optional alias (`nation n1`).
     Table { name: String, alias: Option<String> },
@@ -45,7 +44,7 @@ pub enum TableRef {
 }
 
 /// Join flavours the dialect supports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
     Inner,
     Left,
@@ -53,14 +52,14 @@ pub enum JoinKind {
 }
 
 /// `ORDER BY expr [ASC|DESC]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderItem {
     pub expr: Expr,
     pub desc: bool,
 }
 
 /// Binary operators (arithmetic, comparison, boolean).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryOp {
     Add,
     Sub,
@@ -112,7 +111,7 @@ impl BinaryOp {
 }
 
 /// Interval units for date arithmetic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntervalUnit {
     Day,
     Month,
@@ -120,7 +119,7 @@ pub enum IntervalUnit {
 }
 
 /// Literal values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
     Int(i64),
     Float(f64),
@@ -134,7 +133,7 @@ pub enum Literal {
 }
 
 /// Expressions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Possibly-qualified column reference.
     Column { table: Option<String>, name: String },

@@ -4,10 +4,9 @@
 //! (encoded as `I64` UNIX-epoch nanoseconds) and padded-byte string columns;
 //! this is the closed dtype set implementing that.
 
-use serde::{Deserialize, Serialize};
 
 /// Element type of a [`crate::Tensor`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 1-byte boolean.
     Bool,
@@ -72,7 +71,7 @@ impl DType {
 
 /// A single dynamically-typed value: literals, aggregation results, and the
 /// row representation of the baseline Volcano engine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Scalar {
     /// SQL NULL (arises from outer joins and empty aggregations).
     Null,

@@ -1,0 +1,177 @@
+//! Minimal offline stand-in for `criterion`: a plain timing harness with
+//! the same call-site API shape (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`). No statistics machinery — it reports median and mean
+//! of `sample_size` timed batches to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Keep a value opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup { _parent: self, sample_size: 10 }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 10, f);
+        self
+    }
+}
+
+/// A named group sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name + parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` batches of `f`, auto-sizing batch iteration
+    /// counts so each batch takes a measurable amount of time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch size calibration (~5ms per batch target).
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / per_batch as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{label:<40} median {:>12} mean {:>12} ({} samples)",
+        format!("{median:.2?}"),
+        format!("{mean:.2?}"),
+        b.samples.len()
+    );
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("inc", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Minimal offline stand-in for `crossbeam::scope`, implemented over
+//! `std::thread::scope`.
+//!
+//! Differences from real crossbeam: a panicking worker unwinds through
+//! `std::thread::scope` itself rather than being captured into the `Err`
+//! arm, so the `Result` returned here is always `Ok`. Callers that
+//! `.expect()` the result behave identically either way.
+
+/// Scope handle passed to [`scope`] closures; `spawn` launches a scoped
+/// worker thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside the scope. The closure receives the scope
+    /// (crossbeam signature compatibility); the join handle is dropped —
+    /// all workers are joined when the scope ends.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        });
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// returns once every spawned thread has finished.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_see_borrows() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn chunked_mutation() {
+        let mut v = vec![0usize; 100];
+        scope(|s| {
+            for (i, chunk) in v.chunks_mut(30).enumerate() {
+                s.spawn(move |_| {
+                    for x in chunk.iter_mut() {
+                        *x = i + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(v.iter().all(|&x| x > 0));
+    }
+}

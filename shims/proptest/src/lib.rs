@@ -1,0 +1,595 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the random-generation core of the proptest API that this
+//! workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_recursive` / `boxed`, range and
+//! tuple strategies, `Just`, `any::<T>()`, simple regex-style string
+//! strategies (`"[a-z]{0,6}"`), `prop::collection::vec`, and the
+//! `proptest!` / `prop_assert*` / `prop_oneof!` macros.
+//!
+//! There is **no shrinking**: a failing case reports its error and the
+//! deterministic per-test seed. Cases are reproducible — the RNG stream
+//! is a pure function of the test name (override with `PROPTEST_SEED`).
+
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-test deterministic RNG: seed = FNV(test name), overridable with
+/// the `PROPTEST_SEED` environment variable.
+pub fn test_rng(test_name: &str) -> TestRng {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = s.parse::<u64>() {
+            return TestRng::new(seed);
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+// ---------------------------------------------------------------------
+// Errors / config
+// ---------------------------------------------------------------------
+
+/// Failure raised by `prop_assert*` or returned from test bodies.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure / explicit fail.
+    Fail(String),
+    /// Case rejected (filter); the runner retries instead of failing.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion-failure error.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (filtered-out) case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Result alias used by test bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy { gen: Arc::new(move |rng| inner.generate(rng)) }
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        BoxedStrategy { gen: Arc::new(move |rng| f(inner.generate(rng))) }
+    }
+
+    /// Keep only values passing `f` (rejection sampling; gives up after a
+    /// bounded number of attempts and panics, mirroring proptest's
+    /// too-many-rejects failure).
+    fn prop_filter<F>(self, reason: &str, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let inner = self;
+        let reason = reason.to_string();
+        BoxedStrategy {
+            gen: Arc::new(move |rng| {
+                for _ in 0..1_000 {
+                    let v = inner.generate(rng);
+                    if f(&v) {
+                        return v;
+                    }
+                }
+                panic!("prop_filter rejected too many values ({reason})");
+            }),
+        }
+    }
+
+    /// Build a recursive strategy: `f` receives the strategy for the
+    /// previous depth level and returns the next one. The result mixes
+    /// leaves back in at every level so generated depths vary.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth.max(1) {
+            let deeper = f(current);
+            // 3:1 deeper-vs-leaf mix keeps expected depth close to `depth`
+            // while still generating shallow values.
+            current = one_of(vec![deeper.clone(), deeper.clone(), deeper, leaf.clone()]);
+        }
+        current
+    }
+}
+
+/// Clonable type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Arc::clone(&self.gen) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Uniformly choose one of several strategies (used by `prop_oneof!`).
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "one_of requires at least one strategy");
+    BoxedStrategy {
+        gen: Arc::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].generate(rng)
+        }),
+    }
+}
+
+/// Strategy producing a constant (cloned) value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Ranges --------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// Tuples --------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+// Arbitrary / any -----------------------------------------------------
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    BoxedStrategy { gen: Arc::new(|rng| T::arbitrary(rng)) }
+}
+
+// String patterns -----------------------------------------------------
+
+/// String literals act as simplified regex strategies. Supported syntax:
+/// literal characters, `[...]` character classes with `a-z` ranges, and
+/// `{m}` / `{m,n}` repetition suffixes.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Parse one atom: a character class or a literal character.
+        let choices: Vec<char> = if bytes[i] == b'[' {
+            let close = pattern[i..]
+                .find(']')
+                .map(|j| i + j)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let class = &bytes[i + 1..close];
+            i = close + 1;
+            let mut chars = Vec::new();
+            let mut k = 0;
+            while k < class.len() {
+                if k + 2 < class.len() && class[k + 1] == b'-' {
+                    for c in class[k]..=class[k + 2] {
+                        chars.push(c as char);
+                    }
+                    k += 3;
+                } else {
+                    chars.push(class[k] as char);
+                    k += 1;
+                }
+            }
+            chars
+        } else {
+            let c = bytes[i] as char;
+            i += 1;
+            vec![c]
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = if i < bytes.len() && bytes[i] == b'{' {
+            let close = pattern[i..]
+                .find('}')
+                .map(|j| i + j)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body = &pattern[i + 1..close];
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("repeat lower bound"),
+                    b.trim().parse::<usize>().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(choices[rng.below(choices.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+// Collections ---------------------------------------------------------
+
+/// `prop::collection` and friends, mirroring proptest's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{BoxedStrategy, Strategy, TestRng};
+        use std::sync::Arc;
+
+        /// Vector of values from `element`, with length drawn from `len`.
+        pub fn vec<S>(
+            element: S,
+            len: std::ops::Range<usize>,
+        ) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            BoxedStrategy {
+                gen: Arc::new(move |rng: &mut TestRng| {
+                    let n = Strategy::generate(&len.clone(), rng);
+                    (0..n).map(|_| element.generate(rng)).collect()
+                }),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Assert inside a proptest body; failure aborts the case with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// becomes a normal `#[test]` running `cases` random instances.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut case = 0u32;
+            let mut rejects = 0u32;
+            while case < config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => case += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        rejects += 1;
+                        assert!(rejects < 10_000, "too many rejected cases");
+                    }
+                    ::std::result::Result::Err(e) => panic!(
+                        "proptest {} failed at case {}/{}: {}\n(set PROPTEST_SEED to reproduce a specific stream)",
+                        stringify!($name), case + 1, config.cases, e
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, one_of, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn patterns_generate_in_language() {
+        let mut rng = crate::test_rng("patterns");
+        for _ in 0..100 {
+            let s = crate::generate_pattern("[a-c]{2,4}", &mut rng);
+            assert!(s.len() >= 2 && s.len() <= 4);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = crate::generate_pattern("x[0-9]{1}", &mut rng);
+            assert!(t.starts_with('x') && t.len() == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vec(xs in prop::collection::vec((0i64..10, -1.0f64..1.0), 0..20), b in any::<bool>()) {
+            prop_assert!(xs.len() < 20);
+            for (i, f) in &xs {
+                prop_assert!((0..10).contains(i), "i = {}", i);
+                prop_assert!((-1.0..1.0).contains(f));
+            }
+            let _ = b;
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1i64), 10i64..20, (100i64..200).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 1 || (10..20).contains(&v) || (200..400).contains(&v));
+        }
+    }
+}
