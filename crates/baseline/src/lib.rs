@@ -160,77 +160,113 @@ impl<'a> RowEngine<'a> {
         let lrows = self.run(left);
         let rrows = self.run(right);
         let rarity = right.arity();
-        assert!(
-            !on.is_empty(),
-            "row engine requires at least one equi key per join (plan bug)"
-        );
-        // Build side: hash the right input.
         let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-        let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
-        let mut table: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
-        for (i, r) in rrows.iter().enumerate() {
-            if let Some(k) = key_of(r, &rkeys) {
-                table.entry(k).or_default().push(i);
+        let table = build_row_table(&rrows, &rkeys);
+        probe_row_table(&table, &lrows, &rrows, rarity, join_type, on, residual)
+    }
+}
+
+/// The build side of the scalar hash join: key tuple → build-row indexes.
+/// Shared by the row engine and the Wasm backend's scalar program VM
+/// (where it executes the program's `HashBuild` op).
+pub struct RowJoinTable {
+    map: HashMap<Vec<KeyPart>, Vec<usize>>,
+}
+
+impl RowJoinTable {
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keyed rows were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Hash the build rows on `keys` (NULL keys never match, so they are not
+/// inserted).
+pub fn build_row_table(rows: &[Row], keys: &[usize]) -> RowJoinTable {
+    assert!(!keys.is_empty(), "row joins require at least one equi key (plan bug)");
+    let mut map: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
+    for (i, r) in rows.iter().enumerate() {
+        if let Some(k) = key_of(r, keys) {
+            map.entry(k).or_default().push(i);
+        }
+    }
+    RowJoinTable { map }
+}
+
+/// Probe a [`RowJoinTable`] row-at-a-time and assemble the join output
+/// (the scalar analog of the program's `HashProbe` op).
+pub fn probe_row_table(
+    table: &RowJoinTable,
+    lrows: &[Row],
+    rrows: &[Row],
+    rarity: usize,
+    join_type: JoinType,
+    on: &[(usize, usize)],
+    residual: Option<&BoundExpr>,
+) -> Vec<Row> {
+    let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let matches_pass = |lrow: &Row, ridx: usize| -> bool {
+        match residual {
+            None => true,
+            Some(res) => {
+                let mut combined = lrow.clone();
+                combined.extend(rrows[ridx].iter().cloned());
+                matches!(eval_expr(res, &combined), Scalar::Bool(true))
             }
         }
-        let matches_pass = |lrow: &Row, ridx: usize| -> bool {
-            match residual {
-                None => true,
-                Some(res) => {
-                    let mut combined = lrow.clone();
-                    combined.extend(rrows[ridx].iter().cloned());
-                    matches!(eval_expr(res, &combined), Scalar::Bool(true))
-                }
-            }
-        };
-        let mut out = Vec::new();
-        for lrow in &lrows {
-            let key = key_of(lrow, &lkeys);
-            let candidates: &[usize] = key
-                .as_ref()
-                .and_then(|k| table.get(k))
-                .map(|v| v.as_slice())
-                .unwrap_or(&[]);
-            match join_type {
-                JoinType::Inner => {
-                    for &ri in candidates {
-                        if matches_pass(lrow, ri) {
-                            let mut row = lrow.clone();
-                            row.extend(rrows[ri].iter().cloned());
-                            out.push(row);
-                        }
-                    }
-                }
-                JoinType::Left => {
-                    let mut any = false;
-                    for &ri in candidates {
-                        if matches_pass(lrow, ri) {
-                            any = true;
-                            let mut row = lrow.clone();
-                            row.extend(rrows[ri].iter().cloned());
-                            out.push(row);
-                        }
-                    }
-                    if !any {
+    };
+    let mut out = Vec::new();
+    for lrow in lrows {
+        let key = key_of(lrow, &lkeys);
+        let candidates: &[usize] = key
+            .as_ref()
+            .and_then(|k| table.map.get(k))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        match join_type {
+            JoinType::Inner => {
+                for &ri in candidates {
+                    if matches_pass(lrow, ri) {
                         let mut row = lrow.clone();
-                        row.extend(std::iter::repeat(Scalar::Null).take(rarity));
+                        row.extend(rrows[ri].iter().cloned());
                         out.push(row);
                     }
                 }
-                JoinType::Semi => {
-                    if candidates.iter().any(|&ri| matches_pass(lrow, ri)) {
-                        out.push(lrow.clone());
+            }
+            JoinType::Left => {
+                let mut any = false;
+                for &ri in candidates {
+                    if matches_pass(lrow, ri) {
+                        any = true;
+                        let mut row = lrow.clone();
+                        row.extend(rrows[ri].iter().cloned());
+                        out.push(row);
                     }
                 }
-                JoinType::Anti => {
-                    if !candidates.iter().any(|&ri| matches_pass(lrow, ri)) {
-                        out.push(lrow.clone());
-                    }
+                if !any {
+                    let mut row = lrow.clone();
+                    row.extend(std::iter::repeat(Scalar::Null).take(rarity));
+                    out.push(row);
+                }
+            }
+            JoinType::Semi => {
+                if candidates.iter().any(|&ri| matches_pass(lrow, ri)) {
+                    out.push(lrow.clone());
+                }
+            }
+            JoinType::Anti => {
+                if !candidates.iter().any(|&ri| matches_pass(lrow, ri)) {
+                    out.push(lrow.clone());
                 }
             }
         }
-        out
     }
+    out
 }
 
 fn input_arity_of(plan: &PhysicalPlan) -> usize {
@@ -240,6 +276,12 @@ fn input_arity_of(plan: &PhysicalPlan) -> usize {
 /// Materialize rows into a typed frame, applying the plan's output schema.
 fn rows_to_frame(rows: Vec<Row>, plan: &PhysicalPlan) -> DataFrame {
     let schema = tqp_ir::physical::dedup_names(&plan.schema());
+    rows_to_frame_with_schema(rows, &schema)
+}
+
+/// Materialize rows against an explicit (already deduplicated) schema —
+/// the scalar program VM materializes against the program's schema.
+pub fn rows_to_frame_with_schema(rows: Vec<Row>, schema: &[tqp_ir::ColMeta]) -> DataFrame {
     let fields: Vec<tqp_data::Field> = schema
         .iter()
         .map(|c| tqp_data::Field::new(c.name.clone(), c.ty))

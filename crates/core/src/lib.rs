@@ -46,6 +46,8 @@ pub struct QueryConfig {
     pub backend: Backend,
     pub device: Device,
     pub gpu_strategy: GpuStrategy,
+    /// Worker threads for morsel-parallel CPU execution (1 = sequential).
+    pub workers: usize,
 }
 
 impl Default for QueryConfig {
@@ -55,6 +57,7 @@ impl Default for QueryConfig {
             backend: Backend::Eager,
             device: Device::Cpu,
             gpu_strategy: GpuStrategy::Resident,
+            workers: tqp_exec::default_workers(),
         }
     }
 }
@@ -81,6 +84,12 @@ impl QueryConfig {
     /// Builder-style physical options.
     pub fn physical(mut self, p: PhysicalOptions) -> Self {
         self.physical = p;
+        self
+    }
+
+    /// Builder-style worker count for morsel-parallel execution.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
         self
     }
 }
@@ -188,6 +197,7 @@ impl Session {
             backend: cfg.backend,
             device: cfg.device,
             gpu_strategy: cfg.gpu_strategy,
+            workers: cfg.workers,
         };
         Ok(CompiledQuery { executor: Executor::compile(&plan, exec_cfg) })
     }
@@ -199,6 +209,7 @@ impl Session {
             backend: cfg.backend,
             device: cfg.device,
             gpu_strategy: cfg.gpu_strategy,
+            workers: cfg.workers,
         };
         CompiledQuery { executor: Executor::compile(plan, exec_cfg) }
     }
@@ -236,9 +247,19 @@ impl CompiledQuery {
         self.executor.plan()
     }
 
+    /// The lowered tensor program every backend executes.
+    pub fn program(&self) -> &tqp_exec::program::TensorProgram {
+        self.executor.program()
+    }
+
     /// EXPLAIN-style plan tree.
     pub fn explain(&self) -> String {
         self.executor.plan().display_tree()
+    }
+
+    /// EXPLAIN for the lowered program: the flat register-op listing.
+    pub fn explain_program(&self) -> String {
+        self.executor.program().display()
     }
 
     /// Graphviz DOT of the executor graph (paper Figure 4).

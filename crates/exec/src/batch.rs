@@ -4,7 +4,7 @@
 //! optional validity mask per column — NULLs exist only downstream of
 //! left-outer joins in the TPC-H workload, so most columns carry `None`.
 
-use tqp_tensor::index::take;
+use tqp_tensor::index::{concat, slice_rows, take};
 use tqp_tensor::Tensor;
 
 /// A set of equal-length column tensors with optional validity.
@@ -27,10 +27,18 @@ impl Batch {
         Batch { columns, validity, nrows }
     }
 
-    /// Build with explicit validity masks.
+    /// Build with explicit validity masks. Enforces the same column-length
+    /// alignment as [`Batch::new`], plus mask/column alignment — a
+    /// misaligned validity mask would silently mis-NULL rows downstream.
     pub fn with_validity(columns: Vec<Tensor>, validity: Vec<Option<Tensor>>) -> Batch {
-        assert_eq!(columns.len(), validity.len());
+        assert_eq!(columns.len(), validity.len(), "one validity slot per column");
         let nrows = columns.first().map_or(0, |c| c.nrows());
+        for c in &columns {
+            assert_eq!(c.nrows(), nrows, "batch columns must align");
+        }
+        for v in validity.iter().flatten() {
+            assert_eq!(v.nrows(), nrows, "validity masks must align with columns");
+        }
         Batch { columns, validity, nrows }
     }
 
@@ -76,6 +84,63 @@ impl Batch {
             validity: cols.iter().map(|&c| self.validity[c].clone()).collect(),
             nrows: self.nrows,
         }
+    }
+
+    /// Contiguous row range `[lo, hi)` — the morsel split of the parallel
+    /// executor.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Batch {
+        assert!(lo <= hi && hi <= self.nrows, "slice out of range");
+        Batch {
+            columns: self.columns.iter().map(|c| slice_rows(c, lo, hi)).collect(),
+            validity: self
+                .validity
+                .iter()
+                .map(|v| v.as_ref().map(|m| slice_rows(m, lo, hi)))
+                .collect(),
+            nrows: hi - lo,
+        }
+    }
+
+    /// Vertical concatenation of two batches (validity-aware).
+    pub fn vcat(a: Batch, b: Batch) -> Batch {
+        assert_eq!(a.ncols(), b.ncols(), "vcat arity mismatch");
+        if a.nrows() == 0 {
+            return b;
+        }
+        if b.nrows() == 0 {
+            return a;
+        }
+        let columns: Vec<Tensor> = a
+            .columns
+            .iter()
+            .zip(&b.columns)
+            .map(|(x, y)| concat(&[x, y]))
+            .collect();
+        let validity: Vec<Option<Tensor>> = a
+            .validity
+            .iter()
+            .zip(&b.validity)
+            .map(|(va, vb)| match (va, vb) {
+                (None, None) => None,
+                _ => {
+                    let xa = va
+                        .clone()
+                        .unwrap_or_else(|| Tensor::from_bool(vec![true; a.nrows()]));
+                    let xb = vb
+                        .clone()
+                        .unwrap_or_else(|| Tensor::from_bool(vec![true; b.nrows()]));
+                    Some(concat(&[&xa, &xb]))
+                }
+            })
+            .collect();
+        Batch::with_validity(columns, validity)
+    }
+
+    /// Vertical concatenation of any number of batches, in order.
+    pub fn vcat_all(parts: Vec<Batch>) -> Batch {
+        let mut parts = parts.into_iter();
+        let first = parts.next().expect("vcat_all of zero batches");
+        parts.fold(first, Batch::vcat)
     }
 }
 

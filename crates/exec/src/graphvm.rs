@@ -1,10 +1,12 @@
 //! The Graph ("ONNX") and Wasm ("ORT-Web") backends.
 //!
-//! **Graph**: the physical plan is serialized into a self-contained JSON
-//! artifact (the reproduction's ONNX file). `run_graph` deserializes it and
-//! executes with the standalone vectorized VM — demonstrating the paper's
-//! deployment story: a compiled query is a portable artifact that runs
-//! without the compiler front-end.
+//! Both execute the **serialized [`TensorProgram`] artifact** — not the
+//! physical plan. The artifact (see [`crate::program::serialize_program`])
+//! is versioned and self-describing: it is the reproduction's ONNX file,
+//! and these entry points are the deployment story — a compiled query is
+//! a portable artifact that runs without the compiler front-end.
+//!
+//! **Graph**: deserialize + the vectorized register VM ([`crate::vm`]).
 //!
 //! **Wasm**: the same artifact interpreted the way ORT-Web runs on a
 //! browser: single-threaded, scalar (boxed values, per-row dispatch), with
@@ -15,25 +17,28 @@
 //! of this deliberately interpretive execution — see EXPERIMENTS.md.
 
 use bytes::Bytes;
-use tqp_baseline::RowEngine;
 use tqp_data::DataFrame;
-use tqp_ir::physical::PhysicalPlan;
 use tqp_ml::ModelRegistry;
 use tqp_profile::Profiler;
 
 use crate::device::DeviceMeter;
-use crate::interp::Interp;
-use crate::{ExecConfig, Storage};
+use crate::program::{deserialize_program, TensorProgram};
+use crate::{scalar, vm, ExecConfig, Storage};
 
-/// Serialize a plan into the portable artifact.
-pub fn serialize_plan(plan: &PhysicalPlan) -> Bytes {
-    Bytes::from(plan.to_json().into_bytes())
-}
-
-/// Deserialize an artifact back into a plan.
-pub fn deserialize_plan(artifact: &Bytes) -> PhysicalPlan {
-    let s = std::str::from_utf8(artifact).expect("artifact is utf-8 json");
-    PhysicalPlan::from_json(s).expect("artifact deserializes")
+/// Decode the artifact, charging the load to the profiler.
+fn load_artifact(artifact: &Bytes, profiler: &Profiler) -> TensorProgram {
+    let start = profiler.now_us();
+    let t0 = std::time::Instant::now();
+    let prog = deserialize_program(artifact).expect("artifact deserializes");
+    profiler.record(
+        "GraphLoad",
+        "compile",
+        start,
+        t0.elapsed().as_micros() as u64,
+        0,
+        artifact.len() as u64,
+    );
+    prog
 }
 
 /// Execute the Graph backend: deserialize + vectorized VM.
@@ -44,20 +49,8 @@ pub fn run_graph(
     profiler: &Profiler,
     cfg: ExecConfig,
 ) -> (DataFrame, DeviceMeter) {
-    let start = profiler.now_us();
-    let t0 = std::time::Instant::now();
-    let plan = deserialize_plan(artifact);
-    profiler.record(
-        "GraphLoad",
-        "compile",
-        start,
-        t0.elapsed().as_micros() as u64,
-        0,
-        artifact.len() as u64,
-    );
-    let mut cx = Interp::new(storage, models, profiler, cfg, false);
-    let out = cx.execute(&plan);
-    (out, cx.into_meter())
+    let prog = load_artifact(artifact, profiler);
+    vm::run_program(&prog, storage, models, profiler, cfg, false)
 }
 
 /// Execute the Wasm backend: scalar single-threaded VM over sandbox copies.
@@ -67,7 +60,7 @@ pub fn run_wasm(
     models: &ModelRegistry,
     profiler: &Profiler,
 ) -> (DataFrame, DeviceMeter) {
-    let plan = deserialize_plan(artifact);
+    let prog = load_artifact(artifact, profiler);
     let dilation: u32 = std::env::var("TQP_WASM_DILATION")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -90,12 +83,11 @@ pub fn run_wasm(
     );
 
     // Scalar interpretation, dilated to model WASM-vs-native overhead.
-    let engine = RowEngine::new(&tables, models);
     let start = profiler.now_us();
     let t0 = std::time::Instant::now();
-    let mut out = engine.execute(&plan);
+    let mut out = scalar::run_program_scalar(&prog, &tables, models);
     for _ in 1..dilation {
-        out = engine.execute(&plan);
+        out = scalar::run_program_scalar(&prog, &tables, models);
     }
     profiler.record(
         "WasmScalarVM",
@@ -111,6 +103,7 @@ pub fn run_wasm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::{lower, serialize_program};
     use std::collections::HashMap;
     use tqp_data::frame::df;
     use tqp_data::Column;
@@ -133,10 +126,11 @@ mod tests {
         let (_, catalog) = setup();
         let plan = compile_sql("select id from t where v > 10.0", &catalog, &PhysicalOptions::default())
             .unwrap();
-        let bytes = serialize_plan(&plan);
+        let prog = lower(&plan);
+        let bytes = serialize_program(&prog);
         assert!(!bytes.is_empty());
-        let back = deserialize_plan(&bytes);
-        assert_eq!(plan, back);
+        let back = deserialize_program(&bytes).unwrap();
+        assert_eq!(prog, back);
     }
 
     #[test]
@@ -148,7 +142,7 @@ mod tests {
             &PhysicalOptions::default(),
         )
         .unwrap();
-        let bytes = serialize_plan(&plan);
+        let bytes = serialize_program(&lower(&plan));
         let models = ModelRegistry::new();
         let profiler = Profiler::new();
         let (g, _) = run_graph(&bytes, &storage, &models, &profiler, ExecConfig::default());

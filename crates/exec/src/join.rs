@@ -31,7 +31,8 @@ use tqp_tensor::{DType, Tensor};
 use crate::batch::Batch;
 use crate::expr::{eval_mask, hash_rows, keys_equal};
 
-/// Execute a join between two batches.
+/// Execute a join between two batches (single-threaded entry point; the
+/// program VM calls the build/probe halves directly).
 #[allow(clippy::too_many_arguments)]
 pub fn join(
     left: &Batch,
@@ -42,18 +43,133 @@ pub fn join(
     residual: Option<&BoundExpr>,
     models: &ModelRegistry,
 ) -> Batch {
+    match strategy {
+        JoinStrategy::SortMerge => sort_merge_join(left, right, join_type, on, residual, models),
+        JoinStrategy::Hash => {
+            let keys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+            let table = build_table(right, &keys);
+            probe_table(&table, left, right, join_type, on, residual, models, 1)
+        }
+    }
+}
+
+/// The tensor-native sort-merge join: one fused pairs+assembly op.
+pub fn sort_merge_join(
+    left: &Batch,
+    right: &Batch,
+    join_type: JoinType,
+    on: &[(usize, usize)],
+    residual: Option<&BoundExpr>,
+    models: &ModelRegistry,
+) -> Batch {
     assert!(!on.is_empty(), "tensor joins require at least one equi key");
     let lkeys: Vec<&Tensor> = on.iter().map(|&(l, _)| &left.columns[l]).collect();
     let rkeys: Vec<&Tensor> = on.iter().map(|&(_, r)| &right.columns[r]).collect();
     // Reduce to one I64 key column; hashed keys require verification.
     let (lkey, rkey, need_verify) = make_keys(&lkeys, &rkeys);
+    let (left_idx, right_idx) = smj_pairs(&lkey, &rkey);
+    finish_join(
+        left, right, join_type, left_idx, right_idx, need_verify, &lkeys, &rkeys, residual, models,
+    )
+}
 
-    // Produce aligned pair-index tensors.
-    let (mut left_idx, mut right_idx) = match strategy {
-        JoinStrategy::SortMerge => smj_pairs(&lkey, &rkey),
-        JoinStrategy::Hash => hash_pairs(&lkey, &rkey),
+/// The build side of a hash join (the program's `HashBuild` op): a
+/// row-index table over the build (right) input's key columns. Multi-key
+/// and non-integer keys are reduced to a 64-bit row hash; the probe then
+/// verifies true key equality on the expanded pairs (collision-safe).
+pub struct JoinTable {
+    map: HashMap<i64, Vec<u32>, FxBuild>,
+    /// True when keys were hashed (probe must verify equality).
+    hashed: bool,
+}
+
+impl JoinTable {
+    /// Number of distinct build keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no build rows were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Build the hash table over `keys` of the build-side batch.
+pub fn build_table(build: &Batch, keys: &[usize]) -> JoinTable {
+    assert!(!keys.is_empty(), "tensor joins require at least one equi key");
+    let rkeys: Vec<&Tensor> = keys.iter().map(|&k| &build.columns[k]).collect();
+    let hashed = !(rkeys.len() == 1
+        && rkeys[0].dtype() == DType::I64
+        && rkeys[0].shape().len() == 1);
+    let rkey = if hashed { hash_rows(&rkeys) } else { rkeys[0].clone() };
+    let rk = rkey.as_i64();
+    let mut map: HashMap<i64, Vec<u32>, FxBuild> =
+        HashMap::with_capacity_and_hasher(rk.len() * 2, FxBuild);
+    for (i, &k) in rk.iter().enumerate() {
+        map.entry(k).or_default().push(i as u32);
+    }
+    JoinTable { map, hashed }
+}
+
+/// Probe a [`JoinTable`] with the left side's keys and assemble the join
+/// output (the program's `HashProbe` op). With `workers > 1` the probe
+/// loop runs partition-parallel over contiguous chunks of the probe side;
+/// chunk results are concatenated in order, so the output is identical to
+/// the single-threaded probe.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_table(
+    table: &JoinTable,
+    left: &Batch,
+    right: &Batch,
+    join_type: JoinType,
+    on: &[(usize, usize)],
+    residual: Option<&BoundExpr>,
+    models: &ModelRegistry,
+    workers: usize,
+) -> Batch {
+    assert!(!on.is_empty(), "tensor joins require at least one equi key");
+    let lkeys: Vec<&Tensor> = on.iter().map(|&(l, _)| &left.columns[l]).collect();
+    let rkeys: Vec<&Tensor> = on.iter().map(|&(_, r)| &right.columns[r]).collect();
+    let lkey = if table.hashed {
+        hash_rows(&lkeys)
+    } else {
+        assert!(
+            lkeys.len() == 1 && lkeys[0].dtype() == DType::I64,
+            "probe keys must match build keys (plan bug)"
+        );
+        lkeys[0].clone()
     };
+    let (left_idx, right_idx) = probe_pairs(&table.map, lkey.as_i64(), workers);
+    finish_join(
+        left,
+        right,
+        join_type,
+        left_idx,
+        right_idx,
+        table.hashed,
+        &lkeys,
+        &rkeys,
+        residual,
+        models,
+    )
+}
 
+/// Pair verification + residual filtering + join-type assembly, shared by
+/// both join algorithms.
+#[allow(clippy::too_many_arguments)]
+fn finish_join(
+    left: &Batch,
+    right: &Batch,
+    join_type: JoinType,
+    mut left_idx: Tensor,
+    mut right_idx: Tensor,
+    need_verify: bool,
+    lkeys: &[&Tensor],
+    rkeys: &[&Tensor],
+    residual: Option<&BoundExpr>,
+    models: &ModelRegistry,
+) -> Batch {
     // Verification + residual masking over the expanded pairs.
     let mut mask: Option<Tensor> = None;
     if need_verify {
@@ -142,24 +258,54 @@ fn smj_pairs(lkey: &Tensor, rkey: &Tensor) -> (Tensor, Tensor) {
     (left_idx, right_idx)
 }
 
-/// FxHash build + probe pair expansion.
-fn hash_pairs(lkey: &Tensor, rkey: &Tensor) -> (Tensor, Tensor) {
-    let rk = rkey.as_i64();
-    let lk = lkey.as_i64();
-    let mut table: HashMap<i64, Vec<u32>, FxBuild> =
-        HashMap::with_capacity_and_hasher(rk.len() * 2, FxBuild);
-    for (i, &k) in rk.iter().enumerate() {
-        table.entry(k).or_default().push(i as u32);
-    }
-    let mut li = Vec::new();
-    let mut ri = Vec::new();
-    for (i, &k) in lk.iter().enumerate() {
-        if let Some(matches) = table.get(&k) {
-            for &j in matches {
-                li.push(i as i64);
-                ri.push(j as i64);
+/// Probe-side pair expansion over a prebuilt table. Pairs are emitted in
+/// probe-row order; parallel chunks concatenate in order, keeping the
+/// output bit-identical to a sequential probe.
+fn probe_pairs(
+    table: &HashMap<i64, Vec<u32>, FxBuild>,
+    lk: &[i64],
+    workers: usize,
+) -> (Tensor, Tensor) {
+    /// Minimum probe rows per worker before chunking pays for itself.
+    const PAR_PROBE_THRESHOLD: usize = 16 * 1024;
+
+    let probe_chunk = |base: usize, chunk: &[i64]| -> (Vec<i64>, Vec<i64>) {
+        let mut li = Vec::new();
+        let mut ri = Vec::new();
+        for (i, &k) in chunk.iter().enumerate() {
+            if let Some(matches) = table.get(&k) {
+                for &j in matches {
+                    li.push((base + i) as i64);
+                    ri.push(j as i64);
+                }
             }
         }
+        (li, ri)
+    };
+
+    if workers <= 1 || lk.len() < PAR_PROBE_THRESHOLD * 2 {
+        let (li, ri) = probe_chunk(0, lk);
+        return (Tensor::from_i64(li), Tensor::from_i64(ri));
+    }
+
+    let n_chunks = workers.min(lk.len() / PAR_PROBE_THRESHOLD).max(1);
+    let chunk_len = lk.len().div_ceil(n_chunks);
+    let mut partials: Vec<Option<(Vec<i64>, Vec<i64>)>> = (0..n_chunks).map(|_| None).collect();
+    rayon::scope(|s| {
+        for (c, slot) in partials.iter_mut().enumerate() {
+            let base = c * chunk_len;
+            let chunk = &lk[base..((c + 1) * chunk_len).min(lk.len())];
+            let probe_chunk = &probe_chunk;
+            s.spawn(move |_| {
+                *slot = Some(probe_chunk(base, chunk));
+            });
+        }
+    });
+    let mut li = Vec::new();
+    let mut ri = Vec::new();
+    for part in partials.into_iter().flatten() {
+        li.extend(part.0);
+        ri.extend(part.1);
     }
     (Tensor::from_i64(li), Tensor::from_i64(ri))
 }
@@ -192,37 +338,7 @@ fn null_batch(proto: &Batch, n: usize) -> Batch {
 
 /// Vertical concatenation of two batches (validity-aware).
 fn vcat(a: Batch, b: Batch) -> Batch {
-    assert_eq!(a.ncols(), b.ncols());
-    if a.nrows() == 0 {
-        return b;
-    }
-    if b.nrows() == 0 {
-        return a;
-    }
-    let columns: Vec<Tensor> = a
-        .columns
-        .iter()
-        .zip(&b.columns)
-        .map(|(x, y)| tqp_tensor::index::concat(&[x, y]))
-        .collect();
-    let validity: Vec<Option<Tensor>> = a
-        .validity
-        .iter()
-        .zip(&b.validity)
-        .map(|(va, vb)| match (va, vb) {
-            (None, None) => None,
-            _ => {
-                let xa = va
-                    .clone()
-                    .unwrap_or_else(|| Tensor::from_bool(vec![true; a.nrows()]));
-                let xb = vb
-                    .clone()
-                    .unwrap_or_else(|| Tensor::from_bool(vec![true; b.nrows()]));
-                Some(tqp_tensor::index::concat(&[&xa, &xb]))
-            }
-        })
-        .collect();
-    Batch::with_validity(columns, validity)
+    Batch::vcat(a, b)
 }
 
 /// FxHash (the rustc hasher): tiny and fast for integer keys.

@@ -1,21 +1,29 @@
 //! # tqp-exec — TQP's planning and execution layers (paper §2.2)
 //!
-//! Lowers a physical plan into a *tensor program* and executes it on a
-//! choice of backend × device:
+//! Compiles a physical plan into a **[`program::TensorProgram`]** — a
+//! flat, register-based tensor-op sequence, the paper's "tensor program"
+//! — and executes *that one program* on a choice of backend × device:
 //!
 //! | paper               | here                                            |
 //! |---------------------|-------------------------------------------------|
-//! | PyTorch eager       | [`Backend::Eager`] — vectorized interpreter     |
-//! | TorchScript         | [`Backend::Fused`] — selection-vector fusion,   |
-//! |                     | pre-compiled LIKE, short-circuit conjuncts      |
-//! | ONNX                | [`Backend::Graph`] — serialized plan artifact + |
-//! |                     | standalone vectorized graph VM                  |
-//! | ORT-Web (WASM)      | [`Backend::Wasm`] — the Graph artifact on a     |
-//! |                     | single-threaded scalar VM with simulated        |
-//! |                     | sandbox copies                                  |
+//! | PyTorch eager       | [`Backend::Eager`] — vectorized register VM,    |
+//! |                     | every intermediate materialized ([`vm`])        |
+//! | TorchScript         | [`Backend::Fused`] — the same VM in fused mode: |
+//! |                     | selection-vector compaction between conjuncts   |
+//! | ONNX                | [`Backend::Graph`] — the program serialized to a|
+//! |                     | versioned, self-describing artifact, executed by|
+//! |                     | the standalone VM ([`graphvm`])                 |
+//! | ORT-Web (WASM)      | [`Backend::Wasm`] — the same artifact scalar-   |
+//! |                     | interpreted row-at-a-time with simulated        |
+//! |                     | sandbox copies ([`scalar`])                     |
 //! | CUDA device         | [`Device::GpuSim`] — kernels run on CPU for     |
 //! |                     | correctness, wall-clock is replaced by an       |
 //! |                     | analytical P100 cost model ([`device`])         |
+//!
+//! On the real-CPU path the VM additionally runs morsel-parallel: scan →
+//! filter → project pipeline segments split into contiguous chunks across
+//! [`ExecConfig::workers`] worker threads and merge in order before any
+//! order-sensitive op (see [`vm`]).
 //!
 //! Switching is one line of configuration — the paper's Figure 3:
 //!
@@ -28,9 +36,11 @@ pub mod batch;
 pub mod device;
 pub mod expr;
 pub mod graphvm;
-pub mod interp;
 pub mod join;
+pub mod program;
+pub mod scalar;
 pub mod viz;
+pub mod vm;
 
 use std::collections::HashMap;
 
@@ -43,15 +53,15 @@ use tqp_profile::Profiler;
 /// Execution backend (the paper's lowering targets, §2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
-    /// Vectorized operator-at-a-time interpretation (PyTorch eager).
+    /// Vectorized register-VM execution, operator-at-a-time (PyTorch eager).
     Eager,
-    /// Eager + fusion: selection vectors, short-circuit conjunct evaluation,
-    /// pattern pre-compilation (TorchScript / `torch.jit`).
+    /// The same VM in fused mode: selection vectors, short-circuit conjunct
+    /// evaluation over survivors (TorchScript / `torch.jit`).
     Fused,
-    /// Serialize the program to a portable artifact, execute with the
-    /// standalone graph VM (ONNX + ORT).
+    /// Serialize the program to the portable artifact, execute with the
+    /// standalone vectorized VM (ONNX + ORT).
     Graph,
-    /// The Graph artifact interpreted by a scalar, single-threaded VM with
+    /// The same artifact interpreted by a scalar, single-threaded VM with
     /// per-operator sandbox copies (ORT-Web on WASM).
     Wasm,
 }
@@ -81,11 +91,26 @@ pub struct ExecConfig {
     pub backend: Backend,
     pub device: Device,
     pub gpu_strategy: GpuStrategy,
+    /// Worker threads for morsel-parallel CPU execution (chunked pipeline
+    /// segments + parallel hash-probe). `1` = fully sequential. Has no
+    /// effect on modeled GpuSim time.
+    pub workers: usize,
+}
+
+/// Default CPU worker count: all cores, capped to keep scoped-thread spawn
+/// overhead negligible on very wide machines.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { backend: Backend::Eager, device: Device::Cpu, gpu_strategy: GpuStrategy::Resident }
+        ExecConfig {
+            backend: Backend::Eager,
+            device: Device::Cpu,
+            gpu_strategy: GpuStrategy::Resident,
+            workers: default_workers(),
+        }
     }
 }
 
@@ -111,29 +136,37 @@ impl ExecStats {
     }
 }
 
-/// A compiled query ready to run. Compilation is cheap (the heavy lifting
-/// is plan optimization upstream); the Graph/Wasm backends additionally
-/// serialize the plan into the portable artifact at compile time.
+/// A compiled query ready to run. Compilation lowers the plan to the
+/// [`program::TensorProgram`] all backends execute; the Graph/Wasm
+/// backends additionally serialize the program into the portable artifact
+/// (the "ONNX file") at compile time.
 pub struct Executor {
     plan: PhysicalPlan,
+    program: program::TensorProgram,
     cfg: ExecConfig,
-    /// Serialized artifact for Graph/Wasm (the "ONNX file").
+    /// Serialized artifact for Graph/Wasm.
     artifact: Option<bytes::Bytes>,
 }
 
 impl Executor {
     /// Compile a physical plan for a backend/device configuration.
     pub fn compile(plan: &PhysicalPlan, cfg: ExecConfig) -> Executor {
+        let program = program::lower(plan);
         let artifact = match cfg.backend {
-            Backend::Graph | Backend::Wasm => Some(graphvm::serialize_plan(plan)),
+            Backend::Graph | Backend::Wasm => Some(program::serialize_program(&program)),
             _ => None,
         };
-        Executor { plan: plan.clone(), cfg, artifact }
+        Executor { plan: plan.clone(), program, cfg, artifact }
     }
 
-    /// The physical plan this executor runs.
+    /// The physical plan this executor was compiled from.
     pub fn plan(&self) -> &PhysicalPlan {
         &self.plan
+    }
+
+    /// The lowered tensor program this executor runs.
+    pub fn program(&self) -> &program::TensorProgram {
+        &self.program
     }
 
     /// The configuration this executor was compiled for.
@@ -157,14 +190,10 @@ impl Executor {
         let t0 = std::time::Instant::now();
         let (frame, meter) = match self.cfg.backend {
             Backend::Eager => {
-                let mut cx = interp::Interp::new(storage, models, profiler, self.cfg, false);
-                let out = cx.execute(&self.plan);
-                (out, cx.into_meter())
+                vm::run_program(&self.program, storage, models, profiler, self.cfg, false)
             }
             Backend::Fused => {
-                let mut cx = interp::Interp::new(storage, models, profiler, self.cfg, true);
-                let out = cx.execute(&self.plan);
-                (out, cx.into_meter())
+                vm::run_program(&self.program, storage, models, profiler, self.cfg, true)
             }
             Backend::Graph => {
                 let artifact = self.artifact.as_ref().expect("graph artifact");
@@ -203,6 +232,7 @@ mod tests {
         assert_eq!(c.backend, Backend::Eager);
         assert_eq!(c.device, Device::Cpu);
         assert_eq!(c.gpu_strategy, GpuStrategy::Resident);
+        assert!(c.workers >= 1);
     }
 
     #[test]
@@ -211,5 +241,27 @@ mod tests {
         assert_eq!(s.reported_us(), 7);
         let s = ExecStats { wall_us: 100, gpu_modeled_us: None, rows: 0 };
         assert_eq!(s.reported_us(), 100);
+    }
+
+    #[test]
+    fn executor_exposes_the_lowered_program() {
+        use tqp_data::{frame::df, Column};
+        use tqp_ir::{compile_sql, Catalog, PhysicalOptions};
+        let t = df(vec![("a", Column::from_i64(vec![1, 2]))]);
+        let mut catalog = Catalog::new();
+        catalog.register("t", t.schema().clone(), t.nrows());
+        let plan =
+            compile_sql("select a from t where a > 1", &catalog, &PhysicalOptions::default())
+                .unwrap();
+        let ex = Executor::compile(&plan, ExecConfig::default());
+        assert!(!ex.program().ops.is_empty());
+        assert!(ex.program().display().contains("Scan(t)"));
+        // Eager/Fused compile without an artifact; Graph carries one.
+        assert!(ex.artifact_size().is_none());
+        let g = Executor::compile(
+            &plan,
+            ExecConfig { backend: Backend::Graph, ..Default::default() },
+        );
+        assert!(g.artifact_size().unwrap() > 0);
     }
 }

@@ -1,0 +1,789 @@
+//! The **TensorProgram** IR — the paper's "tensor program" (§2.2) made
+//! explicit.
+//!
+//! [`lower`] compiles a [`PhysicalPlan`] tree into a flat, register-based
+//! sequence of tensor operators. The program — not the plan — is what
+//! every backend executes:
+//!
+//! * the vectorized register VM ([`crate::vm`]) runs it directly
+//!   (`Eager`/`Fused` are VM modes: fusion is selection-vector compaction
+//!   between ops);
+//! * the Graph backend serializes it into a **versioned, self-describing
+//!   artifact** ([`serialize_program`]) — the reproduction's "ONNX file" —
+//!   and the standalone VM executes the deserialized program without the
+//!   compiler front-end;
+//! * the Wasm backend scalar-interprets the *same* artifact row-at-a-time
+//!   ([`crate::scalar`]), the ORT-Web analog.
+//!
+//! Register discipline: lowering walks the plan tree post-order, so every
+//! op writes a fresh register and each register is read after it is
+//! written; data-flow is explicit (`dst`/`src` fields), which is what the
+//! morsel-parallel executor uses to find chunkable pipeline segments.
+
+use bytes::Bytes;
+use tqp_ir::expr::{AggCall, BoundExpr};
+use tqp_ir::json as irjson;
+use tqp_ir::physical::{dedup_names, AggStrategy, JoinStrategy, PhysicalPlan};
+use tqp_ir::plan::{JoinType, PlanSchema, SortKey};
+use tqp_json::Json;
+
+/// Artifact format tag (the self-describing header's `format` field).
+pub const ARTIFACT_FORMAT: &str = "tqp-tensor-program";
+
+/// Current artifact version. Bump on any encoding change; the loader
+/// rejects versions it does not understand.
+pub const ARTIFACT_VERSION: i64 = 1;
+
+/// A register index. Registers hold either a column batch or a join
+/// build table (see `tqp_exec::vm::Value`).
+pub type Reg = usize;
+
+/// One flat tensor-program operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgOp {
+    /// Load a stored table (optionally projected) into `dst`.
+    Scan { dst: Reg, table: String, projection: Option<Vec<usize>> },
+    /// Filter `src` by a conjunction of predicates. The VM mode decides
+    /// the evaluation shape: Eager materializes every conjunct mask over
+    /// the full input and compacts once; Fused compacts adaptively
+    /// between conjuncts (selection vectors).
+    Filter { dst: Reg, src: Reg, conjuncts: Vec<BoundExpr> },
+    /// Evaluate projection expressions over `src`. `has_predict` marks
+    /// inline ML inference (profiling shows it as `Project+Predict`).
+    Project { dst: Reg, src: Reg, exprs: Vec<BoundExpr>, has_predict: bool },
+    /// Build the hash table over the right (build) side's key columns.
+    HashBuild { dst: Reg, src: Reg, keys: Vec<usize> },
+    /// Probe a [`ProgOp::HashBuild`] table with the left side's keys,
+    /// verify/filter pairs, and assemble the join output.
+    HashProbe {
+        dst: Reg,
+        table: Reg,
+        left: Reg,
+        right: Reg,
+        join_type: JoinType,
+        on: Vec<(usize, usize)>,
+        residual: Option<BoundExpr>,
+    },
+    /// The tensor-native sort-merge join (argsort + double searchsorted +
+    /// pair expansion) as one fused op.
+    SortMergeJoin {
+        dst: Reg,
+        left: Reg,
+        right: Reg,
+        join_type: JoinType,
+        on: Vec<(usize, usize)>,
+        residual: Option<BoundExpr>,
+    },
+    /// Cartesian product (scalar-subquery sides only).
+    CrossJoin { dst: Reg, left: Reg, right: Reg },
+    /// Grouped/global reduction (sort- or hash-strategy segmented
+    /// reduce — the paper's GroupedReduce).
+    GroupedReduce {
+        dst: Reg,
+        src: Reg,
+        strategy: AggStrategy,
+        group_by: Vec<BoundExpr>,
+        aggs: Vec<AggCall>,
+    },
+    /// Stable multi-key sort.
+    Sort { dst: Reg, src: Reg, keys: Vec<SortKey> },
+    /// Keep the first `n` rows.
+    Limit { dst: Reg, src: Reg, n: usize },
+}
+
+impl ProgOp {
+    /// The register this op writes.
+    pub fn dst(&self) -> Reg {
+        match self {
+            ProgOp::Scan { dst, .. }
+            | ProgOp::Filter { dst, .. }
+            | ProgOp::Project { dst, .. }
+            | ProgOp::HashBuild { dst, .. }
+            | ProgOp::HashProbe { dst, .. }
+            | ProgOp::SortMergeJoin { dst, .. }
+            | ProgOp::CrossJoin { dst, .. }
+            | ProgOp::GroupedReduce { dst, .. }
+            | ProgOp::Sort { dst, .. }
+            | ProgOp::Limit { dst, .. } => *dst,
+        }
+    }
+
+    /// The registers this op reads.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match self {
+            ProgOp::Scan { .. } => vec![],
+            ProgOp::Filter { src, .. }
+            | ProgOp::Project { src, .. }
+            | ProgOp::HashBuild { src, .. }
+            | ProgOp::GroupedReduce { src, .. }
+            | ProgOp::Sort { src, .. }
+            | ProgOp::Limit { src, .. } => vec![*src],
+            ProgOp::HashProbe { table, left, right, .. } => vec![*table, *left, *right],
+            ProgOp::SortMergeJoin { left, right, .. } | ProgOp::CrossJoin { left, right, .. } => {
+                vec![*left, *right]
+            }
+        }
+    }
+
+    /// Profiler/display name, matching the plan-walk interpreter's
+    /// operator names where an equivalent existed.
+    pub fn name(&self) -> String {
+        match self {
+            ProgOp::Scan { table, .. } => format!("Scan({table})"),
+            ProgOp::Filter { .. } => "Filter".into(),
+            ProgOp::Project { has_predict: true, .. } => "Project+Predict".into(),
+            ProgOp::Project { .. } => "Project".into(),
+            ProgOp::HashBuild { .. } => "HashBuild".into(),
+            ProgOp::HashProbe { join_type, .. } => format!("HashJoin({join_type:?})"),
+            ProgOp::SortMergeJoin { join_type, .. } => format!("SortMergeJoin({join_type:?})"),
+            ProgOp::CrossJoin { .. } => "CrossJoin".into(),
+            ProgOp::GroupedReduce { strategy, .. } => format!("{strategy:?}Aggregate"),
+            ProgOp::Sort { .. } => "Sort".into(),
+            ProgOp::Limit { .. } => "Limit".into(),
+        }
+    }
+}
+
+/// A lowered query: flat op sequence + register budget + output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorProgram {
+    /// Topologically ordered op sequence (writer-before-reader).
+    pub ops: Vec<ProgOp>,
+    /// Number of registers the VM must allocate.
+    pub n_regs: usize,
+    /// Register holding the query result.
+    pub output: Reg,
+    /// Output schema (names deduplicated, display-ready).
+    pub schema: PlanSchema,
+}
+
+impl TensorProgram {
+    /// Multi-line assembly-style listing (EXPLAIN for programs).
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            let srcs: Vec<String> = op.srcs().iter().map(|r| format!("r{r}")).collect();
+            out.push_str(&format!(
+                "op{i:<3} r{} = {}({})\n",
+                op.dst(),
+                op.name(),
+                srcs.join(", ")
+            ));
+        }
+        out.push_str(&format!("return r{}\n", self.output));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+/// Compile a physical plan into a [`TensorProgram`].
+pub fn lower(plan: &PhysicalPlan) -> TensorProgram {
+    let mut b = Builder { ops: Vec::new(), next_reg: 0 };
+    let output = b.lower_node(plan);
+    TensorProgram {
+        ops: b.ops,
+        n_regs: b.next_reg,
+        output,
+        schema: dedup_names(&plan.schema()),
+    }
+}
+
+struct Builder {
+    ops: Vec<ProgOp>,
+    next_reg: usize,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn lower_node(&mut self, plan: &PhysicalPlan) -> Reg {
+        match plan {
+            PhysicalPlan::Scan { table, projection, .. } => {
+                let dst = self.fresh();
+                self.ops.push(ProgOp::Scan {
+                    dst,
+                    table: table.clone(),
+                    projection: projection.clone(),
+                });
+                dst
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let src = self.lower_node(input);
+                let dst = self.fresh();
+                let mut conjuncts = Vec::new();
+                split_and(predicate.clone(), &mut conjuncts);
+                self.ops.push(ProgOp::Filter { dst, src, conjuncts });
+                dst
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let src = self.lower_node(input);
+                let dst = self.fresh();
+                let has_predict = exprs.iter().any(contains_predict);
+                self.ops.push(ProgOp::Project { dst, src, exprs: exprs.clone(), has_predict });
+                dst
+            }
+            PhysicalPlan::Join { left, right, join_type, strategy, on, residual } => {
+                let l = self.lower_node(left);
+                let r = self.lower_node(right);
+                match strategy {
+                    JoinStrategy::Hash => {
+                        let table = self.fresh();
+                        self.ops.push(ProgOp::HashBuild {
+                            dst: table,
+                            src: r,
+                            keys: on.iter().map(|&(_, rk)| rk).collect(),
+                        });
+                        let dst = self.fresh();
+                        self.ops.push(ProgOp::HashProbe {
+                            dst,
+                            table,
+                            left: l,
+                            right: r,
+                            join_type: *join_type,
+                            on: on.clone(),
+                            residual: residual.clone(),
+                        });
+                        dst
+                    }
+                    JoinStrategy::SortMerge => {
+                        let dst = self.fresh();
+                        self.ops.push(ProgOp::SortMergeJoin {
+                            dst,
+                            left: l,
+                            right: r,
+                            join_type: *join_type,
+                            on: on.clone(),
+                            residual: residual.clone(),
+                        });
+                        dst
+                    }
+                }
+            }
+            PhysicalPlan::CrossJoin { left, right } => {
+                let l = self.lower_node(left);
+                let r = self.lower_node(right);
+                let dst = self.fresh();
+                self.ops.push(ProgOp::CrossJoin { dst, left: l, right: r });
+                dst
+            }
+            PhysicalPlan::Aggregate { input, strategy, group_by, aggs, .. } => {
+                let src = self.lower_node(input);
+                let dst = self.fresh();
+                self.ops.push(ProgOp::GroupedReduce {
+                    dst,
+                    src,
+                    strategy: *strategy,
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                });
+                dst
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let src = self.lower_node(input);
+                let dst = self.fresh();
+                self.ops.push(ProgOp::Sort { dst, src, keys: keys.clone() });
+                dst
+            }
+            PhysicalPlan::Limit { input, n } => {
+                let src = self.lower_node(input);
+                let dst = self.fresh();
+                self.ops.push(ProgOp::Limit { dst, src, n: *n });
+                dst
+            }
+        }
+    }
+}
+
+/// Split a predicate tree on top-level ANDs.
+pub fn split_and(e: BoundExpr, out: &mut Vec<BoundExpr>) {
+    use tqp_ir::expr::BinOp;
+    match e {
+        BoundExpr::Binary { op: BinOp::And, left, right, .. } => {
+            split_and(*left, out);
+            split_and(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn contains_predict(e: &BoundExpr) -> bool {
+    let mut found = false;
+    e.visit(&mut |n| {
+        if matches!(n, BoundExpr::Predict { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+// ---------------------------------------------------------------------
+// Artifact (de)serialization
+// ---------------------------------------------------------------------
+
+/// Artifact decode errors.
+#[derive(Debug, Clone)]
+pub struct ProgramError {
+    pub message: String,
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tensor program artifact: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl From<tqp_json::JsonError> for ProgramError {
+    fn from(e: tqp_json::JsonError) -> Self {
+        ProgramError { message: e.message }
+    }
+}
+
+impl From<irjson::PlanJsonError> for ProgramError {
+    fn from(e: irjson::PlanJsonError) -> Self {
+        ProgramError { message: e.message }
+    }
+}
+
+fn invalid<T>(message: impl Into<String>) -> Result<T, ProgramError> {
+    Err(ProgramError { message: message.into() })
+}
+
+/// Serialize a program into the portable artifact: a self-describing,
+/// versioned document every backend (and any external runtime) can load
+/// without the compiler front-end.
+pub fn serialize_program(prog: &TensorProgram) -> Bytes {
+    let ops: Vec<Json> = prog.ops.iter().map(op_to_json).collect();
+    let doc = Json::obj(vec![
+        ("format", Json::str(ARTIFACT_FORMAT)),
+        ("version", Json::I64(ARTIFACT_VERSION)),
+        ("n_regs", Json::I64(prog.n_regs as i64)),
+        ("output", Json::I64(prog.output as i64)),
+        ("schema", irjson::schema_to_json(&prog.schema)),
+        ("ops", Json::Arr(ops)),
+    ]);
+    Bytes::from(doc.to_string().into_bytes())
+}
+
+/// Load an artifact produced by [`serialize_program`].
+pub fn deserialize_program(artifact: &Bytes) -> Result<TensorProgram, ProgramError> {
+    let text = std::str::from_utf8(artifact)
+        .map_err(|_| ProgramError { message: "artifact is not utf-8".into() })?;
+    let doc = Json::parse(text)?;
+    match doc.field("format")?.as_str() {
+        Some(ARTIFACT_FORMAT) => {}
+        other => return invalid(format!("unknown artifact format {other:?}")),
+    }
+    match doc.field("version")?.as_i64() {
+        Some(ARTIFACT_VERSION) => {}
+        other => {
+            return invalid(format!(
+                "unsupported artifact version {other:?} (loader supports {ARTIFACT_VERSION})"
+            ))
+        }
+    }
+    let n_regs = reg_field(&doc, "n_regs")?;
+    let output = reg_field(&doc, "output")?;
+    let schema = irjson::schema_from_json(doc.field("schema")?)?;
+    let ops = doc
+        .field("ops")?
+        .as_arr()
+        .ok_or(ProgramError { message: "ops must be an array".into() })?
+        .iter()
+        .map(op_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    // Structural sanity: every read happens after its write.
+    let mut written = vec![false; n_regs];
+    for op in &ops {
+        for s in op.srcs() {
+            if s >= n_regs || !written[s] {
+                return invalid(format!("op reads register r{s} before it is written"));
+            }
+        }
+        let d = op.dst();
+        if d >= n_regs {
+            return invalid(format!("op writes out-of-range register r{d}"));
+        }
+        written[d] = true;
+    }
+    if output >= n_regs || !written[output] {
+        return invalid("output register is never written");
+    }
+    Ok(TensorProgram { ops, n_regs, output, schema })
+}
+
+fn reg_field(j: &Json, key: &str) -> Result<usize, ProgramError> {
+    match j.field(key)?.as_i64() {
+        Some(v) if v >= 0 => Ok(v as usize),
+        other => invalid(format!("field {key:?} must be a non-negative integer, got {other:?}")),
+    }
+}
+
+fn exprs_json(exprs: &[BoundExpr]) -> Json {
+    Json::Arr(exprs.iter().map(irjson::expr_to_json).collect())
+}
+
+fn exprs_from(j: &Json) -> Result<Vec<BoundExpr>, ProgramError> {
+    Ok(j.as_arr()
+        .ok_or(ProgramError { message: "expected expression array".into() })?
+        .iter()
+        .map(irjson::expr_from_json)
+        .collect::<Result<Vec<_>, _>>()?)
+}
+
+fn on_json(on: &[(usize, usize)]) -> Json {
+    Json::Arr(
+        on.iter()
+            .map(|&(l, r)| Json::arr([Json::I64(l as i64), Json::I64(r as i64)]))
+            .collect(),
+    )
+}
+
+fn on_from(j: &Json) -> Result<Vec<(usize, usize)>, ProgramError> {
+    j.as_arr()
+        .ok_or(ProgramError { message: "join keys must be an array".into() })?
+        .iter()
+        .map(|pair| {
+            match (pair.at(0).and_then(Json::as_i64), pair.at(1).and_then(Json::as_i64)) {
+                (Some(l), Some(r)) if l >= 0 && r >= 0 => Ok((l as usize, r as usize)),
+                _ => invalid("join key pair invalid"),
+            }
+        })
+        .collect()
+}
+
+fn residual_json(residual: &Option<BoundExpr>) -> Json {
+    match residual {
+        Some(e) => irjson::expr_to_json(e),
+        None => Json::Null,
+    }
+}
+
+fn residual_from(j: &Json) -> Result<Option<BoundExpr>, ProgramError> {
+    match j {
+        Json::Null => Ok(None),
+        e => Ok(Some(irjson::expr_from_json(e)?)),
+    }
+}
+
+fn op_to_json(op: &ProgOp) -> Json {
+    let reg = |r: Reg| Json::I64(r as i64);
+    match op {
+        ProgOp::Scan { dst, table, projection } => Json::obj(vec![
+            ("op", Json::str("scan")),
+            ("dst", reg(*dst)),
+            ("table", Json::str(table.as_str())),
+            (
+                "projection",
+                match projection {
+                    Some(idx) => Json::Arr(idx.iter().map(|&i| Json::I64(i as i64)).collect()),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+        ProgOp::Filter { dst, src, conjuncts } => Json::obj(vec![
+            ("op", Json::str("filter")),
+            ("dst", reg(*dst)),
+            ("src", reg(*src)),
+            ("conjuncts", exprs_json(conjuncts)),
+        ]),
+        ProgOp::Project { dst, src, exprs, has_predict } => Json::obj(vec![
+            ("op", Json::str("project")),
+            ("dst", reg(*dst)),
+            ("src", reg(*src)),
+            ("exprs", exprs_json(exprs)),
+            ("has_predict", Json::Bool(*has_predict)),
+        ]),
+        ProgOp::HashBuild { dst, src, keys } => Json::obj(vec![
+            ("op", Json::str("hash_build")),
+            ("dst", reg(*dst)),
+            ("src", reg(*src)),
+            ("keys", Json::Arr(keys.iter().map(|&k| Json::I64(k as i64)).collect())),
+        ]),
+        ProgOp::HashProbe { dst, table, left, right, join_type, on, residual } => Json::obj(vec![
+            ("op", Json::str("hash_probe")),
+            ("dst", reg(*dst)),
+            ("table", reg(*table)),
+            ("left", reg(*left)),
+            ("right", reg(*right)),
+            ("join_type", irjson::join_type_to_json(*join_type)),
+            ("on", on_json(on)),
+            ("residual", residual_json(residual)),
+        ]),
+        ProgOp::SortMergeJoin { dst, left, right, join_type, on, residual } => Json::obj(vec![
+            ("op", Json::str("sort_merge_join")),
+            ("dst", reg(*dst)),
+            ("left", reg(*left)),
+            ("right", reg(*right)),
+            ("join_type", irjson::join_type_to_json(*join_type)),
+            ("on", on_json(on)),
+            ("residual", residual_json(residual)),
+        ]),
+        ProgOp::CrossJoin { dst, left, right } => Json::obj(vec![
+            ("op", Json::str("cross_join")),
+            ("dst", reg(*dst)),
+            ("left", reg(*left)),
+            ("right", reg(*right)),
+        ]),
+        ProgOp::GroupedReduce { dst, src, strategy, group_by, aggs } => Json::obj(vec![
+            ("op", Json::str("grouped_reduce")),
+            ("dst", reg(*dst)),
+            ("src", reg(*src)),
+            ("strategy", irjson::agg_strategy_to_json(*strategy)),
+            ("group_by", exprs_json(group_by)),
+            ("aggs", Json::Arr(aggs.iter().map(irjson::agg_call_to_json).collect())),
+        ]),
+        ProgOp::Sort { dst, src, keys } => Json::obj(vec![
+            ("op", Json::str("sort")),
+            ("dst", reg(*dst)),
+            ("src", reg(*src)),
+            ("keys", Json::Arr(keys.iter().map(irjson::sort_key_to_json).collect())),
+        ]),
+        ProgOp::Limit { dst, src, n } => Json::obj(vec![
+            ("op", Json::str("limit")),
+            ("dst", reg(*dst)),
+            ("src", reg(*src)),
+            ("n", Json::I64(*n as i64)),
+        ]),
+    }
+}
+
+fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
+    let kind = j.field("op")?.as_str().unwrap_or_default().to_string();
+    let dst = reg_field(j, "dst")?;
+    match kind.as_str() {
+        "scan" => Ok(ProgOp::Scan {
+            dst,
+            table: j.field("table")?.as_str().unwrap_or_default().to_string(),
+            projection: match j.field("projection")? {
+                Json::Null => None,
+                arr => Some(
+                    arr.as_arr()
+                        .ok_or(ProgramError { message: "projection must be an array".into() })?
+                        .iter()
+                        .map(|v| {
+                            v.as_i64().filter(|&i| i >= 0).map(|i| i as usize).ok_or(
+                                ProgramError { message: "projection index invalid".into() },
+                            )
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+            },
+        }),
+        "filter" => Ok(ProgOp::Filter {
+            dst,
+            src: reg_field(j, "src")?,
+            conjuncts: exprs_from(j.field("conjuncts")?)?,
+        }),
+        "project" => Ok(ProgOp::Project {
+            dst,
+            src: reg_field(j, "src")?,
+            exprs: exprs_from(j.field("exprs")?)?,
+            has_predict: j.field("has_predict")?.as_bool().unwrap_or_default(),
+        }),
+        "hash_build" => Ok(ProgOp::HashBuild {
+            dst,
+            src: reg_field(j, "src")?,
+            keys: j
+                .field("keys")?
+                .as_arr()
+                .ok_or(ProgramError { message: "keys must be an array".into() })?
+                .iter()
+                .map(|v| {
+                    v.as_i64()
+                        .filter(|&i| i >= 0)
+                        .map(|i| i as usize)
+                        .ok_or(ProgramError { message: "key index invalid".into() })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        "hash_probe" => Ok(ProgOp::HashProbe {
+            dst,
+            table: reg_field(j, "table")?,
+            left: reg_field(j, "left")?,
+            right: reg_field(j, "right")?,
+            join_type: irjson::join_type_from_json(j.field("join_type")?)?,
+            on: on_from(j.field("on")?)?,
+            residual: residual_from(j.field("residual")?)?,
+        }),
+        "sort_merge_join" => Ok(ProgOp::SortMergeJoin {
+            dst,
+            left: reg_field(j, "left")?,
+            right: reg_field(j, "right")?,
+            join_type: irjson::join_type_from_json(j.field("join_type")?)?,
+            on: on_from(j.field("on")?)?,
+            residual: residual_from(j.field("residual")?)?,
+        }),
+        "cross_join" => Ok(ProgOp::CrossJoin {
+            dst,
+            left: reg_field(j, "left")?,
+            right: reg_field(j, "right")?,
+        }),
+        "grouped_reduce" => Ok(ProgOp::GroupedReduce {
+            dst,
+            src: reg_field(j, "src")?,
+            strategy: irjson::agg_strategy_from_json(j.field("strategy")?)?,
+            group_by: exprs_from(j.field("group_by")?)?,
+            aggs: j
+                .field("aggs")?
+                .as_arr()
+                .ok_or(ProgramError { message: "aggs must be an array".into() })?
+                .iter()
+                .map(irjson::agg_call_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        "sort" => Ok(ProgOp::Sort {
+            dst,
+            src: reg_field(j, "src")?,
+            keys: j
+                .field("keys")?
+                .as_arr()
+                .ok_or(ProgramError { message: "sort keys must be an array".into() })?
+                .iter()
+                .map(irjson::sort_key_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        "limit" => Ok(ProgOp::Limit { dst, src: reg_field(j, "src")?, n: reg_field(j, "n")? }),
+        other => invalid(format!("unknown program op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqp_ir::{compile_sql, Catalog, PhysicalOptions};
+
+    fn catalog() -> Catalog {
+        use tqp_data::{Field, LogicalType, Schema};
+        let mut c = Catalog::new();
+        c.register(
+            "t",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("b", LogicalType::Float64),
+                Field::new("s", LogicalType::Str),
+            ]),
+            100,
+        );
+        c.register(
+            "u",
+            Schema::new(vec![
+                Field::new("a", LogicalType::Int64),
+                Field::new("x", LogicalType::Float64),
+            ]),
+            50,
+        );
+        c
+    }
+
+    fn program(sql: &str, opts: PhysicalOptions) -> TensorProgram {
+        let plan = compile_sql(sql, &catalog(), &opts).unwrap();
+        lower(&plan)
+    }
+
+    #[test]
+    fn lowering_is_flat_and_topological() {
+        let p = program(
+            "select t.a, sum(u.x) from t, u where t.a = u.a and t.b > 1.0 \
+             group by t.a order by t.a limit 5",
+            PhysicalOptions::default(),
+        );
+        assert!(p.ops.len() >= 5, "{}", p.display());
+        let mut written = vec![false; p.n_regs];
+        for op in &p.ops {
+            for s in op.srcs() {
+                assert!(written[s], "register r{s} read before write:\n{}", p.display());
+            }
+            written[op.dst()] = true;
+        }
+        assert!(written[p.output]);
+    }
+
+    #[test]
+    fn filters_split_into_conjuncts() {
+        let p = program("select a from t where a > 1 and b < 2.0 and s like 'x%'",
+            PhysicalOptions::default());
+        let conjuncts: Vec<usize> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                ProgOp::Filter { conjuncts, .. } => Some(conjuncts.len()),
+                _ => None,
+            })
+            .collect();
+        // Pushdown may split filters across scans, but the total number of
+        // conjuncts must be 3.
+        assert_eq!(conjuncts.iter().sum::<usize>(), 3, "{}", p.display());
+    }
+
+    #[test]
+    fn hash_joins_lower_to_build_plus_probe() {
+        let opts = PhysicalOptions {
+            join: tqp_ir::JoinStrategy::Hash,
+            agg: tqp_ir::AggStrategy::Hash,
+        };
+        let p = program("select t.a from t, u where t.a = u.a", opts);
+        let builds = p.ops.iter().filter(|o| matches!(o, ProgOp::HashBuild { .. })).count();
+        let probes = p.ops.iter().filter(|o| matches!(o, ProgOp::HashProbe { .. })).count();
+        assert_eq!((builds, probes), (1, 1), "{}", p.display());
+        // Probe reads the build's output register.
+        let build_dst = p
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                ProgOp::HashBuild { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .unwrap();
+        assert!(p.ops.iter().any(|o| matches!(o, ProgOp::HashProbe { table, .. } if *table == build_dst)));
+    }
+
+    #[test]
+    fn artifact_roundtrips_exactly() {
+        for opts in [
+            PhysicalOptions::default(),
+            PhysicalOptions { join: tqp_ir::JoinStrategy::Hash, agg: tqp_ir::AggStrategy::Hash },
+        ] {
+            let p = program(
+                "select t.a, count(*) as c, sum(t.b * 2.0 - 0.5) from t, u \
+                 where t.a = u.a and t.s like 'PROMO%' and t.b between 1.0 and 9.5 \
+                 group by t.a order by c desc, t.a limit 7",
+                opts,
+            );
+            let bytes = serialize_program(&p);
+            assert!(!bytes.is_empty());
+            let back = deserialize_program(&bytes).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn artifact_is_versioned_and_self_describing() {
+        let p = program("select a from t", PhysicalOptions::default());
+        let bytes = serialize_program(&p);
+        let doc = tqp_json::Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(doc.field("format").unwrap().as_str(), Some(ARTIFACT_FORMAT));
+        assert_eq!(doc.field("version").unwrap().as_i64(), Some(ARTIFACT_VERSION));
+        // A future version must be rejected, not misread.
+        let mut tampered = String::from_utf8(bytes.to_vec()).unwrap();
+        tampered = tampered.replace("\"version\":1", "\"version\":999");
+        assert!(deserialize_program(&Bytes::from(tampered.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn corrupt_register_flow_rejected() {
+        let p = program("select a from t where b > 0.5", PhysicalOptions::default());
+        let text = String::from_utf8(serialize_program(&p).to_vec()).unwrap();
+        // Point the filter's src at an unwritten register.
+        let tampered = text.replace("\"src\":0", "\"src\":7");
+        assert!(deserialize_program(&Bytes::from(tampered.into_bytes())).is_err());
+    }
+}

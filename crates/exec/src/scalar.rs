@@ -1,0 +1,263 @@
+//! The scalar **row VM** — executes a [`TensorProgram`] the way ORT-Web
+//! runs a model in a browser: single-threaded, row-at-a-time, boxed
+//! values, dynamic dispatch per value.
+//!
+//! This is the Wasm backend's interpreter. It consumes the *same lowered
+//! program* (and the same serialized artifact) as the vectorized register
+//! VM — the paper's portability claim §3.2: one compiled query, many
+//! runtimes — but registers hold `Vec<Row>` instead of column tensors,
+//! and every op is a scalar loop built from the row-engine primitives in
+//! `tqp-baseline` (`eval_expr`, `build_row_table`/`probe_row_table`,
+//! row aggregation). `SortMergeJoin` ops are honored with a hash
+//! build+probe: a scalar runtime has no vectorized `searchsorted`, and
+//! equi-join semantics are algorithm-independent.
+
+use std::collections::HashMap;
+
+use tqp_baseline::{
+    agg as row_agg, build_row_table, eval::eval_expr, eval::prepare_predicts, probe_row_table,
+    rows_to_frame_with_schema, Row, RowJoinTable,
+};
+use tqp_data::DataFrame;
+use tqp_ir::BoundExpr;
+use tqp_ml::ModelRegistry;
+use tqp_tensor::Scalar;
+
+use crate::program::{ProgOp, TensorProgram};
+
+/// A scalar-VM register: materialized rows, or a scalar join table.
+enum RowValue {
+    Rows(Vec<Row>),
+    Table(RowJoinTable),
+}
+
+impl RowValue {
+    fn rows(&self) -> &Vec<Row> {
+        match self {
+            RowValue::Rows(r) => r,
+            RowValue::Table(_) => panic!("register holds a join table, expected rows"),
+        }
+    }
+}
+
+/// Interpret a program over row-format tables (the sandbox copies made by
+/// the Wasm backend), producing the materialized result frame.
+pub fn run_program_scalar(
+    prog: &TensorProgram,
+    tables: &HashMap<String, DataFrame>,
+    models: &ModelRegistry,
+) -> DataFrame {
+    let mut regs: Vec<Option<RowValue>> = (0..prog.n_regs).map(|_| None).collect();
+    for op in &prog.ops {
+        let value = exec_op(op, &regs, tables, models);
+        regs[op.dst()] = Some(value);
+    }
+    let rows = match regs[prog.output].take() {
+        Some(RowValue::Rows(rows)) => rows,
+        _ => panic!("program output register does not hold rows"),
+    };
+    rows_to_frame_with_schema(rows, &prog.schema)
+}
+
+fn exec_op(
+    op: &ProgOp,
+    regs: &[Option<RowValue>],
+    tables: &HashMap<String, DataFrame>,
+    models: &ModelRegistry,
+) -> RowValue {
+    let reg_rows = |r: usize| regs[r].as_ref().expect("register live").rows();
+    match op {
+        ProgOp::Scan { table, projection, .. } => {
+            let frame = tables
+                .get(table)
+                .unwrap_or_else(|| panic!("table {table} not in the sandbox"));
+            let cols: Vec<usize> = match projection {
+                Some(p) => p.clone(),
+                None => (0..frame.ncols()).collect(),
+            };
+            let rows = (0..frame.nrows())
+                .map(|i| cols.iter().map(|&c| frame.column(c).get(i)).collect())
+                .collect();
+            RowValue::Rows(rows)
+        }
+        ProgOp::Filter { src, conjuncts, .. } => {
+            let rows = reg_rows(*src).clone();
+            let arity = rows.first().map(|r: &Row| r.len()).unwrap_or(0);
+            // PREDICT inside predicates: batch-prepare, then scalar loops.
+            let (rows, conjuncts) = prepare_predicts(rows, conjuncts, models);
+            let kept: Vec<Row> = rows
+                .into_iter()
+                .filter(|r| {
+                    conjuncts
+                        .iter()
+                        .all(|c| matches!(eval_expr(c, r), Scalar::Bool(true)))
+                })
+                .map(|mut r| {
+                    r.truncate(arity);
+                    r
+                })
+                .collect();
+            RowValue::Rows(kept)
+        }
+        ProgOp::Project { src, exprs, .. } => {
+            let rows = reg_rows(*src).clone();
+            let (rows, exprs) = prepare_predicts(rows, exprs, models);
+            RowValue::Rows(
+                rows.iter()
+                    .map(|r| exprs.iter().map(|e| eval_expr(e, r)).collect())
+                    .collect(),
+            )
+        }
+        ProgOp::HashBuild { src, keys, .. } => {
+            RowValue::Table(build_row_table(reg_rows(*src), keys))
+        }
+        ProgOp::HashProbe { table, left, right, join_type, on, residual, .. } => {
+            let t = match regs[*table].as_ref().expect("table register live") {
+                RowValue::Table(t) => t,
+                RowValue::Rows(_) => panic!("probe register holds rows, expected a table"),
+            };
+            let lrows = reg_rows(*left);
+            let rrows = reg_rows(*right);
+            let rarity = rrows.first().map(|r: &Row| r.len()).unwrap_or(0);
+            RowValue::Rows(probe_row_table(
+                t,
+                lrows,
+                rrows,
+                rarity,
+                *join_type,
+                on,
+                residual.as_ref(),
+            ))
+        }
+        ProgOp::SortMergeJoin { left, right, join_type, on, residual, .. } => {
+            // A scalar runtime joins by hashing regardless of the
+            // vectorized algorithm choice; semantics are identical.
+            let lrows = reg_rows(*left);
+            let rrows = reg_rows(*right);
+            let rarity = rrows.first().map(|r: &Row| r.len()).unwrap_or(0);
+            let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+            let t = build_row_table(rrows, &rkeys);
+            RowValue::Rows(probe_row_table(
+                &t,
+                lrows,
+                rrows,
+                rarity,
+                *join_type,
+                on,
+                residual.as_ref(),
+            ))
+        }
+        ProgOp::CrossJoin { left, right, .. } => {
+            let l = reg_rows(*left);
+            let r = reg_rows(*right);
+            let mut out = Vec::with_capacity(l.len() * r.len());
+            for lr in l {
+                for rr in r {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    out.push(row);
+                }
+            }
+            RowValue::Rows(out)
+        }
+        ProgOp::GroupedReduce { src, group_by, aggs, .. } => {
+            let rows = reg_rows(*src).clone();
+            // PREDICT may sit inside group keys or aggregate arguments:
+            // batch-prepare them all, mirroring the row engine.
+            let mut exprs: Vec<BoundExpr> = group_by.clone();
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    exprs.push(arg.clone());
+                }
+            }
+            let (rows, prepared) = prepare_predicts(rows, &exprs, models);
+            let group_by = prepared[..group_by.len()].to_vec();
+            let mut aggs = aggs.clone();
+            let mut k = group_by.len();
+            for a in &mut aggs {
+                if a.arg.is_some() {
+                    a.arg = Some(prepared[k].clone());
+                    k += 1;
+                }
+            }
+            RowValue::Rows(row_agg::aggregate(rows, &group_by, &aggs))
+        }
+        ProgOp::Sort { src, keys, .. } => {
+            let mut rows = reg_rows(*src).clone();
+            rows.sort_by(|a, b| {
+                for k in keys {
+                    let va = eval_expr(&k.expr, a);
+                    let vb = eval_expr(&k.expr, b);
+                    let ord = va.cmp_sql(&vb);
+                    let ord = if k.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            RowValue::Rows(rows)
+        }
+        ProgOp::Limit { src, n, .. } => {
+            let mut rows = reg_rows(*src).clone();
+            rows.truncate(*n);
+            RowValue::Rows(rows)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::lower;
+    use tqp_data::frame::df;
+    use tqp_data::Column;
+    use tqp_ir::{compile_sql, Catalog, JoinStrategy, PhysicalOptions};
+
+    fn tables() -> (HashMap<String, DataFrame>, Catalog) {
+        let t = df(vec![
+            ("id", Column::from_i64(vec![1, 2, 3, 4])),
+            ("v", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0])),
+        ]);
+        let u = df(vec![
+            ("id", Column::from_i64(vec![2, 3, 3])),
+            ("w", Column::from_f64(vec![1.0, 2.0, 3.0])),
+        ]);
+        let mut catalog = Catalog::new();
+        catalog.register("t", t.schema().clone(), t.nrows());
+        catalog.register("u", u.schema().clone(), u.nrows());
+        let mut map = HashMap::new();
+        map.insert("t".to_string(), t);
+        map.insert("u".to_string(), u);
+        (map, catalog)
+    }
+
+    fn run(sql: &str, opts: PhysicalOptions) -> DataFrame {
+        let (tables, catalog) = tables();
+        let plan = compile_sql(sql, &catalog, &opts).unwrap();
+        let prog = lower(&plan);
+        run_program_scalar(&prog, &tables, &ModelRegistry::new())
+    }
+
+    #[test]
+    fn scalar_vm_runs_filters_and_aggregates() {
+        let out = run(
+            "select count(*) as c, sum(v) as s from t where v > 15.0",
+            PhysicalOptions::default(),
+        );
+        assert_eq!(out.column(0).get(0).as_i64(), 3);
+        assert_eq!(out.column(1).get(0).as_f64(), 90.0);
+    }
+
+    #[test]
+    fn scalar_vm_joins_on_both_strategies() {
+        for join in [JoinStrategy::SortMerge, JoinStrategy::Hash] {
+            let out = run(
+                "select t.id, u.w from t, u where t.id = u.id order by t.id, u.w",
+                PhysicalOptions { join, ..Default::default() },
+            );
+            assert_eq!(out.nrows(), 3, "{join:?}");
+            assert_eq!(out.column(0).get(2).as_i64(), 3);
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The vectorized **register VM** — executes a [`TensorProgram`] for the
+//! Eager, Fused, and Graph backends.
+//!
+//! One VM, two modes (the paper's eager-vs-TorchScript axis):
+//!
+//! * **Eager**: every `Filter` materializes one boolean mask per conjunct
+//!   over the full input and compacts once (PyTorch-eager semantics:
+//!   every intermediate exists);
+//! * **Fused**: conjunct evaluation runs over *selection vectors* — the
+//!   batch is compacted adaptively between conjuncts, so later (more
+//!   expensive, e.g. `LIKE`) predicates run on the surviving fraction
+//!   only. Fusion is a property of how the VM steps the same program, not
+//!   a different program.
+//!
+//! **Morsel-parallel execution**: lowering leaves data-flow explicit, so
+//! the VM statically finds *pipeline segments* — a `Scan` followed by a
+//! chain of element-wise ops (`Filter`/`Project`) each consuming the
+//! previous op's register. A segment executes partition-parallel: the
+//! scanned batch splits into contiguous morsels, every worker runs the
+//! whole chain over its morsel, and results concatenate in morsel order —
+//! bit-identical to sequential execution, because the chain ops are
+//! row-local and order-preserving. Order-sensitive ops (joins,
+//! aggregation, sort, limit) act as barriers; the hash-join *probe* is
+//! additionally parallelized internally (see [`crate::join::probe_table`]).
+//!
+//! Every op reports a span keyed by its **program op index** (`Filter@op3`)
+//! and charges the [`DeviceMeter`] — the simulated-GPU path stays
+//! single-threaded so modeled time is independent of host parallelism.
+
+use std::time::Instant;
+
+use tqp_data::{DataFrame, LogicalType};
+use tqp_ir::physical::AggStrategy;
+use tqp_ir::plan::ColMeta;
+use tqp_ml::ModelRegistry;
+use tqp_profile::Profiler;
+use tqp_tensor::index::{arange, mask_to_indices};
+use tqp_tensor::sort::{argsort_multi, Order, SortKey as TSortKey};
+use tqp_tensor::{DType, Tensor};
+
+use crate::agg;
+use crate::batch::Batch;
+use crate::device::{kernel_count, DeviceMeter};
+use crate::expr::{eval, eval_mask};
+use crate::join;
+use crate::program::{ProgOp, TensorProgram};
+use crate::{Device, ExecConfig, Storage};
+
+/// Minimum scanned rows before a pipeline segment is worth chunking.
+const PAR_SEGMENT_MIN_ROWS: usize = 64 * 1024;
+
+/// A register value: a column batch, or a hash-join build table.
+pub enum Value {
+    Batch(Batch),
+    Table(join::JoinTable),
+}
+
+impl Value {
+    fn batch(&self) -> &Batch {
+        match self {
+            Value::Batch(b) => b,
+            Value::Table(_) => panic!("register holds a join table, expected a batch"),
+        }
+    }
+
+    fn table(&self) -> &join::JoinTable {
+        match self {
+            Value::Table(t) => t,
+            Value::Batch(_) => panic!("register holds a batch, expected a join table"),
+        }
+    }
+}
+
+/// Execute a program against storage, producing the result frame and the
+/// device meter. `fused` selects the Fused (TorchScript-analog) mode.
+pub fn run_program(
+    prog: &TensorProgram,
+    storage: &Storage,
+    models: &ModelRegistry,
+    profiler: &Profiler,
+    cfg: ExecConfig,
+    fused: bool,
+) -> (DataFrame, DeviceMeter) {
+    let mut meter = DeviceMeter::new(cfg.device == Device::GpuSim, cfg.gpu_strategy);
+    let cx = Vm { storage, models, profiler, fused, workers: cfg.workers.max(1) };
+    let batch = cx.exec(prog, &mut meter);
+    (batch_to_frame(&batch, &prog.schema), meter)
+}
+
+/// VM context: immutable inputs shared by worker threads.
+struct Vm<'a> {
+    storage: &'a Storage,
+    models: &'a ModelRegistry,
+    profiler: &'a Profiler,
+    fused: bool,
+    workers: usize,
+}
+
+/// Per-op sample from one morsel: (duration µs, output rows, output bytes).
+type OpSample = (u64, u64, u64);
+
+impl Vm<'_> {
+    fn exec(&self, prog: &TensorProgram, meter: &mut DeviceMeter) -> Batch {
+        let last_use = last_uses(prog);
+        let segments = pipeline_segments(prog);
+        let mut regs: Vec<Option<Value>> = (0..prog.n_regs).map(|_| None).collect();
+
+        let mut i = 0;
+        while i < prog.ops.len() {
+            // A chunkable segment: Scan + element-wise chain. Parallel
+            // execution is only taken on the real-CPU path — the GPU cost
+            // model charges whole-tensor kernels, so metered runs stay
+            // sequential to keep modeled time worker-independent.
+            let seg_end = segments[i];
+            if seg_end > i + 1 && self.workers > 1 && !meter.is_enabled() {
+                let scanned = self.exec_scan_op(i, &prog.ops[i], meter);
+                if scanned.nrows() >= PAR_SEGMENT_MIN_ROWS {
+                    let out = self.exec_segment_parallel(prog, i, seg_end, scanned);
+                    regs[prog.ops[seg_end - 1].dst()] = Some(Value::Batch(out));
+                    for k in i..seg_end {
+                        self.release(&mut regs, &prog.ops[k], &last_use, k, prog.output);
+                    }
+                    i = seg_end;
+                    continue;
+                }
+                // Too small to chunk: finish the segment sequentially.
+                regs[prog.ops[i].dst()] = Some(Value::Batch(scanned));
+                for k in i + 1..seg_end {
+                    self.exec_op(k, &prog.ops[k], &mut regs, meter);
+                    self.release(&mut regs, &prog.ops[k], &last_use, k, prog.output);
+                }
+                i = seg_end;
+                continue;
+            }
+
+            self.exec_op(i, &prog.ops[i], &mut regs, meter);
+            self.release(&mut regs, &prog.ops[i], &last_use, i, prog.output);
+            i += 1;
+        }
+
+        match regs[prog.output].take() {
+            Some(Value::Batch(b)) => b,
+            _ => panic!("program output register does not hold a batch"),
+        }
+    }
+
+    /// Drop registers after their last reader (keeps peak memory at the
+    /// live frontier of the program, like the old tree walk did).
+    fn release(
+        &self,
+        regs: &mut [Option<Value>],
+        op: &ProgOp,
+        last_use: &[usize],
+        idx: usize,
+        output: usize,
+    ) {
+        for s in op.srcs() {
+            if last_use[s] == idx && s != output {
+                regs[s] = None;
+            }
+        }
+    }
+
+    /// Run one morsel through the element-wise chain `ops[start+1..end]`.
+    fn run_chain_morsel(
+        &self,
+        prog: &TensorProgram,
+        start: usize,
+        end: usize,
+        mut batch: Batch,
+        samples: &mut [Vec<OpSample>],
+    ) -> Batch {
+        for (k, op) in prog.ops[start + 1..end].iter().enumerate() {
+            let t0 = Instant::now();
+            batch = self.apply_elementwise(op, batch);
+            samples[k].push((
+                t0.elapsed().as_micros() as u64,
+                batch.nrows() as u64,
+                batch.nbytes() as u64,
+            ));
+        }
+        batch
+    }
+
+    /// Partition-parallel segment execution: split, run chain per morsel,
+    /// concatenate in morsel order.
+    fn exec_segment_parallel(
+        &self,
+        prog: &TensorProgram,
+        start: usize,
+        end: usize,
+        scanned: Batch,
+    ) -> Batch {
+        let n = scanned.nrows();
+        let n_chunks = self.workers.min(n.div_ceil(PAR_SEGMENT_MIN_ROWS / 2)).max(1);
+        let chunk_len = n.div_ceil(n_chunks);
+        let chain_len = end - start - 1;
+        let start_us = self.profiler.now_us();
+
+        let mut results: Vec<Option<(Batch, Vec<Vec<OpSample>>)>> =
+            (0..n_chunks).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (c, slot) in results.iter_mut().enumerate() {
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(n);
+                let morsel = scanned.slice_rows(lo, hi);
+                s.spawn(move |_| {
+                    let mut samples: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
+                    let out = self.run_chain_morsel(prog, start, end, morsel, &mut samples);
+                    *slot = Some((out, samples));
+                });
+            }
+        });
+
+        let mut parts = Vec::with_capacity(n_chunks);
+        let mut merged: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
+        for r in results.into_iter().flatten() {
+            parts.push(r.0);
+            for (k, s) in r.1.into_iter().enumerate() {
+                merged[k].extend(s);
+            }
+        }
+        let out = Batch::vcat_all(parts);
+
+        // One span per op, keyed by program index; rows/bytes summed over
+        // morsels, duration = summed worker CPU time for that op.
+        for (k, op) in prog.ops[start + 1..end].iter().enumerate() {
+            let (dur, rows, bytes) = merged[k].iter().fold((0, 0, 0), |acc, s| {
+                (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2)
+            });
+            self.profiler.record(
+                &format!("{}@op{}[x{n_chunks}]", op.name(), start + 1 + k),
+                "relational",
+                start_us,
+                dur,
+                rows,
+                bytes,
+            );
+        }
+        out
+    }
+
+    /// Element-wise ops a morsel chain may contain.
+    fn apply_elementwise(&self, op: &ProgOp, input: Batch) -> Batch {
+        match op {
+            ProgOp::Filter { conjuncts, .. } => self.apply_filter(conjuncts, input),
+            ProgOp::Project { exprs, .. } => self.apply_project(exprs, &input),
+            other => panic!("op {} is not element-wise", other.name()),
+        }
+    }
+
+    fn apply_filter(&self, conjuncts: &[tqp_ir::BoundExpr], input: Batch) -> Batch {
+        if self.fused {
+            return self.apply_filter_fused(conjuncts, input);
+        }
+        // Eager: one mask per conjunct over the full input, AND-combined,
+        // one compaction.
+        let mut acc: Option<Tensor> = None;
+        for c in conjuncts {
+            let mask = eval_mask(c, &input, self.models);
+            acc = Some(match acc {
+                Some(prev) => tqp_tensor::ops::and(&prev, &mask),
+                None => mask,
+            });
+        }
+        match acc {
+            Some(mask) => input.take(&mask_to_indices(&mask)),
+            None => input,
+        }
+    }
+
+    /// Adaptive fused filter: evaluate conjuncts sequentially, switching to
+    /// selection vectors (compact the batch, evaluate the rest on survivors)
+    /// as soon as the accumulated mask turns selective. Unselective prefixes
+    /// stay in mask-AND form to avoid gather costs — the dynamic fusion
+    /// decision a JIT makes with runtime feedback.
+    fn apply_filter_fused(&self, conjuncts: &[tqp_ir::BoundExpr], input: Batch) -> Batch {
+        let mut acc: Option<Tensor> = None;
+        let mut current = input;
+        let mut compacted = false;
+        for c in conjuncts {
+            if current.nrows() == 0 {
+                return current;
+            }
+            let mask = eval_mask(c, &current, self.models);
+            let mask = match acc.take() {
+                Some(prev) => tqp_tensor::ops::and(&prev, &mask),
+                None => mask,
+            };
+            let kept = tqp_tensor::index::count_true(&mask);
+            if compacted || kept * 16 < current.nrows() {
+                // Very selective: compact now, stream the rest over the
+                // survivors (later LIKE-style conjuncts run on a fraction).
+                current = current.take(&mask_to_indices(&mask));
+                compacted = true;
+            } else {
+                acc = Some(mask);
+            }
+        }
+        match acc {
+            Some(mask) => current.take(&mask_to_indices(&mask)),
+            None => current,
+        }
+    }
+
+    fn apply_project(&self, exprs: &[tqp_ir::BoundExpr], input: &Batch) -> Batch {
+        let mut columns = Vec::with_capacity(exprs.len());
+        let mut validity = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            let (v, val) = eval(e, input, self.models);
+            columns.push(v);
+            validity.push(val);
+        }
+        Batch::with_validity(columns, validity)
+    }
+
+    /// Execute a `Scan` with profiling/metering, returning the batch.
+    fn exec_scan_op(&self, idx: usize, op: &ProgOp, meter: &mut DeviceMeter) -> Batch {
+        let ProgOp::Scan { table, projection, .. } = op else {
+            panic!("segment must start with a scan");
+        };
+        let start = self.profiler.now_us();
+        let t0 = Instant::now();
+        let tt = self
+            .storage
+            .get(table)
+            .unwrap_or_else(|| panic!("table {table} not ingested"));
+        let tensors: Vec<Tensor> = match projection {
+            Some(p) => p.iter().map(|&i| tt.tensors[i].clone()).collect(),
+            None => tt.tensors.clone(),
+        };
+        let out = Batch::new(tensors);
+        meter.op(kernel_count("Scan", 0), 0, out.nbytes());
+        self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+        out
+    }
+
+    /// Execute one op sequentially with profiling/metering.
+    fn exec_op(
+        &self,
+        idx: usize,
+        op: &ProgOp,
+        regs: &mut Vec<Option<Value>>,
+        meter: &mut DeviceMeter,
+    ) {
+        match op {
+            ProgOp::Scan { dst, .. } => {
+                let out = self.exec_scan_op(idx, op, meter);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::Filter { dst, src, conjuncts } => {
+                let child = regs[*src].as_ref().expect("src register live").batch().clone();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes = child.nbytes();
+                let out = self.apply_filter(conjuncts, child);
+                meter.op(kernel_count("Filter", conjuncts.len()), in_bytes, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::Project { dst, src, exprs, .. } => {
+                let child = regs[*src].as_ref().expect("src register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes = child.nbytes();
+                let out = self.apply_project(exprs, child);
+                meter.op(kernel_count("Project", exprs.len()), in_bytes, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::HashBuild { dst, src, keys } => {
+                let build = regs[*src].as_ref().expect("src register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes: usize = keys.iter().map(|&k| build.columns[k].nbytes()).sum();
+                let table = join::build_table(build, keys);
+                let entries = table.len();
+                meter.op(kernel_count("HashBuild", keys.len()), in_bytes, entries * 12);
+                self.profiler.record(
+                    &format!("{}@op{idx}", op.name()),
+                    "relational",
+                    start,
+                    t0.elapsed().as_micros() as u64,
+                    build.nrows() as u64,
+                    (entries * 12) as u64,
+                );
+                regs[*dst] = Some(Value::Table(table));
+            }
+            ProgOp::HashProbe { dst, table, left, right, join_type, on, residual } => {
+                let t = regs[*table].as_ref().expect("table register live").table();
+                let l = regs[*left].as_ref().expect("left register live").batch();
+                let r = regs[*right].as_ref().expect("right register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes = l.nbytes() + r.nbytes();
+                let out = join::probe_table(
+                    t,
+                    l,
+                    r,
+                    *join_type,
+                    on,
+                    residual.as_ref(),
+                    self.models,
+                    if meter.is_enabled() { 1 } else { self.workers },
+                );
+                meter.op(kernel_count("HashProbe", on.len()), in_bytes, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::SortMergeJoin { dst, left, right, join_type, on, residual } => {
+                let l = regs[*left].as_ref().expect("left register live").batch();
+                let r = regs[*right].as_ref().expect("right register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes = l.nbytes() + r.nbytes();
+                let out =
+                    join::sort_merge_join(l, r, *join_type, on, residual.as_ref(), self.models);
+                meter.op(kernel_count("Join", on.len()), in_bytes, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::CrossJoin { dst, left, right } => {
+                let l = regs[*left].as_ref().expect("left register live").batch();
+                let r = regs[*right].as_ref().expect("right register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes = l.nbytes() + r.nbytes();
+                let out = join::cross_join(l, r);
+                meter.op(kernel_count("CrossJoin", 0), in_bytes, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::GroupedReduce { dst, src, strategy, group_by, aggs } => {
+                let child = regs[*src].as_ref().expect("src register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes = child.nbytes();
+                let strat = match strategy {
+                    AggStrategy::Sort => agg::Strategy::Sort,
+                    AggStrategy::Hash => agg::Strategy::Hash,
+                };
+                let out = agg::aggregate(child, group_by, aggs, strat, self.models);
+                meter.op(kernel_count("Aggregate", aggs.len()), in_bytes, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::Sort { dst, src, keys } => {
+                let child = regs[*src].as_ref().expect("src register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let in_bytes = child.nbytes();
+                let tensor_keys: Vec<TSortKey> = keys
+                    .iter()
+                    .map(|k| {
+                        let (v, val) = eval(&k.expr, child, self.models);
+                        assert!(val.is_none(), "NULL sort keys unsupported");
+                        TSortKey {
+                            values: v,
+                            order: if k.desc { Order::Desc } else { Order::Asc },
+                        }
+                    })
+                    .collect();
+                let perm = argsort_multi(&tensor_keys);
+                let out = child.take(&perm);
+                meter.op(kernel_count("Sort", keys.len()), in_bytes, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+            ProgOp::Limit { dst, src, n } => {
+                let child = regs[*src].as_ref().expect("src register live").batch();
+                let start = self.profiler.now_us();
+                let t0 = Instant::now();
+                let k = (*n).min(child.nrows());
+                let out = child.take(&arange(0, k as i64));
+                meter.op(kernel_count("Limit", 0), 0, out.nbytes());
+                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                regs[*dst] = Some(Value::Batch(out));
+            }
+        }
+    }
+
+    fn span(&self, name: &str, start: u64, t0: Instant, out: &Batch) {
+        self.profiler.record(
+            name,
+            "relational",
+            start,
+            t0.elapsed().as_micros() as u64,
+            out.nrows() as u64,
+            out.nbytes() as u64,
+        );
+    }
+}
+
+/// For each register, the index of the last op that reads it.
+fn last_uses(prog: &TensorProgram) -> Vec<usize> {
+    let mut last = vec![usize::MAX; prog.n_regs];
+    for (i, op) in prog.ops.iter().enumerate() {
+        for s in op.srcs() {
+            last[s] = i;
+        }
+    }
+    last
+}
+
+/// `segments[i] = j` means ops `[i, j)` form a chunkable pipeline: a Scan
+/// at `i` followed by element-wise ops, each consuming exactly the
+/// previous op's output register (and nothing else reading the
+/// intermediates). `segments[i] = i` means no segment starts at `i`.
+fn pipeline_segments(prog: &TensorProgram) -> Vec<usize> {
+    // How many ops read each register (plus the program output).
+    let mut uses = vec![0usize; prog.n_regs];
+    for op in &prog.ops {
+        for s in op.srcs() {
+            uses[s] += 1;
+        }
+    }
+    uses[prog.output] += 1;
+
+    let mut segments = vec![0usize; prog.ops.len()];
+    for i in 0..prog.ops.len() {
+        segments[i] = i;
+        if !matches!(prog.ops[i], ProgOp::Scan { .. }) {
+            continue;
+        }
+        let mut prev_dst = prog.ops[i].dst();
+        let mut j = i + 1;
+        while j < prog.ops.len() {
+            let chainable = match &prog.ops[j] {
+                ProgOp::Filter { src, .. } | ProgOp::Project { src, .. } => {
+                    *src == prev_dst && uses[prev_dst] == 1
+                }
+                _ => false,
+            };
+            if !chainable {
+                break;
+            }
+            prev_dst = prog.ops[j].dst();
+            j += 1;
+        }
+        segments[i] = j;
+    }
+    segments
+}
+
+/// Materialize a batch into a typed frame using the program's output
+/// schema (names already deduplicated by lowering).
+pub fn batch_to_frame(batch: &Batch, schema: &[ColMeta]) -> DataFrame {
+    assert_eq!(schema.len(), batch.ncols(), "schema/batch arity mismatch");
+    for v in &batch.validity {
+        if let Some(mask) = v {
+            assert!(
+                mask.as_bool().iter().all(|&b| b),
+                "NULL leaked into the final output (must be consumed by aggregates)"
+            );
+        }
+    }
+    let fields: Vec<tqp_data::Field> =
+        schema.iter().map(|c| tqp_data::Field::new(c.name.clone(), c.ty)).collect();
+    let columns = fields
+        .iter()
+        .zip(&batch.columns)
+        .map(|(f, t)| tensor_to_column(t, f.ty))
+        .collect();
+    DataFrame::new(tqp_data::Schema::new(fields), columns)
+}
+
+fn tensor_to_column(t: &Tensor, ty: LogicalType) -> tqp_data::Column {
+    use tqp_data::Column;
+    match ty {
+        LogicalType::Bool => Column::from_bool(t.as_bool().to_vec()),
+        LogicalType::Int64 => Column::from_i64(t.cast(DType::I64).expect("i64 out").to_i64_vec()),
+        LogicalType::Float64 => {
+            Column::from_f64(t.cast(DType::F64).expect("f64 out").to_f64_vec())
+        }
+        LogicalType::Date => Column::from_date_ns(t.cast(DType::I64).expect("date out").to_i64_vec()),
+        LogicalType::Str => {
+            Column::from_str((0..t.nrows()).map(|i| t.str_at(i)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::lower;
+    use std::collections::HashMap;
+    use tqp_data::frame::df;
+    use tqp_data::Column;
+    use tqp_ir::{compile_sql, Catalog, PhysicalOptions};
+
+    fn setup() -> (Storage, Catalog) {
+        let t = df(vec![
+            ("id", Column::from_i64(vec![1, 2, 3, 4])),
+            ("grp", Column::from_str(vec!["a".into(), "b".into(), "a".into(), "b".into()])),
+            ("v", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0])),
+        ]);
+        let mut catalog = Catalog::new();
+        catalog.register("t", t.schema().clone(), t.nrows());
+        let mut tables = HashMap::new();
+        tables.insert("t".to_string(), t);
+        (crate::ingest_tables(&tables), catalog)
+    }
+
+    fn run(sql: &str, fused: bool) -> DataFrame {
+        let (storage, catalog) = setup();
+        let plan = compile_sql(sql, &catalog, &PhysicalOptions::default()).unwrap();
+        let prog = lower(&plan);
+        let models = ModelRegistry::new();
+        let profiler = Profiler::disabled();
+        let (out, _) =
+            run_program(&prog, &storage, &models, &profiler, ExecConfig::default(), fused);
+        out
+    }
+
+    #[test]
+    fn filter_project_eager_and_fused_agree() {
+        for fused in [false, true] {
+            let out = run("select id, v * 2 as vv from t where v > 15.0 and id < 4 order by id", fused);
+            assert_eq!(out.nrows(), 2, "fused={fused}");
+            assert_eq!(out.column(1).get(0).as_f64(), 40.0);
+        }
+    }
+
+    #[test]
+    fn group_by_on_tensors() {
+        let out = run("select grp, sum(v) as s, count(*) as c from t group by grp order by grp", false);
+        assert_eq!(out.nrows(), 2);
+        assert_eq!(out.column(1).get(0).as_f64(), 40.0);
+        assert_eq!(out.column(2).get(1).as_i64(), 2);
+    }
+
+    #[test]
+    fn profiler_spans_keyed_by_op_index() {
+        let (storage, catalog) = setup();
+        let plan =
+            compile_sql("select grp, sum(v) from t group by grp", &catalog, &PhysicalOptions::default())
+                .unwrap();
+        let prog = lower(&plan);
+        let models = ModelRegistry::new();
+        let profiler = Profiler::new();
+        let _ = run_program(&prog, &storage, &models, &profiler, ExecConfig::default(), false);
+        let names: Vec<String> = profiler.aggregate().into_iter().map(|s| s.name).collect();
+        assert!(names.iter().any(|n| n.starts_with("Scan")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("Aggregate")), "{names:?}");
+        // Spans are keyed by program op index.
+        assert!(names.iter().all(|n| n.contains("@op")), "{names:?}");
+    }
+
+    #[test]
+    fn gpu_meter_accumulates_per_op() {
+        let (storage, catalog) = setup();
+        let plan = compile_sql("select id from t where v > 0.0", &catalog, &PhysicalOptions::default())
+            .unwrap();
+        let prog = lower(&plan);
+        let models = ModelRegistry::new();
+        let profiler = Profiler::disabled();
+        let cfg = ExecConfig { device: Device::GpuSim, ..Default::default() };
+        let (_, meter) = run_program(&prog, &storage, &models, &profiler, cfg, false);
+        assert!(meter.total_us() > 0);
+    }
+
+    #[test]
+    fn parallel_segment_matches_sequential() {
+        // Large enough to cross PAR_SEGMENT_MIN_ROWS.
+        let n = (PAR_SEGMENT_MIN_ROWS * 2 + 1234) as i64;
+        let t = df(vec![
+            ("id", Column::from_i64((0..n).collect())),
+            ("v", Column::from_f64((0..n).map(|i| (i % 997) as f64).collect())),
+        ]);
+        let mut catalog = Catalog::new();
+        catalog.register("big", t.schema().clone(), t.nrows());
+        let mut tables = HashMap::new();
+        tables.insert("big".to_string(), t);
+        let storage = crate::ingest_tables(&tables);
+        let plan = compile_sql(
+            "select id, v * 3.0 + 1.0 as w from big where v > 500.0 and id % 3 = 0",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
+        let prog = lower(&plan);
+        let models = ModelRegistry::new();
+        let profiler = Profiler::disabled();
+        let seq_cfg = ExecConfig { workers: 1, ..Default::default() };
+        let par_cfg = ExecConfig { workers: 4, ..Default::default() };
+        let (seq, _) = run_program(&prog, &storage, &models, &profiler, seq_cfg, false);
+        let (par, _) = run_program(&prog, &storage, &models, &profiler, par_cfg, false);
+        assert_eq!(seq.nrows(), par.nrows());
+        for i in 0..seq.nrows() {
+            assert_eq!(seq.row(i), par.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn segment_detection_stops_at_barriers() {
+        let (_, catalog) = setup();
+        let plan = compile_sql(
+            "select grp, count(*) from t where v > 1.0 group by grp",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
+        let prog = lower(&plan);
+        let segments = pipeline_segments(&prog);
+        // The scan's segment covers the filter but not the aggregate.
+        let scan_idx = prog
+            .ops
+            .iter()
+            .position(|o| matches!(o, ProgOp::Scan { .. }))
+            .unwrap();
+        let end = segments[scan_idx];
+        assert!(end > scan_idx);
+        for op in &prog.ops[scan_idx..end] {
+            assert!(
+                matches!(op, ProgOp::Scan { .. } | ProgOp::Filter { .. } | ProgOp::Project { .. }),
+                "{}", op.name()
+            );
+        }
+    }
+}
