@@ -139,14 +139,22 @@ pub fn aggregate(rows: Vec<Row>, group_by: &[BoundExpr], aggs: &[AggCall]) -> Ve
                 acc.update(call, row);
             }
         }
-        return vec![accs.into_iter().zip(aggs).map(|(a, c)| a.finish(c)).collect()];
+        return vec![accs
+            .into_iter()
+            .zip(aggs)
+            .map(|(a, c)| a.finish(c))
+            .collect()];
     }
     // Group keys may be NULL (outer-join results); NULLs form their own
     // group per SQL GROUP BY semantics — encode with a sentinel.
     let encode = |row: &Row| -> Vec<Option<KeyPart>> {
-        group_by.iter().map(|g| scalar_key(&eval_expr(g, row))).collect()
+        group_by
+            .iter()
+            .map(|g| scalar_key(&eval_expr(g, row)))
+            .collect()
     };
-    let mut groups: HashMap<Vec<Option<KeyPart>>, (Vec<Scalar>, Vec<Acc>)> = HashMap::new();
+    type Group = (Vec<Scalar>, Vec<Acc>);
+    let mut groups: HashMap<Vec<Option<KeyPart>>, Group> = HashMap::new();
     let mut order: Vec<Vec<Option<KeyPart>>> = Vec::new();
     for row in &rows {
         let key = encode(row);
@@ -177,7 +185,11 @@ mod tests {
     use tqp_ir::expr::BoundExpr as E;
 
     fn call(func: AggFunc, col: Option<usize>, ty: LogicalType) -> AggCall {
-        AggCall { func, arg: col.map(|c| E::col(c, LogicalType::Float64)), ty }
+        AggCall {
+            func,
+            arg: col.map(|c| E::col(c, LogicalType::Float64)),
+            ty,
+        }
     }
 
     #[test]
@@ -207,15 +219,15 @@ mod tests {
                 call(AggFunc::Min, Some(0), LogicalType::Float64),
             ],
         );
-        assert_eq!(out, vec![vec![Scalar::F64(0.0), Scalar::I64(0), Scalar::F64(0.0)]]);
+        assert_eq!(
+            out,
+            vec![vec![Scalar::F64(0.0), Scalar::I64(0), Scalar::F64(0.0)]]
+        );
     }
 
     #[test]
     fn nulls_skipped_by_count_but_not_count_star() {
-        let rows = vec![
-            vec![Scalar::Null],
-            vec![Scalar::F64(1.0)],
-        ];
+        let rows = vec![vec![Scalar::Null], vec![Scalar::F64(1.0)]];
         let out = aggregate(
             rows,
             &[],
@@ -225,7 +237,10 @@ mod tests {
                 call(AggFunc::Avg, Some(0), LogicalType::Float64),
             ],
         );
-        assert_eq!(out[0], vec![Scalar::I64(1), Scalar::I64(2), Scalar::F64(1.0)]);
+        assert_eq!(
+            out[0],
+            vec![Scalar::I64(1), Scalar::I64(2), Scalar::F64(1.0)]
+        );
     }
 
     #[test]

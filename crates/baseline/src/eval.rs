@@ -19,7 +19,9 @@ pub fn eval_expr(e: &BoundExpr, row: &Row) -> Scalar {
             panic!("OuterRef survived decorrelation (optimizer bug)")
         }
         BoundExpr::Literal { value, .. } => value.clone(),
-        BoundExpr::Binary { op, left, right, .. } => match op {
+        BoundExpr::Binary {
+            op, left, right, ..
+        } => match op {
             BinOp::And => {
                 // Kleene AND: false dominates NULL.
                 match eval_expr(left, row) {
@@ -56,7 +58,11 @@ pub fn eval_expr(e: &BoundExpr, row: &Row) -> Scalar {
             Scalar::F32(v) => Scalar::F32(-v),
             _ => Scalar::Null,
         },
-        BoundExpr::Case { branches, else_expr, .. } => {
+        BoundExpr::Case {
+            branches,
+            else_expr,
+            ..
+        } => {
             for (cond, val) in branches {
                 if matches!(eval_expr(cond, row), Scalar::Bool(true)) {
                     return eval_expr(val, row);
@@ -64,7 +70,11 @@ pub fn eval_expr(e: &BoundExpr, row: &Row) -> Scalar {
             }
             eval_expr(else_expr, row)
         }
-        BoundExpr::Like { expr, pattern, negated } => {
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_expr(expr, row);
             if v.is_null() {
                 return Scalar::Null;
@@ -72,14 +82,18 @@ pub fn eval_expr(e: &BoundExpr, row: &Row) -> Scalar {
             let m = LikePattern::compile(pattern).matches(v.as_str().as_bytes());
             Scalar::Bool(m != *negated)
         }
-        BoundExpr::InList { expr, list, negated } => {
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_expr(expr, row);
             if v.is_null() {
                 return Scalar::Null;
             }
-            let found = list.iter().any(|s| {
-                eval_binary_scalar(BinOp::Eq, &v, s) == Some(Scalar::Bool(true))
-            });
+            let found = list
+                .iter()
+                .any(|s| eval_binary_scalar(BinOp::Eq, &v, s) == Some(Scalar::Bool(true)));
             Scalar::Bool(found != *negated)
         }
         BoundExpr::IsNull { expr, negated } => {
@@ -182,8 +196,10 @@ pub fn prepare_predicts(
             .iter()
             .map(|a| {
                 if a.ty() == LogicalType::Str {
-                    let vals: Vec<String> =
-                        rows.iter().map(|r| eval_expr(a, r).as_str().to_string()).collect();
+                    let vals: Vec<String> = rows
+                        .iter()
+                        .map(|r| eval_expr(a, r).as_str().to_string())
+                        .collect();
                     let refs: Vec<&str> = vals.iter().map(|s| s.as_str()).collect();
                     Tensor::from_strings(&refs, 1)
                 } else {
@@ -294,7 +310,10 @@ mod tests {
             ty: LogicalType::Int64,
         };
         assert_eq!(eval_expr(&e, &row()), Scalar::Null);
-        let isnull = E::IsNull { expr: Box::new(E::col(2, LogicalType::Int64)), negated: false };
+        let isnull = E::IsNull {
+            expr: Box::new(E::col(2, LogicalType::Int64)),
+            negated: false,
+        };
         assert_eq!(eval_expr(&isnull, &row()), Scalar::Bool(true));
     }
 
@@ -302,6 +321,9 @@ mod tests {
     fn keys_reject_null() {
         assert!(key_of(&row(), &[0, 1]).is_some());
         assert!(key_of(&row(), &[0, 2]).is_none());
-        assert_eq!(scalar_key(&Scalar::F64(1.5)), Some(KeyPart::F(1.5f64.to_bits())));
+        assert_eq!(
+            scalar_key(&Scalar::F64(1.5)),
+            Some(KeyPart::F(1.5f64.to_bits()))
+        );
     }
 }

@@ -57,7 +57,9 @@ impl<'a> RowEngine<'a> {
     /// Execute a plan into raw rows.
     pub fn run(&self, plan: &PhysicalPlan) -> Vec<Row> {
         match plan {
-            PhysicalPlan::Scan { table, projection, .. } => {
+            PhysicalPlan::Scan {
+                table, projection, ..
+            } => {
                 let frame = self
                     .tables
                     .get(table)
@@ -72,7 +74,8 @@ impl<'a> RowEngine<'a> {
             }
             PhysicalPlan::Filter { input, predicate } => {
                 let rows = self.run(input);
-                let (rows, pred) = prepare_predicts(rows, &[predicate.clone()], self.models);
+                let (rows, pred) =
+                    prepare_predicts(rows, std::slice::from_ref(predicate), self.models);
                 let pred = &pred[0];
                 rows.into_iter()
                     .filter(|r| matches!(eval_expr(pred, r), Scalar::Bool(true)))
@@ -85,11 +88,18 @@ impl<'a> RowEngine<'a> {
             PhysicalPlan::Project { input, exprs, .. } => {
                 let rows = self.run(input);
                 let (rows, exprs) = prepare_predicts(rows, exprs, self.models);
-                rows.iter().map(|r| exprs.iter().map(|e| eval_expr(e, r)).collect()).collect()
+                rows.iter()
+                    .map(|r| exprs.iter().map(|e| eval_expr(e, r)).collect())
+                    .collect()
             }
-            PhysicalPlan::Join { left, right, join_type, on, residual, .. } => {
-                self.join(left, right, *join_type, on, residual.as_ref())
-            }
+            PhysicalPlan::Join {
+                left,
+                right,
+                join_type,
+                on,
+                residual,
+                ..
+            } => self.join(left, right, *join_type, on, residual.as_ref()),
             PhysicalPlan::CrossJoin { left, right } => {
                 let l = self.run(left);
                 let r = self.run(right);
@@ -103,7 +113,12 @@ impl<'a> RowEngine<'a> {
                 }
                 out
             }
-            PhysicalPlan::Aggregate { input, group_by, aggs, .. } => {
+            PhysicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
                 let rows = self.run(input);
                 // PREDICT may sit inside group keys or aggregate arguments
                 // (Figure 4's `SUM(PREDICT(...))`): batch-prepare them all.
@@ -188,7 +203,10 @@ impl RowJoinTable {
 /// Hash the build rows on `keys` (NULL keys never match, so they are not
 /// inserted).
 pub fn build_row_table(rows: &[Row], keys: &[usize]) -> RowJoinTable {
-    assert!(!keys.is_empty(), "row joins require at least one equi key (plan bug)");
+    assert!(
+        !keys.is_empty(),
+        "row joins require at least one equi key (plan bug)"
+    );
     let mut map: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
     for (i, r) in rows.iter().enumerate() {
         if let Some(k) = key_of(r, keys) {
@@ -250,7 +268,7 @@ pub fn probe_row_table(
                 }
                 if !any {
                     let mut row = lrow.clone();
-                    row.extend(std::iter::repeat(Scalar::Null).take(rarity));
+                    row.extend(std::iter::repeat_n(Scalar::Null, rarity));
                     out.push(row);
                 }
             }
@@ -364,7 +382,10 @@ mod tests {
     fn setup() -> (HashMap<String, DataFrame>, Catalog) {
         let t = df(vec![
             ("id", Column::from_i64(vec![1, 2, 3, 4])),
-            ("grp", Column::from_str(vec!["a".into(), "b".into(), "a".into(), "b".into()])),
+            (
+                "grp",
+                Column::from_str(vec!["a".into(), "b".into(), "a".into(), "b".into()]),
+            ),
             ("v", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0])),
         ]);
         let u = df(vec![
@@ -397,9 +418,7 @@ mod tests {
 
     #[test]
     fn inner_join_matches() {
-        let out = run(
-            "select t.id, u.w from t, u where t.id = u.id order by t.id, u.w",
-        );
+        let out = run("select t.id, u.w from t, u where t.id = u.id order by t.id, u.w");
         assert_eq!(out.nrows(), 3); // id=2 once, id=3 twice
         assert_eq!(out.column(0).get(1), Scalar::I64(3));
     }
@@ -470,9 +489,7 @@ mod tests {
 
     #[test]
     fn case_and_like() {
-        let out = run(
-            "select sum(case when grp like 'a%' then 1 else 0 end) from t",
-        );
+        let out = run("select sum(case when grp like 'a%' then 1 else 0 end) from t");
         assert_eq!(out.column(0).get(0), Scalar::I64(2));
     }
 

@@ -8,7 +8,10 @@ use tqp_data::tpch::{queries, TpchConfig, TpchData};
 use tqp_exec::Backend;
 
 fn session() -> tqp_core::Session {
-    let data = TpchData::generate(&TpchConfig { scale_factor: 0.02, seed: 3 });
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.02,
+        seed: 3,
+    });
     let mut s = tqp_core::Session::new();
     s.register_tpch(&data);
     s
@@ -21,7 +24,9 @@ fn bench_backends(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("q{qn}"));
         g.sample_size(10);
         for backend in [Backend::Eager, Backend::Fused, Backend::Graph] {
-            let q = s.compile(sql, QueryConfig::default().backend(backend)).unwrap();
+            let q = s
+                .compile(sql, QueryConfig::default().backend(backend))
+                .unwrap();
             g.bench_function(format!("{backend:?}"), |b| {
                 b.iter(|| q.run(&s).unwrap().0.nrows())
             });

@@ -41,7 +41,10 @@ fn bench_join_micro(c: &mut Criterion) {
 }
 
 fn bench_join_queries(c: &mut Criterion) {
-    let data = TpchData::generate(&TpchConfig { scale_factor: 0.02, seed: 3 });
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.02,
+        seed: 3,
+    });
     let mut s = tqp_core::Session::new();
     s.register_tpch(&data);
     for qn in [3usize, 14] {
@@ -52,8 +55,10 @@ fn bench_join_queries(c: &mut Criterion) {
             let q = s
                 .compile(
                     sql,
-                    QueryConfig::default()
-                        .physical(PhysicalOptions { join: strat, agg: AggStrategy::Sort }),
+                    QueryConfig::default().physical(PhysicalOptions {
+                        join: strat,
+                        agg: AggStrategy::Sort,
+                    }),
                 )
                 .unwrap();
             g.bench_function(format!("{strat:?}"), |b| {

@@ -11,7 +11,11 @@ use tqp_tensor::strings::{like, LikePattern};
 use tqp_tensor::{Scalar, Tensor};
 
 fn make_f64(n: usize) -> Tensor {
-    Tensor::from_f64((0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 10.0).collect())
+    Tensor::from_f64(
+        (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 10.0)
+            .collect(),
+    )
 }
 
 fn bench_filter(c: &mut Criterion) {
@@ -66,7 +70,12 @@ fn bench_sort_take(c: &mut Criterion) {
 fn bench_like(c: &mut Criterion) {
     let mut g = c.benchmark_group("like");
     g.sample_size(10);
-    let words = ["forest green metal", "PROMO plated steel", "misty rose", "economy brushed tin"];
+    let words = [
+        "forest green metal",
+        "PROMO plated steel",
+        "misty rose",
+        "economy brushed tin",
+    ];
     let strs: Vec<&str> = (0..200_000).map(|i| words[i % 4]).collect();
     let col = Tensor::from_strings(&strs, 0);
     let pat = LikePattern::compile("%green%");

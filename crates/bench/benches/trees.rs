@@ -32,7 +32,10 @@ fn bench_tree_strategies(c: &mut Criterion) {
         let tree = DecisionTree::fit(
             &train_x,
             &train_y,
-            TreeParams { max_depth: depth, min_samples_split: 2 },
+            TreeParams {
+                max_depth: depth,
+                min_samples_split: 2,
+            },
         );
         let gemm = CompiledTrees::from_tree(&tree, TreeStrategy::Gemm);
         let trav = CompiledTrees::from_tree(&tree, TreeStrategy::Traversal);

@@ -28,7 +28,11 @@ fn main() {
             let _ = session.sql_baseline(sql).unwrap();
             None
         });
-        println!("  {:<34} {:>12}", "Spark-sim (row Volcano, CPU)", fmt_ms(spark));
+        println!(
+            "  {:<34} {:>12}",
+            "Spark-sim (row Volcano, CPU)",
+            fmt_ms(spark)
+        );
 
         // TQP on CPU (eager tensor kernels; fused differences are within
         // noise on small hosts — see the backends bench).
@@ -77,9 +81,21 @@ fn main() {
         print_row("TQP-Web (Wasm-sim scalar VM)", web, spark);
 
         println!("  -- shape checks --");
-        println!("  TQP-CPU speedup over Spark-sim : {:>5.1}x (paper: ~3x)", spark as f64 / cpu as f64);
-        println!("  TQP-GPU speedup over Spark-sim : {:>5.1}x (paper Q6: ~20x, Q14: ~6x)", spark as f64 / gpu as f64);
-        println!("  resident vs per-op GPU         : {:>5.1}x (paper: >4x vs BlazingSQL)", blz as f64 / gpu as f64);
-        println!("  web slowdown vs Spark-sim      : {:>5.1}x slower (paper: 'quite slow')", web as f64 / spark as f64);
+        println!(
+            "  TQP-CPU speedup over Spark-sim : {:>5.1}x (paper: ~3x)",
+            spark as f64 / cpu as f64
+        );
+        println!(
+            "  TQP-GPU speedup over Spark-sim : {:>5.1}x (paper Q6: ~20x, Q14: ~6x)",
+            spark as f64 / gpu as f64
+        );
+        println!(
+            "  resident vs per-op GPU         : {:>5.1}x (paper: >4x vs BlazingSQL)",
+            blz as f64 / gpu as f64
+        );
+        println!(
+            "  web slowdown vs Spark-sim      : {:>5.1}x slower (paper: 'quite slow')",
+            web as f64 / spark as f64
+        );
     }
 }

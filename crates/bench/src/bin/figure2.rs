@@ -35,5 +35,9 @@ fn main() {
     let path = std::path::Path::new("target/figure2_trace.json");
     std::fs::create_dir_all("target").ok();
     std::fs::write(path, &trace).expect("write trace");
-    println!("chrome trace written to {} ({} bytes)", path.display(), trace.len());
+    println!(
+        "chrome trace written to {} ({} bytes)",
+        path.display(),
+        trace.len()
+    );
 }

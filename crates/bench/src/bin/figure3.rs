@@ -19,7 +19,12 @@ fn main() {
         "backend", "device", "compile", "execute", "revenue", "artifact"
     );
     let mut reference: Option<String> = None;
-    for backend in [Backend::Eager, Backend::Fused, Backend::Graph, Backend::Wasm] {
+    for backend in [
+        Backend::Eager,
+        Backend::Fused,
+        Backend::Graph,
+        Backend::Wasm,
+    ] {
         for device in [Device::Cpu, Device::GpuSim] {
             // The Wasm backend models a browser: no CUDA there (the paper's
             // footnote 2 — WebGL fallback is CPU anyway).

@@ -66,7 +66,10 @@ fn main() {
     std::fs::create_dir_all("target").ok();
     let dot = q.to_dot("SELECT brand, SUM(CASE...), SUM(PREDICT(...)) FROM reviews GROUP BY brand");
     std::fs::write("target/figure4_executor.dot", &dot).expect("write dot");
-    println!("executor graph written to target/figure4_executor.dot ({} nodes)", dot.lines().count());
+    println!(
+        "executor graph written to target/figure4_executor.dot ({} nodes)",
+        dot.lines().count()
+    );
 
     // End-to-end unified (tensor program) vs split (row engine + per-batch
     // model invocation with row<->tensor conversion).
@@ -78,8 +81,15 @@ fn main() {
         let _ = session.sql_baseline(FIG4_SQL).unwrap();
         None
     });
-    println!("\nend-to-end execution (median of {} runs):", tqp_bench::runs());
-    println!("  {:<34} {:>12}", "split runtimes (row engine + ML)", fmt_ms(split));
+    println!(
+        "\nend-to-end execution (median of {} runs):",
+        tqp_bench::runs()
+    );
+    println!(
+        "  {:<34} {:>12}",
+        "split runtimes (row engine + ML)",
+        fmt_ms(split)
+    );
     print_row("unified tensor program (TQP)", unified, split);
     println!(
         "\nshape check: unified runtime is {:.1}x faster end-to-end (paper: \"end-to-end accelerate\")",

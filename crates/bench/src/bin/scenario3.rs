@@ -26,8 +26,9 @@ fn iris_features(frame: &tqp_data::DataFrame) -> (Tensor, Tensor) {
             x.push(frame.column_by_name(c).unwrap().get(i).as_f64());
         }
     }
-    let y: Vec<f64> =
-        (0..n).map(|i| frame.column_by_name("petal_width").unwrap().get(i).as_f64()).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| frame.column_by_name("petal_width").unwrap().get(i).as_f64())
+        .collect();
     (Tensor::from_f64_matrix(x, n, 3), Tensor::from_f64(y))
 }
 
@@ -39,10 +40,16 @@ fn main() {
     let (x, y) = iris_features(&iris);
     let linear = LinearRegression::fit(&x, &y, 2000, 0.3);
     println!("[iris] linear regression MSE: {:.4}", linear.mse(&x, &y));
-    let gbt = GradientBoostedTrees::fit(&x, &y, 40, 0.2, TreeParams {
-        max_depth: 3,
-        min_samples_split: 4,
-    });
+    let gbt = GradientBoostedTrees::fit(
+        &x,
+        &y,
+        40,
+        0.2,
+        TreeParams {
+            max_depth: 3,
+            min_samples_split: 4,
+        },
+    );
     let gbt_gemm = CompiledTrees::from_gbt(&gbt, TreeStrategy::Gemm);
     let gbt_trav = CompiledTrees::from_gbt(&gbt, TreeStrategy::Traversal);
     let mlp = Mlp::fit(&x, &y, 12, 400, 0.02, 5);

@@ -34,8 +34,8 @@ fn main() {
         tqp_bench::scale_factor()
     );
     println!(
-        "  {:<5} {:>6} {:>12} {:>12} {:>9}  {}",
-        "query", "rows", "row engine", "TQP", "speedup", "validated"
+        "  {:<5} {:>6} {:>12} {:>12} {:>9}  validated",
+        "query", "rows", "row engine", "TQP", "speedup"
     );
     let mut total_tqp = 0u64;
     let mut total_row = 0u64;

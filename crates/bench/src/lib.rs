@@ -12,20 +12,29 @@ use tqp_data::tpch::{TpchConfig, TpchData};
 
 /// Scale factor from `TQP_SF` (default 0.1).
 pub fn scale_factor() -> f64 {
-    std::env::var("TQP_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1)
+    std::env::var("TQP_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1)
 }
 
 /// Measured runs (and warm-ups) from `TQP_RUNS` (default 5, the paper's
 /// protocol).
 pub fn runs() -> usize {
-    std::env::var("TQP_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
+    std::env::var("TQP_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
 }
 
 /// Build a session with the TPC-H tables at [`scale_factor`].
 pub fn tpch_session() -> Session {
     let sf = scale_factor();
     eprintln!("generating TPC-H data at SF {sf} ...");
-    let data = TpchData::generate(&TpchConfig { scale_factor: sf, seed: 20_220_901 });
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: sf,
+        seed: 20_220_901,
+    });
     let mut s = Session::new();
     s.register_tpch(&data);
     s

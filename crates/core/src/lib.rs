@@ -2,9 +2,11 @@
 //!
 //! The Rust equivalent of the paper's pip-installable `tqp` Python package:
 //! a [`Session`] holds tables (ingested to the tensor format of §2.1) and
-//! registered `PREDICT` models; [`Session::compile`] runs the 4-layer
-//! compilation stack (parse → bind → optimize → plan → executor) and
-//! returns a [`CompiledQuery`] bound to a backend/device configuration.
+//! registered `PREDICT` models; [`Session::compile`] runs the full
+//! compilation stack (parse → bind → optimize → plan → **lower to the
+//! [`TensorProgram`](tqp_exec::program::TensorProgram)**) and returns a
+//! [`CompiledQuery`] bound to a backend/device configuration. Every
+//! backend executes the same lowered program — see `ARCHITECTURE.md`.
 //!
 //! The paper's Figure 3 one-line backend switch looks like this:
 //!
@@ -143,8 +145,10 @@ impl Session {
     /// tensor representation (paper §2.1 — numerics zero-copy).
     pub fn register_table(&mut self, name: &str, frame: DataFrame) {
         let key = name.to_ascii_lowercase();
-        self.catalog.register(&key, frame.schema().clone(), frame.nrows());
-        self.storage.insert(key.clone(), tqp_data::ingest::frame_to_tensors(&frame));
+        self.catalog
+            .register(&key, frame.schema().clone(), frame.nrows());
+        self.storage
+            .insert(key.clone(), tqp_data::ingest::frame_to_tensors(&frame));
         self.frames.insert(key, frame);
     }
 
@@ -199,7 +203,9 @@ impl Session {
             gpu_strategy: cfg.gpu_strategy,
             workers: cfg.workers,
         };
-        Ok(CompiledQuery { executor: Executor::compile(&plan, exec_cfg) })
+        Ok(CompiledQuery {
+            executor: Executor::compile(&plan, exec_cfg),
+        })
     }
 
     /// Compile a pre-built physical plan (the external/JSON plan frontend —
@@ -211,7 +217,9 @@ impl Session {
             gpu_strategy: cfg.gpu_strategy,
             workers: cfg.workers,
         };
-        CompiledQuery { executor: Executor::compile(plan, exec_cfg) }
+        CompiledQuery {
+            executor: Executor::compile(plan, exec_cfg),
+        }
     }
 
     /// One-shot convenience: compile + run on the default configuration.
@@ -239,7 +247,9 @@ impl CompiledQuery {
     /// Execute against the session. Returns the result frame and stats
     /// (wall time; modeled device time on the simulated GPU).
     pub fn run(&self, session: &Session) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
-        Ok(self.executor.run(&session.storage, &session.models, &session.profiler))
+        Ok(self
+            .executor
+            .run(&session.storage, &session.models, &session.profiler))
     }
 
     /// The underlying physical plan.
@@ -303,8 +313,15 @@ mod tests {
         let s = session();
         let sql = "select id, v * 2 as vv from t where v > 1.9 order by id";
         let reference = s.sql_baseline(sql).unwrap();
-        for backend in [Backend::Eager, Backend::Fused, Backend::Graph, Backend::Wasm] {
-            let q = s.compile(sql, QueryConfig::default().backend(backend)).unwrap();
+        for backend in [
+            Backend::Eager,
+            Backend::Fused,
+            Backend::Graph,
+            Backend::Wasm,
+        ] {
+            let q = s
+                .compile(sql, QueryConfig::default().backend(backend))
+                .unwrap();
             let (out, _) = q.run(&s).unwrap();
             assert_eq!(out.nrows(), reference.nrows(), "{backend:?}");
             for i in 0..out.nrows() {
@@ -317,7 +334,10 @@ mod tests {
     fn gpu_sim_reports_modeled_time() {
         let s = session();
         let q = s
-            .compile("select count(*) from t", QueryConfig::default().device(Device::GpuSim))
+            .compile(
+                "select count(*) from t",
+                QueryConfig::default().device(Device::GpuSim),
+            )
             .unwrap();
         let (_, stats) = q.run(&s).unwrap();
         assert!(stats.gpu_modeled_us.is_some());
@@ -333,7 +353,9 @@ mod tests {
     #[test]
     fn explain_and_dot() {
         let s = session();
-        let q = s.compile("select id from t where v > 2.0", QueryConfig::default()).unwrap();
+        let q = s
+            .compile("select id from t where v > 2.0", QueryConfig::default())
+            .unwrap();
         assert!(q.explain().contains("Scan(t)"));
         assert!(q.to_dot("test").contains("digraph"));
     }
@@ -341,7 +363,9 @@ mod tests {
     #[test]
     fn plan_frontend_accepts_external_plans() {
         let s = session();
-        let q1 = s.compile("select id from t", QueryConfig::default()).unwrap();
+        let q1 = s
+            .compile("select id from t", QueryConfig::default())
+            .unwrap();
         // Ship the plan as JSON (the Spark-frontend path) and re-import.
         let json = q1.plan().to_json();
         let plan = PhysicalPlan::from_json(&json).unwrap();

@@ -61,6 +61,7 @@ impl Column {
     }
 
     /// Column from owned strings.
+    #[allow(clippy::should_implement_trait)] // constructor family naming, not parsing
     pub fn from_str(v: Vec<String>) -> Column {
         Column::Str(Arc::new(v))
     }
@@ -127,13 +128,9 @@ impl Column {
     /// representable in a `DataFrame`; callers must substitute defaults).
     pub fn from_scalars(ty: LogicalType, values: &[Scalar]) -> Column {
         match ty {
-            LogicalType::Bool => {
-                Column::from_bool(values.iter().map(|s| s.as_bool()).collect())
-            }
+            LogicalType::Bool => Column::from_bool(values.iter().map(|s| s.as_bool()).collect()),
             LogicalType::Int64 => Column::from_i64(values.iter().map(|s| s.as_i64()).collect()),
-            LogicalType::Float64 => {
-                Column::from_f64(values.iter().map(|s| s.as_f64()).collect())
-            }
+            LogicalType::Float64 => Column::from_f64(values.iter().map(|s| s.as_f64()).collect()),
             LogicalType::Date => Column::from_date_ns(values.iter().map(|s| s.as_i64()).collect()),
             LogicalType::Str => {
                 Column::from_str(values.iter().map(|s| s.as_str().to_owned()).collect())

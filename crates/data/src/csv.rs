@@ -13,19 +13,38 @@ use crate::frame::{DataFrame, Schema};
 pub enum CsvError {
     Io(std::io::Error),
     /// A cell failed to parse as the schema's type.
-    Parse { line: usize, column: String, value: String },
+    Parse {
+        line: usize,
+        column: String,
+        value: String,
+    },
     /// Wrong number of cells in a row.
-    Arity { line: usize, expected: usize, got: usize },
+    Arity {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Parse { line, column, value } => {
-                write!(f, "csv parse error at line {line}, column {column}: {value:?}")
+            CsvError::Parse {
+                line,
+                column,
+                value,
+            } => {
+                write!(
+                    f,
+                    "csv parse error at line {line}, column {column}: {value:?}"
+                )
             }
-            CsvError::Arity { line, expected, got } => {
+            CsvError::Arity {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "csv line {line}: expected {expected} cells, got {got}")
             }
         }
@@ -78,12 +97,19 @@ fn split_line(line: &str) -> Vec<String> {
 /// Write a frame as CSV with a header row.
 pub fn write_csv(frame: &DataFrame, path: &Path) -> Result<(), CsvError> {
     let mut out = BufWriter::new(std::fs::File::create(path)?);
-    let header: Vec<String> =
-        frame.schema().fields.iter().map(|f| escape(&f.name)).collect();
+    let header: Vec<String> = frame
+        .schema()
+        .fields
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
     writeln!(out, "{}", header.join(","))?;
     for i in 0..frame.nrows() {
-        let row: Vec<String> =
-            frame.columns().iter().map(|c| escape(&c.display(i))).collect();
+        let row: Vec<String> = frame
+            .columns()
+            .iter()
+            .map(|c| escape(&c.display(i)))
+            .collect();
         writeln!(out, "{}", row.join(","))?;
     }
     out.flush()?;
@@ -105,7 +131,11 @@ pub fn read_csv(schema: &Schema, path: &Path) -> Result<DataFrame, CsvError> {
         }
         let cells = split_line(&line);
         if cells.len() != ncols {
-            return Err(CsvError::Arity { line: lineno + 2, expected: ncols, got: cells.len() });
+            return Err(CsvError::Arity {
+                line: lineno + 2,
+                expected: ncols,
+                got: cells.len(),
+            });
         }
         for (b, c) in builders.iter_mut().zip(cells) {
             b.push(c);
@@ -189,7 +219,10 @@ mod tests {
     fn split_line_cases() {
         assert_eq!(split_line("a,b,c"), vec!["a", "b", "c"]);
         assert_eq!(split_line("\"a,b\",c"), vec!["a,b", "c"]);
-        assert_eq!(split_line("\"he said \"\"hi\"\"\",x"), vec!["he said \"hi\"", "x"]);
+        assert_eq!(
+            split_line("\"he said \"\"hi\"\"\",x"),
+            vec!["he said \"hi\"", "x"]
+        );
         assert_eq!(split_line(""), vec![""]);
     }
 
@@ -203,7 +236,10 @@ mod tests {
             crate::frame::Field::new("a", LogicalType::Int64),
             crate::frame::Field::new("b", LogicalType::Int64),
         ]);
-        assert!(matches!(read_csv(&schema, &path), Err(CsvError::Arity { .. })));
+        assert!(matches!(
+            read_csv(&schema, &path),
+            Err(CsvError::Arity { .. })
+        ));
     }
 
     #[test]

@@ -50,21 +50,47 @@ pub fn iris() -> DataFrame {
 
 /// Positive sentiment vocabulary.
 pub const POSITIVE_WORDS: &[&str] = &[
-    "great", "excellent", "love", "perfect", "amazing", "wonderful", "fantastic", "best",
-    "happy", "recommend", "sturdy", "fast", "beautiful", "comfortable", "reliable",
+    "great",
+    "excellent",
+    "love",
+    "perfect",
+    "amazing",
+    "wonderful",
+    "fantastic",
+    "best",
+    "happy",
+    "recommend",
+    "sturdy",
+    "fast",
+    "beautiful",
+    "comfortable",
+    "reliable",
 ];
 
 /// Negative sentiment vocabulary.
 pub const NEGATIVE_WORDS: &[&str] = &[
-    "terrible", "awful", "broke", "refund", "disappointed", "waste", "poor", "worst",
-    "slow", "cheap", "defective", "useless", "returned", "flimsy", "horrible",
+    "terrible",
+    "awful",
+    "broke",
+    "refund",
+    "disappointed",
+    "waste",
+    "poor",
+    "worst",
+    "slow",
+    "cheap",
+    "defective",
+    "useless",
+    "returned",
+    "flimsy",
+    "horrible",
 ];
 
 /// Neutral filler vocabulary.
 pub const NEUTRAL_WORDS: &[&str] = &[
-    "the", "product", "arrived", "box", "ordered", "item", "battery", "screen", "device",
-    "works", "used", "bought", "price", "shipping", "day", "week", "tablet", "kids",
-    "gift", "second", "color", "size", "setup", "manual", "charger",
+    "the", "product", "arrived", "box", "ordered", "item", "battery", "screen", "device", "works",
+    "used", "bought", "price", "shipping", "day", "week", "tablet", "kids", "gift", "second",
+    "color", "size", "setup", "manual", "charger",
 ];
 
 /// Brands appearing in the synthetic review stream.
@@ -251,6 +277,9 @@ mod tests {
         }
         let p = pos_hits as f64 / pos_total as f64;
         let n = neg_hits as f64 / neg_total as f64;
-        assert!(p > n + 0.2, "positive reviews should use positive words more ({p} vs {n})");
+        assert!(
+            p > n + 0.2,
+            "positive reviews should use positive words more ({p} vs {n})"
+        );
     }
 }

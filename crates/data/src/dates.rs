@@ -20,7 +20,10 @@ impl Date {
     /// Construct, panicking on out-of-range month/day.
     pub fn new(year: i32, month: u32, day: u32) -> Date {
         assert!((1..=12).contains(&month), "month {month} out of range");
-        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} invalid");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} invalid"
+        );
         Date { year, month, day }
     }
 
@@ -54,7 +57,11 @@ impl Date {
         if it.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
             return None;
         }
-        Some(Date { year: y, month: m, day: d })
+        Some(Date {
+            year: y,
+            month: m,
+            day: d,
+        })
     }
 
     /// Add a number of days.
@@ -197,7 +204,10 @@ mod tests {
         assert_eq!(Date::new(1996, 1, 31).add_months(1), Date::new(1996, 2, 29));
         assert_eq!(Date::new(1995, 1, 31).add_months(1), Date::new(1995, 2, 28));
         // Negative month crossing year boundary.
-        assert_eq!(Date::new(1995, 1, 15).add_months(-2), Date::new(1994, 11, 15));
+        assert_eq!(
+            Date::new(1995, 1, 15).add_months(-2),
+            Date::new(1994, 11, 15)
+        );
     }
 
     #[test]

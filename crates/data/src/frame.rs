@@ -14,7 +14,10 @@ pub struct Field {
 impl Field {
     /// Construct a field.
     pub fn new(name: impl Into<String>, ty: LogicalType) -> Field {
-        Field { name: name.into(), ty }
+        Field {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -42,7 +45,9 @@ impl Schema {
 
     /// Index of a column by (case-insensitive) name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
     }
 
     /// Field lookup by name.
@@ -68,7 +73,11 @@ impl DataFrame {
             assert_eq!(c.len(), nrows, "column {} length mismatch", f.name);
             assert_eq!(c.logical_type(), f.ty, "column {} type mismatch", f.name);
         }
-        DataFrame { schema, columns, nrows }
+        DataFrame {
+            schema,
+            columns,
+            nrows,
+        }
     }
 
     /// An empty frame with the given schema.
@@ -156,12 +165,21 @@ impl DataFrame {
         }
         let mut out = String::new();
         let fmt_row = |row: &[String], widths: &[usize]| -> String {
-            let cols: Vec<String> =
-                row.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            let cols: Vec<String> = row
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
             format!("| {} |", cols.join(" | "))
         };
-        let sep: String =
-            format!("+{}+", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+"));
+        let sep: String = format!(
+            "+{}+",
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("+")
+        );
         out.push_str(&sep);
         out.push('\n');
         out.push_str(&fmt_row(&headers, &widths));
@@ -184,7 +202,10 @@ impl DataFrame {
 /// `(name, column)` pairs, inferring the schema from column types.
 pub fn df(pairs: Vec<(&str, Column)>) -> DataFrame {
     let schema = Schema::new(
-        pairs.iter().map(|(n, c)| Field::new(*n, c.logical_type())).collect(),
+        pairs
+            .iter()
+            .map(|(n, c)| Field::new(*n, c.logical_type()))
+            .collect(),
     );
     DataFrame::new(schema, pairs.into_iter().map(|(_, c)| c).collect())
 }
@@ -197,7 +218,10 @@ mod tests {
         df(vec![
             ("id", Column::from_i64(vec![1, 2, 3])),
             ("price", Column::from_f64(vec![9.5, 2.0, 4.25])),
-            ("name", Column::from_str(vec!["a".into(), "b".into(), "c".into()])),
+            (
+                "name",
+                Column::from_str(vec!["a".into(), "b".into(), "c".into()]),
+            ),
         ])
     }
 
@@ -209,11 +233,10 @@ mod tests {
         assert_eq!(f.schema().index_of("PRICE"), Some(1));
         assert_eq!(f.column_by_name("id").unwrap().get(2), Scalar::I64(3));
         assert!(f.column_by_name("missing").is_none());
-        assert_eq!(f.row(0), vec![
-            Scalar::I64(1),
-            Scalar::F64(9.5),
-            Scalar::Str("a".into())
-        ]);
+        assert_eq!(
+            f.row(0),
+            vec![Scalar::I64(1), Scalar::F64(9.5), Scalar::Str("a".into())]
+        );
     }
 
     #[test]

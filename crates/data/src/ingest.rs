@@ -72,7 +72,9 @@ pub fn tensor_to_column(t: &Tensor, ty: LogicalType) -> Column {
         LogicalType::Int64 => {
             Column::from_i64(t.cast(DType::I64).expect("int result cast").to_i64_vec())
         }
-        LogicalType::Float64 => Column::from_f64(t.cast(DType::F64).expect("f64 cast").to_f64_vec()),
+        LogicalType::Float64 => {
+            Column::from_f64(t.cast(DType::F64).expect("f64 cast").to_f64_vec())
+        }
         LogicalType::Date => {
             Column::from_date_ns(t.cast(DType::I64).expect("date cast").to_i64_vec())
         }
@@ -98,7 +100,10 @@ pub fn tensors_to_frame(table: &TensorTable) -> DataFrame {
 /// Build a frame from tensors plus explicit fields (used by executors whose
 /// output schema is computed by the planner).
 pub fn frame_from_tensors(fields: Vec<Field>, tensors: Vec<Tensor>) -> DataFrame {
-    let table = TensorTable { schema: Schema::new(fields), tensors };
+    let table = TensorTable {
+        schema: Schema::new(fields),
+        tensors,
+    };
     tensors_to_frame(&table)
 }
 
@@ -115,7 +120,11 @@ mod tests {
             Column::Float64(v) => v.as_ptr(),
             _ => unreachable!(),
         };
-        assert_eq!(t.tensors[0].as_f64().as_ptr(), col_ptr, "must share the buffer");
+        assert_eq!(
+            t.tensors[0].as_f64().as_ptr(),
+            col_ptr,
+            "must share the buffer"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        TpchConfig { scale_factor: 0.01, seed: 0x7C9A_11B5 }
+        TpchConfig {
+            scale_factor: 0.01,
+            seed: 0x7C9A_11B5,
+        }
     }
 }
 
@@ -62,7 +65,16 @@ impl TpchData {
         let partsupp = gen_partsupp(cfg, &sizes);
         let customer = gen_customer(cfg, &sizes);
         let (orders, lineitem) = gen_orders_lineitem(cfg, &sizes);
-        TpchData { region, nation, supplier, part, partsupp, customer, orders, lineitem }
+        TpchData {
+            region,
+            nation,
+            supplier,
+            part,
+            partsupp,
+            customer,
+            orders,
+            lineitem,
+        }
     }
 
     /// Look up a table by enum.
@@ -81,7 +93,10 @@ impl TpchData {
 
     /// `(name, frame)` pairs for catalog registration.
     pub fn tables(&self) -> Vec<(&'static str, &DataFrame)> {
-        Table::ALL.iter().map(|&t| (t.name(), self.table(t))).collect()
+        Table::ALL
+            .iter()
+            .map(|&t| (t.name(), self.table(t)))
+            .collect()
     }
 }
 
@@ -111,7 +126,11 @@ fn current_date() -> Date {
 }
 
 fn rng_for(cfg: &TpchConfig, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    StdRng::seed_from_u64(
+        cfg.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream),
+    )
 }
 
 /// Money values: uniform in [lo, hi] rounded to cents.
@@ -124,7 +143,9 @@ fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
 fn vstring(rng: &mut StdRng) -> String {
     const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
     let len = rng.gen_range(10..=25);
-    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
 }
 
 /// Random comment text of `words` words from the TPC-H-ish vocabulary.
@@ -206,7 +227,12 @@ fn gen_supplier(cfg: &TpchConfig, sizes: &Sizes) -> DataFrame {
         bals.push(money(&mut rng, -999.99, 9999.99));
         // Q16 filters suppliers whose comment matches '%Customer%Complaints%'.
         let c = if k % 197 == 3 {
-            format!("{} Customer {} Complaints {}", comment(&mut rng, 2), comment(&mut rng, 2), comment(&mut rng, 2))
+            format!(
+                "{} Customer {} Complaints {}",
+                comment(&mut rng, 2),
+                comment(&mut rng, 2),
+                comment(&mut rng, 2)
+            )
         } else {
             comment(&mut rng, 8)
         };
@@ -460,7 +486,12 @@ fn gen_orders_lineitem(cfg: &TpchConfig, sizes: &Sizes) -> (DataFrame, DataFrame
         o_ship.push(0i64);
         // Q13 excludes comments matching '%special%requests%'; inject ~1.5%.
         let c = if rng.gen_bool(0.015) {
-            format!("{} special {} requests {}", comment(&mut rng, 2), comment(&mut rng, 1), comment(&mut rng, 2))
+            format!(
+                "{} special {} requests {}",
+                comment(&mut rng, 2),
+                comment(&mut rng, 1),
+                comment(&mut rng, 2)
+            )
         } else {
             comment(&mut rng, 6)
         };
@@ -510,7 +541,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> TpchData {
-        TpchData::generate(&TpchConfig { scale_factor: 0.001, seed: 42 })
+        TpchData::generate(&TpchConfig {
+            scale_factor: 0.001,
+            seed: 42,
+        })
     }
 
     #[test]
@@ -521,7 +555,10 @@ mod tests {
         for r in [0, a.lineitem.nrows() - 1] {
             assert_eq!(a.lineitem.row(r), b.lineitem.row(r));
         }
-        let c = TpchData::generate(&TpchConfig { scale_factor: 0.001, seed: 43 });
+        let c = TpchData::generate(&TpchConfig {
+            scale_factor: 0.001,
+            seed: 43,
+        });
         assert_ne!(a.lineitem.row(0), c.lineitem.row(0));
     }
 
@@ -601,7 +638,10 @@ mod tests {
 
     #[test]
     fn predicate_selectivities_plausible() {
-        let d = TpchData::generate(&TpchConfig { scale_factor: 0.005, seed: 7 });
+        let d = TpchData::generate(&TpchConfig {
+            scale_factor: 0.005,
+            seed: 7,
+        });
         // Q6-style: shipdate in 1994, discount in [0.05, 0.07], qty < 24.
         let ship = d.lineitem.column_by_name("l_shipdate").unwrap();
         let disc = d.lineitem.column_by_name("l_discount").unwrap();
@@ -635,7 +675,11 @@ mod tests {
         let ship = d.lineitem.column_by_name("l_shipdate").unwrap();
         let st = d.lineitem.column_by_name("l_linestatus").unwrap();
         for i in 0..d.lineitem.nrows() {
-            let expect = if ship.get(i).as_i64() <= today { "F" } else { "O" };
+            let expect = if ship.get(i).as_i64() <= today {
+                "F"
+            } else {
+                "O"
+            };
             assert_eq!(st.get(i).as_str(), expect);
         }
     }

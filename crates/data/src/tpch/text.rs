@@ -5,17 +5,98 @@
 
 /// The 92 part-name colors of dbgen (`P_NAME` is 5 of these joined).
 pub const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab",
-    "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
-    "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
-    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint",
-    "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
-    "peach", "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy",
-    "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke",
-    "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
-    "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 
 /// `P_TYPE` syllable 1.
@@ -31,14 +112,24 @@ pub const CONTAINER_S1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
 pub const CONTAINER_S2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Customer market segments.
-pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities.
 pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Lineitem ship instructions.
-pub const INSTRUCTIONS: &[&str] =
-    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const INSTRUCTIONS: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Lineitem ship modes.
 pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
@@ -78,13 +169,63 @@ pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EA
 /// Comment vocabulary (condensed from dbgen's grammar; enough variety for
 /// realistic LIKE selectivity).
 pub const COMMENT_WORDS: &[&str] = &[
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "bold",
-    "regular", "express", "even", "silent", "pending", "unusual", "special", "requests",
-    "deposits", "packages", "accounts", "instructions", "theodolites", "excuses", "platelets",
-    "foxes", "ideas", "dependencies", "pinto", "beans", "asymptotes", "courts", "dolphins",
-    "multipliers", "sauternes", "warhorses", "sheaves", "realms", "sentiments", "gifts",
-    "braids", "nag", "sleep", "wake", "haggle", "cajole", "integrate", "detect", "engage",
-    "about", "above", "according", "across", "against", "along", "the", "and", "are", "use",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "bold",
+    "regular",
+    "express",
+    "even",
+    "silent",
+    "pending",
+    "unusual",
+    "special",
+    "requests",
+    "deposits",
+    "packages",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "excuses",
+    "platelets",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "pinto",
+    "beans",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warhorses",
+    "sheaves",
+    "realms",
+    "sentiments",
+    "gifts",
+    "braids",
+    "nag",
+    "sleep",
+    "wake",
+    "haggle",
+    "cajole",
+    "integrate",
+    "detect",
+    "engage",
+    "about",
+    "above",
+    "according",
+    "across",
+    "against",
+    "along",
+    "the",
+    "and",
+    "are",
+    "use",
 ];
 
 #[cfg(test)]

@@ -48,7 +48,10 @@ pub fn aggregate(
         .iter()
         .map(|g| {
             let (v, validity) = eval(g, input, models);
-            assert!(validity.is_none(), "NULL group keys unsupported in the tensor engine");
+            assert!(
+                validity.is_none(),
+                "NULL group keys unsupported in the tensor engine"
+            );
             v
         })
         .collect();
@@ -64,8 +67,7 @@ fn global_aggregate(input: &Batch, aggs: &[AggCall], models: &ModelRegistry) -> 
         .map(|call| match call.func {
             AggFunc::CountStar => Tensor::from_i64(vec![input.nrows() as i64]),
             _ => {
-                let (vals, validity) =
-                    eval(call.arg.as_ref().expect("agg arg"), input, models);
+                let (vals, validity) = eval(call.arg.as_ref().expect("agg arg"), input, models);
                 let (vals, n_valid) = apply_validity(vals, validity);
                 match call.func {
                     AggFunc::Sum if call.ty == LogicalType::Int64 => {
@@ -74,13 +76,15 @@ fn global_aggregate(input: &Batch, aggs: &[AggCall], models: &ModelRegistry) -> 
                     AggFunc::Sum => Tensor::from_f64(vec![sum_f64(&vals)]),
                     AggFunc::Avg => {
                         let s = sum_f64(&vals);
-                        Tensor::from_f64(vec![if n_valid == 0 { 0.0 } else { s / n_valid as f64 }])
+                        Tensor::from_f64(vec![if n_valid == 0 {
+                            0.0
+                        } else {
+                            s / n_valid as f64
+                        }])
                     }
                     AggFunc::Min | AggFunc::Max => global_minmax(&vals, call),
                     AggFunc::Count => Tensor::from_i64(vec![n_valid as i64]),
-                    AggFunc::CountDistinct => {
-                        Tensor::from_i64(vec![count_distinct_all(&vals)])
-                    }
+                    AggFunc::CountDistinct => Tensor::from_i64(vec![count_distinct_all(&vals)]),
                     AggFunc::CountStar => unreachable!(),
                 }
             }
@@ -148,7 +152,12 @@ fn apply_validity(vals: Tensor, validity: Option<Tensor>) -> (Tensor, usize) {
 // Sort strategy
 // ---------------------------------------------------------------------
 
-fn sort_aggregate(input: &Batch, keys: &[Tensor], aggs: &[AggCall], models: &ModelRegistry) -> Batch {
+fn sort_aggregate(
+    input: &Batch,
+    keys: &[Tensor],
+    aggs: &[AggCall],
+    models: &ModelRegistry,
+) -> Batch {
     let n = input.nrows();
     let sort_keys: Vec<SortKey> = keys.iter().map(|k| SortKey::asc(k.clone())).collect();
     let perm = argsort_multi(&sort_keys);
@@ -156,9 +165,20 @@ fn sort_aggregate(input: &Batch, keys: &[Tensor], aggs: &[AggCall], models: &Mod
     let key_refs: Vec<&Tensor> = sorted_keys.iter().collect();
     let groups = group_ids(&key_refs);
 
-    let mut columns: Vec<Tensor> = sorted_keys.iter().map(|k| take(k, &groups.firsts)).collect();
+    let mut columns: Vec<Tensor> = sorted_keys
+        .iter()
+        .map(|k| take(k, &groups.firsts))
+        .collect();
     for call in aggs {
-        columns.push(one_agg_sorted(input, call, &perm, &groups, &sorted_keys, n, models));
+        columns.push(one_agg_sorted(
+            input,
+            call,
+            &perm,
+            &groups,
+            &sorted_keys,
+            n,
+            models,
+        ));
     }
     Batch::new(columns)
 }
@@ -205,12 +225,9 @@ fn reduce_by_ids(vals: &Tensor, ids: &Tensor, g: usize, call: &AggCall) -> Tenso
         }
         AggFunc::Sum => segmented_reduce(vals, ids, g, AggFn::Sum),
         AggFunc::Avg => segmented_reduce(vals, ids, g, AggFn::Avg),
-        AggFunc::Count => segmented_reduce_i64(
-            &Tensor::from_i64(vec![1; vals.nrows()]),
-            ids,
-            g,
-            AggFn::Sum,
-        ),
+        AggFunc::Count => {
+            segmented_reduce_i64(&Tensor::from_i64(vec![1; vals.nrows()]), ids, g, AggFn::Sum)
+        }
         AggFunc::Min | AggFunc::Max => {
             let min = call.func == AggFunc::Min;
             if vals.dtype() == DType::U8 {
@@ -269,17 +286,17 @@ fn distinct_per_group(
     groups: &Groups,
 ) -> Tensor {
     // Re-sort within the key order by value (stable, so key order holds).
-    let mut all_keys: Vec<SortKey> = sorted_keys.iter().map(|k| SortKey::asc(k.clone())).collect();
+    let mut all_keys: Vec<SortKey> = sorted_keys
+        .iter()
+        .map(|k| SortKey::asc(k.clone()))
+        .collect();
     all_keys.push(SortKey::asc(vals_sorted_by_keys.clone()));
     // Sorting by (keys..., val) from scratch: keys are already grouped, so a
     // stable multi-key sort reproduces group order with values ordered.
     let perm2 = argsort_multi(&all_keys);
     let vals2 = take(vals_sorted_by_keys, &perm2);
     let ids2 = take(&groups.ids, &perm2);
-    let keep = match validity {
-        None => None,
-        Some(m) => Some(mask_to_indices(&take(&m, &perm2))),
-    };
+    let keep = validity.map(|m| mask_to_indices(&take(&m, &perm2)));
     let (vals2, ids2) = match keep {
         None => (vals2, ids2),
         Some(idx) => (take(&vals2, &idx), take(&ids2, &idx)),
@@ -294,7 +311,12 @@ fn distinct_per_group(
 // Hash strategy
 // ---------------------------------------------------------------------
 
-fn hash_aggregate(input: &Batch, keys: &[Tensor], aggs: &[AggCall], models: &ModelRegistry) -> Batch {
+fn hash_aggregate(
+    input: &Batch,
+    keys: &[Tensor],
+    aggs: &[AggCall],
+    models: &ModelRegistry,
+) -> Batch {
     let n = input.nrows();
     let key_refs: Vec<&Tensor> = keys.iter().collect();
     let hashes = hash_rows(&key_refs);
@@ -331,11 +353,9 @@ fn hash_aggregate(input: &Batch, keys: &[Tensor], aggs: &[AggCall], models: &Mod
     let mut columns: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
     for call in aggs {
         let col = match call.func {
-            AggFunc::CountStar => tqp_tensor::index::scatter_add_i64(
-                g,
-                &ids,
-                &Tensor::from_i64(vec![1; n]),
-            ),
+            AggFunc::CountStar => {
+                tqp_tensor::index::scatter_add_i64(g, &ids, &Tensor::from_i64(vec![1; n]))
+            }
             AggFunc::CountDistinct => {
                 let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
                 // Sort by (gid, value) then count runs per gid.
@@ -396,12 +416,24 @@ mod tests {
     }
 
     fn call(func: AggFunc, col: usize, ty: LogicalType) -> AggCall {
-        let arg_ty = if col == 1 { LogicalType::Float64 } else { LogicalType::Int64 };
-        AggCall { func, arg: Some(E::col(col, arg_ty)), ty }
+        let arg_ty = if col == 1 {
+            LogicalType::Float64
+        } else {
+            LogicalType::Int64
+        };
+        AggCall {
+            func,
+            arg: Some(E::col(col, arg_ty)),
+            ty,
+        }
     }
 
     fn star() -> AggCall {
-        AggCall { func: AggFunc::CountStar, arg: None, ty: LogicalType::Int64 }
+        AggCall {
+            func: AggFunc::CountStar,
+            arg: None,
+            ty: LogicalType::Int64,
+        }
     }
 
     fn run(strategy: Strategy) -> Batch {

@@ -24,14 +24,22 @@ impl Batch {
             assert_eq!(c.nrows(), nrows, "batch columns must align");
         }
         let validity = vec![None; columns.len()];
-        Batch { columns, validity, nrows }
+        Batch {
+            columns,
+            validity,
+            nrows,
+        }
     }
 
     /// Build with explicit validity masks. Enforces the same column-length
     /// alignment as [`Batch::new`], plus mask/column alignment — a
     /// misaligned validity mask would silently mis-NULL rows downstream.
     pub fn with_validity(columns: Vec<Tensor>, validity: Vec<Option<Tensor>>) -> Batch {
-        assert_eq!(columns.len(), validity.len(), "one validity slot per column");
+        assert_eq!(
+            columns.len(),
+            validity.len(),
+            "one validity slot per column"
+        );
         let nrows = columns.first().map_or(0, |c| c.nrows());
         for c in &columns {
             assert_eq!(c.nrows(), nrows, "batch columns must align");
@@ -39,7 +47,11 @@ impl Batch {
         for v in validity.iter().flatten() {
             assert_eq!(v.nrows(), nrows, "validity masks must align with columns");
         }
-        Batch { columns, validity, nrows }
+        Batch {
+            columns,
+            validity,
+            nrows,
+        }
     }
 
     /// Number of rows.
@@ -66,7 +78,11 @@ impl Batch {
             .iter()
             .map(|v| v.as_ref().map(|m| take(m, idx)))
             .collect();
-        Batch { columns, validity, nrows: idx.nrows() }
+        Batch {
+            columns,
+            validity,
+            nrows: idx.nrows(),
+        }
     }
 
     /// Horizontal concatenation (join output assembly).
@@ -183,6 +199,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "align")]
     fn rejects_misaligned() {
-        Batch::new(vec![Tensor::from_i64(vec![1]), Tensor::from_i64(vec![1, 2])]);
+        Batch::new(vec![
+            Tensor::from_i64(vec![1]),
+            Tensor::from_i64(vec![1, 2]),
+        ]);
     }
 }

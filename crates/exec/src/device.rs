@@ -40,7 +40,13 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { mem_bw: 550e9, launch: 5e-6, pcie_bw: 12e9, op_overhead: 250e-6, passes: 4.0 }
+        CostModel {
+            mem_bw: 550e9,
+            launch: 5e-6,
+            pcie_bw: 12e9,
+            op_overhead: 250e-6,
+            passes: 4.0,
+        }
     }
 }
 
@@ -56,7 +62,12 @@ pub struct DeviceMeter {
 impl DeviceMeter {
     /// A meter; disabled meters cost nothing and report zero.
     pub fn new(enabled: bool, strategy: GpuStrategy) -> DeviceMeter {
-        DeviceMeter { model: CostModel::default(), strategy, enabled, total_s: 0.0 }
+        DeviceMeter {
+            model: CostModel::default(),
+            strategy,
+            enabled,
+            total_s: 0.0,
+        }
     }
 
     /// Charge one operator: `kernels` launches touching `in_bytes` +
@@ -66,9 +77,8 @@ impl DeviceMeter {
             return;
         }
         let bytes = (in_bytes + out_bytes) as f64 * self.model.passes;
-        let mut t = self.model.op_overhead
-            + kernels as f64 * self.model.launch
-            + bytes / self.model.mem_bw;
+        let mut t =
+            self.model.op_overhead + kernels as f64 * self.model.launch + bytes / self.model.mem_bw;
         if self.strategy == GpuStrategy::PerOpTransfer {
             t += (in_bytes as f64 + out_bytes as f64) / self.model.pcie_bw;
         }
@@ -150,7 +160,7 @@ mod tests {
     fn launch_latency_dominates_tiny_ops() {
         let mut m = DeviceMeter::new(true, GpuStrategy::Resident);
         m.op(10, 64, 64); // tiny tensors
-        // 10 launches à 5us = 50us; bandwidth term is negligible.
+                          // 10 launches à 5us = 50us; bandwidth term is negligible.
         assert!(m.total_us() >= 50);
     }
 

@@ -28,13 +28,16 @@ pub type Evaled = (Tensor, Option<Tensor>);
 pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
     let n = batch.nrows();
     match e {
-        BoundExpr::Column { index, .. } => {
-            (batch.columns[*index].clone(), batch.validity[*index].clone())
-        }
+        BoundExpr::Column { index, .. } => (
+            batch.columns[*index].clone(),
+            batch.validity[*index].clone(),
+        ),
         BoundExpr::OuterRef { .. } => panic!("OuterRef survived decorrelation"),
         BoundExpr::Literal { value, ty } => {
-            assert!(!value.is_null() || *ty == LogicalType::Int64,
-                "NULL literals are not materializable");
+            assert!(
+                !value.is_null() || *ty == LogicalType::Int64,
+                "NULL literals are not materializable"
+            );
             if value.is_null() {
                 // Only reachable through IS NULL checks on literals.
                 return (
@@ -44,7 +47,9 @@ pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
             }
             (Tensor::full(value, n), None)
         }
-        BoundExpr::Binary { op, left, right, .. } => {
+        BoundExpr::Binary {
+            op, left, right, ..
+        } => {
             // Scalar fast paths: comparisons/arithmetic against a literal
             // never materialize the broadcast tensor.
             if let Some(cmp) = to_cmp(*op) {
@@ -89,7 +94,11 @@ pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
             let (v, val) = eval(inner, batch, models);
             (ops::neg(&v), val)
         }
-        BoundExpr::Case { branches, else_expr, ty } => {
+        BoundExpr::Case {
+            branches,
+            else_expr,
+            ty,
+        } => {
             // Fold from the last branch backwards: where(cond, val, acc).
             let (mut acc, mut acc_val) = eval(else_expr, batch, models);
             // CASE values may mix Int64/Float64; land on the result type.
@@ -108,14 +117,22 @@ pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
             }
             (acc, acc_val)
         }
-        BoundExpr::Like { expr, pattern, negated } => {
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let (v, val) = eval(expr, batch, models);
             let compiled = LikePattern::compile(pattern);
             let mask = strings::like(&v, &compiled);
             let mask = if *negated { ops::not(&mask) } else { mask };
             (mask, val)
         }
-        BoundExpr::InList { expr, list, negated } => {
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let (v, val) = eval(expr, batch, models);
             let mask = ops::in_list(&v, list);
             let mask = if *negated { ops::not(&mask) } else { mask };
@@ -208,15 +225,21 @@ fn coerce(t: Tensor, ty: LogicalType) -> Tensor {
 
 /// Vectorized `EXTRACT(YEAR ...)` over epoch-nanosecond dates.
 pub fn extract_year_kernel(t: &Tensor) -> Tensor {
-    let out: Vec<i64> =
-        t.as_i64().iter().map(|&ns| Date::from_epoch_ns(ns).year as i64).collect();
+    let out: Vec<i64> = t
+        .as_i64()
+        .iter()
+        .map(|&ns| Date::from_epoch_ns(ns).year as i64)
+        .collect();
     Tensor::from_i64(out)
 }
 
 /// Vectorized `EXTRACT(MONTH ...)`.
 pub fn extract_month_kernel(t: &Tensor) -> Tensor {
-    let out: Vec<i64> =
-        t.as_i64().iter().map(|&ns| Date::from_epoch_ns(ns).month as i64).collect();
+    let out: Vec<i64> = t
+        .as_i64()
+        .iter()
+        .map(|&ns| Date::from_epoch_ns(ns).month as i64)
+        .collect();
     Tensor::from_i64(out)
 }
 
@@ -373,7 +396,10 @@ mod tests {
         let mask = eval_mask(&e, &b, &models());
         assert_eq!(mask.as_bool(), &[true, false, true]);
         // IS NULL sees the invalid row.
-        let isnull = E::IsNull { expr: Box::new(E::col(0, LogicalType::Int64)), negated: false };
+        let isnull = E::IsNull {
+            expr: Box::new(E::col(0, LogicalType::Int64)),
+            negated: false,
+        };
         let (v, _) = eval(&isnull, &b, &models());
         assert_eq!(v.as_bool(), &[false, true, false]);
     }

@@ -124,8 +124,12 @@ mod tests {
     #[test]
     fn artifact_roundtrip() {
         let (_, catalog) = setup();
-        let plan = compile_sql("select id from t where v > 10.0", &catalog, &PhysicalOptions::default())
-            .unwrap();
+        let plan = compile_sql(
+            "select id from t where v > 10.0",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
         let prog = lower(&plan);
         let bytes = serialize_program(&prog);
         assert!(!bytes.is_empty());

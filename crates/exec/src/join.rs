@@ -69,7 +69,16 @@ pub fn sort_merge_join(
     let (lkey, rkey, need_verify) = make_keys(&lkeys, &rkeys);
     let (left_idx, right_idx) = smj_pairs(&lkey, &rkey);
     finish_join(
-        left, right, join_type, left_idx, right_idx, need_verify, &lkeys, &rkeys, residual, models,
+        left,
+        right,
+        join_type,
+        left_idx,
+        right_idx,
+        need_verify,
+        &lkeys,
+        &rkeys,
+        residual,
+        models,
     )
 }
 
@@ -97,12 +106,18 @@ impl JoinTable {
 
 /// Build the hash table over `keys` of the build-side batch.
 pub fn build_table(build: &Batch, keys: &[usize]) -> JoinTable {
-    assert!(!keys.is_empty(), "tensor joins require at least one equi key");
+    assert!(
+        !keys.is_empty(),
+        "tensor joins require at least one equi key"
+    );
     let rkeys: Vec<&Tensor> = keys.iter().map(|&k| &build.columns[k]).collect();
-    let hashed = !(rkeys.len() == 1
-        && rkeys[0].dtype() == DType::I64
-        && rkeys[0].shape().len() == 1);
-    let rkey = if hashed { hash_rows(&rkeys) } else { rkeys[0].clone() };
+    let hashed =
+        !(rkeys.len() == 1 && rkeys[0].dtype() == DType::I64 && rkeys[0].shape().len() == 1);
+    let rkey = if hashed {
+        hash_rows(&rkeys)
+    } else {
+        rkeys[0].clone()
+    };
     let rk = rkey.as_i64();
     let mut map: HashMap<i64, Vec<u32>, FxBuild> =
         HashMap::with_capacity_and_hasher(rk.len() * 2, FxBuild);
@@ -195,7 +210,11 @@ fn finish_join(
         JoinType::Inner => left.take(&left_idx).hcat(right.take(&right_idx)),
         JoinType::Semi | JoinType::Anti => {
             let matched = matched_mask(left.nrows(), &left_idx);
-            let want = if join_type == JoinType::Semi { matched } else { ops::not(&matched) };
+            let want = if join_type == JoinType::Semi {
+                matched
+            } else {
+                ops::not(&matched)
+            };
             left.take(&mask_to_indices(&want))
         }
         JoinType::Left => {
@@ -219,7 +238,8 @@ pub fn cross_join(left: &Batch, right: &Batch) -> Batch {
             ridx.push(j);
         }
     }
-    left.take(&left_idx).hcat(right.take(&Tensor::from_i64(ridx)))
+    left.take(&left_idx)
+        .hcat(right.take(&Tensor::from_i64(ridx)))
 }
 
 /// Build single-I64 key tensors from (possibly multi-column, possibly
@@ -398,7 +418,15 @@ mod tests {
     }
 
     fn run(jt: JoinType, strat: JoinStrategy) -> Batch {
-        join(&left(), &right(), jt, strat, &[(0, 0)], None, &ModelRegistry::new())
+        join(
+            &left(),
+            &right(),
+            jt,
+            strat,
+            &[(0, 0)],
+            None,
+            &ModelRegistry::new(),
+        )
     }
 
     fn sorted_i64(t: &Tensor) -> Vec<i64> {

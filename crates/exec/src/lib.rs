@@ -100,7 +100,10 @@ pub struct ExecConfig {
 /// Default CPU worker count: all cores, capped to keep scoped-thread spawn
 /// overhead negligible on very wide machines.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 impl Default for ExecConfig {
@@ -156,7 +159,12 @@ impl Executor {
             Backend::Graph | Backend::Wasm => Some(program::serialize_program(&program)),
             _ => None,
         };
-        Executor { plan: plan.clone(), program, cfg, artifact }
+        Executor {
+            plan: plan.clone(),
+            program,
+            cfg,
+            artifact,
+        }
     }
 
     /// The physical plan this executor was compiled from.
@@ -210,7 +218,14 @@ impl Executor {
             Device::Cpu => None,
         };
         let rows = frame.nrows();
-        (frame, ExecStats { wall_us, gpu_modeled_us, rows })
+        (
+            frame,
+            ExecStats {
+                wall_us,
+                gpu_modeled_us,
+                rows,
+            },
+        )
     }
 }
 
@@ -237,9 +252,17 @@ mod tests {
 
     #[test]
     fn stats_prefer_modeled_time() {
-        let s = ExecStats { wall_us: 100, gpu_modeled_us: Some(7), rows: 0 };
+        let s = ExecStats {
+            wall_us: 100,
+            gpu_modeled_us: Some(7),
+            rows: 0,
+        };
         assert_eq!(s.reported_us(), 7);
-        let s = ExecStats { wall_us: 100, gpu_modeled_us: None, rows: 0 };
+        let s = ExecStats {
+            wall_us: 100,
+            gpu_modeled_us: None,
+            rows: 0,
+        };
         assert_eq!(s.reported_us(), 100);
     }
 
@@ -250,9 +273,12 @@ mod tests {
         let t = df(vec![("a", Column::from_i64(vec![1, 2]))]);
         let mut catalog = Catalog::new();
         catalog.register("t", t.schema().clone(), t.nrows());
-        let plan =
-            compile_sql("select a from t where a > 1", &catalog, &PhysicalOptions::default())
-                .unwrap();
+        let plan = compile_sql(
+            "select a from t where a > 1",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
         let ex = Executor::compile(&plan, ExecConfig::default());
         assert!(!ex.program().ops.is_empty());
         assert!(ex.program().display().contains("Scan(t)"));
@@ -260,7 +286,10 @@ mod tests {
         assert!(ex.artifact_size().is_none());
         let g = Executor::compile(
             &plan,
-            ExecConfig { backend: Backend::Graph, ..Default::default() },
+            ExecConfig {
+                backend: Backend::Graph,
+                ..Default::default()
+            },
         );
         assert!(g.artifact_size().unwrap() > 0);
     }

@@ -42,17 +42,34 @@ pub type Reg = usize;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProgOp {
     /// Load a stored table (optionally projected) into `dst`.
-    Scan { dst: Reg, table: String, projection: Option<Vec<usize>> },
+    Scan {
+        dst: Reg,
+        table: String,
+        projection: Option<Vec<usize>>,
+    },
     /// Filter `src` by a conjunction of predicates. The VM mode decides
     /// the evaluation shape: Eager materializes every conjunct mask over
     /// the full input and compacts once; Fused compacts adaptively
     /// between conjuncts (selection vectors).
-    Filter { dst: Reg, src: Reg, conjuncts: Vec<BoundExpr> },
+    Filter {
+        dst: Reg,
+        src: Reg,
+        conjuncts: Vec<BoundExpr>,
+    },
     /// Evaluate projection expressions over `src`. `has_predict` marks
     /// inline ML inference (profiling shows it as `Project+Predict`).
-    Project { dst: Reg, src: Reg, exprs: Vec<BoundExpr>, has_predict: bool },
+    Project {
+        dst: Reg,
+        src: Reg,
+        exprs: Vec<BoundExpr>,
+        has_predict: bool,
+    },
     /// Build the hash table over the right (build) side's key columns.
-    HashBuild { dst: Reg, src: Reg, keys: Vec<usize> },
+    HashBuild {
+        dst: Reg,
+        src: Reg,
+        keys: Vec<usize>,
+    },
     /// Probe a [`ProgOp::HashBuild`] table with the left side's keys,
     /// verify/filter pairs, and assemble the join output.
     HashProbe {
@@ -86,7 +103,11 @@ pub enum ProgOp {
         aggs: Vec<AggCall>,
     },
     /// Stable multi-key sort.
-    Sort { dst: Reg, src: Reg, keys: Vec<SortKey> },
+    Sort {
+        dst: Reg,
+        src: Reg,
+        keys: Vec<SortKey>,
+    },
     /// Keep the first `n` rows.
     Limit { dst: Reg, src: Reg, n: usize },
 }
@@ -118,7 +139,9 @@ impl ProgOp {
             | ProgOp::GroupedReduce { src, .. }
             | ProgOp::Sort { src, .. }
             | ProgOp::Limit { src, .. } => vec![*src],
-            ProgOp::HashProbe { table, left, right, .. } => vec![*table, *left, *right],
+            ProgOp::HashProbe {
+                table, left, right, ..
+            } => vec![*table, *left, *right],
             ProgOp::SortMergeJoin { left, right, .. } | ProgOp::CrossJoin { left, right, .. } => {
                 vec![*left, *right]
             }
@@ -131,7 +154,9 @@ impl ProgOp {
         match self {
             ProgOp::Scan { table, .. } => format!("Scan({table})"),
             ProgOp::Filter { .. } => "Filter".into(),
-            ProgOp::Project { has_predict: true, .. } => "Project+Predict".into(),
+            ProgOp::Project {
+                has_predict: true, ..
+            } => "Project+Predict".into(),
             ProgOp::Project { .. } => "Project".into(),
             ProgOp::HashBuild { .. } => "HashBuild".into(),
             ProgOp::HashProbe { join_type, .. } => format!("HashJoin({join_type:?})"),
@@ -181,7 +206,10 @@ impl TensorProgram {
 
 /// Compile a physical plan into a [`TensorProgram`].
 pub fn lower(plan: &PhysicalPlan) -> TensorProgram {
-    let mut b = Builder { ops: Vec::new(), next_reg: 0 };
+    let mut b = Builder {
+        ops: Vec::new(),
+        next_reg: 0,
+    };
     let output = b.lower_node(plan);
     TensorProgram {
         ops: b.ops,
@@ -205,7 +233,9 @@ impl Builder {
 
     fn lower_node(&mut self, plan: &PhysicalPlan) -> Reg {
         match plan {
-            PhysicalPlan::Scan { table, projection, .. } => {
+            PhysicalPlan::Scan {
+                table, projection, ..
+            } => {
                 let dst = self.fresh();
                 self.ops.push(ProgOp::Scan {
                     dst,
@@ -219,17 +249,33 @@ impl Builder {
                 let dst = self.fresh();
                 let mut conjuncts = Vec::new();
                 split_and(predicate.clone(), &mut conjuncts);
-                self.ops.push(ProgOp::Filter { dst, src, conjuncts });
+                self.ops.push(ProgOp::Filter {
+                    dst,
+                    src,
+                    conjuncts,
+                });
                 dst
             }
             PhysicalPlan::Project { input, exprs, .. } => {
                 let src = self.lower_node(input);
                 let dst = self.fresh();
                 let has_predict = exprs.iter().any(contains_predict);
-                self.ops.push(ProgOp::Project { dst, src, exprs: exprs.clone(), has_predict });
+                self.ops.push(ProgOp::Project {
+                    dst,
+                    src,
+                    exprs: exprs.clone(),
+                    has_predict,
+                });
                 dst
             }
-            PhysicalPlan::Join { left, right, join_type, strategy, on, residual } => {
+            PhysicalPlan::Join {
+                left,
+                right,
+                join_type,
+                strategy,
+                on,
+                residual,
+            } => {
                 let l = self.lower_node(left);
                 let r = self.lower_node(right);
                 match strategy {
@@ -270,10 +316,20 @@ impl Builder {
                 let l = self.lower_node(left);
                 let r = self.lower_node(right);
                 let dst = self.fresh();
-                self.ops.push(ProgOp::CrossJoin { dst, left: l, right: r });
+                self.ops.push(ProgOp::CrossJoin {
+                    dst,
+                    left: l,
+                    right: r,
+                });
                 dst
             }
-            PhysicalPlan::Aggregate { input, strategy, group_by, aggs, .. } => {
+            PhysicalPlan::Aggregate {
+                input,
+                strategy,
+                group_by,
+                aggs,
+                ..
+            } => {
                 let src = self.lower_node(input);
                 let dst = self.fresh();
                 self.ops.push(ProgOp::GroupedReduce {
@@ -288,7 +344,11 @@ impl Builder {
             PhysicalPlan::Sort { input, keys } => {
                 let src = self.lower_node(input);
                 let dst = self.fresh();
-                self.ops.push(ProgOp::Sort { dst, src, keys: keys.clone() });
+                self.ops.push(ProgOp::Sort {
+                    dst,
+                    src,
+                    keys: keys.clone(),
+                });
                 dst
             }
             PhysicalPlan::Limit { input, n } => {
@@ -305,7 +365,12 @@ impl Builder {
 pub fn split_and(e: BoundExpr, out: &mut Vec<BoundExpr>) {
     use tqp_ir::expr::BinOp;
     match e {
-        BoundExpr::Binary { op: BinOp::And, left, right, .. } => {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+            ..
+        } => {
             split_and(*left, out);
             split_and(*right, out);
         }
@@ -354,7 +419,9 @@ impl From<irjson::PlanJsonError> for ProgramError {
 }
 
 fn invalid<T>(message: impl Into<String>) -> Result<T, ProgramError> {
-    Err(ProgramError { message: message.into() })
+    Err(ProgramError {
+        message: message.into(),
+    })
 }
 
 /// Serialize a program into the portable artifact: a self-describing,
@@ -375,8 +442,9 @@ pub fn serialize_program(prog: &TensorProgram) -> Bytes {
 
 /// Load an artifact produced by [`serialize_program`].
 pub fn deserialize_program(artifact: &Bytes) -> Result<TensorProgram, ProgramError> {
-    let text = std::str::from_utf8(artifact)
-        .map_err(|_| ProgramError { message: "artifact is not utf-8".into() })?;
+    let text = std::str::from_utf8(artifact).map_err(|_| ProgramError {
+        message: "artifact is not utf-8".into(),
+    })?;
     let doc = Json::parse(text)?;
     match doc.field("format")?.as_str() {
         Some(ARTIFACT_FORMAT) => {}
@@ -396,10 +464,21 @@ pub fn deserialize_program(artifact: &Bytes) -> Result<TensorProgram, ProgramErr
     let ops = doc
         .field("ops")?
         .as_arr()
-        .ok_or(ProgramError { message: "ops must be an array".into() })?
+        .ok_or(ProgramError {
+            message: "ops must be an array".into(),
+        })?
         .iter()
         .map(op_from_json)
         .collect::<Result<Vec<_>, _>>()?;
+    // Bound the register budget before allocating anything sized by it:
+    // lowering emits exactly one register per op, so a larger claim is
+    // corrupt (and must not drive an attacker-controlled allocation).
+    if n_regs > ops.len() {
+        return invalid(format!(
+            "register budget {n_regs} exceeds op count {}",
+            ops.len()
+        ));
+    }
     // Structural sanity: every read happens after its write.
     let mut written = vec![false; n_regs];
     for op in &ops {
@@ -417,13 +496,20 @@ pub fn deserialize_program(artifact: &Bytes) -> Result<TensorProgram, ProgramErr
     if output >= n_regs || !written[output] {
         return invalid("output register is never written");
     }
-    Ok(TensorProgram { ops, n_regs, output, schema })
+    Ok(TensorProgram {
+        ops,
+        n_regs,
+        output,
+        schema,
+    })
 }
 
 fn reg_field(j: &Json, key: &str) -> Result<usize, ProgramError> {
     match j.field(key)?.as_i64() {
         Some(v) if v >= 0 => Ok(v as usize),
-        other => invalid(format!("field {key:?} must be a non-negative integer, got {other:?}")),
+        other => invalid(format!(
+            "field {key:?} must be a non-negative integer, got {other:?}"
+        )),
     }
 }
 
@@ -433,7 +519,9 @@ fn exprs_json(exprs: &[BoundExpr]) -> Json {
 
 fn exprs_from(j: &Json) -> Result<Vec<BoundExpr>, ProgramError> {
     Ok(j.as_arr()
-        .ok_or(ProgramError { message: "expected expression array".into() })?
+        .ok_or(ProgramError {
+            message: "expected expression array".into(),
+        })?
         .iter()
         .map(irjson::expr_from_json)
         .collect::<Result<Vec<_>, _>>()?)
@@ -449,10 +537,15 @@ fn on_json(on: &[(usize, usize)]) -> Json {
 
 fn on_from(j: &Json) -> Result<Vec<(usize, usize)>, ProgramError> {
     j.as_arr()
-        .ok_or(ProgramError { message: "join keys must be an array".into() })?
+        .ok_or(ProgramError {
+            message: "join keys must be an array".into(),
+        })?
         .iter()
         .map(|pair| {
-            match (pair.at(0).and_then(Json::as_i64), pair.at(1).and_then(Json::as_i64)) {
+            match (
+                pair.at(0).and_then(Json::as_i64),
+                pair.at(1).and_then(Json::as_i64),
+            ) {
                 (Some(l), Some(r)) if l >= 0 && r >= 0 => Ok((l as usize, r as usize)),
                 _ => invalid("join key pair invalid"),
             }
@@ -477,7 +570,11 @@ fn residual_from(j: &Json) -> Result<Option<BoundExpr>, ProgramError> {
 fn op_to_json(op: &ProgOp) -> Json {
     let reg = |r: Reg| Json::I64(r as i64);
     match op {
-        ProgOp::Scan { dst, table, projection } => Json::obj(vec![
+        ProgOp::Scan {
+            dst,
+            table,
+            projection,
+        } => Json::obj(vec![
             ("op", Json::str("scan")),
             ("dst", reg(*dst)),
             ("table", Json::str(table.as_str())),
@@ -489,13 +586,22 @@ fn op_to_json(op: &ProgOp) -> Json {
                 },
             ),
         ]),
-        ProgOp::Filter { dst, src, conjuncts } => Json::obj(vec![
+        ProgOp::Filter {
+            dst,
+            src,
+            conjuncts,
+        } => Json::obj(vec![
             ("op", Json::str("filter")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
             ("conjuncts", exprs_json(conjuncts)),
         ]),
-        ProgOp::Project { dst, src, exprs, has_predict } => Json::obj(vec![
+        ProgOp::Project {
+            dst,
+            src,
+            exprs,
+            has_predict,
+        } => Json::obj(vec![
             ("op", Json::str("project")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
@@ -506,9 +612,20 @@ fn op_to_json(op: &ProgOp) -> Json {
             ("op", Json::str("hash_build")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
-            ("keys", Json::Arr(keys.iter().map(|&k| Json::I64(k as i64)).collect())),
+            (
+                "keys",
+                Json::Arr(keys.iter().map(|&k| Json::I64(k as i64)).collect()),
+            ),
         ]),
-        ProgOp::HashProbe { dst, table, left, right, join_type, on, residual } => Json::obj(vec![
+        ProgOp::HashProbe {
+            dst,
+            table,
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } => Json::obj(vec![
             ("op", Json::str("hash_probe")),
             ("dst", reg(*dst)),
             ("table", reg(*table)),
@@ -518,7 +635,14 @@ fn op_to_json(op: &ProgOp) -> Json {
             ("on", on_json(on)),
             ("residual", residual_json(residual)),
         ]),
-        ProgOp::SortMergeJoin { dst, left, right, join_type, on, residual } => Json::obj(vec![
+        ProgOp::SortMergeJoin {
+            dst,
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } => Json::obj(vec![
             ("op", Json::str("sort_merge_join")),
             ("dst", reg(*dst)),
             ("left", reg(*left)),
@@ -533,19 +657,31 @@ fn op_to_json(op: &ProgOp) -> Json {
             ("left", reg(*left)),
             ("right", reg(*right)),
         ]),
-        ProgOp::GroupedReduce { dst, src, strategy, group_by, aggs } => Json::obj(vec![
+        ProgOp::GroupedReduce {
+            dst,
+            src,
+            strategy,
+            group_by,
+            aggs,
+        } => Json::obj(vec![
             ("op", Json::str("grouped_reduce")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
             ("strategy", irjson::agg_strategy_to_json(*strategy)),
             ("group_by", exprs_json(group_by)),
-            ("aggs", Json::Arr(aggs.iter().map(irjson::agg_call_to_json).collect())),
+            (
+                "aggs",
+                Json::Arr(aggs.iter().map(irjson::agg_call_to_json).collect()),
+            ),
         ]),
         ProgOp::Sort { dst, src, keys } => Json::obj(vec![
             ("op", Json::str("sort")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
-            ("keys", Json::Arr(keys.iter().map(irjson::sort_key_to_json).collect())),
+            (
+                "keys",
+                Json::Arr(keys.iter().map(irjson::sort_key_to_json).collect()),
+            ),
         ]),
         ProgOp::Limit { dst, src, n } => Json::obj(vec![
             ("op", Json::str("limit")),
@@ -567,12 +703,17 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
                 Json::Null => None,
                 arr => Some(
                     arr.as_arr()
-                        .ok_or(ProgramError { message: "projection must be an array".into() })?
+                        .ok_or(ProgramError {
+                            message: "projection must be an array".into(),
+                        })?
                         .iter()
                         .map(|v| {
-                            v.as_i64().filter(|&i| i >= 0).map(|i| i as usize).ok_or(
-                                ProgramError { message: "projection index invalid".into() },
-                            )
+                            v.as_i64()
+                                .filter(|&i| i >= 0)
+                                .map(|i| i as usize)
+                                .ok_or(ProgramError {
+                                    message: "projection index invalid".into(),
+                                })
                         })
                         .collect::<Result<Vec<_>, _>>()?,
                 ),
@@ -595,13 +736,17 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
             keys: j
                 .field("keys")?
                 .as_arr()
-                .ok_or(ProgramError { message: "keys must be an array".into() })?
+                .ok_or(ProgramError {
+                    message: "keys must be an array".into(),
+                })?
                 .iter()
                 .map(|v| {
                     v.as_i64()
                         .filter(|&i| i >= 0)
                         .map(|i| i as usize)
-                        .ok_or(ProgramError { message: "key index invalid".into() })
+                        .ok_or(ProgramError {
+                            message: "key index invalid".into(),
+                        })
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         }),
@@ -635,7 +780,9 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
             aggs: j
                 .field("aggs")?
                 .as_arr()
-                .ok_or(ProgramError { message: "aggs must be an array".into() })?
+                .ok_or(ProgramError {
+                    message: "aggs must be an array".into(),
+                })?
                 .iter()
                 .map(irjson::agg_call_from_json)
                 .collect::<Result<Vec<_>, _>>()?,
@@ -646,12 +793,18 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
             keys: j
                 .field("keys")?
                 .as_arr()
-                .ok_or(ProgramError { message: "sort keys must be an array".into() })?
+                .ok_or(ProgramError {
+                    message: "sort keys must be an array".into(),
+                })?
                 .iter()
                 .map(irjson::sort_key_from_json)
                 .collect::<Result<Vec<_>, _>>()?,
         }),
-        "limit" => Ok(ProgOp::Limit { dst, src: reg_field(j, "src")?, n: reg_field(j, "n")? }),
+        "limit" => Ok(ProgOp::Limit {
+            dst,
+            src: reg_field(j, "src")?,
+            n: reg_field(j, "n")?,
+        }),
         other => invalid(format!("unknown program op {other:?}")),
     }
 }
@@ -700,7 +853,11 @@ mod tests {
         let mut written = vec![false; p.n_regs];
         for op in &p.ops {
             for s in op.srcs() {
-                assert!(written[s], "register r{s} read before write:\n{}", p.display());
+                assert!(
+                    written[s],
+                    "register r{s} read before write:\n{}",
+                    p.display()
+                );
             }
             written[op.dst()] = true;
         }
@@ -709,8 +866,10 @@ mod tests {
 
     #[test]
     fn filters_split_into_conjuncts() {
-        let p = program("select a from t where a > 1 and b < 2.0 and s like 'x%'",
-            PhysicalOptions::default());
+        let p = program(
+            "select a from t where a > 1 and b < 2.0 and s like 'x%'",
+            PhysicalOptions::default(),
+        );
         let conjuncts: Vec<usize> = p
             .ops
             .iter()
@@ -731,8 +890,16 @@ mod tests {
             agg: tqp_ir::AggStrategy::Hash,
         };
         let p = program("select t.a from t, u where t.a = u.a", opts);
-        let builds = p.ops.iter().filter(|o| matches!(o, ProgOp::HashBuild { .. })).count();
-        let probes = p.ops.iter().filter(|o| matches!(o, ProgOp::HashProbe { .. })).count();
+        let builds = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, ProgOp::HashBuild { .. }))
+            .count();
+        let probes = p
+            .ops
+            .iter()
+            .filter(|o| matches!(o, ProgOp::HashProbe { .. }))
+            .count();
         assert_eq!((builds, probes), (1, 1), "{}", p.display());
         // Probe reads the build's output register.
         let build_dst = p
@@ -743,14 +910,20 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert!(p.ops.iter().any(|o| matches!(o, ProgOp::HashProbe { table, .. } if *table == build_dst)));
+        assert!(p
+            .ops
+            .iter()
+            .any(|o| matches!(o, ProgOp::HashProbe { table, .. } if *table == build_dst)));
     }
 
     #[test]
     fn artifact_roundtrips_exactly() {
         for opts in [
             PhysicalOptions::default(),
-            PhysicalOptions { join: tqp_ir::JoinStrategy::Hash, agg: tqp_ir::AggStrategy::Hash },
+            PhysicalOptions {
+                join: tqp_ir::JoinStrategy::Hash,
+                agg: tqp_ir::AggStrategy::Hash,
+            },
         ] {
             let p = program(
                 "select t.a, count(*) as c, sum(t.b * 2.0 - 0.5) from t, u \
@@ -771,10 +944,26 @@ mod tests {
         let bytes = serialize_program(&p);
         let doc = tqp_json::Json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
         assert_eq!(doc.field("format").unwrap().as_str(), Some(ARTIFACT_FORMAT));
-        assert_eq!(doc.field("version").unwrap().as_i64(), Some(ARTIFACT_VERSION));
+        assert_eq!(
+            doc.field("version").unwrap().as_i64(),
+            Some(ARTIFACT_VERSION)
+        );
         // A future version must be rejected, not misread.
         let mut tampered = String::from_utf8(bytes.to_vec()).unwrap();
         tampered = tampered.replace("\"version\":1", "\"version\":999");
+        assert!(deserialize_program(&Bytes::from(tampered.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn oversized_register_budget_rejected() {
+        // A corrupt artifact must not drive an attacker-sized allocation.
+        let p = program("select a from t", PhysicalOptions::default());
+        let text = String::from_utf8(serialize_program(&p).to_vec()).unwrap();
+        let tampered = text.replace(
+            &format!("\"n_regs\":{}", p.n_regs),
+            "\"n_regs\":4611686018427387904",
+        );
+        assert_ne!(text, tampered, "tamper point not found");
         assert!(deserialize_program(&Bytes::from(tampered.into_bytes())).is_err());
     }
 

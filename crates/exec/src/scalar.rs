@@ -25,16 +25,26 @@ use tqp_tensor::Scalar;
 
 use crate::program::{ProgOp, TensorProgram};
 
-/// A scalar-VM register: materialized rows, or a scalar join table.
+/// A scalar-VM register: materialized rows (with their arity, which the
+/// rows themselves cannot carry once empty), or a scalar join table.
 enum RowValue {
-    Rows(Vec<Row>),
+    Rows { rows: Vec<Row>, arity: usize },
     Table(RowJoinTable),
 }
 
 impl RowValue {
     fn rows(&self) -> &Vec<Row> {
         match self {
-            RowValue::Rows(r) => r,
+            RowValue::Rows { rows, .. } => rows,
+            RowValue::Table(_) => panic!("register holds a join table, expected rows"),
+        }
+    }
+
+    /// Row width, correct even for empty inputs (an empty build side must
+    /// still NULL-pad left-join output to the right schema's width).
+    fn arity(&self) -> usize {
+        match self {
+            RowValue::Rows { arity, .. } => *arity,
             RowValue::Table(_) => panic!("register holds a join table, expected rows"),
         }
     }
@@ -53,7 +63,7 @@ pub fn run_program_scalar(
         regs[op.dst()] = Some(value);
     }
     let rows = match regs[prog.output].take() {
-        Some(RowValue::Rows(rows)) => rows,
+        Some(RowValue::Rows { rows, .. }) => rows,
         _ => panic!("program output register does not hold rows"),
     };
     rows_to_frame_with_schema(rows, &prog.schema)
@@ -67,7 +77,9 @@ fn exec_op(
 ) -> RowValue {
     let reg_rows = |r: usize| regs[r].as_ref().expect("register live").rows();
     match op {
-        ProgOp::Scan { table, projection, .. } => {
+        ProgOp::Scan {
+            table, projection, ..
+        } => {
             let frame = tables
                 .get(table)
                 .unwrap_or_else(|| panic!("table {table} not in the sandbox"));
@@ -78,11 +90,14 @@ fn exec_op(
             let rows = (0..frame.nrows())
                 .map(|i| cols.iter().map(|&c| frame.column(c).get(i)).collect())
                 .collect();
-            RowValue::Rows(rows)
+            RowValue::Rows {
+                rows,
+                arity: cols.len(),
+            }
         }
         ProgOp::Filter { src, conjuncts, .. } => {
             let rows = reg_rows(*src).clone();
-            let arity = rows.first().map(|r: &Row| r.len()).unwrap_or(0);
+            let arity = regs[*src].as_ref().expect("register live").arity();
             // PREDICT inside predicates: batch-prepare, then scalar loops.
             let (rows, conjuncts) = prepare_predicts(rows, conjuncts, models);
             let kept: Vec<Row> = rows
@@ -97,55 +112,64 @@ fn exec_op(
                     r
                 })
                 .collect();
-            RowValue::Rows(kept)
+            RowValue::Rows { rows: kept, arity }
         }
         ProgOp::Project { src, exprs, .. } => {
             let rows = reg_rows(*src).clone();
             let (rows, exprs) = prepare_predicts(rows, exprs, models);
-            RowValue::Rows(
-                rows.iter()
+            RowValue::Rows {
+                rows: rows
+                    .iter()
                     .map(|r| exprs.iter().map(|e| eval_expr(e, r)).collect())
                     .collect(),
-            )
+                arity: exprs.len(),
+            }
         }
         ProgOp::HashBuild { src, keys, .. } => {
             RowValue::Table(build_row_table(reg_rows(*src), keys))
         }
-        ProgOp::HashProbe { table, left, right, join_type, on, residual, .. } => {
+        ProgOp::HashProbe {
+            table,
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+            ..
+        } => {
             let t = match regs[*table].as_ref().expect("table register live") {
                 RowValue::Table(t) => t,
-                RowValue::Rows(_) => panic!("probe register holds rows, expected a table"),
+                RowValue::Rows { .. } => panic!("probe register holds rows, expected a table"),
             };
             let lrows = reg_rows(*left);
             let rrows = reg_rows(*right);
-            let rarity = rrows.first().map(|r: &Row| r.len()).unwrap_or(0);
-            RowValue::Rows(probe_row_table(
-                t,
-                lrows,
-                rrows,
-                rarity,
-                *join_type,
-                on,
-                residual.as_ref(),
-            ))
+            let larity = regs[*left].as_ref().expect("register live").arity();
+            let rarity = regs[*right].as_ref().expect("register live").arity();
+            RowValue::Rows {
+                rows: probe_row_table(t, lrows, rrows, rarity, *join_type, on, residual.as_ref()),
+                arity: join_output_arity(*join_type, larity, rarity),
+            }
         }
-        ProgOp::SortMergeJoin { left, right, join_type, on, residual, .. } => {
+        ProgOp::SortMergeJoin {
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+            ..
+        } => {
             // A scalar runtime joins by hashing regardless of the
             // vectorized algorithm choice; semantics are identical.
             let lrows = reg_rows(*left);
             let rrows = reg_rows(*right);
-            let rarity = rrows.first().map(|r: &Row| r.len()).unwrap_or(0);
+            let larity = regs[*left].as_ref().expect("register live").arity();
+            let rarity = regs[*right].as_ref().expect("register live").arity();
             let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
             let t = build_row_table(rrows, &rkeys);
-            RowValue::Rows(probe_row_table(
-                &t,
-                lrows,
-                rrows,
-                rarity,
-                *join_type,
-                on,
-                residual.as_ref(),
-            ))
+            RowValue::Rows {
+                rows: probe_row_table(&t, lrows, rrows, rarity, *join_type, on, residual.as_ref()),
+                arity: join_output_arity(*join_type, larity, rarity),
+            }
         }
         ProgOp::CrossJoin { left, right, .. } => {
             let l = reg_rows(*left);
@@ -158,9 +182,16 @@ fn exec_op(
                     out.push(row);
                 }
             }
-            RowValue::Rows(out)
+            let arity = regs[*left].as_ref().expect("register live").arity()
+                + regs[*right].as_ref().expect("register live").arity();
+            RowValue::Rows { rows: out, arity }
         }
-        ProgOp::GroupedReduce { src, group_by, aggs, .. } => {
+        ProgOp::GroupedReduce {
+            src,
+            group_by,
+            aggs,
+            ..
+        } => {
             let rows = reg_rows(*src).clone();
             // PREDICT may sit inside group keys or aggregate arguments:
             // batch-prepare them all, mirroring the row engine.
@@ -180,7 +211,11 @@ fn exec_op(
                     k += 1;
                 }
             }
-            RowValue::Rows(row_agg::aggregate(rows, &group_by, &aggs))
+            let arity = group_by.len() + aggs.len();
+            RowValue::Rows {
+                rows: row_agg::aggregate(rows, &group_by, &aggs),
+                arity,
+            }
         }
         ProgOp::Sort { src, keys, .. } => {
             let mut rows = reg_rows(*src).clone();
@@ -196,13 +231,25 @@ fn exec_op(
                 }
                 std::cmp::Ordering::Equal
             });
-            RowValue::Rows(rows)
+            let arity = regs[*src].as_ref().expect("register live").arity();
+            RowValue::Rows { rows, arity }
         }
         ProgOp::Limit { src, n, .. } => {
             let mut rows = reg_rows(*src).clone();
             rows.truncate(*n);
-            RowValue::Rows(rows)
+            let arity = regs[*src].as_ref().expect("register live").arity();
+            RowValue::Rows { rows, arity }
         }
+    }
+}
+
+/// Output width of a join: Semi/Anti keep the left schema, Inner/Left
+/// concatenate both sides.
+fn join_output_arity(join_type: tqp_ir::plan::JoinType, larity: usize, rarity: usize) -> usize {
+    use tqp_ir::plan::JoinType as J;
+    match join_type {
+        J::Semi | J::Anti => larity,
+        J::Inner | J::Left => larity + rarity,
     }
 }
 
@@ -223,12 +270,19 @@ mod tests {
             ("id", Column::from_i64(vec![2, 3, 3])),
             ("w", Column::from_f64(vec![1.0, 2.0, 3.0])),
         ]);
+        // An empty table with u's schema (empty-build-side join coverage).
+        let e = df(vec![
+            ("id", Column::from_i64(vec![])),
+            ("w", Column::from_f64(vec![])),
+        ]);
         let mut catalog = Catalog::new();
         catalog.register("t", t.schema().clone(), t.nrows());
         catalog.register("u", u.schema().clone(), u.nrows());
+        catalog.register("e", e.schema().clone(), e.nrows());
         let mut map = HashMap::new();
         map.insert("t".to_string(), t);
         map.insert("u".to_string(), u);
+        map.insert("e".to_string(), e);
         (map, catalog)
     }
 
@@ -250,11 +304,48 @@ mod tests {
     }
 
     #[test]
+    fn left_join_with_empty_build_side_null_pads() {
+        // Regression: an empty right side must still pad left-join output
+        // to the right schema's width (arity travels in the register, not
+        // in the rows). Output must match the vectorized VM exactly.
+        use crate::vm;
+        use tqp_ir::JoinStrategy;
+        let (tables, catalog) = tables();
+        let sql = "select t.id, count(e.w) as c from t left outer join e on t.id = e.id \
+                   group by t.id order by t.id";
+        for join in [JoinStrategy::SortMerge, JoinStrategy::Hash] {
+            let opts = PhysicalOptions {
+                join,
+                ..Default::default()
+            };
+            let plan = compile_sql(sql, &catalog, &opts).unwrap();
+            let prog = lower(&plan);
+            let scalar_out = run_program_scalar(&prog, &tables, &ModelRegistry::new());
+            let storage = crate::ingest_tables(&tables);
+            let (vec_out, _) = vm::run_program(
+                &prog,
+                &storage,
+                &ModelRegistry::new(),
+                &tqp_profile::Profiler::disabled(),
+                crate::ExecConfig::default(),
+                false,
+            );
+            assert_eq!(scalar_out.nrows(), vec_out.nrows(), "{join:?}");
+            for i in 0..scalar_out.nrows() {
+                assert_eq!(scalar_out.row(i), vec_out.row(i), "{join:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
     fn scalar_vm_joins_on_both_strategies() {
         for join in [JoinStrategy::SortMerge, JoinStrategy::Hash] {
             let out = run(
                 "select t.id, u.w from t, u where t.id = u.id order by t.id, u.w",
-                PhysicalOptions { join, ..Default::default() },
+                PhysicalOptions {
+                    join,
+                    ..Default::default()
+                },
             );
             assert_eq!(out.nrows(), 3, "{join:?}");
             assert_eq!(out.column(0).get(2).as_i64(), 3);

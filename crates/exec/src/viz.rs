@@ -31,7 +31,9 @@ fn build(plan: &PhysicalPlan, g: &mut DotGraph) -> String {
 
 fn describe(plan: &PhysicalPlan) -> (String, &'static str) {
     match plan {
-        PhysicalPlan::Scan { table, projection, .. } => {
+        PhysicalPlan::Scan {
+            table, projection, ..
+        } => {
             let cols = projection.as_ref().map(|p| p.len());
             let label = match cols {
                 Some(k) => format!("Scan {table}\\n({k} cols)"),

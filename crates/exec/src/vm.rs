@@ -82,7 +82,13 @@ pub fn run_program(
     fused: bool,
 ) -> (DataFrame, DeviceMeter) {
     let mut meter = DeviceMeter::new(cfg.device == Device::GpuSim, cfg.gpu_strategy);
-    let cx = Vm { storage, models, profiler, fused, workers: cfg.workers.max(1) };
+    let cx = Vm {
+        storage,
+        models,
+        profiler,
+        fused,
+        workers: cfg.workers.max(1),
+    };
     let batch = cx.exec(prog, &mut meter);
     (batch_to_frame(&batch, &prog.schema), meter)
 }
@@ -192,19 +198,25 @@ impl Vm<'_> {
         scanned: Batch,
     ) -> Batch {
         let n = scanned.nrows();
-        let n_chunks = self.workers.min(n.div_ceil(PAR_SEGMENT_MIN_ROWS / 2)).max(1);
+        let n_chunks = self
+            .workers
+            .min(n.div_ceil(PAR_SEGMENT_MIN_ROWS / 2))
+            .max(1);
         let chunk_len = n.div_ceil(n_chunks);
         let chain_len = end - start - 1;
         let start_us = self.profiler.now_us();
 
         let mut results: Vec<Option<(Batch, Vec<Vec<OpSample>>)>> =
             (0..n_chunks).map(|_| None).collect();
+        let scanned = &scanned;
         rayon::scope(|s| {
             for (c, slot) in results.iter_mut().enumerate() {
                 let lo = c * chunk_len;
                 let hi = ((c + 1) * chunk_len).min(n);
-                let morsel = scanned.slice_rows(lo, hi);
                 s.spawn(move |_| {
+                    // Slice inside the worker so morsel materialization is
+                    // itself parallel, not a sequential prefix.
+                    let morsel = scanned.slice_rows(lo, hi);
                     let mut samples: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
                     let out = self.run_chain_morsel(prog, start, end, morsel, &mut samples);
                     *slot = Some((out, samples));
@@ -225,9 +237,9 @@ impl Vm<'_> {
         // One span per op, keyed by program index; rows/bytes summed over
         // morsels, duration = summed worker CPU time for that op.
         for (k, op) in prog.ops[start + 1..end].iter().enumerate() {
-            let (dur, rows, bytes) = merged[k].iter().fold((0, 0, 0), |acc, s| {
-                (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2)
-            });
+            let (dur, rows, bytes) = merged[k]
+                .iter()
+                .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
             self.profiler.record(
                 &format!("{}@op{}[x{n_chunks}]", op.name(), start + 1 + k),
                 "relational",
@@ -316,7 +328,10 @@ impl Vm<'_> {
 
     /// Execute a `Scan` with profiling/metering, returning the batch.
     fn exec_scan_op(&self, idx: usize, op: &ProgOp, meter: &mut DeviceMeter) -> Batch {
-        let ProgOp::Scan { table, projection, .. } = op else {
+        let ProgOp::Scan {
+            table, projection, ..
+        } = op
+        else {
             panic!("segment must start with a scan");
         };
         let start = self.profiler.now_us();
@@ -340,7 +355,7 @@ impl Vm<'_> {
         &self,
         idx: usize,
         op: &ProgOp,
-        regs: &mut Vec<Option<Value>>,
+        regs: &mut [Option<Value>],
         meter: &mut DeviceMeter,
     ) {
         match op {
@@ -348,17 +363,31 @@ impl Vm<'_> {
                 let out = self.exec_scan_op(idx, op, meter);
                 regs[*dst] = Some(Value::Batch(out));
             }
-            ProgOp::Filter { dst, src, conjuncts } => {
-                let child = regs[*src].as_ref().expect("src register live").batch().clone();
+            ProgOp::Filter {
+                dst,
+                src,
+                conjuncts,
+            } => {
+                let child = regs[*src]
+                    .as_ref()
+                    .expect("src register live")
+                    .batch()
+                    .clone();
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
                 let in_bytes = child.nbytes();
                 let out = self.apply_filter(conjuncts, child);
-                meter.op(kernel_count("Filter", conjuncts.len()), in_bytes, out.nbytes());
+                meter.op(
+                    kernel_count("Filter", conjuncts.len()),
+                    in_bytes,
+                    out.nbytes(),
+                );
                 self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
-            ProgOp::Project { dst, src, exprs, .. } => {
+            ProgOp::Project {
+                dst, src, exprs, ..
+            } => {
                 let child = regs[*src].as_ref().expect("src register live").batch();
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
@@ -375,7 +404,11 @@ impl Vm<'_> {
                 let in_bytes: usize = keys.iter().map(|&k| build.columns[k].nbytes()).sum();
                 let table = join::build_table(build, keys);
                 let entries = table.len();
-                meter.op(kernel_count("HashBuild", keys.len()), in_bytes, entries * 12);
+                meter.op(
+                    kernel_count("HashBuild", keys.len()),
+                    in_bytes,
+                    entries * 12,
+                );
                 self.profiler.record(
                     &format!("{}@op{idx}", op.name()),
                     "relational",
@@ -386,7 +419,15 @@ impl Vm<'_> {
                 );
                 regs[*dst] = Some(Value::Table(table));
             }
-            ProgOp::HashProbe { dst, table, left, right, join_type, on, residual } => {
+            ProgOp::HashProbe {
+                dst,
+                table,
+                left,
+                right,
+                join_type,
+                on,
+                residual,
+            } => {
                 let t = regs[*table].as_ref().expect("table register live").table();
                 let l = regs[*left].as_ref().expect("left register live").batch();
                 let r = regs[*right].as_ref().expect("right register live").batch();
@@ -407,7 +448,14 @@ impl Vm<'_> {
                 self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
-            ProgOp::SortMergeJoin { dst, left, right, join_type, on, residual } => {
+            ProgOp::SortMergeJoin {
+                dst,
+                left,
+                right,
+                join_type,
+                on,
+                residual,
+            } => {
                 let l = regs[*left].as_ref().expect("left register live").batch();
                 let r = regs[*right].as_ref().expect("right register live").batch();
                 let start = self.profiler.now_us();
@@ -430,7 +478,13 @@ impl Vm<'_> {
                 self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
-            ProgOp::GroupedReduce { dst, src, strategy, group_by, aggs } => {
+            ProgOp::GroupedReduce {
+                dst,
+                src,
+                strategy,
+                group_by,
+                aggs,
+            } => {
                 let child = regs[*src].as_ref().expect("src register live").batch();
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
@@ -440,7 +494,11 @@ impl Vm<'_> {
                     AggStrategy::Hash => agg::Strategy::Hash,
                 };
                 let out = agg::aggregate(child, group_by, aggs, strat, self.models);
-                meter.op(kernel_count("Aggregate", aggs.len()), in_bytes, out.nbytes());
+                meter.op(
+                    kernel_count("Aggregate", aggs.len()),
+                    in_bytes,
+                    out.nbytes(),
+                );
                 self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
@@ -517,12 +575,12 @@ fn pipeline_segments(prog: &TensorProgram) -> Vec<usize> {
     uses[prog.output] += 1;
 
     let mut segments = vec![0usize; prog.ops.len()];
-    for i in 0..prog.ops.len() {
+    for (i, op) in prog.ops.iter().enumerate() {
         segments[i] = i;
-        if !matches!(prog.ops[i], ProgOp::Scan { .. }) {
+        if !matches!(op, ProgOp::Scan { .. }) {
             continue;
         }
-        let mut prev_dst = prog.ops[i].dst();
+        let mut prev_dst = op.dst();
         let mut j = i + 1;
         while j < prog.ops.len() {
             let chainable = match &prog.ops[j] {
@@ -546,16 +604,16 @@ fn pipeline_segments(prog: &TensorProgram) -> Vec<usize> {
 /// schema (names already deduplicated by lowering).
 pub fn batch_to_frame(batch: &Batch, schema: &[ColMeta]) -> DataFrame {
     assert_eq!(schema.len(), batch.ncols(), "schema/batch arity mismatch");
-    for v in &batch.validity {
-        if let Some(mask) = v {
-            assert!(
-                mask.as_bool().iter().all(|&b| b),
-                "NULL leaked into the final output (must be consumed by aggregates)"
-            );
-        }
+    for mask in batch.validity.iter().flatten() {
+        assert!(
+            mask.as_bool().iter().all(|&b| b),
+            "NULL leaked into the final output (must be consumed by aggregates)"
+        );
     }
-    let fields: Vec<tqp_data::Field> =
-        schema.iter().map(|c| tqp_data::Field::new(c.name.clone(), c.ty)).collect();
+    let fields: Vec<tqp_data::Field> = schema
+        .iter()
+        .map(|c| tqp_data::Field::new(c.name.clone(), c.ty))
+        .collect();
     let columns = fields
         .iter()
         .zip(&batch.columns)
@@ -569,13 +627,11 @@ fn tensor_to_column(t: &Tensor, ty: LogicalType) -> tqp_data::Column {
     match ty {
         LogicalType::Bool => Column::from_bool(t.as_bool().to_vec()),
         LogicalType::Int64 => Column::from_i64(t.cast(DType::I64).expect("i64 out").to_i64_vec()),
-        LogicalType::Float64 => {
-            Column::from_f64(t.cast(DType::F64).expect("f64 out").to_f64_vec())
+        LogicalType::Float64 => Column::from_f64(t.cast(DType::F64).expect("f64 out").to_f64_vec()),
+        LogicalType::Date => {
+            Column::from_date_ns(t.cast(DType::I64).expect("date out").to_i64_vec())
         }
-        LogicalType::Date => Column::from_date_ns(t.cast(DType::I64).expect("date out").to_i64_vec()),
-        LogicalType::Str => {
-            Column::from_str((0..t.nrows()).map(|i| t.str_at(i)).collect())
-        }
+        LogicalType::Str => Column::from_str((0..t.nrows()).map(|i| t.str_at(i)).collect()),
     }
 }
 
@@ -591,7 +647,10 @@ mod tests {
     fn setup() -> (Storage, Catalog) {
         let t = df(vec![
             ("id", Column::from_i64(vec![1, 2, 3, 4])),
-            ("grp", Column::from_str(vec!["a".into(), "b".into(), "a".into(), "b".into()])),
+            (
+                "grp",
+                Column::from_str(vec!["a".into(), "b".into(), "a".into(), "b".into()]),
+            ),
             ("v", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0])),
         ]);
         let mut catalog = Catalog::new();
@@ -607,15 +666,24 @@ mod tests {
         let prog = lower(&plan);
         let models = ModelRegistry::new();
         let profiler = Profiler::disabled();
-        let (out, _) =
-            run_program(&prog, &storage, &models, &profiler, ExecConfig::default(), fused);
+        let (out, _) = run_program(
+            &prog,
+            &storage,
+            &models,
+            &profiler,
+            ExecConfig::default(),
+            fused,
+        );
         out
     }
 
     #[test]
     fn filter_project_eager_and_fused_agree() {
         for fused in [false, true] {
-            let out = run("select id, v * 2 as vv from t where v > 15.0 and id < 4 order by id", fused);
+            let out = run(
+                "select id, v * 2 as vv from t where v > 15.0 and id < 4 order by id",
+                fused,
+            );
             assert_eq!(out.nrows(), 2, "fused={fused}");
             assert_eq!(out.column(1).get(0).as_f64(), 40.0);
         }
@@ -623,7 +691,10 @@ mod tests {
 
     #[test]
     fn group_by_on_tensors() {
-        let out = run("select grp, sum(v) as s, count(*) as c from t group by grp order by grp", false);
+        let out = run(
+            "select grp, sum(v) as s, count(*) as c from t group by grp order by grp",
+            false,
+        );
         assert_eq!(out.nrows(), 2);
         assert_eq!(out.column(1).get(0).as_f64(), 40.0);
         assert_eq!(out.column(2).get(1).as_i64(), 2);
@@ -632,13 +703,23 @@ mod tests {
     #[test]
     fn profiler_spans_keyed_by_op_index() {
         let (storage, catalog) = setup();
-        let plan =
-            compile_sql("select grp, sum(v) from t group by grp", &catalog, &PhysicalOptions::default())
-                .unwrap();
+        let plan = compile_sql(
+            "select grp, sum(v) from t group by grp",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
         let prog = lower(&plan);
         let models = ModelRegistry::new();
         let profiler = Profiler::new();
-        let _ = run_program(&prog, &storage, &models, &profiler, ExecConfig::default(), false);
+        let _ = run_program(
+            &prog,
+            &storage,
+            &models,
+            &profiler,
+            ExecConfig::default(),
+            false,
+        );
         let names: Vec<String> = profiler.aggregate().into_iter().map(|s| s.name).collect();
         assert!(names.iter().any(|n| n.starts_with("Scan")), "{names:?}");
         assert!(names.iter().any(|n| n.contains("Aggregate")), "{names:?}");
@@ -649,12 +730,19 @@ mod tests {
     #[test]
     fn gpu_meter_accumulates_per_op() {
         let (storage, catalog) = setup();
-        let plan = compile_sql("select id from t where v > 0.0", &catalog, &PhysicalOptions::default())
-            .unwrap();
+        let plan = compile_sql(
+            "select id from t where v > 0.0",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
         let prog = lower(&plan);
         let models = ModelRegistry::new();
         let profiler = Profiler::disabled();
-        let cfg = ExecConfig { device: Device::GpuSim, ..Default::default() };
+        let cfg = ExecConfig {
+            device: Device::GpuSim,
+            ..Default::default()
+        };
         let (_, meter) = run_program(&prog, &storage, &models, &profiler, cfg, false);
         assert!(meter.total_us() > 0);
     }
@@ -665,7 +753,10 @@ mod tests {
         let n = (PAR_SEGMENT_MIN_ROWS * 2 + 1234) as i64;
         let t = df(vec![
             ("id", Column::from_i64((0..n).collect())),
-            ("v", Column::from_f64((0..n).map(|i| (i % 997) as f64).collect())),
+            (
+                "v",
+                Column::from_f64((0..n).map(|i| (i % 997) as f64).collect()),
+            ),
         ]);
         let mut catalog = Catalog::new();
         catalog.register("big", t.schema().clone(), t.nrows());
@@ -681,8 +772,14 @@ mod tests {
         let prog = lower(&plan);
         let models = ModelRegistry::new();
         let profiler = Profiler::disabled();
-        let seq_cfg = ExecConfig { workers: 1, ..Default::default() };
-        let par_cfg = ExecConfig { workers: 4, ..Default::default() };
+        let seq_cfg = ExecConfig {
+            workers: 1,
+            ..Default::default()
+        };
+        let par_cfg = ExecConfig {
+            workers: 4,
+            ..Default::default()
+        };
         let (seq, _) = run_program(&prog, &storage, &models, &profiler, seq_cfg, false);
         let (par, _) = run_program(&prog, &storage, &models, &profiler, par_cfg, false);
         assert_eq!(seq.nrows(), par.nrows());
@@ -712,8 +809,12 @@ mod tests {
         assert!(end > scan_idx);
         for op in &prog.ops[scan_idx..end] {
             assert!(
-                matches!(op, ProgOp::Scan { .. } | ProgOp::Filter { .. } | ProgOp::Project { .. }),
-                "{}", op.name()
+                matches!(
+                    op,
+                    ProgOp::Scan { .. } | ProgOp::Filter { .. } | ProgOp::Project { .. }
+                ),
+                "{}",
+                op.name()
             );
         }
     }

@@ -33,7 +33,9 @@ pub struct BindError {
 
 impl BindError {
     fn new(msg: impl Into<String>) -> BindError {
-        BindError { message: msg.into() }
+        BindError {
+            message: msg.into(),
+        }
     }
 }
 
@@ -49,7 +51,10 @@ type Result<T> = std::result::Result<T, BindError>;
 
 /// Bind a parsed query against a catalog.
 pub fn bind_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
-    let mut binder = Binder { catalog, ctes: HashMap::new() };
+    let mut binder = Binder {
+        catalog,
+        ctes: HashMap::new(),
+    };
     binder.query(query, None)
 }
 
@@ -118,7 +123,12 @@ impl<'a> Binder<'a> {
         let saved: Vec<(String, Option<LogicalPlan>)> = q
             .ctes
             .iter()
-            .map(|(n, _)| (n.to_ascii_lowercase(), self.ctes.get(&n.to_ascii_lowercase()).cloned()))
+            .map(|(n, _)| {
+                (
+                    n.to_ascii_lowercase(),
+                    self.ctes.get(&n.to_ascii_lowercase()).cloned(),
+                )
+            })
             .collect();
         for (name, cte_q) in &q.ctes {
             let plan = self.query(cte_q, None)?;
@@ -151,9 +161,18 @@ impl<'a> Binder<'a> {
 
         // ---- WHERE ----
         if let Some(w) = &sel.selection {
-            let pred = self.bind_expr(w, &Scope { cols: &from_schema, outer })?;
+            let pred = self.bind_expr(
+                w,
+                &Scope {
+                    cols: &from_schema,
+                    outer,
+                },
+            )?;
             expect_bool(&pred, "WHERE")?;
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: pred,
+            };
         }
 
         // ---- aggregation detection ----
@@ -170,7 +189,10 @@ impl<'a> Binder<'a> {
 
         let (mut plan, out_exprs, out_schema) = if grouped {
             // Bind group keys and aggregate arguments over the FROM scope.
-            let scope = Scope { cols: &from_schema, outer };
+            let scope = Scope {
+                cols: &from_schema,
+                outer,
+            };
             let mut group_exprs = Vec::with_capacity(sel.group_by.len());
             for g in &sel.group_by {
                 group_exprs.push(self.bind_expr(g, &scope)?);
@@ -198,10 +220,12 @@ impl<'a> Binder<'a> {
 
             // HAVING binds over the aggregate output.
             if let Some(h) = &sel.having {
-                let pred =
-                    self.bind_post_agg(h, &sel.group_by, &agg_asts, &agg_schema, outer)?;
+                let pred = self.bind_post_agg(h, &sel.group_by, &agg_asts, &agg_schema, outer)?;
                 expect_bool(&pred, "HAVING")?;
-                plan = LogicalPlan::Filter { input: Box::new(plan), predicate: pred };
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: pred,
+                };
             }
 
             // SELECT items over the aggregate output.
@@ -213,13 +237,8 @@ impl<'a> Binder<'a> {
                         return Err(BindError::new("SELECT * is invalid with GROUP BY"))
                     }
                     SelectItem::Expr { expr, alias } => {
-                        let be = self.bind_post_agg(
-                            expr,
-                            &sel.group_by,
-                            &agg_asts,
-                            &agg_schema,
-                            outer,
-                        )?;
+                        let be =
+                            self.bind_post_agg(expr, &sel.group_by, &agg_asts, &agg_schema, outer)?;
                         let name = alias.clone().unwrap_or_else(|| ast_name(expr));
                         out_schema.push(ColMeta::new(name, be.ty()));
                         out_exprs.push(be);
@@ -229,7 +248,10 @@ impl<'a> Binder<'a> {
             (plan, out_exprs, out_schema)
         } else {
             // Ungrouped: SELECT items over the FROM scope.
-            let scope = Scope { cols: &from_schema, outer };
+            let scope = Scope {
+                cols: &from_schema,
+                outer,
+            };
             let mut out_exprs = Vec::new();
             let mut out_schema: PlanSchema = Vec::new();
             for item in &sel.projection {
@@ -249,7 +271,11 @@ impl<'a> Binder<'a> {
                             (None, tqp_sql::Expr::Column { table, .. }) => table.clone(),
                             _ => None,
                         };
-                        out_schema.push(ColMeta { qualifier, name, ty: be.ty() });
+                        out_schema.push(ColMeta {
+                            qualifier,
+                            name,
+                            ty: be.ty(),
+                        });
                         out_exprs.push(be);
                     }
                 }
@@ -259,10 +285,12 @@ impl<'a> Binder<'a> {
 
         // Skip identity projections (all columns passed through unchanged).
         let identity = out_exprs.len() == plan.arity()
-            && out_exprs.iter().enumerate().all(|(i, e)| matches!(
-                e,
-                BoundExpr::Column { index, .. } if *index == i
-            ))
+            && out_exprs.iter().enumerate().all(|(i, e)| {
+                matches!(
+                    e,
+                    BoundExpr::Column { index, .. } if *index == i
+                )
+            })
             && {
                 // Names must also carry over for identity skip to be safe.
                 let in_schema = plan.schema();
@@ -298,30 +326,49 @@ impl<'a> Binder<'a> {
         // ---- ORDER BY over the output schema ----
         if !order_by.is_empty() {
             let out = plan.schema();
-            let scope = Scope { cols: &out, outer: None };
+            let scope = Scope {
+                cols: &out,
+                outer: None,
+            };
             let mut keys = Vec::with_capacity(order_by.len());
             for item in order_by {
                 // Output columns carry no qualifier; `ORDER BY t.id` retries
                 // as `ORDER BY id` when the qualified lookup misses.
                 let bound = self.bind_expr(&item.expr, &scope).or_else(|e| {
-                    if let tqp_sql::Expr::Column { table: Some(_), name } = &item.expr {
+                    if let tqp_sql::Expr::Column {
+                        table: Some(_),
+                        name,
+                    } = &item.expr
+                    {
                         self.bind_expr(
-                            &tqp_sql::Expr::Column { table: None, name: name.clone() },
+                            &tqp_sql::Expr::Column {
+                                table: None,
+                                name: name.clone(),
+                            },
                             &scope,
                         )
                     } else {
                         Err(e)
                     }
                 });
-                let expr = bound
-                    .map_err(|e| BindError::new(format!("in ORDER BY: {}", e.message)))?;
-                keys.push(SortKey { expr, desc: item.desc });
+                let expr =
+                    bound.map_err(|e| BindError::new(format!("in ORDER BY: {}", e.message)))?;
+                keys.push(SortKey {
+                    expr,
+                    desc: item.desc,
+                });
             }
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys };
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
 
         if let Some(n) = limit {
-            plan = LogicalPlan::Limit { input: Box::new(plan), n };
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
         }
         Ok(plan)
     }
@@ -341,7 +388,10 @@ impl<'a> Binder<'a> {
         let (mut plan, mut schema) = self.bind_table_ref(iter.next().unwrap(), outer)?;
         for tr in iter {
             let (rp, rs) = self.bind_table_ref(tr, outer)?;
-            plan = LogicalPlan::CrossJoin { left: Box::new(plan), right: Box::new(rp) };
+            plan = LogicalPlan::CrossJoin {
+                left: Box::new(plan),
+                right: Box::new(rp),
+            };
             schema.extend(rs);
         }
         Ok((plan, schema))
@@ -393,21 +443,34 @@ impl<'a> Binder<'a> {
                     .collect();
                 Ok((plan, schema))
             }
-            TableRef::Join { left, right, kind, on } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 let (lp, ls) = self.bind_table_ref(left, outer)?;
                 let (rp, rs) = self.bind_table_ref(right, outer)?;
                 let mut schema = ls;
                 schema.extend(rs);
                 match kind {
                     JoinKind::Cross => Ok((
-                        LogicalPlan::CrossJoin { left: Box::new(lp), right: Box::new(rp) },
+                        LogicalPlan::CrossJoin {
+                            left: Box::new(lp),
+                            right: Box::new(rp),
+                        },
                         schema,
                     )),
                     JoinKind::Inner | JoinKind::Left => {
                         let cond = match on {
                             Some(c) => {
-                                let e =
-                                    self.bind_expr(c, &Scope { cols: &schema, outer })?;
+                                let e = self.bind_expr(
+                                    c,
+                                    &Scope {
+                                        cols: &schema,
+                                        outer,
+                                    },
+                                )?;
                                 expect_bool(&e, "JOIN ON")?;
                                 Some(e)
                             }
@@ -473,16 +536,26 @@ impl<'a> Binder<'a> {
                 // NOT over subquery placeholders flips their negated flag so
                 // decorrelation sees canonical forms.
                 Ok(match inner {
-                    BoundExpr::Exists { plan, negated } => {
-                        BoundExpr::Exists { plan, negated: !negated }
-                    }
-                    BoundExpr::InSubquery { expr, plan, negated } => {
-                        BoundExpr::InSubquery { expr, plan, negated: !negated }
-                    }
+                    BoundExpr::Exists { plan, negated } => BoundExpr::Exists {
+                        plan,
+                        negated: !negated,
+                    },
+                    BoundExpr::InSubquery {
+                        expr,
+                        plan,
+                        negated,
+                    } => BoundExpr::InSubquery {
+                        expr,
+                        plan,
+                        negated: !negated,
+                    },
                     other => BoundExpr::Not(Box::new(other)),
                 })
             }
-            Ast::Case { branches, else_expr } => {
+            Ast::Case {
+                branches,
+                else_expr,
+            } => {
                 let mut bound_branches = Vec::with_capacity(branches.len());
                 let mut ty: Option<LogicalType> = None;
                 for (c, v) in branches {
@@ -514,7 +587,11 @@ impl<'a> Binder<'a> {
                     ty: ty.unwrap(),
                 })
             }
-            Ast::Like { expr, pattern, negated } => {
+            Ast::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let e = self.bind_expr(expr, scope)?;
                 if e.ty() != LogicalType::Str {
                     return Err(BindError::new("LIKE requires a string operand"));
@@ -525,7 +602,11 @@ impl<'a> Binder<'a> {
                     negated: *negated,
                 })
             }
-            Ast::InList { expr, list, negated } => {
+            Ast::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let e = self.bind_expr(expr, scope)?;
                 let mut scalars = Vec::with_capacity(list.len());
                 for item in list {
@@ -539,9 +620,18 @@ impl<'a> Binder<'a> {
                         }
                     }
                 }
-                Ok(BoundExpr::InList { expr: Box::new(e), list: scalars, negated: *negated })
+                Ok(BoundExpr::InList {
+                    expr: Box::new(e),
+                    list: scalars,
+                    negated: *negated,
+                })
             }
-            Ast::Between { expr, low, high, negated } => {
+            Ast::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 // Desugar to (e >= low AND e <= high), negated → NOT(...).
                 let e = self.bind_expr(expr, scope)?;
                 let lo = self.bind_expr(low, scope)?;
@@ -554,13 +644,24 @@ impl<'a> Binder<'a> {
                     right: Box::new(le),
                     ty: LogicalType::Bool,
                 };
-                Ok(if *negated { BoundExpr::Not(Box::new(both)) } else { both })
+                Ok(if *negated {
+                    BoundExpr::Not(Box::new(both))
+                } else {
+                    both
+                })
             }
             Ast::IsNull { expr, negated } => {
                 let e = self.bind_expr(expr, scope)?;
-                Ok(BoundExpr::IsNull { expr: Box::new(e), negated: *negated })
+                Ok(BoundExpr::IsNull {
+                    expr: Box::new(e),
+                    negated: *negated,
+                })
             }
-            Ast::Func { name, args, distinct } => {
+            Ast::Func {
+                name,
+                args,
+                distinct,
+            } => {
                 if is_agg_name(name) {
                     return Err(BindError::new(format!(
                         "aggregate {name}() is not allowed in this context"
@@ -589,9 +690,16 @@ impl<'a> Binder<'a> {
                     return Err(BindError::new("scalar subquery must return one column"));
                 }
                 let ty = schema[0].ty;
-                Ok(BoundExpr::ScalarSubquery { plan: Box::new(plan), ty })
+                Ok(BoundExpr::ScalarSubquery {
+                    plan: Box::new(plan),
+                    ty,
+                })
             }
-            Ast::InSubquery { expr, query, negated } => {
+            Ast::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 let e = self.bind_expr(expr, scope)?;
                 let plan = self.subquery_plan(query, scope)?;
                 if plan.arity() != 1 {
@@ -605,7 +713,10 @@ impl<'a> Binder<'a> {
             }
             Ast::Exists { query, negated } => {
                 let plan = self.subquery_plan(query, scope)?;
-                Ok(BoundExpr::Exists { plan: Box::new(plan), negated: *negated })
+                Ok(BoundExpr::Exists {
+                    plan: Box::new(plan),
+                    negated: *negated,
+                })
             }
         }
     }
@@ -621,8 +732,14 @@ impl<'a> Binder<'a> {
         use LogicalType as T;
         // DATE ± INTERVAL folding (intervals only exist as literals).
         if let (
-            BoundExpr::Literal { value: Scalar::I64(ns), ty: T::Date },
-            BoundExpr::Literal { value: Scalar::Str(ival), .. },
+            BoundExpr::Literal {
+                value: Scalar::I64(ns),
+                ty: T::Date,
+            },
+            BoundExpr::Literal {
+                value: Scalar::Str(ival),
+                ..
+            },
         ) = (&l, &r)
         {
             if let Some(folded) = fold_interval(op, *ns, ival)? {
@@ -642,9 +759,7 @@ impl<'a> Binder<'a> {
                     || lt == rt
                     || (lt == T::Date && rt == T::Date);
                 if !compatible {
-                    return Err(BindError::new(format!(
-                        "cannot compare {lt:?} with {rt:?}"
-                    )));
+                    return Err(BindError::new(format!("cannot compare {lt:?} with {rt:?}")));
                 }
                 T::Bool
             }
@@ -685,7 +800,12 @@ impl<'a> Binder<'a> {
                 }
             }
         }
-        Ok(BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty })
+        Ok(BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+            ty,
+        })
     }
 
     fn bind_scalar_func(
@@ -708,7 +828,11 @@ impl<'a> Binder<'a> {
                 } else {
                     ScalarFunc::ExtractMonth
                 };
-                Ok(BoundExpr::Func { func, args: bound, ty: LogicalType::Int64 })
+                Ok(BoundExpr::Func {
+                    func,
+                    args: bound,
+                    ty: LogicalType::Int64,
+                })
             }
             "substring" => {
                 if bound.len() != 3 || bound[0].ty() != LogicalType::Str {
@@ -716,8 +840,14 @@ impl<'a> Binder<'a> {
                 }
                 let (start, len) = match (&bound[1], &bound[2]) {
                     (
-                        BoundExpr::Literal { value: Scalar::I64(s), .. },
-                        BoundExpr::Literal { value: Scalar::I64(l), .. },
+                        BoundExpr::Literal {
+                            value: Scalar::I64(s),
+                            ..
+                        },
+                        BoundExpr::Literal {
+                            value: Scalar::I64(l),
+                            ..
+                        },
                     ) => (*s, *l),
                     _ => {
                         return Err(BindError::new(
@@ -740,7 +870,11 @@ impl<'a> Binder<'a> {
                     return Err(BindError::new("ABS requires one numeric argument"));
                 }
                 let ty = bound[0].ty();
-                Ok(BoundExpr::Func { func: ScalarFunc::Abs, args: bound, ty })
+                Ok(BoundExpr::Func {
+                    func: ScalarFunc::Abs,
+                    args: bound,
+                    ty,
+                })
             }
             other => Err(BindError::new(format!("unknown function {other}()"))),
         }
@@ -748,14 +882,24 @@ impl<'a> Binder<'a> {
 
     fn bind_agg(&mut self, ast: &Ast, scope: &Scope<'_>) -> Result<AggCall> {
         let (name, args, distinct) = match ast {
-            Ast::Func { name, args, distinct } => (name.as_str(), args, *distinct),
+            Ast::Func {
+                name,
+                args,
+                distinct,
+            } => (name.as_str(), args, *distinct),
             _ => return Err(BindError::new("internal: bind_agg on non-function")),
         };
         if name == "count" && args.is_empty() {
-            return Ok(AggCall { func: AggFunc::CountStar, arg: None, ty: LogicalType::Int64 });
+            return Ok(AggCall {
+                func: AggFunc::CountStar,
+                arg: None,
+                ty: LogicalType::Int64,
+            });
         }
         if args.len() != 1 {
-            return Err(BindError::new(format!("{name}() takes exactly one argument")));
+            return Err(BindError::new(format!(
+                "{name}() takes exactly one argument"
+            )));
         }
         let arg = self.bind_expr(&args[0], scope)?;
         let func = match (name, distinct) {
@@ -768,15 +912,22 @@ impl<'a> Binder<'a> {
             _ => return Err(BindError::new(format!("unknown aggregate {name}()"))),
         };
         if matches!(func, AggFunc::Sum | AggFunc::Avg) && !arg.ty().is_numeric() {
-            return Err(BindError::new(format!("{name}() requires a numeric argument")));
+            return Err(BindError::new(format!(
+                "{name}() requires a numeric argument"
+            )));
         }
         let ty = agg_result_type(func, Some(arg.ty()));
-        Ok(AggCall { func, arg: Some(arg), ty })
+        Ok(AggCall {
+            func,
+            arg: Some(arg),
+            ty,
+        })
     }
 
     /// Bind an expression appearing *above* an aggregation: group-by
     /// expressions and aggregate calls are replaced by references into the
     /// aggregate's output schema.
+    #[allow(clippy::only_used_in_recursion)] // `outer` is threaded for future correlated HAVING
     fn bind_post_agg(
         &mut self,
         ast: &Ast,
@@ -788,13 +939,19 @@ impl<'a> Binder<'a> {
         // Whole-expression matches first.
         for (i, g) in group_asts.iter().enumerate() {
             if ast == g {
-                return Ok(BoundExpr::Column { index: i, ty: agg_schema[i].ty });
+                return Ok(BoundExpr::Column {
+                    index: i,
+                    ty: agg_schema[i].ty,
+                });
             }
         }
         for (j, a) in agg_asts.iter().enumerate() {
             if ast == a {
                 let idx = group_asts.len() + j;
-                return Ok(BoundExpr::Column { index: idx, ty: agg_schema[idx].ty });
+                return Ok(BoundExpr::Column {
+                    index: idx,
+                    ty: agg_schema[idx].ty,
+                });
             }
         }
         match ast {
@@ -813,7 +970,10 @@ impl<'a> Binder<'a> {
                 Ok(BoundExpr::Not(Box::new(inner)))
             }
             Ast::Literal(lit) => bind_literal(lit),
-            Ast::Case { branches, else_expr } => {
+            Ast::Case {
+                branches,
+                else_expr,
+            } => {
                 let mut bb = Vec::new();
                 let mut ty: Option<LogicalType> = None;
                 for (c, v) in branches {
@@ -824,14 +984,17 @@ impl<'a> Binder<'a> {
                 }
                 let be = match else_expr {
                     Some(e) => {
-                        let b =
-                            self.bind_post_agg(e, group_asts, agg_asts, agg_schema, outer)?;
+                        let b = self.bind_post_agg(e, group_asts, agg_asts, agg_schema, outer)?;
                         ty = Some(unify(ty, b.ty())?);
                         b
                     }
                     None => BoundExpr::lit_i64(0),
                 };
-                Ok(BoundExpr::Case { branches: bb, else_expr: Box::new(be), ty: ty.unwrap() })
+                Ok(BoundExpr::Case {
+                    branches: bb,
+                    else_expr: Box::new(be),
+                    ty: ty.unwrap(),
+                })
             }
             // Subqueries in HAVING (Q11) bind over the aggregate output as
             // their "outer" scope — they are uncorrelated in TPC-H.
@@ -842,7 +1005,10 @@ impl<'a> Binder<'a> {
                     return Err(BindError::new("scalar subquery must return one column"));
                 }
                 let ty = schema[0].ty;
-                Ok(BoundExpr::ScalarSubquery { plan: Box::new(plan), ty })
+                Ok(BoundExpr::ScalarSubquery {
+                    plan: Box::new(plan),
+                    ty,
+                })
             }
             Ast::Column { table, name } => {
                 // A bare column above aggregation must match a group column
@@ -851,13 +1017,19 @@ impl<'a> Binder<'a> {
                 for (i, g) in group_asts.iter().enumerate() {
                     if let Ast::Column { name: gname, .. } = g {
                         if gname.eq_ignore_ascii_case(name) {
-                            return Ok(BoundExpr::Column { index: i, ty: agg_schema[i].ty });
+                            return Ok(BoundExpr::Column {
+                                index: i,
+                                ty: agg_schema[i].ty,
+                            });
                         }
                     }
                 }
                 Err(BindError::new(format!(
                     "column {}{name} must appear in GROUP BY or inside an aggregate",
-                    table.as_deref().map(|t| format!("{t}.")).unwrap_or_default()
+                    table
+                        .as_deref()
+                        .map(|t| format!("{t}."))
+                        .unwrap_or_default()
                 )))
             }
             other => Err(BindError::new(format!(
@@ -877,9 +1049,10 @@ fn bind_literal(lit: &Literal) -> Result<BoundExpr> {
         Literal::Float(v) => BoundExpr::lit_f64(*v),
         Literal::Str(s) => BoundExpr::lit_str(s),
         Literal::Bool(b) => BoundExpr::lit_bool(*b),
-        Literal::Date(ns) => {
-            BoundExpr::Literal { value: Scalar::I64(*ns), ty: LogicalType::Date }
-        }
+        Literal::Date(ns) => BoundExpr::Literal {
+            value: Scalar::I64(*ns),
+            ty: LogicalType::Date,
+        },
         Literal::Interval { n, unit } => {
             // Intervals ride as tagged strings until folded against a date.
             let tag = match unit {
@@ -887,9 +1060,15 @@ fn bind_literal(lit: &Literal) -> Result<BoundExpr> {
                 tqp_sql::IntervalUnit::Month => format!("{n}m"),
                 tqp_sql::IntervalUnit::Year => format!("{n}y"),
             };
-            BoundExpr::Literal { value: Scalar::Str(tag), ty: LogicalType::Str }
+            BoundExpr::Literal {
+                value: Scalar::Str(tag),
+                ty: LogicalType::Str,
+            }
         }
-        Literal::Null => BoundExpr::Literal { value: Scalar::Null, ty: LogicalType::Int64 },
+        Literal::Null => BoundExpr::Literal {
+            value: Scalar::Null,
+            ty: LogicalType::Int64,
+        },
     })
 }
 
@@ -924,7 +1103,10 @@ fn fold_interval(op: BinOp, date_ns: i64, tag: &str) -> Result<Option<BoundExpr>
 
 fn expect_bool(e: &BoundExpr, what: &str) -> Result<()> {
     if e.ty() != LogicalType::Bool {
-        return Err(BindError::new(format!("{what} must be boolean, got {:?}", e.ty())));
+        return Err(BindError::new(format!(
+            "{what} must be boolean, got {:?}",
+            e.ty()
+        )));
     }
     Ok(())
 }
@@ -961,7 +1143,10 @@ fn collect_aggs(ast: &Ast, out: &mut Vec<Ast>) {
             collect_aggs(right, out);
         }
         Ast::Neg(e) | Ast::Not(e) => collect_aggs(e, out),
-        Ast::Case { branches, else_expr } => {
+        Ast::Case {
+            branches,
+            else_expr,
+        } => {
             for (c, v) in branches {
                 collect_aggs(c, out);
                 collect_aggs(v, out);
@@ -977,7 +1162,9 @@ fn collect_aggs(ast: &Ast, out: &mut Vec<Ast>) {
                 collect_aggs(e, out);
             }
         }
-        Ast::Between { expr, low, high, .. } => {
+        Ast::Between {
+            expr, low, high, ..
+        } => {
             collect_aggs(expr, out);
             collect_aggs(low, out);
             collect_aggs(high, out);
@@ -1076,7 +1263,9 @@ mod tests {
 
     #[test]
     fn where_must_be_bool() {
-        assert!(bind_err("select a from t where a + 1").message.contains("boolean"));
+        assert!(bind_err("select a from t where a + 1")
+            .message
+            .contains("boolean"));
     }
 
     #[test]
@@ -1092,7 +1281,10 @@ mod tests {
         let pred = find_filter(&p).unwrap();
         match pred {
             BoundExpr::Binary { right, .. } => match right.as_ref() {
-                BoundExpr::Literal { value: Scalar::I64(ns), ty: LogicalType::Date } => {
+                BoundExpr::Literal {
+                    value: Scalar::I64(ns),
+                    ty: LogicalType::Date,
+                } => {
                     assert_eq!(
                         tqp_data::dates::format_ns(*ns),
                         "1998-09-02" // 1998-12-01 minus 90 days
@@ -1146,8 +1338,7 @@ mod tests {
     fn distinct_becomes_group_all() {
         let p = bind("select distinct s from t");
         fn has_agg(p: &LogicalPlan) -> bool {
-            matches!(p, LogicalPlan::Aggregate { .. })
-                || p.children().into_iter().any(has_agg)
+            matches!(p, LogicalPlan::Aggregate { .. }) || p.children().into_iter().any(has_agg)
         }
         assert!(has_agg(&p));
     }
@@ -1231,9 +1422,11 @@ mod tests {
         let p = bind("select t.a from t left outer join u on t.a = u.a");
         fn find_join(p: &LogicalPlan) -> Option<(&JoinType, bool)> {
             match p {
-                LogicalPlan::Join { join_type, residual, .. } => {
-                    Some((join_type, residual.is_some()))
-                }
+                LogicalPlan::Join {
+                    join_type,
+                    residual,
+                    ..
+                } => Some((join_type, residual.is_some())),
                 _ => p.children().into_iter().find_map(find_join),
             }
         }

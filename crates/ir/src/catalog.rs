@@ -31,7 +31,8 @@ impl Catalog {
 
     /// Register (or replace) a table.
     pub fn register(&mut self, name: &str, schema: Schema, rows: usize) {
-        self.tables.insert(name.to_ascii_lowercase(), TableMeta { schema, rows });
+        self.tables
+            .insert(name.to_ascii_lowercase(), TableMeta { schema, rows });
     }
 
     /// Look up a table.
@@ -71,7 +72,11 @@ mod tests {
     #[test]
     fn register_and_lookup_case_insensitive() {
         let mut c = Catalog::new();
-        c.register("T", Schema::new(vec![Field::new("x", LogicalType::Int64)]), 10);
+        c.register(
+            "T",
+            Schema::new(vec![Field::new("x", LogicalType::Int64)]),
+            10,
+        );
         assert!(c.get("t").is_some());
         assert_eq!(c.get("T").unwrap().rows, 10);
         assert!(c.get("nope").is_none());

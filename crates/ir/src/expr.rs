@@ -39,7 +39,10 @@ impl BinOp {
 
     /// True for `+ - * / %`.
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
     }
 
     /// Convert from the AST operator.
@@ -103,12 +106,26 @@ pub struct AggCall {
 #[derive(Debug, Clone, PartialEq)]
 pub enum BoundExpr {
     /// Positional reference into the input schema.
-    Column { index: usize, ty: LogicalType },
+    Column {
+        index: usize,
+        ty: LogicalType,
+    },
     /// Reference to the immediately enclosing scope (inside a subquery plan,
     /// before decorrelation removes it).
-    OuterRef { index: usize, ty: LogicalType },
-    Literal { value: Scalar, ty: LogicalType },
-    Binary { op: BinOp, left: Box<BoundExpr>, right: Box<BoundExpr>, ty: LogicalType },
+    OuterRef {
+        index: usize,
+        ty: LogicalType,
+    },
+    Literal {
+        value: Scalar,
+        ty: LogicalType,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+        ty: LogicalType,
+    },
     Not(Box<BoundExpr>),
     Neg(Box<BoundExpr>),
     Case {
@@ -116,16 +133,38 @@ pub enum BoundExpr {
         else_expr: Box<BoundExpr>,
         ty: LogicalType,
     },
-    Like { expr: Box<BoundExpr>, pattern: String, negated: bool },
+    Like {
+        expr: Box<BoundExpr>,
+        pattern: String,
+        negated: bool,
+    },
     /// Literal membership list (non-literal lists are desugared to ORs by
     /// the binder).
-    InList { expr: Box<BoundExpr>, list: Vec<Scalar>, negated: bool },
-    IsNull { expr: Box<BoundExpr>, negated: bool },
-    Func { func: ScalarFunc, args: Vec<BoundExpr>, ty: LogicalType },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<Scalar>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<BoundExpr>,
+        ty: LogicalType,
+    },
     /// ML inference splice point (paper §3.3). `ty` is the prediction type.
-    Predict { model: String, args: Vec<BoundExpr>, ty: LogicalType },
+    Predict {
+        model: String,
+        args: Vec<BoundExpr>,
+        ty: LogicalType,
+    },
     /// Scalar subquery placeholder (removed by decorrelation).
-    ScalarSubquery { plan: Box<crate::plan::LogicalPlan>, ty: LogicalType },
+    ScalarSubquery {
+        plan: Box<crate::plan::LogicalPlan>,
+        ty: LogicalType,
+    },
     /// `expr IN (subquery)` placeholder (removed by decorrelation).
     InSubquery {
         expr: Box<BoundExpr>,
@@ -133,7 +172,10 @@ pub enum BoundExpr {
         negated: bool,
     },
     /// `EXISTS (subquery)` placeholder (removed by decorrelation).
-    Exists { plan: Box<crate::plan::LogicalPlan>, negated: bool },
+    Exists {
+        plan: Box<crate::plan::LogicalPlan>,
+        negated: bool,
+    },
 }
 
 impl BoundExpr {
@@ -165,22 +207,34 @@ impl BoundExpr {
 
     /// Shorthand literal constructors.
     pub fn lit_i64(v: i64) -> BoundExpr {
-        BoundExpr::Literal { value: Scalar::I64(v), ty: LogicalType::Int64 }
+        BoundExpr::Literal {
+            value: Scalar::I64(v),
+            ty: LogicalType::Int64,
+        }
     }
 
     /// Float literal.
     pub fn lit_f64(v: f64) -> BoundExpr {
-        BoundExpr::Literal { value: Scalar::F64(v), ty: LogicalType::Float64 }
+        BoundExpr::Literal {
+            value: Scalar::F64(v),
+            ty: LogicalType::Float64,
+        }
     }
 
     /// Boolean literal.
     pub fn lit_bool(v: bool) -> BoundExpr {
-        BoundExpr::Literal { value: Scalar::Bool(v), ty: LogicalType::Bool }
+        BoundExpr::Literal {
+            value: Scalar::Bool(v),
+            ty: LogicalType::Bool,
+        }
     }
 
     /// String literal.
     pub fn lit_str(v: &str) -> BoundExpr {
-        BoundExpr::Literal { value: Scalar::Str(v.to_string()), ty: LogicalType::Str }
+        BoundExpr::Literal {
+            value: Scalar::Str(v.to_string()),
+            ty: LogicalType::Str,
+        }
     }
 
     /// Visit every node (pre-order).
@@ -192,7 +246,11 @@ impl BoundExpr {
                 right.visit(f);
             }
             BoundExpr::Not(e) | BoundExpr::Neg(e) => e.visit(f),
-            BoundExpr::Case { branches, else_expr, .. } => {
+            BoundExpr::Case {
+                branches,
+                else_expr,
+                ..
+            } => {
                 for (c, v) in branches {
                     c.visit(f);
                     v.visit(f);
@@ -220,7 +278,12 @@ impl BoundExpr {
     /// node). Subquery plans are *not* descended into.
     pub fn transform(self, f: &impl Fn(BoundExpr) -> BoundExpr) -> BoundExpr {
         let mapped = match self {
-            BoundExpr::Binary { op, left, right, ty } => BoundExpr::Binary {
+            BoundExpr::Binary {
+                op,
+                left,
+                right,
+                ty,
+            } => BoundExpr::Binary {
                 op,
                 left: Box::new(left.transform(f)),
                 right: Box::new(right.transform(f)),
@@ -228,7 +291,11 @@ impl BoundExpr {
             },
             BoundExpr::Not(e) => BoundExpr::Not(Box::new(e.transform(f))),
             BoundExpr::Neg(e) => BoundExpr::Neg(Box::new(e.transform(f))),
-            BoundExpr::Case { branches, else_expr, ty } => BoundExpr::Case {
+            BoundExpr::Case {
+                branches,
+                else_expr,
+                ty,
+            } => BoundExpr::Case {
                 branches: branches
                     .into_iter()
                     .map(|(c, v)| (c.transform(f), v.transform(f)))
@@ -236,15 +303,28 @@ impl BoundExpr {
                 else_expr: Box::new(else_expr.transform(f)),
                 ty,
             },
-            BoundExpr::Like { expr, pattern, negated } => {
-                BoundExpr::Like { expr: Box::new(expr.transform(f)), pattern, negated }
-            }
-            BoundExpr::InList { expr, list, negated } => {
-                BoundExpr::InList { expr: Box::new(expr.transform(f)), list, negated }
-            }
-            BoundExpr::IsNull { expr, negated } => {
-                BoundExpr::IsNull { expr: Box::new(expr.transform(f)), negated }
-            }
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
+                expr: Box::new(expr.transform(f)),
+                pattern,
+                negated,
+            },
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr: Box::new(expr.transform(f)),
+                list,
+                negated,
+            },
+            BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(expr.transform(f)),
+                negated,
+            },
             BoundExpr::Func { func, args, ty } => BoundExpr::Func {
                 func,
                 args: args.into_iter().map(|a| a.transform(f)).collect(),
@@ -255,9 +335,15 @@ impl BoundExpr {
                 args: args.into_iter().map(|a| a.transform(f)).collect(),
                 ty,
             },
-            BoundExpr::InSubquery { expr, plan, negated } => {
-                BoundExpr::InSubquery { expr: Box::new(expr.transform(f)), plan, negated }
-            }
+            BoundExpr::InSubquery {
+                expr,
+                plan,
+                negated,
+            } => BoundExpr::InSubquery {
+                expr: Box::new(expr.transform(f)),
+                plan,
+                negated,
+            },
             leaf => leaf,
         };
         f(mapped)
@@ -267,7 +353,10 @@ impl BoundExpr {
     /// onto the right side of a join schema).
     pub fn shift_columns(self, delta: usize) -> BoundExpr {
         self.transform(&|e| match e {
-            BoundExpr::Column { index, ty } => BoundExpr::Column { index: index + delta, ty },
+            BoundExpr::Column { index, ty } => BoundExpr::Column {
+                index: index + delta,
+                ty,
+            },
             other => other,
         })
     }
@@ -330,7 +419,9 @@ pub fn eval_const(e: &BoundExpr) -> Option<Scalar> {
             Scalar::Bool(b) => Some(Scalar::Bool(!b)),
             _ => None,
         },
-        BoundExpr::Binary { op, left, right, .. } => {
+        BoundExpr::Binary {
+            op, left, right, ..
+        } => {
             let l = eval_const(left)?;
             let r = eval_const(right)?;
             eval_binary_scalar(*op, &l, &r)
@@ -457,7 +548,11 @@ mod tests {
     #[test]
     fn scalar_comparisons() {
         assert_eq!(
-            eval_binary_scalar(BinOp::Lt, &Scalar::Str("a".into()), &Scalar::Str("b".into())),
+            eval_binary_scalar(
+                BinOp::Lt,
+                &Scalar::Str("a".into()),
+                &Scalar::Str("b".into())
+            ),
             Some(Scalar::Bool(true))
         );
         assert_eq!(

@@ -40,7 +40,9 @@ impl From<JsonError> for PlanJsonError {
 }
 
 fn bad<T>(message: impl Into<String>) -> Result<T, PlanJsonError> {
-    Err(PlanJsonError { message: message.into() })
+    Err(PlanJsonError {
+        message: message.into(),
+    })
 }
 
 type R<T> = Result<T, PlanJsonError>;
@@ -80,9 +82,7 @@ pub fn scalar_to_json(s: &Scalar) -> Json {
         Scalar::Bool(v) => Json::obj(vec![("t", Json::str("bool")), ("v", Json::Bool(*v))]),
         Scalar::I32(v) => Json::obj(vec![("t", Json::str("i32")), ("v", Json::I64(*v as i64))]),
         Scalar::I64(v) => Json::obj(vec![("t", Json::str("i64")), ("v", Json::I64(*v))]),
-        Scalar::F32(v) => {
-            Json::obj(vec![("t", Json::str("f32")), ("v", Json::F64(*v as f64))])
-        }
+        Scalar::F32(v) => Json::obj(vec![("t", Json::str("f32")), ("v", Json::F64(*v as f64))]),
         Scalar::F64(v) => Json::obj(vec![("t", Json::str("f64")), ("v", Json::F64(*v))]),
         Scalar::Str(v) => Json::obj(vec![("t", Json::str("str")), ("v", Json::str(v.as_str()))]),
     }
@@ -93,7 +93,9 @@ pub fn scalar_from_json(j: &Json) -> R<Scalar> {
     let tag = j.field("t")?.as_str().unwrap_or_default().to_string();
     let v = j.get("v");
     fn need(x: Option<&Json>) -> Result<&Json, PlanJsonError> {
-        x.ok_or(PlanJsonError { message: "missing scalar v".into() })
+        x.ok_or(PlanJsonError {
+            message: "missing scalar v".into(),
+        })
     }
     match tag.as_str() {
         "null" => Ok(Scalar::Null),
@@ -102,7 +104,9 @@ pub fn scalar_from_json(j: &Json) -> R<Scalar> {
         "i64" => Ok(Scalar::I64(need(v)?.as_i64().unwrap_or_default())),
         "f32" => Ok(Scalar::F32(need(v)?.as_f64().unwrap_or_default() as f32)),
         "f64" => Ok(Scalar::F64(need(v)?.as_f64().unwrap_or_default())),
-        "str" => Ok(Scalar::Str(need(v)?.as_str().unwrap_or_default().to_string())),
+        "str" => Ok(Scalar::Str(
+            need(v)?.as_str().unwrap_or_default().to_string(),
+        )),
         other => bad(format!("unknown scalar tag {other:?}")),
     }
 }
@@ -126,35 +130,70 @@ macro_rules! string_enum_codec {
     };
 }
 
-string_enum_codec!(join_type_to_json, join_type_from_json, JoinType, [
-    (JoinType::Inner, "inner"),
-    (JoinType::Left, "left"),
-    (JoinType::Semi, "semi"),
-    (JoinType::Anti, "anti"),
-]);
+string_enum_codec!(
+    join_type_to_json,
+    join_type_from_json,
+    JoinType,
+    [
+        (JoinType::Inner, "inner"),
+        (JoinType::Left, "left"),
+        (JoinType::Semi, "semi"),
+        (JoinType::Anti, "anti"),
+    ]
+);
 
-string_enum_codec!(join_strategy_to_json, join_strategy_from_json, JoinStrategy, [
-    (JoinStrategy::SortMerge, "sort_merge"),
-    (JoinStrategy::Hash, "hash"),
-]);
+string_enum_codec!(
+    join_strategy_to_json,
+    join_strategy_from_json,
+    JoinStrategy,
+    [
+        (JoinStrategy::SortMerge, "sort_merge"),
+        (JoinStrategy::Hash, "hash"),
+    ]
+);
 
-string_enum_codec!(agg_strategy_to_json, agg_strategy_from_json, AggStrategy, [
-    (AggStrategy::Sort, "sort"),
-    (AggStrategy::Hash, "hash"),
-]);
+string_enum_codec!(
+    agg_strategy_to_json,
+    agg_strategy_from_json,
+    AggStrategy,
+    [(AggStrategy::Sort, "sort"), (AggStrategy::Hash, "hash"),]
+);
 
-string_enum_codec!(bin_op_to_json, bin_op_from_json, BinOp, [
-    (BinOp::Add, "+"), (BinOp::Sub, "-"), (BinOp::Mul, "*"), (BinOp::Div, "/"),
-    (BinOp::Mod, "%"), (BinOp::Eq, "="), (BinOp::NotEq, "<>"), (BinOp::Lt, "<"),
-    (BinOp::LtEq, "<="), (BinOp::Gt, ">"), (BinOp::GtEq, ">="),
-    (BinOp::And, "and"), (BinOp::Or, "or"),
-]);
+string_enum_codec!(
+    bin_op_to_json,
+    bin_op_from_json,
+    BinOp,
+    [
+        (BinOp::Add, "+"),
+        (BinOp::Sub, "-"),
+        (BinOp::Mul, "*"),
+        (BinOp::Div, "/"),
+        (BinOp::Mod, "%"),
+        (BinOp::Eq, "="),
+        (BinOp::NotEq, "<>"),
+        (BinOp::Lt, "<"),
+        (BinOp::LtEq, "<="),
+        (BinOp::Gt, ">"),
+        (BinOp::GtEq, ">="),
+        (BinOp::And, "and"),
+        (BinOp::Or, "or"),
+    ]
+);
 
-string_enum_codec!(agg_func_to_json, agg_func_from_json, AggFunc, [
-    (AggFunc::Sum, "sum"), (AggFunc::Avg, "avg"), (AggFunc::Min, "min"),
-    (AggFunc::Max, "max"), (AggFunc::Count, "count"),
-    (AggFunc::CountDistinct, "count_distinct"), (AggFunc::CountStar, "count_star"),
-]);
+string_enum_codec!(
+    agg_func_to_json,
+    agg_func_from_json,
+    AggFunc,
+    [
+        (AggFunc::Sum, "sum"),
+        (AggFunc::Avg, "avg"),
+        (AggFunc::Min, "min"),
+        (AggFunc::Max, "max"),
+        (AggFunc::Count, "count"),
+        (AggFunc::CountDistinct, "count_distinct"),
+        (AggFunc::CountStar, "count_star"),
+    ]
+);
 
 // ---------------------------------------------------------------------
 // Schema / helper structs
@@ -195,7 +234,9 @@ pub fn schema_to_json(schema: &PlanSchema) -> Json {
 /// Parse a `PlanSchema`.
 pub fn schema_from_json(j: &Json) -> R<PlanSchema> {
     j.as_arr()
-        .ok_or(PlanJsonError { message: "schema must be an array".into() })?
+        .ok_or(PlanJsonError {
+            message: "schema must be an array".into(),
+        })?
         .iter()
         .map(col_meta_from_json)
         .collect()
@@ -203,7 +244,10 @@ pub fn schema_from_json(j: &Json) -> R<PlanSchema> {
 
 /// `SortKey` ⇄ object.
 pub fn sort_key_to_json(k: &SortKey) -> Json {
-    Json::obj(vec![("expr", expr_to_json(&k.expr)), ("desc", Json::Bool(k.desc))])
+    Json::obj(vec![
+        ("expr", expr_to_json(&k.expr)),
+        ("desc", Json::Bool(k.desc)),
+    ])
 }
 
 /// Parse a `SortKey`.
@@ -248,7 +292,9 @@ pub fn agg_call_from_json(j: &Json) -> R<AggCall> {
 fn usize_field(j: &Json, key: &str) -> R<usize> {
     match j.field(key)?.as_i64() {
         Some(v) if v >= 0 => Ok(v as usize),
-        other => bad(format!("field {key:?} must be a non-negative integer, got {other:?}")),
+        other => bad(format!(
+            "field {key:?} must be a non-negative integer, got {other:?}"
+        )),
     }
 }
 
@@ -258,7 +304,9 @@ fn exprs_to_json(exprs: &[BoundExpr]) -> Json {
 
 fn exprs_from_json(j: &Json) -> R<Vec<BoundExpr>> {
     j.as_arr()
-        .ok_or(PlanJsonError { message: "expected expression array".into() })?
+        .ok_or(PlanJsonError {
+            message: "expected expression array".into(),
+        })?
         .iter()
         .map(expr_from_json)
         .collect()
@@ -282,7 +330,12 @@ pub fn expr_to_json(e: &BoundExpr) -> Json {
             ("value", scalar_to_json(value)),
             ("ty", type_to_json(*ty)),
         ]),
-        BoundExpr::Binary { op, left, right, ty } => Json::obj(vec![
+        BoundExpr::Binary {
+            op,
+            left,
+            right,
+            ty,
+        } => Json::obj(vec![
             ("k", Json::str("binary")),
             ("op", bin_op_to_json(*op)),
             ("left", expr_to_json(left)),
@@ -295,7 +348,11 @@ pub fn expr_to_json(e: &BoundExpr) -> Json {
         BoundExpr::Neg(inner) => {
             Json::obj(vec![("k", Json::str("neg")), ("expr", expr_to_json(inner))])
         }
-        BoundExpr::Case { branches, else_expr, ty } => Json::obj(vec![
+        BoundExpr::Case {
+            branches,
+            else_expr,
+            ty,
+        } => Json::obj(vec![
             ("k", Json::str("case")),
             (
                 "branches",
@@ -309,13 +366,21 @@ pub fn expr_to_json(e: &BoundExpr) -> Json {
             ("else", expr_to_json(else_expr)),
             ("ty", type_to_json(*ty)),
         ]),
-        BoundExpr::Like { expr, pattern, negated } => Json::obj(vec![
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Json::obj(vec![
             ("k", Json::str("like")),
             ("expr", expr_to_json(expr)),
             ("pattern", Json::str(pattern.as_str())),
             ("negated", Json::Bool(*negated)),
         ]),
-        BoundExpr::InList { expr, list, negated } => Json::obj(vec![
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => Json::obj(vec![
             ("k", Json::str("in_list")),
             ("expr", expr_to_json(expr)),
             ("list", Json::Arr(list.iter().map(scalar_to_json).collect())),
@@ -330,9 +395,10 @@ pub fn expr_to_json(e: &BoundExpr) -> Json {
             let (name, extra) = match func {
                 ScalarFunc::ExtractYear => ("extract_year", None),
                 ScalarFunc::ExtractMonth => ("extract_month", None),
-                ScalarFunc::Substring { start, len } => {
-                    ("substring", Some(Json::arr([Json::I64(*start), Json::I64(*len)])))
-                }
+                ScalarFunc::Substring { start, len } => (
+                    "substring",
+                    Some(Json::arr([Json::I64(*start), Json::I64(*len)])),
+                ),
                 ScalarFunc::Abs => ("abs", None),
             };
             let mut fields = vec![
@@ -386,15 +452,17 @@ pub fn expr_from_json(j: &Json) -> R<BoundExpr> {
             let branches = j
                 .field("branches")?
                 .as_arr()
-                .ok_or(PlanJsonError { message: "case branches must be an array".into() })?
+                .ok_or(PlanJsonError {
+                    message: "case branches must be an array".into(),
+                })?
                 .iter()
                 .map(|pair| {
                     let c = pair.at(0).ok_or(PlanJsonError {
                         message: "case branch missing condition".into(),
                     })?;
-                    let v = pair
-                        .at(1)
-                        .ok_or(PlanJsonError { message: "case branch missing value".into() })?;
+                    let v = pair.at(1).ok_or(PlanJsonError {
+                        message: "case branch missing value".into(),
+                    })?;
                     Ok((expr_from_json(c)?, expr_from_json(v)?))
                 })
                 .collect::<R<Vec<_>>>()?;
@@ -414,7 +482,9 @@ pub fn expr_from_json(j: &Json) -> R<BoundExpr> {
             list: j
                 .field("list")?
                 .as_arr()
-                .ok_or(PlanJsonError { message: "in_list list must be an array".into() })?
+                .ok_or(PlanJsonError {
+                    message: "in_list list must be an array".into(),
+                })?
                 .iter()
                 .map(scalar_from_json)
                 .collect::<R<Vec<_>>>()?,
@@ -459,7 +529,11 @@ pub fn expr_from_json(j: &Json) -> R<BoundExpr> {
 /// `PhysicalPlan` ⇄ tagged object tree.
 pub fn plan_to_json(p: &PhysicalPlan) -> Json {
     match p {
-        PhysicalPlan::Scan { table, schema, projection } => Json::obj(vec![
+        PhysicalPlan::Scan {
+            table,
+            schema,
+            projection,
+        } => Json::obj(vec![
             ("op", Json::str("scan")),
             ("table", Json::str(table.as_str())),
             ("schema", schema_to_json(schema)),
@@ -476,13 +550,24 @@ pub fn plan_to_json(p: &PhysicalPlan) -> Json {
             ("input", plan_to_json(input)),
             ("predicate", expr_to_json(predicate)),
         ]),
-        PhysicalPlan::Project { input, exprs, schema } => Json::obj(vec![
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => Json::obj(vec![
             ("op", Json::str("project")),
             ("input", plan_to_json(input)),
             ("exprs", exprs_to_json(exprs)),
             ("schema", schema_to_json(schema)),
         ]),
-        PhysicalPlan::Join { left, right, join_type, strategy, on, residual } => Json::obj(vec![
+        PhysicalPlan::Join {
+            left,
+            right,
+            join_type,
+            strategy,
+            on,
+            residual,
+        } => Json::obj(vec![
             ("op", Json::str("join")),
             ("left", plan_to_json(left)),
             ("right", plan_to_json(right)),
@@ -509,18 +594,30 @@ pub fn plan_to_json(p: &PhysicalPlan) -> Json {
             ("left", plan_to_json(left)),
             ("right", plan_to_json(right)),
         ]),
-        PhysicalPlan::Aggregate { input, strategy, group_by, aggs, schema } => Json::obj(vec![
+        PhysicalPlan::Aggregate {
+            input,
+            strategy,
+            group_by,
+            aggs,
+            schema,
+        } => Json::obj(vec![
             ("op", Json::str("aggregate")),
             ("input", plan_to_json(input)),
             ("strategy", agg_strategy_to_json(*strategy)),
             ("group_by", exprs_to_json(group_by)),
-            ("aggs", Json::Arr(aggs.iter().map(agg_call_to_json).collect())),
+            (
+                "aggs",
+                Json::Arr(aggs.iter().map(agg_call_to_json).collect()),
+            ),
             ("schema", schema_to_json(schema)),
         ]),
         PhysicalPlan::Sort { input, keys } => Json::obj(vec![
             ("op", Json::str("sort")),
             ("input", plan_to_json(input)),
-            ("keys", Json::Arr(keys.iter().map(sort_key_to_json).collect())),
+            (
+                "keys",
+                Json::Arr(keys.iter().map(sort_key_to_json).collect()),
+            ),
         ]),
         PhysicalPlan::Limit { input, n } => Json::obj(vec![
             ("op", Json::str("limit")),
@@ -533,9 +630,8 @@ pub fn plan_to_json(p: &PhysicalPlan) -> Json {
 /// Parse a `PhysicalPlan`.
 pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
     let op = j.field("op")?.as_str().unwrap_or_default().to_string();
-    let input = |key: &str| -> R<Box<PhysicalPlan>> {
-        Ok(Box::new(plan_from_json(j.field(key)?)?))
-    };
+    let input =
+        |key: &str| -> R<Box<PhysicalPlan>> { Ok(Box::new(plan_from_json(j.field(key)?)?)) };
     match op.as_str() {
         "scan" => Ok(PhysicalPlan::Scan {
             table: j.field("table")?.as_str().unwrap_or_default().to_string(),
@@ -544,11 +640,15 @@ pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
                 Json::Null => None,
                 arr => Some(
                     arr.as_arr()
-                        .ok_or(PlanJsonError { message: "projection must be an array".into() })?
+                        .ok_or(PlanJsonError {
+                            message: "projection must be an array".into(),
+                        })?
                         .iter()
                         .map(|v| {
                             v.as_i64().filter(|&i| i >= 0).map(|i| i as usize).ok_or(
-                                PlanJsonError { message: "projection index invalid".into() },
+                                PlanJsonError {
+                                    message: "projection index invalid".into(),
+                                },
                             )
                         })
                         .collect::<R<Vec<_>>>()?,
@@ -572,7 +672,9 @@ pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
             on: j
                 .field("on")?
                 .as_arr()
-                .ok_or(PlanJsonError { message: "join on must be an array".into() })?
+                .ok_or(PlanJsonError {
+                    message: "join on must be an array".into(),
+                })?
                 .iter()
                 .map(|pair| {
                     let l = pair.at(0).and_then(Json::as_i64);
@@ -588,7 +690,10 @@ pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
                 e => Some(expr_from_json(e)?),
             },
         }),
-        "cross_join" => Ok(PhysicalPlan::CrossJoin { left: input("left")?, right: input("right")? }),
+        "cross_join" => Ok(PhysicalPlan::CrossJoin {
+            left: input("left")?,
+            right: input("right")?,
+        }),
         "aggregate" => Ok(PhysicalPlan::Aggregate {
             input: input("input")?,
             strategy: agg_strategy_from_json(j.field("strategy")?)?,
@@ -596,7 +701,9 @@ pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
             aggs: j
                 .field("aggs")?
                 .as_arr()
-                .ok_or(PlanJsonError { message: "aggs must be an array".into() })?
+                .ok_or(PlanJsonError {
+                    message: "aggs must be an array".into(),
+                })?
                 .iter()
                 .map(agg_call_from_json)
                 .collect::<R<Vec<_>>>()?,
@@ -607,12 +714,17 @@ pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
             keys: j
                 .field("keys")?
                 .as_arr()
-                .ok_or(PlanJsonError { message: "sort keys must be an array".into() })?
+                .ok_or(PlanJsonError {
+                    message: "sort keys must be an array".into(),
+                })?
                 .iter()
                 .map(sort_key_from_json)
                 .collect::<R<Vec<_>>>()?,
         }),
-        "limit" => Ok(PhysicalPlan::Limit { input: input("input")?, n: usize_field(j, "n")? }),
+        "limit" => Ok(PhysicalPlan::Limit {
+            input: input("input")?,
+            n: usize_field(j, "n")?,
+        }),
         other => bad(format!("unknown plan operator {other:?}")),
     }
 }
@@ -626,7 +738,10 @@ mod tests {
         use BoundExpr as E;
         vec![
             E::col(3, T::Float64),
-            E::Literal { value: Scalar::Null, ty: T::Int64 },
+            E::Literal {
+                value: Scalar::Null,
+                ty: T::Int64,
+            },
             E::lit_str("PROMO%"),
             E::Binary {
                 op: BinOp::Mul,
@@ -658,14 +773,25 @@ mod tests {
                 list: vec![Scalar::Str("a".into()), Scalar::Str("b".into())],
                 negated: false,
             },
-            E::IsNull { expr: Box::new(E::col(6, T::Float64)), negated: true },
+            E::IsNull {
+                expr: Box::new(E::col(6, T::Float64)),
+                negated: true,
+            },
             E::Func {
                 func: ScalarFunc::Substring { start: 1, len: 2 },
                 args: vec![E::col(7, T::Str)],
                 ty: T::Str,
             },
-            E::Func { func: ScalarFunc::ExtractYear, args: vec![E::col(8, T::Date)], ty: T::Int64 },
-            E::Predict { model: "m".into(), args: vec![E::col(9, T::Float64)], ty: T::Float64 },
+            E::Func {
+                func: ScalarFunc::ExtractYear,
+                args: vec![E::col(8, T::Date)],
+                ty: T::Int64,
+            },
+            E::Predict {
+                model: "m".into(),
+                args: vec![E::col(9, T::Float64)],
+                ty: T::Float64,
+            },
         ]
     }
 

@@ -39,12 +39,14 @@ pub fn decorrelate(plan: LogicalPlan) -> LogicalPlan {
 fn rewrite_filter(input: LogicalPlan, predicate: BoundExpr) -> LogicalPlan {
     let mut conjuncts = Vec::new();
     split_conjuncts(predicate, &mut conjuncts);
-    let (subq, plain): (Vec<_>, Vec<_>) =
-        conjuncts.into_iter().partition(|c| c.has_subquery());
+    let (subq, plain): (Vec<_>, Vec<_>) = conjuncts.into_iter().partition(|c| c.has_subquery());
     let mut plan = if plain.is_empty() {
         input
     } else {
-        LogicalPlan::Filter { input: Box::new(input), predicate: conjoin(plain) }
+        LogicalPlan::Filter {
+            input: Box::new(input),
+            predicate: conjoin(plain),
+        }
     };
     if subq.is_empty() {
         return plan;
@@ -72,9 +74,11 @@ fn rewrite_filter(input: LogicalPlan, predicate: BoundExpr) -> LogicalPlan {
 fn apply_subquery_conjunct(left: LogicalPlan, conjunct: BoundExpr) -> LogicalPlan {
     match conjunct {
         BoundExpr::Exists { plan: sub, negated } => apply_exists(left, *sub, negated),
-        BoundExpr::InSubquery { expr, plan: sub, negated } => {
-            apply_in(left, *expr, *sub, negated)
-        }
+        BoundExpr::InSubquery {
+            expr,
+            plan: sub,
+            negated,
+        } => apply_in(left, *expr, *sub, negated),
         other => apply_scalar_conjunct(left, other),
     }
 }
@@ -94,7 +98,10 @@ fn apply_exists(left: LogicalPlan, sub: LogicalPlan, negated: bool) -> LogicalPl
     let base = if plain.is_empty() {
         base
     } else {
-        LogicalPlan::Filter { input: Box::new(base), predicate: conjoin(plain) }
+        LogicalPlan::Filter {
+            input: Box::new(base),
+            predicate: conjoin(plain),
+        }
     };
     let (keys, residual) = classify_correlations(corr, left_arity);
     assert!(
@@ -104,7 +111,11 @@ fn apply_exists(left: LogicalPlan, sub: LogicalPlan, negated: bool) -> LogicalPl
     LogicalPlan::Join {
         left: Box::new(left),
         right: Box::new(base),
-        join_type: if negated { JoinType::Anti } else { JoinType::Semi },
+        join_type: if negated {
+            JoinType::Anti
+        } else {
+            JoinType::Semi
+        },
         on: keys,
         residual,
     }
@@ -117,7 +128,11 @@ fn apply_exists(left: LogicalPlan, sub: LogicalPlan, negated: bool) -> LogicalPl
 fn apply_in(left: LogicalPlan, expr: BoundExpr, sub: LogicalPlan, negated: bool) -> LogicalPlan {
     let sub = decorrelate(sub);
     assert_eq!(sub.arity(), 1, "IN subquery must produce one column");
-    let jt = if negated { JoinType::Anti } else { JoinType::Semi };
+    let jt = if negated {
+        JoinType::Anti
+    } else {
+        JoinType::Semi
+    };
     // Materialize the probe key if it is not a bare column.
     let (left2, key_idx, appended) = ensure_key_column(left, expr);
     if !plan_has_outer(&sub) {
@@ -144,7 +159,10 @@ fn apply_in(left: LogicalPlan, expr: BoundExpr, sub: LogicalPlan, negated: bool)
     let base = if plain.is_empty() {
         base
     } else {
-        LogicalPlan::Filter { input: Box::new(base), predicate: conjoin(plain) }
+        LogicalPlan::Filter {
+            input: Box::new(base),
+            predicate: conjoin(plain),
+        }
     };
     let (mut keys, residual) = classify_correlations(corr, left_arity);
     keys.push((key_idx, out_col));
@@ -174,7 +192,10 @@ fn apply_scalar_conjunct(mut left: LogicalPlan, mut conjunct: BoundExpr) -> Logi
         let value_idx;
         if !plan_has_outer(&sub) {
             value_idx = left_arity;
-            left = LogicalPlan::CrossJoin { left: Box::new(left), right: Box::new(sub) };
+            left = LogicalPlan::CrossJoin {
+                left: Box::new(left),
+                right: Box::new(sub),
+            };
         } else {
             let (joined, vidx) = join_correlated_scalar(left, sub, left_arity);
             left = joined;
@@ -182,14 +203,18 @@ fn apply_scalar_conjunct(mut left: LogicalPlan, mut conjunct: BoundExpr) -> Logi
         }
         // Patch the sentinel placeholder.
         conjunct = conjunct.transform(&|e| match e {
-            BoundExpr::Column { index, ty: t } if index == usize::MAX => {
-                BoundExpr::Column { index: value_idx, ty: t }
-            }
+            BoundExpr::Column { index, ty: t } if index == usize::MAX => BoundExpr::Column {
+                index: value_idx,
+                ty: t,
+            },
             other => other,
         });
         let _ = ty;
     }
-    LogicalPlan::Filter { input: Box::new(left), predicate: conjunct }
+    LogicalPlan::Filter {
+        input: Box::new(left),
+        predicate: conjunct,
+    }
 }
 
 /// Rewrite a correlated scalar-aggregate subquery into a grouped aggregate
@@ -205,32 +230,49 @@ fn join_correlated_scalar(
         LogicalPlan::Project { input, exprs, .. } => (Some(exprs), *input),
         other => (None, other),
     };
-    let LogicalPlan::Aggregate { input, group_by, aggs, schema: agg_schema } = agg else {
+    let LogicalPlan::Aggregate {
+        input,
+        group_by,
+        aggs,
+        schema: agg_schema,
+    } = agg
+    else {
         panic!("correlated scalar subquery must be a single aggregate (TPC-H shape)");
     };
-    assert!(group_by.is_empty(), "correlated scalar subquery already grouped");
+    assert!(
+        group_by.is_empty(),
+        "correlated scalar subquery already grouped"
+    );
     let (base, conjs) = peel_filters(*input);
     let (corr, plain): (Vec<_>, Vec<_>) = conjs.into_iter().partition(|c| c.has_outer_ref());
     let base = if plain.is_empty() {
         base
     } else {
-        LogicalPlan::Filter { input: Box::new(base), predicate: conjoin(plain) }
+        LogicalPlan::Filter {
+            input: Box::new(base),
+            predicate: conjoin(plain),
+        }
     };
     let (keys, residual) = classify_correlations(corr, left_arity);
     assert!(
         residual.is_none(),
         "non-equality correlation in scalar subquery is unsupported"
     );
-    assert!(!keys.is_empty(), "correlated scalar subquery needs equality correlations");
+    assert!(
+        !keys.is_empty(),
+        "correlated scalar subquery needs equality correlations"
+    );
     let base_schema = base.schema();
     let n_keys = keys.len();
     // Group the aggregate by the inner correlation columns.
     let group_by: Vec<BoundExpr> = keys
         .iter()
-        .map(|&(_, j)| BoundExpr::Column { index: j, ty: base_schema[j].ty })
+        .map(|&(_, j)| BoundExpr::Column {
+            index: j,
+            ty: base_schema[j].ty,
+        })
         .collect();
-    let mut new_schema: Vec<ColMeta> =
-        keys.iter().map(|&(_, j)| base_schema[j].clone()).collect();
+    let mut new_schema: Vec<ColMeta> = keys.iter().map(|&(_, j)| base_schema[j].clone()).collect();
     new_schema.extend(agg_schema.iter().cloned());
     let grouped = LogicalPlan::Aggregate {
         input: Box::new(base),
@@ -243,7 +285,10 @@ fn join_correlated_scalar(
         None => grouped,
         Some(exprs) => {
             let mut new_exprs: Vec<BoundExpr> = (0..n_keys)
-                .map(|i| BoundExpr::Column { index: i, ty: new_schema[i].ty })
+                .map(|i| BoundExpr::Column {
+                    index: i,
+                    ty: new_schema[i].ty,
+                })
                 .collect();
             let mut proj_schema: Vec<ColMeta> = new_schema[..n_keys].to_vec();
             for e in exprs {
@@ -252,7 +297,11 @@ fn join_correlated_scalar(
                 new_exprs.push(shifted);
             }
             let schema = proj_schema;
-            LogicalPlan::Project { input: Box::new(grouped), exprs: new_exprs, schema }
+            LogicalPlan::Project {
+                input: Box::new(grouped),
+                exprs: new_exprs,
+                schema,
+            }
         }
     };
     let on: Vec<(usize, usize)> = keys.iter().enumerate().map(|(g, &(i, _))| (i, g)).collect();
@@ -279,12 +328,25 @@ fn take_first_scalar_sub(
     match e {
         BoundExpr::ScalarSubquery { plan, ty } => {
             *found = Some((*plan, ty));
-            BoundExpr::Column { index: usize::MAX, ty }
+            BoundExpr::Column {
+                index: usize::MAX,
+                ty,
+            }
         }
-        BoundExpr::Binary { op, left, right, ty } => {
+        BoundExpr::Binary {
+            op,
+            left,
+            right,
+            ty,
+        } => {
             let l = take_first_scalar_sub(*left, found);
             let r = take_first_scalar_sub(*right, found);
-            BoundExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+            BoundExpr::Binary {
+                op,
+                left: Box::new(l),
+                right: Box::new(r),
+                ty,
+            }
         }
         BoundExpr::Not(inner) => BoundExpr::Not(Box::new(take_first_scalar_sub(*inner, found))),
         BoundExpr::Neg(inner) => BoundExpr::Neg(Box::new(take_first_scalar_sub(*inner, found))),
@@ -306,7 +368,12 @@ fn classify_correlations(
     let mut residual_parts = Vec::new();
     for c in corr {
         match &c {
-            BoundExpr::Binary { op: BinOp::Eq, left, right, .. } => {
+            BoundExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+                ..
+            } => {
                 match (left.as_ref(), right.as_ref()) {
                     (BoundExpr::OuterRef { index: o, .. }, BoundExpr::Column { index: i, .. }) => {
                         keys.push((*o, *i));
@@ -323,7 +390,11 @@ fn classify_correlations(
             _ => residual_parts.push(rewrite_residual(c, left_arity)),
         }
     }
-    let residual = if residual_parts.is_empty() { None } else { Some(conjoin(residual_parts)) };
+    let residual = if residual_parts.is_empty() {
+        None
+    } else {
+        Some(conjoin(residual_parts))
+    };
     (keys, residual)
 }
 
@@ -332,7 +403,10 @@ fn classify_correlations(
 fn rewrite_residual(e: BoundExpr, left_arity: usize) -> BoundExpr {
     e.transform(&|node| match node {
         BoundExpr::OuterRef { index, ty } => BoundExpr::Column { index, ty },
-        BoundExpr::Column { index, ty } => BoundExpr::Column { index: index + left_arity, ty },
+        BoundExpr::Column { index, ty } => BoundExpr::Column {
+            index: index + left_arity,
+            ty,
+        },
         other => other,
     })
 }
@@ -375,7 +449,11 @@ fn ensure_key_column(left: LogicalPlan, expr: BoundExpr) -> (LogicalPlan, usize,
     exprs.push(expr);
     let idx = exprs.len() - 1;
     (
-        LogicalPlan::Project { input: Box::new(left), exprs, schema: new_schema },
+        LogicalPlan::Project {
+            input: Box::new(left),
+            exprs,
+            schema: new_schema,
+        },
         idx,
         true,
     )
@@ -425,7 +503,12 @@ pub(crate) fn visit_plan_exprs<'a>(plan: &'a LogicalPlan, f: &mut impl FnMut(&'a
             }
             visit_plan_exprs(input, f);
         }
-        LogicalPlan::Join { left, right, residual, .. } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            residual,
+            ..
+        } => {
             if let Some(r) = residual {
                 f(r);
             }
@@ -436,7 +519,12 @@ pub(crate) fn visit_plan_exprs<'a>(plan: &'a LogicalPlan, f: &mut impl FnMut(&'a
             visit_plan_exprs(left, f);
             visit_plan_exprs(right, f);
         }
-        LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
             for e in group_by {
                 f(e);
             }
@@ -501,7 +589,13 @@ mod tests {
     }
 
     fn find_join_types(p: &LogicalPlan, out: &mut Vec<JoinType>) {
-        if let LogicalPlan::Join { join_type, left, right, .. } = p {
+        if let LogicalPlan::Join {
+            join_type,
+            left,
+            right,
+            ..
+        } = p
+        {
             out.push(*join_type);
             find_join_types(left, out);
             find_join_types(right, out);
@@ -531,12 +625,13 @@ mod tests {
 
     #[test]
     fn exists_with_noneq_residual() {
-        let p = plan(
-            "select a from t where exists (select * from u where u.a = t.a and u.x <> t.b)",
-        );
+        let p =
+            plan("select a from t where exists (select * from u where u.a = t.a and u.x <> t.b)");
         fn find_residual(p: &LogicalPlan) -> Option<&BoundExpr> {
             match p {
-                LogicalPlan::Join { residual: Some(r), .. } => Some(r),
+                LogicalPlan::Join {
+                    residual: Some(r), ..
+                } => Some(r),
                 _ => p.children().into_iter().find_map(find_residual),
             }
         }
@@ -560,8 +655,7 @@ mod tests {
         let p = plan("select a from t where b > (select avg(x) from u)");
         assert!(no_subqueries(&p));
         fn has_cross(p: &LogicalPlan) -> bool {
-            matches!(p, LogicalPlan::CrossJoin { .. })
-                || p.children().into_iter().any(has_cross)
+            matches!(p, LogicalPlan::CrossJoin { .. }) || p.children().into_iter().any(has_cross)
         }
         assert!(has_cross(&p));
         // Output arity restored to 1.
@@ -586,8 +680,7 @@ mod tests {
     #[test]
     fn correlated_scalar_with_projection() {
         // Q17 shape: 0.2 * avg(...).
-        let p =
-            plan("select a from t where b < (select 0.2 * avg(x) from u where u.a = t.a)");
+        let p = plan("select a from t where b < (select 0.2 * avg(x) from u where u.a = t.a)");
         assert!(no_subqueries(&p));
         assert_eq!(p.arity(), 1);
     }

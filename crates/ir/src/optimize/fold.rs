@@ -16,26 +16,47 @@ pub fn fold_plan(plan: LogicalPlan) -> LogicalPlan {
             // `WHERE true` disappears entirely.
             if matches!(
                 p,
-                BoundExpr::Literal { value: Scalar::Bool(true), .. }
+                BoundExpr::Literal {
+                    value: Scalar::Bool(true),
+                    ..
+                }
             ) {
                 *input
             } else {
-                LogicalPlan::Filter { input, predicate: p }
+                LogicalPlan::Filter {
+                    input,
+                    predicate: p,
+                }
             }
         }
-        LogicalPlan::Project { input, exprs, schema } => LogicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
             input,
             exprs: exprs.into_iter().map(fold_expr).collect(),
             schema,
         },
-        LogicalPlan::Join { left, right, join_type, on, residual } => LogicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } => LogicalPlan::Join {
             left,
             right,
             join_type,
             on,
             residual: residual.map(fold_expr),
         },
-        LogicalPlan::Aggregate { input, group_by, aggs, schema } => LogicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
             input,
             group_by: group_by.into_iter().map(fold_expr).collect(),
             aggs: aggs
@@ -65,17 +86,23 @@ pub fn fold_plan(plan: LogicalPlan) -> LogicalPlan {
 pub fn fold_expr(e: BoundExpr) -> BoundExpr {
     // Recurse into embedded subquery plans first.
     let e = match e {
-        BoundExpr::ScalarSubquery { plan, ty } => {
-            BoundExpr::ScalarSubquery { plan: Box::new(fold_plan(*plan)), ty }
-        }
-        BoundExpr::InSubquery { expr, plan, negated } => BoundExpr::InSubquery {
+        BoundExpr::ScalarSubquery { plan, ty } => BoundExpr::ScalarSubquery {
+            plan: Box::new(fold_plan(*plan)),
+            ty,
+        },
+        BoundExpr::InSubquery {
+            expr,
+            plan,
+            negated,
+        } => BoundExpr::InSubquery {
             expr,
             plan: Box::new(fold_plan(*plan)),
             negated,
         },
-        BoundExpr::Exists { plan, negated } => {
-            BoundExpr::Exists { plan: Box::new(fold_plan(*plan)), negated }
-        }
+        BoundExpr::Exists { plan, negated } => BoundExpr::Exists {
+            plan: Box::new(fold_plan(*plan)),
+            negated,
+        },
         other => other,
     };
     e.transform(&|node| simplify(node))
@@ -105,27 +132,51 @@ fn simplify(e: BoundExpr) -> BoundExpr {
     }
     match e {
         // Boolean identities.
-        BoundExpr::Binary { op: BinOp::And, left, right, ty } => {
-            match (is_bool_lit(&left), is_bool_lit(&right)) {
-                (Some(true), _) => *right,
-                (_, Some(true)) => *left,
-                (Some(false), _) | (_, Some(false)) => BoundExpr::lit_bool(false),
-                _ => BoundExpr::Binary { op: BinOp::And, left, right, ty },
-            }
-        }
-        BoundExpr::Binary { op: BinOp::Or, left, right, ty } => {
-            match (is_bool_lit(&left), is_bool_lit(&right)) {
-                (Some(false), _) => *right,
-                (_, Some(false)) => *left,
-                (Some(true), _) | (_, Some(true)) => BoundExpr::lit_bool(true),
-                _ => BoundExpr::Binary { op: BinOp::Or, left, right, ty },
-            }
-        }
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+            ty,
+        } => match (is_bool_lit(&left), is_bool_lit(&right)) {
+            (Some(true), _) => *right,
+            (_, Some(true)) => *left,
+            (Some(false), _) | (_, Some(false)) => BoundExpr::lit_bool(false),
+            _ => BoundExpr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+                ty,
+            },
+        },
+        BoundExpr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+            ty,
+        } => match (is_bool_lit(&left), is_bool_lit(&right)) {
+            (Some(false), _) => *right,
+            (_, Some(false)) => *left,
+            (Some(true), _) | (_, Some(true)) => BoundExpr::lit_bool(true),
+            _ => BoundExpr::Binary {
+                op: BinOp::Or,
+                left,
+                right,
+                ty,
+            },
+        },
         BoundExpr::Not(inner) => match *inner {
             BoundExpr::Not(x) => *x,
-            BoundExpr::Literal { value: Scalar::Bool(b), .. } => BoundExpr::lit_bool(!b),
+            BoundExpr::Literal {
+                value: Scalar::Bool(b),
+                ..
+            } => BoundExpr::lit_bool(!b),
             // Push NOT through comparisons.
-            BoundExpr::Binary { op, left, right, ty } if op.is_comparison() => {
+            BoundExpr::Binary {
+                op,
+                left,
+                right,
+                ty,
+            } if op.is_comparison() => {
                 let flipped = match op {
                     BinOp::Eq => BinOp::NotEq,
                     BinOp::NotEq => BinOp::Eq,
@@ -135,14 +186,31 @@ fn simplify(e: BoundExpr) -> BoundExpr {
                     BinOp::GtEq => BinOp::Lt,
                     _ => unreachable!(),
                 };
-                BoundExpr::Binary { op: flipped, left, right, ty }
+                BoundExpr::Binary {
+                    op: flipped,
+                    left,
+                    right,
+                    ty,
+                }
             }
-            BoundExpr::Like { expr, pattern, negated } => {
-                BoundExpr::Like { expr, pattern, negated: !negated }
-            }
-            BoundExpr::InList { expr, list, negated } => {
-                BoundExpr::InList { expr, list, negated: !negated }
-            }
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
+                expr,
+                pattern,
+                negated: !negated,
+            },
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr,
+                list,
+                negated: !negated,
+            },
             other => BoundExpr::Not(Box::new(other)),
         },
         other => other,
@@ -151,7 +219,10 @@ fn simplify(e: BoundExpr) -> BoundExpr {
 
 fn is_bool_lit(e: &BoundExpr) -> Option<bool> {
     match e {
-        BoundExpr::Literal { value: Scalar::Bool(b), .. } => Some(*b),
+        BoundExpr::Literal {
+            value: Scalar::Bool(b),
+            ..
+        } => Some(*b),
         _ => None,
     }
 }
@@ -178,7 +249,10 @@ mod tests {
             ty: LogicalType::Float64,
         };
         match fold_expr(e) {
-            BoundExpr::Literal { value: Scalar::F64(v), .. } => {
+            BoundExpr::Literal {
+                value: Scalar::F64(v),
+                ..
+            } => {
                 assert!((v - 0.05).abs() < 1e-12)
             }
             other => panic!("{other:?}"),
@@ -204,7 +278,13 @@ mod tests {
             ty: LogicalType::Bool,
         };
         let folded = fold_expr(BoundExpr::Not(Box::new(cmp)));
-        assert!(matches!(folded, BoundExpr::Binary { op: BinOp::GtEq, .. }));
+        assert!(matches!(
+            folded,
+            BoundExpr::Binary {
+                op: BinOp::GtEq,
+                ..
+            }
+        ));
         let like = BoundExpr::Like {
             expr: Box::new(BoundExpr::col(0, LogicalType::Str)),
             pattern: "x%".into(),

@@ -17,14 +17,19 @@ pub fn extract_joins(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
     let plan = map_children(plan, &mut |p| extract_joins(p, catalog));
     match plan {
         LogicalPlan::Filter { input, predicate } => match *input {
-            LogicalPlan::CrossJoin { .. } => {
-                rebuild_cross_chain(*input, predicate, catalog)
-            }
-            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+            LogicalPlan::CrossJoin { .. } => rebuild_cross_chain(*input, predicate, catalog),
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                predicate,
+            },
         },
-        LogicalPlan::Join { left, right, join_type, on, residual } if on.is_empty() => {
-            extract_on_condition(*left, *right, join_type, residual)
-        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } if on.is_empty() => extract_on_condition(*left, *right, join_type, residual),
         other => other,
     }
 }
@@ -78,19 +83,29 @@ fn extract_on_condition(
     let left = if push_left.is_empty() {
         left
     } else {
-        LogicalPlan::Filter { input: Box::new(left), predicate: conjoin(push_left) }
+        LogicalPlan::Filter {
+            input: Box::new(left),
+            predicate: conjoin(push_left),
+        }
     };
     let right = if push_right.is_empty() {
         right
     } else {
-        LogicalPlan::Filter { input: Box::new(right), predicate: conjoin(push_right) }
+        LogicalPlan::Filter {
+            input: Box::new(right),
+            predicate: conjoin(push_right),
+        }
     };
     LogicalPlan::Join {
         left: Box::new(left),
         right: Box::new(right),
         join_type,
         on,
-        residual: if leftover.is_empty() { None } else { Some(conjoin(leftover)) },
+        residual: if leftover.is_empty() {
+            None
+        } else {
+            Some(conjoin(leftover))
+        },
     }
 }
 
@@ -99,7 +114,10 @@ impl BoundExpr {
     /// into the right child's own coordinate space).
     fn shift_left(self, delta: usize) -> BoundExpr {
         self.transform(&|e| match e {
-            BoundExpr::Column { index, ty } => BoundExpr::Column { index: index - delta, ty },
+            BoundExpr::Column { index, ty } => BoundExpr::Column {
+                index: index - delta,
+                ty,
+            },
             other => other,
         })
     }
@@ -107,7 +125,13 @@ impl BoundExpr {
 
 /// Bare-column equality across the boundary → join key.
 fn as_equi_key(c: &BoundExpr, la: usize) -> Option<(usize, usize)> {
-    if let BoundExpr::Binary { op: BinOp::Eq, left, right, .. } = c {
+    if let BoundExpr::Binary {
+        op: BinOp::Eq,
+        left,
+        right,
+        ..
+    } = c
+    {
         if let (BoundExpr::Column { index: a, .. }, BoundExpr::Column { index: b, .. }) =
             (left.as_ref(), right.as_ref())
         {
@@ -126,11 +150,7 @@ fn as_equi_key(c: &BoundExpr, la: usize) -> Option<(usize, usize)> {
 // Comma-join chains
 // ---------------------------------------------------------------------
 
-fn rebuild_cross_chain(
-    cross: LogicalPlan,
-    predicate: BoundExpr,
-    catalog: &Catalog,
-) -> LogicalPlan {
+fn rebuild_cross_chain(cross: LogicalPlan, predicate: BoundExpr, catalog: &Catalog) -> LogicalPlan {
     // Flatten the cross-join tree into relations with global column offsets.
     let mut rels: Vec<LogicalPlan> = Vec::new();
     flatten_cross(cross, &mut rels);
@@ -144,8 +164,7 @@ fn rebuild_cross_chain(
         })
         .collect();
     let total: usize = arities.iter().sum();
-    let original_schema: Vec<ColMeta> =
-        rels.iter().flat_map(|r| r.schema()).collect();
+    let original_schema: Vec<ColMeta> = rels.iter().flat_map(|r| r.schema()).collect();
 
     // Conjuncts, with OR-common-factor hoisting (Q19).
     let mut raw = Vec::new();
@@ -157,7 +176,10 @@ fn rebuild_cross_chain(
 
     // Classify.
     let rel_of = |col: usize| -> usize {
-        offsets.iter().rposition(|&o| o <= col).expect("column offset")
+        offsets
+            .iter()
+            .rposition(|&o| o <= col)
+            .expect("column offset")
     };
     let mut local: Vec<Vec<BoundExpr>> = vec![Vec::new(); rels.len()];
     let mut keys: Vec<(usize, usize, usize, usize)> = Vec::new(); // (rel_i, col_i, rel_j, col_j) local cols
@@ -165,19 +187,22 @@ fn rebuild_cross_chain(
     for c in conjuncts {
         let mut refs = std::collections::BTreeSet::new();
         c.referenced_columns(&mut refs);
-        let rel_set: std::collections::BTreeSet<usize> =
-            refs.iter().map(|&i| rel_of(i)).collect();
+        let rel_set: std::collections::BTreeSet<usize> = refs.iter().map(|&i| rel_of(i)).collect();
         if rel_set.len() <= 1 {
             let rel = rel_set.into_iter().next().unwrap_or(0);
             local[rel].push(c.shift_to_local(offsets[rel]));
             continue;
         }
         if rel_set.len() == 2 {
-            if let BoundExpr::Binary { op: BinOp::Eq, left, right, .. } = &c {
-                if let (
-                    BoundExpr::Column { index: a, .. },
-                    BoundExpr::Column { index: b, .. },
-                ) = (left.as_ref(), right.as_ref())
+            if let BoundExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+                ..
+            } = &c
+            {
+                if let (BoundExpr::Column { index: a, .. }, BoundExpr::Column { index: b, .. }) =
+                    (left.as_ref(), right.as_ref())
                 {
                     let (ra, rb) = (rel_of(*a), rel_of(*b));
                     keys.push((ra, a - offsets[ra], rb, b - offsets[rb]));
@@ -196,7 +221,10 @@ fn rebuild_cross_chain(
             if fs.is_empty() {
                 r
             } else {
-                LogicalPlan::Filter { input: Box::new(r), predicate: conjoin(fs) }
+                LogicalPlan::Filter {
+                    input: Box::new(r),
+                    predicate: conjoin(fs),
+                }
             }
         })
         .collect();
@@ -207,9 +235,8 @@ fn rebuild_cross_chain(
     let mut in_set = vec![false; n];
     let mut colmap: Vec<usize> = vec![usize::MAX; total];
     let has_edge = |i: usize, in_set: &[bool]| {
-        keys.iter().any(|&(a, _, b, _)| {
-            (a == i && in_set[b]) || (b == i && in_set[a])
-        })
+        keys.iter()
+            .any(|&(a, _, b, _)| (a == i && in_set[b]) || (b == i && in_set[a]))
     };
     // Start with the smallest relation that participates in any key (or the
     // smallest overall when no keys exist).
@@ -217,7 +244,9 @@ fn rebuild_cross_chain(
         .filter(|&i| keys.iter().any(|&(a, _, b, _)| a == i || b == i))
         .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
         .unwrap_or_else(|| {
-            (0..n).min_by(|&a, &b| sizes[a].total_cmp(&sizes[b])).unwrap()
+            (0..n)
+                .min_by(|&a, &b| sizes[a].total_cmp(&sizes[b]))
+                .unwrap()
         });
     let mut rels_opt: Vec<Option<LogicalPlan>> = rels.into_iter().map(Some).collect();
     let mut plan = rels_opt[start].take().unwrap();
@@ -248,7 +277,10 @@ fn rebuild_cross_chain(
             }
         }
         plan = if on.is_empty() {
-            LogicalPlan::CrossJoin { left: Box::new(plan), right: Box::new(rel) }
+            LogicalPlan::CrossJoin {
+                left: Box::new(plan),
+                right: Box::new(rel),
+            }
         } else {
             LogicalPlan::Join {
                 left: Box::new(plan),
@@ -271,23 +303,34 @@ fn rebuild_cross_chain(
             .into_iter()
             .map(|c| {
                 c.transform(&|e| match e {
-                    BoundExpr::Column { index, ty } => {
-                        BoundExpr::Column { index: colmap[index], ty }
-                    }
+                    BoundExpr::Column { index, ty } => BoundExpr::Column {
+                        index: colmap[index],
+                        ty,
+                    },
                     other => other,
                 })
             })
             .collect();
-        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: conjoin(remapped) };
+        plan = LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: conjoin(remapped),
+        };
     }
 
     // Restore the original column layout so parents' indexes stay valid.
     let needs_restore = colmap.iter().enumerate().any(|(old, &new)| old != new);
     if needs_restore {
         let exprs: Vec<BoundExpr> = (0..total)
-            .map(|old| BoundExpr::Column { index: colmap[old], ty: original_schema[old].ty })
+            .map(|old| BoundExpr::Column {
+                index: colmap[old],
+                ty: original_schema[old].ty,
+            })
             .collect();
-        plan = LogicalPlan::Project { input: Box::new(plan), exprs, schema: original_schema };
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            schema: original_schema,
+        };
     }
     plan
 }
@@ -295,9 +338,10 @@ fn rebuild_cross_chain(
 impl BoundExpr {
     fn shift_to_local(self, offset: usize) -> BoundExpr {
         self.transform(&|e| match e {
-            BoundExpr::Column { index, ty } => {
-                BoundExpr::Column { index: index - offset, ty }
-            }
+            BoundExpr::Column { index, ty } => BoundExpr::Column {
+                index: index - offset,
+                ty,
+            },
             other => other,
         })
     }
@@ -360,7 +404,12 @@ fn hoist_or_common(c: BoundExpr, out: &mut Vec<BoundExpr>) {
 
 fn split_disjuncts(e: BoundExpr, out: &mut Vec<BoundExpr>) {
     match e {
-        BoundExpr::Binary { op: BinOp::Or, left, right, .. } => {
+        BoundExpr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+            ..
+        } => {
             split_disjuncts(*left, out);
             split_disjuncts(*right, out);
         }
@@ -387,14 +436,21 @@ pub(crate) fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
         }
         LogicalPlan::Filter { input, .. } => estimate(input, catalog) * 0.2,
         LogicalPlan::Project { input, .. } => estimate(input, catalog),
-        LogicalPlan::Join { left, right, join_type, .. } => match join_type {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            ..
+        } => match join_type {
             JoinType::Semi | JoinType::Anti => estimate(left, catalog) * 0.5,
             _ => estimate(left, catalog).max(estimate(right, catalog)),
         },
         LogicalPlan::CrossJoin { left, right } => {
             estimate(left, catalog) * estimate(right, catalog)
         }
-        LogicalPlan::Aggregate { input, group_by, .. } => {
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
             if group_by.is_empty() {
                 1.0
             } else {
@@ -460,12 +516,18 @@ mod tests {
     #[test]
     fn comma_join_becomes_equi_join() {
         let p = plan("select big.v from big, small where big.small_id = small.id");
-        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 0);
         assert_eq!(
-            count_nodes(
-                &p,
-                &|n| matches!(n, LogicalPlan::Join { join_type: JoinType::Inner, .. })
-            ),
+            count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })),
+            0
+        );
+        assert_eq!(
+            count_nodes(&p, &|n| matches!(
+                n,
+                LogicalPlan::Join {
+                    join_type: JoinType::Inner,
+                    ..
+                }
+            )),
             1
         );
     }
@@ -477,15 +539,20 @@ mod tests {
              and mid.big_id = big.id",
         );
         // No cross joins left, two inner joins.
-        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 0);
-        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::Join { .. })), 2);
+        assert_eq!(
+            count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })),
+            0
+        );
+        assert_eq!(
+            count_nodes(&p, &|n| matches!(n, LogicalPlan::Join { .. })),
+            2
+        );
     }
 
     #[test]
     fn local_filters_pushed_during_extraction() {
-        let p = plan(
-            "select big.v from big, small where big.small_id = small.id and small.name = 'x'",
-        );
+        let p =
+            plan("select big.v from big, small where big.small_id = small.id and small.name = 'x'");
         // The small-side filter must sit below the join.
         fn filter_below_join(p: &LogicalPlan) -> bool {
             match p {
@@ -509,8 +576,14 @@ mod tests {
              (big.small_id = small.id and small.name = 'a' and big.v > 1.0) or \
              (big.small_id = small.id and small.name = 'b' and big.v > 2.0)",
         );
-        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 0);
-        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::Join { .. })), 1);
+        assert_eq!(
+            count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })),
+            0
+        );
+        assert_eq!(
+            count_nodes(&p, &|n| matches!(n, LogicalPlan::Join { .. })),
+            1
+        );
     }
 
     #[test]
@@ -543,7 +616,11 @@ mod tests {
         );
         fn join_right_is_filter(p: &LogicalPlan) -> bool {
             match p {
-                LogicalPlan::Join { right, join_type: JoinType::Left, .. } => {
+                LogicalPlan::Join {
+                    right,
+                    join_type: JoinType::Left,
+                    ..
+                } => {
                     matches!(**right, LogicalPlan::Filter { .. })
                 }
                 _ => p.children().into_iter().any(join_right_is_filter),
@@ -555,6 +632,9 @@ mod tests {
     #[test]
     fn no_keys_stays_cross() {
         let p = plan("select big.v from big, small where big.v > 1.0");
-        assert_eq!(count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })), 1);
+        assert_eq!(
+            count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })),
+            1
+        );
     }
 }

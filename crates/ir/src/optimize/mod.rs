@@ -43,25 +43,55 @@ pub(crate) fn map_children(
     use LogicalPlan::*;
     match plan {
         Scan { .. } => plan,
-        Filter { input, predicate } => Filter { input: Box::new(f(*input)), predicate },
-        Project { input, exprs, schema } => {
-            Project { input: Box::new(f(*input)), exprs, schema }
-        }
-        Join { left, right, join_type, on, residual } => Join {
+        Filter { input, predicate } => Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        Project {
+            input,
+            exprs,
+            schema,
+        } => Project {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        Join {
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } => Join {
             left: Box::new(f(*left)),
             right: Box::new(f(*right)),
             join_type,
             on,
             residual,
         },
-        CrossJoin { left, right } => {
-            CrossJoin { left: Box::new(f(*left)), right: Box::new(f(*right)) }
-        }
-        Aggregate { input, group_by, aggs, schema } => {
-            Aggregate { input: Box::new(f(*input)), group_by, aggs, schema }
-        }
-        Sort { input, keys } => Sort { input: Box::new(f(*input)), keys },
-        Limit { input, n } => Limit { input: Box::new(f(*input)), n },
+        CrossJoin { left, right } => CrossJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+        Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => Aggregate {
+            input: Box::new(f(*input)),
+            group_by,
+            aggs,
+            schema,
+        },
+        Sort { input, keys } => Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        Limit { input, n } => Limit {
+            input: Box::new(f(*input)),
+            n,
+        },
     }
 }
 
@@ -69,7 +99,12 @@ pub(crate) fn map_children(
 pub(crate) fn split_conjuncts(e: crate::expr::BoundExpr, out: &mut Vec<crate::expr::BoundExpr>) {
     use crate::expr::{BinOp, BoundExpr};
     match e {
-        BoundExpr::Binary { op: BinOp::And, left, right, .. } => {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+            ..
+        } => {
             split_conjuncts(*left, out);
             split_conjuncts(*right, out);
         }

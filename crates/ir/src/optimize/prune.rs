@@ -26,7 +26,11 @@ pub fn prune_plan(plan: LogicalPlan) -> LogicalPlan {
 /// column (needed columns are always retained).
 fn prune(plan: LogicalPlan, needed: &BTreeSet<usize>) -> (LogicalPlan, Vec<Option<usize>>) {
     match plan {
-        LogicalPlan::Scan { table, schema, projection } => {
+        LogicalPlan::Scan {
+            table,
+            schema,
+            projection,
+        } => {
             debug_assert!(projection.is_none(), "prune runs once");
             let n = schema.len();
             let mut keep: Vec<usize> = needed.iter().copied().collect();
@@ -39,16 +43,33 @@ fn prune(plan: LogicalPlan, needed: &BTreeSet<usize>) -> (LogicalPlan, Vec<Optio
                 map[old] = Some(new);
             }
             let projection = if keep.len() == n { None } else { Some(keep) };
-            (LogicalPlan::Scan { table, schema, projection }, map)
+            (
+                LogicalPlan::Scan {
+                    table,
+                    schema,
+                    projection,
+                },
+                map,
+            )
         }
         LogicalPlan::Filter { input, predicate } => {
             let mut child_needed = needed.clone();
             predicate.referenced_columns(&mut child_needed);
             let (child, map) = prune(*input, &child_needed);
             let predicate = remap(predicate, &map);
-            (LogicalPlan::Filter { input: Box::new(child), predicate }, map)
+            (
+                LogicalPlan::Filter {
+                    input: Box::new(child),
+                    predicate,
+                },
+                map,
+            )
         }
-        LogicalPlan::Project { input, exprs, schema } => {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
             let keep: Vec<usize> = if needed.is_empty() {
                 vec![0]
             } else {
@@ -59,19 +80,31 @@ fn prune(plan: LogicalPlan, needed: &BTreeSet<usize>) -> (LogicalPlan, Vec<Optio
                 exprs[i].referenced_columns(&mut child_needed);
             }
             let (child, cmap) = prune(*input, &child_needed);
-            let new_exprs: Vec<BoundExpr> =
-                keep.iter().map(|&i| remap(exprs[i].clone(), &cmap)).collect();
+            let new_exprs: Vec<BoundExpr> = keep
+                .iter()
+                .map(|&i| remap(exprs[i].clone(), &cmap))
+                .collect();
             let new_schema = keep.iter().map(|&i| schema[i].clone()).collect();
             let mut map = vec![None; exprs.len()];
             for (new, &old) in keep.iter().enumerate() {
                 map[old] = Some(new);
             }
             (
-                LogicalPlan::Project { input: Box::new(child), exprs: new_exprs, schema: new_schema },
+                LogicalPlan::Project {
+                    input: Box::new(child),
+                    exprs: new_exprs,
+                    schema: new_schema,
+                },
                 map,
             )
         }
-        LogicalPlan::Join { left, right, join_type, on, residual } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } => {
             let la = left.arity();
             let ra = right.arity();
             let mut lneed: BTreeSet<usize> = BTreeSet::new();
@@ -120,9 +153,7 @@ fn prune(plan: LogicalPlan, needed: &BTreeSet<usize>) -> (LogicalPlan, Vec<Optio
             });
             let semi = matches!(join_type, JoinType::Semi | JoinType::Anti);
             let mut map = vec![None; if semi { la } else { la + ra }];
-            for i in 0..la {
-                map[i] = lmap[i];
-            }
+            map[..la].copy_from_slice(&lmap[..la]);
             if !semi {
                 for j in 0..ra {
                     map[la + j] = rmap[j].map(|n| new_la + n);
@@ -155,18 +186,24 @@ fn prune(plan: LogicalPlan, needed: &BTreeSet<usize>) -> (LogicalPlan, Vec<Optio
             let (rchild, rmap) = prune(*right, &rneed);
             let new_la = lchild.arity();
             let mut map = vec![None; la + ra];
-            for i in 0..la {
-                map[i] = lmap[i];
-            }
+            map[..la].copy_from_slice(&lmap[..la]);
             for j in 0..ra {
                 map[la + j] = rmap[j].map(|n| new_la + n);
             }
             (
-                LogicalPlan::CrossJoin { left: Box::new(lchild), right: Box::new(rchild) },
+                LogicalPlan::CrossJoin {
+                    left: Box::new(lchild),
+                    right: Box::new(rchild),
+                },
                 map,
             )
         }
-        LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
             let n_groups = group_by.len();
             // Group keys always survive (they define the semantics); unused
             // aggregate calls are dropped.
@@ -183,13 +220,12 @@ fn prune(plan: LogicalPlan, needed: &BTreeSet<usize>) -> (LogicalPlan, Vec<Optio
                 }
             }
             let (child, cmap) = prune(*input, &child_needed);
-            let group_by: Vec<BoundExpr> =
-                group_by.into_iter().map(|g| remap(g, &cmap)).collect();
+            let group_by: Vec<BoundExpr> = group_by.into_iter().map(|g| remap(g, &cmap)).collect();
             let mut new_aggs = Vec::with_capacity(keep_aggs.len());
             let mut new_schema: Vec<_> = schema[..n_groups].to_vec();
             let mut map = vec![None; n_groups + aggs.len()];
-            for i in 0..n_groups {
-                map[i] = Some(i);
+            for (i, slot) in map.iter_mut().enumerate().take(n_groups) {
+                *slot = Some(i);
             }
             for (new_j, &old_j) in keep_aggs.iter().enumerate() {
                 let mut call = aggs[old_j].clone();
@@ -221,11 +257,23 @@ fn prune(plan: LogicalPlan, needed: &BTreeSet<usize>) -> (LogicalPlan, Vec<Optio
                     k
                 })
                 .collect();
-            (LogicalPlan::Sort { input: Box::new(child), keys }, map)
+            (
+                LogicalPlan::Sort {
+                    input: Box::new(child),
+                    keys,
+                },
+                map,
+            )
         }
         LogicalPlan::Limit { input, n } => {
             let (child, map) = prune(*input, needed);
-            (LogicalPlan::Limit { input: Box::new(child), n }, map)
+            (
+                LogicalPlan::Limit {
+                    input: Box::new(child),
+                    n,
+                },
+                map,
+            )
         }
     }
 }

@@ -23,13 +23,20 @@ fn push_into(input: LogicalPlan, predicate: BoundExpr) -> LogicalPlan {
 fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan {
     match input {
         // Merge stacked filters, then keep pushing.
-        LogicalPlan::Filter { input: inner, predicate } => {
+        LogicalPlan::Filter {
+            input: inner,
+            predicate,
+        } => {
             let mut all = conjuncts;
             split_conjuncts(predicate, &mut all);
             push_conjuncts(*inner, all)
         }
         // Substitute projection expressions and push below.
-        LogicalPlan::Project { input: inner, exprs, schema } => {
+        LogicalPlan::Project {
+            input: inner,
+            exprs,
+            schema,
+        } => {
             let substituted: Vec<BoundExpr> = conjuncts
                 .into_iter()
                 .map(|c| {
@@ -40,9 +47,19 @@ fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan 
                 })
                 .collect();
             let inner = push_conjuncts(*inner, substituted);
-            LogicalPlan::Project { input: Box::new(inner), exprs, schema }
+            LogicalPlan::Project {
+                input: Box::new(inner),
+                exprs,
+                schema,
+            }
         }
-        LogicalPlan::Join { left, right, join_type, on, residual } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } => {
             let la = left.arity();
             let total = la
                 + match join_type {
@@ -126,11 +143,19 @@ fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan 
                 push_conjuncts(*right, right_parts)
             };
             wrap(
-                LogicalPlan::CrossJoin { left: Box::new(new_left), right: Box::new(new_right) },
+                LogicalPlan::CrossJoin {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                },
                 keep,
             )
         }
-        LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => {
             // Conjuncts touching only group columns commute with grouping.
             let n_groups = group_by.len();
             let mut push = Vec::new();
@@ -150,7 +175,11 @@ fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan 
                     keep.push(c);
                 }
             }
-            let inner = if push.is_empty() { *input } else { push_conjuncts(*input, push) };
+            let inner = if push.is_empty() {
+                *input
+            } else {
+                push_conjuncts(*input, push)
+            };
             wrap(
                 LogicalPlan::Aggregate {
                     input: Box::new(inner),
@@ -164,7 +193,10 @@ fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan 
         // Sort commutes with filtering.
         LogicalPlan::Sort { input, keys } => {
             let inner = push_conjuncts(*input, conjuncts);
-            LogicalPlan::Sort { input: Box::new(inner), keys }
+            LogicalPlan::Sort {
+                input: Box::new(inner),
+                keys,
+            }
         }
         other => wrap(other, conjuncts),
     }
@@ -172,7 +204,10 @@ fn push_conjuncts(input: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan 
 
 fn shift_down(e: BoundExpr, la: usize) -> BoundExpr {
     e.transform(&|node| match node {
-        BoundExpr::Column { index, ty } => BoundExpr::Column { index: index - la, ty },
+        BoundExpr::Column { index, ty } => BoundExpr::Column {
+            index: index - la,
+            ty,
+        },
         other => other,
     })
 }
@@ -181,7 +216,10 @@ fn wrap(plan: LogicalPlan, conjuncts: Vec<BoundExpr>) -> LogicalPlan {
     if conjuncts.is_empty() {
         plan
     } else {
-        LogicalPlan::Filter { input: Box::new(plan), predicate: conjoin(conjuncts) }
+        LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: conjoin(conjuncts),
+        }
     }
 }
 
@@ -226,7 +264,10 @@ mod tests {
                 matches!(&**input, LogicalPlan::Scan { table: t, .. } if t == table)
                     || scan_has_filter_above(input, table)
             }
-            _ => p.children().into_iter().any(|c| scan_has_filter_above(c, table)),
+            _ => p
+                .children()
+                .into_iter()
+                .any(|c| scan_has_filter_above(c, table)),
         }
     }
 
@@ -258,8 +299,7 @@ mod tests {
         fn agg_has_filter_above(p: &LogicalPlan) -> bool {
             match p {
                 LogicalPlan::Filter { input, .. } => {
-                    matches!(&**input, LogicalPlan::Aggregate { .. })
-                        || agg_has_filter_above(input)
+                    matches!(&**input, LogicalPlan::Aggregate { .. }) || agg_has_filter_above(input)
                 }
                 _ => p.children().into_iter().any(agg_has_filter_above),
             }

@@ -14,7 +14,6 @@
 //! the paper's experimental setup: identical plans, different execution
 //! substrates.
 
-
 use crate::expr::{AggCall, BoundExpr};
 use crate::plan::{ColMeta, JoinType, LogicalPlan, PlanSchema, SortKey};
 
@@ -45,7 +44,10 @@ pub struct PhysicalOptions {
 
 impl Default for PhysicalOptions {
     fn default() -> Self {
-        PhysicalOptions { join: JoinStrategy::SortMerge, agg: AggStrategy::Sort }
+        PhysicalOptions {
+            join: JoinStrategy::SortMerge,
+            agg: AggStrategy::Sort,
+        }
     }
 }
 
@@ -99,13 +101,20 @@ impl PhysicalPlan {
     /// Output schema.
     pub fn schema(&self) -> PlanSchema {
         match self {
-            PhysicalPlan::Scan { schema, projection, .. } => match projection {
+            PhysicalPlan::Scan {
+                schema, projection, ..
+            } => match projection {
                 Some(idx) => idx.iter().map(|&i| schema[i].clone()).collect(),
                 None => schema.clone(),
             },
             PhysicalPlan::Filter { input, .. } => input.schema(),
             PhysicalPlan::Project { schema, .. } => schema.clone(),
-            PhysicalPlan::Join { left, right, join_type, .. } => match join_type {
+            PhysicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => match join_type {
                 JoinType::Semi | JoinType::Anti => left.schema(),
                 _ => {
                     let mut s = left.schema();
@@ -138,8 +147,9 @@ impl PhysicalPlan {
             | PhysicalPlan::Aggregate { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Limit { input, .. } => vec![input],
-            PhysicalPlan::Join { left, right, .. }
-            | PhysicalPlan::CrossJoin { left, right } => vec![left, right],
+            PhysicalPlan::Join { left, right, .. } | PhysicalPlan::CrossJoin { left, right } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -149,7 +159,11 @@ impl PhysicalPlan {
             PhysicalPlan::Scan { table, .. } => format!("Scan({table})"),
             PhysicalPlan::Filter { .. } => "Filter".into(),
             PhysicalPlan::Project { .. } => "Project".into(),
-            PhysicalPlan::Join { strategy, join_type, .. } => {
+            PhysicalPlan::Join {
+                strategy,
+                join_type,
+                ..
+            } => {
                 format!("{strategy:?}Join({join_type:?})")
             }
             PhysicalPlan::CrossJoin { .. } => "CrossJoin".into(),
@@ -190,7 +204,11 @@ impl PhysicalPlan {
 /// Convert an optimized logical plan into a physical plan.
 pub fn plan_physical(plan: &LogicalPlan, opts: &PhysicalOptions) -> PhysicalPlan {
     match plan {
-        LogicalPlan::Scan { table, schema, projection } => PhysicalPlan::Scan {
+        LogicalPlan::Scan {
+            table,
+            schema,
+            projection,
+        } => PhysicalPlan::Scan {
             table: table.clone(),
             schema: schema.clone(),
             projection: projection.clone(),
@@ -199,12 +217,22 @@ pub fn plan_physical(plan: &LogicalPlan, opts: &PhysicalOptions) -> PhysicalPlan
             input: Box::new(plan_physical(input, opts)),
             predicate: predicate.clone(),
         },
-        LogicalPlan::Project { input, exprs, schema } => PhysicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
             input: Box::new(plan_physical(input, opts)),
             exprs: exprs.clone(),
             schema: schema.clone(),
         },
-        LogicalPlan::Join { left, right, join_type, on, residual } => PhysicalPlan::Join {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+            residual,
+        } => PhysicalPlan::Join {
             left: Box::new(plan_physical(left, opts)),
             right: Box::new(plan_physical(right, opts)),
             join_type: *join_type,
@@ -216,7 +244,12 @@ pub fn plan_physical(plan: &LogicalPlan, opts: &PhysicalOptions) -> PhysicalPlan
             left: Box::new(plan_physical(left, opts)),
             right: Box::new(plan_physical(right, opts)),
         },
-        LogicalPlan::Aggregate { input, group_by, aggs, schema } => PhysicalPlan::Aggregate {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            schema,
+        } => PhysicalPlan::Aggregate {
             input: Box::new(plan_physical(input, opts)),
             strategy: opts.agg,
             group_by: group_by.clone(),
@@ -227,9 +260,10 @@ pub fn plan_physical(plan: &LogicalPlan, opts: &PhysicalOptions) -> PhysicalPlan
             input: Box::new(plan_physical(input, opts)),
             keys: keys.clone(),
         },
-        LogicalPlan::Limit { input, n } => {
-            PhysicalPlan::Limit { input: Box::new(plan_physical(input, opts)), n: *n }
-        }
+        LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+            input: Box::new(plan_physical(input, opts)),
+            n: *n,
+        },
     }
 }
 
@@ -304,7 +338,10 @@ mod tests {
     fn strategies_propagate() {
         let p = physical(
             "select t.a, sum(t.b) from t, u where t.a = u.a group by t.a",
-            PhysicalOptions { join: JoinStrategy::Hash, agg: AggStrategy::Hash },
+            PhysicalOptions {
+                join: JoinStrategy::Hash,
+                agg: AggStrategy::Hash,
+            },
         );
         fn check(p: &PhysicalPlan) -> (bool, bool) {
             let mut j = false;
@@ -328,8 +365,10 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let p = physical("select a from t where b > 1.0 order by a limit 3",
-            PhysicalOptions::default());
+        let p = physical(
+            "select a from t where b > 1.0 order by a limit 3",
+            PhysicalOptions::default(),
+        );
         let json = p.to_json();
         let back = PhysicalPlan::from_json(&json).unwrap();
         assert_eq!(p, back);

@@ -16,12 +16,20 @@ pub struct ColMeta {
 impl ColMeta {
     /// Unqualified column.
     pub fn new(name: impl Into<String>, ty: LogicalType) -> ColMeta {
-        ColMeta { qualifier: None, name: name.into(), ty }
+        ColMeta {
+            qualifier: None,
+            name: name.into(),
+            ty,
+        }
     }
 
     /// Qualified column.
     pub fn qualified(q: &str, name: impl Into<String>, ty: LogicalType) -> ColMeta {
-        ColMeta { qualifier: Some(q.to_string()), name: name.into(), ty }
+        ColMeta {
+            qualifier: Some(q.to_string()),
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -53,11 +61,22 @@ pub struct SortKey {
 pub enum LogicalPlan {
     /// Base table scan. `projection` holds the retained column indexes of
     /// the catalog schema (column pruning rewrites it).
-    Scan { table: String, schema: PlanSchema, projection: Option<Vec<usize>> },
+    Scan {
+        table: String,
+        schema: PlanSchema,
+        projection: Option<Vec<usize>>,
+    },
     /// Row filter.
-    Filter { input: Box<LogicalPlan>, predicate: BoundExpr },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: BoundExpr,
+    },
     /// Expression projection.
-    Project { input: Box<LogicalPlan>, exprs: Vec<BoundExpr>, schema: PlanSchema },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<BoundExpr>,
+        schema: PlanSchema,
+    },
     /// Equi-join with optional residual predicate. `on` pairs are
     /// (left column index, right column index); the residual is evaluated
     /// over the concatenated (left ++ right) schema.
@@ -69,7 +88,10 @@ pub enum LogicalPlan {
         residual: Option<BoundExpr>,
     },
     /// Cartesian product (removed by join extraction where possible).
-    CrossJoin { left: Box<LogicalPlan>, right: Box<LogicalPlan> },
+    CrossJoin {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
     /// Group-by aggregation. Output schema: group columns then agg results.
     Aggregate {
         input: Box<LogicalPlan>,
@@ -78,7 +100,10 @@ pub enum LogicalPlan {
         schema: PlanSchema,
     },
     /// Total-order sort.
-    Sort { input: Box<LogicalPlan>, keys: Vec<SortKey> },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<SortKey>,
+    },
     /// First-k truncation.
     Limit { input: Box<LogicalPlan>, n: usize },
 }
@@ -87,13 +112,20 @@ impl LogicalPlan {
     /// Output schema of this node.
     pub fn schema(&self) -> PlanSchema {
         match self {
-            LogicalPlan::Scan { schema, projection, .. } => match projection {
+            LogicalPlan::Scan {
+                schema, projection, ..
+            } => match projection {
                 Some(idx) => idx.iter().map(|&i| schema[i].clone()).collect(),
                 None => schema.clone(),
             },
             LogicalPlan::Filter { input, .. } => input.schema(),
             LogicalPlan::Project { schema, .. } => schema.clone(),
-            LogicalPlan::Join { left, right, join_type, .. } => match join_type {
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => match join_type {
                 JoinType::Semi | JoinType::Anti => left.schema(),
                 _ => {
                     let mut s = left.schema();
@@ -115,12 +147,17 @@ impl LogicalPlan {
     /// Number of output columns (cheaper than materializing the schema).
     pub fn arity(&self) -> usize {
         match self {
-            LogicalPlan::Scan { schema, projection, .. } => {
-                projection.as_ref().map_or(schema.len(), |p| p.len())
-            }
+            LogicalPlan::Scan {
+                schema, projection, ..
+            } => projection.as_ref().map_or(schema.len(), |p| p.len()),
             LogicalPlan::Filter { input, .. } => input.arity(),
             LogicalPlan::Project { exprs, .. } => exprs.len(),
-            LogicalPlan::Join { left, right, join_type, .. } => match join_type {
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => match join_type {
                 JoinType::Semi | JoinType::Anti => left.arity(),
                 _ => left.arity() + right.arity(),
             },
@@ -156,7 +193,9 @@ impl LogicalPlan {
     fn fmt_tree(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         let line = match self {
-            LogicalPlan::Scan { table, projection, .. } => match projection {
+            LogicalPlan::Scan {
+                table, projection, ..
+            } => match projection {
                 Some(p) => format!("Scan {table} (cols {p:?})"),
                 None => format!("Scan {table}"),
             },
@@ -165,11 +204,20 @@ impl LogicalPlan {
                 .take(120)
                 .collect::<String>(),
             LogicalPlan::Project { exprs, .. } => format!("Project ({} exprs)", exprs.len()),
-            LogicalPlan::Join { join_type, on, residual, .. } => format!(
+            LogicalPlan::Join {
+                join_type,
+                on,
+                residual,
+                ..
+            } => format!(
                 "Join {:?} on {:?}{}",
                 join_type,
                 on,
-                if residual.is_some() { " + residual" } else { "" }
+                if residual.is_some() {
+                    " + residual"
+                } else {
+                    ""
+                }
             ),
             LogicalPlan::CrossJoin { .. } => "CrossJoin".to_string(),
             LogicalPlan::Aggregate { group_by, aggs, .. } => {
@@ -253,14 +301,26 @@ mod tests {
 
     #[test]
     fn agg_types() {
-        assert_eq!(agg_result_type(AggFunc::CountStar, None), LogicalType::Int64);
-        assert_eq!(agg_result_type(AggFunc::Avg, Some(LogicalType::Int64)), LogicalType::Float64);
-        assert_eq!(agg_result_type(AggFunc::Sum, Some(LogicalType::Int64)), LogicalType::Int64);
+        assert_eq!(
+            agg_result_type(AggFunc::CountStar, None),
+            LogicalType::Int64
+        );
+        assert_eq!(
+            agg_result_type(AggFunc::Avg, Some(LogicalType::Int64)),
+            LogicalType::Float64
+        );
+        assert_eq!(
+            agg_result_type(AggFunc::Sum, Some(LogicalType::Int64)),
+            LogicalType::Int64
+        );
         assert_eq!(
             agg_result_type(AggFunc::Sum, Some(LogicalType::Float64)),
             LogicalType::Float64
         );
-        assert_eq!(agg_result_type(AggFunc::Min, Some(LogicalType::Date)), LogicalType::Date);
+        assert_eq!(
+            agg_result_type(AggFunc::Min, Some(LogicalType::Date)),
+            LogicalType::Date
+        );
     }
 
     #[test]

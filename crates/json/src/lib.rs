@@ -38,7 +38,9 @@ impl std::fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, JsonError> {
-    Err(JsonError { message: message.into() })
+    Err(JsonError {
+        message: message.into(),
+    })
 }
 
 impl Json {
@@ -71,8 +73,9 @@ impl Json {
 
     /// Required object field.
     pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
-        self.get(key)
-            .ok_or_else(|| JsonError { message: format!("missing field {key:?}") })
+        self.get(key).ok_or_else(|| JsonError {
+            message: format!("missing field {key:?}"),
+        })
     }
 
     /// Array element lookup.
@@ -190,7 +193,10 @@ impl Json {
 
     /// Parse a complete JSON document.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -354,13 +360,13 @@ impl Parser<'_> {
                             if self.pos + 5 > self.bytes.len() {
                                 return err("truncated \\u escape");
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| JsonError {
-                                        message: "bad \\u escape".into(),
-                                    })?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| JsonError { message: "bad \\u escape".into() })?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| JsonError {
+                                    message: "bad \\u escape".into(),
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                                message: "bad \\u escape".into(),
+                            })?;
                             // Surrogate pairs are not needed by our writers.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
@@ -372,8 +378,10 @@ impl Parser<'_> {
                 Some(_) => {
                     // Consume one UTF-8 character.
                     let start = self.pos;
-                    let rest = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| JsonError { message: "invalid utf-8".into() })?;
+                    let rest =
+                        std::str::from_utf8(&self.bytes[start..]).map_err(|_| JsonError {
+                            message: "invalid utf-8".into(),
+                        })?;
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -398,8 +406,9 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JsonError { message: "invalid number".into() })?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            message: "invalid number".into(),
+        })?;
         if text.is_empty() || text == "-" {
             return err(format!("invalid number at byte {start}"));
         }
@@ -411,10 +420,9 @@ impl Parser<'_> {
         } else {
             match text.parse::<i64>() {
                 Ok(v) => Ok(Json::I64(v)),
-                Err(_) => text
-                    .parse::<f64>()
-                    .map(Json::F64)
-                    .map_err(|_| JsonError { message: format!("invalid number {text:?}") }),
+                Err(_) => text.parse::<f64>().map(Json::F64).map_err(|_| JsonError {
+                    message: format!("invalid number {text:?}"),
+                }),
             }
         }
     }
@@ -462,9 +470,18 @@ mod tests {
     #[test]
     fn accessors() {
         let v = Json::parse(r#"{"a": [1, "two", 3.5], "b": {"c": true}}"#).unwrap();
-        assert_eq!(v.get("a").and_then(|a| a.at(1)).and_then(Json::as_str), Some("two"));
-        assert_eq!(v.get("a").and_then(|a| a.at(0)).and_then(Json::as_i64), Some(1));
-        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(|a| a.at(1)).and_then(Json::as_str),
+            Some("two")
+        );
+        assert_eq!(
+            v.get("a").and_then(|a| a.at(0)).and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_bool),
+            Some(true)
+        );
         assert!(v.get("missing").is_none());
         assert!(v.field("missing").is_err());
     }
@@ -482,9 +499,6 @@ mod tests {
     fn unicode_and_escapes() {
         let v = Json::Str("héllo \u{1F600} \"q\" \\ \n".into());
         assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
-        assert_eq!(
-            Json::parse(r#""A\t""#).unwrap(),
-            Json::Str("A\t".into())
-        );
+        assert_eq!(Json::parse(r#""A\t""#).unwrap(), Json::Str("A\t".into()));
     }
 }

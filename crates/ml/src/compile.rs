@@ -57,10 +57,12 @@ struct GemmTree {
 
 impl GemmTree {
     fn compile(tree: &DecisionTree, k: usize) -> GemmTree {
-        let internal: Vec<usize> =
-            (0..tree.n_nodes()).filter(|&i| tree.feature[i] != usize::MAX).collect();
-        let leaves: Vec<usize> =
-            (0..tree.n_nodes()).filter(|&i| tree.feature[i] == usize::MAX).collect();
+        let internal: Vec<usize> = (0..tree.n_nodes())
+            .filter(|&i| tree.feature[i] != usize::MAX)
+            .collect();
+        let leaves: Vec<usize> = (0..tree.n_nodes())
+            .filter(|&i| tree.feature[i] == usize::MAX)
+            .collect();
         if internal.is_empty() {
             return GemmTree {
                 a: Tensor::from_f64_matrix(vec![], 0, 0),
@@ -73,10 +75,16 @@ impl GemmTree {
         }
         let ni = internal.len();
         let nl = leaves.len();
-        let node_to_internal: std::collections::HashMap<usize, usize> =
-            internal.iter().enumerate().map(|(pos, &n)| (n, pos)).collect();
-        let leaf_pos: std::collections::HashMap<usize, usize> =
-            leaves.iter().enumerate().map(|(pos, &n)| (n, pos)).collect();
+        let node_to_internal: std::collections::HashMap<usize, usize> = internal
+            .iter()
+            .enumerate()
+            .map(|(pos, &n)| (n, pos))
+            .collect();
+        let leaf_pos: std::collections::HashMap<usize, usize> = leaves
+            .iter()
+            .enumerate()
+            .map(|(pos, &n)| (n, pos))
+            .collect();
         let mut a = vec![0f64; k * ni];
         let mut b = vec![0f64; ni];
         for (pos, &n) in internal.iter().enumerate() {
@@ -244,7 +252,10 @@ impl CompiledTrees {
     pub fn from_gbt(g: &GradientBoostedTrees, strategy: TreeStrategy) -> CompiledTrees {
         CompiledTrees {
             trees: g.trees.iter().map(|t| compile_one(t, strategy)).collect(),
-            combine: Combine::WeightedSum { base: g.base, lr: g.learning_rate },
+            combine: Combine::WeightedSum {
+                base: g.base,
+                lr: g.learning_rate,
+            },
             n_features: g.trees[0].n_features,
             strategy,
         }
@@ -327,7 +338,14 @@ mod tests {
     #[test]
     fn gemm_matches_reference_exactly() {
         let (x, y) = synth(300, 4);
-        let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: 5, min_samples_split: 2 });
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 5,
+                min_samples_split: 2,
+            },
+        );
         let compiled = CompiledTrees::from_tree(&tree, TreeStrategy::Gemm);
         let reference = tree.predict_matrix_reference(&x);
         let got = compiled.predict_matrix(&x);
@@ -339,7 +357,14 @@ mod tests {
     #[test]
     fn traversal_matches_reference_exactly() {
         let (x, y) = synth(300, 4);
-        let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: 7, min_samples_split: 2 });
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 7,
+                min_samples_split: 2,
+            },
+        );
         let compiled = CompiledTrees::from_tree(&tree, TreeStrategy::Traversal);
         let reference = tree.predict_matrix_reference(&x);
         let got = compiled.predict_matrix(&x);
@@ -360,10 +385,16 @@ mod tests {
     #[test]
     fn gbt_compiles_with_base_and_lr() {
         let (x, y) = synth(150, 3);
-        let g = crate::tree::GradientBoostedTrees::fit(&x, &y, 10, 0.3, TreeParams {
-            max_depth: 3,
-            min_samples_split: 2,
-        });
+        let g = crate::tree::GradientBoostedTrees::fit(
+            &x,
+            &y,
+            10,
+            0.3,
+            TreeParams {
+                max_depth: 3,
+                min_samples_split: 2,
+            },
+        );
         let compiled = CompiledTrees::from_gbt(&g, TreeStrategy::Gemm);
         // Reference: base + lr * sum of member trees.
         let yv = y.to_f64_vec();
@@ -384,7 +415,14 @@ mod tests {
     fn constant_tree_handled() {
         let x = Tensor::from_f64_matrix(vec![1.0, 2.0], 2, 1);
         let y = Tensor::from_f64(vec![3.0, 3.0]);
-        let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: 0, min_samples_split: 2 });
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                min_samples_split: 2,
+            },
+        );
         let g = CompiledTrees::from_tree(&tree, TreeStrategy::Gemm).predict_matrix(&x);
         assert_eq!(g.as_f64(), &[3.0, 3.0]);
         let t = CompiledTrees::from_tree(&tree, TreeStrategy::Traversal).predict_matrix(&x);

@@ -33,7 +33,10 @@ use tqp_tensor::Tensor;
 /// Assemble per-argument rank-1 `F64` feature tensors into a row-major
 /// `(n × k)` design matrix (the `X` every model consumes).
 pub fn design_matrix(inputs: &[Tensor]) -> Tensor {
-    assert!(!inputs.is_empty(), "design_matrix needs at least one feature");
+    assert!(
+        !inputs.is_empty(),
+        "design_matrix needs at least one feature"
+    );
     let n = inputs[0].nrows();
     let k = inputs.len();
     let cols: Vec<Vec<f64>> = inputs
@@ -68,6 +71,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn design_matrix_rejects_ragged() {
-        design_matrix(&[Tensor::from_f64(vec![1.0]), Tensor::from_f64(vec![1.0, 2.0])]);
+        design_matrix(&[
+            Tensor::from_f64(vec![1.0]),
+            Tensor::from_f64(vec![1.0, 2.0]),
+        ]);
     }
 }

@@ -93,13 +93,21 @@ impl LinearRegression {
             }
             b -= scale * gb;
         }
-        LinearRegression { weights: w, bias: b, norm }
+        LinearRegression {
+            weights: w,
+            bias: b,
+            norm,
+        }
     }
 
     /// Predict on a design matrix.
     pub fn predict_matrix(&self, x: &Tensor) -> Tensor {
         let xs = self.norm.apply(x);
-        matvec_f64(&xs, &Tensor::from_f64(self.weights.clone()), Some(self.bias))
+        matvec_f64(
+            &xs,
+            &Tensor::from_f64(self.weights.clone()),
+            Some(self.bias),
+        )
     }
 
     /// Mean squared error on a dataset.
@@ -107,7 +115,11 @@ impl LinearRegression {
         let p = self.predict_matrix(x);
         let pv = p.as_f64();
         let yv = y.to_f64_vec();
-        pv.iter().zip(&yv).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / yv.len().max(1) as f64
+        pv.iter()
+            .zip(&yv)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / yv.len().max(1) as f64
     }
 }
 
@@ -163,13 +175,22 @@ impl LogisticRegression {
             }
             b -= scale * gb;
         }
-        LogisticRegression { weights: w, bias: b, norm, hard_labels: true }
+        LogisticRegression {
+            weights: w,
+            bias: b,
+            norm,
+            hard_labels: true,
+        }
     }
 
     /// Class-1 probabilities.
     pub fn predict_proba(&self, x: &Tensor) -> Tensor {
         let xs = self.norm.apply(x);
-        let z = matvec_f64(&xs, &Tensor::from_f64(self.weights.clone()), Some(self.bias));
+        let z = matvec_f64(
+            &xs,
+            &Tensor::from_f64(self.weights.clone()),
+            Some(self.bias),
+        );
         sigmoid(&z)
     }
 
@@ -264,10 +285,7 @@ mod tests {
         let (x, _) = synth_linear(50);
         let y = Tensor::from_f64(vec![1.0; 50]);
         let m = LogisticRegression::fit(&x, &y, 100, 1.0);
-        let out = m.predict(&[
-            Tensor::from_f64(vec![1.0]),
-            Tensor::from_f64(vec![1.0]),
-        ]);
+        let out = m.predict(&[Tensor::from_f64(vec![1.0]), Tensor::from_f64(vec![1.0])]);
         assert!(out.as_f64()[0] == 0.0 || out.as_f64()[0] == 1.0);
     }
 }

@@ -23,14 +23,7 @@ pub struct Mlp {
 
 impl Mlp {
     /// Train with plain SGD on squared loss.
-    pub fn fit(
-        x: &Tensor,
-        y: &Tensor,
-        hidden: usize,
-        epochs: usize,
-        lr: f64,
-        seed: u64,
-    ) -> Mlp {
+    pub fn fit(x: &Tensor, y: &Tensor, hidden: usize, epochs: usize, lr: f64, seed: u64) -> Mlp {
         let (n, k) = (x.shape()[0], x.shape()[1]);
         let xv = x.as_f64();
         let yv = y.to_f64_vec();

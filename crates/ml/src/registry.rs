@@ -79,7 +79,10 @@ mod tests {
         assert!(r.get("my_model").is_some());
         assert!(r.get("missing").is_none());
         assert_eq!(r.names(), vec!["my_model".to_string()]);
-        let out = r.get("MY_MODEL").unwrap().predict(&[Tensor::from_f64(vec![1.5])]);
+        let out = r
+            .get("MY_MODEL")
+            .unwrap()
+            .predict(&[Tensor::from_f64(vec![1.5])]);
         assert_eq!(out.as_f64(), &[1.5]);
     }
 }

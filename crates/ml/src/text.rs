@@ -50,6 +50,7 @@ pub struct TextClassifier {
 impl TextClassifier {
     /// Train by SGD on log-loss. `texts` is an `(n × m)` byte matrix,
     /// `labels` 0/1.
+    #[allow(clippy::needless_range_loop)] // `i` addresses rows of two parallel tensors
     pub fn fit(texts: &Tensor, labels: &Tensor, bits: u32, epochs: usize, lr: f64) -> Self {
         let n = texts.nrows();
         let dim = 1usize << bits;
@@ -71,7 +72,12 @@ impl TextClassifier {
                 b -= lr * err;
             }
         }
-        TextClassifier { bits, weights: w, bias: b, hard_labels: true }
+        TextClassifier {
+            bits,
+            weights: w,
+            bias: b,
+            hard_labels: true,
+        }
     }
 
     /// Class-1 probability per row of a string tensor.
@@ -81,8 +87,12 @@ impl TextClassifier {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             featurize_row(texts, i, self.bits, &mut feats);
-            let z: f64 =
-                self.bias + feats.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>();
+            let z: f64 = self.bias
+                + feats
+                    .iter()
+                    .zip(&self.weights)
+                    .map(|(x, w)| x * w)
+                    .sum::<f64>();
             out.push(1.0 / (1.0 + (-z).exp()));
         }
         Tensor::from_f64(out)
@@ -134,8 +144,16 @@ mod tests {
 
     #[test]
     fn learns_simple_sentiment() {
-        let pos = ["great product love it", "excellent quality recommend", "amazing fast perfect"];
-        let neg = ["terrible broke refund", "awful waste disappointed", "poor quality worst"];
+        let pos = [
+            "great product love it",
+            "excellent quality recommend",
+            "amazing fast perfect",
+        ];
+        let neg = [
+            "terrible broke refund",
+            "awful waste disappointed",
+            "poor quality worst",
+        ];
         let mut texts = Vec::new();
         let mut labels = Vec::new();
         for _ in 0..20 {

@@ -31,7 +31,10 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 6, min_samples_split: 4 }
+        TreeParams {
+            max_depth: 6,
+            min_samples_split: 4,
+        }
     }
 }
 
@@ -81,8 +84,7 @@ impl DecisionTree {
         // Find the best (feature, threshold) by variance reduction.
         let mut best: Option<(usize, f64, f64)> = None; // (feat, thr, score)
         for f in 0..k {
-            let mut vals: Vec<(f64, f64)> =
-                idx.iter().map(|&i| (xv[i * k + f], yv[i])).collect();
+            let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (xv[i * k + f], yv[i])).collect();
             vals.sort_by(|a, b| a.0.total_cmp(&b.0));
             let total_sum: f64 = vals.iter().map(|v| v.1).sum();
             let total_sq: f64 = vals.iter().map(|v| v.1 * v.1).sum();
@@ -101,7 +103,7 @@ impl DecisionTree {
                 let rvar = (total_sq - lsq) - (total_sum - lsum) * (total_sum - lsum) / rn;
                 let score = lvar + rvar; // lower is better
                 let thr = (vals[s].0 + vals[s - 1].0) / 2.0;
-                if best.map_or(true, |(_, _, s0)| score < s0) {
+                if best.is_none_or(|(_, _, s0)| score < s0) {
                     best = Some((f, thr, score));
                 }
             }
@@ -165,7 +167,9 @@ impl DecisionTree {
     pub fn predict_matrix_reference(&self, x: &Tensor) -> Tensor {
         let (n, k) = (x.shape()[0], x.shape()[1]);
         let xv = x.as_f64();
-        let out: Vec<f64> = (0..n).map(|i| self.predict_row(&xv[i * k..(i + 1) * k])).collect();
+        let out: Vec<f64> = (0..n)
+            .map(|i| self.predict_row(&xv[i * k..(i + 1) * k]))
+            .collect();
         Tensor::from_f64(out)
     }
 }
@@ -235,7 +239,11 @@ impl GradientBoostedTrees {
             }
             trees.push(tree);
         }
-        GradientBoostedTrees { base, learning_rate, trees }
+        GradientBoostedTrees {
+            base,
+            learning_rate,
+            trees,
+        }
     }
 }
 
@@ -266,7 +274,14 @@ mod tests {
     #[test]
     fn tree_fits_piecewise_function() {
         let (x, y) = synth(200);
-        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 4, min_samples_split: 2 });
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 4,
+                min_samples_split: 2,
+            },
+        );
         let p = t.predict_matrix_reference(&x);
         let err: f64 = p
             .as_f64()
@@ -282,7 +297,14 @@ mod tests {
     #[test]
     fn depth_zero_tree_is_constant() {
         let (x, y) = synth(50);
-        let t = DecisionTree::fit(&x, &y, TreeParams { max_depth: 0, min_samples_split: 2 });
+        let t = DecisionTree::fit(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 0,
+                min_samples_split: 2,
+            },
+        );
         assert_eq!(t.n_nodes(), 1);
         let p = t.predict_matrix_reference(&x);
         let mean = y.to_f64_vec().iter().sum::<f64>() / 50.0;
@@ -295,8 +317,11 @@ mod tests {
         let f = RandomForest::fit(&x, &y, 5, TreeParams::default(), 7);
         assert_eq!(f.trees.len(), 5);
         // Forest mean of identical-data trees should still track the target.
-        let preds: Vec<Tensor> =
-            f.trees.iter().map(|t| t.predict_matrix_reference(&x)).collect();
+        let preds: Vec<Tensor> = f
+            .trees
+            .iter()
+            .map(|t| t.predict_matrix_reference(&x))
+            .collect();
         let avg0: f64 = preds.iter().map(|p| p.as_f64()[0]).sum::<f64>() / 5.0;
         assert!((avg0 - y.to_f64_vec()[0]).abs() < 0.4);
     }
@@ -304,8 +329,26 @@ mod tests {
     #[test]
     fn gbt_improves_with_rounds() {
         let (x, y) = synth(200);
-        let weak = GradientBoostedTrees::fit(&x, &y, 1, 0.5, TreeParams { max_depth: 2, min_samples_split: 2 });
-        let strong = GradientBoostedTrees::fit(&x, &y, 30, 0.5, TreeParams { max_depth: 2, min_samples_split: 2 });
+        let weak = GradientBoostedTrees::fit(
+            &x,
+            &y,
+            1,
+            0.5,
+            TreeParams {
+                max_depth: 2,
+                min_samples_split: 2,
+            },
+        );
+        let strong = GradientBoostedTrees::fit(
+            &x,
+            &y,
+            30,
+            0.5,
+            TreeParams {
+                max_depth: 2,
+                min_samples_split: 2,
+            },
+        );
         let mse = |m: &GradientBoostedTrees| -> f64 {
             let yv = y.to_f64_vec();
             let mut pred = vec![m.base; yv.len()];
@@ -315,7 +358,11 @@ mod tests {
                     *p += m.learning_rate * d;
                 }
             }
-            pred.iter().zip(&yv).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / yv.len() as f64
+            pred.iter()
+                .zip(&yv)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / yv.len() as f64
         };
         assert!(mse(&strong) < mse(&weak));
     }

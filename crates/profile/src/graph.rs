@@ -25,13 +25,15 @@ impl DotGraph {
             "data" => "shape=cylinder,style=filled,fillcolor=lightgrey",
             _ => "shape=ellipse",
         };
-        self.nodes.push((id.clone(), label.to_string(), attrs.to_string()));
+        self.nodes
+            .push((id.clone(), label.to_string(), attrs.to_string()));
         id
     }
 
     /// Add a directed edge with an optional label (e.g. row counts).
     pub fn add_edge(&mut self, from: &str, to: &str, label: &str) {
-        self.edges.push((from.to_string(), to.to_string(), label.to_string()));
+        self.edges
+            .push((from.to_string(), to.to_string(), label.to_string()));
     }
 
     /// Number of nodes so far.
@@ -52,7 +54,10 @@ impl DotGraph {
             if label.is_empty() {
                 out.push_str(&format!("  {from} -> {to};\n"));
             } else {
-                out.push_str(&format!("  {from} -> {to} [label=\"{}\"];\n", escape(label)));
+                out.push_str(&format!(
+                    "  {from} -> {to} [label=\"{}\"];\n",
+                    escape(label)
+                ));
             }
         }
         out.push_str("}\n");

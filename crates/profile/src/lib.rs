@@ -50,12 +50,20 @@ impl Default for Profiler {
 impl Profiler {
     /// A recording profiler.
     pub fn new() -> Profiler {
-        Profiler { epoch: Instant::now(), spans: Mutex::new(Vec::new()), enabled: true }
+        Profiler {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            enabled: true,
+        }
     }
 
     /// A no-op profiler (recording disabled; near-zero overhead).
     pub fn disabled() -> Profiler {
-        Profiler { epoch: Instant::now(), spans: Mutex::new(Vec::new()), enabled: false }
+        Profiler {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            enabled: false,
+        }
     }
 
     /// Whether spans are being recorded.
@@ -64,7 +72,15 @@ impl Profiler {
     }
 
     /// Record a span measured externally.
-    pub fn record(&self, name: &str, category: &str, start_us: u64, dur_us: u64, rows: u64, bytes: u64) {
+    pub fn record(
+        &self,
+        name: &str,
+        category: &str,
+        start_us: u64,
+        dur_us: u64,
+        rows: u64,
+        bytes: u64,
+    ) {
         if !self.enabled {
             return;
         }
@@ -79,7 +95,13 @@ impl Profiler {
     }
 
     /// Time a closure and record it; returns the closure result.
-    pub fn time<T>(&self, name: &str, category: &str, rows_bytes: impl FnOnce(&T) -> (u64, u64), f: impl FnOnce() -> T) -> T {
+    pub fn time<T>(
+        &self,
+        name: &str,
+        category: &str,
+        rows_bytes: impl FnOnce(&T) -> (u64, u64),
+        f: impl FnOnce() -> T,
+    ) -> T {
         if !self.enabled {
             return f();
         }
@@ -126,7 +148,7 @@ impl Profiler {
             e.bytes += s.bytes;
         }
         let mut v: Vec<OpStats> = agg.into_values().collect();
-        v.sort_by(|a, b| b.total_us.cmp(&a.total_us));
+        v.sort_by_key(|s| std::cmp::Reverse(s.total_us));
         v
     }
 
@@ -229,7 +251,12 @@ mod tests {
     #[test]
     fn timed_closure_records() {
         let p = Profiler::new();
-        let out = p.time("op", "relational", |v: &Vec<i32>| (v.len() as u64, 0), || vec![1, 2, 3]);
+        let out = p.time(
+            "op",
+            "relational",
+            |v: &Vec<i32>| (v.len() as u64, 0),
+            || vec![1, 2, 3],
+        );
         assert_eq!(out.len(), 3);
         let spans = p.spans();
         assert_eq!(spans.len(), 1);
@@ -252,7 +279,10 @@ mod tests {
         let trace = p.chrome_trace();
         let v = tqp_json::Json::parse(&trace).unwrap();
         let event = v.get("traceEvents").and_then(|e| e.at(0)).unwrap();
-        assert_eq!(event.get("name").and_then(tqp_json::Json::as_str), Some("Scan(lineitem)"));
+        assert_eq!(
+            event.get("name").and_then(tqp_json::Json::as_str),
+            Some("Scan(lineitem)")
+        );
         assert_eq!(event.get("dur").and_then(tqp_json::Json::as_i64), Some(42));
     }
 

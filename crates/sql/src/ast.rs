@@ -1,7 +1,6 @@
 //! Abstract syntax tree for the TQP SQL dialect, with a pretty-printer whose
 //! output re-parses to the same tree (exercised by property tests).
 
-
 /// A full query: optional CTEs, a select body, ordering, and limit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -40,7 +39,12 @@ pub enum TableRef {
     /// Parenthesized subquery with mandatory alias.
     Subquery { query: Box<Query>, alias: String },
     /// Explicit join (`a JOIN b ON ...`, `a LEFT OUTER JOIN b ON ...`).
-    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<Expr> },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
 }
 
 /// Join flavours the dialect supports.
@@ -127,7 +131,10 @@ pub enum Literal {
     /// `DATE 'YYYY-MM-DD'`, pre-converted to epoch nanoseconds.
     Date(i64),
     /// `INTERVAL 'n' unit`.
-    Interval { n: i64, unit: IntervalUnit },
+    Interval {
+        n: i64,
+        unit: IntervalUnit,
+    },
     Bool(bool),
     Null,
 }
@@ -136,39 +143,86 @@ pub enum Literal {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Possibly-qualified column reference.
-    Column { table: Option<String>, name: String },
+    Column {
+        table: Option<String>,
+        name: String,
+    },
     Literal(Literal),
-    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Arithmetic negation.
     Neg(Box<Expr>),
     /// Boolean NOT.
     Not(Box<Expr>),
     /// Searched CASE (`CASE WHEN c THEN v ... [ELSE e] END`).
-    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    InSubquery { expr: Box<Expr>, query: Box<Query>, negated: bool },
-    Exists { query: Box<Query>, negated: bool },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
     ScalarSubquery(Box<Query>),
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// Function call: aggregates (`sum`, `avg`, `min`, `max`, `count`) and
     /// scalars (`extract_year`, `extract_month`, `substring`, `abs`).
     /// `COUNT(*)` is `Func { name: "count", args: [], .. }`.
-    Func { name: String, args: Vec<Expr>, distinct: bool },
-    IsNull { expr: Box<Expr>, negated: bool },
+    Func {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// The paper's §3.3 extension: `PREDICT('model', arg, ...)`.
-    Predict { model: String, args: Vec<Expr> },
+    Predict {
+        model: String,
+        args: Vec<Expr>,
+    },
 }
 
 impl Expr {
     /// Convenience constructor for unqualified columns.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { table: None, name: name.to_string() }
+        Expr::Column {
+            table: None,
+            name: name.to_string(),
+        }
     }
 
     /// Convenience constructor for binary nodes.
     pub fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     /// Walk the expression tree top-down.
@@ -180,7 +234,10 @@ impl Expr {
                 right.visit(f);
             }
             Expr::Neg(e) | Expr::Not(e) => e.visit(f),
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.visit(f);
                     v.visit(f);
@@ -197,7 +254,9 @@ impl Expr {
                 }
             }
             Expr::InSubquery { expr, .. } => expr.visit(f),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit(f);
                 low.visit(f);
                 high.visit(f);
@@ -269,7 +328,10 @@ fn civil_from_days_local(z: i64) -> (i64, i64, i64) {
 impl std::fmt::Display for Expr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column {
+                table: Some(t),
+                name,
+            } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => write!(f, "{name}"),
             Expr::Literal(l) => write!(f, "{l}"),
             Expr::Binary { op, left, right } => {
@@ -280,7 +342,10 @@ impl std::fmt::Display for Expr {
             // the round-trip property test).
             Expr::Neg(e) => write!(f, "(- {e})"),
             Expr::Not(e) => write!(f, "(not {e})"),
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 write!(f, "case")?;
                 for (c, v) in branches {
                     write!(f, " when {c} then {v}")?;
@@ -290,16 +355,28 @@ impl std::fmt::Display for Expr {
                 }
                 write!(f, " end")
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let n = if *negated { "not " } else { "" };
                 write!(f, "({expr} {n}like '{}')", pattern.replace('\'', "''"))
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let n = if *negated { "not " } else { "" };
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
                 write!(f, "({expr} {n}in ({}))", items.join(", "))
             }
-            Expr::InSubquery { expr, query, negated } => {
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
                 let n = if *negated { "not " } else { "" };
                 write!(f, "({expr} {n}in ({query}))")
             }
@@ -308,11 +385,20 @@ impl std::fmt::Display for Expr {
                 write!(f, "({n}exists ({query}))")
             }
             Expr::ScalarSubquery(q) => write!(f, "({q})"),
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let n = if *negated { "not " } else { "" };
                 write!(f, "({expr} {n}between {low} and {high})")
             }
-            Expr::Func { name, args, distinct } => {
+            Expr::Func {
+                name,
+                args,
+                distinct,
+            } => {
                 if name == "count" && args.is_empty() {
                     return write!(f, "count(*)");
                 }
@@ -338,10 +424,18 @@ impl std::fmt::Display for Expr {
 impl std::fmt::Display for TableRef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TableRef::Table { name, alias: Some(a) } => write!(f, "{name} {a}"),
+            TableRef::Table {
+                name,
+                alias: Some(a),
+            } => write!(f, "{name} {a}"),
             TableRef::Table { name, alias: None } => write!(f, "{name}"),
             TableRef::Subquery { query, alias } => write!(f, "({query}) as {alias}"),
-            TableRef::Join { left, right, kind, on } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 let k = match kind {
                     JoinKind::Inner => "join",
                     JoinKind::Left => "left outer join",
@@ -360,8 +454,11 @@ impl std::fmt::Display for TableRef {
 impl std::fmt::Display for Query {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if !self.ctes.is_empty() {
-            let parts: Vec<String> =
-                self.ctes.iter().map(|(n, q)| format!("{n} as ({q})")).collect();
+            let parts: Vec<String> = self
+                .ctes
+                .iter()
+                .map(|(n, q)| format!("{n} as ({q})"))
+                .collect();
             write!(f, "with {} ", parts.join(", "))?;
         }
         write!(f, "select ")?;
@@ -374,7 +471,10 @@ impl std::fmt::Display for Query {
             .iter()
             .map(|item| match item {
                 SelectItem::Wildcard => "*".to_string(),
-                SelectItem::Expr { expr, alias: Some(a) } => format!("{expr} as {a}"),
+                SelectItem::Expr {
+                    expr,
+                    alias: Some(a),
+                } => format!("{expr} as {a}"),
                 SelectItem::Expr { expr, alias: None } => expr.to_string(),
             })
             .collect();
@@ -431,12 +531,19 @@ mod tests {
     #[test]
     fn display_date_literal_roundtrip_text() {
         let ns = 8035i64 * 86_400_000_000_000; // 1992-01-01
-        assert_eq!(Expr::Literal(Literal::Date(ns)).to_string(), "date '1992-01-01'");
+        assert_eq!(
+            Expr::Literal(Literal::Date(ns)).to_string(),
+            "date '1992-01-01'"
+        );
     }
 
     #[test]
     fn display_count_star() {
-        let e = Expr::Func { name: "count".into(), args: vec![], distinct: false };
+        let e = Expr::Func {
+            name: "count".into(),
+            args: vec![],
+            distinct: false,
+        };
         assert_eq!(e.to_string(), "count(*)");
     }
 

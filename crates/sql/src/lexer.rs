@@ -103,7 +103,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                         i += 1;
                     }
                 }
-                out.push(Spanned { tok: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    tok: Token::Str(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -138,7 +141,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 {
                     i += 1;
                 }
-                out.push(Spanned { tok: Token::Ident(input[start..i].to_string()), offset: start });
+                out.push(Spanned {
+                    tok: Token::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
             }
             _ => {
                 let start = i;
@@ -231,7 +237,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Token::Eof, offset: input.len() });
+    out.push(Spanned {
+        tok: Token::Eof,
+        offset: input.len(),
+    });
     Ok(out)
 }
 
@@ -266,7 +275,10 @@ mod tests {
     #[test]
     fn strings_with_escapes() {
         assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into()), Token::Eof]);
-        assert_eq!(toks("'%BRASS'"), vec![Token::Str("%BRASS".into()), Token::Eof]);
+        assert_eq!(
+            toks("'%BRASS'"),
+            vec![Token::Str("%BRASS".into()), Token::Eof]
+        );
         assert!(lex("'oops").is_err());
     }
 
@@ -313,17 +325,23 @@ mod tests {
         // Brand#12 must lex as one identifier-ish or string; TPC-H quotes it,
         // but aliases like Brand#12 appear in strings only. '#' in idents is
         // allowed for robustness.
-        assert_eq!(toks("Brand#12"), vec![Token::Ident("Brand#12".into()), Token::Eof]);
+        assert_eq!(
+            toks("Brand#12"),
+            vec![Token::Ident("Brand#12".into()), Token::Eof]
+        );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("0.06 100 3.1"), vec![
-            Token::Float(0.06),
-            Token::Int(100),
-            Token::Float(3.1),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("0.06 100 3.1"),
+            vec![
+                Token::Float(0.06),
+                Token::Int(100),
+                Token::Float(3.1),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]

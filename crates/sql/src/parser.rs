@@ -24,10 +24,10 @@ impl std::error::Error for ParseError {}
 
 /// Words that cannot be used as bare aliases.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "order", "having", "limit", "on", "join", "inner",
-    "left", "right", "outer", "cross", "as", "and", "or", "not", "asc", "desc", "union", "when",
-    "then", "else", "end", "case", "between", "in", "like", "is", "exists", "with", "distinct",
-    "by", "null",
+    "select", "from", "where", "group", "order", "having", "limit", "on", "join", "inner", "left",
+    "right", "outer", "cross", "as", "and", "or", "not", "asc", "desc", "union", "when", "then",
+    "else", "end", "case", "between", "in", "like", "is", "exists", "with", "distinct", "by",
+    "null",
 ];
 
 struct Parser {
@@ -37,7 +37,10 @@ struct Parser {
 
 /// Parse a complete query (trailing `;` allowed).
 pub fn parse(input: &str) -> Result<Query, ParseError> {
-    let toks = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let toks = lex(input).map_err(|e| ParseError {
+        message: e.message,
+        offset: e.offset,
+    })?;
     let mut p = Parser { toks, pos: 0 };
     let q = p.query()?;
     if p.peek_is(&Token::Semi) {
@@ -50,7 +53,10 @@ pub fn parse(input: &str) -> Result<Query, ParseError> {
 /// Parse a standalone scalar expression (used by tests and the REPL-style
 /// examples).
 pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
-    let toks = lex(input).map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let toks = lex(input).map_err(|e| ParseError {
+        message: e.message,
+        offset: e.offset,
+    })?;
     let mut p = Parser { toks, pos: 0 };
     let e = p.expr()?;
     p.expect_eof()?;
@@ -83,7 +89,10 @@ impl Parser {
     }
 
     fn peek2_kw(&self, kw: &str) -> bool {
-        self.toks.get(self.pos + 1).map(|s| s.tok.is_kw(kw)).unwrap_or(false)
+        self.toks
+            .get(self.pos + 1)
+            .map(|s| s.tok.is_kw(kw))
+            .unwrap_or(false)
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
@@ -121,7 +130,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, offset: self.offset() }
+        ParseError {
+            message,
+            offset: self.offset(),
+        }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
@@ -180,7 +192,12 @@ impl Parser {
                 other => return Err(self.err(format!("expected LIMIT count, found {other:?}"))),
             }
         }
-        Ok(Query { ctes, select, order_by, limit })
+        Ok(Query {
+            ctes,
+            select,
+            order_by,
+            limit,
+        })
     }
 
     fn select_core(&mut self) -> Result<Select, ParseError> {
@@ -211,7 +228,11 @@ impl Parser {
                 self.advance();
             }
         }
-        let selection = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let selection = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -223,8 +244,19 @@ impl Parser {
                 self.advance();
             }
         }
-        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
-        Ok(Select { distinct, projection, from, selection, group_by, having })
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
     }
 
     fn maybe_alias(&mut self) -> Result<Option<String>, ParseError> {
@@ -286,7 +318,10 @@ impl Parser {
             self.expect(Token::RParen)?;
             self.eat_kw("as");
             let alias = self.ident()?;
-            return Ok(TableRef::Subquery { query: Box::new(q), alias });
+            return Ok(TableRef::Subquery {
+                query: Box::new(q),
+                alias,
+            });
         }
         let name = self.ident()?;
         let alias = self.maybe_alias()?;
@@ -359,7 +394,11 @@ impl Parser {
                 Token::Str(s) => s,
                 other => return Err(self.err(format!("LIKE expects a string, got {other:?}"))),
             };
-            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated,
+            });
         }
         if self.eat_kw("between") {
             let low = self.additive()?;
@@ -392,7 +431,11 @@ impl Parser {
                 self.advance();
             }
             self.expect(Token::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(self.err("dangling NOT before predicate".into()));
@@ -400,7 +443,10 @@ impl Parser {
         if self.eat_kw("is") {
             let negated = self.eat_kw("not");
             self.expect_kw("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         Ok(left)
     }
@@ -552,14 +598,20 @@ impl Parser {
                 if branches.is_empty() {
                     return Err(self.err("CASE requires at least one WHEN".into()));
                 }
-                Ok(Expr::Case { branches, else_expr })
+                Ok(Expr::Case {
+                    branches,
+                    else_expr,
+                })
             }
             "exists" => {
                 self.advance();
                 self.expect(Token::LParen)?;
                 let q = self.query()?;
                 self.expect(Token::RParen)?;
-                Ok(Expr::Exists { query: Box::new(q), negated: false })
+                Ok(Expr::Exists {
+                    query: Box::new(q),
+                    negated: false,
+                })
             }
             "extract" => {
                 self.advance();
@@ -573,7 +625,11 @@ impl Parser {
                     "month" => "extract_month",
                     other => return Err(self.err(format!("unsupported EXTRACT field {other}"))),
                 };
-                Ok(Expr::Func { name: name.into(), args: vec![e], distinct: false })
+                Ok(Expr::Func {
+                    name: name.into(),
+                    args: vec![e],
+                    distinct: false,
+                })
             }
             "substring" | "substr" => {
                 self.advance();
@@ -604,9 +660,9 @@ impl Parser {
                 let model = match self.advance() {
                     Token::Str(s) => s,
                     other => {
-                        return Err(
-                            self.err(format!("PREDICT expects a model name string, got {other:?}"))
-                        )
+                        return Err(self.err(format!(
+                            "PREDICT expects a model name string, got {other:?}"
+                        )))
                     }
                 };
                 let mut args = Vec::new();
@@ -632,7 +688,11 @@ impl Parser {
                     if lower == "count" && self.peek_is(&Token::Star) {
                         self.advance();
                         self.expect(Token::RParen)?;
-                        return Ok(Expr::Func { name: "count".into(), args: vec![], distinct: false });
+                        return Ok(Expr::Func {
+                            name: "count".into(),
+                            args: vec![],
+                            distinct: false,
+                        });
                     }
                     let distinct = self.eat_kw("distinct");
                     let mut args = Vec::new();
@@ -646,14 +706,24 @@ impl Parser {
                         }
                     }
                     self.expect(Token::RParen)?;
-                    return Ok(Expr::Func { name: lower, args, distinct });
+                    return Ok(Expr::Func {
+                        name: lower,
+                        args,
+                        distinct,
+                    });
                 }
                 if self.peek_is(&Token::Dot) {
                     self.advance();
                     let col = self.ident()?;
-                    return Ok(Expr::Column { table: Some(word), name: col });
+                    return Ok(Expr::Column {
+                        table: Some(word),
+                        name: col,
+                    });
                 }
-                Ok(Expr::Column { table: None, name: word })
+                Ok(Expr::Column {
+                    table: None,
+                    name: word,
+                })
             }
         }
     }
@@ -704,10 +774,8 @@ mod tests {
 
     #[test]
     fn explicit_joins() {
-        let q = parse(
-            "select * from customer left outer join orders on c_custkey = o_custkey",
-        )
-        .unwrap();
+        let q = parse("select * from customer left outer join orders on c_custkey = o_custkey")
+            .unwrap();
         match &q.select.from[0] {
             TableRef::Join { kind, on, .. } => {
                 assert_eq!(*kind, JoinKind::Left);
@@ -721,11 +789,18 @@ mod tests {
     fn date_and_interval_literals() {
         let e = parse_expr("date '1994-01-01' + interval '3' month").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Add, left, right } => {
+            Expr::Binary {
+                op: BinaryOp::Add,
+                left,
+                right,
+            } => {
                 assert!(matches!(*left, Expr::Literal(Literal::Date(_))));
                 assert!(matches!(
                     *right,
-                    Expr::Literal(Literal::Interval { n: 3, unit: IntervalUnit::Month })
+                    Expr::Literal(Literal::Interval {
+                        n: 3,
+                        unit: IntervalUnit::Month
+                    })
                 ));
             }
             other => panic!("{other:?}"),
@@ -757,12 +832,13 @@ mod tests {
 
     #[test]
     fn case_when() {
-        let e = parse_expr(
-            "case when p_type like 'PROMO%' then l_extendedprice else 0 end",
-        )
-        .unwrap();
+        let e =
+            parse_expr("case when p_type like 'PROMO%' then l_extendedprice else 0 end").unwrap();
         match e {
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 assert_eq!(branches.len(), 1);
                 assert!(else_expr.is_some());
             }
@@ -773,7 +849,14 @@ mod tests {
     #[test]
     fn aggregates_and_count_star() {
         let e = parse_expr("count(*)").unwrap();
-        assert_eq!(e, Expr::Func { name: "count".into(), args: vec![], distinct: false });
+        assert_eq!(
+            e,
+            Expr::Func {
+                name: "count".into(),
+                args: vec![],
+                distinct: false
+            }
+        );
         let e = parse_expr("count(distinct ps_suppkey)").unwrap();
         assert!(matches!(e, Expr::Func { distinct: true, .. }));
         let e = parse_expr("sum(l_extendedprice * (1 - l_discount))").unwrap();

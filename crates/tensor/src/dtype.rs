@@ -4,7 +4,6 @@
 //! (encoded as `I64` UNIX-epoch nanoseconds) and padded-byte string columns;
 //! this is the closed dtype set implementing that.
 
-
 /// Element type of a [`crate::Tensor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
@@ -152,8 +151,9 @@ impl Scalar {
             (_, Scalar::Null) => Ordering::Greater,
             (Scalar::Str(a), Scalar::Str(b)) => a.cmp(b),
             (Scalar::Bool(a), Scalar::Bool(b)) => a.cmp(b),
-            (a, b) if a.dtype().map(|d| d.is_int()) == Some(true)
-                && b.dtype().map(|d| d.is_int()) == Some(true) =>
+            (a, b)
+                if a.dtype().map(|d| d.is_int()) == Some(true)
+                    && b.dtype().map(|d| d.is_int()) == Some(true) =>
             {
                 a.as_i64().cmp(&b.as_i64())
             }

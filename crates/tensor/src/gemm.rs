@@ -150,8 +150,12 @@ mod tests {
     #[test]
     fn matmul_vs_naive_random() {
         let (n, k, m) = (17, 13, 9);
-        let av: Vec<f64> = (0..n * k).map(|i| ((i * 31 + 7) % 23) as f64 - 11.0).collect();
-        let bv: Vec<f64> = (0..k * m).map(|i| ((i * 17 + 3) % 19) as f64 - 9.0).collect();
+        let av: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 31 + 7) % 23) as f64 - 11.0)
+            .collect();
+        let bv: Vec<f64> = (0..k * m)
+            .map(|i| ((i * 17 + 3) % 19) as f64 - 9.0)
+            .collect();
         let a = Tensor::from_f64_matrix(av.clone(), n, k);
         let b = Tensor::from_f64_matrix(bv.clone(), k, m);
         let c = matmul_f64(&a, &b);

@@ -39,8 +39,7 @@ pub fn mask_to_indices(mask: &Tensor) -> Tensor {
         // Carve the output into per-thread windows and fill them in parallel.
         let mut windows: Vec<&mut [i64]> = Vec::with_capacity(threads);
         let mut rest: &mut [i64] = &mut out;
-        for t in 0..threads {
-            let take = counts[t];
+        for &take in counts.iter().take(threads) {
             let (w, r) = rest.split_at_mut(take);
             windows.push(w);
             rest = r;
@@ -76,12 +75,18 @@ pub fn mask_to_indices(mask: &Tensor) -> Tensor {
 /// Number of `true` bits in a bool tensor.
 pub fn count_true(mask: &Tensor) -> usize {
     let m = mask.as_bool();
-    par_reduce(m.len(), |r| m[r].iter().filter(|&&b| b).count(), |a, b| a + b, 0)
+    par_reduce(
+        m.len(),
+        |r| m[r].iter().filter(|&&b| b).count(),
+        |a, b| a + b,
+        0,
+    )
 }
 
 /// Row gather (`index_select` on dim 0). Works for rank-1 tensors of any
 /// dtype and rank-2 matrices (rows move as units). Panics on out-of-bounds
 /// indices — the planner always derives indices from masks or sorts.
+#[allow(clippy::needless_range_loop)] // row windows index two slices in lockstep
 pub fn take(t: &Tensor, idx: &Tensor) -> Tensor {
     let ix = idx.as_i64();
     let n = t.nrows();
@@ -230,7 +235,11 @@ pub enum Side {
 /// `haystack` (`torch.searchsorted`). Supports `I64` and `F64` rank-1
 /// tensors. This is the probe primitive of the tensor sort-merge join.
 pub fn searchsorted(haystack: &Tensor, needles: &Tensor, side: Side) -> Tensor {
-    assert_eq!(haystack.dtype(), needles.dtype(), "searchsorted dtype mismatch");
+    assert_eq!(
+        haystack.dtype(),
+        needles.dtype(),
+        "searchsorted dtype mismatch"
+    );
     macro_rules! ss {
         ($as:ident) => {{
             let hs = haystack.$as();
@@ -303,11 +312,30 @@ pub fn head(t: &Tensor, k: usize) -> Tensor {
     take(t, &arange(0, k as i64))
 }
 
-/// Rows `[lo, hi)`.
+/// Rows `[lo, hi)` as a direct contiguous copy — no index tensor, no
+/// gather. This is the morsel-split primitive of the parallel executor,
+/// so it must be a straight memcpy of the subrange.
 pub fn slice_rows(t: &Tensor, lo: usize, hi: usize) -> Tensor {
     let hi = hi.min(t.nrows());
     let lo = lo.min(hi);
-    take(t, &arange(lo as i64, hi as i64))
+    if t.shape().len() == 2 {
+        let m = t.row_width();
+        return match t.dtype() {
+            DType::U8 => Tensor::from_u8_matrix(t.as_u8()[lo * m..hi * m].to_vec(), hi - lo, m),
+            DType::F64 => Tensor::from_f64_matrix(t.as_f64()[lo * m..hi * m].to_vec(), hi - lo, m),
+            DType::F32 => Tensor::from_f32_matrix(t.as_f32()[lo * m..hi * m].to_vec(), hi - lo, m),
+            DType::I64 => Tensor::from_i64_matrix(t.as_i64()[lo * m..hi * m].to_vec(), hi - lo, m),
+            _ => take(t, &arange(lo as i64, hi as i64)),
+        };
+    }
+    match t.dtype() {
+        DType::Bool => Tensor::from_bool(t.as_bool()[lo..hi].to_vec()),
+        DType::I32 => Tensor::from_i32(t.as_i32()[lo..hi].to_vec()),
+        DType::I64 => Tensor::from_i64(t.as_i64()[lo..hi].to_vec()),
+        DType::F32 => Tensor::from_f32(t.as_f32()[lo..hi].to_vec()),
+        DType::F64 => Tensor::from_f64(t.as_f64()[lo..hi].to_vec()),
+        DType::U8 => Tensor::from_u8(t.as_u8()[lo..hi].to_vec()),
+    }
 }
 
 /// Vertical concatenation of rank-1 tensors or equal-width matrices of the
@@ -315,7 +343,10 @@ pub fn slice_rows(t: &Tensor, lo: usize, hi: usize) -> Tensor {
 pub fn concat(parts: &[&Tensor]) -> Tensor {
     assert!(!parts.is_empty(), "concat of zero tensors");
     let dt = parts[0].dtype();
-    assert!(parts.iter().all(|p| p.dtype() == dt), "concat dtype mismatch");
+    assert!(
+        parts.iter().all(|p| p.dtype() == dt),
+        "concat dtype mismatch"
+    );
     if parts[0].shape().len() == 2 {
         let m = parts.iter().map(|p| p.row_width()).max().unwrap();
         let n: usize = parts.iter().map(|p| p.nrows()).sum();
@@ -333,7 +364,10 @@ pub fn concat(parts: &[&Tensor]) -> Tensor {
                 Tensor::from_u8_matrix(out, n, m)
             }
             DType::F64 => {
-                assert!(parts.iter().all(|p| p.row_width() == m), "f64 concat width mismatch");
+                assert!(
+                    parts.iter().all(|p| p.row_width() == m),
+                    "f64 concat width mismatch"
+                );
                 let mut out = Vec::with_capacity(n * m);
                 for p in parts {
                     out.extend_from_slice(p.as_f64());
@@ -419,8 +453,14 @@ mod tests {
             repeat_interleave(&Tensor::from_i64(vec![2, 0, 3])).as_i64(),
             &[0, 0, 2, 2, 2]
         );
-        assert_eq!(exclusive_cumsum(&Tensor::from_i64(vec![2, 3, 1])).as_i64(), &[0, 2, 5]);
-        assert_eq!(cumsum(&Tensor::from_i64(vec![2, 3, 1])).as_i64(), &[2, 5, 6]);
+        assert_eq!(
+            exclusive_cumsum(&Tensor::from_i64(vec![2, 3, 1])).as_i64(),
+            &[0, 2, 5]
+        );
+        assert_eq!(
+            cumsum(&Tensor::from_i64(vec![2, 3, 1])).as_i64(),
+            &[2, 5, 6]
+        );
     }
 
     #[test]

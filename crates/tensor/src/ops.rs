@@ -65,7 +65,13 @@ impl CmpOp {
 }
 
 fn assert_same_rows(a: &Tensor, b: &Tensor, what: &str) {
-    assert_eq!(a.nrows(), b.nrows(), "{what}: row count mismatch {} vs {}", a.nrows(), b.nrows());
+    assert_eq!(
+        a.nrows(),
+        b.nrows(),
+        "{what}: row count mismatch {} vs {}",
+        a.nrows(),
+        b.nrows()
+    );
 }
 
 macro_rules! arith_loop {
@@ -75,21 +81,21 @@ macro_rules! arith_loop {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a.wrapping_add( b);
+                    *o = a.wrapping_add(b);
                 }
             }),
             BinOp::Sub => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a.wrapping_sub( b);
+                    *o = a.wrapping_sub(b);
                 }
             }),
             BinOp::Mul => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a.wrapping_mul( b);
+                    *o = a.wrapping_mul(b);
                 }
             }),
             BinOp::Div => par_chunks_mut($out, |s, c| {
@@ -112,35 +118,35 @@ macro_rules! arith_loop {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a +  b;
+                    *o = a + b;
                 }
             }),
             BinOp::Sub => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a -  b;
+                    *o = a - b;
                 }
             }),
             BinOp::Mul => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a *  b;
+                    *o = a * b;
                 }
             }),
             BinOp::Div => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a /  b;
+                    *o = a / b;
                 }
             }),
             BinOp::Mod => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a %  b;
+                    *o = a % b;
                 }
             }),
         }
@@ -221,42 +227,42 @@ macro_rules! cmp_loop {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a ==  b;
+                    *o = a == b;
                 }
             }),
             CmpOp::Ne => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a !=  b;
+                    *o = a != b;
                 }
             }),
             CmpOp::Lt => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a <  b;
+                    *o = a < b;
                 }
             }),
             CmpOp::Le => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a <=  b;
+                    *o = a <= b;
                 }
             }),
             CmpOp::Gt => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a >  b;
+                    *o = a > b;
                 }
             }),
             CmpOp::Ge => par_chunks_mut($out, |s, c| {
                 let xs = &$x[s..s + c.len()];
                 let ys = &$y[s..s + c.len()];
                 for ((o, &a), &b) in c.iter_mut().zip(xs).zip(ys) {
-                    *o = a >=  b;
+                    *o = a >= b;
                 }
             }),
         }
@@ -273,7 +279,11 @@ pub fn compare(op: CmpOp, a: &Tensor, b: &Tensor) -> Tensor {
         assert!(
             a.dtype() == DType::U8 && b.dtype() == DType::U8,
             "cannot compare string with {:?}",
-            if a.dtype() == DType::U8 { b.dtype() } else { a.dtype() }
+            if a.dtype() == DType::U8 {
+                b.dtype()
+            } else {
+                a.dtype()
+            }
         );
         let mut out = vec![false; n];
         par_chunks_mut(&mut out, |s, c| {
@@ -310,7 +320,12 @@ pub fn compare(op: CmpOp, a: &Tensor, b: &Tensor) -> Tensor {
 /// TPC-H filters).
 pub fn compare_scalar(op: CmpOp, a: &Tensor, s: &Scalar) -> Tensor {
     if let Scalar::Str(needle) = s {
-        assert_eq!(a.dtype(), DType::U8, "string comparison against {:?}", a.dtype());
+        assert_eq!(
+            a.dtype(),
+            DType::U8,
+            "string comparison against {:?}",
+            a.dtype()
+        );
         let nb = needle.as_bytes();
         let n = a.nrows();
         let mut out = vec![false; n];
@@ -428,14 +443,21 @@ pub fn where_select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
         let n = a.nrows();
         let mut out = vec![0u8; n * m];
         for i in 0..n {
-            let src = if mask[i] { a.str_row_trimmed(i) } else { b.str_row_trimmed(i) };
+            let src = if mask[i] {
+                a.str_row_trimmed(i)
+            } else {
+                b.str_row_trimmed(i)
+            };
             out[i * m..i * m + src.len()].copy_from_slice(src);
         }
         return Tensor::from_u8_matrix(out, n, m);
     }
     if a.dtype() == DType::Bool && b.dtype() == DType::Bool {
         let (x, y) = (a.as_bool(), b.as_bool());
-        let out = mask.iter().zip(x.iter().zip(y)).map(|(&c, (&x, &y))| if c { x } else { y });
+        let out = mask
+            .iter()
+            .zip(x.iter().zip(y))
+            .map(|(&c, (&x, &y))| if c { x } else { y });
         return Tensor::from_bool(out.collect());
     }
     let dt = a.dtype().promote(b.dtype());
@@ -511,8 +533,14 @@ mod tests {
     #[test]
     fn scalar_forms() {
         let a = Tensor::from_f64(vec![1.0, 2.0]);
-        assert_eq!(binary_scalar(BinOp::Add, &a, &Scalar::F64(1.0)).as_f64(), &[2.0, 3.0]);
-        assert_eq!(scalar_binary(BinOp::Sub, &Scalar::F64(10.0), &a).as_f64(), &[9.0, 8.0]);
+        assert_eq!(
+            binary_scalar(BinOp::Add, &a, &Scalar::F64(1.0)).as_f64(),
+            &[2.0, 3.0]
+        );
+        assert_eq!(
+            scalar_binary(BinOp::Sub, &Scalar::F64(10.0), &a).as_f64(),
+            &[9.0, 8.0]
+        );
     }
 
     #[test]
@@ -531,7 +559,10 @@ mod tests {
         assert_eq!(compare(CmpOp::Lt, &a, &b).as_bool(), &[true, false, false]);
         assert_eq!(compare(CmpOp::Eq, &a, &b).as_bool(), &[false, true, false]);
         assert_eq!(compare(CmpOp::Ge, &a, &b).as_bool(), &[false, true, true]);
-        assert_eq!(compare_scalar(CmpOp::Ne, &a, &Scalar::I64(2)).as_bool(), &[true, false, true]);
+        assert_eq!(
+            compare_scalar(CmpOp::Ne, &a, &Scalar::I64(2)).as_bool(),
+            &[true, false, true]
+        );
     }
 
     #[test]
@@ -587,7 +618,10 @@ mod tests {
         let r = in_list(&a, &[Scalar::I64(5), Scalar::I64(9)]);
         assert_eq!(r.as_bool(), &[false, true, false, true]);
         let s = Tensor::from_strings(&["MAIL", "AIR", "SHIP"], 0);
-        let r = in_list(&s, &[Scalar::Str("MAIL".into()), Scalar::Str("SHIP".into())]);
+        let r = in_list(
+            &s,
+            &[Scalar::Str("MAIL".into()), Scalar::Str("SHIP".into())],
+        );
         assert_eq!(r.as_bool(), &[true, false, true]);
     }
 

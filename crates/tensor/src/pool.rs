@@ -12,7 +12,9 @@ pub const PAR_THRESHOLD: usize = 1 << 20;
 
 /// Number of worker threads used for parallel kernels.
 pub fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Split `out` into near-equal chunks and invoke `f(start_index, chunk)` for
@@ -70,10 +72,7 @@ where
         }
     })
     .expect("worker thread panicked");
-    partials
-        .into_iter()
-        .flatten()
-        .fold(identity, |acc, p| reduce(acc, p))
+    partials.into_iter().flatten().fold(identity, reduce)
 }
 
 #[cfg(test)]

@@ -29,7 +29,12 @@ pub fn sum_f64(t: &Tensor) -> f64 {
         }
         DType::F32 => {
             let x = t.as_f32();
-            par_reduce(x.len(), |r| x[r].iter().map(|&v| v as f64).sum::<f64>(), |a, b| a + b, 0.0)
+            par_reduce(
+                x.len(),
+                |r| x[r].iter().map(|&v| v as f64).sum::<f64>(),
+                |a, b| a + b,
+                0.0,
+            )
         }
         DType::I64 => sum_i64(t) as f64,
         DType::I32 => sum_i64(t) as f64,
@@ -47,11 +52,21 @@ pub fn sum_i64(t: &Tensor) -> i64 {
         }
         DType::I32 => {
             let x = t.as_i32();
-            par_reduce(x.len(), |r| x[r].iter().map(|&v| v as i64).sum::<i64>(), |a, b| a + b, 0)
+            par_reduce(
+                x.len(),
+                |r| x[r].iter().map(|&v| v as i64).sum::<i64>(),
+                |a, b| a + b,
+                0,
+            )
         }
         DType::Bool => {
             let x = t.as_bool();
-            par_reduce(x.len(), |r| x[r].iter().filter(|&&b| b).count() as i64, |a, b| a + b, 0)
+            par_reduce(
+                x.len(),
+                |r| x[r].iter().filter(|&&b| b).count() as i64,
+                |a, b| a + b,
+                0,
+            )
         }
         other => panic!("integer sum on dtype {other:?}"),
     }
@@ -90,7 +105,11 @@ pub fn mean(t: &Tensor) -> Option<f64> {
 /// from [`crate::unique::group_ids`]).
 pub fn segmented_reduce(values: &Tensor, ids: &Tensor, num_groups: usize, f: AggFn) -> Tensor {
     let gid = ids.as_i64();
-    assert_eq!(values.nrows(), gid.len(), "segmented_reduce operand mismatch");
+    assert_eq!(
+        values.nrows(),
+        gid.len(),
+        "segmented_reduce operand mismatch"
+    );
     match f {
         AggFn::Count => {
             let mut out = vec![0f64; num_groups];
@@ -145,7 +164,11 @@ pub fn segmented_reduce(values: &Tensor, ids: &Tensor, num_groups: usize, f: Agg
 /// integer columns stay exact `I64`).
 pub fn segmented_reduce_i64(values: &Tensor, ids: &Tensor, num_groups: usize, f: AggFn) -> Tensor {
     let gid = ids.as_i64();
-    assert_eq!(values.nrows(), gid.len(), "segmented_reduce operand mismatch");
+    assert_eq!(
+        values.nrows(),
+        gid.len(),
+        "segmented_reduce operand mismatch"
+    );
     let xs = values.to_i64_vec();
     match f {
         AggFn::Count => {
@@ -204,7 +227,10 @@ pub fn segmented_min_str(values: &Tensor, ids: &Tensor, num_groups: usize, min: 
             }
         }
     }
-    let idx: Vec<i64> = best.into_iter().map(|b| b.expect("empty group") as i64).collect();
+    let idx: Vec<i64> = best
+        .into_iter()
+        .map(|b| b.expect("empty group") as i64)
+        .collect();
     crate::index::take(values, &Tensor::from_i64(idx))
 }
 
@@ -245,11 +271,26 @@ mod tests {
     fn segmented_all_functions() {
         let vals = Tensor::from_f64(vec![1.0, 2.0, 10.0, 4.0, 6.0]);
         let ids = Tensor::from_i64(vec![0, 0, 1, 2, 2]);
-        assert_eq!(segmented_reduce(&vals, &ids, 3, AggFn::Sum).as_f64(), &[3.0, 10.0, 10.0]);
-        assert_eq!(segmented_reduce(&vals, &ids, 3, AggFn::Avg).as_f64(), &[1.5, 10.0, 5.0]);
-        assert_eq!(segmented_reduce(&vals, &ids, 3, AggFn::Min).as_f64(), &[1.0, 10.0, 4.0]);
-        assert_eq!(segmented_reduce(&vals, &ids, 3, AggFn::Max).as_f64(), &[2.0, 10.0, 6.0]);
-        assert_eq!(segmented_reduce(&vals, &ids, 3, AggFn::Count).as_f64(), &[2.0, 1.0, 2.0]);
+        assert_eq!(
+            segmented_reduce(&vals, &ids, 3, AggFn::Sum).as_f64(),
+            &[3.0, 10.0, 10.0]
+        );
+        assert_eq!(
+            segmented_reduce(&vals, &ids, 3, AggFn::Avg).as_f64(),
+            &[1.5, 10.0, 5.0]
+        );
+        assert_eq!(
+            segmented_reduce(&vals, &ids, 3, AggFn::Min).as_f64(),
+            &[1.0, 10.0, 4.0]
+        );
+        assert_eq!(
+            segmented_reduce(&vals, &ids, 3, AggFn::Max).as_f64(),
+            &[2.0, 10.0, 6.0]
+        );
+        assert_eq!(
+            segmented_reduce(&vals, &ids, 3, AggFn::Count).as_f64(),
+            &[2.0, 1.0, 2.0]
+        );
     }
 
     #[test]

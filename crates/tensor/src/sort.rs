@@ -28,12 +28,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending key.
     pub fn asc(values: Tensor) -> Self {
-        SortKey { values, order: Order::Asc }
+        SortKey {
+            values,
+            order: Order::Asc,
+        }
     }
 
     /// Descending key.
     pub fn desc(values: Tensor) -> Self {
-        SortKey { values, order: Order::Desc }
+        SortKey {
+            values,
+            order: Order::Desc,
+        }
     }
 }
 
@@ -66,23 +72,15 @@ fn argsort_perm(key: &Tensor, order: Order, mut perm: Vec<i64>) -> Tensor {
         DType::F32 => {
             let vals = key.as_f32();
             match order {
-                Order::Asc => {
-                    perm.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]))
-                }
-                Order::Desc => {
-                    perm.sort_by(|&a, &b| vals[b as usize].total_cmp(&vals[a as usize]))
-                }
+                Order::Asc => perm.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize])),
+                Order::Desc => perm.sort_by(|&a, &b| vals[b as usize].total_cmp(&vals[a as usize])),
             }
         }
         DType::F64 => {
             let vals = key.as_f64();
             match order {
-                Order::Asc => {
-                    perm.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize]))
-                }
-                Order::Desc => {
-                    perm.sort_by(|&a, &b| vals[b as usize].total_cmp(&vals[a as usize]))
-                }
+                Order::Asc => perm.sort_by(|&a, &b| vals[a as usize].total_cmp(&vals[b as usize])),
+                Order::Desc => perm.sort_by(|&a, &b| vals[b as usize].total_cmp(&vals[a as usize])),
             }
         }
         DType::U8 => {

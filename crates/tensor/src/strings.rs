@@ -26,7 +26,11 @@ pub enum LikePattern {
     /// Anything else: literal segments separated by `%`; `_` only supported
     /// in the general form. `leading`/`trailing` indicate whether the
     /// pattern starts/ends with `%`.
-    General { segments: Vec<Vec<u8>>, leading: bool, trailing: bool },
+    General {
+        segments: Vec<Vec<u8>>,
+        leading: bool,
+        trailing: bool,
+    },
 }
 
 impl LikePattern {
@@ -34,8 +38,12 @@ impl LikePattern {
     pub fn compile(pattern: &str) -> LikePattern {
         let p = pattern.as_bytes();
         let has_underscore = p.contains(&b'_');
-        let pct: Vec<usize> =
-            p.iter().enumerate().filter(|(_, &b)| b == b'%').map(|(i, _)| i).collect();
+        let pct: Vec<usize> = p
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'%')
+            .map(|(i, _)| i)
+            .collect();
         if !has_underscore {
             match pct.len() {
                 0 => return LikePattern::Exact(p.to_vec()),
@@ -54,7 +62,11 @@ impl LikePattern {
             .filter(|s| !s.is_empty())
             .map(|s| s.to_vec())
             .collect();
-        LikePattern::General { segments, leading, trailing }
+        LikePattern::General {
+            segments,
+            leading,
+            trailing,
+        }
     }
 
     /// Match one trimmed byte string.
@@ -64,9 +76,11 @@ impl LikePattern {
             LikePattern::Prefix(lit) => s.starts_with(lit),
             LikePattern::Suffix(lit) => s.ends_with(lit),
             LikePattern::Contains(lit) => contains(s, lit),
-            LikePattern::General { segments, leading, trailing } => {
-                match_general(s, segments, *leading, *trailing)
-            }
+            LikePattern::General {
+                segments,
+                leading,
+                trailing,
+            } => match_general(s, segments, *leading, *trailing),
         }
     }
 }
@@ -190,10 +204,22 @@ mod tests {
 
     #[test]
     fn compile_shapes() {
-        assert_eq!(LikePattern::compile("abc"), LikePattern::Exact(b"abc".to_vec()));
-        assert_eq!(LikePattern::compile("abc%"), LikePattern::Prefix(b"abc".to_vec()));
-        assert_eq!(LikePattern::compile("%abc"), LikePattern::Suffix(b"abc".to_vec()));
-        assert_eq!(LikePattern::compile("%abc%"), LikePattern::Contains(b"abc".to_vec()));
+        assert_eq!(
+            LikePattern::compile("abc"),
+            LikePattern::Exact(b"abc".to_vec())
+        );
+        assert_eq!(
+            LikePattern::compile("abc%"),
+            LikePattern::Prefix(b"abc".to_vec())
+        );
+        assert_eq!(
+            LikePattern::compile("%abc"),
+            LikePattern::Suffix(b"abc".to_vec())
+        );
+        assert_eq!(
+            LikePattern::compile("%abc%"),
+            LikePattern::Contains(b"abc".to_vec())
+        );
         assert!(matches!(
             LikePattern::compile("%a%b%"),
             LikePattern::General { .. }
@@ -215,7 +241,10 @@ mod tests {
 
     #[test]
     fn multi_segment_q13_pattern() {
-        assert!(m("%special%requests%", "handle special delivery requests now"));
+        assert!(m(
+            "%special%requests%",
+            "handle special delivery requests now"
+        ));
         assert!(!m("%special%requests%", "requests then special"));
         assert!(m("%special%requests%", "specialrequests"));
     }

@@ -188,7 +188,7 @@ impl Tensor {
             Scalar::F32(v) => Tensor::from_f32(vec![*v; n]),
             Scalar::F64(v) => Tensor::from_f64(vec![*v; n]),
             Scalar::Str(s) => {
-                Tensor::from_strings(&std::iter::repeat(s.as_str()).take(n).collect::<Vec<_>>(), 1)
+                Tensor::from_strings(&std::iter::repeat_n(s.as_str(), n).collect::<Vec<_>>(), 1)
             }
             Scalar::Null => panic!("cannot broadcast NULL into a tensor; use a validity mask"),
         }
@@ -245,7 +245,10 @@ impl Tensor {
             "reshape {shape:?} incompatible with {:?}",
             self.shape
         );
-        Tensor { shape, buf: self.buf.clone() }
+        Tensor {
+            shape,
+            buf: self.buf.clone(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -345,59 +348,126 @@ impl Tensor {
         macro_rules! conv {
             ($src:expr, $t:ty, $ctor:path) => {{
                 let v: Vec<$t> = $src;
-                Ok(Tensor { shape: self.shape.clone(), buf: $ctor(Arc::new(v)) })
+                Ok(Tensor {
+                    shape: self.shape.clone(),
+                    buf: $ctor(Arc::new(v)),
+                })
             }};
         }
         match (from, to) {
             (DType::U8, _) | (_, DType::U8) => Err(TensorError::BadCast { from, to }),
             (_, DType::Bool) => Err(TensorError::BadCast { from, to }),
             (DType::Bool, DType::I32) => {
-                conv!(self.as_bool().iter().map(|&b| b as i32).collect(), i32, Buffer::I32)
+                conv!(
+                    self.as_bool().iter().map(|&b| b as i32).collect(),
+                    i32,
+                    Buffer::I32
+                )
             }
             (DType::Bool, DType::I64) => {
-                conv!(self.as_bool().iter().map(|&b| b as i64).collect(), i64, Buffer::I64)
+                conv!(
+                    self.as_bool().iter().map(|&b| b as i64).collect(),
+                    i64,
+                    Buffer::I64
+                )
             }
             (DType::Bool, DType::F32) => {
-                conv!(self.as_bool().iter().map(|&b| b as i32 as f32).collect(), f32, Buffer::F32)
+                conv!(
+                    self.as_bool().iter().map(|&b| b as i32 as f32).collect(),
+                    f32,
+                    Buffer::F32
+                )
             }
             (DType::Bool, DType::F64) => {
-                conv!(self.as_bool().iter().map(|&b| b as i32 as f64).collect(), f64, Buffer::F64)
+                conv!(
+                    self.as_bool().iter().map(|&b| b as i32 as f64).collect(),
+                    f64,
+                    Buffer::F64
+                )
             }
             (DType::I32, DType::I64) => {
-                conv!(self.as_i32().iter().map(|&x| x as i64).collect(), i64, Buffer::I64)
+                conv!(
+                    self.as_i32().iter().map(|&x| x as i64).collect(),
+                    i64,
+                    Buffer::I64
+                )
             }
             (DType::I32, DType::F32) => {
-                conv!(self.as_i32().iter().map(|&x| x as f32).collect(), f32, Buffer::F32)
+                conv!(
+                    self.as_i32().iter().map(|&x| x as f32).collect(),
+                    f32,
+                    Buffer::F32
+                )
             }
             (DType::I32, DType::F64) => {
-                conv!(self.as_i32().iter().map(|&x| x as f64).collect(), f64, Buffer::F64)
+                conv!(
+                    self.as_i32().iter().map(|&x| x as f64).collect(),
+                    f64,
+                    Buffer::F64
+                )
             }
             (DType::I64, DType::I32) => {
-                conv!(self.as_i64().iter().map(|&x| x as i32).collect(), i32, Buffer::I32)
+                conv!(
+                    self.as_i64().iter().map(|&x| x as i32).collect(),
+                    i32,
+                    Buffer::I32
+                )
             }
             (DType::I64, DType::F32) => {
-                conv!(self.as_i64().iter().map(|&x| x as f32).collect(), f32, Buffer::F32)
+                conv!(
+                    self.as_i64().iter().map(|&x| x as f32).collect(),
+                    f32,
+                    Buffer::F32
+                )
             }
             (DType::I64, DType::F64) => {
-                conv!(self.as_i64().iter().map(|&x| x as f64).collect(), f64, Buffer::F64)
+                conv!(
+                    self.as_i64().iter().map(|&x| x as f64).collect(),
+                    f64,
+                    Buffer::F64
+                )
             }
             (DType::F32, DType::I32) => {
-                conv!(self.as_f32().iter().map(|&x| x as i32).collect(), i32, Buffer::I32)
+                conv!(
+                    self.as_f32().iter().map(|&x| x as i32).collect(),
+                    i32,
+                    Buffer::I32
+                )
             }
             (DType::F32, DType::I64) => {
-                conv!(self.as_f32().iter().map(|&x| x as i64).collect(), i64, Buffer::I64)
+                conv!(
+                    self.as_f32().iter().map(|&x| x as i64).collect(),
+                    i64,
+                    Buffer::I64
+                )
             }
             (DType::F32, DType::F64) => {
-                conv!(self.as_f32().iter().map(|&x| x as f64).collect(), f64, Buffer::F64)
+                conv!(
+                    self.as_f32().iter().map(|&x| x as f64).collect(),
+                    f64,
+                    Buffer::F64
+                )
             }
             (DType::F64, DType::I32) => {
-                conv!(self.as_f64().iter().map(|&x| x as i32).collect(), i32, Buffer::I32)
+                conv!(
+                    self.as_f64().iter().map(|&x| x as i32).collect(),
+                    i32,
+                    Buffer::I32
+                )
             }
             (DType::F64, DType::I64) => {
-                conv!(self.as_f64().iter().map(|&x| x as i64).collect(), i64, Buffer::I64)
+                conv!(
+                    self.as_f64().iter().map(|&x| x as i64).collect(),
+                    i64,
+                    Buffer::I64
+                )
             }
             (DType::F64, DType::F32) => {
-                conv!(self.as_f64().iter().map(|&x| x as f32).collect(), f32, Buffer::F32)
+                conv!(
+                    self.as_f64().iter().map(|&x| x as f32).collect(),
+                    f32,
+                    Buffer::F32
+                )
             }
             _ => unreachable!("cast {from:?}->{to:?}"),
         }
@@ -526,7 +596,10 @@ mod tests {
         assert_ne!(Tensor::from_i64(vec![1, 2]), Tensor::from_i64(vec![2, 1]));
         assert_ne!(
             Tensor::from_i64(vec![1, 2]),
-            Tensor::from_i32(vec![1, 2]).cast(DType::I64).unwrap().reshape(vec![2, 1])
+            Tensor::from_i32(vec![1, 2])
+                .cast(DType::I64)
+                .unwrap()
+                .reshape(vec![2, 1])
         );
     }
 }

@@ -12,6 +12,7 @@ use crate::tensor::Tensor;
 
 /// Boolean mask of length `n` with `true` where row `i` differs from row
 /// `i-1` in *any* of the key columns. Row 0 is always `true` (first run).
+#[allow(clippy::needless_range_loop)] // comparisons look back at i-1
 pub fn run_starts(keys: &[&Tensor]) -> Tensor {
     assert!(!keys.is_empty(), "run_starts needs at least one key");
     let n = keys[0].nrows();
@@ -91,7 +92,11 @@ pub fn group_ids(keys: &[&Tensor]) -> Groups {
         }
         ids.push(g);
     }
-    Groups { ids: Tensor::from_i64(ids), firsts, num_groups }
+    Groups {
+        ids: Tensor::from_i64(ids),
+        firsts,
+        num_groups,
+    }
 }
 
 /// Run lengths per group of sorted keys (`counts[g]` = members of group g).
@@ -99,7 +104,11 @@ pub fn run_lengths(groups: &Groups, n: usize) -> Tensor {
     let firsts = groups.firsts.as_i64();
     let mut out = Vec::with_capacity(groups.num_groups);
     for (i, &f) in firsts.iter().enumerate() {
-        let next = if i + 1 < firsts.len() { firsts[i + 1] } else { n as i64 };
+        let next = if i + 1 < firsts.len() {
+            firsts[i + 1]
+        } else {
+            n as i64
+        };
         out.push(next - f);
     }
     Tensor::from_i64(out)

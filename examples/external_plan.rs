@@ -15,13 +15,18 @@ use tqp_repro::exec::Backend;
 use tqp_repro::ir::physical::PhysicalPlan;
 
 fn main() {
-    let data = TpchData::generate(&TpchConfig { scale_factor: 0.02, seed: 42 });
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.02,
+        seed: 42,
+    });
 
     // --- The "frontend database system" process -------------------------
     let plan_json = {
         let mut frontend = Session::new();
         frontend.register_tpch(&data);
-        let q = frontend.compile(queries::query(3), QueryConfig::default()).unwrap();
+        let q = frontend
+            .compile(queries::query(3), QueryConfig::default())
+            .unwrap();
         q.plan().to_json()
     };
     std::fs::create_dir_all("target").ok();

@@ -20,13 +20,31 @@ fn main() {
     let sql = queries::query(6);
     println!("TPC-H Q6:\n{sql}\n");
 
+    // Every backend below executes this one lowered tensor program.
+    let compiled = session
+        .compile(sql, QueryConfig::default())
+        .expect("compiles");
+    println!("lowered tensor program:\n{}", compiled.explain_program());
+
     // The paper's Figure 3: each target is one line of configuration.
     let targets = [
         ("CPU / eager", QueryConfig::default()),
-        ("CPU / fused (torch.jit)", QueryConfig::default().backend(Backend::Fused)),
-        ("GPU (simulated)", QueryConfig::default().device(Device::GpuSim)),
-        ("Graph artifact (ONNX)", QueryConfig::default().backend(Backend::Graph)),
-        ("Browser (Wasm-sim VM)", QueryConfig::default().backend(Backend::Wasm)),
+        (
+            "CPU / fused (torch.jit)",
+            QueryConfig::default().backend(Backend::Fused),
+        ),
+        (
+            "GPU (simulated)",
+            QueryConfig::default().device(Device::GpuSim),
+        ),
+        (
+            "Graph artifact (ONNX)",
+            QueryConfig::default().backend(Backend::Graph),
+        ),
+        (
+            "Browser (Wasm-sim VM)",
+            QueryConfig::default().backend(Backend::Wasm),
+        ),
     ];
 
     let mut reference: Option<String> = None;

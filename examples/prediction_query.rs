@@ -18,7 +18,9 @@ fn main() {
     // a held-out batch of synthetic reviews.
     let train = datasets::amazon_reviews(6_000, 7);
     let text_col = train.column_by_name("text").unwrap();
-    let texts: Vec<String> = (0..train.nrows()).map(|i| text_col.get(i).as_str().to_string()).collect();
+    let texts: Vec<String> = (0..train.nrows())
+        .map(|i| text_col.get(i).as_str().to_string())
+        .collect();
     let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
     let labels: Vec<f64> = (0..train.nrows())
         .map(|i| f64::from(train.column_by_name("rating").unwrap().get(i).as_i64() >= 3))
@@ -42,12 +44,17 @@ fn main() {
                from amazon_reviews \
                group by brand \
                order by brand";
-    let q = session.compile(sql, QueryConfig::default()).expect("compiles");
+    let q = session
+        .compile(sql, QueryConfig::default())
+        .expect("compiles");
 
     println!("Figure 4 prediction query:\n{sql}\n");
     let (out, stats) = q.run(&session).expect("runs");
     println!("{}", out.to_table_string(10));
-    println!("\nexecuted end-to-end as one tensor program in {} us", stats.wall_us);
+    println!(
+        "\nexecuted end-to-end as one tensor program in {} us",
+        stats.wall_us
+    );
 
     // The executor graph (Figure 4's interactive view) as Graphviz DOT.
     let dot = q.to_dot("prediction query executor");

@@ -20,7 +20,9 @@ fn main() {
 
     // Step (3): compile and execute the selected query.
     let sql = queries::query(6);
-    let q = session.compile(sql, QueryConfig::default()).expect("compiles");
+    let q = session
+        .compile(sql, QueryConfig::default())
+        .expect("compiles");
     let (out, _) = q.run(&session).expect("runs");
     println!("Q6 revenue = {}\n", out.column(0).display(0));
 

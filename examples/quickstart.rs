@@ -24,10 +24,12 @@ fn main() {
             (
                 "status",
                 Column::from_str(
-                    ["open", "open", "shipped", "open", "shipped", "open", "returned", "open"]
-                        .iter()
-                        .map(|s| s.to_string())
-                        .collect(),
+                    [
+                        "open", "open", "shipped", "open", "shipped", "open", "returned", "open",
+                    ]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
                 ),
             ),
             (

@@ -12,13 +12,22 @@ use tqp_repro::data::tpch::{queries, TpchConfig, TpchData};
 use tqp_repro::exec::Backend;
 
 fn main() {
-    let qn: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
-    let sf: f64 = std::env::var("TQP_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
+    let qn: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    let sf: f64 = std::env::var("TQP_SF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
     let sql = queries::query(qn);
     println!("TPC-H Q{qn} @ SF {sf}:\n{sql}\n");
 
     let mut session = Session::new();
-    session.register_tpch(&TpchData::generate(&TpchConfig { scale_factor: sf, seed: 42 }));
+    session.register_tpch(&TpchData::generate(&TpchConfig {
+        scale_factor: sf,
+        seed: 42,
+    }));
 
     let q = session
         .compile(sql, QueryConfig::default().backend(Backend::Fused))
@@ -42,5 +51,9 @@ fn main() {
         row_us,
         row_us as f64 / tensor_us.max(1) as f64
     );
-    assert_eq!(tensor_result.nrows(), row_result.nrows(), "engines disagree!");
+    assert_eq!(
+        tensor_result.nrows(),
+        row_result.nrows(),
+        "engines disagree!"
+    );
 }

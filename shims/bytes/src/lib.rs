@@ -12,7 +12,9 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Bytes {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Number of bytes.
@@ -33,7 +35,9 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 

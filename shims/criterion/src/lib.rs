@@ -21,7 +21,10 @@ impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
         println!("\n== {name} ==");
-        BenchmarkGroup { _parent: self, sample_size: 10 }
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
     }
 
     /// Benchmark outside any group.
@@ -77,12 +80,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter` identifier.
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     /// Parameter-only identifier.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -119,7 +126,10 @@ impl Bencher {
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
-    let mut b = Bencher { samples: Vec::new(), sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{label:<40} (no samples)");

@@ -26,7 +26,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seeded generator.
     pub fn new(seed: u64) -> TestRng {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -142,7 +144,9 @@ pub trait Strategy {
         Self::Value: 'static,
     {
         let inner = self;
-        BoxedStrategy { gen: Arc::new(move |rng| inner.generate(rng)) }
+        BoxedStrategy {
+            gen: Arc::new(move |rng| inner.generate(rng)),
+        }
     }
 
     /// Map generated values through `f`.
@@ -153,7 +157,9 @@ pub trait Strategy {
         F: Fn(Self::Value) -> U + 'static,
     {
         let inner = self;
-        BoxedStrategy { gen: Arc::new(move |rng| f(inner.generate(rng))) }
+        BoxedStrategy {
+            gen: Arc::new(move |rng| f(inner.generate(rng))),
+        }
     }
 
     /// Keep only values passing `f` (rejection sampling; gives up after a
@@ -214,7 +220,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { gen: Arc::clone(&self.gen) }
+        BoxedStrategy {
+            gen: Arc::clone(&self.gen),
+        }
     }
 }
 
@@ -349,7 +357,9 @@ impl Arbitrary for usize {
 
 /// The canonical strategy for `T`.
 pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
-    BoxedStrategy { gen: Arc::new(|rng| T::arbitrary(rng)) }
+    BoxedStrategy {
+        gen: Arc::new(|rng| T::arbitrary(rng)),
+    }
 }
 
 // String patterns -----------------------------------------------------
@@ -435,10 +445,7 @@ pub mod prop {
         use std::sync::Arc;
 
         /// Vector of values from `element`, with length drawn from `len`.
-        pub fn vec<S>(
-            element: S,
-            len: std::ops::Range<usize>,
-        ) -> BoxedStrategy<Vec<S::Value>>
+        pub fn vec<S>(element: S, len: std::ops::Range<usize>) -> BoxedStrategy<Vec<S::Value>>
         where
             S: Strategy + 'static,
             S::Value: 'static,

@@ -20,7 +20,9 @@ pub mod rngs {
     impl StdRng {
         pub(crate) fn from_state(seed: u64) -> StdRng {
             // Avoid the all-zero fixed point and decorrelate tiny seeds.
-            StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
         }
 
         pub(crate) fn next_raw(&mut self) -> u64 {
@@ -187,7 +189,10 @@ pub trait Rng: RngCore {
 
     /// Bernoulli sample with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         f64::from_rng(self) < p
     }
 }

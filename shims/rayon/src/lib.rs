@@ -5,7 +5,9 @@
 
 /// Number of worker threads a parallel section should target.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Scope handle for [`scope`].

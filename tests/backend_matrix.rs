@@ -29,7 +29,10 @@ fn canon(frame: &DataFrame) -> Vec<Vec<String>> {
 
 #[test]
 fn all_32_configurations_agree() {
-    let data = TpchData::generate(&TpchConfig { scale_factor: 0.005, seed: 77 });
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.005,
+        seed: 77,
+    });
     let mut session = Session::new();
     session.register_tpch(&data);
 
@@ -39,7 +42,12 @@ fn all_32_configurations_agree() {
         let reference = session.sql_baseline(sql).unwrap();
         let expect = canon(&reference);
         let mut configs = 0;
-        for backend in [Backend::Eager, Backend::Fused, Backend::Graph, Backend::Wasm] {
+        for backend in [
+            Backend::Eager,
+            Backend::Fused,
+            Backend::Graph,
+            Backend::Wasm,
+        ] {
             for device in [Device::Cpu, Device::GpuSim] {
                 for join in [JoinStrategy::SortMerge, JoinStrategy::Hash] {
                     for agg in [AggStrategy::Sort, AggStrategy::Hash] {

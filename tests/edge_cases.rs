@@ -14,7 +14,10 @@ fn session_with(rows: usize) -> Session {
         "t",
         df(vec![
             ("id", Column::from_i64((0..rows as i64).collect())),
-            ("v", Column::from_f64((0..rows).map(|i| i as f64 / 2.0).collect())),
+            (
+                "v",
+                Column::from_f64((0..rows).map(|i| i as f64 / 2.0).collect()),
+            ),
             (
                 "s",
                 Column::from_str((0..rows).map(|i| format!("name{i:03}")).collect()),
@@ -44,7 +47,10 @@ fn both(s: &Session, sql: &str) -> (DataFrame, DataFrame) {
 #[test]
 fn empty_table_full_pipeline() {
     let s = session_with(0);
-    let (t, r) = both(&s, "select id, v * 2 as vv from t where v > 1.0 order by id limit 5");
+    let (t, r) = both(
+        &s,
+        "select id, v * 2 as vv from t where v > 1.0 order by id limit 5",
+    );
     assert_eq!(t.nrows(), 0);
     assert_eq!(r.nrows(), 0);
     // Global aggregate over nothing yields exactly one zero row.
@@ -71,7 +77,10 @@ fn filter_matching_nothing_then_join() {
     let mut s = session_with(10);
     s.register_table(
         "u",
-        df(vec![("id", Column::from_i64(vec![1, 2])), ("w", Column::from_f64(vec![1.0, 2.0]))]),
+        df(vec![
+            ("id", Column::from_i64(vec![1, 2])),
+            ("w", Column::from_f64(vec![1.0, 2.0])),
+        ]),
     );
     let (t, r) = both(
         &s,
@@ -201,7 +210,10 @@ fn in_list_of_strings_and_numbers() {
 fn wasm_backend_on_edge_inputs() {
     let s = session_with(0);
     let q = s
-        .compile("select count(*) from t", QueryConfig::default().backend(Backend::Wasm))
+        .compile(
+            "select count(*) from t",
+            QueryConfig::default().backend(Backend::Wasm),
+        )
         .unwrap();
     let (out, _) = q.run(&s).unwrap();
     assert_eq!(out.column(0).get(0).as_i64(), 0);

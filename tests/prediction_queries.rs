@@ -36,9 +36,15 @@ fn canon(frame: &DataFrame) -> Vec<Vec<String>> {
 fn check(session: &Session, sql: &str) {
     let oracle = session.sql_baseline(sql).expect("oracle");
     for backend in [Backend::Eager, Backend::Fused, Backend::Graph] {
-        let q = session.compile(sql, QueryConfig::default().backend(backend)).unwrap();
+        let q = session
+            .compile(sql, QueryConfig::default().backend(backend))
+            .unwrap();
         let (out, _) = q.run(session).unwrap();
-        assert_eq!(canon(&out), canon(&oracle), "{backend:?} vs oracle on {sql}");
+        assert_eq!(
+            canon(&out),
+            canon(&oracle),
+            "{backend:?} vs oracle on {sql}"
+        );
     }
 }
 
@@ -62,11 +68,21 @@ fn numeric_session() -> Session {
         "points",
         df(vec![
             ("id", Column::from_i64((0..50).collect())),
-            ("a", Column::from_f64((0..50).map(|i| (i % 13) as f64).collect())),
-            ("b", Column::from_f64((0..50).map(|i| ((i * 7) % 11) as f64).collect())),
+            (
+                "a",
+                Column::from_f64((0..50).map(|i| (i % 13) as f64).collect()),
+            ),
+            (
+                "b",
+                Column::from_f64((0..50).map(|i| ((i * 7) % 11) as f64).collect()),
+            ),
             (
                 "grp",
-                Column::from_str((0..50).map(|i| ["x", "y"][(i % 2) as usize].to_string()).collect()),
+                Column::from_str(
+                    (0..50)
+                        .map(|i| ["x", "y"][(i % 2) as usize].to_string())
+                        .collect(),
+                ),
             ),
         ]),
     );
@@ -78,12 +94,18 @@ fn linear_regression_predict_in_sql() {
     let (x, y) = training_xy();
     let mut s = numeric_session();
     s.register_model("lin", Arc::new(LinearRegression::fit(&x, &y, 800, 0.3)));
-    check(&s, "select id, predict('lin', a, b) as p from points order by id");
+    check(
+        &s,
+        "select id, predict('lin', a, b) as p from points order by id",
+    );
     check(
         &s,
         "select grp, sum(predict('lin', a, b)) as total from points group by grp order by grp",
     );
-    check(&s, "select id from points where predict('lin', a, b) > 2.0 order by id");
+    check(
+        &s,
+        "select id from points where predict('lin', a, b) > 2.0 order by id",
+    );
 }
 
 #[test]
@@ -91,22 +113,38 @@ fn logistic_and_mlp_predict_in_sql() {
     let (x, y) = training_xy();
     let labels = Tensor::from_f64(y.as_f64().iter().map(|&v| f64::from(v > 2.0)).collect());
     let mut s = numeric_session();
-    s.register_model("logit", Arc::new(LogisticRegression::fit(&x, &labels, 400, 0.5)));
+    s.register_model(
+        "logit",
+        Arc::new(LogisticRegression::fit(&x, &labels, 400, 0.5)),
+    );
     s.register_model("net", Arc::new(Mlp::fit(&x, &y, 8, 150, 0.01, 9)));
     check(
         &s,
         "select grp, sum(predict('logit', a, b)) as positives from points group by grp order by grp",
     );
-    check(&s, "select id, predict('net', a, b) as p from points order by id");
+    check(
+        &s,
+        "select id, predict('net', a, b) as p from points order by id",
+    );
 }
 
 #[test]
 fn tree_models_both_strategies_in_sql() {
     let (x, y) = training_xy();
-    let tree = DecisionTree::fit(&x, &y, TreeParams { max_depth: 5, min_samples_split: 2 });
+    let tree = DecisionTree::fit(
+        &x,
+        &y,
+        TreeParams {
+            max_depth: 5,
+            min_samples_split: 2,
+        },
+    );
     let forest = RandomForest::fit(&x, &y, 5, TreeParams::default(), 3);
     let mut s = numeric_session();
-    s.register_model("tree_gemm", Arc::new(CompiledTrees::from_tree(&tree, TreeStrategy::Gemm)));
+    s.register_model(
+        "tree_gemm",
+        Arc::new(CompiledTrees::from_tree(&tree, TreeStrategy::Gemm)),
+    );
     s.register_model(
         "tree_trav",
         Arc::new(CompiledTrees::from_tree(&tree, TreeStrategy::Traversal)),
@@ -115,12 +153,22 @@ fn tree_models_both_strategies_in_sql() {
         "forest",
         Arc::new(CompiledTrees::from_forest(&forest, TreeStrategy::Gemm)),
     );
-    check(&s, "select id, predict('tree_gemm', a, b) as p from points order by id");
-    check(&s, "select id, predict('tree_trav', a, b) as p from points order by id");
+    check(
+        &s,
+        "select id, predict('tree_gemm', a, b) as p from points order by id",
+    );
+    check(
+        &s,
+        "select id, predict('tree_trav', a, b) as p from points order by id",
+    );
     check(&s, "select sum(predict('forest', a, b)) from points");
     // Both compilation strategies are bit-identical through SQL.
-    let g = s.sql("select sum(predict('tree_gemm', a, b)) from points").unwrap();
-    let t = s.sql("select sum(predict('tree_trav', a, b)) from points").unwrap();
+    let g = s
+        .sql("select sum(predict('tree_gemm', a, b)) from points")
+        .unwrap();
+    let t = s
+        .sql("select sum(predict('tree_trav', a, b)) from points")
+        .unwrap();
     assert_eq!(canon(&g), canon(&t));
 }
 
@@ -128,8 +176,9 @@ fn tree_models_both_strategies_in_sql() {
 fn figure4_query_end_to_end() {
     let train = datasets::amazon_reviews(3_000, 7);
     let text_col = train.column_by_name("text").unwrap();
-    let texts: Vec<String> =
-        (0..train.nrows()).map(|i| text_col.get(i).as_str().to_string()).collect();
+    let texts: Vec<String> = (0..train.nrows())
+        .map(|i| text_col.get(i).as_str().to_string())
+        .collect();
     let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
     let labels: Vec<f64> = (0..train.nrows())
         .map(|i| f64::from(train.column_by_name("rating").unwrap().get(i).as_i64() >= 3))

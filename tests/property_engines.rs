@@ -28,9 +28,9 @@ fn canon(frame: &DataFrame) -> Vec<Vec<String>> {
 }
 
 fn check_all_configs(session: &Session, sql: &str) -> Result<(), TestCaseError> {
-    let oracle = session.sql_baseline(sql).map_err(|e| {
-        TestCaseError::fail(format!("oracle failed on {sql}: {e}"))
-    })?;
+    let oracle = session
+        .sql_baseline(sql)
+        .map_err(|e| TestCaseError::fail(format!("oracle failed on {sql}: {e}")))?;
     let expect = canon(&oracle);
     for (join, agg) in [
         (JoinStrategy::SortMerge, AggStrategy::Sort),
@@ -68,7 +68,9 @@ fn table_t(rows: &[(i64, i64, f64, u8)]) -> DataFrame {
         (
             "tag",
             Column::from_str(
-                rows.iter().map(|r| ["aa", "ab", "bb", "cc"][(r.3 % 4) as usize].to_string()).collect(),
+                rows.iter()
+                    .map(|r| ["aa", "ab", "bb", "cc"][(r.3 % 4) as usize].to_string())
+                    .collect(),
             ),
         ),
     ])

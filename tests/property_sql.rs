@@ -14,22 +14,71 @@ fn literal() -> impl Strategy<Value = Expr> {
 
 fn column() -> impl Strategy<Value = Expr> {
     prop_oneof![
-        "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| !is_reserved(s)).prop_map(|name| {
-            Expr::Column { table: None, name }
-        }),
-        ("[a-z]{1,3}".prop_filter("not reserved", |s| !is_reserved(s)),
-         "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| !is_reserved(s)))
-            .prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+        "[a-z][a-z0-9_]{0,6}"
+            .prop_filter("not reserved", |s| !is_reserved(s))
+            .prop_map(|name| { Expr::Column { table: None, name } }),
+        (
+            "[a-z]{1,3}".prop_filter("not reserved", |s| !is_reserved(s)),
+            "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| !is_reserved(s))
+        )
+            .prop_map(|(t, name)| Expr::Column {
+                table: Some(t),
+                name
+            }),
     ]
 }
 
 fn is_reserved(s: &str) -> bool {
     [
-        "select", "from", "where", "group", "order", "having", "limit", "on", "join", "inner",
-        "left", "right", "outer", "cross", "as", "and", "or", "not", "asc", "desc", "union",
-        "when", "then", "else", "end", "case", "between", "in", "like", "is", "exists", "with",
-        "distinct", "by", "null", "date", "interval", "extract", "substring", "substr",
-        "predict", "true", "false", "count", "sum", "avg", "min", "max", "abs",
+        "select",
+        "from",
+        "where",
+        "group",
+        "order",
+        "having",
+        "limit",
+        "on",
+        "join",
+        "inner",
+        "left",
+        "right",
+        "outer",
+        "cross",
+        "as",
+        "and",
+        "or",
+        "not",
+        "asc",
+        "desc",
+        "union",
+        "when",
+        "then",
+        "else",
+        "end",
+        "case",
+        "between",
+        "in",
+        "like",
+        "is",
+        "exists",
+        "with",
+        "distinct",
+        "by",
+        "null",
+        "date",
+        "interval",
+        "extract",
+        "substring",
+        "substr",
+        "predict",
+        "true",
+        "false",
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "abs",
     ]
     .contains(&s)
 }
@@ -74,9 +123,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 pattern: p,
                 negated: n,
             }),
-            (inner.clone(), prop::collection::vec(literal(), 1..4), any::<bool>()).prop_map(
-                |(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }
-            ),
+            (
+                inner.clone(),
+                prop::collection::vec(literal(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
             (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
                 |(e, lo, hi, negated)| Expr::Between {
                     expr: Box::new(e),
@@ -90,12 +146,13 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 negated,
             }),
             // Aggregate-ish function calls.
-            (prop_oneof![Just("sum"), Just("min"), Just("count")], inner)
-                .prop_map(|(name, a)| Expr::Func {
+            (prop_oneof![Just("sum"), Just("min"), Just("count")], inner).prop_map(|(name, a)| {
+                Expr::Func {
                     name: name.to_string(),
                     args: vec![a],
                     distinct: false,
-                }),
+                }
+            }),
         ]
     })
 }

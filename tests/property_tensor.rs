@@ -175,9 +175,7 @@ fn naive_like(pat: &[u8], s: &[u8]) -> bool {
     match (pat.first(), s.first()) {
         (None, None) => true,
         (None, Some(_)) => false,
-        (Some(b'%'), _) => {
-            naive_like(&pat[1..], s) || (!s.is_empty() && naive_like(pat, &s[1..]))
-        }
+        (Some(b'%'), _) => naive_like(&pat[1..], s) || (!s.is_empty() && naive_like(pat, &s[1..])),
         (Some(b'_'), Some(_)) => naive_like(&pat[1..], &s[1..]),
         (Some(&p), Some(&c)) if p == c => naive_like(&pat[1..], &s[1..]),
         _ => false,

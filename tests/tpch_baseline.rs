@@ -12,7 +12,10 @@ use tqp_repro::ir::{compile_sql, Catalog, PhysicalOptions};
 use tqp_repro::ml::ModelRegistry;
 
 fn setup() -> (HashMap<String, DataFrame>, Catalog) {
-    let data = TpchData::generate(&TpchConfig { scale_factor: 0.01, seed: 1 });
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.01,
+        seed: 1,
+    });
     let mut tables = HashMap::new();
     let mut catalog = Catalog::new();
     for (name, frame) in data.tables() {
@@ -34,7 +37,11 @@ fn all_22_queries_run_on_row_engine() {
         // Sanity: the well-known result shapes.
         match n {
             1 => {
-                assert_eq!(result.nrows(), 4, "Q1 has 4 (returnflag, linestatus) groups");
+                assert_eq!(
+                    result.nrows(),
+                    4,
+                    "Q1 has 4 (returnflag, linestatus) groups"
+                );
                 assert_eq!(result.ncols(), 10);
             }
             3 => assert!(result.nrows() <= 10, "Q3 is LIMIT 10"),

@@ -14,7 +14,10 @@ use tqp_repro::ir::{AggStrategy, JoinStrategy, PhysicalOptions};
 use tqp_tensor::Scalar;
 
 fn session() -> Session {
-    let data = TpchData::generate(&TpchConfig { scale_factor: 0.01, seed: 20_220_901 });
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: 0.01,
+        seed: 20_220_901,
+    });
     let mut s = Session::new();
     s.register_tpch(&data);
     s
@@ -66,9 +69,14 @@ fn assert_frames_match(n: usize, label: &str, got: &DataFrame, expect: &DataFram
 fn run_suite(backend: Backend, physical: PhysicalOptions, label: &str) {
     let s = session();
     for (n, sql) in queries::all() {
-        let expect = s.sql_baseline(sql).unwrap_or_else(|e| panic!("Q{n} oracle: {e}"));
+        let expect = s
+            .sql_baseline(sql)
+            .unwrap_or_else(|e| panic!("Q{n} oracle: {e}"));
         let q = s
-            .compile(sql, QueryConfig::default().backend(backend).physical(physical))
+            .compile(
+                sql,
+                QueryConfig::default().backend(backend).physical(physical),
+            )
             .unwrap_or_else(|e| panic!("Q{n} compile: {e}"));
         let (got, _) = q.run(&s).unwrap_or_else(|e| panic!("Q{n} run: {e}"));
         assert_frames_match(n, label, &got, &expect);
@@ -79,7 +87,10 @@ fn run_suite(backend: Backend, physical: PhysicalOptions, label: &str) {
 fn eager_sortmerge_sortagg_matches_oracle() {
     run_suite(
         Backend::Eager,
-        PhysicalOptions { join: JoinStrategy::SortMerge, agg: AggStrategy::Sort },
+        PhysicalOptions {
+            join: JoinStrategy::SortMerge,
+            agg: AggStrategy::Sort,
+        },
         "eager/smj/sort",
     );
 }
@@ -88,7 +99,10 @@ fn eager_sortmerge_sortagg_matches_oracle() {
 fn eager_hash_strategies_match_oracle() {
     run_suite(
         Backend::Eager,
-        PhysicalOptions { join: JoinStrategy::Hash, agg: AggStrategy::Hash },
+        PhysicalOptions {
+            join: JoinStrategy::Hash,
+            agg: AggStrategy::Hash,
+        },
         "eager/hash/hash",
     );
 }
@@ -97,7 +111,10 @@ fn eager_hash_strategies_match_oracle() {
 fn fused_backend_matches_oracle() {
     run_suite(
         Backend::Fused,
-        PhysicalOptions { join: JoinStrategy::SortMerge, agg: AggStrategy::Sort },
+        PhysicalOptions {
+            join: JoinStrategy::SortMerge,
+            agg: AggStrategy::Sort,
+        },
         "fused/smj/sort",
     );
 }
@@ -106,8 +123,23 @@ fn fused_backend_matches_oracle() {
 fn graph_backend_matches_oracle() {
     run_suite(
         Backend::Graph,
-        PhysicalOptions { join: JoinStrategy::SortMerge, agg: AggStrategy::Sort },
+        PhysicalOptions {
+            join: JoinStrategy::SortMerge,
+            agg: AggStrategy::Sort,
+        },
         "graph/smj/sort",
+    );
+}
+
+#[test]
+fn wasm_backend_matches_oracle() {
+    run_suite(
+        Backend::Wasm,
+        PhysicalOptions {
+            join: JoinStrategy::SortMerge,
+            agg: AggStrategy::Sort,
+        },
+        "wasm/smj/sort",
     );
 }
 
@@ -115,7 +147,10 @@ fn graph_backend_matches_oracle() {
 fn mixed_strategies_match_oracle() {
     run_suite(
         Backend::Eager,
-        PhysicalOptions { join: JoinStrategy::Hash, agg: AggStrategy::Sort },
+        PhysicalOptions {
+            join: JoinStrategy::Hash,
+            agg: AggStrategy::Sort,
+        },
         "eager/hash/sort",
     );
 }

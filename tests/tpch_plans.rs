@@ -44,14 +44,17 @@ fn cross_joins(p: &PhysicalPlan) -> usize {
 fn q1_is_scan_filter_agg_sort() {
     let p = plan(1);
     assert_eq!(count(&p, &|n| matches!(n, PhysicalPlan::Join { .. })), 0);
-    assert_eq!(count(&p, &|n| matches!(n, PhysicalPlan::Aggregate { .. })), 1);
+    assert_eq!(
+        count(&p, &|n| matches!(n, PhysicalPlan::Aggregate { .. })),
+        1
+    );
     assert_eq!(count(&p, &|n| matches!(n, PhysicalPlan::Sort { .. })), 1);
     // Column pruning: Q1 touches 7 of lineitem's 16 columns.
     fn scan_width(p: &PhysicalPlan) -> Option<usize> {
         match p {
-            PhysicalPlan::Scan { projection, schema, .. } => {
-                Some(projection.as_ref().map_or(schema.len(), |x| x.len()))
-            }
+            PhysicalPlan::Scan {
+                projection, schema, ..
+            } => Some(projection.as_ref().map_or(schema.len(), |x| x.len())),
             _ => p.children().into_iter().find_map(scan_width),
         }
     }
@@ -64,11 +67,16 @@ fn q2_decorrelates_min_subquery_into_grouped_join() {
     // The correlated MIN becomes an Inner join against a grouped aggregate;
     // the 5-way and 4-way comma joins become equi-join trees.
     assert_eq!(cross_joins(&p), 0, "Q2 must not contain Cartesian products");
-    let grouped_aggs = count(&p, &|n| matches!(
-        n,
-        PhysicalPlan::Aggregate { group_by, .. } if !group_by.is_empty()
-    ));
-    assert_eq!(grouped_aggs, 1, "the decorrelated MIN is grouped by ps_partkey");
+    let grouped_aggs = count(&p, &|n| {
+        matches!(
+            n,
+            PhysicalPlan::Aggregate { group_by, .. } if !group_by.is_empty()
+        )
+    });
+    assert_eq!(
+        grouped_aggs, 1,
+        "the decorrelated MIN is grouped by ps_partkey"
+    );
     assert!(joins_of(&p).len() >= 8, "both join pyramids survive");
 }
 
@@ -94,7 +102,11 @@ fn q13_left_join_with_pushed_right_filter() {
     // The NOT LIKE on o_comment must sit on the right side *below* the join.
     fn left_join_right_has_filter(p: &PhysicalPlan) -> bool {
         match p {
-            PhysicalPlan::Join { join_type: JoinType::Left, right, .. } => {
+            PhysicalPlan::Join {
+                join_type: JoinType::Left,
+                right,
+                ..
+            } => {
                 fn has_filter(p: &PhysicalPlan) -> bool {
                     matches!(p, PhysicalPlan::Filter { .. })
                         || p.children().into_iter().any(has_filter)
@@ -118,17 +130,23 @@ fn q16_not_in_becomes_anti_join() {
 fn q17_correlated_avg_decorrelated() {
     let p = plan(17);
     assert_eq!(cross_joins(&p), 0);
-    let grouped_aggs = count(&p, &|n| matches!(
-        n,
-        PhysicalPlan::Aggregate { group_by, .. } if !group_by.is_empty()
-    ));
+    let grouped_aggs = count(&p, &|n| {
+        matches!(
+            n,
+            PhysicalPlan::Aggregate { group_by, .. } if !group_by.is_empty()
+        )
+    });
     assert!(grouped_aggs >= 1, "avg-per-partkey aggregate exists");
 }
 
 #[test]
 fn q19_or_hoisting_extracts_the_join() {
     let p = plan(19);
-    assert_eq!(cross_joins(&p), 0, "common p_partkey = l_partkey must be hoisted from the OR");
+    assert_eq!(
+        cross_joins(&p),
+        0,
+        "common p_partkey = l_partkey must be hoisted from the OR"
+    );
     assert_eq!(joins_of(&p).len(), 1);
     // The residual OR survives as a filter above the join.
     fn join_has_filter_above(p: &PhysicalPlan) -> bool {
@@ -166,7 +184,10 @@ fn q21_has_semi_and_anti_with_residuals() {
 fn q22_anti_join_and_scalar_cross() {
     let p = plan(22);
     let jts = joins_of(&p);
-    assert!(jts.contains(&JoinType::Anti), "NOT EXISTS orders → anti join");
+    assert!(
+        jts.contains(&JoinType::Anti),
+        "NOT EXISTS orders → anti join"
+    );
     // The uncorrelated AVG subquery becomes a single-row cross join.
     assert!(cross_joins(&p) >= 1);
 }
@@ -189,12 +210,10 @@ fn no_query_retains_subqueries_or_outer_refs() {
             let own = match p {
                 PhysicalPlan::Filter { predicate, .. } => check(predicate),
                 PhysicalPlan::Project { exprs, .. } => exprs.iter().all(check),
-                PhysicalPlan::Join { residual, .. } => {
-                    residual.as_ref().map_or(true, check)
-                }
+                PhysicalPlan::Join { residual, .. } => residual.as_ref().is_none_or(check),
                 PhysicalPlan::Aggregate { group_by, aggs, .. } => {
                     group_by.iter().all(check)
-                        && aggs.iter().all(|a| a.arg.as_ref().map_or(true, check))
+                        && aggs.iter().all(|a| a.arg.as_ref().is_none_or(check))
                 }
                 PhysicalPlan::Sort { keys, .. } => keys.iter().all(|k| check(&k.expr)),
                 _ => true,
