@@ -1,0 +1,92 @@
+//! TPC-H macro-benchmark: all 22 queries × backend × worker count, with a
+//! machine-readable result file seeding the perf trajectory.
+//!
+//! Writes `BENCH_tpch.json` (format `tqp-bench-tpch` v1) into the current
+//! directory: one record per (query, backend, workers) with the median
+//! wall-time in microseconds, following the paper's measurement protocol
+//! (§2.3 — median of `TQP_RUNS` runs after as many warm-ups).
+//!
+//! ```bash
+//! TQP_SF=0.05 TQP_RUNS=3 cargo run --release -p tqp-bench --bin tpch_bench
+//! ```
+//!
+//! Backends: Eager, Fused, Graph (the vectorized-VM backends whose
+//! execution responds to `workers`). The scalar Wasm backend is
+//! single-threaded by design; opt it in with `TQP_WASM=1`.
+
+use tqp_bench::{fmt_ms, median_us, runs, scale_factor, tpch_session};
+use tqp_core::QueryConfig;
+use tqp_data::tpch::queries;
+use tqp_exec::{default_workers, Backend};
+use tqp_json::Json;
+
+fn main() {
+    let session = tpch_session();
+    let host = default_workers();
+    let worker_counts: Vec<usize> = if host > 1 { vec![1, host] } else { vec![1] };
+    let mut backends = vec![
+        (Backend::Eager, "eager"),
+        (Backend::Fused, "fused"),
+        (Backend::Graph, "graph"),
+    ];
+    if std::env::var("TQP_WASM").is_ok_and(|v| v == "1") {
+        backends.push((Backend::Wasm, "wasm"));
+    }
+
+    println!(
+        "tpch_bench: SF {}, {} run(s), host workers {host}",
+        scale_factor(),
+        runs()
+    );
+    println!(
+        "\n  {:<5} {:<7} {:>12} {:>12} {:>9}",
+        "query", "backend", "1 worker", "N workers", "speedup"
+    );
+
+    let mut results: Vec<Json> = Vec::new();
+    for (n, sql) in queries::all() {
+        for &(backend, name) in &backends {
+            let mut per_worker: Vec<(usize, u64)> = Vec::new();
+            for &w in &worker_counts {
+                let q = session
+                    .compile(sql, QueryConfig::default().backend(backend).workers(w))
+                    .unwrap_or_else(|e| panic!("Q{n} compile: {e}"));
+                let us = median_us(|| {
+                    q.run(&session).unwrap_or_else(|e| panic!("Q{n} run: {e}"));
+                    None
+                });
+                per_worker.push((w, us));
+                results.push(Json::obj(vec![
+                    ("query", Json::I64(n as i64)),
+                    ("backend", Json::str(name)),
+                    ("workers", Json::I64(w as i64)),
+                    ("median_us", Json::I64(us as i64)),
+                ]));
+            }
+            let (_, seq_us) = per_worker[0];
+            let (_, par_us) = *per_worker.last().expect("at least one worker count");
+            println!(
+                "  Q{:<4} {:<7} {:>12} {:>12} {:>8.2}x",
+                n,
+                name,
+                fmt_ms(seq_us),
+                fmt_ms(par_us),
+                seq_us as f64 / par_us.max(1) as f64
+            );
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("format", Json::str("tqp-bench-tpch")),
+        ("version", Json::I64(1)),
+        ("scale_factor", Json::F64(scale_factor())),
+        ("runs", Json::I64(runs() as i64)),
+        ("host_workers", Json::I64(host as i64)),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write("BENCH_tpch.json", doc.to_string_pretty()).expect("write BENCH_tpch.json");
+    println!(
+        "\n  wrote BENCH_tpch.json ({} records)",
+        22 * backends.len() * worker_counts.len()
+    );
+}

@@ -1,10 +1,27 @@
-//! Tensor aggregation: sort-based (default) and hash-based strategies.
+//! Tensor aggregation: sort-based (default) and hash-based strategies,
+//! plus a **partitioned parallel** execution mode.
 //!
 //! Sort strategy (the tensor-native formulation, paper §2.2): multi-key
 //! stable argsort → run-boundary detection → dense group ids via prefix sum
 //! → segmented reductions. Hash strategy: FxHash group table with collision
 //! chains → scatter reductions. `COUNT(DISTINCT x)` sorts `(keys…, x)` and
 //! counts distinct runs per group.
+//!
+//! ## Partitioned parallel aggregation
+//!
+//! [`aggregate_par`] splits the input into **fixed-size morsels**
+//! ([`par_morsel_rows`], *independent of the worker count*), computes a
+//! hash-grouped partial state per morsel ([`partial_aggregate`]), and folds
+//! the partials in ascending morsel order ([`merge_partials`]).
+//!
+//! **Determinism contract**: the partial-merge tree — and therefore every
+//! float rounding decision in SUM/AVG — is a pure function of the input
+//! rows and the (fixed) morsel geometry. Worker threads only *schedule*
+//! morsels; they never change which partials exist or the order they merge
+//! in. Consequently SUM/AVG/COUNT/MIN/MAX results are **bit-identical at
+//! every worker count**, which the differential suites assert at
+//! `workers ∈ {1, 4}`. (`COUNT(DISTINCT)` keeps the sequential path: its
+//! state is a value *set*, not a mergeable scalar.)
 //!
 //! Empty-input semantics (shared with the row oracle): a global aggregate
 //! yields one row of zeros; a grouped aggregate yields no rows.
@@ -14,11 +31,12 @@ use std::collections::HashMap;
 use tqp_data::LogicalType;
 use tqp_ir::expr::{AggCall, AggFunc, BoundExpr};
 use tqp_ml::ModelRegistry;
-use tqp_tensor::index::{mask_to_indices, take};
+use tqp_tensor::index::{concat, mask_to_indices, scatter_add_i64, take};
 use tqp_tensor::reduce::{
-    segmented_min_str, segmented_reduce, segmented_reduce_i64, sum_f64, sum_i64, AggFn,
+    segmented_min_str, segmented_min_str_or_filler, segmented_reduce, segmented_reduce_i64,
+    sum_f64, sum_i64, AggFn,
 };
-use tqp_tensor::sort::{argsort_multi, Order, SortKey};
+use tqp_tensor::sort::{argsort_multi, argsort_multi_par, Order, SortKey};
 use tqp_tensor::unique::{group_ids, run_lengths, run_starts, Groups};
 use tqp_tensor::{DType, Tensor};
 
@@ -33,13 +51,115 @@ pub enum Strategy {
     Hash,
 }
 
-/// Execute an aggregation over a batch.
+/// Rows per aggregation morsel on the partitioned parallel path. Fixed —
+/// **never derived from the worker count** — so the partial-merge tree (and
+/// float rounding) depends only on the input. Override with
+/// `TQP_AGG_MORSEL_ROWS` (read once per process; the parity suites shrink
+/// it to exercise many-morsel merges on small test data).
+pub fn par_morsel_rows() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("TQP_AGG_MORSEL_ROWS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v >= 64)
+            .unwrap_or(16 * 1024)
+    })
+}
+
+/// Minimum input rows before the partitioned path engages (two morsels).
+pub fn par_min_rows() -> usize {
+    2 * par_morsel_rows()
+}
+
+/// True when every aggregate has a mergeable partial state.
+/// `COUNT(DISTINCT)` does not (its state is a value set), so it pins the
+/// whole `GroupedReduce` to the sequential path.
+pub fn parallel_eligible(aggs: &[AggCall]) -> bool {
+    !aggs.iter().any(|a| a.func == AggFunc::CountDistinct)
+}
+
+/// Execute an aggregation over a batch, sequentially (the metered/GpuSim
+/// path, where modeled time must not depend on host threads).
 pub fn aggregate(
     input: &Batch,
     group_by: &[BoundExpr],
     aggs: &[AggCall],
     strategy: Strategy,
     models: &ModelRegistry,
+) -> Batch {
+    aggregate_seq(input, group_by, aggs, strategy, models, 1)
+}
+
+/// Execute an aggregation with the partitioned parallel path when eligible
+/// (input ≥ [`par_min_rows`], no `COUNT(DISTINCT)`); otherwise sequential
+/// with `workers` threading only the internal argsort.
+///
+/// Path selection depends on the input and program alone — never on
+/// `workers` — so results are bit-identical at every worker count.
+pub fn aggregate_par(
+    input: &Batch,
+    group_by: &[BoundExpr],
+    aggs: &[AggCall],
+    strategy: Strategy,
+    models: &ModelRegistry,
+    workers: usize,
+) -> Batch {
+    let workers = workers.max(1);
+    let n = input.nrows();
+    if !parallel_eligible(aggs) || n < par_min_rows() {
+        return aggregate_seq(input, group_by, aggs, strategy, models, workers);
+    }
+    let morsel_rows = par_morsel_rows();
+    let n_morsels = n.div_ceil(morsel_rows);
+    let partials = map_morsels(n_morsels, workers, |m| {
+        let lo = m * morsel_rows;
+        let hi = ((m + 1) * morsel_rows).min(n);
+        partial_aggregate(&input.slice_rows(lo, hi), group_by, aggs, models)
+    });
+    merge_partials(partials, group_by.len(), aggs, strategy, workers)
+}
+
+/// Run `f(m)` for every morsel index in `0..n_morsels`, scheduling
+/// contiguous blocks of morsels across up to `workers` threads. Results
+/// return in morsel order. This is *scheduling only*: the set of calls and
+/// the result order never depend on `workers` (the determinism contract's
+/// scheduling half, shared by [`aggregate_par`] and the VM's fused
+/// segment+aggregation route).
+pub fn map_morsels<T: Send>(
+    n_morsels: usize,
+    workers: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..n_morsels).map(|_| None).collect();
+    let threads = workers.min(n_morsels).max(1);
+    if threads <= 1 {
+        for (m, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(m));
+        }
+    } else {
+        let per_thread = n_morsels.div_ceil(threads);
+        rayon::scope(|s| {
+            for (b, block) in slots.chunks_mut(per_thread).enumerate() {
+                let f = &f;
+                s.spawn(move |_| {
+                    for (j, slot) in block.iter_mut().enumerate() {
+                        *slot = Some(f(b * per_thread + j));
+                    }
+                });
+            }
+        });
+    }
+    slots.into_iter().flatten().collect()
+}
+
+fn aggregate_seq(
+    input: &Batch,
+    group_by: &[BoundExpr],
+    aggs: &[AggCall],
+    strategy: Strategy,
+    models: &ModelRegistry,
+    workers: usize,
 ) -> Batch {
     if group_by.is_empty() {
         return global_aggregate(input, aggs, models);
@@ -56,7 +176,7 @@ pub fn aggregate(
         })
         .collect();
     match strategy {
-        Strategy::Sort => sort_aggregate(input, &keys, aggs, models),
+        Strategy::Sort => sort_aggregate(input, &keys, aggs, models, workers),
         Strategy::Hash => hash_aggregate(input, &keys, aggs, models),
     }
 }
@@ -114,6 +234,23 @@ fn global_minmax(vals: &Tensor, call: &AggCall) -> Tensor {
     Tensor::from_f64(vec![v])
 }
 
+/// The one-row zero defaults a global aggregate produces over empty input
+/// (mirrors [`global_aggregate`] on a zero-row batch).
+fn global_empty_defaults(aggs: &[AggCall]) -> Batch {
+    let columns = aggs
+        .iter()
+        .map(|call| match call.func {
+            AggFunc::CountStar | AggFunc::Count | AggFunc::CountDistinct => {
+                Tensor::from_i64(vec![0])
+            }
+            AggFunc::Sum if call.ty == LogicalType::Int64 => Tensor::from_i64(vec![0]),
+            AggFunc::Sum | AggFunc::Avg => Tensor::from_f64(vec![0.0]),
+            AggFunc::Min | AggFunc::Max => default_minmax(call, 1),
+        })
+        .collect();
+    Batch::new(columns)
+}
+
 fn default_minmax(call: &AggCall, n: usize) -> Tensor {
     match call.ty {
         LogicalType::Int64 | LogicalType::Date => Tensor::from_i64(vec![0; n]),
@@ -149,6 +286,296 @@ fn apply_validity(vals: Tensor, validity: Option<Tensor>) -> (Tensor, usize) {
 }
 
 // ---------------------------------------------------------------------
+// Partitioned parallel path: per-morsel partials + ordered merge
+// ---------------------------------------------------------------------
+
+/// Mergeable partial aggregation state for one morsel: the morsel's group
+/// keys (one row per local group, first-appearance order) and one
+/// accumulator column per aggregate call.
+pub struct AggPartial {
+    /// Group-key columns materialized at local group firsts.
+    keys: Vec<Tensor>,
+    /// One partial per aggregate call, aligned with `keys` rows.
+    cols: Vec<Partial>,
+    /// Local group count (needed when there are no key columns).
+    groups: usize,
+}
+
+/// One aggregate's per-local-group accumulator.
+struct Partial {
+    /// SUM/COUNT/MIN/MAX accumulator (dtype follows the aggregate). Empty
+    /// valid sets hold the reduction identity (0, ±∞, `i64::MAX/MIN`).
+    acc: Tensor,
+    /// Valid-row count per local group — the merge uses it to finalize AVG
+    /// and to reset all-NULL MIN/MAX groups to the shared default.
+    counts: Option<Tensor>,
+}
+
+/// Compute the partial aggregation state of one morsel. Row-local
+/// expressions (group keys, aggregate arguments) evaluate on the morsel
+/// slice, so this step parallelizes the evaluation work too.
+pub fn partial_aggregate(
+    morsel: &Batch,
+    group_by: &[BoundExpr],
+    aggs: &[AggCall],
+    models: &ModelRegistry,
+) -> AggPartial {
+    let n = morsel.nrows();
+    let keys: Vec<Tensor> = group_by
+        .iter()
+        .map(|g| {
+            let (v, validity) = eval(g, morsel, models);
+            assert!(
+                validity.is_none(),
+                "NULL group keys unsupported in the tensor engine"
+            );
+            v
+        })
+        .collect();
+    let (ids, firsts) = hash_group_rows(&keys, n);
+    let g = firsts.nrows();
+    let key_cols: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
+    let cols = aggs
+        .iter()
+        .map(|call| one_partial(morsel, call, &ids, g, models))
+        .collect();
+    AggPartial {
+        keys: key_cols,
+        cols,
+        groups: g,
+    }
+}
+
+fn ones_i64(n: usize) -> Tensor {
+    Tensor::from_i64(vec![1; n])
+}
+
+fn one_partial(
+    morsel: &Batch,
+    call: &AggCall,
+    ids: &Tensor,
+    g: usize,
+    models: &ModelRegistry,
+) -> Partial {
+    if call.func == AggFunc::CountStar {
+        return Partial {
+            acc: scatter_add_i64(g, ids, &ones_i64(ids.nrows())),
+            counts: None,
+        };
+    }
+    let (vals, validity) = eval(call.arg.as_ref().expect("agg arg"), morsel, models);
+    // Compact away invalid rows; `vids` keeps values aligned to groups.
+    let (vals, vids) = match validity {
+        None => (vals, ids.clone()),
+        Some(mask) => {
+            let idx = mask_to_indices(&mask);
+            (take(&vals, &idx), take(ids, &idx))
+        }
+    };
+    // Valid counts, only where the merge consumes them: AVG finalization
+    // and the all-NULL-group reset of MIN/MAX. (COUNT *is* the count; SUM
+    // merges by re-summing accumulators alone.)
+    let valid_counts = || scatter_add_i64(g, &vids, &ones_i64(vids.nrows()));
+    let (acc, counts) = match call.func {
+        AggFunc::Sum if call.ty == LogicalType::Int64 => {
+            (segmented_reduce_i64(&vals, &vids, g, AggFn::Sum), None)
+        }
+        AggFunc::Sum => (segmented_reduce(&vals, &vids, g, AggFn::Sum), None),
+        AggFunc::Avg => (
+            segmented_reduce(&vals, &vids, g, AggFn::Sum),
+            Some(valid_counts()),
+        ),
+        AggFunc::Count => (valid_counts(), None),
+        AggFunc::Min | AggFunc::Max => {
+            let min = call.func == AggFunc::Min;
+            let acc = if vals.dtype() == DType::U8 {
+                // A local group whose valid set is empty (all rows NULL in
+                // this morsel) yields an all-zero filler row; the merge
+                // excludes filler rows via the zero valid count.
+                segmented_min_str_or_filler(&vals, &vids, g, min)
+            } else if call.ty == LogicalType::Int64 || call.ty == LogicalType::Date {
+                segmented_reduce_i64(&vals, &vids, g, if min { AggFn::Min } else { AggFn::Max })
+            } else {
+                segmented_reduce(&vals, &vids, g, if min { AggFn::Min } else { AggFn::Max })
+            };
+            (acc, Some(valid_counts()))
+        }
+        AggFunc::CountStar | AggFunc::CountDistinct => {
+            unreachable!("not eligible for partial aggregation")
+        }
+    };
+    Partial { acc, counts }
+}
+
+/// Fold per-morsel partials into the final aggregate batch.
+///
+/// The partials arrive — and are concatenated — in **ascending morsel
+/// order**; global group ids assign in first-encounter order over that
+/// concatenation, and every segmented reduction folds accumulator rows in
+/// the same order. This fixed fold order is the determinism contract: float
+/// SUM/AVG results depend only on the morsel geometry, not on which worker
+/// computed which partial.
+///
+/// Output group order matches the sequential strategies: `Hash` keeps
+/// global first-appearance order, `Sort` sorts groups by their keys.
+pub fn merge_partials(
+    partials: Vec<AggPartial>,
+    n_group_cols: usize,
+    aggs: &[AggCall],
+    strategy: Strategy,
+    workers: usize,
+) -> Batch {
+    let total: usize = partials.iter().map(|p| p.groups).sum();
+    // A global aggregate whose every morsel came up empty (e.g. a fused
+    // filter that matched nothing) must still yield the engine's one row
+    // of zeros — the same empty-input semantics as the sequential path.
+    if n_group_cols == 0 && total == 0 {
+        return global_empty_defaults(aggs);
+    }
+    let merged_keys: Vec<Tensor> = (0..n_group_cols)
+        .map(|c| {
+            let parts: Vec<&Tensor> = partials.iter().map(|p| &p.keys[c]).collect();
+            concat(&parts)
+        })
+        .collect();
+    let (ids, firsts) = hash_group_rows(&merged_keys, total);
+    let g = firsts.nrows();
+    let mut columns: Vec<Tensor> = merged_keys.iter().map(|k| take(k, &firsts)).collect();
+    for (a, call) in aggs.iter().enumerate() {
+        let accs: Vec<&Tensor> = partials.iter().map(|p| &p.cols[a].acc).collect();
+        let acc = concat(&accs);
+        let counts = if partials.iter().all(|p| p.cols[a].counts.is_some()) {
+            let cs: Vec<&Tensor> = partials
+                .iter()
+                .map(|p| p.cols[a].counts.as_ref().expect("checked"))
+                .collect();
+            Some(concat(&cs))
+        } else {
+            None
+        };
+        columns.push(merge_one(call, &acc, counts.as_ref(), &ids, g));
+    }
+    let out = Batch::new(columns);
+    if strategy == Strategy::Sort && n_group_cols > 0 {
+        let sort_keys: Vec<SortKey> = out.columns[..n_group_cols]
+            .iter()
+            .map(|k| SortKey::asc(k.clone()))
+            .collect();
+        let perm = argsort_multi_par(&sort_keys, workers);
+        return out.take(&perm);
+    }
+    out
+}
+
+/// Combine one aggregate's concatenated partial accumulators by global
+/// group id. Reductions fold in concatenation (= morsel) order.
+fn merge_one(
+    call: &AggCall,
+    acc: &Tensor,
+    counts: Option<&Tensor>,
+    ids: &Tensor,
+    g: usize,
+) -> Tensor {
+    match call.func {
+        AggFunc::CountStar | AggFunc::Count => segmented_reduce_i64(acc, ids, g, AggFn::Sum),
+        AggFunc::Sum if call.ty == LogicalType::Int64 => {
+            segmented_reduce_i64(acc, ids, g, AggFn::Sum)
+        }
+        AggFunc::Sum => segmented_reduce(acc, ids, g, AggFn::Sum),
+        AggFunc::Avg => {
+            let sums = segmented_reduce(acc, ids, g, AggFn::Sum);
+            let cnts =
+                segmented_reduce_i64(counts.expect("AVG partial counts"), ids, g, AggFn::Sum);
+            let out: Vec<f64> = sums
+                .as_f64()
+                .iter()
+                .zip(cnts.as_i64())
+                .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+                .collect();
+            Tensor::from_f64(out)
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let min = call.func == AggFunc::Min;
+            if acc.dtype() == DType::U8 {
+                // Exclude the filler rows of all-NULL local groups (their
+                // valid count is zero); a group with no survivors at all
+                // panics inside segmented_min_str — matching the
+                // sequential path's "empty group in string MIN/MAX".
+                let cnts = counts.expect("MIN/MAX partial counts").as_i64();
+                let keep =
+                    mask_to_indices(&Tensor::from_bool(cnts.iter().map(|&c| c > 0).collect()));
+                return segmented_min_str(&take(acc, &keep), &take(ids, &keep), g, min);
+            }
+            // Accumulators hold the reduction identity for all-NULL local
+            // groups; a zero *total* count resets to the shared default.
+            let cnts =
+                segmented_reduce_i64(counts.expect("MIN/MAX partial counts"), ids, g, AggFn::Sum);
+            if call.ty == LogicalType::Int64 || call.ty == LogicalType::Date {
+                let r =
+                    segmented_reduce_i64(acc, ids, g, if min { AggFn::Min } else { AggFn::Max });
+                let fixed: Vec<i64> = r
+                    .as_i64()
+                    .iter()
+                    .zip(cnts.as_i64())
+                    .map(|(&v, &c)| if c == 0 { 0 } else { v })
+                    .collect();
+                Tensor::from_i64(fixed)
+            } else {
+                let r = segmented_reduce(acc, ids, g, if min { AggFn::Min } else { AggFn::Max });
+                let fixed: Vec<f64> = r
+                    .as_f64()
+                    .iter()
+                    .zip(cnts.as_i64())
+                    .map(|(&v, &c)| if c == 0 { 0.0 } else { v })
+                    .collect();
+                Tensor::from_f64(fixed)
+            }
+        }
+        AggFunc::CountDistinct => unreachable!("not eligible for partial aggregation"),
+    }
+}
+
+/// Hash-group rows by key equality (collision-verified). Returns dense
+/// group ids in first-appearance order plus one representative row per
+/// group. Zero key columns means a single global group (the ungrouped
+/// aggregate case).
+fn hash_group_rows(keys: &[Tensor], n: usize) -> (Tensor, Tensor) {
+    if keys.is_empty() {
+        let firsts = if n == 0 { vec![] } else { vec![0] };
+        return (Tensor::from_i64(vec![0; n]), Tensor::from_i64(firsts));
+    }
+    let key_refs: Vec<&Tensor> = keys.iter().collect();
+    let hashes = hash_rows(&key_refs);
+    let hv = hashes.as_i64();
+    // hash → chain of (first_row, gid); verify on collision.
+    let mut table: HashMap<i64, Vec<(u32, u32)>, FxBuild> =
+        HashMap::with_capacity_and_hasher(n * 2, FxBuild);
+    let mut gids = vec![0i64; n];
+    let mut firsts: Vec<i64> = Vec::new();
+    for i in 0..n {
+        let chain = table.entry(hv[i]).or_default();
+        let mut found = None;
+        for &(first, gid) in chain.iter() {
+            if rows_equal(keys, i, first as usize) {
+                found = Some(gid);
+                break;
+            }
+        }
+        let gid = match found {
+            Some(g) => g,
+            None => {
+                let g = firsts.len() as u32;
+                chain.push((i as u32, g));
+                firsts.push(i as i64);
+                g
+            }
+        };
+        gids[i] = gid as i64;
+    }
+    (Tensor::from_i64(gids), Tensor::from_i64(firsts))
+}
+
+// ---------------------------------------------------------------------
 // Sort strategy
 // ---------------------------------------------------------------------
 
@@ -157,10 +584,11 @@ fn sort_aggregate(
     keys: &[Tensor],
     aggs: &[AggCall],
     models: &ModelRegistry,
+    workers: usize,
 ) -> Batch {
     let n = input.nrows();
     let sort_keys: Vec<SortKey> = keys.iter().map(|k| SortKey::asc(k.clone())).collect();
-    let perm = argsort_multi(&sort_keys);
+    let perm = argsort_multi_par(&sort_keys, workers);
     let sorted_keys: Vec<Tensor> = keys.iter().map(|k| take(k, &perm)).collect();
     let key_refs: Vec<&Tensor> = sorted_keys.iter().collect();
     let groups = group_ids(&key_refs);
@@ -318,44 +746,13 @@ fn hash_aggregate(
     models: &ModelRegistry,
 ) -> Batch {
     let n = input.nrows();
-    let key_refs: Vec<&Tensor> = keys.iter().collect();
-    let hashes = hash_rows(&key_refs);
-    let hv = hashes.as_i64();
-    // hash → chain of (first_row, gid); verify on collision.
-    let mut table: HashMap<i64, Vec<(u32, u32)>, FxBuild> =
-        HashMap::with_capacity_and_hasher(n * 2, FxBuild);
-    let mut gids = vec![0i64; n];
-    let mut firsts: Vec<i64> = Vec::new();
-    for i in 0..n {
-        let chain = table.entry(hv[i]).or_default();
-        let mut found = None;
-        for &(first, gid) in chain.iter() {
-            if rows_equal(keys, i, first as usize) {
-                found = Some(gid);
-                break;
-            }
-        }
-        let gid = match found {
-            Some(g) => g,
-            None => {
-                let g = firsts.len() as u32;
-                chain.push((i as u32, g));
-                firsts.push(i as i64);
-                g
-            }
-        };
-        gids[i] = gid as i64;
-    }
-    let g = firsts.len();
-    let ids = Tensor::from_i64(gids);
-    let firsts = Tensor::from_i64(firsts);
+    let (ids, firsts) = hash_group_rows(keys, n);
+    let g = firsts.nrows();
 
     let mut columns: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
     for call in aggs {
         let col = match call.func {
-            AggFunc::CountStar => {
-                tqp_tensor::index::scatter_add_i64(g, &ids, &Tensor::from_i64(vec![1; n]))
-            }
+            AggFunc::CountStar => scatter_add_i64(g, &ids, &ones_i64(n)),
             AggFunc::CountDistinct => {
                 let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
                 // Sort by (gid, value) then count runs per gid.
@@ -575,6 +972,193 @@ mod tests {
             assert_eq!(out.columns[1].as_i64(), &[2], "{strat:?}");
             assert_eq!(out.columns[2].as_f64(), &[30.0]);
             assert_eq!(out.columns[3].as_i64(), &[3]);
+        }
+    }
+
+    /// Adversarial float magnitudes: values whose sum is exquisitely
+    /// sensitive to association order. Locks in the deterministic
+    /// partial-merge contract — SUM/AVG are bit-identical at every worker
+    /// count because morsel geometry and merge order never change.
+    #[test]
+    fn parallel_float_sum_bit_identical_across_worker_counts() {
+        let n = par_min_rows() * 2 + 4321;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| match i % 4 {
+                0 => 1e18,
+                1 => 1.0,
+                2 => -1e18,
+                _ => 0.1 + (i % 997) as f64 * 1e-7,
+            })
+            .collect();
+        let grp: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
+        let b = Batch::new(vec![Tensor::from_i64(grp), Tensor::from_f64(vals)]);
+        let group_by = [E::col(0, LogicalType::Int64)];
+        let aggs = [
+            call(AggFunc::Sum, 1, LogicalType::Float64),
+            call(AggFunc::Avg, 1, LogicalType::Float64),
+            call(AggFunc::Min, 1, LogicalType::Float64),
+            call(AggFunc::Max, 1, LogicalType::Float64),
+            star(),
+        ];
+        let models = ModelRegistry::new();
+        for strat in [Strategy::Sort, Strategy::Hash] {
+            let one = aggregate_par(&b, &group_by, &aggs, strat, &models, 1);
+            for workers in [2, 5, 8] {
+                let many = aggregate_par(&b, &group_by, &aggs, strat, &models, workers);
+                assert_eq!(one.nrows(), many.nrows(), "{strat:?}");
+                for c in 0..one.ncols() {
+                    match one.columns[c].dtype() {
+                        DType::F64 => {
+                            let x: Vec<u64> = one.columns[c]
+                                .as_f64()
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect();
+                            let y: Vec<u64> = many.columns[c]
+                                .as_f64()
+                                .iter()
+                                .map(|v| v.to_bits())
+                                .collect();
+                            assert_eq!(x, y, "{strat:?} col {c} workers {workers}: float bits");
+                        }
+                        _ => assert_eq!(
+                            one.columns[c].as_i64(),
+                            many.columns[c].as_i64(),
+                            "{strat:?} col {c} workers {workers}"
+                        ),
+                    }
+                }
+            }
+            // And the partitioned result agrees with the sequential path to
+            // float tolerance (association differs, values must not).
+            let seq = aggregate(&b, &group_by, &aggs, strat, &models);
+            assert_eq!(seq.nrows(), one.nrows());
+        }
+    }
+
+    /// The partitioned path agrees with the sequential strategies on exact
+    /// (integer/count) results, group sets, and output order, including
+    /// validity-masked inputs (the left-join NULL case).
+    #[test]
+    fn parallel_grouped_matches_sequential() {
+        let n = par_min_rows() + 999;
+        let grp: Vec<i64> = (0..n).map(|i| ((i * 7) % 5) as i64).collect();
+        let vals: Vec<f64> = (0..n).map(|i| (i % 89) as f64).collect();
+        let ints: Vec<i64> = (0..n).map(|i| (i % 13) as i64).collect();
+        let valid: Vec<bool> = (0..n).map(|i| i % 11 != 0).collect();
+        let b = Batch::with_validity(
+            vec![
+                Tensor::from_i64(grp),
+                Tensor::from_f64(vals),
+                Tensor::from_i64(ints),
+            ],
+            vec![None, Some(Tensor::from_bool(valid)), None],
+        );
+        let group_by = [E::col(0, LogicalType::Int64)];
+        let aggs = [
+            star(),
+            AggCall {
+                func: AggFunc::Count,
+                arg: Some(E::col(1, LogicalType::Float64)),
+                ty: LogicalType::Int64,
+            },
+            call(AggFunc::Sum, 2, LogicalType::Int64),
+            call(AggFunc::Min, 2, LogicalType::Int64),
+            call(AggFunc::Max, 2, LogicalType::Int64),
+        ];
+        let models = ModelRegistry::new();
+        for strat in [Strategy::Sort, Strategy::Hash] {
+            let seq = aggregate(&b, &group_by, &aggs, strat, &models);
+            let par = aggregate_par(&b, &group_by, &aggs, strat, &models, 4);
+            assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
+            for c in 0..seq.ncols() {
+                assert_eq!(
+                    seq.columns[c].as_i64(),
+                    par.columns[c].as_i64(),
+                    "{strat:?} col {c}"
+                );
+            }
+        }
+    }
+
+    /// Global (ungrouped) aggregates take the same partitioned path.
+    #[test]
+    fn parallel_global_bit_identical_across_worker_counts() {
+        let n = par_min_rows() + 17;
+        let vals: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1e15 } else { -1e15 + 0.5 })
+            .collect();
+        let b = Batch::new(vec![Tensor::from_i64(vec![0; n]), Tensor::from_f64(vals)]);
+        let aggs = [
+            call(AggFunc::Sum, 1, LogicalType::Float64),
+            call(AggFunc::Avg, 1, LogicalType::Float64),
+            star(),
+        ];
+        let models = ModelRegistry::new();
+        let one = aggregate_par(&b, &[], &aggs, Strategy::Sort, &models, 1);
+        let many = aggregate_par(&b, &[], &aggs, Strategy::Sort, &models, 6);
+        assert_eq!(one.nrows(), 1);
+        assert_eq!(
+            one.columns[0].as_f64()[0].to_bits(),
+            many.columns[0].as_f64()[0].to_bits()
+        );
+        assert_eq!(
+            one.columns[1].as_f64()[0].to_bits(),
+            many.columns[1].as_f64()[0].to_bits()
+        );
+        assert_eq!(one.columns[2].as_i64(), many.columns[2].as_i64());
+    }
+
+    /// Nullable string aggregate arguments (the left-join NULL-padding
+    /// case) must work on the partitioned path exactly as they do
+    /// sequentially: COUNT skips NULLs, MIN/MAX reduce over the valid
+    /// subset — even when a whole *morsel*'s slice of a group is NULL.
+    #[test]
+    fn parallel_nullable_string_aggregates_match_sequential() {
+        let n = par_min_rows() + 123;
+        let words = ["pear", "apple", "kiwi", "zed"];
+        let grp: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
+        let strs: Vec<String> = (0..n).map(|i| words[i % 4].to_string()).collect();
+        // Group 2 is NULL everywhere except one early row, so entire
+        // morsels of it are all-NULL (the filler-row merge case).
+        let valid: Vec<bool> = (0..n).map(|i| i % 3 != 2 || i == 2).collect();
+        let b = Batch::with_validity(
+            vec![Tensor::from_i64(grp), {
+                let refs: Vec<&str> = strs.iter().map(|s| s.as_str()).collect();
+                Tensor::from_strings(&refs, 0)
+            }],
+            vec![None, Some(Tensor::from_bool(valid))],
+        );
+        let group_by = [E::col(0, LogicalType::Int64)];
+        let aggs = [
+            AggCall {
+                func: AggFunc::Count,
+                arg: Some(E::col(1, LogicalType::Str)),
+                ty: LogicalType::Int64,
+            },
+            AggCall {
+                func: AggFunc::Min,
+                arg: Some(E::col(1, LogicalType::Str)),
+                ty: LogicalType::Str,
+            },
+            AggCall {
+                func: AggFunc::Max,
+                arg: Some(E::col(1, LogicalType::Str)),
+                ty: LogicalType::Str,
+            },
+        ];
+        let models = ModelRegistry::new();
+        for strat in [Strategy::Sort, Strategy::Hash] {
+            let seq = aggregate(&b, &group_by, &aggs, strat, &models);
+            for workers in [1usize, 4] {
+                let par = aggregate_par(&b, &group_by, &aggs, strat, &models, workers);
+                assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
+                assert_eq!(seq.columns[1].as_i64(), par.columns[1].as_i64());
+                for r in 0..seq.nrows() {
+                    assert_eq!(seq.columns[2].str_at(r), par.columns[2].str_at(r));
+                    assert_eq!(seq.columns[3].str_at(r), par.columns[3].str_at(r));
+                }
+            }
         }
     }
 

@@ -86,26 +86,71 @@ pub fn sort_merge_join(
 /// row-index table over the build (right) input's key columns. Multi-key
 /// and non-integer keys are reduced to a 64-bit row hash; the probe then
 /// verifies true key equality on the expanded pairs (collision-safe).
+///
+/// Large builds construct **radix-partitioned**: `parts.len()` (a power of
+/// two) disjoint hash maps, each owning the keys whose mixed high bits
+/// select it, built by independent workers. Each worker scans the key
+/// vector in row order and keeps only its own partition, so every key's
+/// row-index bucket is filled in ascending row order — **exactly** the
+/// bucket a sequential build produces. Probe output is therefore identical
+/// whatever the partition count, which is why it may follow the worker
+/// knob freely.
 pub struct JoinTable {
-    map: HashMap<i64, Vec<u32>, FxBuild>,
+    /// One map when built sequentially, `2^bits` radix partitions otherwise.
+    parts: Vec<HashMap<i64, Vec<u32>, FxBuild>>,
+    /// log2 of the partition count (0 = unpartitioned).
+    bits: u32,
     /// True when keys were hashed (probe must verify equality).
     hashed: bool,
+}
+
+/// Fibonacci-mix the key and keep the top `bits` bits: cheap, and robust to
+/// the low-bit regularity of surrogate keys (sequential ints, strided ids).
+#[inline]
+fn radix_of(k: i64, bits: u32) -> usize {
+    (((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> (64 - bits)) as usize
 }
 
 impl JoinTable {
     /// Number of distinct build keys.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.parts.iter().map(|m| m.len()).sum()
     }
 
     /// True when no build rows were inserted.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.parts.iter().all(|m| m.is_empty())
+    }
+
+    /// The row-index bucket for `k`, if any build row has that key.
+    #[inline]
+    fn get(&self, k: i64) -> Option<&Vec<u32>> {
+        let p = if self.bits == 0 {
+            0
+        } else {
+            radix_of(k, self.bits)
+        };
+        self.parts[p].get(&k)
     }
 }
 
-/// Build the hash table over `keys` of the build-side batch.
+/// Build the hash table over `keys` of the build-side batch, sequentially.
 pub fn build_table(build: &Batch, keys: &[usize]) -> JoinTable {
+    build_table_par(build, keys, 1)
+}
+
+/// Minimum build rows before the radix-partitioned parallel build pays for
+/// its extra per-worker key scans.
+const PAR_BUILD_MIN_ROWS: usize = 32 * 1024;
+
+/// Maximum radix bits (16 partitions): beyond this the redundant key scans
+/// per worker outweigh insert parallelism.
+const MAX_RADIX_BITS: u32 = 4;
+
+/// Build the hash table, radix-partitioned across up to `workers` threads
+/// when the build side is large enough. The table's *content* is identical
+/// to [`build_table`] at any worker count (see [`JoinTable`]).
+pub fn build_table_par(build: &Batch, keys: &[usize], workers: usize) -> JoinTable {
     assert!(
         !keys.is_empty(),
         "tensor joins require at least one equi key"
@@ -119,12 +164,72 @@ pub fn build_table(build: &Batch, keys: &[usize]) -> JoinTable {
         rkeys[0].clone()
     };
     let rk = rkey.as_i64();
-    let mut map: HashMap<i64, Vec<u32>, FxBuild> =
-        HashMap::with_capacity_and_hasher(rk.len() * 2, FxBuild);
-    for (i, &k) in rk.iter().enumerate() {
-        map.entry(k).or_default().push(i as u32);
+
+    if workers <= 1 || rk.len() < PAR_BUILD_MIN_ROWS {
+        let mut map: HashMap<i64, Vec<u32>, FxBuild> =
+            HashMap::with_capacity_and_hasher(rk.len() * 2, FxBuild);
+        for (i, &k) in rk.iter().enumerate() {
+            map.entry(k).or_default().push(i as u32);
+        }
+        return JoinTable {
+            parts: vec![map],
+            bits: 0,
+            hashed,
+        };
     }
-    JoinTable { map, hashed }
+
+    let bits = (workers.next_power_of_two().trailing_zeros()).clamp(1, MAX_RADIX_BITS);
+    let p = 1usize << bits;
+    let n = rk.len();
+
+    // Phase 1 — one scan total: each worker bins a contiguous row range
+    // into per-partition (key, row) vectors, in row order.
+    let threads = workers.min(n);
+    let chunk = n.div_ceil(threads);
+    /// One (key, row) vector per radix partition, per phase-1 worker.
+    type RadixBins = Vec<Vec<(i64, u32)>>;
+    let mut bins: Vec<Option<RadixBins>> = (0..threads).map(|_| None).collect();
+    rayon::scope(|s| {
+        for (t, slot) in bins.iter_mut().enumerate() {
+            let rk = &rk;
+            s.spawn(move |_| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                let mut local: Vec<Vec<(i64, u32)>> = vec![Vec::new(); p];
+                for (i, &k) in rk[lo..hi].iter().enumerate() {
+                    local[radix_of(k, bits)].push((k, (lo + i) as u32));
+                }
+                *slot = Some(local);
+            });
+        }
+    });
+    let bins: Vec<RadixBins> = bins.into_iter().flatten().collect();
+
+    // Phase 2 — one map per partition, draining the workers' bins in
+    // worker order. Worker ranges are contiguous and ascending, so each
+    // key's bucket fills in exactly the sequential build's row order.
+    let mut parts: Vec<Option<HashMap<i64, Vec<u32>, FxBuild>>> = (0..p).map(|_| None).collect();
+    rayon::scope(|s| {
+        for (pi, slot) in parts.iter_mut().enumerate() {
+            let bins = &bins;
+            s.spawn(move |_| {
+                let cap: usize = bins.iter().map(|b| b[pi].len()).sum();
+                let mut map: HashMap<i64, Vec<u32>, FxBuild> =
+                    HashMap::with_capacity_and_hasher(cap * 2, FxBuild);
+                for b in bins {
+                    for &(k, i) in &b[pi] {
+                        map.entry(k).or_default().push(i);
+                    }
+                }
+                *slot = Some(map);
+            });
+        }
+    });
+    JoinTable {
+        parts: parts.into_iter().flatten().collect(),
+        bits,
+        hashed,
+    }
 }
 
 /// Probe a [`JoinTable`] with the left side's keys and assemble the join
@@ -155,7 +260,7 @@ pub fn probe_table(
         );
         lkeys[0].clone()
     };
-    let (left_idx, right_idx) = probe_pairs(&table.map, lkey.as_i64(), workers);
+    let (left_idx, right_idx) = probe_pairs(table, lkey.as_i64(), workers);
     finish_join(
         left,
         right,
@@ -281,19 +386,22 @@ fn smj_pairs(lkey: &Tensor, rkey: &Tensor) -> (Tensor, Tensor) {
 /// Probe-side pair expansion over a prebuilt table. Pairs are emitted in
 /// probe-row order; parallel chunks concatenate in order, keeping the
 /// output bit-identical to a sequential probe.
-fn probe_pairs(
-    table: &HashMap<i64, Vec<u32>, FxBuild>,
-    lk: &[i64],
-    workers: usize,
-) -> (Tensor, Tensor) {
+fn probe_pairs(table: &JoinTable, lk: &[i64], workers: usize) -> (Tensor, Tensor) {
     /// Minimum probe rows per worker before chunking pays for itself.
     const PAR_PROBE_THRESHOLD: usize = 16 * 1024;
 
     let probe_chunk = |base: usize, chunk: &[i64]| -> (Vec<i64>, Vec<i64>) {
-        let mut li = Vec::new();
-        let mut ri = Vec::new();
+        // Pre-size from build-bucket cardinality: one counting pass over
+        // the buckets, then exact-capacity fills — no growth reallocations
+        // in the inner expansion loop.
+        let total: usize = chunk
+            .iter()
+            .map(|&k| table.get(k).map_or(0, |m| m.len()))
+            .sum();
+        let mut li = Vec::with_capacity(total);
+        let mut ri = Vec::with_capacity(total);
         for (i, &k) in chunk.iter().enumerate() {
-            if let Some(matches) = table.get(&k) {
+            if let Some(matches) = table.get(k) {
                 for &j in matches {
                     li.push((base + i) as i64);
                     ri.push(j as i64);
@@ -321,8 +429,9 @@ fn probe_pairs(
             });
         }
     });
-    let mut li = Vec::new();
-    let mut ri = Vec::new();
+    let total: usize = partials.iter().flatten().map(|p| p.0.len()).sum();
+    let mut li = Vec::with_capacity(total);
+    let mut ri = Vec::with_capacity(total);
     for part in partials.into_iter().flatten() {
         li.extend(part.0);
         ri.extend(part.1);
@@ -543,6 +652,95 @@ mod tests {
         let out = cross_join(&l, &r);
         assert_eq!(out.nrows(), 2);
         assert_eq!(out.columns[1].as_f64(), &[0.5, 0.5]);
+    }
+
+    /// Parallel radix-partitioned build must produce byte-identical probe
+    /// output to the sequential build, at any worker count.
+    #[test]
+    fn parallel_build_identical_probe_output() {
+        let n = PAR_BUILD_MIN_ROWS + 1357;
+        // Duplicate-heavy keys so per-key buckets have >1 row (bucket row
+        // order is the property under test).
+        let bkeys: Vec<i64> = (0..n as i64).map(|i| i % 4096).collect();
+        let bvals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let build = b(vec![Tensor::from_i64(bkeys), Tensor::from_f64(bvals)]);
+        let probe = b(vec![Tensor::from_i64(
+            (0..8192i64).map(|i| i * 3 % 5000).collect(),
+        )]);
+        let models = ModelRegistry::new();
+        let seq_table = build_table(&build, &[0]);
+        let seq = probe_table(
+            &seq_table,
+            &probe,
+            &build,
+            JoinType::Inner,
+            &[(0, 0)],
+            None,
+            &models,
+            1,
+        );
+        for workers in [2, 4, 8] {
+            let par_table = build_table_par(&build, &[0], workers);
+            assert_eq!(par_table.len(), seq_table.len());
+            assert_eq!(par_table.is_empty(), seq_table.is_empty());
+            let par = probe_table(
+                &par_table,
+                &probe,
+                &build,
+                JoinType::Inner,
+                &[(0, 0)],
+                None,
+                &models,
+                workers,
+            );
+            assert_eq!(seq.nrows(), par.nrows(), "workers={workers}");
+            for c in 0..seq.ncols() {
+                match seq.columns[c].dtype() {
+                    DType::F64 => assert_eq!(seq.columns[c].as_f64(), par.columns[c].as_f64()),
+                    _ => assert_eq!(seq.columns[c].as_i64(), par.columns[c].as_i64()),
+                }
+            }
+        }
+    }
+
+    /// Hashed (multi-key) builds partition on the row hash; the probe must
+    /// still verify and return the same pairs.
+    #[test]
+    fn parallel_build_hashed_keys_verified() {
+        let n = PAR_BUILD_MIN_ROWS + 64;
+        let k1: Vec<i64> = (0..n as i64).map(|i| i % 100).collect();
+        let k2: Vec<i64> = (0..n as i64).map(|i| i % 7).collect();
+        let build = b(vec![Tensor::from_i64(k1), Tensor::from_i64(k2)]);
+        let probe = b(vec![
+            Tensor::from_i64((0..500i64).collect()),
+            Tensor::from_i64((0..500i64).map(|i| i % 7).collect()),
+        ]);
+        let models = ModelRegistry::new();
+        let on = [(0usize, 0usize), (1usize, 1usize)];
+        let seq = probe_table(
+            &build_table(&build, &[0, 1]),
+            &probe,
+            &build,
+            JoinType::Inner,
+            &on,
+            None,
+            &models,
+            1,
+        );
+        let par = probe_table(
+            &build_table_par(&build, &[0, 1], 4),
+            &probe,
+            &build,
+            JoinType::Inner,
+            &on,
+            None,
+            &models,
+            4,
+        );
+        assert_eq!(seq.nrows(), par.nrows());
+        for c in 0..seq.ncols() {
+            assert_eq!(seq.columns[c].as_i64(), par.columns[c].as_i64(), "col {c}");
+        }
     }
 
     #[test]

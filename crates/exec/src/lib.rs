@@ -20,10 +20,14 @@
 //! |                     | correctness, wall-clock is replaced by an       |
 //! |                     | analytical P100 cost model ([`device`])         |
 //!
-//! On the real-CPU path the VM additionally runs morsel-parallel: scan →
-//! filter → project pipeline segments split into contiguous chunks across
-//! [`ExecConfig::workers`] worker threads and merge in order before any
-//! order-sensitive op (see [`vm`]).
+//! On the real-CPU path the VM additionally runs morsel-parallel across
+//! [`ExecConfig::workers`] worker threads: scan → filter → project
+//! pipeline segments chunk into contiguous morsels, `GroupedReduce` runs
+//! partitioned (fixed-geometry partials merged in morsel order — fusing
+//! into a preceding segment when data-flow allows), `HashBuild` builds
+//! radix-partitioned, and `Sort` chunk-sorts + stable-merges (see [`vm`]).
+//! Results are byte-identical at every worker count; `Device::GpuSim`
+//! ignores `workers` entirely and stays sequential.
 //!
 //! Switching is one line of configuration — the paper's Figure 3:
 //!
@@ -91,9 +95,20 @@ pub struct ExecConfig {
     pub backend: Backend,
     pub device: Device,
     pub gpu_strategy: GpuStrategy,
-    /// Worker threads for morsel-parallel CPU execution (chunked pipeline
-    /// segments + parallel hash-probe). `1` = fully sequential. Has no
-    /// effect on modeled GpuSim time.
+    /// Worker threads for morsel-parallel CPU execution: chunked pipeline
+    /// segments, partitioned aggregation (optionally fused into its
+    /// feeding segment), radix-partitioned join build, parallel hash-probe
+    /// and parallel sort. `1` = single-threaded scheduling.
+    ///
+    /// **Knob interactions.** Changing `workers` never changes results —
+    /// parallel ops derive their partition geometry from the input, not
+    /// the thread count, so outputs are byte-identical at any setting (see
+    /// `ARCHITECTURE.md` "Parallel chunked execution"). On
+    /// `Device::GpuSim` the knob is ignored: metered runs stay fully
+    /// sequential so modeled time is worker-independent. The aggregation
+    /// morsel size is tunable via `TQP_AGG_MORSEL_ROWS` (read once per
+    /// process); shrinking it below the default 16 Ki rows trades merge
+    /// overhead for scheduling granularity without affecting determinism.
     pub workers: usize,
 }
 

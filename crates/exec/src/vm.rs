@@ -19,9 +19,27 @@
 //! scanned batch splits into contiguous morsels, every worker runs the
 //! whole chain over its morsel, and results concatenate in morsel order —
 //! bit-identical to sequential execution, because the chain ops are
-//! row-local and order-preserving. Order-sensitive ops (joins,
-//! aggregation, sort, limit) act as barriers; the hash-join *probe* is
-//! additionally parallelized internally (see [`crate::join::probe_table`]).
+//! row-local and order-preserving.
+//!
+//! The former barrier ops are now worker-parallel too:
+//!
+//! * **`GroupedReduce`** runs partitioned (fixed-geometry morsels → partial
+//!   hash-aggregates → ordered merge, see [`crate::agg`]). When it
+//!   directly consumes a pipeline segment it stops being a segment
+//!   boundary entirely: each worker pipelines its scan morsel through the
+//!   filter/project chain straight into a partial aggregate, and only the
+//!   partial merge is a barrier.
+//! * **`HashBuild`** builds radix-partitioned, one disjoint partition per
+//!   worker ([`crate::join::build_table_par`]); the probe loop of
+//!   `HashProbe` chunks the probe side ([`crate::join::probe_table`]).
+//! * **`Sort`** (and the argsort inside sort-strategy aggregation) chunk-
+//!   sorts and stable-merges ([`tqp_tensor::sort::argsort_multi_par`]).
+//!
+//! All three are **bit-identical at every worker count**: aggregation by
+//! the fixed-morsel merge-order contract, build/probe because partition
+//! buckets replicate the sequential row order, sort because a stable
+//! permutation is unique. `SortMergeJoin`/`CrossJoin` assembly and `Limit`
+//! remain sequential barriers.
 //!
 //! Every op reports a span keyed by its **program op index** (`Filter@op3`)
 //! and charges the [`DeviceMeter`] — the simulated-GPU path stays
@@ -35,7 +53,7 @@ use tqp_ir::plan::ColMeta;
 use tqp_ml::ModelRegistry;
 use tqp_profile::Profiler;
 use tqp_tensor::index::{arange, mask_to_indices};
-use tqp_tensor::sort::{argsort_multi, Order, SortKey as TSortKey};
+use tqp_tensor::sort::{argsort_multi, argsort_multi_par, Order, SortKey as TSortKey};
 use tqp_tensor::{DType, Tensor};
 
 use crate::agg;
@@ -108,7 +126,8 @@ type OpSample = (u64, u64, u64);
 impl Vm<'_> {
     fn exec(&self, prog: &TensorProgram, meter: &mut DeviceMeter) -> Batch {
         let last_use = last_uses(prog);
-        let segments = pipeline_segments(prog);
+        let uses = register_use_counts(prog);
+        let segments = pipeline_segments(prog, &uses);
         let mut regs: Vec<Option<Value>> = (0..prog.n_regs).map(|_| None).collect();
 
         let mut i = 0;
@@ -117,10 +136,47 @@ impl Vm<'_> {
             // execution is only taken on the real-CPU path — the GPU cost
             // model charges whole-tensor kernels, so metered runs stay
             // sequential to keep modeled time worker-independent.
+            // Entered for every Scan on the real-CPU path — including at
+            // workers = 1, because the *fused aggregation* route below must
+            // be taken independently of the worker count for its morsel
+            // geometry (and thus float rounding) to be worker-invariant.
             let seg_end = segments[i];
-            if seg_end > i + 1 && self.workers > 1 && !meter.is_enabled() {
+            if seg_end > i && !meter.is_enabled() {
+                // A GroupedReduce fed directly by this segment fuses into
+                // it: the aggregation stops being a segment boundary, and
+                // each worker pipelines its morsel through the chain
+                // straight into a partial aggregate.
+                let fused_agg = match prog.ops.get(seg_end) {
+                    Some(ProgOp::GroupedReduce {
+                        dst,
+                        src,
+                        strategy,
+                        group_by,
+                        aggs,
+                    }) if *src == prog.ops[seg_end - 1].dst()
+                        && uses[*src] == 1
+                        && agg::parallel_eligible(aggs) =>
+                    {
+                        Some((*dst, *strategy, group_by, aggs))
+                    }
+                    _ => None,
+                };
+
                 let scanned = self.exec_scan_op(i, &prog.ops[i], meter);
-                if scanned.nrows() >= PAR_SEGMENT_MIN_ROWS {
+                if let Some((dst, strategy, group_by, aggs)) = fused_agg {
+                    if scanned.nrows() >= agg::par_min_rows() {
+                        let out = self.exec_segment_agg_parallel(
+                            prog, i, seg_end, scanned, strategy, group_by, aggs,
+                        );
+                        regs[dst] = Some(Value::Batch(out));
+                        for k in i..=seg_end {
+                            self.release(&mut regs, &prog.ops[k], &last_use, k, prog.output);
+                        }
+                        i = seg_end + 1;
+                        continue;
+                    }
+                }
+                if seg_end > i + 1 && self.workers > 1 && scanned.nrows() >= PAR_SEGMENT_MIN_ROWS {
                     let out = self.exec_segment_parallel(prog, i, seg_end, scanned);
                     regs[prog.ops[seg_end - 1].dst()] = Some(Value::Batch(out));
                     for k in i..seg_end {
@@ -249,6 +305,89 @@ impl Vm<'_> {
                 bytes,
             );
         }
+        out
+    }
+
+    /// Fused segment + partitioned aggregation: each worker pipelines its
+    /// scan morsel through the element-wise chain `ops[start+1..chain_end]`
+    /// and immediately computes a partial aggregate from the chain output;
+    /// partials merge in fixed morsel order (the determinism contract —
+    /// see [`crate::agg`]). Morsel geometry comes from
+    /// [`agg::par_morsel_rows`], never from the worker count, so results
+    /// are bit-identical at every `workers` setting.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_segment_agg_parallel(
+        &self,
+        prog: &TensorProgram,
+        start: usize,
+        chain_end: usize,
+        scanned: Batch,
+        strategy: AggStrategy,
+        group_by: &[tqp_ir::BoundExpr],
+        aggs: &[tqp_ir::expr::AggCall],
+    ) -> Batch {
+        let n = scanned.nrows();
+        let morsel_rows = agg::par_morsel_rows();
+        let n_morsels = n.div_ceil(morsel_rows);
+        let chain_len = chain_end - start - 1;
+        let start_us = self.profiler.now_us();
+
+        // Per-morsel result: partial state, chain op samples, partial-agg
+        // CPU time (µs), and the chain-output (aggregate input) rows.
+        type MorselOut = (agg::AggPartial, Vec<Vec<OpSample>>, u64, u64);
+        let scanned = &scanned;
+        let slots: Vec<MorselOut> = agg::map_morsels(n_morsels, self.workers, |m| {
+            let lo = m * morsel_rows;
+            let hi = ((m + 1) * morsel_rows).min(n);
+            let morsel = scanned.slice_rows(lo, hi);
+            let mut samples: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
+            let out = self.run_chain_morsel(prog, start, chain_end, morsel, &mut samples);
+            let t0 = Instant::now();
+            let rows = out.nrows() as u64;
+            let part = agg::partial_aggregate(&out, group_by, aggs, self.models);
+            (part, samples, t0.elapsed().as_micros() as u64, rows)
+        });
+
+        let mut partials = Vec::with_capacity(n_morsels);
+        let mut merged: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
+        let mut partial_us = 0u64;
+        let mut agg_in_rows = 0u64;
+        for r in slots {
+            partials.push(r.0);
+            for (k, s) in r.1.into_iter().enumerate() {
+                merged[k].extend(s);
+            }
+            partial_us += r.2;
+            agg_in_rows += r.3;
+        }
+        for (k, op) in prog.ops[start + 1..chain_end].iter().enumerate() {
+            let (dur, rows, bytes) = merged[k]
+                .iter()
+                .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
+            self.profiler.record(
+                &format!("{}@op{}[x{n_morsels}]", op.name(), start + 1 + k),
+                "relational",
+                start_us,
+                dur,
+                rows,
+                bytes,
+            );
+        }
+
+        let strat = match strategy {
+            AggStrategy::Sort => agg::Strategy::Sort,
+            AggStrategy::Hash => agg::Strategy::Hash,
+        };
+        let t0 = Instant::now();
+        let out = agg::merge_partials(partials, group_by.len(), aggs, strat, self.workers);
+        self.profiler.record(
+            &format!("{}@op{chain_end}[x{n_morsels}]", prog.ops[chain_end].name()),
+            "relational",
+            start_us,
+            partial_us + t0.elapsed().as_micros() as u64,
+            agg_in_rows,
+            out.nbytes() as u64,
+        );
         out
     }
 
@@ -402,7 +541,11 @@ impl Vm<'_> {
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
                 let in_bytes: usize = keys.iter().map(|&k| build.columns[k].nbytes()).sum();
-                let table = join::build_table(build, keys);
+                let table = join::build_table_par(
+                    build,
+                    keys,
+                    if meter.is_enabled() { 1 } else { self.workers },
+                );
                 let entries = table.len();
                 meter.op(
                     kernel_count("HashBuild", keys.len()),
@@ -493,7 +636,14 @@ impl Vm<'_> {
                     AggStrategy::Sort => agg::Strategy::Sort,
                     AggStrategy::Hash => agg::Strategy::Hash,
                 };
-                let out = agg::aggregate(child, group_by, aggs, strat, self.models);
+                // Metered (GpuSim) runs stay sequential so modeled time is
+                // worker-independent; the CPU path takes the partitioned
+                // parallel route when the input is large enough.
+                let out = if meter.is_enabled() {
+                    agg::aggregate(child, group_by, aggs, strat, self.models)
+                } else {
+                    agg::aggregate_par(child, group_by, aggs, strat, self.models, self.workers)
+                };
                 meter.op(
                     kernel_count("Aggregate", aggs.len()),
                     in_bytes,
@@ -518,7 +668,14 @@ impl Vm<'_> {
                         }
                     })
                     .collect();
-                let perm = argsort_multi(&tensor_keys);
+                // Safe at any worker count: a stable sort permutation is
+                // unique, so the parallel chunk-sort + merge is
+                // bit-identical to the sequential LSD sort.
+                let perm = if meter.is_enabled() {
+                    argsort_multi(&tensor_keys)
+                } else {
+                    argsort_multi_par(&tensor_keys, self.workers)
+                };
                 let out = child.take(&perm);
                 meter.op(kernel_count("Sort", keys.len()), in_bytes, out.nbytes());
                 self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
@@ -560,12 +717,8 @@ fn last_uses(prog: &TensorProgram) -> Vec<usize> {
     last
 }
 
-/// `segments[i] = j` means ops `[i, j)` form a chunkable pipeline: a Scan
-/// at `i` followed by element-wise ops, each consuming exactly the
-/// previous op's output register (and nothing else reading the
-/// intermediates). `segments[i] = i` means no segment starts at `i`.
-fn pipeline_segments(prog: &TensorProgram) -> Vec<usize> {
-    // How many ops read each register (plus the program output).
+/// How many ops read each register (plus one for the program output).
+fn register_use_counts(prog: &TensorProgram) -> Vec<usize> {
     let mut uses = vec![0usize; prog.n_regs];
     for op in &prog.ops {
         for s in op.srcs() {
@@ -573,7 +726,14 @@ fn pipeline_segments(prog: &TensorProgram) -> Vec<usize> {
         }
     }
     uses[prog.output] += 1;
+    uses
+}
 
+/// `segments[i] = j` means ops `[i, j)` form a chunkable pipeline: a Scan
+/// at `i` followed by element-wise ops, each consuming exactly the
+/// previous op's output register (and nothing else reading the
+/// intermediates). `segments[i] = i` means no segment starts at `i`.
+fn pipeline_segments(prog: &TensorProgram, uses: &[usize]) -> Vec<usize> {
     let mut segments = vec![0usize; prog.ops.len()];
     for (i, op) in prog.ops.iter().enumerate() {
         segments[i] = i;
@@ -788,6 +948,97 @@ mod tests {
         }
     }
 
+    /// A scan→filter→project→group-by pipeline (Q1 shape) must produce
+    /// byte-identical results at workers 1 vs N: the fused partitioned
+    /// aggregation uses fixed morsel geometry, so the float merge order
+    /// never depends on the worker count.
+    #[test]
+    fn fused_parallel_aggregation_bit_identical() {
+        let n = (agg::par_min_rows() * 2 + 999) as i64;
+        let t = df(vec![
+            ("id", Column::from_i64((0..n).collect())),
+            ("grp", Column::from_i64((0..n).map(|i| i % 5).collect())),
+            (
+                "v",
+                Column::from_f64((0..n).map(|i| ((i % 9973) as f64) * 1e10 - 5e13).collect()),
+            ),
+        ]);
+        let mut catalog = Catalog::new();
+        catalog.register("big", t.schema().clone(), t.nrows());
+        let mut tables = HashMap::new();
+        tables.insert("big".to_string(), t);
+        let storage = crate::ingest_tables(&tables);
+        let plan = compile_sql(
+            "select grp, sum(v) as s, avg(v) as a, count(*) as c, min(v) as mn, max(v) as mx \
+             from big where id % 7 < 5 group by grp order by grp",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
+        let prog = lower(&plan);
+        let models = ModelRegistry::new();
+        let profiler = Profiler::disabled();
+        let mut frames = Vec::new();
+        for workers in [1usize, 4, 7] {
+            let cfg = ExecConfig {
+                workers,
+                ..Default::default()
+            };
+            for fused in [false, true] {
+                let (out, _) = run_program(&prog, &storage, &models, &profiler, cfg, fused);
+                frames.push((workers, fused, out));
+            }
+        }
+        let (_, _, reference) = &frames[0];
+        for (workers, fused, out) in &frames {
+            assert_eq!(out.nrows(), reference.nrows());
+            for i in 0..out.nrows() {
+                assert_eq!(
+                    format!("{:?}", out.row(i)),
+                    format!("{:?}", reference.row(i)),
+                    "workers={workers} fused={fused} row {i}"
+                );
+            }
+        }
+    }
+
+    /// A fused scan→filter→global-aggregate whose filter matches nothing
+    /// must keep the engine's empty-input semantics: one row of zeros —
+    /// the same shape the sequential path (and any small input) produces.
+    #[test]
+    fn fused_global_aggregate_over_empty_filter_yields_zero_row() {
+        let n = (agg::par_min_rows() * 2) as i64;
+        let t = df(vec![
+            ("id", Column::from_i64((0..n).collect())),
+            ("v", Column::from_f64((0..n).map(|i| i as f64).collect())),
+        ]);
+        let mut catalog = Catalog::new();
+        catalog.register("big", t.schema().clone(), t.nrows());
+        let mut tables = HashMap::new();
+        tables.insert("big".to_string(), t);
+        let storage = crate::ingest_tables(&tables);
+        let plan = compile_sql(
+            "select count(*) as c, sum(v) as sv, min(v) as mn from big where v < -1.0",
+            &catalog,
+            &PhysicalOptions::default(),
+        )
+        .unwrap();
+        let prog = lower(&plan);
+        let models = ModelRegistry::new();
+        let profiler = Profiler::disabled();
+        for workers in [1usize, 4] {
+            let cfg = ExecConfig {
+                workers,
+                ..Default::default()
+            };
+            let (out, _) = run_program(&prog, &storage, &models, &profiler, cfg, false);
+            assert_eq!(out.nrows(), 1, "workers={workers}");
+            assert_eq!(out.column(0).get(0).as_i64(), 0);
+            assert_eq!(out.column(1).get(0).as_f64(), 0.0);
+            assert_eq!(out.column(2).get(0).as_f64(), 0.0);
+        }
+    }
+
     #[test]
     fn segment_detection_stops_at_barriers() {
         let (_, catalog) = setup();
@@ -798,7 +1049,7 @@ mod tests {
         )
         .unwrap();
         let prog = lower(&plan);
-        let segments = pipeline_segments(&prog);
+        let segments = pipeline_segments(&prog, &register_use_counts(&prog));
         // The scan's segment covers the filter but not the aggregate.
         let scan_idx = prog
             .ops

@@ -209,10 +209,14 @@ pub fn segmented_reduce_i64(values: &Tensor, ids: &Tensor, num_groups: usize, f:
     }
 }
 
-/// Segmented MIN over string rows: returns the lexicographically-smallest
-/// row per group as a new `(g × m)` matrix (used by MIN/MAX over text
-/// columns, e.g. TPC-H Q2's `min(ps_supplycost)` sibling projections).
-pub fn segmented_min_str(values: &Tensor, ids: &Tensor, num_groups: usize, min: bool) -> Tensor {
+/// Best (min or max) row index per group of a segmented string reduction;
+/// `None` for groups with no member rows.
+fn segmented_minmax_str_best(
+    values: &Tensor,
+    ids: &Tensor,
+    num_groups: usize,
+    min: bool,
+) -> Vec<Option<usize>> {
     let gid = ids.as_i64();
     let mut best: Vec<Option<usize>> = vec![None; num_groups];
     for (row, &g) in gid.iter().enumerate() {
@@ -227,11 +231,42 @@ pub fn segmented_min_str(values: &Tensor, ids: &Tensor, num_groups: usize, min: 
             }
         }
     }
-    let idx: Vec<i64> = best
+    best
+}
+
+/// Segmented MIN over string rows: returns the lexicographically-smallest
+/// row per group as a new `(g × m)` matrix (used by MIN/MAX over text
+/// columns, e.g. TPC-H Q2's `min(ps_supplycost)` sibling projections).
+/// Panics on a group with no member rows.
+pub fn segmented_min_str(values: &Tensor, ids: &Tensor, num_groups: usize, min: bool) -> Tensor {
+    let idx: Vec<i64> = segmented_minmax_str_best(values, ids, num_groups, min)
         .into_iter()
         .map(|b| b.expect("empty group") as i64)
         .collect();
     crate::index::take(values, &Tensor::from_i64(idx))
+}
+
+/// [`segmented_min_str`], except a group with no member rows materializes
+/// an all-zero filler row instead of panicking. Used by partitioned
+/// aggregation, where a morsel-local group can be entirely NULL — the
+/// caller must exclude filler rows (by the zero valid count) before the
+/// cross-morsel reduction.
+pub fn segmented_min_str_or_filler(
+    values: &Tensor,
+    ids: &Tensor,
+    num_groups: usize,
+    min: bool,
+) -> Tensor {
+    let best = segmented_minmax_str_best(values, ids, num_groups, min);
+    let width = values.row_width().max(1);
+    let mut out = vec![0u8; num_groups * width];
+    for (gi, b) in best.iter().enumerate() {
+        if let Some(row) = b {
+            let src = values.str_row(*row);
+            out[gi * width..gi * width + src.len()].copy_from_slice(src);
+        }
+    }
+    Tensor::from_u8_matrix(out, num_groups, width)
 }
 
 #[cfg(test)]
