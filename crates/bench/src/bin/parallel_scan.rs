@@ -6,8 +6,11 @@
 //! ```bash
 //! TQP_ROWS=4000000 cargo run --release --bin parallel_scan
 //! ```
+//!
+//! The parallel arm uses the widest count in `TQP_WORKERS` (default: host
+//! width, floored at 2).
 
-use tqp_bench::{fmt_ms, median_us};
+use tqp_bench::{fmt_ms, median_us, worker_counts};
 use tqp_core::{QueryConfig, Session};
 use tqp_data::frame::df;
 use tqp_data::Column;
@@ -54,7 +57,10 @@ fn main() {
     let q1ish = "select qty, count(*) as c, sum(price * (1.0 - disc)) as s from big \
                  where id % 7 < 5 group by qty order by qty";
 
-    let workers = tqp_exec::default_workers().max(2);
+    // Parallel arm: the widest configured worker count (`TQP_WORKERS`
+    // override, else the host width), floored at 2 so the chunked
+    // scheduler is always exercised even on a single-core host.
+    let workers = worker_counts().into_iter().max().unwrap_or(1).max(2);
     println!(
         "\n  {:<10} {:>14} {:>14} {:>9}",
         "query",

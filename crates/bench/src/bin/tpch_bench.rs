@@ -10,11 +10,15 @@
 //! TQP_SF=0.05 TQP_RUNS=3 cargo run --release -p tqp-bench --bin tpch_bench
 //! ```
 //!
+//! Worker counts default to `[1, host]`; pin them with `TQP_WORKERS=1,4`
+//! (useful on containers where core detection under-reports and on CI
+//! runners of varying width).
+//!
 //! Backends: Eager, Fused, Graph (the vectorized-VM backends whose
 //! execution responds to `workers`). The scalar Wasm backend is
 //! single-threaded by design; opt it in with `TQP_WASM=1`.
 
-use tqp_bench::{fmt_ms, median_us, runs, scale_factor, tpch_session};
+use tqp_bench::{fmt_ms, median_us, runs, scale_factor, tpch_session, worker_counts};
 use tqp_core::QueryConfig;
 use tqp_data::tpch::queries;
 use tqp_exec::{default_workers, Backend};
@@ -23,7 +27,7 @@ use tqp_json::Json;
 fn main() {
     let session = tpch_session();
     let host = default_workers();
-    let worker_counts: Vec<usize> = if host > 1 { vec![1, host] } else { vec![1] };
+    let worker_counts = worker_counts();
     let mut backends = vec![
         (Backend::Eager, "eager"),
         (Backend::Fused, "fused"),
@@ -38,9 +42,17 @@ fn main() {
         scale_factor(),
         runs()
     );
+    // worker_counts() is sorted ascending, so the table compares the
+    // narrowest configuration against the widest.
+    let w_lo = *worker_counts.first().expect("at least one worker count");
+    let w_hi = *worker_counts.last().expect("at least one worker count");
     println!(
         "\n  {:<5} {:<7} {:>12} {:>12} {:>9}",
-        "query", "backend", "1 worker", "N workers", "speedup"
+        "query",
+        "backend",
+        format!("{w_lo} worker(s)"),
+        format!("{w_hi} worker(s)"),
+        "speedup"
     );
 
     let mut results: Vec<Json> = Vec::new();
@@ -76,6 +88,7 @@ fn main() {
         }
     }
 
+    let n_records = results.len();
     let doc = Json::obj(vec![
         ("format", Json::str("tqp-bench-tpch")),
         ("version", Json::I64(1)),
@@ -85,8 +98,5 @@ fn main() {
         ("results", Json::Arr(results)),
     ]);
     std::fs::write("BENCH_tpch.json", doc.to_string_pretty()).expect("write BENCH_tpch.json");
-    println!(
-        "\n  wrote BENCH_tpch.json ({} records)",
-        22 * backends.len() * worker_counts.len()
-    );
+    println!("\n  wrote BENCH_tpch.json ({n_records} records)");
 }

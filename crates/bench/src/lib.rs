@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use tqp_core::Session;
 use tqp_data::tpch::{TpchConfig, TpchData};
+use tqp_exec::default_workers;
 
 /// Scale factor from `TQP_SF` (default 0.1).
 pub fn scale_factor() -> f64 {
@@ -25,6 +26,46 @@ pub fn runs() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(5)
+}
+
+/// Worker counts to benchmark, from `TQP_WORKERS` (comma-separated, e.g.
+/// `TQP_WORKERS=1,4`). Unset, defaults to `[1, host]` on a multi-core host
+/// and `[1]` on a single-core one. The override exists because
+/// `available_parallelism` can under-report in affinity- or
+/// cgroup-restricted containers, and because CI runners vary in width —
+/// pinning the list keeps the measured configurations comparable across
+/// machines. Counts above the core count still execute (the schedulers
+/// accept any `workers` value); they just can't speed anything up.
+///
+/// The returned list is sorted ascending and deduplicated, so callers may
+/// rely on `first()` being the narrowest and `last()` the widest
+/// configuration. A malformed value panics rather than silently measuring
+/// the wrong configurations — the whole point of pinning is that a typo
+/// must not degrade into "multi-worker path not exercised".
+pub fn worker_counts() -> Vec<usize> {
+    if let Ok(v) = std::env::var("TQP_WORKERS") {
+        let mut counts: Vec<usize> = v
+            .split(',')
+            .map(|s| match s.trim().parse::<usize>() {
+                Ok(w) if w > 0 => w,
+                _ => panic!(
+                    "TQP_WORKERS: invalid worker count {:?} in {v:?} \
+                     (expected a comma-separated list of positive integers, \
+                     e.g. TQP_WORKERS=1,4)",
+                    s.trim()
+                ),
+            })
+            .collect();
+        counts.sort_unstable();
+        counts.dedup();
+        return counts;
+    }
+    let host = default_workers();
+    if host > 1 {
+        vec![1, host]
+    } else {
+        vec![1]
+    }
 }
 
 /// Build a session with the TPC-H tables at [`scale_factor`].

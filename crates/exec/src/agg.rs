@@ -453,7 +453,14 @@ pub fn merge_partials(
         } else {
             None
         };
-        columns.push(merge_one(call, &acc, counts.as_ref(), &ids, g));
+        columns.push(merge_one(
+            call,
+            &acc,
+            counts.as_ref(),
+            &ids,
+            g,
+            n_group_cols == 0,
+        ));
     }
     let out = Batch::new(columns);
     if strategy == Strategy::Sort && n_group_cols > 0 {
@@ -475,6 +482,7 @@ fn merge_one(
     counts: Option<&Tensor>,
     ids: &Tensor,
     g: usize,
+    global: bool,
 ) -> Tensor {
     match call.func {
         AggFunc::CountStar | AggFunc::Count => segmented_reduce_i64(acc, ids, g, AggFn::Sum),
@@ -504,6 +512,14 @@ fn merge_one(
                 let cnts = counts.expect("MIN/MAX partial counts").as_i64();
                 let keep =
                     mask_to_indices(&Tensor::from_bool(cnts.iter().map(|&c| c > 0).collect()));
+                // A *global* aggregate over an entirely-NULL column keeps
+                // no accumulator rows at all; the sequential path
+                // ([`global_minmax`] on empty input) yields the shared
+                // default row, so match it instead of panicking. Grouped
+                // all-NULL groups still panic on both paths.
+                if global && keep.is_empty() {
+                    return default_minmax(call, 1);
+                }
                 return segmented_min_str(&take(acc, &keep), &take(ids, &keep), g, min);
             }
             // Accumulators hold the reduction identity for all-NULL local
@@ -1029,10 +1045,38 @@ mod tests {
                     }
                 }
             }
-            // And the partitioned result agrees with the sequential path to
-            // float tolerance (association differs, values must not).
+            // The sequential path must agree exactly on everything
+            // association-insensitive: the group set, MIN, MAX, and
+            // COUNT(*). SUM/AVG are deliberately excluded here — with
+            // these magnitudes the value genuinely depends on association
+            // order (that is what makes the input adversarial); their
+            // seq-vs-par agreement is asserted on benign values in
+            // `parallel_grouped_matches_sequential`.
             let seq = aggregate(&b, &group_by, &aggs, strat, &models);
-            assert_eq!(seq.nrows(), one.nrows());
+            assert_eq!(seq.nrows(), one.nrows(), "{strat:?}");
+            assert_eq!(
+                seq.columns[0].as_i64(),
+                one.columns[0].as_i64(),
+                "{strat:?} keys"
+            );
+            for c in [3, 4] {
+                let s: Vec<u64> = seq.columns[c]
+                    .as_f64()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let p: Vec<u64> = one.columns[c]
+                    .as_f64()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(s, p, "{strat:?} col {c}: seq-vs-par MIN/MAX bits");
+            }
+            assert_eq!(
+                seq.columns[5].as_i64(),
+                one.columns[5].as_i64(),
+                "{strat:?} count"
+            );
         }
     }
 
@@ -1107,6 +1151,43 @@ mod tests {
             many.columns[1].as_f64()[0].to_bits()
         );
         assert_eq!(one.columns[2].as_i64(), many.columns[2].as_i64());
+    }
+
+    /// A global MIN/MAX over an entirely-NULL string column (e.g. after a
+    /// left join where no probe row matched) must return the sequential
+    /// path's default row on the partitioned path too, not panic — the
+    /// same query must not crash or succeed depending on whether the row
+    /// count crosses the partitioned threshold.
+    #[test]
+    fn parallel_global_all_null_string_minmax_matches_sequential() {
+        let n = par_min_rows() + 7;
+        let strs: Vec<&str> = vec!["x"; n];
+        let b = Batch::with_validity(
+            vec![Tensor::from_strings(&strs, 0)],
+            vec![Some(Tensor::from_bool(vec![false; n]))],
+        );
+        let aggs = [
+            AggCall {
+                func: AggFunc::Min,
+                arg: Some(E::col(0, LogicalType::Str)),
+                ty: LogicalType::Str,
+            },
+            AggCall {
+                func: AggFunc::Max,
+                arg: Some(E::col(0, LogicalType::Str)),
+                ty: LogicalType::Str,
+            },
+            star(),
+        ];
+        let models = ModelRegistry::new();
+        let seq = aggregate(&b, &[], &aggs, Strategy::Hash, &models);
+        for workers in [1usize, 4] {
+            let par = aggregate_par(&b, &[], &aggs, Strategy::Hash, &models, workers);
+            assert_eq!(seq.nrows(), par.nrows(), "workers {workers}");
+            assert_eq!(seq.columns[0].str_at(0), par.columns[0].str_at(0));
+            assert_eq!(seq.columns[1].str_at(0), par.columns[1].str_at(0));
+            assert_eq!(seq.columns[2].as_i64(), par.columns[2].as_i64());
+        }
     }
 
     /// Nullable string aggregate arguments (the left-join NULL-padding
