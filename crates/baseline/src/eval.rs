@@ -188,9 +188,7 @@ pub fn prepare_predicts(
     let base = rows.first().map(|r| r.len()).unwrap_or(0);
     let mut rows = rows;
     for (k, (model_name, args)) in calls.iter().enumerate() {
-        let model = models
-            .get(model_name)
-            .unwrap_or_else(|| panic!("model {model_name} not registered"));
+        let model = models.require(model_name);
         // Materialize each argument column.
         let inputs: Vec<Tensor> = args
             .iter()

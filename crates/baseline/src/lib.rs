@@ -227,14 +227,41 @@ pub fn probe_row_table(
     on: &[(usize, usize)],
     residual: Option<&BoundExpr>,
 ) -> Vec<Row> {
+    let mut pass = residual
+        .map(|res| move |combined: &Row| matches!(eval_expr(res, combined), Scalar::Bool(true)));
+    probe_row_table_with(
+        table,
+        lrows,
+        rrows,
+        rarity,
+        join_type,
+        on,
+        pass.as_mut().map(|f| f as &mut dyn FnMut(&Row) -> bool),
+    )
+}
+
+/// [`probe_row_table`] with the residual predicate abstracted to a
+/// closure over the combined `left ++ right` row — the entry point used
+/// by the scalar program VM, whose residuals are compiled `ExprProgram`s
+/// rather than expression trees. The closure is `FnMut` so callers can
+/// carry reusable evaluation scratch across the (pair-heavy) probe loop.
+pub fn probe_row_table_with(
+    table: &RowJoinTable,
+    lrows: &[Row],
+    rrows: &[Row],
+    rarity: usize,
+    join_type: JoinType,
+    on: &[(usize, usize)],
+    mut residual: Option<&mut dyn FnMut(&Row) -> bool>,
+) -> Vec<Row> {
     let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
-    let matches_pass = |lrow: &Row, ridx: usize| -> bool {
-        match residual {
+    let mut matches_pass = |lrow: &Row, ridx: usize| -> bool {
+        match residual.as_mut() {
             None => true,
-            Some(res) => {
+            Some(pass) => {
                 let mut combined = lrow.clone();
                 combined.extend(rrows[ridx].iter().cloned());
-                matches!(eval_expr(res, &combined), Scalar::Bool(true))
+                pass(&combined)
             }
         }
     };

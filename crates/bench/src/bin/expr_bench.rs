@@ -1,0 +1,295 @@
+//! Expression-execution benchmark: compiled [`ExprProgram`]s vs the
+//! legacy tree-walk interpreter, on the expression-heavy TPC-H queries
+//! (Q1, Q6, Q19).
+//!
+//! For each query the physical plan is walked and every expression site
+//! (filter conjuncts, projections, group-by keys + aggregate inputs, sort
+//! keys) is extracted **together with its real input batch** — the site's
+//! input sub-plan is executed and its output re-ingested, so Q19's
+//! predicate is timed over the actual post-join pair batch, not a toy
+//! table. Each site is then evaluated two ways over that batch:
+//!
+//! * **interpreted** — the legacy `tqp_exec::expr::eval` tree walk, one
+//!   recursive dispatch per node per batch (per-conjunct `eval_mask` +
+//!   mask AND for filters: the pre-ExprProgram Eager path);
+//! * **compiled** — the lowered flat program (`exprprog::eval_all` /
+//!   `eval_conjuncts_eager`), compiled once outside the timer, with
+//!   constant folding, CSE across sibling expressions, pre-compiled LIKE
+//!   patterns, and the scratch-mask conjunct fold.
+//!
+//! Writes `BENCH_expr.json` (format `tqp-bench-expr` v1) into the current
+//! directory: one record per query with the summed per-site medians, plus
+//! one record per site. Protocol: median of `TQP_RUNS` runs after as many
+//! warm-ups (§2.3), at SF `TQP_SF`.
+//!
+//! ```bash
+//! TQP_SF=0.05 TQP_RUNS=3 cargo run --release -p tqp-bench --bin expr_bench
+//! ```
+
+use tqp_bench::{fmt_ms, median_us, runs, scale_factor, tpch_session};
+use tqp_data::tpch::queries;
+use tqp_exec::batch::Batch;
+use tqp_exec::exprprog::{self, ExprProgram};
+use tqp_exec::program::split_and;
+use tqp_exec::{expr as tree, ExecConfig, Executor};
+use tqp_ir::expr::BoundExpr;
+use tqp_ir::physical::PhysicalPlan;
+use tqp_ir::{compile_sql, PhysicalOptions};
+use tqp_json::Json;
+use tqp_ml::ModelRegistry;
+use tqp_profile::Profiler;
+use tqp_tensor::ops;
+
+/// One expression site: what kind it is, its source trees, and the real
+/// input batch it evaluates over.
+struct Site {
+    label: String,
+    is_filter: bool,
+    exprs: Vec<BoundExpr>,
+    input: Batch,
+}
+
+/// Collect every expression site of a plan, materializing each site's
+/// input by executing its input sub-plan (Eager, workers = 1).
+fn collect_sites(plan: &PhysicalPlan, session: &tqp_core::Session, out: &mut Vec<Site>) {
+    let mut push = |label: &str, is_filter: bool, exprs: Vec<BoundExpr>, input: &PhysicalPlan| {
+        if exprs.is_empty() {
+            return;
+        }
+        let cfg = ExecConfig {
+            workers: 1,
+            ..Default::default()
+        };
+        let (frame, _) = Executor::compile(input, cfg).run(
+            session.storage(),
+            session.models(),
+            &Profiler::disabled(),
+        );
+        let table = tqp_data::ingest::frame_to_tensors(&frame);
+        out.push(Site {
+            label: label.to_string(),
+            is_filter,
+            exprs,
+            input: Batch::new(table.tensors),
+        });
+    };
+    match plan {
+        PhysicalPlan::Filter { input, predicate } => {
+            let mut conjuncts = Vec::new();
+            split_and(predicate.clone(), &mut conjuncts);
+            push("filter", true, conjuncts, input);
+        }
+        PhysicalPlan::Project { input, exprs, .. } => {
+            push("project", false, exprs.clone(), input);
+        }
+        PhysicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let mut exprs = group_by.clone();
+            exprs.extend(aggs.iter().filter_map(|a| a.arg.clone()));
+            push("agg_inputs", false, exprs, input);
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            push(
+                "sort_keys",
+                false,
+                keys.iter().map(|k| k.expr.clone()).collect(),
+                input,
+            );
+        }
+        _ => {}
+    }
+    for child in plan_children(plan) {
+        collect_sites(child, session, out);
+    }
+}
+
+fn plan_children(plan: &PhysicalPlan) -> Vec<&PhysicalPlan> {
+    match plan {
+        PhysicalPlan::Scan { .. } => vec![],
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Aggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. } => vec![input],
+        PhysicalPlan::Join { left, right, .. } | PhysicalPlan::CrossJoin { left, right } => {
+            vec![left, right]
+        }
+    }
+}
+
+/// Order-sensitive FNV fold over a tensor's values (and a validity mask's
+/// bits) — the checksum the parity guard compares, so compiled and
+/// interpreted evaluation are provably computing the same *values*, not
+/// just the same shapes.
+fn tensor_checksum(h: &mut u64, t: &tqp_tensor::Tensor) {
+    const P: u64 = 0x0000_0100_0000_01b3;
+    let mut mix = |v: u64| *h = (*h ^ v).wrapping_mul(P);
+    match t.dtype() {
+        tqp_tensor::DType::I64 => t.as_i64().iter().for_each(|&x| mix(x as u64)),
+        tqp_tensor::DType::I32 => t.as_i32().iter().for_each(|&x| mix(x as i64 as u64)),
+        tqp_tensor::DType::F64 => t.as_f64().iter().for_each(|&x| mix(x.to_bits())),
+        tqp_tensor::DType::F32 => t.as_f32().iter().for_each(|&x| mix(x.to_bits() as u64)),
+        tqp_tensor::DType::Bool => t.as_bool().iter().for_each(|&x| mix(x as u64)),
+        tqp_tensor::DType::U8 => {
+            for i in 0..t.nrows() {
+                t.str_row_trimmed(i).iter().for_each(|&b| mix(b as u64));
+            }
+        }
+    }
+}
+
+fn evaled_checksum(outs: &[(tqp_tensor::Tensor, Option<tqp_tensor::Tensor>)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (v, validity) in outs {
+        tensor_checksum(&mut h, v);
+        if let Some(m) = validity {
+            tensor_checksum(&mut h, m);
+        }
+    }
+    h
+}
+
+/// Evaluate one site the pre-refactor way: recursive tree walk per batch.
+fn run_interpreted(site: &Site, models: &ModelRegistry) -> u64 {
+    if site.is_filter {
+        let mut acc: Option<tqp_tensor::Tensor> = None;
+        for c in &site.exprs {
+            let mask = tree::eval_mask(c, &site.input, models);
+            acc = Some(match acc {
+                Some(prev) => ops::and(&prev, &mask),
+                None => mask,
+            });
+        }
+        // Checksum the mask itself, not its popcount: the guard must
+        // catch the two paths keeping *different* rows in equal number.
+        acc.map_or(0, |m| {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            tensor_checksum(&mut h, &m);
+            h
+        })
+    } else {
+        let outs: Vec<_> = site
+            .exprs
+            .iter()
+            .map(|e| tree::eval(e, &site.input, models))
+            .collect();
+        evaled_checksum(&outs)
+    }
+}
+
+/// Evaluate one site through its compiled program.
+fn run_compiled(site: &Site, prog: &ExprProgram, models: &ModelRegistry) -> u64 {
+    if site.is_filter {
+        let mask = exprprog::eval_conjuncts_eager(prog, &site.input, models);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        tensor_checksum(&mut h, &mask);
+        h
+    } else {
+        evaled_checksum(&exprprog::eval_all(prog, &site.input, models))
+    }
+}
+
+fn main() {
+    let session = tpch_session();
+    let models = ModelRegistry::new();
+    println!(
+        "expr_bench: SF {}, {} run(s) — compiled ExprProgram vs tree interpreter",
+        scale_factor(),
+        runs()
+    );
+    println!(
+        "\n  {:<5} {:>6} {:>9} {:>13} {:>13} {:>9}",
+        "query", "sites", "expr ops", "interpreted", "compiled", "speedup"
+    );
+
+    let mut results: Vec<Json> = Vec::new();
+    let mut all_compiled_no_slower = true;
+    for qn in [1usize, 6, 19] {
+        let sql = queries::all()
+            .into_iter()
+            .find(|(n, _)| *n == qn)
+            .map(|(_, s)| s)
+            .expect("query exists");
+        let plan = compile_sql(sql, session.catalog(), &PhysicalOptions::default())
+            .unwrap_or_else(|e| panic!("Q{qn} compile: {e}"));
+        let mut sites = Vec::new();
+        collect_sites(&plan, &session, &mut sites);
+        let programs: Vec<ExprProgram> = sites
+            .iter()
+            .map(|s| exprprog::compile_exprs(&s.exprs))
+            .collect();
+        // Parity guard: the bench must never time two computations that
+        // disagree (count_true/nrows checksums must match per site).
+        for (site, prog) in sites.iter().zip(&programs) {
+            assert_eq!(
+                run_interpreted(site, &models),
+                run_compiled(site, prog, &models),
+                "Q{qn} {}: compiled/interpreted checksum diverged",
+                site.label
+            );
+        }
+
+        let mut interp_total = 0u64;
+        let mut compiled_total = 0u64;
+        let mut expr_ops = 0usize;
+        for (site, prog) in sites.iter().zip(&programs) {
+            let interp_us = median_us(|| {
+                std::hint::black_box(run_interpreted(site, &models));
+                None
+            });
+            let comp_us = median_us(|| {
+                std::hint::black_box(run_compiled(site, prog, &models));
+                None
+            });
+            interp_total += interp_us;
+            compiled_total += comp_us;
+            expr_ops += prog.ops.len();
+            results.push(Json::obj(vec![
+                ("query", Json::I64(qn as i64)),
+                ("site", Json::str(site.label.as_str())),
+                ("exprs", Json::I64(site.exprs.len() as i64)),
+                ("expr_ops", Json::I64(prog.ops.len() as i64)),
+                ("rows", Json::I64(site.input.nrows() as i64)),
+                ("interpreted_us", Json::I64(interp_us as i64)),
+                ("compiled_us", Json::I64(comp_us as i64)),
+            ]));
+        }
+        let speedup = interp_total as f64 / compiled_total.max(1) as f64;
+        if compiled_total > interp_total {
+            all_compiled_no_slower = false;
+        }
+        println!(
+            "  Q{qn:<4} {:>6} {:>9} {:>13} {:>13} {:>8.2}x",
+            sites.len(),
+            expr_ops,
+            fmt_ms(interp_total),
+            fmt_ms(compiled_total),
+            speedup
+        );
+        results.push(Json::obj(vec![
+            ("query", Json::I64(qn as i64)),
+            ("site", Json::str("total")),
+            ("interpreted_us", Json::I64(interp_total as i64)),
+            ("compiled_us", Json::I64(compiled_total as i64)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("format", Json::str("tqp-bench-expr")),
+        ("version", Json::I64(1)),
+        ("scale_factor", Json::F64(scale_factor())),
+        ("runs", Json::I64(runs() as i64)),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write("BENCH_expr.json", doc.to_string()).expect("write BENCH_expr.json");
+    println!("\nwrote BENCH_expr.json");
+    if !all_compiled_no_slower {
+        println!(
+            "warning: compiled expression execution was slower than interpreted on some query"
+        );
+    }
+}

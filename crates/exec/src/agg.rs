@@ -7,6 +7,14 @@
 //! chains → scatter reductions. `COUNT(DISTINCT x)` sorts `(keys…, x)` and
 //! counts distinct runs per group.
 //!
+//! Group keys and aggregate arguments arrive as one **compiled
+//! [`ReduceExprs`] bundle** ([`crate::program`]): a shared
+//! [`crate::exprprog::ExprProgram`] whose outputs are the key columns
+//! followed by the argument columns. Evaluation is a single straight-line
+//! kernel pass per batch (or per morsel), so a subterm shared by several
+//! aggregates (Q1's `l_extendedprice * (1 - l_discount)`) is computed
+//! once — there is no per-call expression-tree walk anymore.
+//!
 //! ## Partitioned parallel aggregation
 //!
 //! [`aggregate_par`] splits the input into **fixed-size morsels**
@@ -29,7 +37,7 @@
 use std::collections::HashMap;
 
 use tqp_data::LogicalType;
-use tqp_ir::expr::{AggCall, AggFunc, BoundExpr};
+use tqp_ir::expr::AggFunc;
 use tqp_ml::ModelRegistry;
 use tqp_tensor::index::{concat, mask_to_indices, scatter_add_i64, take};
 use tqp_tensor::reduce::{
@@ -41,8 +49,10 @@ use tqp_tensor::unique::{group_ids, run_lengths, run_starts, Groups};
 use tqp_tensor::{DType, Tensor};
 
 use crate::batch::Batch;
-use crate::expr::{eval, hash_rows};
+use crate::expr::{hash_rows, Evaled};
+use crate::exprprog;
 use crate::join::FxBuild;
+use crate::program::{CompiledAgg, ReduceExprs};
 
 /// Aggregation strategy selector (mirrors `tqp_ir::AggStrategy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,20 +85,45 @@ pub fn par_min_rows() -> usize {
 /// True when every aggregate has a mergeable partial state.
 /// `COUNT(DISTINCT)` does not (its state is a value set), so it pins the
 /// whole `GroupedReduce` to the sequential path.
-pub fn parallel_eligible(aggs: &[AggCall]) -> bool {
+pub fn parallel_eligible(aggs: &[CompiledAgg]) -> bool {
     !aggs.iter().any(|a| a.func == AggFunc::CountDistinct)
+}
+
+/// Evaluate the reduce bundle over a batch: key columns (validity
+/// asserted absent) and per-call argument columns.
+fn eval_reduce(
+    input: &Batch,
+    reduce: &ReduceExprs,
+    models: &ModelRegistry,
+) -> (Vec<Tensor>, Vec<Option<Evaled>>) {
+    let outs = exprprog::eval_all(&reduce.exprs, input, models);
+    let keys: Vec<Tensor> = outs[..reduce.n_keys]
+        .iter()
+        .map(|(v, validity)| {
+            assert!(
+                validity.is_none(),
+                "NULL group keys unsupported in the tensor engine"
+            );
+            v.clone()
+        })
+        .collect();
+    let args: Vec<Option<Evaled>> = reduce
+        .aggs
+        .iter()
+        .map(|call| call.arg.map(|slot| outs[slot].clone()))
+        .collect();
+    (keys, args)
 }
 
 /// Execute an aggregation over a batch, sequentially (the metered/GpuSim
 /// path, where modeled time must not depend on host threads).
 pub fn aggregate(
     input: &Batch,
-    group_by: &[BoundExpr],
-    aggs: &[AggCall],
+    reduce: &ReduceExprs,
     strategy: Strategy,
     models: &ModelRegistry,
 ) -> Batch {
-    aggregate_seq(input, group_by, aggs, strategy, models, 1)
+    aggregate_seq(input, reduce, strategy, models, 1)
 }
 
 /// Execute an aggregation with the partitioned parallel path when eligible
@@ -99,25 +134,24 @@ pub fn aggregate(
 /// `workers` — so results are bit-identical at every worker count.
 pub fn aggregate_par(
     input: &Batch,
-    group_by: &[BoundExpr],
-    aggs: &[AggCall],
+    reduce: &ReduceExprs,
     strategy: Strategy,
     models: &ModelRegistry,
     workers: usize,
 ) -> Batch {
     let workers = workers.max(1);
     let n = input.nrows();
-    if !parallel_eligible(aggs) || n < par_min_rows() {
-        return aggregate_seq(input, group_by, aggs, strategy, models, workers);
+    if !parallel_eligible(&reduce.aggs) || n < par_min_rows() {
+        return aggregate_seq(input, reduce, strategy, models, workers);
     }
     let morsel_rows = par_morsel_rows();
     let n_morsels = n.div_ceil(morsel_rows);
     let partials = map_morsels(n_morsels, workers, |m| {
         let lo = m * morsel_rows;
         let hi = ((m + 1) * morsel_rows).min(n);
-        partial_aggregate(&input.slice_rows(lo, hi), group_by, aggs, models)
+        partial_aggregate(&input.slice_rows(lo, hi), reduce, models)
     });
-    merge_partials(partials, group_by.len(), aggs, strategy, workers)
+    merge_partials(partials, reduce.n_keys, &reduce.aggs, strategy, workers)
 }
 
 /// Run `f(m)` for every morsel index in `0..n_morsels`, scheduling
@@ -155,39 +189,29 @@ pub fn map_morsels<T: Send>(
 
 fn aggregate_seq(
     input: &Batch,
-    group_by: &[BoundExpr],
-    aggs: &[AggCall],
+    reduce: &ReduceExprs,
     strategy: Strategy,
     models: &ModelRegistry,
     workers: usize,
 ) -> Batch {
-    if group_by.is_empty() {
-        return global_aggregate(input, aggs, models);
+    let (keys, args) = eval_reduce(input, reduce, models);
+    if reduce.n_keys == 0 {
+        return global_aggregate(input.nrows(), &reduce.aggs, &args);
     }
-    let keys: Vec<Tensor> = group_by
-        .iter()
-        .map(|g| {
-            let (v, validity) = eval(g, input, models);
-            assert!(
-                validity.is_none(),
-                "NULL group keys unsupported in the tensor engine"
-            );
-            v
-        })
-        .collect();
     match strategy {
-        Strategy::Sort => sort_aggregate(input, &keys, aggs, models, workers),
-        Strategy::Hash => hash_aggregate(input, &keys, aggs, models),
+        Strategy::Sort => sort_aggregate(&keys, &reduce.aggs, &args, input.nrows(), workers),
+        Strategy::Hash => hash_aggregate(&keys, &reduce.aggs, &args, input.nrows()),
     }
 }
 
-fn global_aggregate(input: &Batch, aggs: &[AggCall], models: &ModelRegistry) -> Batch {
+fn global_aggregate(n_rows: usize, aggs: &[CompiledAgg], args: &[Option<Evaled>]) -> Batch {
     let columns = aggs
         .iter()
-        .map(|call| match call.func {
-            AggFunc::CountStar => Tensor::from_i64(vec![input.nrows() as i64]),
+        .zip(args)
+        .map(|(call, arg)| match call.func {
+            AggFunc::CountStar => Tensor::from_i64(vec![n_rows as i64]),
             _ => {
-                let (vals, validity) = eval(call.arg.as_ref().expect("agg arg"), input, models);
+                let (vals, validity) = arg.clone().expect("agg arg");
                 let (vals, n_valid) = apply_validity(vals, validity);
                 match call.func {
                     AggFunc::Sum if call.ty == LogicalType::Int64 => {
@@ -213,7 +237,7 @@ fn global_aggregate(input: &Batch, aggs: &[AggCall], models: &ModelRegistry) -> 
     Batch::new(columns)
 }
 
-fn global_minmax(vals: &Tensor, call: &AggCall) -> Tensor {
+fn global_minmax(vals: &Tensor, call: &CompiledAgg) -> Tensor {
     let min = call.func == AggFunc::Min;
     if vals.is_empty() {
         return default_minmax(call, 1);
@@ -236,7 +260,7 @@ fn global_minmax(vals: &Tensor, call: &AggCall) -> Tensor {
 
 /// The one-row zero defaults a global aggregate produces over empty input
 /// (mirrors [`global_aggregate`] on a zero-row batch).
-fn global_empty_defaults(aggs: &[AggCall]) -> Batch {
+fn global_empty_defaults(aggs: &[CompiledAgg]) -> Batch {
     let columns = aggs
         .iter()
         .map(|call| match call.func {
@@ -251,7 +275,7 @@ fn global_empty_defaults(aggs: &[AggCall]) -> Batch {
     Batch::new(columns)
 }
 
-fn default_minmax(call: &AggCall, n: usize) -> Tensor {
+fn default_minmax(call: &CompiledAgg, n: usize) -> Tensor {
     match call.ty {
         LogicalType::Int64 | LogicalType::Date => Tensor::from_i64(vec![0; n]),
         LogicalType::Str => Tensor::from_strings(&vec![""; n], 1),
@@ -311,33 +335,24 @@ struct Partial {
     counts: Option<Tensor>,
 }
 
-/// Compute the partial aggregation state of one morsel. Row-local
-/// expressions (group keys, aggregate arguments) evaluate on the morsel
-/// slice, so this step parallelizes the evaluation work too.
+/// Compute the partial aggregation state of one morsel. The compiled
+/// reduce program (group keys, aggregate arguments) evaluates on the
+/// morsel slice, so this step parallelizes the expression work too.
 pub fn partial_aggregate(
     morsel: &Batch,
-    group_by: &[BoundExpr],
-    aggs: &[AggCall],
+    reduce: &ReduceExprs,
     models: &ModelRegistry,
 ) -> AggPartial {
     let n = morsel.nrows();
-    let keys: Vec<Tensor> = group_by
-        .iter()
-        .map(|g| {
-            let (v, validity) = eval(g, morsel, models);
-            assert!(
-                validity.is_none(),
-                "NULL group keys unsupported in the tensor engine"
-            );
-            v
-        })
-        .collect();
+    let (keys, args) = eval_reduce(morsel, reduce, models);
     let (ids, firsts) = hash_group_rows(&keys, n);
     let g = firsts.nrows();
     let key_cols: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
-    let cols = aggs
+    let cols = reduce
+        .aggs
         .iter()
-        .map(|call| one_partial(morsel, call, &ids, g, models))
+        .zip(&args)
+        .map(|(call, arg)| one_partial(call, arg, &ids, g))
         .collect();
     AggPartial {
         keys: key_cols,
@@ -350,20 +365,14 @@ fn ones_i64(n: usize) -> Tensor {
     Tensor::from_i64(vec![1; n])
 }
 
-fn one_partial(
-    morsel: &Batch,
-    call: &AggCall,
-    ids: &Tensor,
-    g: usize,
-    models: &ModelRegistry,
-) -> Partial {
+fn one_partial(call: &CompiledAgg, arg: &Option<Evaled>, ids: &Tensor, g: usize) -> Partial {
     if call.func == AggFunc::CountStar {
         return Partial {
             acc: scatter_add_i64(g, ids, &ones_i64(ids.nrows())),
             counts: None,
         };
     }
-    let (vals, validity) = eval(call.arg.as_ref().expect("agg arg"), morsel, models);
+    let (vals, validity) = arg.clone().expect("agg arg");
     // Compact away invalid rows; `vids` keeps values aligned to groups.
     let (vals, vids) = match validity {
         None => (vals, ids.clone()),
@@ -421,7 +430,7 @@ fn one_partial(
 pub fn merge_partials(
     partials: Vec<AggPartial>,
     n_group_cols: usize,
-    aggs: &[AggCall],
+    aggs: &[CompiledAgg],
     strategy: Strategy,
     workers: usize,
 ) -> Batch {
@@ -477,7 +486,7 @@ pub fn merge_partials(
 /// Combine one aggregate's concatenated partial accumulators by global
 /// group id. Reductions fold in concatenation (= morsel) order.
 fn merge_one(
-    call: &AggCall,
+    call: &CompiledAgg,
     acc: &Tensor,
     counts: Option<&Tensor>,
     ids: &Tensor,
@@ -596,13 +605,12 @@ fn hash_group_rows(keys: &[Tensor], n: usize) -> (Tensor, Tensor) {
 // ---------------------------------------------------------------------
 
 fn sort_aggregate(
-    input: &Batch,
     keys: &[Tensor],
-    aggs: &[AggCall],
-    models: &ModelRegistry,
+    aggs: &[CompiledAgg],
+    args: &[Option<Evaled>],
+    n: usize,
     workers: usize,
 ) -> Batch {
-    let n = input.nrows();
     let sort_keys: Vec<SortKey> = keys.iter().map(|k| SortKey::asc(k.clone())).collect();
     let perm = argsort_multi_par(&sort_keys, workers);
     let sorted_keys: Vec<Tensor> = keys.iter().map(|k| take(k, &perm)).collect();
@@ -613,40 +621,31 @@ fn sort_aggregate(
         .iter()
         .map(|k| take(k, &groups.firsts))
         .collect();
-    for call in aggs {
-        columns.push(one_agg_sorted(
-            input,
-            call,
-            &perm,
-            &groups,
-            &sorted_keys,
-            n,
-            models,
-        ));
+    for (call, arg) in aggs.iter().zip(args) {
+        columns.push(one_agg_sorted(call, arg, &perm, &groups, &sorted_keys, n));
     }
     Batch::new(columns)
 }
 
 fn one_agg_sorted(
-    input: &Batch,
-    call: &AggCall,
+    call: &CompiledAgg,
+    arg: &Option<Evaled>,
     perm: &Tensor,
     groups: &Groups,
     sorted_keys: &[Tensor],
     n: usize,
-    models: &ModelRegistry,
 ) -> Tensor {
     let g = groups.num_groups;
     match call.func {
         AggFunc::CountStar => run_lengths(groups, n),
         AggFunc::CountDistinct => {
-            let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+            let (vals, validity) = arg.clone().expect("agg arg");
             let vals = take(&vals, perm);
             let validity = validity.map(|m| take(&m, perm));
             distinct_per_group(sorted_keys, &vals, validity, groups)
         }
         _ => {
-            let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+            let (vals, validity) = arg.clone().expect("agg arg");
             let vals = take(&vals, perm);
             let validity = validity.map(|m| take(&m, perm));
             let (vals, ids) = match validity {
@@ -662,7 +661,7 @@ fn one_agg_sorted(
 }
 
 /// Segmented reduction dispatch with type- and emptiness-aware finalization.
-fn reduce_by_ids(vals: &Tensor, ids: &Tensor, g: usize, call: &AggCall) -> Tensor {
+fn reduce_by_ids(vals: &Tensor, ids: &Tensor, g: usize, call: &CompiledAgg) -> Tensor {
     match call.func {
         AggFunc::Sum if call.ty == LogicalType::Int64 => {
             segmented_reduce_i64(vals, ids, g, AggFn::Sum)
@@ -675,7 +674,7 @@ fn reduce_by_ids(vals: &Tensor, ids: &Tensor, g: usize, call: &AggCall) -> Tenso
         AggFunc::Min | AggFunc::Max => {
             let min = call.func == AggFunc::Min;
             if vals.dtype() == DType::U8 {
-                return minmax_str_with_defaults(vals, ids, g, min, call);
+                return minmax_str_with_defaults(vals, ids, g, min);
             }
             // Fix groups whose members were all NULL to the shared default.
             let counts =
@@ -705,13 +704,7 @@ fn reduce_by_ids(vals: &Tensor, ids: &Tensor, g: usize, call: &AggCall) -> Tenso
     }
 }
 
-fn minmax_str_with_defaults(
-    vals: &Tensor,
-    ids: &Tensor,
-    g: usize,
-    min: bool,
-    _call: &AggCall,
-) -> Tensor {
+fn minmax_str_with_defaults(vals: &Tensor, ids: &Tensor, g: usize, min: bool) -> Tensor {
     // String min/max groups are never empty in practice (no validity on
     // string aggregates in TPC-H); assert instead of patching.
     let mut seen = vec![false; g];
@@ -756,21 +749,20 @@ fn distinct_per_group(
 // ---------------------------------------------------------------------
 
 fn hash_aggregate(
-    input: &Batch,
     keys: &[Tensor],
-    aggs: &[AggCall],
-    models: &ModelRegistry,
+    aggs: &[CompiledAgg],
+    args: &[Option<Evaled>],
+    n: usize,
 ) -> Batch {
-    let n = input.nrows();
     let (ids, firsts) = hash_group_rows(keys, n);
     let g = firsts.nrows();
 
     let mut columns: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
-    for call in aggs {
+    for (call, arg) in aggs.iter().zip(args) {
         let col = match call.func {
             AggFunc::CountStar => scatter_add_i64(g, &ids, &ones_i64(n)),
             AggFunc::CountDistinct => {
-                let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+                let (vals, validity) = arg.clone().expect("agg arg");
                 // Sort by (gid, value) then count runs per gid.
                 let perm = argsort_multi(&[SortKey::asc(ids.clone()), SortKey::asc(vals.clone())]);
                 let ids_s = take(&ids, &perm);
@@ -788,7 +780,7 @@ fn hash_aggregate(
                 tqp_tensor::index::scatter_add_i64(g, &ids_s, &ones)
             }
             _ => {
-                let (vals, validity) = eval(call.arg.as_ref().unwrap(), input, models);
+                let (vals, validity) = arg.clone().expect("agg arg");
                 let (vals, ids2) = match validity {
                     None => (vals, ids.clone()),
                     Some(m) => {
@@ -818,7 +810,7 @@ fn rows_equal(keys: &[Tensor], i: usize, j: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tqp_ir::expr::BoundExpr as E;
+    use tqp_ir::expr::{AggCall, BoundExpr as E};
 
     fn batch() -> Batch {
         Batch::new(vec![
@@ -849,18 +841,24 @@ mod tests {
         }
     }
 
+    fn reduce_of(group_by: &[E], aggs: &[AggCall]) -> ReduceExprs {
+        ReduceExprs::compile(group_by, aggs)
+    }
+
     fn run(strategy: Strategy) -> Batch {
         aggregate(
             &batch(),
-            &[E::col(0, LogicalType::Str)],
-            &[
-                call(AggFunc::Sum, 1, LogicalType::Float64),
-                star(),
-                call(AggFunc::Min, 1, LogicalType::Float64),
-                call(AggFunc::Max, 1, LogicalType::Float64),
-                call(AggFunc::Avg, 1, LogicalType::Float64),
-                call(AggFunc::CountDistinct, 2, LogicalType::Int64),
-            ],
+            &reduce_of(
+                &[E::col(0, LogicalType::Str)],
+                &[
+                    call(AggFunc::Sum, 1, LogicalType::Float64),
+                    star(),
+                    call(AggFunc::Min, 1, LogicalType::Float64),
+                    call(AggFunc::Max, 1, LogicalType::Float64),
+                    call(AggFunc::Avg, 1, LogicalType::Float64),
+                    call(AggFunc::CountDistinct, 2, LogicalType::Int64),
+                ],
+            ),
             strategy,
             &ModelRegistry::new(),
         )
@@ -894,15 +892,51 @@ mod tests {
     }
 
     #[test]
+    fn shared_subterms_compile_once_across_aggregates() {
+        // SUM(v * 2) and AVG(v * 2) share the argument subterm; the
+        // compiled bundle computes it once (CSE across agg inputs).
+        let shared = E::Binary {
+            op: tqp_ir::expr::BinOp::Mul,
+            left: Box::new(E::col(1, LogicalType::Float64)),
+            right: Box::new(E::lit_f64(2.0)),
+            ty: LogicalType::Float64,
+        };
+        let reduce = reduce_of(
+            &[E::col(0, LogicalType::Str)],
+            &[
+                AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(shared.clone()),
+                    ty: LogicalType::Float64,
+                },
+                AggCall {
+                    func: AggFunc::Avg,
+                    arg: Some(shared.clone()),
+                    ty: LogicalType::Float64,
+                },
+            ],
+        );
+        // Both arg slots resolve to the same output register.
+        assert_eq!(
+            reduce.exprs.outputs[reduce.aggs[0].arg.unwrap()],
+            reduce.exprs.outputs[reduce.aggs[1].arg.unwrap()]
+        );
+        let out = aggregate(&batch(), &reduce, Strategy::Sort, &ModelRegistry::new());
+        assert_eq!(group_of(&out, "a"), vec![18.0, 6.0]);
+    }
+
+    #[test]
     fn global_aggregates() {
         let out = aggregate(
             &batch(),
-            &[],
-            &[
-                call(AggFunc::Sum, 1, LogicalType::Float64),
-                star(),
-                call(AggFunc::CountDistinct, 2, LogicalType::Int64),
-            ],
+            &reduce_of(
+                &[],
+                &[
+                    call(AggFunc::Sum, 1, LogicalType::Float64),
+                    star(),
+                    call(AggFunc::CountDistinct, 2, LogicalType::Int64),
+                ],
+            ),
             Strategy::Sort,
             &ModelRegistry::new(),
         );
@@ -921,13 +955,15 @@ mod tests {
         ]);
         let out = aggregate(
             &empty,
-            &[],
-            &[
-                call(AggFunc::Sum, 1, LogicalType::Float64),
-                star(),
-                call(AggFunc::Min, 1, LogicalType::Float64),
-                call(AggFunc::Avg, 1, LogicalType::Float64),
-            ],
+            &reduce_of(
+                &[],
+                &[
+                    call(AggFunc::Sum, 1, LogicalType::Float64),
+                    star(),
+                    call(AggFunc::Min, 1, LogicalType::Float64),
+                    call(AggFunc::Avg, 1, LogicalType::Float64),
+                ],
+            ),
             Strategy::Sort,
             &ModelRegistry::new(),
         );
@@ -947,8 +983,7 @@ mod tests {
         ]);
         let out = aggregate(
             &empty,
-            &[E::col(0, LogicalType::Str)],
-            &[star()],
+            &reduce_of(&[E::col(0, LogicalType::Str)], &[star()]),
             Strategy::Sort,
             &ModelRegistry::new(),
         );
@@ -968,20 +1003,22 @@ mod tests {
         for strat in [Strategy::Sort, Strategy::Hash] {
             let out = aggregate(
                 &b,
-                &[E::col(0, LogicalType::Int64)],
-                &[
-                    AggCall {
-                        func: AggFunc::Count,
-                        arg: Some(E::col(1, LogicalType::Float64)),
-                        ty: LogicalType::Int64,
-                    },
-                    AggCall {
-                        func: AggFunc::Sum,
-                        arg: Some(E::col(1, LogicalType::Float64)),
-                        ty: LogicalType::Float64,
-                    },
-                    star(),
-                ],
+                &reduce_of(
+                    &[E::col(0, LogicalType::Int64)],
+                    &[
+                        AggCall {
+                            func: AggFunc::Count,
+                            arg: Some(E::col(1, LogicalType::Float64)),
+                            ty: LogicalType::Int64,
+                        },
+                        AggCall {
+                            func: AggFunc::Sum,
+                            arg: Some(E::col(1, LogicalType::Float64)),
+                            ty: LogicalType::Float64,
+                        },
+                        star(),
+                    ],
+                ),
                 strat,
                 &ModelRegistry::new(),
             );
@@ -1008,19 +1045,21 @@ mod tests {
             .collect();
         let grp: Vec<i64> = (0..n).map(|i| (i % 3) as i64).collect();
         let b = Batch::new(vec![Tensor::from_i64(grp), Tensor::from_f64(vals)]);
-        let group_by = [E::col(0, LogicalType::Int64)];
-        let aggs = [
-            call(AggFunc::Sum, 1, LogicalType::Float64),
-            call(AggFunc::Avg, 1, LogicalType::Float64),
-            call(AggFunc::Min, 1, LogicalType::Float64),
-            call(AggFunc::Max, 1, LogicalType::Float64),
-            star(),
-        ];
+        let reduce = reduce_of(
+            &[E::col(0, LogicalType::Int64)],
+            &[
+                call(AggFunc::Sum, 1, LogicalType::Float64),
+                call(AggFunc::Avg, 1, LogicalType::Float64),
+                call(AggFunc::Min, 1, LogicalType::Float64),
+                call(AggFunc::Max, 1, LogicalType::Float64),
+                star(),
+            ],
+        );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let one = aggregate_par(&b, &group_by, &aggs, strat, &models, 1);
+            let one = aggregate_par(&b, &reduce, strat, &models, 1);
             for workers in [2, 5, 8] {
-                let many = aggregate_par(&b, &group_by, &aggs, strat, &models, workers);
+                let many = aggregate_par(&b, &reduce, strat, &models, workers);
                 assert_eq!(one.nrows(), many.nrows(), "{strat:?}");
                 for c in 0..one.ncols() {
                     match one.columns[c].dtype() {
@@ -1052,7 +1091,7 @@ mod tests {
             // order (that is what makes the input adversarial); their
             // seq-vs-par agreement is asserted on benign values in
             // `parallel_grouped_matches_sequential`.
-            let seq = aggregate(&b, &group_by, &aggs, strat, &models);
+            let seq = aggregate(&b, &reduce, strat, &models);
             assert_eq!(seq.nrows(), one.nrows(), "{strat:?}");
             assert_eq!(
                 seq.columns[0].as_i64(),
@@ -1098,22 +1137,24 @@ mod tests {
             ],
             vec![None, Some(Tensor::from_bool(valid)), None],
         );
-        let group_by = [E::col(0, LogicalType::Int64)];
-        let aggs = [
-            star(),
-            AggCall {
-                func: AggFunc::Count,
-                arg: Some(E::col(1, LogicalType::Float64)),
-                ty: LogicalType::Int64,
-            },
-            call(AggFunc::Sum, 2, LogicalType::Int64),
-            call(AggFunc::Min, 2, LogicalType::Int64),
-            call(AggFunc::Max, 2, LogicalType::Int64),
-        ];
+        let reduce = reduce_of(
+            &[E::col(0, LogicalType::Int64)],
+            &[
+                star(),
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: Some(E::col(1, LogicalType::Float64)),
+                    ty: LogicalType::Int64,
+                },
+                call(AggFunc::Sum, 2, LogicalType::Int64),
+                call(AggFunc::Min, 2, LogicalType::Int64),
+                call(AggFunc::Max, 2, LogicalType::Int64),
+            ],
+        );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let seq = aggregate(&b, &group_by, &aggs, strat, &models);
-            let par = aggregate_par(&b, &group_by, &aggs, strat, &models, 4);
+            let seq = aggregate(&b, &reduce, strat, &models);
+            let par = aggregate_par(&b, &reduce, strat, &models, 4);
             assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
             for c in 0..seq.ncols() {
                 assert_eq!(
@@ -1133,14 +1174,17 @@ mod tests {
             .map(|i| if i % 2 == 0 { 1e15 } else { -1e15 + 0.5 })
             .collect();
         let b = Batch::new(vec![Tensor::from_i64(vec![0; n]), Tensor::from_f64(vals)]);
-        let aggs = [
-            call(AggFunc::Sum, 1, LogicalType::Float64),
-            call(AggFunc::Avg, 1, LogicalType::Float64),
-            star(),
-        ];
+        let reduce = reduce_of(
+            &[],
+            &[
+                call(AggFunc::Sum, 1, LogicalType::Float64),
+                call(AggFunc::Avg, 1, LogicalType::Float64),
+                star(),
+            ],
+        );
         let models = ModelRegistry::new();
-        let one = aggregate_par(&b, &[], &aggs, Strategy::Sort, &models, 1);
-        let many = aggregate_par(&b, &[], &aggs, Strategy::Sort, &models, 6);
+        let one = aggregate_par(&b, &reduce, Strategy::Sort, &models, 1);
+        let many = aggregate_par(&b, &reduce, Strategy::Sort, &models, 6);
         assert_eq!(one.nrows(), 1);
         assert_eq!(
             one.columns[0].as_f64()[0].to_bits(),
@@ -1166,23 +1210,26 @@ mod tests {
             vec![Tensor::from_strings(&strs, 0)],
             vec![Some(Tensor::from_bool(vec![false; n]))],
         );
-        let aggs = [
-            AggCall {
-                func: AggFunc::Min,
-                arg: Some(E::col(0, LogicalType::Str)),
-                ty: LogicalType::Str,
-            },
-            AggCall {
-                func: AggFunc::Max,
-                arg: Some(E::col(0, LogicalType::Str)),
-                ty: LogicalType::Str,
-            },
-            star(),
-        ];
+        let reduce = reduce_of(
+            &[],
+            &[
+                AggCall {
+                    func: AggFunc::Min,
+                    arg: Some(E::col(0, LogicalType::Str)),
+                    ty: LogicalType::Str,
+                },
+                AggCall {
+                    func: AggFunc::Max,
+                    arg: Some(E::col(0, LogicalType::Str)),
+                    ty: LogicalType::Str,
+                },
+                star(),
+            ],
+        );
         let models = ModelRegistry::new();
-        let seq = aggregate(&b, &[], &aggs, Strategy::Hash, &models);
+        let seq = aggregate(&b, &reduce, Strategy::Hash, &models);
         for workers in [1usize, 4] {
-            let par = aggregate_par(&b, &[], &aggs, Strategy::Hash, &models, workers);
+            let par = aggregate_par(&b, &reduce, Strategy::Hash, &models, workers);
             assert_eq!(seq.nrows(), par.nrows(), "workers {workers}");
             assert_eq!(seq.columns[0].str_at(0), par.columns[0].str_at(0));
             assert_eq!(seq.columns[1].str_at(0), par.columns[1].str_at(0));
@@ -1210,29 +1257,31 @@ mod tests {
             }],
             vec![None, Some(Tensor::from_bool(valid))],
         );
-        let group_by = [E::col(0, LogicalType::Int64)];
-        let aggs = [
-            AggCall {
-                func: AggFunc::Count,
-                arg: Some(E::col(1, LogicalType::Str)),
-                ty: LogicalType::Int64,
-            },
-            AggCall {
-                func: AggFunc::Min,
-                arg: Some(E::col(1, LogicalType::Str)),
-                ty: LogicalType::Str,
-            },
-            AggCall {
-                func: AggFunc::Max,
-                arg: Some(E::col(1, LogicalType::Str)),
-                ty: LogicalType::Str,
-            },
-        ];
+        let reduce = reduce_of(
+            &[E::col(0, LogicalType::Int64)],
+            &[
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: Some(E::col(1, LogicalType::Str)),
+                    ty: LogicalType::Int64,
+                },
+                AggCall {
+                    func: AggFunc::Min,
+                    arg: Some(E::col(1, LogicalType::Str)),
+                    ty: LogicalType::Str,
+                },
+                AggCall {
+                    func: AggFunc::Max,
+                    arg: Some(E::col(1, LogicalType::Str)),
+                    ty: LogicalType::Str,
+                },
+            ],
+        );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let seq = aggregate(&b, &group_by, &aggs, strat, &models);
+            let seq = aggregate(&b, &reduce, strat, &models);
             for workers in [1usize, 4] {
-                let par = aggregate_par(&b, &group_by, &aggs, strat, &models, workers);
+                let par = aggregate_par(&b, &reduce, strat, &models, workers);
                 assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
                 assert_eq!(seq.columns[1].as_i64(), par.columns[1].as_i64());
                 for r in 0..seq.nrows() {
@@ -1251,12 +1300,14 @@ mod tests {
         ]);
         let out = aggregate(
             &b,
-            &[E::col(0, LogicalType::Int64)],
-            &[AggCall {
-                func: AggFunc::Min,
-                arg: Some(E::col(1, LogicalType::Str)),
-                ty: LogicalType::Str,
-            }],
+            &reduce_of(
+                &[E::col(0, LogicalType::Int64)],
+                &[AggCall {
+                    func: AggFunc::Min,
+                    arg: Some(E::col(1, LogicalType::Str)),
+                    ty: LogicalType::Str,
+                }],
+            ),
             Strategy::Sort,
             &ModelRegistry::new(),
         );

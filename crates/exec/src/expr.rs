@@ -1,5 +1,14 @@
-//! Vectorized expression evaluation: each `BoundExpr` node becomes one (or
-//! a few) tensor kernels — the per-expression half of TQP's planning layer.
+//! Shared expression kernels (`EXTRACT`, row hashing, key equality) and
+//! the **legacy tree-walk interpreter**.
+//!
+//! Production execution no longer goes through this module's [`eval`] /
+//! [`eval_mask`]: every backend now runs expressions as compiled
+//! [`crate::exprprog::ExprProgram`]s (flat register-based kernel
+//! sequences, built at lowering time). The tree walk is kept as the
+//! **reference oracle** — the proptest parity suite asserts bitwise
+//! equivalence between it and the compiled form, and
+//! `crates/bench/src/bin/expr_bench.rs` measures compiled-vs-interpreted
+//! dispatch on TPC-H expression workloads. Do not add production callers.
 //!
 //! `PREDICT` is evaluated *inline*: argument columns are already tensors, so
 //! the model's tensor program runs as just another kernel in the pipeline —
@@ -24,7 +33,11 @@ use crate::batch::Batch;
 /// A value + optional validity pair.
 pub type Evaled = (Tensor, Option<Tensor>);
 
-/// Evaluate an expression over a batch.
+/// Evaluate an expression tree over a batch.
+///
+/// **Legacy reference interpreter** — production paths run compiled
+/// [`crate::exprprog::ExprProgram`]s instead; this stays as the oracle
+/// for parity tests and the `expr_bench` interpreted baseline.
 pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
     let n = batch.nrows();
     match e {
@@ -161,9 +174,7 @@ pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
             (out, val)
         }
         BoundExpr::Predict { model, args, .. } => {
-            let m = models
-                .get(model)
-                .unwrap_or_else(|| panic!("model {model} not registered"));
+            let m = models.require(model);
             let inputs: Vec<Tensor> = args
                 .iter()
                 .map(|a| {
@@ -180,7 +191,8 @@ pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
     }
 }
 
-/// Evaluate a predicate to a filter mask (validity folded in: NULL = drop).
+/// Evaluate a predicate tree to a filter mask (validity folded in:
+/// NULL = drop). Legacy reference path — see [`eval`].
 pub fn eval_mask(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Tensor {
     let (v, val) = eval(e, batch, models);
     match val {
@@ -189,7 +201,9 @@ pub fn eval_mask(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Tensor
     }
 }
 
-fn to_cmp(op: BinOp) -> Option<CmpOp> {
+/// Comparison `BinOp` → tensor `CmpOp` (shared with the compiled
+/// expression executor in [`crate::exprprog`]).
+pub(crate) fn to_cmp(op: BinOp) -> Option<CmpOp> {
     Some(match op {
         BinOp::Eq => CmpOp::Eq,
         BinOp::NotEq => CmpOp::Ne,
@@ -201,7 +215,9 @@ fn to_cmp(op: BinOp) -> Option<CmpOp> {
     })
 }
 
-fn merge_validity(a: Option<Tensor>, b: Option<Tensor>) -> Option<Tensor> {
+/// Conservative Kleene validity merge (shared with the compiled
+/// expression executor in [`crate::exprprog`]).
+pub(crate) fn merge_validity(a: Option<Tensor>, b: Option<Tensor>) -> Option<Tensor> {
     match (a, b) {
         (None, None) => None,
         (Some(m), None) | (None, Some(m)) => Some(m),
@@ -209,7 +225,9 @@ fn merge_validity(a: Option<Tensor>, b: Option<Tensor>) -> Option<Tensor> {
     }
 }
 
-fn coerce(t: Tensor, ty: LogicalType) -> Tensor {
+/// Dtype-checked cast onto a logical type's tensor dtype (CASE branch
+/// unification; shared with the compiled expression executor).
+pub(crate) fn coerce(t: Tensor, ty: LogicalType) -> Tensor {
     match ty {
         LogicalType::Float64 if t.dtype() != tqp_tensor::DType::F64 => {
             t.cast(tqp_tensor::DType::F64).expect("coerce to f64")

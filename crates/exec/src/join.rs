@@ -17,7 +17,6 @@
 
 use std::collections::HashMap;
 
-use tqp_ir::expr::BoundExpr;
 use tqp_ir::physical::JoinStrategy;
 use tqp_ir::plan::JoinType;
 use tqp_ml::ModelRegistry;
@@ -29,7 +28,8 @@ use tqp_tensor::sort::{argsort, Order};
 use tqp_tensor::{DType, Tensor};
 
 use crate::batch::Batch;
-use crate::expr::{eval_mask, hash_rows, keys_equal};
+use crate::expr::{hash_rows, keys_equal};
+use crate::exprprog::{self, ExprProgram};
 
 /// Execute a join between two batches (single-threaded entry point; the
 /// program VM calls the build/probe halves directly).
@@ -40,7 +40,7 @@ pub fn join(
     join_type: JoinType,
     strategy: JoinStrategy,
     on: &[(usize, usize)],
-    residual: Option<&BoundExpr>,
+    residual: Option<&ExprProgram>,
     models: &ModelRegistry,
 ) -> Batch {
     match strategy {
@@ -59,7 +59,7 @@ pub fn sort_merge_join(
     right: &Batch,
     join_type: JoinType,
     on: &[(usize, usize)],
-    residual: Option<&BoundExpr>,
+    residual: Option<&ExprProgram>,
     models: &ModelRegistry,
 ) -> Batch {
     assert!(!on.is_empty(), "tensor joins require at least one equi key");
@@ -244,7 +244,7 @@ pub fn probe_table(
     right: &Batch,
     join_type: JoinType,
     on: &[(usize, usize)],
-    residual: Option<&BoundExpr>,
+    residual: Option<&ExprProgram>,
     models: &ModelRegistry,
     workers: usize,
 ) -> Batch {
@@ -287,7 +287,7 @@ fn finish_join(
     need_verify: bool,
     lkeys: &[&Tensor],
     rkeys: &[&Tensor],
-    residual: Option<&BoundExpr>,
+    residual: Option<&ExprProgram>,
     models: &ModelRegistry,
 ) -> Batch {
     // Verification + residual masking over the expanded pairs.
@@ -299,7 +299,7 @@ fn finish_join(
     }
     if let Some(res) = residual {
         let pair_batch = left.take(&left_idx).hcat(right.take(&right_idx));
-        let m = eval_mask(res, &pair_batch, models);
+        let m = exprprog::eval_mask(res, &pair_batch, models);
         mask = Some(match mask {
             Some(prev) => ops::and(&prev, &m),
             None => m,
@@ -578,12 +578,12 @@ mod tests {
         use tqp_data::LogicalType;
         use tqp_ir::expr::{BinOp, BoundExpr as E};
         // Join where right string column != "y".
-        let res = E::Binary {
+        let res = crate::exprprog::compile_expr(&E::Binary {
             op: BinOp::NotEq,
             left: Box::new(E::col(3, LogicalType::Str)),
             right: Box::new(E::lit_str("y")),
             ty: LogicalType::Bool,
-        };
+        });
         let out = join(
             &left(),
             &right(),

@@ -2,7 +2,13 @@
 //!
 //! Compiles a physical plan into a **[`program::TensorProgram`]** — a
 //! flat, register-based tensor-op sequence, the paper's "tensor program"
-//! — and executes *that one program* on a choice of backend × device:
+//! — and executes *that one program* on a choice of backend × device.
+//! Scalar expressions inside the program are themselves compiled: every
+//! filter conjunct, projection, join residual, group key, aggregate
+//! input, sort key, and `PREDICT` splice point lowers to a flat
+//! **[`exprprog::ExprProgram`]** (constant folding + cross-expression
+//! CSE at lowering time), so no backend walks an expression tree per
+//! batch — or per row:
 //!
 //! | paper               | here                                            |
 //! |---------------------|-------------------------------------------------|
@@ -39,6 +45,7 @@ pub mod agg;
 pub mod batch;
 pub mod device;
 pub mod expr;
+pub mod exprprog;
 pub mod graphvm;
 pub mod join;
 pub mod program;

@@ -15,28 +15,97 @@
 //! * the Wasm backend scalar-interprets the *same* artifact row-at-a-time
 //!   ([`crate::scalar`]), the ORT-Web analog.
 //!
+//! **Expressions are compiled, not embedded.** Since artifact v2, no op
+//! carries a `BoundExpr` tree: every scalar expression — filter
+//! conjuncts, projections, join residuals, group-by keys, aggregate
+//! inputs, sort keys, `PREDICT` splice points — is lowered here into a
+//! flat [`ExprProgram`] ([`crate::exprprog`]) with lowering-time constant
+//! folding and cross-expression common-subexpression reuse. Lowering also
+//! folds the conjunct list itself: always-true conjuncts are dropped
+//! (possibly eliding the whole `Filter`), and a constant-false conjunct
+//! collapses the filter to a canonical short-circuit the VMs turn into an
+//! empty scan without evaluating anything.
+//!
 //! Register discipline: lowering walks the plan tree post-order, so every
 //! op writes a fresh register and each register is read after it is
 //! written; data-flow is explicit (`dst`/`src` fields), which is what the
 //! morsel-parallel executor uses to find chunkable pipeline segments.
 
 use bytes::Bytes;
-use tqp_ir::expr::{AggCall, BoundExpr};
+use tqp_ir::expr::{eval_const, AggCall, AggFunc, BoundExpr};
 use tqp_ir::json as irjson;
 use tqp_ir::physical::{dedup_names, AggStrategy, JoinStrategy, PhysicalPlan};
-use tqp_ir::plan::{JoinType, PlanSchema, SortKey};
+use tqp_ir::plan::{JoinType, PlanSchema};
 use tqp_json::Json;
+use tqp_tensor::Scalar;
+
+use crate::exprprog::{
+    compile_expr, compile_exprs, exprprog_from_json, exprprog_to_json, ExprProgram,
+};
 
 /// Artifact format tag (the self-describing header's `format` field).
 pub const ARTIFACT_FORMAT: &str = "tqp-tensor-program";
 
 /// Current artifact version. Bump on any encoding change; the loader
-/// rejects versions it does not understand.
-pub const ARTIFACT_VERSION: i64 = 1;
+/// rejects versions it does not understand. v1 embedded `BoundExpr`
+/// trees; v2 encodes compiled [`ExprProgram`]s natively.
+pub const ARTIFACT_VERSION: i64 = 2;
+
+/// The last tree-based artifact version, rejected with a pointed error.
+pub const ARTIFACT_VERSION_V1: i64 = 1;
 
 /// A register index. Registers hold either a column batch or a join
 /// build table (see `tqp_exec::vm::Value`).
 pub type Reg = usize;
+
+/// One aggregate call of a [`ReduceExprs`] bundle. The argument is a slot
+/// into the bundle's compiled outputs, not an expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledAgg {
+    pub func: AggFunc,
+    /// Output slot of the reduce program holding the argument values
+    /// (`None` for `COUNT(*)`).
+    pub arg: Option<usize>,
+    /// Result type.
+    pub ty: tqp_data::LogicalType,
+}
+
+/// The compiled expression bundle of a `GroupedReduce`: one shared
+/// [`ExprProgram`] whose outputs are the group keys (`..n_keys`) followed
+/// by the aggregate argument columns, plus per-aggregate metadata.
+/// Sharing one program means a subterm used by several aggregates (Q1's
+/// `l_extendedprice * (1 - l_discount)`) evaluates once per batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReduceExprs {
+    pub exprs: ExprProgram,
+    pub n_keys: usize,
+    pub aggs: Vec<CompiledAgg>,
+}
+
+impl ReduceExprs {
+    /// Compile group-by keys + aggregate arguments into one bundle.
+    pub fn compile(group_by: &[BoundExpr], aggs: &[AggCall]) -> ReduceExprs {
+        let mut sources: Vec<BoundExpr> = group_by.to_vec();
+        let mut compiled = Vec::with_capacity(aggs.len());
+        for call in aggs {
+            let arg = call.arg.as_ref().map(|a| {
+                let slot = sources.len();
+                sources.push(a.clone());
+                slot
+            });
+            compiled.push(CompiledAgg {
+                func: call.func,
+                arg,
+                ty: call.ty,
+            });
+        }
+        ReduceExprs {
+            exprs: compile_exprs(&sources),
+            n_keys: group_by.len(),
+            aggs: compiled,
+        }
+    }
+}
 
 /// One flat tensor-program operator.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,22 +116,24 @@ pub enum ProgOp {
         table: String,
         projection: Option<Vec<usize>>,
     },
-    /// Filter `src` by a conjunction of predicates. The VM mode decides
-    /// the evaluation shape: Eager materializes every conjunct mask over
-    /// the full input and compacts once; Fused compacts adaptively
-    /// between conjuncts (selection vectors).
+    /// Filter `src` by compiled conjuncts (one program output per
+    /// conjunct). The VM mode decides the evaluation shape: Eager
+    /// materializes every conjunct mask over the full input and compacts
+    /// once; Fused compacts adaptively between conjuncts (selection
+    /// vectors), compacting the expression registers alongside. A
+    /// constant-false conjunct (see [`lower`]) short-circuits to an empty
+    /// batch without evaluating anything.
     Filter {
         dst: Reg,
         src: Reg,
-        conjuncts: Vec<BoundExpr>,
+        conjuncts: ExprProgram,
     },
-    /// Evaluate projection expressions over `src`. `has_predict` marks
-    /// inline ML inference (profiling shows it as `Project+Predict`).
+    /// Evaluate compiled projection expressions over `src` (one program
+    /// output per projected column).
     Project {
         dst: Reg,
         src: Reg,
-        exprs: Vec<BoundExpr>,
-        has_predict: bool,
+        exprs: ExprProgram,
     },
     /// Build the hash table over the right (build) side's key columns.
     HashBuild {
@@ -79,7 +150,7 @@ pub enum ProgOp {
         right: Reg,
         join_type: JoinType,
         on: Vec<(usize, usize)>,
-        residual: Option<BoundExpr>,
+        residual: Option<ExprProgram>,
     },
     /// The tensor-native sort-merge join (argsort + double searchsorted +
     /// pair expansion) as one fused op.
@@ -89,24 +160,26 @@ pub enum ProgOp {
         right: Reg,
         join_type: JoinType,
         on: Vec<(usize, usize)>,
-        residual: Option<BoundExpr>,
+        residual: Option<ExprProgram>,
     },
     /// Cartesian product (scalar-subquery sides only).
     CrossJoin { dst: Reg, left: Reg, right: Reg },
     /// Grouped/global reduction (sort- or hash-strategy segmented
-    /// reduce — the paper's GroupedReduce).
+    /// reduce — the paper's GroupedReduce) over a compiled key/argument
+    /// bundle.
     GroupedReduce {
         dst: Reg,
         src: Reg,
         strategy: AggStrategy,
-        group_by: Vec<BoundExpr>,
-        aggs: Vec<AggCall>,
+        reduce: ReduceExprs,
     },
-    /// Stable multi-key sort.
+    /// Stable multi-key sort over compiled key expressions (`desc[k]`
+    /// flips key `k`).
     Sort {
         dst: Reg,
         src: Reg,
-        keys: Vec<SortKey>,
+        keys: ExprProgram,
+        desc: Vec<bool>,
     },
     /// Keep the first `n` rows.
     Limit { dst: Reg, src: Reg, n: usize },
@@ -154,9 +227,7 @@ impl ProgOp {
         match self {
             ProgOp::Scan { table, .. } => format!("Scan({table})"),
             ProgOp::Filter { .. } => "Filter".into(),
-            ProgOp::Project {
-                has_predict: true, ..
-            } => "Project+Predict".into(),
+            ProgOp::Project { exprs, .. } if exprs.has_model_apply() => "Project+Predict".into(),
             ProgOp::Project { .. } => "Project".into(),
             ProgOp::HashBuild { .. } => "HashBuild".into(),
             ProgOp::HashProbe { join_type, .. } => format!("HashJoin({join_type:?})"),
@@ -165,6 +236,21 @@ impl ProgOp {
             ProgOp::GroupedReduce { strategy, .. } => format!("{strategy:?}Aggregate"),
             ProgOp::Sort { .. } => "Sort".into(),
             ProgOp::Limit { .. } => "Limit".into(),
+        }
+    }
+
+    /// Number of compiled expression micro-ops this operator carries
+    /// (display / artifact statistics).
+    pub fn expr_op_count(&self) -> usize {
+        match self {
+            ProgOp::Filter { conjuncts, .. } => conjuncts.ops.len(),
+            ProgOp::Project { exprs, .. } => exprs.ops.len(),
+            ProgOp::HashProbe { residual, .. } | ProgOp::SortMergeJoin { residual, .. } => {
+                residual.as_ref().map_or(0, |r| r.ops.len())
+            }
+            ProgOp::GroupedReduce { reduce, .. } => reduce.exprs.ops.len(),
+            ProgOp::Sort { keys, .. } => keys.ops.len(),
+            _ => 0,
         }
     }
 }
@@ -183,13 +269,18 @@ pub struct TensorProgram {
 }
 
 impl TensorProgram {
-    /// Multi-line assembly-style listing (EXPLAIN for programs).
+    /// Multi-line assembly-style listing (EXPLAIN for programs). Ops that
+    /// carry compiled expressions show their micro-op count.
     pub fn display(&self) -> String {
         let mut out = String::new();
         for (i, op) in self.ops.iter().enumerate() {
             let srcs: Vec<String> = op.srcs().iter().map(|r| format!("r{r}")).collect();
+            let exprs = match op.expr_op_count() {
+                0 => String::new(),
+                n => format!(" [{n} expr ops]"),
+            };
             out.push_str(&format!(
-                "op{i:<3} r{} = {}({})\n",
+                "op{i:<3} r{} = {}({}){exprs}\n",
                 op.dst(),
                 op.name(),
                 srcs.join(", ")
@@ -204,7 +295,9 @@ impl TensorProgram {
 // Lowering
 // ---------------------------------------------------------------------
 
-/// Compile a physical plan into a [`TensorProgram`].
+/// Compile a physical plan into a [`TensorProgram`]. All expression trees
+/// are compiled to [`ExprProgram`]s here — this is the last point in the
+/// pipeline where a `BoundExpr` exists.
 pub fn lower(plan: &PhysicalPlan) -> TensorProgram {
     let mut b = Builder {
         ops: Vec::new(),
@@ -246,25 +339,42 @@ impl Builder {
             }
             PhysicalPlan::Filter { input, predicate } => {
                 let src = self.lower_node(input);
-                let dst = self.fresh();
                 let mut conjuncts = Vec::new();
                 split_and(predicate.clone(), &mut conjuncts);
+                // Conjunct-level folding: drop always-true conjuncts; a
+                // constant-false conjunct makes the whole filter a
+                // canonical short-circuit (the VMs emit an empty batch
+                // without evaluating anything — an empty scan in effect).
+                let mut kept = Vec::with_capacity(conjuncts.len());
+                let mut const_false = false;
+                for c in conjuncts {
+                    match eval_const(&c) {
+                        Some(Scalar::Bool(true)) => {}
+                        Some(Scalar::Bool(false)) => const_false = true,
+                        _ => kept.push(c),
+                    }
+                }
+                if const_false {
+                    kept = vec![BoundExpr::lit_bool(false)];
+                } else if kept.is_empty() {
+                    // Every conjunct was constant-true: elide the Filter.
+                    return src;
+                }
+                let dst = self.fresh();
                 self.ops.push(ProgOp::Filter {
                     dst,
                     src,
-                    conjuncts,
+                    conjuncts: compile_exprs(&kept),
                 });
                 dst
             }
             PhysicalPlan::Project { input, exprs, .. } => {
                 let src = self.lower_node(input);
                 let dst = self.fresh();
-                let has_predict = exprs.iter().any(contains_predict);
                 self.ops.push(ProgOp::Project {
                     dst,
                     src,
-                    exprs: exprs.clone(),
-                    has_predict,
+                    exprs: compile_exprs(exprs),
                 });
                 dst
             }
@@ -278,6 +388,7 @@ impl Builder {
             } => {
                 let l = self.lower_node(left);
                 let r = self.lower_node(right);
+                let residual = residual.as_ref().map(compile_expr);
                 match strategy {
                     JoinStrategy::Hash => {
                         let table = self.fresh();
@@ -294,7 +405,7 @@ impl Builder {
                             right: r,
                             join_type: *join_type,
                             on: on.clone(),
-                            residual: residual.clone(),
+                            residual,
                         });
                         dst
                     }
@@ -306,7 +417,7 @@ impl Builder {
                             right: r,
                             join_type: *join_type,
                             on: on.clone(),
-                            residual: residual.clone(),
+                            residual,
                         });
                         dst
                     }
@@ -336,18 +447,19 @@ impl Builder {
                     dst,
                     src,
                     strategy: *strategy,
-                    group_by: group_by.clone(),
-                    aggs: aggs.clone(),
+                    reduce: ReduceExprs::compile(group_by, aggs),
                 });
                 dst
             }
             PhysicalPlan::Sort { input, keys } => {
                 let src = self.lower_node(input);
                 let dst = self.fresh();
+                let exprs: Vec<BoundExpr> = keys.iter().map(|k| k.expr.clone()).collect();
                 self.ops.push(ProgOp::Sort {
                     dst,
                     src,
-                    keys: keys.clone(),
+                    keys: compile_exprs(&exprs),
+                    desc: keys.iter().map(|k| k.desc).collect(),
                 });
                 dst
             }
@@ -376,16 +488,6 @@ pub fn split_and(e: BoundExpr, out: &mut Vec<BoundExpr>) {
         }
         other => out.push(other),
     }
-}
-
-fn contains_predict(e: &BoundExpr) -> bool {
-    let mut found = false;
-    e.visit(&mut |n| {
-        if matches!(n, BoundExpr::Predict { .. }) {
-            found = true;
-        }
-    });
-    found
 }
 
 // ---------------------------------------------------------------------
@@ -426,7 +528,8 @@ fn invalid<T>(message: impl Into<String>) -> Result<T, ProgramError> {
 
 /// Serialize a program into the portable artifact: a self-describing,
 /// versioned document every backend (and any external runtime) can load
-/// without the compiler front-end.
+/// without the compiler front-end. Since v2 the encoding carries compiled
+/// [`ExprProgram`]s — loaders never reconstruct expression trees.
 pub fn serialize_program(prog: &TensorProgram) -> Bytes {
     let ops: Vec<Json> = prog.ops.iter().map(op_to_json).collect();
     let doc = Json::obj(vec![
@@ -452,6 +555,14 @@ pub fn deserialize_program(artifact: &Bytes) -> Result<TensorProgram, ProgramErr
     }
     match doc.field("version")?.as_i64() {
         Some(ARTIFACT_VERSION) => {}
+        Some(ARTIFACT_VERSION_V1) => {
+            return invalid(format!(
+                "artifact version {ARTIFACT_VERSION_V1} is no longer supported: v1 artifacts \
+                 embed expression trees, but this loader reads version {ARTIFACT_VERSION} \
+                 (compiled ExprPrograms). Recompile the query with this build to produce a \
+                 v{ARTIFACT_VERSION} artifact."
+            ))
+        }
         other => {
             return invalid(format!(
                 "unsupported artifact version {other:?} (loader supports {ARTIFACT_VERSION})"
@@ -513,20 +624,6 @@ fn reg_field(j: &Json, key: &str) -> Result<usize, ProgramError> {
     }
 }
 
-fn exprs_json(exprs: &[BoundExpr]) -> Json {
-    Json::Arr(exprs.iter().map(irjson::expr_to_json).collect())
-}
-
-fn exprs_from(j: &Json) -> Result<Vec<BoundExpr>, ProgramError> {
-    Ok(j.as_arr()
-        .ok_or(ProgramError {
-            message: "expected expression array".into(),
-        })?
-        .iter()
-        .map(irjson::expr_from_json)
-        .collect::<Result<Vec<_>, _>>()?)
-}
-
 fn on_json(on: &[(usize, usize)]) -> Json {
     Json::Arr(
         on.iter()
@@ -553,18 +650,117 @@ fn on_from(j: &Json) -> Result<Vec<(usize, usize)>, ProgramError> {
         .collect()
 }
 
-fn residual_json(residual: &Option<BoundExpr>) -> Json {
+fn residual_json(residual: &Option<ExprProgram>) -> Json {
     match residual {
-        Some(e) => irjson::expr_to_json(e),
+        Some(e) => exprprog_to_json(e),
         None => Json::Null,
     }
 }
 
-fn residual_from(j: &Json) -> Result<Option<BoundExpr>, ProgramError> {
+fn residual_from(j: &Json) -> Result<Option<ExprProgram>, ProgramError> {
     match j {
         Json::Null => Ok(None),
-        e => Ok(Some(irjson::expr_from_json(e)?)),
+        e => {
+            let prog = exprprog_from_json(e)?;
+            // A residual is one predicate: the executors read exactly
+            // output 0, so reject anything else at load instead of
+            // panicking mid-probe.
+            if prog.outputs.len() != 1 {
+                return invalid(format!(
+                    "join residual must have exactly one output, got {}",
+                    prog.outputs.len()
+                ));
+            }
+            Ok(Some(prog))
+        }
     }
+}
+
+fn reduce_json(reduce: &ReduceExprs) -> Json {
+    Json::obj(vec![
+        ("exprs", exprprog_to_json(&reduce.exprs)),
+        ("n_keys", Json::I64(reduce.n_keys as i64)),
+        (
+            "aggs",
+            Json::Arr(
+                reduce
+                    .aggs
+                    .iter()
+                    .map(|a| {
+                        Json::obj(vec![
+                            ("func", irjson::agg_func_to_json(a.func)),
+                            (
+                                "arg",
+                                match a.arg {
+                                    Some(s) => Json::I64(s as i64),
+                                    None => Json::Null,
+                                },
+                            ),
+                            ("ty", irjson::type_to_json(a.ty)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn reduce_from(j: &Json) -> Result<ReduceExprs, ProgramError> {
+    let exprs = exprprog_from_json(j.field("exprs")?)?;
+    let n_keys = reg_field(j, "n_keys")?;
+    let aggs = j
+        .field("aggs")?
+        .as_arr()
+        .ok_or(ProgramError {
+            message: "aggs must be an array".into(),
+        })?
+        .iter()
+        .map(|a| -> Result<CompiledAgg, ProgramError> {
+            Ok(CompiledAgg {
+                func: irjson::agg_func_from_json(a.field("func")?)?,
+                arg: match a.field("arg")? {
+                    Json::Null => None,
+                    v => match v.as_i64() {
+                        Some(s) if s >= 0 => Some(s as usize),
+                        other => return invalid(format!("bad agg arg slot {other:?}")),
+                    },
+                },
+                ty: irjson::type_from_json(a.field("ty")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    // Slot sanity: keys and every referenced argument must exist in the
+    // compiled program's outputs.
+    let n_outputs = exprs.outputs.len();
+    if n_keys > n_outputs {
+        return invalid(format!(
+            "reduce claims {n_keys} keys but the program has {n_outputs} outputs"
+        ));
+    }
+    for a in &aggs {
+        match a.arg {
+            Some(s) if s >= n_outputs => {
+                return invalid(format!(
+                    "agg arg slot {s} out of range ({n_outputs} outputs)"
+                ))
+            }
+            // COUNT(*) is the only argument-less aggregate; every other
+            // function dereferences its arg at execution, so a missing
+            // slot must fail at load, not panic mid-query.
+            None if a.func != AggFunc::CountStar => {
+                return invalid(format!("aggregate {:?} requires an arg slot", a.func))
+            }
+            Some(_) if a.func == AggFunc::CountStar => {
+                return invalid("COUNT(*) must not carry an arg slot")
+            }
+            _ => {}
+        }
+    }
+    Ok(ReduceExprs {
+        exprs,
+        n_keys,
+        aggs,
+    })
 }
 
 fn op_to_json(op: &ProgOp) -> Json {
@@ -594,19 +790,13 @@ fn op_to_json(op: &ProgOp) -> Json {
             ("op", Json::str("filter")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
-            ("conjuncts", exprs_json(conjuncts)),
+            ("conjuncts", exprprog_to_json(conjuncts)),
         ]),
-        ProgOp::Project {
-            dst,
-            src,
-            exprs,
-            has_predict,
-        } => Json::obj(vec![
+        ProgOp::Project { dst, src, exprs } => Json::obj(vec![
             ("op", Json::str("project")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
-            ("exprs", exprs_json(exprs)),
-            ("has_predict", Json::Bool(*has_predict)),
+            ("exprs", exprprog_to_json(exprs)),
         ]),
         ProgOp::HashBuild { dst, src, keys } => Json::obj(vec![
             ("op", Json::str("hash_build")),
@@ -661,26 +851,27 @@ fn op_to_json(op: &ProgOp) -> Json {
             dst,
             src,
             strategy,
-            group_by,
-            aggs,
+            reduce,
         } => Json::obj(vec![
             ("op", Json::str("grouped_reduce")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
             ("strategy", irjson::agg_strategy_to_json(*strategy)),
-            ("group_by", exprs_json(group_by)),
-            (
-                "aggs",
-                Json::Arr(aggs.iter().map(irjson::agg_call_to_json).collect()),
-            ),
+            ("reduce", reduce_json(reduce)),
         ]),
-        ProgOp::Sort { dst, src, keys } => Json::obj(vec![
+        ProgOp::Sort {
+            dst,
+            src,
+            keys,
+            desc,
+        } => Json::obj(vec![
             ("op", Json::str("sort")),
             ("dst", reg(*dst)),
             ("src", reg(*src)),
+            ("keys", exprprog_to_json(keys)),
             (
-                "keys",
-                Json::Arr(keys.iter().map(irjson::sort_key_to_json).collect()),
+                "desc",
+                Json::Arr(desc.iter().map(|&d| Json::Bool(d)).collect()),
             ),
         ]),
         ProgOp::Limit { dst, src, n } => Json::obj(vec![
@@ -719,16 +910,25 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
                 ),
             },
         }),
-        "filter" => Ok(ProgOp::Filter {
-            dst,
-            src: reg_field(j, "src")?,
-            conjuncts: exprs_from(j.field("conjuncts")?)?,
-        }),
+        "filter" => {
+            let conjuncts = exprprog_from_json(j.field("conjuncts")?)?;
+            // Lowering never emits a conjunct-less filter (all-true
+            // filters are elided); a zero-output program would diverge
+            // across backends (Eager drops every row, Fused/Wasm keep
+            // them all), so reject it at load.
+            if conjuncts.outputs.is_empty() {
+                return invalid("filter must have at least one conjunct");
+            }
+            Ok(ProgOp::Filter {
+                dst,
+                src: reg_field(j, "src")?,
+                conjuncts,
+            })
+        }
         "project" => Ok(ProgOp::Project {
             dst,
             src: reg_field(j, "src")?,
-            exprs: exprs_from(j.field("exprs")?)?,
-            has_predict: j.field("has_predict")?.as_bool().unwrap_or_default(),
+            exprs: exprprog_from_json(j.field("exprs")?)?,
         }),
         "hash_build" => Ok(ProgOp::HashBuild {
             dst,
@@ -776,30 +976,39 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
             dst,
             src: reg_field(j, "src")?,
             strategy: irjson::agg_strategy_from_json(j.field("strategy")?)?,
-            group_by: exprs_from(j.field("group_by")?)?,
-            aggs: j
-                .field("aggs")?
+            reduce: reduce_from(j.field("reduce")?)?,
+        }),
+        "sort" => {
+            let keys = exprprog_from_json(j.field("keys")?)?;
+            let desc: Vec<bool> = j
+                .field("desc")?
                 .as_arr()
                 .ok_or(ProgramError {
-                    message: "aggs must be an array".into(),
+                    message: "sort desc must be an array".into(),
                 })?
                 .iter()
-                .map(irjson::agg_call_from_json)
-                .collect::<Result<Vec<_>, _>>()?,
-        }),
-        "sort" => Ok(ProgOp::Sort {
-            dst,
-            src: reg_field(j, "src")?,
-            keys: j
-                .field("keys")?
-                .as_arr()
-                .ok_or(ProgramError {
-                    message: "sort keys must be an array".into(),
-                })?
-                .iter()
-                .map(irjson::sort_key_from_json)
-                .collect::<Result<Vec<_>, _>>()?,
-        }),
+                .map(|v| {
+                    v.as_bool().ok_or(ProgramError {
+                        message: "sort desc flag invalid".into(),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            // One direction flag per key: a longer list panics the scalar
+            // VM's comparator, a shorter one silently drops sort keys.
+            if desc.len() != keys.outputs.len() {
+                return invalid(format!(
+                    "sort has {} keys but {} desc flags",
+                    keys.outputs.len(),
+                    desc.len()
+                ));
+            }
+            Ok(ProgOp::Sort {
+                dst,
+                src: reg_field(j, "src")?,
+                keys,
+                desc,
+            })
+        }
         "limit" => Ok(ProgOp::Limit {
             dst,
             src: reg_field(j, "src")?,
@@ -812,6 +1021,7 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exprprog::ExprOp;
     use tqp_ir::{compile_sql, Catalog, PhysicalOptions};
 
     fn catalog() -> Catalog {
@@ -874,13 +1084,79 @@ mod tests {
             .ops
             .iter()
             .filter_map(|op| match op {
-                ProgOp::Filter { conjuncts, .. } => Some(conjuncts.len()),
+                ProgOp::Filter { conjuncts, .. } => Some(conjuncts.outputs.len()),
                 _ => None,
             })
             .collect();
         // Pushdown may split filters across scans, but the total number of
         // conjuncts must be 3.
         assert_eq!(conjuncts.iter().sum::<usize>(), 3, "{}", p.display());
+    }
+
+    #[test]
+    fn expressions_lower_to_flat_programs() {
+        let p = program(
+            "select a * 2 + 1, b from t where b > 0.5",
+            PhysicalOptions::default(),
+        );
+        for op in &p.ops {
+            match op {
+                ProgOp::Filter { conjuncts, .. } => {
+                    assert!(!conjuncts.ops.is_empty());
+                    assert!(matches!(conjuncts.ops[1], ExprOp::CompareConst { .. }));
+                }
+                ProgOp::Project { exprs, .. } => {
+                    assert_eq!(exprs.outputs.len(), 2);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn always_true_conjuncts_are_dropped() {
+        // `1 = 1` folds away entirely; the filter keeps only `a > 1`.
+        let p = program(
+            "select a from t where a > 1 and 1 = 1",
+            PhysicalOptions::default(),
+        );
+        let filter_conjuncts: usize = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                ProgOp::Filter { conjuncts, .. } => Some(conjuncts.outputs.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(filter_conjuncts, 1, "{}", p.display());
+        // A filter that is entirely constant-true is elided.
+        let p = program("select a from t where 1 = 1", PhysicalOptions::default());
+        assert!(
+            !p.ops.iter().any(|o| matches!(o, ProgOp::Filter { .. })),
+            "{}",
+            p.display()
+        );
+    }
+
+    #[test]
+    fn constant_false_filter_collapses_to_short_circuit() {
+        let p = program(
+            "select a from t where a > 1 and 1 = 2",
+            PhysicalOptions::default(),
+        );
+        let filters: Vec<&ExprProgram> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                ProgOp::Filter { conjuncts, .. } => Some(conjuncts),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(filters.len(), 1, "{}", p.display());
+        assert!(filters[0].has_const_false_output());
+        // The short-circuit is canonical: a single constant-false output.
+        assert_eq!(filters[0].outputs.len(), 1);
+        assert_eq!(filters[0].ops.len(), 1);
     }
 
     #[test]
@@ -950,8 +1226,22 @@ mod tests {
         );
         // A future version must be rejected, not misread.
         let mut tampered = String::from_utf8(bytes.to_vec()).unwrap();
-        tampered = tampered.replace("\"version\":1", "\"version\":999");
+        tampered = tampered.replace("\"version\":2", "\"version\":999");
         assert!(deserialize_program(&Bytes::from(tampered.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn v1_artifacts_rejected_with_actionable_error() {
+        let p = program("select a from t", PhysicalOptions::default());
+        let bytes = serialize_program(&p);
+        let tampered = String::from_utf8(bytes.to_vec())
+            .unwrap()
+            .replace("\"version\":2", "\"version\":1");
+        let err = deserialize_program(&Bytes::from(tampered.into_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("version 1"), "{msg}");
+        assert!(msg.contains("version 2"), "{msg}");
+        assert!(msg.contains("Recompile"), "{msg}");
     }
 
     #[test]
@@ -965,6 +1255,73 @@ mod tests {
         );
         assert_ne!(text, tampered, "tamper point not found");
         assert!(deserialize_program(&Bytes::from(tampered.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn zero_conjunct_filter_artifact_rejected() {
+        // Lowering elides all-true filters, so a conjunct-less Filter can
+        // only come from a corrupt artifact — and would diverge across
+        // backends (Eager: empty, Fused/Wasm: everything). Reject it.
+        let doc = r#"{"format":"tqp-tensor-program","version":2,"n_regs":2,"output":1,
+            "schema":[{"qualifier":null,"name":"a","ty":"int64"}],
+            "ops":[{"op":"scan","dst":0,"table":"t","projection":null},
+                   {"op":"filter","dst":1,"src":0,
+                    "conjuncts":{"ops":[],"outputs":[],"out_tys":[]}}]}"#;
+        let err = deserialize_program(&Bytes::from(doc.as_bytes().to_vec())).unwrap_err();
+        assert!(err.to_string().contains("conjunct"), "{err}");
+    }
+
+    #[test]
+    fn argless_aggregate_artifact_rejected() {
+        // SUM without an arg slot would panic at execution; reject at load.
+        let p = program(
+            "select sum(b) from t group by a",
+            PhysicalOptions::default(),
+        );
+        let text = String::from_utf8(serialize_program(&p).to_vec()).unwrap();
+        let tampered = text.replace(
+            "\"func\":\"sum\",\"arg\":1",
+            "\"func\":\"sum\",\"arg\":null",
+        );
+        assert_ne!(text, tampered, "tamper point not found");
+        let err = deserialize_program(&Bytes::from(tampered.into_bytes())).unwrap_err();
+        assert!(err.to_string().contains("requires an arg slot"), "{err}");
+    }
+
+    #[test]
+    fn multi_output_residual_artifact_rejected() {
+        // A residual is one predicate; extra outputs would panic in the
+        // scalar probe loop. Hand-built doc: scan+scan+build+probe with a
+        // two-output residual program.
+        let doc = r#"{"format":"tqp-tensor-program","version":2,"n_regs":4,"output":3,
+            "schema":[{"qualifier":null,"name":"a","ty":"int64"},
+                      {"qualifier":null,"name":"b","ty":"int64"}],
+            "ops":[{"op":"scan","dst":0,"table":"t","projection":null},
+                   {"op":"scan","dst":1,"table":"u","projection":null},
+                   {"op":"hash_build","dst":2,"src":1,"keys":[0]},
+                   {"op":"hash_probe","dst":3,"table":2,"left":0,"right":1,
+                    "join_type":"inner","on":[[0,0]],
+                    "residual":{"ops":[{"k":"col","index":0,"ty":"int64"},
+                                       {"k":"cmp_const","op":">","src":0,
+                                        "value":{"t":"i64","v":1}}],
+                                "outputs":[1,1],"out_tys":["bool","bool"]}}]}"#;
+        let err = deserialize_program(&Bytes::from(doc.as_bytes().to_vec())).unwrap_err();
+        assert!(err.to_string().contains("exactly one output"), "{err}");
+    }
+
+    #[test]
+    fn sort_desc_arity_mismatch_rejected() {
+        let p = program(
+            "select a from t order by a desc",
+            PhysicalOptions::default(),
+        );
+        let text = String::from_utf8(serialize_program(&p).to_vec()).unwrap();
+        let tampered = text.replace("\"desc\":[true]", "\"desc\":[true,false]");
+        assert_ne!(text, tampered, "tamper point not found");
+        let err = deserialize_program(&Bytes::from(tampered.into_bytes())).unwrap_err();
+        assert!(err.to_string().contains("desc flags"), "{err}");
+        let truncated = text.replace("\"desc\":[true]", "\"desc\":[]");
+        assert!(deserialize_program(&Bytes::from(truncated.into_bytes())).is_err());
     }
 
     #[test]

@@ -5,25 +5,33 @@
 //! This is the Wasm backend's interpreter. It consumes the *same lowered
 //! program* (and the same serialized artifact) as the vectorized register
 //! VM — the paper's portability claim §3.2: one compiled query, many
-//! runtimes — but registers hold `Vec<Row>` instead of column tensors,
-//! and every op is a scalar loop built from the row-engine primitives in
-//! `tqp-baseline` (`eval_expr`, `build_row_table`/`probe_row_table`,
-//! row aggregation). `SortMergeJoin` ops are honored with a hash
-//! build+probe: a scalar runtime has no vectorized `searchsorted`, and
-//! equi-join semantics are algorithm-independent.
+//! runtimes — but registers hold `Vec<Row>` instead of column tensors.
+//! Expressions arrive **compiled**: the v2 artifact carries flat
+//! [`ExprProgram`]s, and this VM walks those same flat ops row-at-a-time
+//! ([`crate::exprprog::eval_row`]) — filter conjuncts short-circuit
+//! per row through the program's conjunct cuts, `LIKE` patterns are
+//! already compiled, and `PREDICT` splice points are batch-prepared
+//! ([`crate::exprprog::prepare_model_applies`]) so the model still runs
+//! once per batch. Join/aggregate/sort *algorithms* stay the scalar
+//! row-engine primitives from `tqp-baseline`. `SortMergeJoin` ops are
+//! honored with a hash build+probe: a scalar runtime has no vectorized
+//! `searchsorted`, and equi-join semantics are algorithm-independent.
 
 use std::collections::HashMap;
 
 use tqp_baseline::{
-    agg as row_agg, build_row_table, eval::eval_expr, eval::prepare_predicts, probe_row_table,
-    rows_to_frame_with_schema, Row, RowJoinTable,
+    agg as row_agg, build_row_table, probe_row_table_with, rows_to_frame_with_schema, Row,
+    RowJoinTable,
 };
 use tqp_data::DataFrame;
-use tqp_ir::BoundExpr;
+use tqp_ir::expr::{AggCall, BoundExpr};
 use tqp_ml::ModelRegistry;
 use tqp_tensor::Scalar;
 
-use crate::program::{ProgOp, TensorProgram};
+use crate::exprprog::{
+    self, eval_row_conjuncts, eval_row_outputs, prepare_model_applies, ExprProgram,
+};
+use crate::program::{ProgOp, ReduceExprs, TensorProgram};
 
 /// A scalar-VM register: materialized rows (with their arity, which the
 /// rows themselves cannot carry once empty), or a scalar join table.
@@ -69,6 +77,20 @@ pub fn run_program_scalar(
     rows_to_frame_with_schema(rows, &prog.schema)
 }
 
+/// Evaluate a compiled residual over the combined `left ++ right` row
+/// (NULL = no match). Residuals never carry `PREDICT` (the row engine
+/// panics identically), so no batch preparation is needed here.
+fn residual_pass(residual: &ExprProgram) -> impl FnMut(&Row) -> bool + '_ {
+    // One scratch register file for the whole probe loop: sized on the
+    // first pair, overwritten in place for every subsequent pair.
+    let mut scratch = Vec::new();
+    let out = residual.outputs[0];
+    move |combined: &Row| {
+        exprprog::eval_row(residual, combined, &mut scratch);
+        matches!(scratch[out], Scalar::Bool(true))
+    }
+}
+
 fn exec_op(
     op: &ProgOp,
     regs: &[Option<RowValue>],
@@ -96,17 +118,22 @@ fn exec_op(
             }
         }
         ProgOp::Filter { src, conjuncts, .. } => {
-            let rows = reg_rows(*src).clone();
             let arity = regs[*src].as_ref().expect("register live").arity();
+            // Constant-false short-circuit: an empty scan, no evaluation.
+            if conjuncts.has_const_false_output() {
+                return RowValue::Rows {
+                    rows: Vec::new(),
+                    arity,
+                };
+            }
+            let rows = reg_rows(*src).clone();
             // PREDICT inside predicates: batch-prepare, then scalar loops.
-            let (rows, conjuncts) = prepare_predicts(rows, conjuncts, models);
+            let (rows, conjuncts) = prepare_model_applies(rows, conjuncts, models);
+            let cuts = conjuncts.output_cuts();
+            let mut scratch = Vec::new();
             let kept: Vec<Row> = rows
                 .into_iter()
-                .filter(|r| {
-                    conjuncts
-                        .iter()
-                        .all(|c| matches!(eval_expr(c, r), Scalar::Bool(true)))
-                })
+                .filter(|r| eval_row_conjuncts(&conjuncts, &cuts, r, &mut scratch))
                 .map(|mut r| {
                     r.truncate(arity);
                     r
@@ -116,13 +143,15 @@ fn exec_op(
         }
         ProgOp::Project { src, exprs, .. } => {
             let rows = reg_rows(*src).clone();
-            let (rows, exprs) = prepare_predicts(rows, exprs, models);
+            let (rows, exprs) = prepare_model_applies(rows, exprs, models);
+            let arity = exprs.outputs.len();
+            let mut scratch = Vec::new();
             RowValue::Rows {
                 rows: rows
                     .iter()
-                    .map(|r| exprs.iter().map(|e| eval_expr(e, r)).collect())
+                    .map(|r| eval_row_outputs(&exprs, r, &mut scratch))
                     .collect(),
-                arity: exprs.len(),
+                arity,
             }
         }
         ProgOp::HashBuild { src, keys, .. } => {
@@ -145,8 +174,17 @@ fn exec_op(
             let rrows = reg_rows(*right);
             let larity = regs[*left].as_ref().expect("register live").arity();
             let rarity = regs[*right].as_ref().expect("register live").arity();
+            let mut pass = residual.as_ref().map(residual_pass);
             RowValue::Rows {
-                rows: probe_row_table(t, lrows, rrows, rarity, *join_type, on, residual.as_ref()),
+                rows: probe_row_table_with(
+                    t,
+                    lrows,
+                    rrows,
+                    rarity,
+                    *join_type,
+                    on,
+                    pass.as_mut().map(|f| f as &mut dyn FnMut(&Row) -> bool),
+                ),
                 arity: join_output_arity(*join_type, larity, rarity),
             }
         }
@@ -166,8 +204,17 @@ fn exec_op(
             let rarity = regs[*right].as_ref().expect("register live").arity();
             let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
             let t = build_row_table(rrows, &rkeys);
+            let mut pass = residual.as_ref().map(residual_pass);
             RowValue::Rows {
-                rows: probe_row_table(&t, lrows, rrows, rarity, *join_type, on, residual.as_ref()),
+                rows: probe_row_table_with(
+                    &t,
+                    lrows,
+                    rrows,
+                    rarity,
+                    *join_type,
+                    on,
+                    pass.as_mut().map(|f| f as &mut dyn FnMut(&Row) -> bool),
+                ),
                 arity: join_output_arity(*join_type, larity, rarity),
             }
         }
@@ -186,45 +233,32 @@ fn exec_op(
                 + regs[*right].as_ref().expect("register live").arity();
             RowValue::Rows { rows: out, arity }
         }
-        ProgOp::GroupedReduce {
-            src,
-            group_by,
-            aggs,
-            ..
-        } => {
+        ProgOp::GroupedReduce { src, reduce, .. } => {
             let rows = reg_rows(*src).clone();
-            // PREDICT may sit inside group keys or aggregate arguments:
-            // batch-prepare them all, mirroring the row engine.
-            let mut exprs: Vec<BoundExpr> = group_by.clone();
-            for a in aggs {
-                if let Some(arg) = &a.arg {
-                    exprs.push(arg.clone());
-                }
-            }
-            let (rows, prepared) = prepare_predicts(rows, &exprs, models);
-            let group_by = prepared[..group_by.len()].to_vec();
-            let mut aggs = aggs.clone();
-            let mut k = group_by.len();
-            for a in &mut aggs {
-                if a.arg.is_some() {
-                    a.arg = Some(prepared[k].clone());
-                    k += 1;
-                }
-            }
-            let arity = group_by.len() + aggs.len();
             RowValue::Rows {
-                rows: row_agg::aggregate(rows, &group_by, &aggs),
-                arity,
+                rows: grouped_reduce_rows(rows, reduce, models),
+                arity: reduce.n_keys + reduce.aggs.len(),
             }
         }
-        ProgOp::Sort { src, keys, .. } => {
-            let mut rows = reg_rows(*src).clone();
-            rows.sort_by(|a, b| {
-                for k in keys {
-                    let va = eval_expr(&k.expr, a);
-                    let vb = eval_expr(&k.expr, b);
-                    let ord = va.cmp_sql(&vb);
-                    let ord = if k.desc { ord.reverse() } else { ord };
+        ProgOp::Sort {
+            src, keys, desc, ..
+        } => {
+            let rows = reg_rows(*src).clone();
+            // Evaluate the compiled key program once per row, then stable-
+            // sort on the cached key scalars (same comparator the tree
+            // walk used: SQL ordering, desc per key).
+            let mut scratch = Vec::new();
+            let mut keyed: Vec<(Vec<Scalar>, Row)> = rows
+                .into_iter()
+                .map(|r| {
+                    let k = eval_row_outputs(keys, &r, &mut scratch);
+                    (k, r)
+                })
+                .collect();
+            keyed.sort_by(|(ka, _), (kb, _)| {
+                for (i, d) in desc.iter().enumerate() {
+                    let ord = ka[i].cmp_sql(&kb[i]);
+                    let ord = if *d { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
                     }
@@ -232,7 +266,10 @@ fn exec_op(
                 std::cmp::Ordering::Equal
             });
             let arity = regs[*src].as_ref().expect("register live").arity();
-            RowValue::Rows { rows, arity }
+            RowValue::Rows {
+                rows: keyed.into_iter().map(|(_, r)| r).collect(),
+                arity,
+            }
         }
         ProgOp::Limit { src, n, .. } => {
             let mut rows = reg_rows(*src).clone();
@@ -241,6 +278,36 @@ fn exec_op(
             RowValue::Rows { rows, arity }
         }
     }
+}
+
+/// Run a `GroupedReduce` in row format: batch-prepare any `PREDICT`,
+/// evaluate the compiled key/argument bundle once per row, then hand the
+/// pre-evaluated columns to the row engine's aggregation (whose grouping,
+/// NULL-skipping, and DISTINCT semantics are unchanged).
+fn grouped_reduce_rows(rows: Vec<Row>, reduce: &ReduceExprs, models: &ModelRegistry) -> Vec<Row> {
+    let (rows, exprs) = prepare_model_applies(rows, &reduce.exprs, models);
+    let mut scratch = Vec::new();
+    let eval_rows: Vec<Row> = rows
+        .iter()
+        .map(|r| eval_row_outputs(&exprs, r, &mut scratch))
+        .collect();
+    // The evaluated rows are `[keys…, args…]`; aggregation consumes them
+    // through plain column references.
+    let group_by: Vec<BoundExpr> = (0..reduce.n_keys)
+        .map(|k| BoundExpr::col(k, exprs.out_tys[k]))
+        .collect();
+    let aggs: Vec<AggCall> = reduce
+        .aggs
+        .iter()
+        .map(|call| AggCall {
+            func: call.func,
+            arg: call
+                .arg
+                .map(|slot| BoundExpr::col(slot, exprs.out_tys[slot])),
+            ty: call.ty,
+        })
+        .collect();
+    row_agg::aggregate(eval_rows, &group_by, &aggs)
 }
 
 /// Output width of a join: Semi/Anti keep the left schema, Inner/Left
@@ -301,6 +368,15 @@ mod tests {
         );
         assert_eq!(out.column(0).get(0).as_i64(), 3);
         assert_eq!(out.column(1).get(0).as_f64(), 90.0);
+    }
+
+    #[test]
+    fn constant_false_filter_yields_no_rows() {
+        let out = run(
+            "select count(*) as c from t where 1 = 2",
+            PhysicalOptions::default(),
+        );
+        assert_eq!(out.column(0).get(0).as_i64(), 0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ use tqp_data::{DataFrame, LogicalType};
 use tqp_ir::physical::AggStrategy;
 use tqp_ir::plan::ColMeta;
 use tqp_ml::ModelRegistry;
-use tqp_profile::Profiler;
+use tqp_profile::{op_key, op_key_par, Profiler};
 use tqp_tensor::index::{arange, mask_to_indices};
 use tqp_tensor::sort::{argsort_multi, argsort_multi_par, Order, SortKey as TSortKey};
 use tqp_tensor::{DType, Tensor};
@@ -59,9 +59,9 @@ use tqp_tensor::{DType, Tensor};
 use crate::agg;
 use crate::batch::Batch;
 use crate::device::{kernel_count, DeviceMeter};
-use crate::expr::{eval, eval_mask};
+use crate::exprprog::{self, ExprProgram, FusedEval};
 use crate::join;
-use crate::program::{ProgOp, TensorProgram};
+use crate::program::{ProgOp, ReduceExprs, TensorProgram};
 use crate::{Device, ExecConfig, Storage};
 
 /// Minimum scanned rows before a pipeline segment is worth chunking.
@@ -151,23 +151,21 @@ impl Vm<'_> {
                         dst,
                         src,
                         strategy,
-                        group_by,
-                        aggs,
+                        reduce,
                     }) if *src == prog.ops[seg_end - 1].dst()
                         && uses[*src] == 1
-                        && agg::parallel_eligible(aggs) =>
+                        && agg::parallel_eligible(&reduce.aggs) =>
                     {
-                        Some((*dst, *strategy, group_by, aggs))
+                        Some((*dst, *strategy, reduce))
                     }
                     _ => None,
                 };
 
                 let scanned = self.exec_scan_op(i, &prog.ops[i], meter);
-                if let Some((dst, strategy, group_by, aggs)) = fused_agg {
+                if let Some((dst, strategy, reduce)) = fused_agg {
                     if scanned.nrows() >= agg::par_min_rows() {
-                        let out = self.exec_segment_agg_parallel(
-                            prog, i, seg_end, scanned, strategy, group_by, aggs,
-                        );
+                        let out = self
+                            .exec_segment_agg_parallel(prog, i, seg_end, scanned, strategy, reduce);
                         regs[dst] = Some(Value::Batch(out));
                         for k in i..=seg_end {
                             self.release(&mut regs, &prog.ops[k], &last_use, k, prog.output);
@@ -297,7 +295,7 @@ impl Vm<'_> {
                 .iter()
                 .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
             self.profiler.record(
-                &format!("{}@op{}[x{n_chunks}]", op.name(), start + 1 + k),
+                &op_key_par(&op.name(), start + 1 + k, n_chunks),
                 "relational",
                 start_us,
                 dur,
@@ -315,7 +313,6 @@ impl Vm<'_> {
     /// see [`crate::agg`]). Morsel geometry comes from
     /// [`agg::par_morsel_rows`], never from the worker count, so results
     /// are bit-identical at every `workers` setting.
-    #[allow(clippy::too_many_arguments)]
     fn exec_segment_agg_parallel(
         &self,
         prog: &TensorProgram,
@@ -323,8 +320,7 @@ impl Vm<'_> {
         chain_end: usize,
         scanned: Batch,
         strategy: AggStrategy,
-        group_by: &[tqp_ir::BoundExpr],
-        aggs: &[tqp_ir::expr::AggCall],
+        reduce: &ReduceExprs,
     ) -> Batch {
         let n = scanned.nrows();
         let morsel_rows = agg::par_morsel_rows();
@@ -344,7 +340,7 @@ impl Vm<'_> {
             let out = self.run_chain_morsel(prog, start, chain_end, morsel, &mut samples);
             let t0 = Instant::now();
             let rows = out.nrows() as u64;
-            let part = agg::partial_aggregate(&out, group_by, aggs, self.models);
+            let part = agg::partial_aggregate(&out, reduce, self.models);
             (part, samples, t0.elapsed().as_micros() as u64, rows)
         });
 
@@ -365,7 +361,7 @@ impl Vm<'_> {
                 .iter()
                 .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
             self.profiler.record(
-                &format!("{}@op{}[x{n_morsels}]", op.name(), start + 1 + k),
+                &op_key_par(&op.name(), start + 1 + k, n_morsels),
                 "relational",
                 start_us,
                 dur,
@@ -379,9 +375,9 @@ impl Vm<'_> {
             AggStrategy::Hash => agg::Strategy::Hash,
         };
         let t0 = Instant::now();
-        let out = agg::merge_partials(partials, group_by.len(), aggs, strat, self.workers);
+        let out = agg::merge_partials(partials, reduce.n_keys, &reduce.aggs, strat, self.workers);
         self.profiler.record(
-            &format!("{}@op{chain_end}[x{n_morsels}]", prog.ops[chain_end].name()),
+            &op_key_par(&prog.ops[chain_end].name(), chain_end, n_morsels),
             "relational",
             start_us,
             partial_us + t0.elapsed().as_micros() as u64,
@@ -400,40 +396,40 @@ impl Vm<'_> {
         }
     }
 
-    fn apply_filter(&self, conjuncts: &[tqp_ir::BoundExpr], input: Batch) -> Batch {
+    fn apply_filter(&self, conjuncts: &ExprProgram, input: Batch) -> Batch {
+        // A constant-false conjunct (folded at lowering) short-circuits to
+        // an empty scan: no expression evaluation, no mask allocation.
+        if conjuncts.has_const_false_output() {
+            return input.slice_rows(0, 0);
+        }
         if self.fused {
             return self.apply_filter_fused(conjuncts, input);
         }
-        // Eager: one mask per conjunct over the full input, AND-combined,
-        // one compaction.
-        let mut acc: Option<Tensor> = None;
-        for c in conjuncts {
-            let mask = eval_mask(c, &input, self.models);
-            acc = Some(match acc {
-                Some(prev) => tqp_tensor::ops::and(&prev, &mask),
-                None => mask,
-            });
-        }
-        match acc {
-            Some(mask) => input.take(&mask_to_indices(&mask)),
-            None => input,
-        }
+        // Eager: the compiled program evaluates every conjunct over the
+        // full input in one straight-line kernel pass (shared subterms
+        // once), AND-folds all masks + validity into one scratch buffer
+        // sized once per batch, and compacts once.
+        let mask = exprprog::eval_conjuncts_eager(conjuncts, &input, self.models);
+        input.take(&mask_to_indices(&mask))
     }
 
-    /// Adaptive fused filter: evaluate conjuncts sequentially, switching to
-    /// selection vectors (compact the batch, evaluate the rest on survivors)
-    /// as soon as the accumulated mask turns selective. Unselective prefixes
-    /// stay in mask-AND form to avoid gather costs — the dynamic fusion
-    /// decision a JIT makes with runtime feedback.
-    fn apply_filter_fused(&self, conjuncts: &[tqp_ir::BoundExpr], input: Batch) -> Batch {
+    /// Adaptive fused filter: step the compiled conjuncts one at a time,
+    /// switching to selection vectors (compact the batch, evaluate the
+    /// rest on survivors) as soon as the accumulated mask turns selective.
+    /// Unselective prefixes stay in mask-AND form to avoid gather costs —
+    /// the dynamic fusion decision a JIT makes with runtime feedback. The
+    /// expression registers compact alongside the batch, so subterms
+    /// shared across conjuncts stay computed-once.
+    fn apply_filter_fused(&self, conjuncts: &ExprProgram, input: Batch) -> Batch {
+        let mut ev = FusedEval::new(conjuncts);
         let mut acc: Option<Tensor> = None;
         let mut current = input;
         let mut compacted = false;
-        for c in conjuncts {
+        for _ in 0..conjuncts.outputs.len() {
             if current.nrows() == 0 {
                 return current;
             }
-            let mask = eval_mask(c, &current, self.models);
+            let mask = ev.step(&current, self.models);
             let mask = match acc.take() {
                 Some(prev) => tqp_tensor::ops::and(&prev, &mask),
                 None => mask,
@@ -442,7 +438,9 @@ impl Vm<'_> {
             if compacted || kept * 16 < current.nrows() {
                 // Very selective: compact now, stream the rest over the
                 // survivors (later LIKE-style conjuncts run on a fraction).
-                current = current.take(&mask_to_indices(&mask));
+                let idx = mask_to_indices(&mask);
+                current = current.take(&idx);
+                ev.compact(&idx);
                 compacted = true;
             } else {
                 acc = Some(mask);
@@ -454,11 +452,11 @@ impl Vm<'_> {
         }
     }
 
-    fn apply_project(&self, exprs: &[tqp_ir::BoundExpr], input: &Batch) -> Batch {
-        let mut columns = Vec::with_capacity(exprs.len());
-        let mut validity = Vec::with_capacity(exprs.len());
-        for e in exprs {
-            let (v, val) = eval(e, input, self.models);
+    fn apply_project(&self, exprs: &ExprProgram, input: &Batch) -> Batch {
+        let outs = exprprog::eval_all(exprs, input, self.models);
+        let mut columns = Vec::with_capacity(outs.len());
+        let mut validity = Vec::with_capacity(outs.len());
+        for (v, val) in outs {
             columns.push(v);
             validity.push(val);
         }
@@ -485,7 +483,7 @@ impl Vm<'_> {
         };
         let out = Batch::new(tensors);
         meter.op(kernel_count("Scan", 0), 0, out.nbytes());
-        self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+        self.span(&op_key(&op.name(), idx), start, t0, &out);
         out
     }
 
@@ -517,23 +515,25 @@ impl Vm<'_> {
                 let in_bytes = child.nbytes();
                 let out = self.apply_filter(conjuncts, child);
                 meter.op(
-                    kernel_count("Filter", conjuncts.len()),
+                    kernel_count("Filter", conjuncts.outputs.len()),
                     in_bytes,
                     out.nbytes(),
                 );
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
-            ProgOp::Project {
-                dst, src, exprs, ..
-            } => {
+            ProgOp::Project { dst, src, exprs } => {
                 let child = regs[*src].as_ref().expect("src register live").batch();
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
                 let in_bytes = child.nbytes();
                 let out = self.apply_project(exprs, child);
-                meter.op(kernel_count("Project", exprs.len()), in_bytes, out.nbytes());
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                meter.op(
+                    kernel_count("Project", exprs.outputs.len()),
+                    in_bytes,
+                    out.nbytes(),
+                );
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
             ProgOp::HashBuild { dst, src, keys } => {
@@ -553,7 +553,7 @@ impl Vm<'_> {
                     entries * 12,
                 );
                 self.profiler.record(
-                    &format!("{}@op{idx}", op.name()),
+                    &op_key(&op.name(), idx),
                     "relational",
                     start,
                     t0.elapsed().as_micros() as u64,
@@ -588,7 +588,7 @@ impl Vm<'_> {
                     if meter.is_enabled() { 1 } else { self.workers },
                 );
                 meter.op(kernel_count("HashProbe", on.len()), in_bytes, out.nbytes());
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
             ProgOp::SortMergeJoin {
@@ -607,7 +607,7 @@ impl Vm<'_> {
                 let out =
                     join::sort_merge_join(l, r, *join_type, on, residual.as_ref(), self.models);
                 meter.op(kernel_count("Join", on.len()), in_bytes, out.nbytes());
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
             ProgOp::CrossJoin { dst, left, right } => {
@@ -618,15 +618,14 @@ impl Vm<'_> {
                 let in_bytes = l.nbytes() + r.nbytes();
                 let out = join::cross_join(l, r);
                 meter.op(kernel_count("CrossJoin", 0), in_bytes, out.nbytes());
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
             ProgOp::GroupedReduce {
                 dst,
                 src,
                 strategy,
-                group_by,
-                aggs,
+                reduce,
             } => {
                 let child = regs[*src].as_ref().expect("src register live").batch();
                 let start = self.profiler.now_us();
@@ -640,31 +639,36 @@ impl Vm<'_> {
                 // worker-independent; the CPU path takes the partitioned
                 // parallel route when the input is large enough.
                 let out = if meter.is_enabled() {
-                    agg::aggregate(child, group_by, aggs, strat, self.models)
+                    agg::aggregate(child, reduce, strat, self.models)
                 } else {
-                    agg::aggregate_par(child, group_by, aggs, strat, self.models, self.workers)
+                    agg::aggregate_par(child, reduce, strat, self.models, self.workers)
                 };
                 meter.op(
-                    kernel_count("Aggregate", aggs.len()),
+                    kernel_count("Aggregate", reduce.aggs.len()),
                     in_bytes,
                     out.nbytes(),
                 );
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
-            ProgOp::Sort { dst, src, keys } => {
+            ProgOp::Sort {
+                dst,
+                src,
+                keys,
+                desc,
+            } => {
                 let child = regs[*src].as_ref().expect("src register live").batch();
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
                 let in_bytes = child.nbytes();
-                let tensor_keys: Vec<TSortKey> = keys
-                    .iter()
-                    .map(|k| {
-                        let (v, val) = eval(&k.expr, child, self.models);
+                let tensor_keys: Vec<TSortKey> = exprprog::eval_all(keys, child, self.models)
+                    .into_iter()
+                    .zip(desc)
+                    .map(|((v, val), &d)| {
                         assert!(val.is_none(), "NULL sort keys unsupported");
                         TSortKey {
                             values: v,
-                            order: if k.desc { Order::Desc } else { Order::Asc },
+                            order: if d { Order::Desc } else { Order::Asc },
                         }
                     })
                     .collect();
@@ -677,8 +681,12 @@ impl Vm<'_> {
                     argsort_multi_par(&tensor_keys, self.workers)
                 };
                 let out = child.take(&perm);
-                meter.op(kernel_count("Sort", keys.len()), in_bytes, out.nbytes());
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                meter.op(
+                    kernel_count("Sort", keys.outputs.len()),
+                    in_bytes,
+                    out.nbytes(),
+                );
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
             ProgOp::Limit { dst, src, n } => {
@@ -688,7 +696,7 @@ impl Vm<'_> {
                 let k = (*n).min(child.nrows());
                 let out = child.take(&arange(0, k as i64));
                 meter.op(kernel_count("Limit", 0), 0, out.nbytes());
-                self.span(&format!("{}@op{idx}", op.name()), start, t0, &out);
+                self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
         }

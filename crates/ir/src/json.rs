@@ -195,6 +195,52 @@ string_enum_codec!(
     ]
 );
 
+/// `ScalarFunc` ⇄ tag (string for parameter-less functions, object for
+/// `SUBSTRING`). Shared by the expression-tree codec below and the v2
+/// `ExprProgram` artifact codec in `tqp-exec`.
+pub fn scalar_func_to_json(f: ScalarFunc) -> Json {
+    match f {
+        ScalarFunc::ExtractYear => Json::str("extract_year"),
+        ScalarFunc::ExtractMonth => Json::str("extract_month"),
+        ScalarFunc::Abs => Json::str("abs"),
+        ScalarFunc::Substring { start, len } => Json::obj(vec![
+            ("name", Json::str("substring")),
+            ("start", Json::I64(start)),
+            ("len", Json::I64(len)),
+        ]),
+    }
+}
+
+/// Parse a `ScalarFunc` tag.
+pub fn scalar_func_from_json(j: &Json) -> R<ScalarFunc> {
+    if let Some(name) = j.as_str() {
+        return match name {
+            "extract_year" => Ok(ScalarFunc::ExtractYear),
+            "extract_month" => Ok(ScalarFunc::ExtractMonth),
+            "abs" => Ok(ScalarFunc::Abs),
+            other => bad(format!("unknown scalar function {other:?}")),
+        };
+    }
+    match j.field("name")?.as_str() {
+        Some("substring") => {
+            // SQL SUBSTRING is 1-based; the tensor kernel asserts it.
+            // Reject malformed parameters at load instead of defaulting
+            // to a start of 0 that panics mid-query.
+            let start = j.field("start")?.as_i64();
+            let len = j.field("len")?.as_i64();
+            match (start, len) {
+                (Some(start), Some(len)) if start >= 1 && len >= 0 => {
+                    Ok(ScalarFunc::Substring { start, len })
+                }
+                _ => bad(format!(
+                    "substring requires start >= 1 and len >= 0, got {start:?}/{len:?}"
+                )),
+            }
+        }
+        other => bad(format!("unknown scalar function {other:?}")),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Schema / helper structs
 // ---------------------------------------------------------------------
@@ -391,27 +437,12 @@ pub fn expr_to_json(e: &BoundExpr) -> Json {
             ("expr", expr_to_json(expr)),
             ("negated", Json::Bool(*negated)),
         ]),
-        BoundExpr::Func { func, args, ty } => {
-            let (name, extra) = match func {
-                ScalarFunc::ExtractYear => ("extract_year", None),
-                ScalarFunc::ExtractMonth => ("extract_month", None),
-                ScalarFunc::Substring { start, len } => (
-                    "substring",
-                    Some(Json::arr([Json::I64(*start), Json::I64(*len)])),
-                ),
-                ScalarFunc::Abs => ("abs", None),
-            };
-            let mut fields = vec![
-                ("k", Json::str("func")),
-                ("func", Json::str(name)),
-                ("args", exprs_to_json(args)),
-                ("ty", type_to_json(*ty)),
-            ];
-            if let Some(extra) = extra {
-                fields.push(("params", extra));
-            }
-            Json::obj(fields)
-        }
+        BoundExpr::Func { func, args, ty } => Json::obj(vec![
+            ("k", Json::str("func")),
+            ("func", scalar_func_to_json(*func)),
+            ("args", exprs_to_json(args)),
+            ("ty", type_to_json(*ty)),
+        ]),
         BoundExpr::Predict { model, args, ty } => Json::obj(vec![
             ("k", Json::str("predict")),
             ("model", Json::str(model.as_str())),
@@ -495,22 +526,32 @@ pub fn expr_from_json(j: &Json) -> R<BoundExpr> {
             negated: j.field("negated")?.as_bool().unwrap_or_default(),
         }),
         "func" => {
-            let args = exprs_from_json(j.field("args")?)?;
-            let ty = type_from_json(j.field("ty")?)?;
-            let func = match j.field("func")?.as_str() {
-                Some("extract_year") => ScalarFunc::ExtractYear,
-                Some("extract_month") => ScalarFunc::ExtractMonth,
-                Some("abs") => ScalarFunc::Abs,
-                Some("substring") => {
-                    let params = j.field("params")?;
-                    ScalarFunc::Substring {
-                        start: params.at(0).and_then(Json::as_i64).unwrap_or_default(),
-                        len: params.at(1).and_then(Json::as_i64).unwrap_or_default(),
+            // Legacy (pre-ExprProgram) plan JSON encoded SUBSTRING as the
+            // string tag "substring" with a sibling "params":[start,len]
+            // on the expression object. Plan JSON carries no version
+            // field, so keep accepting that shape.
+            let func = if j.field("func")?.as_str() == Some("substring") {
+                let params = j.field("params")?;
+                let start = params.at(0).and_then(Json::as_i64);
+                let len = params.at(1).and_then(Json::as_i64);
+                match (start, len) {
+                    (Some(start), Some(len)) if start >= 1 && len >= 0 => {
+                        ScalarFunc::Substring { start, len }
+                    }
+                    _ => {
+                        return bad(format!(
+                            "substring requires start >= 1 and len >= 0, got {start:?}/{len:?}"
+                        ))
                     }
                 }
-                other => return bad(format!("unknown scalar function {other:?}")),
+            } else {
+                scalar_func_from_json(j.field("func")?)?
             };
-            Ok(BoundExpr::Func { func, args, ty })
+            Ok(BoundExpr::Func {
+                func,
+                args: exprs_from_json(j.field("args")?)?,
+                ty: type_from_json(j.field("ty")?)?,
+            })
         }
         "predict" => Ok(BoundExpr::Predict {
             model: j.field("model")?.as_str().unwrap_or_default().to_string(),
@@ -733,6 +774,25 @@ pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
 mod tests {
     use super::*;
     use tqp_data::LogicalType as T;
+
+    /// Plan JSON is unversioned interchange: the legacy SUBSTRING shape
+    /// (string tag + sibling "params") must keep parsing.
+    #[test]
+    fn legacy_substring_plan_json_still_parses() {
+        let legacy = r#"{"k":"func","func":"substring","args":[{"k":"col","index":2,"ty":"str"}],"ty":"str","params":[3,5]}"#;
+        let e = expr_from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(
+            e,
+            BoundExpr::Func {
+                func: ScalarFunc::Substring { start: 3, len: 5 },
+                args: vec![BoundExpr::col(2, T::Str)],
+                ty: T::Str,
+            }
+        );
+        // The current encoding round-trips too.
+        let back = expr_from_json(&expr_to_json(&e)).unwrap();
+        assert_eq!(back, e);
+    }
 
     fn sample_exprs() -> Vec<BoundExpr> {
         use BoundExpr as E;

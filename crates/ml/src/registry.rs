@@ -41,6 +41,15 @@ impl ModelRegistry {
         self.models.get(&name.to_ascii_lowercase()).cloned()
     }
 
+    /// Look up a model that a compiled program splices in, panicking with
+    /// the canonical "not registered" message when missing. Every executor
+    /// (vectorized `ModelApply`, the scalar batch-prepare bridge, the row
+    /// baseline) resolves splice points through this one entry.
+    pub fn require(&self, name: &str) -> Arc<dyn Model> {
+        self.get(name)
+            .unwrap_or_else(|| panic!("model {name} not registered"))
+    }
+
     /// Registered model names (sorted).
     pub fn names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.models.keys().cloned().collect();

@@ -17,12 +17,29 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+/// Canonical span key for a program operator: `{name}@op{idx}` — spans are
+/// keyed by the op's **program index**, so the same logical operator
+/// appearing twice in a program aggregates separately. Every VM formats
+/// its span names through these helpers so trace consumers can rely on
+/// one scheme.
+pub fn op_key(name: &str, idx: usize) -> String {
+    format!("{name}@op{idx}")
+}
+
+/// Span key for a morsel-parallel operator execution: `{name}@op{idx}[xN]`
+/// where `N` is the number of morsels/chunks the op ran over.
+pub fn op_key_par(name: &str, idx: usize, chunks: usize) -> String {
+    format!("{name}@op{idx}[x{chunks}]")
+}
+
 /// One recorded operator span.
 #[derive(Debug, Clone)]
 pub struct Span {
-    /// Operator name (e.g. `Filter`, `SortMergeJoin(Inner)`).
+    /// Operator name (e.g. `Filter@op2`, `SortMergeJoin(Inner)@op5`; see
+    /// [`op_key`]).
     pub name: String,
-    /// Coarse category (`relational`, `ml`, `transfer`, `compile`).
+    /// Coarse category (`relational`, `ml`, `transfer`, `compile`,
+    /// `expr` for compiled-expression kernel loops).
     pub category: String,
     /// Start offset since profiler creation, microseconds.
     pub start_us: u64,

@@ -77,6 +77,44 @@ fn roundtripped_artifact_is_byte_identical_on_all_backends() {
     }
 }
 
+/// The v2 loader must reject a v1 (expression-tree) artifact with an
+/// error that names both versions and says what to do — not misparse it,
+/// and not fail with a generic decode error.
+#[test]
+fn v1_artifact_rejected_with_error_naming_both_versions() {
+    use tqp_repro::data::{Field, LogicalType, Schema};
+    use tqp_repro::exec::program::{ARTIFACT_FORMAT, ARTIFACT_VERSION};
+    use tqp_repro::ir::{compile_sql, Catalog, PhysicalOptions};
+
+    assert_eq!(ARTIFACT_VERSION, 2, "bump this test alongside the format");
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "t",
+        Schema::new(vec![Field::new("a", LogicalType::Int64)]),
+        10,
+    );
+    let plan = compile_sql(
+        "select a from t where a > 1",
+        &catalog,
+        &PhysicalOptions::default(),
+    )
+    .unwrap();
+    let artifact = serialize_program(&lower(&plan));
+    let v1 = String::from_utf8(artifact.to_vec())
+        .unwrap()
+        .replace("\"version\":2", "\"version\":1");
+    let err = deserialize_program(&bytes::Bytes::from(v1.into_bytes()))
+        .expect_err("a v1 artifact must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(ARTIFACT_FORMAT) || msg.contains("artifact"),
+        "{msg}"
+    );
+    assert!(msg.contains("version 1"), "error must name v1: {msg}");
+    assert!(msg.contains("version 2"), "error must name v2: {msg}");
+    assert!(msg.to_lowercase().contains("recompile"), "{msg}");
+}
+
 #[test]
 fn graph_backend_equals_eager_exactly() {
     // Graph = deserialize(artifact) + the same vectorized VM, so its
