@@ -18,6 +18,12 @@ pub fn eval_expr(e: &BoundExpr, row: &Row) -> Scalar {
         BoundExpr::OuterRef { .. } => {
             panic!("OuterRef survived decorrelation (optimizer bug)")
         }
+        BoundExpr::Param { index, .. } => {
+            panic!(
+                "unbound parameter ${} reached the row engine — bind values before execution",
+                index + 1
+            )
+        }
         BoundExpr::Literal { value, .. } => value.clone(),
         BoundExpr::Binary {
             op, left, right, ..

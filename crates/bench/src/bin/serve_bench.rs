@@ -1,0 +1,247 @@
+//! Serving-layer benchmark: prepared-statement cache speedup and
+//! concurrent-client scaling over one shared [`Server`].
+//!
+//! Writes `BENCH_serve.json` (format `tqp-bench-serve` v1):
+//!
+//! * **cached vs uncached QPS** — `uncached` re-enters the full compile
+//!   pipeline per request (parse → bind → optimize → lower), `cached`
+//!   prepares once and re-executes (parameter re-binding only) — the
+//!   compile-once/run-many split of the paper's §3.2 deployment story;
+//! * **concurrent-client throughput** — C ∈ {1, 2, 4} client threads
+//!   hammering one prepared statement through the shared worker pool,
+//!   with a bitwise digest cross-check: every client at every concurrency
+//!   level must observe byte-identical results.
+//!
+//! ```bash
+//! TQP_WORKERS=1,4 TQP_SF=0.05 cargo run --release -p tqp-bench --bin serve_bench
+//! ```
+//!
+//! `TQP_SERVE_ITERS` (default 40) sets the per-mode request count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tqp_bench::{scale_factor, tpch_session, worker_counts};
+use tqp_core::QueryConfig;
+use tqp_json::Json;
+use tqp_serve::Server;
+use tqp_tensor::Scalar;
+
+/// Benchmarked statements: a point lookup (compile cost dominates — the
+/// serving sweet spot), Q6's shape as a parameterized prepared statement
+/// (every placeholder on the `CompareConst` fast path, so the bound plan
+/// executes exactly like the literal one), and Q1's aggregation shape
+/// parameter-free.
+const STMTS: &[(&str, &str, usize)] = &[
+    (
+        "point",
+        "select c_custkey, c_acctbal from customer where c_custkey = $1",
+        1,
+    ),
+    (
+        "q6param",
+        "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+         where l_quantity < $1 and l_discount between $2 and $3",
+        3,
+    ),
+    (
+        "q1shape",
+        "select l_returnflag, l_linestatus, sum(l_quantity) as sq, \
+         sum(l_extendedprice * (1 - l_discount)) as disc, count(*) as c \
+         from lineitem group by l_returnflag, l_linestatus \
+         order by l_returnflag, l_linestatus",
+        0,
+    ),
+];
+
+/// Distinct parameter vectors cycled per request (period 4 — digests are
+/// checked against the same cycle).
+const PARAM_PERIOD: usize = 4;
+
+fn iters() -> usize {
+    std::env::var("TQP_SERVE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+fn params_for(n_params: usize, i: usize) -> Vec<Scalar> {
+    let j = (i % PARAM_PERIOD) as i64;
+    match n_params {
+        0 => vec![],
+        1 => vec![Scalar::I64(1 + j * 37)],
+        _ => vec![
+            Scalar::F64(20.0 + (j % 3) as f64 * 2.0),
+            Scalar::F64(0.04 + (j % 2) as f64 * 0.01),
+            Scalar::F64(0.06 + (j % 2) as f64 * 0.01),
+        ],
+    }
+}
+
+/// Splice the cycle's parameter values into the SQL as literals (what a
+/// cache-less server pays per request).
+fn literal_sql(sql: &str, params: &[Scalar]) -> String {
+    let mut text = sql.to_string();
+    // Highest index first so `$12` never partially matches `$1`.
+    for (k, p) in params.iter().enumerate().rev() {
+        let lit = match p {
+            Scalar::I64(v) => format!("{v}"),
+            other => format!("{:?}", other.as_f64()),
+        };
+        text = text.replace(&format!("${}", k + 1), &lit);
+    }
+    text
+}
+
+fn digest(frame: &tqp_data::DataFrame) -> u64 {
+    // FNV over the row debug text: cheap, order-sensitive, good enough to
+    // witness bitwise divergence.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..frame.nrows() {
+        for b in format!("{:?}", frame.row(i)).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let iters = iters();
+    let worker_counts = worker_counts();
+    println!(
+        "serve_bench: SF {}, {iters} iters, workers {:?}",
+        scale_factor(),
+        worker_counts
+    );
+
+    let mut results: Vec<Json> = Vec::new();
+    for &w in &worker_counts {
+        let cfg = QueryConfig::default().workers(w);
+        let srv = Arc::new(Server::new(tpch_session()));
+        println!("\n== workers = {w} ==");
+        println!(
+            "  {:<8} {:>14} {:>14} {:>9}",
+            "stmt", "uncached q/s", "cached q/s", "speedup"
+        );
+
+        for &(name, sql, n_params) in STMTS {
+            // Uncached: full compile pipeline per request. Parameterized
+            // statements get their values spliced as literals (what a
+            // cache-less server would have to do).
+            let session = srv.session();
+            let t0 = Instant::now();
+            for i in 0..iters {
+                let text = literal_sql(sql, &params_for(n_params, i));
+                let q = session.compile(&text, cfg).expect("compile");
+                q.run(&session).expect("run");
+            }
+            let uncached_us = t0.elapsed().as_micros() as u64;
+            drop(session);
+
+            // Cached: prepare once, execute many (re-binding only).
+            let prepared = srv.prepare(sql, cfg).expect("prepare");
+            let t0 = Instant::now();
+            for i in 0..iters {
+                srv.execute(&prepared, &params_for(n_params, i))
+                    .expect("execute");
+            }
+            let cached_us = t0.elapsed().as_micros() as u64;
+
+            let uncached_qps = iters as f64 / (uncached_us as f64 / 1e6);
+            let cached_qps = iters as f64 / (cached_us as f64 / 1e6);
+            println!(
+                "  {:<8} {:>14.1} {:>14.1} {:>8.2}x",
+                name,
+                uncached_qps,
+                cached_qps,
+                cached_qps / uncached_qps
+            );
+            results.push(Json::obj(vec![
+                ("kind", Json::str("cache")),
+                ("stmt", Json::str(name)),
+                ("workers", Json::I64(w as i64)),
+                ("iters", Json::I64(iters as i64)),
+                ("uncached_qps", Json::F64(uncached_qps)),
+                ("cached_qps", Json::F64(cached_qps)),
+                ("speedup", Json::F64(cached_qps / uncached_qps)),
+            ]));
+        }
+
+        // Concurrent-client scaling on the parameterized statements, with
+        // a bitwise parity guard across every concurrency level: every
+        // client at every client count must observe byte-identical
+        // results for the same parameter vector.
+        println!(
+            "\n  {:<8} {:>8} {:>14} {:>8}",
+            "stmt", "clients", "total q/s", "parity"
+        );
+        for &(name, sql, n_params) in &STMTS[..2] {
+            let prepared = srv.prepare(sql, cfg).expect("prepare");
+            let baseline: Vec<u64> = (0..PARAM_PERIOD)
+                .map(|i| digest(&srv.execute(&prepared, &params_for(n_params, i)).unwrap().0))
+                .collect();
+            for clients in [1usize, 2, 4] {
+                let per_client = iters.div_ceil(clients);
+                let mismatches = Arc::new(AtomicU64::new(0));
+                let t0 = Instant::now();
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        let srv = srv.clone();
+                        let prepared = prepared.clone();
+                        let baseline = baseline.clone();
+                        let mismatches = mismatches.clone();
+                        std::thread::spawn(move || {
+                            for i in 0..per_client {
+                                let (frame, _) =
+                                    srv.execute(&prepared, &params_for(n_params, i)).unwrap();
+                                if digest(&frame) != baseline[i % PARAM_PERIOD] {
+                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                let us = t0.elapsed().as_micros() as u64;
+                let total = (per_client * clients) as f64;
+                let qps = total / (us as f64 / 1e6);
+                let bad = mismatches.load(Ordering::Relaxed);
+                assert_eq!(bad, 0, "bitwise divergence under {clients} clients");
+                println!("  {:<8} {:>8} {:>14.1} {:>8}", name, clients, qps, "ok");
+                results.push(Json::obj(vec![
+                    ("kind", Json::str("concurrency")),
+                    ("stmt", Json::str(name)),
+                    ("workers", Json::I64(w as i64)),
+                    ("clients", Json::I64(clients as i64)),
+                    ("requests", Json::I64((per_client * clients) as i64)),
+                    ("qps", Json::F64(qps)),
+                    ("bitwise_identical", Json::Bool(true)),
+                ]));
+            }
+        }
+        let stats = srv.cache_stats();
+        println!(
+            "  cache: {} hits / {} misses, {} entries",
+            stats.hits, stats.misses, stats.entries
+        );
+    }
+
+    let n_records = results.len();
+    let doc = Json::obj(vec![
+        ("format", Json::str("tqp-bench-serve")),
+        ("version", Json::I64(1)),
+        ("scale_factor", Json::F64(scale_factor())),
+        ("iters", Json::I64(iters as i64)),
+        (
+            "pool_threads",
+            Json::I64(tqp_exec::sched::pool_threads() as i64),
+        ),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write("BENCH_serve.json", doc.to_string_pretty()).expect("write BENCH_serve.json");
+    println!("\n  wrote BENCH_serve.json ({n_records} records)");
+}

@@ -40,6 +40,7 @@ use tqp_ir::physical::PhysicalPlan;
 use tqp_ir::{compile_sql, Catalog, CompileError, PhysicalOptions};
 use tqp_ml::{Model, ModelRegistry};
 use tqp_profile::Profiler;
+use tqp_tensor::Scalar;
 
 /// Per-query configuration: physical strategies + backend + device.
 #[derive(Debug, Clone, Copy)]
@@ -96,11 +97,28 @@ impl QueryConfig {
     }
 }
 
-/// Errors surfaced by the façade.
+/// Errors surfaced by the façade. The compile/run split matters to
+/// serving layers: a [`TqpError::Compile`] means the SQL itself is bad
+/// (retrying is pointless — reject the statement), while a
+/// [`TqpError::Execution`] is a run-time condition of *this* session
+/// state (a table dropped between prepare and execute, unbound
+/// parameters, a missing model) that a later retry may well succeed on.
 #[derive(Debug)]
 pub enum TqpError {
+    /// Parse/bind failure: the statement can never run as written.
     Compile(CompileError),
+    /// The referenced table is not registered in the session.
     UnknownTable(String),
+    /// A run-time failure executing a successfully compiled query.
+    Execution(String),
+}
+
+impl TqpError {
+    /// True for errors a serving layer may retry after session state
+    /// changes; false for permanently-bad SQL.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TqpError::Execution(_) | TqpError::UnknownTable(_))
+    }
 }
 
 impl std::fmt::Display for TqpError {
@@ -108,6 +126,7 @@ impl std::fmt::Display for TqpError {
         match self {
             TqpError::Compile(e) => write!(f, "{e}"),
             TqpError::UnknownTable(t) => write!(f, "table {t} not registered"),
+            TqpError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
     }
 }
@@ -197,29 +216,33 @@ impl Session {
     /// Compile SQL into an executable query for the given configuration.
     pub fn compile(&self, sql: &str, cfg: QueryConfig) -> Result<CompiledQuery, TqpError> {
         let plan = compile_sql(sql, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
-        let exec_cfg = ExecConfig {
-            backend: cfg.backend,
-            device: cfg.device,
-            gpu_strategy: cfg.gpu_strategy,
-            workers: cfg.workers,
-        };
-        Ok(CompiledQuery {
-            executor: Executor::compile(&plan, exec_cfg),
+        let executor = Executor::compile(&plan, exec_config(cfg));
+        let pre = RunPreconditions::capture(executor.program(), &self.catalog);
+        Ok(CompiledQuery { executor, pre })
+    }
+
+    /// Prepare a statement: the full compile pipeline (parse → bind →
+    /// optimize → lower) runs **once**, and the result is shared behind an
+    /// `Arc` — a serving layer's statement cache hands the same compiled
+    /// program to every execution ([`PreparedQuery::ptr_eq`] is how tests
+    /// verify a cache hit skipped recompilation entirely). `$1..$n`
+    /// placeholders in the SQL become patchable constant slots; values are
+    /// bound per execution without re-entering the compiler.
+    pub fn prepare(&self, sql: &str, cfg: QueryConfig) -> Result<PreparedQuery, TqpError> {
+        let plan = compile_sql(sql, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
+        let executor = Executor::compile(&plan, exec_config(cfg));
+        let pre = RunPreconditions::capture(executor.program(), &self.catalog);
+        Ok(PreparedQuery {
+            inner: Arc::new(PreparedInner { cfg, executor, pre }),
         })
     }
 
     /// Compile a pre-built physical plan (the external/JSON plan frontend —
     /// how a Spark-produced plan enters TQP).
     pub fn compile_plan(&self, plan: &PhysicalPlan, cfg: QueryConfig) -> CompiledQuery {
-        let exec_cfg = ExecConfig {
-            backend: cfg.backend,
-            device: cfg.device,
-            gpu_strategy: cfg.gpu_strategy,
-            workers: cfg.workers,
-        };
-        CompiledQuery {
-            executor: Executor::compile(plan, exec_cfg),
-        }
+        let executor = Executor::compile(plan, exec_config(cfg));
+        let pre = RunPreconditions::capture(executor.program(), &self.catalog);
+        CompiledQuery { executor, pre }
     }
 
     /// One-shot convenience: compile + run on the default configuration.
@@ -238,15 +261,183 @@ impl Session {
     }
 }
 
+/// Translate the façade config into the executor's.
+fn exec_config(cfg: QueryConfig) -> ExecConfig {
+    ExecConfig {
+        backend: cfg.backend,
+        device: cfg.device,
+        gpu_strategy: cfg.gpu_strategy,
+        workers: cfg.workers,
+    }
+}
+
+/// Run-time preconditions of a compiled query, captured **once at compile
+/// time** so per-execution checking is two cheap slice walks (no program
+/// re-scan, no allocation on the cached hot path):
+///
+/// * every scanned table must be ingested in the executing session, and —
+///   when the compiling catalog knew the table — its schema must still
+///   match: a `register_table` replacement with different columns/types
+///   invalidates every compiled plan over it, including prepared handles
+///   a client kept across the replacement (compiled programs carry
+///   positional column indices, so running them against a reshaped table
+///   would read the wrong columns);
+/// * every `PREDICT` model must be registered;
+/// * parameterized programs must have values bound.
+///
+/// Violations are [`TqpError`] values (not panics) so a serving layer can
+/// classify and retry them.
+struct RunPreconditions {
+    /// Scanned tables with the schema they were compiled against (`None`
+    /// when the compiling catalog did not know the table — external
+    /// plans — which downgrades to a presence-only check).
+    tables: Vec<(String, Option<tqp_data::Schema>)>,
+    models: Vec<String>,
+    n_params: usize,
+}
+
+impl RunPreconditions {
+    fn capture(program: &tqp_exec::program::TensorProgram, catalog: &Catalog) -> RunPreconditions {
+        RunPreconditions {
+            tables: program
+                .tables()
+                .into_iter()
+                .map(|t| (t.to_string(), catalog.get(t).map(|m| m.schema.clone())))
+                .collect(),
+            models: program.model_names(),
+            n_params: program.n_params(),
+        }
+    }
+
+    /// Table/model checks against the executing session.
+    fn check_session(&self, session: &Session) -> Result<(), TqpError> {
+        for (table, compiled_schema) in &self.tables {
+            if !session.storage.contains_key(table) {
+                return Err(TqpError::Execution(format!(
+                    "table {table} is not ingested in this session"
+                )));
+            }
+            if let Some(expected) = compiled_schema {
+                match session.catalog.get(table) {
+                    Some(meta) if meta.schema == *expected => {}
+                    _ => {
+                        return Err(TqpError::Execution(format!(
+                            "table {table} was re-registered with a different schema since \
+                             this query was compiled — prepare it again"
+                        )))
+                    }
+                }
+            }
+        }
+        for model in &self.models {
+            if session.models.get(model).is_none() {
+                return Err(TqpError::Execution(format!(
+                    "model {model} is not registered in this session"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A prepared statement: compiled once, executable many times (optionally
+/// with per-execution parameter values). Cloning is an `Arc` clone — the
+/// compiled plan/program are shared, which is what a serving layer's
+/// statement cache relies on.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    inner: Arc<PreparedInner>,
+}
+
+struct PreparedInner {
+    cfg: QueryConfig,
+    /// Compiled executor holding the pristine (pre-binding) program.
+    executor: Executor,
+    /// Compile-time-captured run preconditions (cheap per-execution check).
+    pre: RunPreconditions,
+}
+
+impl PreparedQuery {
+    /// Number of `$n` parameter values each execution must supply.
+    pub fn n_params(&self) -> usize {
+        self.inner.pre.n_params
+    }
+
+    /// The configuration the statement was prepared under.
+    pub fn config(&self) -> QueryConfig {
+        self.inner.cfg
+    }
+
+    /// The compiled (pristine, pre-binding) tensor program.
+    pub fn program(&self) -> &tqp_exec::program::TensorProgram {
+        self.inner.executor.program()
+    }
+
+    /// The physical plan the statement compiled to.
+    pub fn plan(&self) -> &PhysicalPlan {
+        self.inner.executor.plan()
+    }
+
+    /// True when both handles share one compiled statement — the test
+    /// hook proving a cache hit did no parse/bind/lower work.
+    pub fn ptr_eq(&self, other: &PreparedQuery) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Execute with parameter values (empty slice for parameter-free
+    /// statements). Parameter-free executions run the cached executor
+    /// directly; parameterized ones clone the compiled program and patch
+    /// its constant slots — **never** re-entering the compiler.
+    pub fn execute(
+        &self,
+        session: &Session,
+        params: &[Scalar],
+    ) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+        let inner = &self.inner;
+        if params.len() != inner.pre.n_params {
+            return Err(TqpError::Execution(format!(
+                "query takes {} parameter(s), {} supplied",
+                inner.pre.n_params,
+                params.len()
+            )));
+        }
+        inner.pre.check_session(session)?;
+        if inner.pre.n_params == 0 {
+            return Ok(inner
+                .executor
+                .run(&session.storage, &session.models, &session.profiler));
+        }
+        let bound = inner
+            .executor
+            .program()
+            .bind_params(params)
+            .map_err(TqpError::Execution)?;
+        let ex = Executor::from_parts(inner.executor.plan().clone(), bound, exec_config(inner.cfg));
+        Ok(ex.run(&session.storage, &session.models, &session.profiler))
+    }
+}
+
 /// A compiled, configured, reusable query.
 pub struct CompiledQuery {
     executor: Executor,
+    /// Compile-time-captured run preconditions (cheap per-execution check).
+    pre: RunPreconditions,
 }
 
 impl CompiledQuery {
     /// Execute against the session. Returns the result frame and stats
-    /// (wall time; modeled device time on the simulated GPU).
+    /// (wall time; modeled device time on the simulated GPU). Run-time
+    /// preconditions (tables ingested, models registered, parameters
+    /// bound) surface as [`TqpError::Execution`] — distinguishable from
+    /// compile failures by serve-layer callers.
     pub fn run(&self, session: &Session) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+        self.pre.check_session(session)?;
+        if self.pre.n_params > 0 {
+            return Err(TqpError::Execution(format!(
+                "query takes {} parameter(s); prepare it and execute with values",
+                self.pre.n_params
+            )));
+        }
         Ok(self
             .executor
             .run(&session.storage, &session.models, &session.profiler))
@@ -372,6 +563,74 @@ mod tests {
         let q2 = s.compile_plan(&plan, QueryConfig::default());
         let (out, _) = q2.run(&s).unwrap();
         assert_eq!(out.nrows(), 3);
+    }
+
+    #[test]
+    fn compile_and_execution_errors_are_distinct() {
+        // Permanently-bad SQL → Compile (not retryable).
+        let s = session();
+        match s.sql("select definitely_not_a_column from t") {
+            Err(e @ TqpError::Compile(_)) => assert!(!e.is_retryable()),
+            other => panic!("expected a compile error, got {other:?}"),
+        }
+        // Valid SQL compiled against one session, run against another
+        // missing the table → Execution (retryable once the table shows
+        // up), not a panic and not a compile error.
+        let q = s
+            .compile("select id from t", QueryConfig::default())
+            .unwrap();
+        let empty = Session::new();
+        match q.run(&empty) {
+            Err(e @ TqpError::Execution(_)) => {
+                assert!(e.is_retryable());
+                assert!(e.to_string().contains("not ingested"), "{e}");
+            }
+            other => panic!("expected an execution error, got {:?}", other.map(|_| ())),
+        }
+        // Retry after registering the table succeeds.
+        let mut later = Session::new();
+        later.register_table(
+            "t",
+            df(vec![
+                ("id", Column::from_i64(vec![9])),
+                ("v", Column::from_f64(vec![1.0])),
+            ]),
+        );
+        assert_eq!(q.run(&later).unwrap().0.nrows(), 1);
+    }
+
+    #[test]
+    fn unbound_parameters_are_an_execution_error() {
+        let s = session();
+        let q = s
+            .compile("select id from t where v > $1", QueryConfig::default())
+            .unwrap();
+        match q.run(&s) {
+            Err(TqpError::Execution(msg)) => assert!(msg.contains("parameter"), "{msg}"),
+            other => panic!("expected execution error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn prepared_statements_bind_without_recompiling() {
+        let s = session();
+        let p = s
+            .prepare(
+                "select id from t where v > $1 order by id",
+                QueryConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(p.n_params(), 1);
+        let (out, _) = p.execute(&s, &[Scalar::F64(2.0)]).unwrap();
+        assert_eq!(out.nrows(), 2);
+        // Re-binding the same handle with a different value.
+        let (out, _) = p.execute(&s, &[Scalar::F64(3.0)]).unwrap();
+        assert_eq!(out.nrows(), 1);
+        // Wrong arity is an execution error.
+        assert!(matches!(p.execute(&s, &[]), Err(TqpError::Execution(_))));
+        // Clones share the compiled statement.
+        let p2 = p.clone();
+        assert!(p.ptr_eq(&p2));
     }
 
     #[test]

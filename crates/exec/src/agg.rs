@@ -165,26 +165,24 @@ pub fn map_morsels<T: Send>(
     workers: usize,
     f: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
-    let mut slots: Vec<Option<T>> = (0..n_morsels).map(|_| None).collect();
     let threads = workers.min(n_morsels).max(1);
     if threads <= 1 {
-        for (m, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(m));
-        }
-    } else {
-        let per_thread = n_morsels.div_ceil(threads);
-        rayon::scope(|s| {
-            for (b, block) in slots.chunks_mut(per_thread).enumerate() {
-                let f = &f;
-                s.spawn(move |_| {
-                    for (j, slot) in block.iter_mut().enumerate() {
-                        *slot = Some(f(b * per_thread + j));
-                    }
-                });
-            }
-        });
+        return (0..n_morsels).map(f).collect();
     }
-    slots.into_iter().flatten().collect()
+    // Same contiguous block geometry as the scoped-thread era, but the
+    // blocks are tasks on the shared pool scheduler (the process-wide
+    // morsel scheduler concurrent queries submit to) instead of freshly
+    // spawned threads. Block shape depends only on (n_morsels, workers),
+    // never on pool occupancy, so result order — and thus the partial
+    // merge order — is unchanged.
+    let per_thread = n_morsels.div_ceil(threads);
+    let n_blocks = n_morsels.div_ceil(per_thread);
+    let blocks: Vec<Vec<T>> = crate::sched::map_tasks(n_blocks, workers, |b| {
+        let lo = b * per_thread;
+        let hi = ((b + 1) * per_thread).min(n_morsels);
+        (lo..hi).map(&f).collect()
+    });
+    blocks.into_iter().flatten().collect()
 }
 
 fn aggregate_seq(

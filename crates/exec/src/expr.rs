@@ -46,6 +46,10 @@ pub fn eval(e: &BoundExpr, batch: &Batch, models: &ModelRegistry) -> Evaled {
             batch.validity[*index].clone(),
         ),
         BoundExpr::OuterRef { .. } => panic!("OuterRef survived decorrelation"),
+        BoundExpr::Param { index, .. } => panic!(
+            "unbound parameter ${} reached the tree interpreter — bind values first",
+            index + 1
+        ),
         BoundExpr::Literal { value, ty } => {
             assert!(
                 !value.is_null() || *ty == LogicalType::Int64,

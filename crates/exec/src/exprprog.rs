@@ -210,6 +210,23 @@ impl ExprOp {
     }
 }
 
+/// A prepared-statement parameter slot: a register whose defining op
+/// holds a patchable constant for `$index+1` — either a `LoadConst`
+/// (general uses) or a `CompareConst` (the `col <op> $n` scalar fast
+/// path, which binding must not demote to a broadcast tensor compare).
+/// Slots are deduplicated per (placeholder, use shape): a parameter
+/// reused in structurally identical positions shares one CSE'd register,
+/// so a single patch reaches every use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// 0-based parameter index (`$1` → 0).
+    pub index: usize,
+    /// Register whose defining op carries the patchable constant.
+    pub reg: EReg,
+    /// Compiled type of the slot — bound values are coerced onto it.
+    pub ty: LogicalType,
+}
+
 /// A compiled expression bundle: flat op list + one output register per
 /// source expression. `ops[r]` defines register `r`; ops only read smaller
 /// registers, so a single forward pass evaluates everything.
@@ -220,6 +237,9 @@ pub struct ExprProgram {
     pub outputs: Vec<EReg>,
     /// Result logical type of each output.
     pub out_tys: Vec<LogicalType>,
+    /// Prepared-statement parameter slots ([`ExprProgram::bind_params`]
+    /// patches them). Empty for parameter-free programs.
+    pub params: Vec<ParamSlot>,
 }
 
 impl ExprProgram {
@@ -263,6 +283,57 @@ impl ExprProgram {
         cuts
     }
 
+    /// Number of parameter values an execution must supply (highest
+    /// placeholder index referenced + 1); 0 for parameter-free programs.
+    pub fn n_params(&self) -> usize {
+        self.params.iter().map(|s| s.index + 1).max().unwrap_or(0)
+    }
+
+    /// Patch every parameter slot with its bound value (dtype-coerced onto
+    /// the slot's compiled type), consuming the slot list — the result is
+    /// an ordinary constant program. This is the re-binding fast path: no
+    /// parse/bind/lower work, just constant-slot stores into a clone of
+    /// the compiled program (re-binding always restarts from the pristine
+    /// cached program).
+    pub fn bind_params(&mut self, values: &[Scalar]) -> Result<(), String> {
+        for k in 0..self.params.len() {
+            let slot = self.params[k];
+            let v = values.get(slot.index).ok_or_else(|| {
+                format!(
+                    "parameter ${} has no bound value ({} supplied)",
+                    slot.index + 1,
+                    values.len()
+                )
+            })?;
+            let coerced = coerce_param(v, slot.ty, slot.index)?;
+            if coerced.is_null() && matches!(self.ops[slot.reg], ExprOp::CompareConst { .. }) {
+                // `col <op> NULL` is NULL for every row; the scalar fast
+                // path cannot broadcast a NULL, so the comparison becomes
+                // an all-NULL boolean constant (filters drop such rows —
+                // SQL three-valued logic).
+                self.ops[slot.reg] = ExprOp::LoadConst {
+                    value: Scalar::Null,
+                    ty: LogicalType::Bool,
+                };
+                continue;
+            }
+            match &mut self.ops[slot.reg] {
+                ExprOp::LoadConst { value, .. } | ExprOp::CompareConst { value, .. } => {
+                    *value = coerced
+                }
+                other => {
+                    return Err(format!(
+                        "param slot e{} is not a patchable constant (found {})",
+                        slot.reg,
+                        other.name()
+                    ))
+                }
+            }
+        }
+        self.params.clear();
+        Ok(())
+    }
+
     /// Assembly-style listing (EXPLAIN for expression programs).
     pub fn display(&self) -> String {
         let mut out = String::new();
@@ -288,6 +359,7 @@ pub fn compile_exprs(exprs: &[BoundExpr]) -> ExprProgram {
     let mut b = ExprBuilder {
         ops: Vec::new(),
         memo: HashMap::new(),
+        params: Vec::new(),
     };
     let mut outputs = Vec::with_capacity(exprs.len());
     let mut out_tys = Vec::with_capacity(exprs.len());
@@ -300,7 +372,38 @@ pub fn compile_exprs(exprs: &[BoundExpr]) -> ExprProgram {
         ops: b.ops,
         outputs,
         out_tys,
+        params: b.params,
     }
+}
+
+/// Coerce a bound parameter value onto the slot's compiled logical type.
+/// NULL binds to any type (the evaluators materialize a typed all-invalid
+/// register); integers widen to Float64; dates accept epoch-ns integers
+/// and `YYYY-MM-DD` strings.
+fn coerce_param(value: &Scalar, ty: LogicalType, index: usize) -> Result<Scalar, String> {
+    use LogicalType as T;
+    if value.is_null() {
+        return Ok(Scalar::Null);
+    }
+    let coerced = match (ty, value) {
+        (T::Int64, Scalar::I64(_)) => Some(value.clone()),
+        (T::Int64, Scalar::I32(v)) => Some(Scalar::I64(*v as i64)),
+        (T::Float64, Scalar::F64(_)) => Some(value.clone()),
+        (T::Float64, Scalar::F32(v)) => Some(Scalar::F64(*v as f64)),
+        (T::Float64, Scalar::I64(v)) => Some(Scalar::F64(*v as f64)),
+        (T::Float64, Scalar::I32(v)) => Some(Scalar::F64(*v as f64)),
+        (T::Bool, Scalar::Bool(_)) => Some(value.clone()),
+        (T::Str, Scalar::Str(_)) => Some(value.clone()),
+        (T::Date, Scalar::I64(_)) => Some(value.clone()),
+        (T::Date, Scalar::Str(s)) => tqp_data::dates::parse_to_ns(s).map(Scalar::I64),
+        _ => None,
+    };
+    coerced.ok_or_else(|| {
+        format!(
+            "cannot bind {value:?} to parameter ${} of type {ty:?}",
+            index + 1
+        )
+    })
 }
 
 /// Compile a single expression (join residuals, etc.).
@@ -312,6 +415,8 @@ struct ExprBuilder {
     ops: Vec<ExprOp>,
     /// Structural key → defining register (hash-consing / CSE).
     memo: HashMap<String, EReg>,
+    /// Patchable constant slots, one per distinct placeholder.
+    params: Vec<ParamSlot>,
 }
 
 impl ExprBuilder {
@@ -326,6 +431,25 @@ impl ExprBuilder {
         let r = self.ops.len();
         self.ops.push(op);
         self.memo.insert(key, r);
+        r
+    }
+
+    /// A `CompareConst` whose constant is a parameter slot. Keyed by
+    /// (placeholder, operator, operand register): identical parameter
+    /// comparisons share one op, distinct parameters never merge.
+    fn push_param_cmp(&mut self, op: BinOp, src: EReg, index: usize, ty: LogicalType) -> EReg {
+        let key = format!("paramcmp#{index}#{op:?}#{src}");
+        if let Some(&r) = self.memo.get(&key) {
+            return r;
+        }
+        let r = self.ops.len();
+        self.ops.push(ExprOp::CompareConst {
+            op,
+            src,
+            value: placeholder_value(ty),
+        });
+        self.memo.insert(key, r);
+        self.params.push(ParamSlot { index, reg: r, ty });
         r
     }
 
@@ -357,6 +481,29 @@ impl ExprBuilder {
                 *ty,
             ),
             BoundExpr::OuterRef { .. } => panic!("OuterRef survived decorrelation"),
+            BoundExpr::Param { index, ty } => {
+                // One patchable LoadConst per distinct placeholder. The
+                // memo key is the placeholder itself — NOT the op's debug
+                // form — so two different parameters never CSE together,
+                // while every use of the same parameter shares one slot
+                // (and one patch reaches all of them).
+                let key = format!("param#{index}");
+                if let Some(&r) = self.memo.get(&key) {
+                    return (r, *ty);
+                }
+                let r = self.ops.len();
+                self.ops.push(ExprOp::LoadConst {
+                    value: placeholder_value(*ty),
+                    ty: *ty,
+                });
+                self.memo.insert(key, r);
+                self.params.push(ParamSlot {
+                    index: *index,
+                    reg: r,
+                    ty: *ty,
+                });
+                (r, *ty)
+            }
             BoundExpr::Literal { value, ty } => (
                 self.push(ExprOp::LoadConst {
                     value: value.clone(),
@@ -369,6 +516,17 @@ impl ExprBuilder {
             } => {
                 let ty = e.ty();
                 if op.is_comparison() {
+                    // Parameter comparisons keep the scalar fast path: the
+                    // placeholder compiles into a patchable `CompareConst`
+                    // instead of demoting to a broadcast-tensor compare.
+                    if let BoundExpr::Param { index, ty: pty } = right.as_ref() {
+                        let (l, _) = self.lower(left);
+                        return (self.push_param_cmp(*op, l, *index, *pty), ty);
+                    }
+                    if let BoundExpr::Param { index, ty: pty } = left.as_ref() {
+                        let (r, _) = self.lower(right);
+                        return (self.push_param_cmp(flip_cmp(*op), r, *index, *pty), ty);
+                    }
                     // Normalize literal comparisons to `reg op const`.
                     if let BoundExpr::Literal { value, .. } = right.as_ref() {
                         if !value.is_null() {
@@ -510,6 +668,30 @@ impl ExprBuilder {
     }
 }
 
+/// True when a scalar's kind is what [`placeholder_value`] produces for
+/// the logical type (artifact-load validation of parameter slots).
+fn scalar_fits(value: &Scalar, ty: LogicalType) -> bool {
+    matches!(
+        (value, ty),
+        (Scalar::Bool(_), LogicalType::Bool)
+            | (Scalar::I64(_), LogicalType::Int64 | LogicalType::Date)
+            | (Scalar::F64(_), LogicalType::Float64)
+            | (Scalar::Str(_), LogicalType::Str)
+    )
+}
+
+/// Pre-binding placeholder value for a parameter slot. Executing an
+/// unbound program is guarded upstream (`tqp-core` refuses to run a
+/// program with `n_params() > 0` until values are bound).
+fn placeholder_value(ty: LogicalType) -> Scalar {
+    match ty {
+        LogicalType::Bool => Scalar::Bool(false),
+        LogicalType::Int64 | LogicalType::Date => Scalar::I64(0),
+        LogicalType::Float64 => Scalar::F64(0.0),
+        LogicalType::Str => Scalar::Str(String::new()),
+    }
+}
+
 fn flip_cmp(op: BinOp) -> BinOp {
     match op {
         BinOp::Lt => BinOp::Gt,
@@ -538,14 +720,12 @@ fn exec_vec_op(
             batch.validity[*index].clone(),
         ),
         ExprOp::LoadConst { value, ty } => {
-            assert!(
-                !value.is_null() || *ty == LogicalType::Int64,
-                "NULL literals are not materializable"
-            );
             if value.is_null() {
-                // Only reachable through IS NULL checks on literals.
+                // NULL constants (NULL literals, NULL-bound parameters):
+                // a typed all-invalid register — downstream ops merge the
+                // validity, so every row the constant touches is NULL.
                 return (
-                    Tensor::zeros(tqp_tensor::DType::I64, n),
+                    null_value_tensor(*ty, n),
                     Some(Tensor::from_bool(vec![false; n])),
                 );
             }
@@ -654,6 +834,20 @@ fn exec_vec_op(
                 })
                 .collect();
             (m.predict(&inputs), None)
+        }
+    }
+}
+
+/// Placeholder values for an all-invalid (NULL) constant register, typed
+/// so downstream kernels see the dtype they compiled against.
+fn null_value_tensor(ty: LogicalType, n: usize) -> Tensor {
+    match ty {
+        LogicalType::Bool => Tensor::from_bool(vec![false; n]),
+        LogicalType::Int64 | LogicalType::Date => Tensor::zeros(tqp_tensor::DType::I64, n),
+        LogicalType::Float64 => Tensor::zeros(tqp_tensor::DType::F64, n),
+        LogicalType::Str => {
+            let refs: Vec<&str> = vec![""; n];
+            Tensor::from_strings(&refs, 1)
         }
     }
 }
@@ -1032,6 +1226,9 @@ pub fn prepare_model_applies(
             outputs: args.iter().map(|&a| remap[a]).collect(),
             out_tys: args.iter().map(|&a| tys[a]).collect(),
             ops: pruned,
+            // Binding happens before execution, so any parameter slots in
+            // the prefix already hold their patched values.
+            params: Vec::new(),
         };
         let mut scratch = Vec::new();
         let mut arg_rows: Vec<Vec<Scalar>> = Vec::with_capacity(rows.len());
@@ -1160,7 +1357,7 @@ pub fn exprprog_to_json(prog: &ExprProgram) -> Json {
             ]),
         })
         .collect();
-    Json::obj(vec![
+    let mut fields = vec![
         ("ops", Json::Arr(ops)),
         ("outputs", regs(&prog.outputs)),
         (
@@ -1172,7 +1369,28 @@ pub fn exprprog_to_json(prog: &ExprProgram) -> Json {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    // Parameter slots ride in the artifact so a shipped prepared program
+    // stays re-bindable; omitted entirely for parameter-free programs
+    // (keeps pre-existing artifacts byte-stable).
+    if !prog.params.is_empty() {
+        fields.push((
+            "params",
+            Json::Arr(
+                prog.params
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("index", Json::I64(s.index as i64)),
+                            ("reg", Json::I64(s.reg as i64)),
+                            ("ty", irjson::type_to_json(s.ty)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// Decode error for expression programs.
@@ -1208,18 +1426,13 @@ pub fn exprprog_from_json(j: &Json) -> Result<ExprProgram, irjson::PlanJsonError
                 },
                 ty: irjson::type_from_json(oj.field("ty")?)?,
             },
-            "const" => {
-                let value = irjson::scalar_from_json(oj.field("value")?)?;
-                let ty = irjson::type_from_json(oj.field("ty")?)?;
-                // The binder only types NULL literals as Int64 (they are
-                // reachable solely through IS NULL checks); any other
-                // combination would panic the vectorized executor, so
-                // fail at load instead.
-                if value.is_null() && ty != LogicalType::Int64 {
-                    return bad(format!("NULL constant must be typed int64, got {ty:?}"));
-                }
-                ExprOp::LoadConst { value, ty }
-            }
+            "const" => ExprOp::LoadConst {
+                // NULL constants of any type are valid: the evaluators
+                // materialize a typed all-invalid register (NULL literals
+                // and NULL-bound parameters both land here).
+                value: irjson::scalar_from_json(oj.field("value")?)?,
+                ty: irjson::type_from_json(oj.field("ty")?)?,
+            },
             "bin" => ExprOp::Binary {
                 op: irjson::bin_op_from_json(oj.field("op")?)?,
                 lhs: reg_below(oj, "lhs", i)?,
@@ -1344,10 +1557,58 @@ pub fn exprprog_from_json(j: &Json) -> Result<ExprProgram, irjson::PlanJsonError
     if out_tys.len() != outputs.len() {
         return bad("expr outputs/out_tys length mismatch");
     }
+    // Optional parameter-slot table; every slot must point at a LoadConst
+    // (a mispointed slot would corrupt an arbitrary op at bind time).
+    let mut params = Vec::new();
+    if let Some(raw) = j.get("params") {
+        let arr = raw.as_arr().ok_or(irjson::PlanJsonError {
+            message: "expr params must be an array".into(),
+        })?;
+        for sj in arr {
+            let index = match sj.field("index")?.as_i64() {
+                Some(v) if v >= 0 => v as usize,
+                other => return bad(format!("bad param index {other:?}")),
+            };
+            let reg = reg_below(sj, "reg", ops.len())?;
+            let slot_ty = irjson::type_from_json(sj.field("ty")?)?;
+            // The slot's declared type must agree with the op it patches —
+            // otherwise a corrupt artifact defers type corruption from
+            // load time to bind time (a Str scalar stored into an
+            // Int64-typed constant would feed mistyped tensors to kernels
+            // compiled against i64).
+            match &ops[reg] {
+                ExprOp::LoadConst { ty, .. } if *ty == slot_ty => {}
+                ExprOp::CompareConst { value, .. } if scalar_fits(value, slot_ty) => {}
+                ExprOp::LoadConst { ty, .. } => {
+                    return bad(format!(
+                        "param slot e{reg} declares type {slot_ty:?} but patches a \
+                         {ty:?} constant"
+                    ))
+                }
+                ExprOp::CompareConst { .. } => {
+                    return bad(format!(
+                        "param slot e{reg} declares type {slot_ty:?} but the compare \
+                         constant holds a different scalar kind"
+                    ))
+                }
+                _ => {
+                    return bad(format!(
+                        "param slot e{reg} is not a patchable constant load/compare"
+                    ))
+                }
+            }
+            params.push(ParamSlot {
+                index,
+                reg,
+                ty: slot_ty,
+            });
+        }
+    }
     Ok(ExprProgram {
         ops,
         outputs,
         out_tys,
+        params,
     })
 }
 
@@ -1608,16 +1869,49 @@ mod tests {
     }
 
     #[test]
-    fn codec_rejects_non_int64_null_constants() {
-        // The binder only types NULL literals as Int64; any other typing
-        // would panic the vectorized executor, so the loader refuses it.
-        let text = r#"{"ops":[{"k":"const","value":{"t":"null"},"ty":"float64"}],
-                       "outputs":[0],"out_tys":["float64"]}"#;
+    fn codec_accepts_typed_null_constants() {
+        // NULL constants materialize as typed all-invalid registers
+        // (NULL-bound parameters need this for every logical type).
+        for ty in ["int64", "float64", "str", "bool", "date"] {
+            let text = format!(
+                r#"{{"ops":[{{"k":"const","value":{{"t":"null"}},"ty":"{ty}"}}],
+                     "outputs":[0],"out_tys":["{ty}"]}}"#
+            );
+            assert!(
+                exprprog_from_json(&Json::parse(&text).unwrap()).is_ok(),
+                "{ty}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_rejects_param_slot_type_mismatch() {
+        // A slot claiming Str over an Int64 constant would store a Str
+        // scalar into an i64-typed register at bind time; fail at load.
+        let text = r#"{"ops":[{"k":"const","value":{"t":"i64","v":0},"ty":"int64"}],
+                       "outputs":[0],"out_tys":["int64"],
+                       "params":[{"index":0,"reg":0,"ty":"str"}]}"#;
         let err = exprprog_from_json(&Json::parse(text).unwrap()).unwrap_err();
-        assert!(err.message.contains("NULL constant"), "{}", err.message);
-        let ok = r#"{"ops":[{"k":"const","value":{"t":"null"},"ty":"int64"}],
-                     "outputs":[0],"out_tys":["int64"]}"#;
+        assert!(err.message.contains("declares type"), "{}", err.message);
+        let ok = r#"{"ops":[{"k":"const","value":{"t":"i64","v":0},"ty":"int64"}],
+                     "outputs":[0],"out_tys":["int64"],
+                     "params":[{"index":0,"reg":0,"ty":"int64"}]}"#;
         assert!(exprprog_from_json(&Json::parse(ok).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn codec_rejects_mispointed_param_slots() {
+        // A slot must reference a patchable constant; anything else would
+        // let a bind call overwrite an arbitrary op.
+        let text = r#"{"ops":[{"k":"col","index":0,"ty":"int64"}],
+                       "outputs":[0],"out_tys":["int64"],
+                       "params":[{"index":0,"reg":0,"ty":"int64"}]}"#;
+        let err = exprprog_from_json(&Json::parse(text).unwrap()).unwrap_err();
+        assert!(
+            err.message.contains("patchable constant"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

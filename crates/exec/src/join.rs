@@ -188,45 +188,34 @@ pub fn build_table_par(build: &Batch, keys: &[usize], workers: usize) -> JoinTab
     let chunk = n.div_ceil(threads);
     /// One (key, row) vector per radix partition, per phase-1 worker.
     type RadixBins = Vec<Vec<(i64, u32)>>;
-    let mut bins: Vec<Option<RadixBins>> = (0..threads).map(|_| None).collect();
-    rayon::scope(|s| {
-        for (t, slot) in bins.iter_mut().enumerate() {
-            let rk = &rk;
-            s.spawn(move |_| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                let mut local: Vec<Vec<(i64, u32)>> = vec![Vec::new(); p];
-                for (i, &k) in rk[lo..hi].iter().enumerate() {
-                    local[radix_of(k, bits)].push((k, (lo + i) as u32));
-                }
-                *slot = Some(local);
-            });
+    let rk_ref = &rk;
+    let bins: Vec<RadixBins> = crate::sched::map_tasks(threads, workers, |t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        let mut local: Vec<Vec<(i64, u32)>> = vec![Vec::new(); p];
+        for (i, &k) in rk_ref[lo..hi].iter().enumerate() {
+            local[radix_of(k, bits)].push((k, (lo + i) as u32));
         }
+        local
     });
-    let bins: Vec<RadixBins> = bins.into_iter().flatten().collect();
 
     // Phase 2 — one map per partition, draining the workers' bins in
     // worker order. Worker ranges are contiguous and ascending, so each
     // key's bucket fills in exactly the sequential build's row order.
-    let mut parts: Vec<Option<HashMap<i64, Vec<u32>, FxBuild>>> = (0..p).map(|_| None).collect();
-    rayon::scope(|s| {
-        for (pi, slot) in parts.iter_mut().enumerate() {
-            let bins = &bins;
-            s.spawn(move |_| {
-                let cap: usize = bins.iter().map(|b| b[pi].len()).sum();
-                let mut map: HashMap<i64, Vec<u32>, FxBuild> =
-                    HashMap::with_capacity_and_hasher(cap * 2, FxBuild);
-                for b in bins {
-                    for &(k, i) in &b[pi] {
-                        map.entry(k).or_default().push(i);
-                    }
-                }
-                *slot = Some(map);
-            });
+    let bins_ref = &bins;
+    let parts: Vec<HashMap<i64, Vec<u32>, FxBuild>> = crate::sched::map_tasks(p, workers, |pi| {
+        let cap: usize = bins_ref.iter().map(|b| b[pi].len()).sum();
+        let mut map: HashMap<i64, Vec<u32>, FxBuild> =
+            HashMap::with_capacity_and_hasher(cap * 2, FxBuild);
+        for b in bins_ref {
+            for &(k, i) in &b[pi] {
+                map.entry(k).or_default().push(i);
+            }
         }
+        map
     });
     JoinTable {
-        parts: parts.into_iter().flatten().collect(),
+        parts,
         bits,
         hashed,
     }
@@ -418,21 +407,16 @@ fn probe_pairs(table: &JoinTable, lk: &[i64], workers: usize) -> (Tensor, Tensor
 
     let n_chunks = workers.min(lk.len() / PAR_PROBE_THRESHOLD).max(1);
     let chunk_len = lk.len().div_ceil(n_chunks);
-    let mut partials: Vec<Option<(Vec<i64>, Vec<i64>)>> = (0..n_chunks).map(|_| None).collect();
-    rayon::scope(|s| {
-        for (c, slot) in partials.iter_mut().enumerate() {
-            let base = c * chunk_len;
-            let chunk = &lk[base..((c + 1) * chunk_len).min(lk.len())];
-            let probe_chunk = &probe_chunk;
-            s.spawn(move |_| {
-                *slot = Some(probe_chunk(base, chunk));
-            });
-        }
+    let probe_chunk = &probe_chunk;
+    let partials: Vec<(Vec<i64>, Vec<i64>)> = crate::sched::map_tasks(n_chunks, workers, |c| {
+        let base = c * chunk_len;
+        let chunk = &lk[base..((c + 1) * chunk_len).min(lk.len())];
+        probe_chunk(base, chunk)
     });
-    let total: usize = partials.iter().flatten().map(|p| p.0.len()).sum();
+    let total: usize = partials.iter().map(|p| p.0.len()).sum();
     let mut li = Vec::with_capacity(total);
     let mut ri = Vec::with_capacity(total);
-    for part in partials.into_iter().flatten() {
+    for part in partials {
         li.extend(part.0);
         ri.extend(part.1);
     }

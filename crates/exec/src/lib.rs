@@ -50,6 +50,7 @@ pub mod graphvm;
 pub mod join;
 pub mod program;
 pub mod scalar;
+pub mod sched;
 pub mod viz;
 pub mod vm;
 
@@ -183,6 +184,28 @@ impl Executor {
         };
         Executor {
             plan: plan.clone(),
+            program,
+            cfg,
+            artifact,
+        }
+    }
+
+    /// Build an executor from an already-lowered program (the prepared-
+    /// statement path: the cached program is cloned and parameter-patched,
+    /// then wrapped here — no parse/bind/optimize/lower work). Graph/Wasm
+    /// re-serialize the artifact from the bound program so shipped
+    /// artifacts carry the bound constants.
+    pub fn from_parts(
+        plan: PhysicalPlan,
+        program: program::TensorProgram,
+        cfg: ExecConfig,
+    ) -> Executor {
+        let artifact = match cfg.backend {
+            Backend::Graph | Backend::Wasm => Some(program::serialize_program(&program)),
+            _ => None,
+        };
+        Executor {
+            plan,
             program,
             cfg,
             artifact,

@@ -269,6 +269,112 @@ pub struct TensorProgram {
 }
 
 impl TensorProgram {
+    /// Visit every compiled [`ExprProgram`] the program carries (filter
+    /// conjuncts, projections, join residuals, reduce bundles, sort keys).
+    pub fn for_each_exprprog(&self, mut f: impl FnMut(&ExprProgram)) {
+        for op in &self.ops {
+            match op {
+                ProgOp::Filter { conjuncts, .. } => f(conjuncts),
+                ProgOp::Project { exprs, .. } => f(exprs),
+                ProgOp::HashProbe { residual, .. } | ProgOp::SortMergeJoin { residual, .. } => {
+                    if let Some(r) = residual {
+                        f(r)
+                    }
+                }
+                ProgOp::GroupedReduce { reduce, .. } => f(&reduce.exprs),
+                ProgOp::Sort { keys, .. } => f(keys),
+                ProgOp::Scan { .. }
+                | ProgOp::HashBuild { .. }
+                | ProgOp::CrossJoin { .. }
+                | ProgOp::Limit { .. } => {}
+            }
+        }
+    }
+
+    /// Mutable variant of [`TensorProgram::for_each_exprprog`].
+    pub fn for_each_exprprog_mut(&mut self, mut f: impl FnMut(&mut ExprProgram)) {
+        for op in &mut self.ops {
+            match op {
+                ProgOp::Filter { conjuncts, .. } => f(conjuncts),
+                ProgOp::Project { exprs, .. } => f(exprs),
+                ProgOp::HashProbe { residual, .. } | ProgOp::SortMergeJoin { residual, .. } => {
+                    if let Some(r) = residual {
+                        f(r)
+                    }
+                }
+                ProgOp::GroupedReduce { reduce, .. } => f(&mut reduce.exprs),
+                ProgOp::Sort { keys, .. } => f(keys),
+                ProgOp::Scan { .. }
+                | ProgOp::HashBuild { .. }
+                | ProgOp::CrossJoin { .. }
+                | ProgOp::Limit { .. } => {}
+            }
+        }
+    }
+
+    /// Number of parameter values ([`$1..$n`] placeholders) an execution
+    /// must bind before this program may run; 0 for parameter-free queries.
+    pub fn n_params(&self) -> usize {
+        let mut n = 0;
+        self.for_each_exprprog(|p| n = n.max(p.n_params()));
+        n
+    }
+
+    /// Bind parameter values into a **clone** of the program by patching
+    /// the compiled `LoadConst` slots — the prepared-statement fast path:
+    /// no parse/bind/optimize/lower work happens here, so re-binding the
+    /// same compiled program with new values never recompiles anything.
+    pub fn bind_params(&self, values: &[Scalar]) -> Result<TensorProgram, String> {
+        let need = self.n_params();
+        if values.len() != need {
+            return Err(format!(
+                "query takes {need} parameter(s), {} supplied",
+                values.len()
+            ));
+        }
+        let mut bound = self.clone();
+        let mut err: Option<String> = None;
+        bound.for_each_exprprog_mut(|p| {
+            if err.is_none() {
+                if let Err(e) = p.bind_params(values) {
+                    err = Some(e);
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(bound),
+        }
+    }
+
+    /// Names of the stored tables the program scans (deduplicated).
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for op in &self.ops {
+            if let ProgOp::Scan { table, .. } = op {
+                if !out.contains(&table.as_str()) {
+                    out.push(table);
+                }
+            }
+        }
+        out
+    }
+
+    /// Names of the registered models the program invokes (deduplicated).
+    pub fn model_names(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        self.for_each_exprprog(|p| {
+            for op in &p.ops {
+                if let crate::exprprog::ExprOp::ModelApply { model, .. } = op {
+                    if !out.contains(model) {
+                        out.push(model.clone());
+                    }
+                }
+            }
+        });
+        out
+    }
+
     /// Multi-line assembly-style listing (EXPLAIN for programs). Ops that
     /// carry compiled expressions show their micro-op count.
     pub fn display(&self) -> String {

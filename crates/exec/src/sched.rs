@@ -1,0 +1,315 @@
+//! The **shared morsel scheduler** — one process-wide worker pool that
+//! every in-flight query submits its chunk tasks to.
+//!
+//! Before this module, each parallel section (`vm` pipeline segments,
+//! partitioned aggregation morsels, radix join build, chunked probe)
+//! spawned its own scoped OS threads: N concurrent queries at
+//! `workers = W` oversubscribed the host with up to `N × W` threads. Now
+//! a fixed pool of [`pool_threads`] workers serves *all* queries:
+//!
+//! * **Submission**: a parallel section enqueues one [`Section`] holding
+//!   its task closure and task count; idle pool workers pick sections up
+//!   and claim task indices from an atomic cursor.
+//! * **Admission cap**: a section admits at most `workers − 1` pool
+//!   helpers (its own caller is the `+ 1`), so a query configured with
+//!   `workers = W` never runs wider than `W` even when the pool is idle —
+//!   and N concurrent queries *share* the pool instead of multiplying it.
+//! * **Caller participation**: the submitting thread always executes
+//!   tasks from its own section. This guarantees progress with zero free
+//!   pool workers (and makes nested sections deadlock-free: a worker
+//!   running a task that opens an inner section drives that inner section
+//!   itself).
+//!
+//! **Determinism is untouched.** The scheduler only decides *which thread*
+//! runs task `i`; the task set, per-task inputs, and result order are
+//! fixed by the caller (results land in per-index slots). Every
+//! determinism contract from the per-query era — fixed morsel geometry,
+//! partial merges in morsel order, stable sort merges — holds verbatim at
+//! any pool width, which `tests/serve_concurrency.rs` asserts under
+//! genuinely concurrent load.
+//!
+//! Pool size defaults to [`crate::default_workers`] and can be pinned
+//! with `TQP_POOL_THREADS` (read once per process).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Number of shared pool worker threads (`TQP_POOL_THREADS` override,
+/// read once; defaults to [`crate::default_workers`]).
+pub fn pool_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("TQP_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(crate::default_workers)
+            .max(1)
+    })
+}
+
+type TaskFn = dyn Fn(usize) + Sync;
+
+/// One submitted parallel section: a task closure plus claim/completion
+/// state. The closure pointer is lifetime-erased; it stays valid because
+/// [`run_scope`] does not return until every task completed, and no task
+/// index is claimed after the cursor passes `total`.
+struct Section {
+    task: *const TaskFn,
+    total: usize,
+    /// Next unclaimed task index (may overshoot `total`).
+    next: AtomicUsize,
+    /// Pool helpers currently inside this section.
+    helpers: AtomicUsize,
+    /// Admission cap on pool helpers (`workers − 1`; the caller is the
+    /// remaining executor).
+    helpers_cap: usize,
+    panicked: AtomicBool,
+    /// Completed task count, guarded for the completion wait.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+// SAFETY: the erased closure is `Sync` (bound enforced by `run_scope`'s
+// signature) and outlives the section (see `Section` docs); the remaining
+// fields are ordinary sync primitives.
+unsafe impl Send for Section {}
+unsafe impl Sync for Section {}
+
+struct Pool {
+    /// Sections with potentially unclaimed tasks.
+    queue: Mutex<Vec<Arc<Section>>>,
+    work_cv: Condvar,
+    /// Tasks executed by pool helpers (not section callers) — observability
+    /// for benches/tests that the pool is actually shared.
+    helper_tasks: AtomicU64,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static START: std::sync::Once = std::sync::Once::new();
+    let p = POOL.get_or_init(|| Pool {
+        queue: Mutex::new(Vec::new()),
+        work_cv: Condvar::new(),
+        helper_tasks: AtomicU64::new(0),
+    });
+    START.call_once(|| {
+        for i in 0..pool_threads() {
+            std::thread::Builder::new()
+                .name(format!("tqp-pool-{i}"))
+                .spawn(move || worker_loop(p))
+                .expect("spawn pool worker");
+        }
+    });
+    p
+}
+
+/// Total tasks executed by pool helpers since process start.
+pub fn helper_task_count() -> u64 {
+    pool().helper_tasks.load(Ordering::Relaxed)
+}
+
+fn worker_loop(p: &'static Pool) {
+    loop {
+        let section: Arc<Section> = {
+            let mut q = p.queue.lock().unwrap();
+            loop {
+                if let Some(s) = q.iter().find(|s| {
+                    s.helpers.load(Ordering::Relaxed) < s.helpers_cap
+                        && s.next.load(Ordering::Relaxed) < s.total
+                }) {
+                    // Claimed under the queue lock so the admission cap
+                    // cannot be overshot by racing workers.
+                    s.helpers.fetch_add(1, Ordering::Relaxed);
+                    break s.clone();
+                }
+                q = p.work_cv.wait(q).unwrap();
+            }
+        };
+        let ran = run_tasks(&section);
+        p.helper_tasks.fetch_add(ran, Ordering::Relaxed);
+        section.helpers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Claim-and-run loop shared by pool helpers and section callers. Returns
+/// the number of tasks this thread executed.
+fn run_tasks(s: &Section) -> u64 {
+    let mut ran = 0;
+    loop {
+        let i = s.next.fetch_add(1, Ordering::Relaxed);
+        if i >= s.total {
+            break;
+        }
+        // SAFETY: the closure pointer is dereferenced only under a claimed
+        // index `i < total`. A claimed-but-unfinished task keeps
+        // `done < total`, which keeps `run_scope` (and therefore the
+        // caller's closure borrow) alive until this task completes — a
+        // helper that arrives after all tasks were claimed breaks out
+        // above without ever touching the pointer.
+        let f = unsafe { &*s.task };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            s.panicked.store(true, Ordering::Relaxed);
+        }
+        ran += 1;
+        let mut done = s.done.lock().unwrap();
+        *done += 1;
+        if *done == s.total {
+            s.done_cv.notify_all();
+        }
+    }
+    ran
+}
+
+/// Run `f(0..n_tasks)` on the shared pool with at most `workers`
+/// concurrent executors (the calling thread included), returning when all
+/// tasks completed. `workers <= 1` (or a single task) runs inline.
+pub fn run_scope(n_tasks: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n_tasks == 0 {
+        return;
+    }
+    let helpers_cap = workers.max(1).min(n_tasks).saturating_sub(1);
+    if helpers_cap == 0 {
+        for i in 0..n_tasks {
+            f(i);
+        }
+        return;
+    }
+    let p = pool();
+    // SAFETY: erase the borrow's lifetime; `run_scope` does not return
+    // until every task completed, so the closure outlives all uses.
+    let task: *const TaskFn = unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const TaskFn>(
+            f as *const (dyn Fn(usize) + Sync),
+        )
+    };
+    let section = Arc::new(Section {
+        task,
+        total: n_tasks,
+        next: AtomicUsize::new(0),
+        helpers: AtomicUsize::new(0),
+        helpers_cap,
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(0),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = p.queue.lock().unwrap();
+        q.push(section.clone());
+    }
+    p.work_cv.notify_all();
+
+    // The caller drives its own section: claim tasks until none are left,
+    // then wait for helpers to finish their in-flight ones.
+    run_tasks(&section);
+    let mut done = section.done.lock().unwrap();
+    while *done < section.total {
+        done = section.done_cv.wait(done).unwrap();
+    }
+    drop(done);
+    {
+        let mut q = p.queue.lock().unwrap();
+        q.retain(|s| !Arc::ptr_eq(s, &section));
+    }
+    // A freed admission slot may unblock workers parked on other sections.
+    p.work_cv.notify_all();
+    if section.panicked.load(Ordering::Relaxed) {
+        panic!("task panicked in shared-pool section");
+    }
+}
+
+/// Run `f` for every index in `0..n`, collecting results **in index
+/// order** (the scheduling-only contract: which thread runs an index never
+/// affects the output). At most `workers` threads execute concurrently.
+pub fn map_tasks<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if workers.max(1).min(n) <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_scope(n, workers, &|i| {
+        *slots[i].lock().unwrap() = Some(f(i));
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("task completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_tasks_preserves_index_order() {
+        let out = map_tasks(100, 4, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_when_one_worker() {
+        // workers = 1 must not touch the pool at all (inline execution).
+        let out = map_tasks(10, 1, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_sections_share_the_pool() {
+        // Many sections submitted from many threads at once: all complete,
+        // all results ordered.
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for round in 0..20 {
+                        let out = map_tasks(16, 4, |i| t * 1000 + round * 16 + i);
+                        for (i, v) in out.iter().enumerate() {
+                            assert_eq!(*v, t * 1000 + round * 16 + i);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn admission_cap_bounds_section_width() {
+        // With workers = 2, at most 2 threads (caller + 1 helper) may be
+        // inside the section at any instant.
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_scope(32, 2, &|_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "{:?}", peak);
+    }
+
+    #[test]
+    fn nested_sections_make_progress() {
+        // A task that opens an inner section must not deadlock even when
+        // every pool worker is busy.
+        let out = map_tasks(4, 4, |i| {
+            let inner = map_tasks(4, 4, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared-pool section")]
+    fn task_panics_propagate_to_the_caller() {
+        run_scope(8, 4, &|i| {
+            if i == 5 {
+                panic!("boom");
+            }
+        });
+    }
+}

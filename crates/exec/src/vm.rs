@@ -260,27 +260,26 @@ impl Vm<'_> {
         let chain_len = end - start - 1;
         let start_us = self.profiler.now_us();
 
-        let mut results: Vec<Option<(Batch, Vec<Vec<OpSample>>)>> =
-            (0..n_chunks).map(|_| None).collect();
+        // Chunk tasks go to the shared pool scheduler: at most
+        // `self.workers` threads execute them (caller included), and
+        // concurrent queries share the same pool instead of spawning
+        // their own threads.
         let scanned = &scanned;
-        rayon::scope(|s| {
-            for (c, slot) in results.iter_mut().enumerate() {
+        let results: Vec<(Batch, Vec<Vec<OpSample>>)> =
+            crate::sched::map_tasks(n_chunks, self.workers, |c| {
                 let lo = c * chunk_len;
                 let hi = ((c + 1) * chunk_len).min(n);
-                s.spawn(move |_| {
-                    // Slice inside the worker so morsel materialization is
-                    // itself parallel, not a sequential prefix.
-                    let morsel = scanned.slice_rows(lo, hi);
-                    let mut samples: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
-                    let out = self.run_chain_morsel(prog, start, end, morsel, &mut samples);
-                    *slot = Some((out, samples));
-                });
-            }
-        });
+                // Slice inside the worker so morsel materialization is
+                // itself parallel, not a sequential prefix.
+                let morsel = scanned.slice_rows(lo, hi);
+                let mut samples: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
+                let out = self.run_chain_morsel(prog, start, end, morsel, &mut samples);
+                (out, samples)
+            });
 
         let mut parts = Vec::with_capacity(n_chunks);
         let mut merged: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
-        for r in results.into_iter().flatten() {
+        for r in results {
             parts.push(r.0);
             for (k, s) in r.1.into_iter().enumerate() {
                 merged[k].extend(s);

@@ -54,6 +54,7 @@ pub fn bind_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     let mut binder = Binder {
         catalog,
         ctes: HashMap::new(),
+        params: HashMap::new(),
     };
     binder.query(query, None)
 }
@@ -62,6 +63,10 @@ struct Binder<'a> {
     catalog: &'a Catalog,
     /// CTE name → bound plan (cloned per reference).
     ctes: HashMap<String, LogicalPlan>,
+    /// Inferred type per `$n` placeholder (0-based index). A placeholder's
+    /// type comes from the first comparison/arithmetic context it appears
+    /// in; later occurrences must agree.
+    params: HashMap<usize, LogicalType>,
 }
 
 /// Name-resolution scope: the current FROM schema plus at most one outer
@@ -507,9 +512,27 @@ impl<'a> Binder<'a> {
         match ast {
             Ast::Column { table, name } => scope.resolve(table.as_deref(), name),
             Ast::Literal(lit) => bind_literal(lit),
+            Ast::Param(n) => self.bind_param(*n, None),
             Ast::Binary { op, left, right } => {
-                let l = self.bind_expr(left, scope)?;
-                let r = self.bind_expr(right, scope)?;
+                // A placeholder's type is inferred from the other operand
+                // (`l_quantity < $1` types $1 from the column). Two bare
+                // placeholders cannot type each other.
+                let (l, r) = match (left.as_ref(), right.as_ref()) {
+                    (Ast::Param(n), rhs) if !matches!(rhs, Ast::Param(_)) => {
+                        let r = self.bind_expr(rhs, scope)?;
+                        (self.bind_param(*n, Some(r.ty()))?, r)
+                    }
+                    (lhs, Ast::Param(n)) if !matches!(lhs, Ast::Param(_)) => {
+                        let l = self.bind_expr(lhs, scope)?;
+                        let p = self.bind_param(*n, Some(l.ty()))?;
+                        (l, p)
+                    }
+                    _ => {
+                        let l = self.bind_expr(left, scope)?;
+                        let r = self.bind_expr(right, scope)?;
+                        (l, r)
+                    }
+                };
                 self.bind_binary(BinOp::from_ast(*op), l, r)
             }
             Ast::Neg(e) => {
@@ -608,6 +631,33 @@ impl<'a> Binder<'a> {
                 negated,
             } => {
                 let e = self.bind_expr(expr, scope)?;
+                if list.iter().any(|i| matches!(i, Ast::Param(_))) {
+                    // Placeholders in an IN list desugar to an OR chain so
+                    // each one gets its own patchable constant slot.
+                    let mut acc: Option<BoundExpr> = None;
+                    for item in list {
+                        let b = match item {
+                            Ast::Param(n) => self.bind_param(*n, Some(e.ty()))?,
+                            other => self.bind_expr(other, scope)?,
+                        };
+                        let eq = self.bind_binary(BinOp::Eq, e.clone(), b)?;
+                        acc = Some(match acc {
+                            Some(a) => BoundExpr::Binary {
+                                op: BinOp::Or,
+                                left: Box::new(a),
+                                right: Box::new(eq),
+                                ty: LogicalType::Bool,
+                            },
+                            None => eq,
+                        });
+                    }
+                    let out = acc.ok_or_else(|| BindError::new("IN list must not be empty"))?;
+                    return Ok(if *negated {
+                        BoundExpr::Not(Box::new(out))
+                    } else {
+                        out
+                    });
+                }
                 let mut scalars = Vec::with_capacity(list.len());
                 for item in list {
                     let b = self.bind_expr(item, scope)?;
@@ -633,9 +683,16 @@ impl<'a> Binder<'a> {
                 negated,
             } => {
                 // Desugar to (e >= low AND e <= high), negated → NOT(...).
+                // The tested expression types any placeholder bound.
                 let e = self.bind_expr(expr, scope)?;
-                let lo = self.bind_expr(low, scope)?;
-                let hi = self.bind_expr(high, scope)?;
+                let lo = match low.as_ref() {
+                    Ast::Param(n) => self.bind_param(*n, Some(e.ty()))?,
+                    other => self.bind_expr(other, scope)?,
+                };
+                let hi = match high.as_ref() {
+                    Ast::Param(n) => self.bind_param(*n, Some(e.ty()))?,
+                    other => self.bind_expr(other, scope)?,
+                };
                 let ge = self.bind_binary(BinOp::GtEq, e.clone(), lo)?;
                 let le = self.bind_binary(BinOp::LtEq, e, hi)?;
                 let both = BoundExpr::Binary {
@@ -726,6 +783,33 @@ impl<'a> Binder<'a> {
     /// only the immediately enclosing scope (sufficient for TPC-H).
     fn subquery_plan(&mut self, q: &Query, scope: &Scope<'_>) -> Result<LogicalPlan> {
         self.query(q, Some(scope.cols))
+    }
+
+    /// Bind a `$n` placeholder (1-based in SQL, 0-based in the IR). The
+    /// type comes from the surrounding comparison/arithmetic context
+    /// (`hint`); a placeholder with no typed context is an error, and all
+    /// occurrences of the same placeholder must agree on one type.
+    fn bind_param(&mut self, n: usize, hint: Option<LogicalType>) -> Result<BoundExpr> {
+        let index = n
+            .checked_sub(1)
+            .ok_or_else(|| BindError::new("parameter placeholders are 1-based"))?;
+        let ty = match (self.params.get(&index).copied(), hint) {
+            (Some(known), Some(h)) if known != h => {
+                return Err(BindError::new(format!(
+                    "parameter ${n} used as {known:?} and as {h:?} — one type per placeholder"
+                )));
+            }
+            (Some(known), _) => known,
+            (None, Some(h)) => h,
+            (None, None) => {
+                return Err(BindError::new(format!(
+                    "cannot infer the type of parameter ${n}: use it against a typed \
+                     operand (e.g. a column comparison)"
+                )));
+            }
+        };
+        self.params.insert(index, ty);
+        Ok(BoundExpr::Param { index, ty })
     }
 
     fn bind_binary(&mut self, op: BinOp, l: BoundExpr, r: BoundExpr) -> Result<BoundExpr> {
@@ -956,10 +1040,29 @@ impl<'a> Binder<'a> {
         }
         match ast {
             Ast::Binary { op, left, right } => {
-                let l = self.bind_post_agg(left, group_asts, agg_asts, agg_schema, outer)?;
-                let r = self.bind_post_agg(right, group_asts, agg_asts, agg_schema, outer)?;
+                // Same placeholder typing rule as `bind_expr` — `HAVING
+                // sum(x) > $1` types $1 from the aggregate.
+                let (l, r) = match (left.as_ref(), right.as_ref()) {
+                    (Ast::Param(n), rhs) if !matches!(rhs, Ast::Param(_)) => {
+                        let r = self.bind_post_agg(rhs, group_asts, agg_asts, agg_schema, outer)?;
+                        (self.bind_param(*n, Some(r.ty()))?, r)
+                    }
+                    (lhs, Ast::Param(n)) if !matches!(lhs, Ast::Param(_)) => {
+                        let l = self.bind_post_agg(lhs, group_asts, agg_asts, agg_schema, outer)?;
+                        let p = self.bind_param(*n, Some(l.ty()))?;
+                        (l, p)
+                    }
+                    _ => {
+                        let l =
+                            self.bind_post_agg(left, group_asts, agg_asts, agg_schema, outer)?;
+                        let r =
+                            self.bind_post_agg(right, group_asts, agg_asts, agg_schema, outer)?;
+                        (l, r)
+                    }
+                };
                 self.bind_binary(BinOp::from_ast(*op), l, r)
             }
+            Ast::Param(n) => self.bind_param(*n, None),
             Ast::Neg(e) => {
                 let inner = self.bind_post_agg(e, group_asts, agg_asts, agg_schema, outer)?;
                 Ok(BoundExpr::Neg(Box::new(inner)))
@@ -1176,7 +1279,7 @@ fn collect_aggs(ast: &Ast, out: &mut Vec<Ast>) {
         }
         // Do NOT descend into subqueries.
         Ast::ScalarSubquery(_) | Ast::InSubquery { .. } | Ast::Exists { .. } => {}
-        Ast::Column { .. } | Ast::Literal(_) => {}
+        Ast::Column { .. } | Ast::Literal(_) | Ast::Param(_) => {}
     }
 }
 
@@ -1464,6 +1567,61 @@ mod tests {
         assert!(bind_err("select case when a > 1 then s else 0 end from t")
             .message
             .contains("mix"));
+    }
+
+    #[test]
+    fn params_infer_type_from_context() {
+        let p = bind("select a from t where b > $1 and a between $2 and $2 + 10");
+        fn collect_params(p: &LogicalPlan, out: &mut Vec<(usize, LogicalType)>) {
+            if let LogicalPlan::Filter { predicate, .. } = p {
+                predicate.visit(&mut |e| {
+                    if let BoundExpr::Param { index, ty } = e {
+                        out.push((*index, *ty));
+                    }
+                });
+            }
+            for c in p.children() {
+                collect_params(c, out);
+            }
+        }
+        let mut params = Vec::new();
+        collect_params(&p, &mut params);
+        params.sort_by_key(|(i, _)| *i);
+        params.dedup();
+        assert_eq!(
+            params,
+            vec![(0, LogicalType::Float64), (1, LogicalType::Int64)]
+        );
+    }
+
+    #[test]
+    fn params_without_context_rejected() {
+        let e = bind_err("select $1 from t");
+        assert!(e.message.contains("cannot infer"), "{}", e.message);
+    }
+
+    #[test]
+    fn params_with_conflicting_types_rejected() {
+        let e = bind_err("select a from t where a > $1 and s = $1");
+        assert!(
+            e.message.contains("one type per placeholder"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn params_in_in_lists_desugar_to_or_chains() {
+        let p = bind("select a from t where a in ($1, 7)");
+        fn find_filter(p: &LogicalPlan) -> Option<&BoundExpr> {
+            match p {
+                LogicalPlan::Filter { predicate, .. } => Some(predicate),
+                _ => p.children().into_iter().find_map(find_filter),
+            }
+        }
+        let pred = find_filter(&p).unwrap();
+        assert!(matches!(pred, BoundExpr::Binary { op: BinOp::Or, .. }));
+        assert_eq!(pred.n_params(), 1);
     }
 
     #[test]

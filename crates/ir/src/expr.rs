@@ -120,6 +120,14 @@ pub enum BoundExpr {
         value: Scalar,
         ty: LogicalType,
     },
+    /// Prepared-statement placeholder (`$n` in SQL; `index` is 0-based).
+    /// The type is inferred from the comparison/arithmetic context at bind
+    /// time; lowering emits a patchable constant slot so binding a value
+    /// never recompiles (see `tqp_exec::exprprog`).
+    Param {
+        index: usize,
+        ty: LogicalType,
+    },
     Binary {
         op: BinOp,
         left: Box<BoundExpr>,
@@ -185,6 +193,7 @@ impl BoundExpr {
             BoundExpr::Column { ty, .. }
             | BoundExpr::OuterRef { ty, .. }
             | BoundExpr::Literal { ty, .. }
+            | BoundExpr::Param { ty, .. }
             | BoundExpr::Binary { ty, .. }
             | BoundExpr::Case { ty, .. }
             | BoundExpr::Func { ty, .. }
@@ -269,6 +278,7 @@ impl BoundExpr {
             BoundExpr::Column { .. }
             | BoundExpr::OuterRef { .. }
             | BoundExpr::Literal { .. }
+            | BoundExpr::Param { .. }
             | BoundExpr::ScalarSubquery { .. }
             | BoundExpr::Exists { .. } => {}
         }
@@ -401,6 +411,18 @@ impl BoundExpr {
     /// True when the expression is a literal.
     pub fn is_literal(&self) -> bool {
         matches!(self, BoundExpr::Literal { .. })
+    }
+
+    /// Number of parameter values this expression needs (highest `$n`
+    /// referenced); 0 when the expression has no placeholders.
+    pub fn n_params(&self) -> usize {
+        let mut n = 0usize;
+        self.visit(&mut |e| {
+            if let BoundExpr::Param { index, .. } = e {
+                n = n.max(index + 1);
+            }
+        });
+        n
     }
 }
 

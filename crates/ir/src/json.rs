@@ -376,6 +376,11 @@ pub fn expr_to_json(e: &BoundExpr) -> Json {
             ("value", scalar_to_json(value)),
             ("ty", type_to_json(*ty)),
         ]),
+        BoundExpr::Param { index, ty } => Json::obj(vec![
+            ("k", Json::str("param")),
+            ("index", Json::I64(*index as i64)),
+            ("ty", type_to_json(*ty)),
+        ]),
         BoundExpr::Binary {
             op,
             left,
@@ -464,6 +469,10 @@ pub fn expr_from_json(j: &Json) -> R<BoundExpr> {
             ty: type_from_json(j.field("ty")?)?,
         }),
         "outer_ref" => Ok(BoundExpr::OuterRef {
+            index: usize_field(j, "index")?,
+            ty: type_from_json(j.field("ty")?)?,
+        }),
+        "param" => Ok(BoundExpr::Param {
             index: usize_field(j, "index")?,
             ty: type_from_json(j.field("ty")?)?,
         }),

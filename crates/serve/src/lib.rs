@@ -1,0 +1,438 @@
+//! # tqp-serve — the compile-once / run-many serving layer
+//!
+//! The paper's deployment story (§3.2) separates *compilation* from
+//! *serving*: a query is lowered to a portable tensor program once, then
+//! executed many times. [`Server`] is that split made concrete:
+//!
+//! * a shared [`Session`] behind a `RwLock` — executions take the read
+//!   lock and run concurrently; `register_table`/`register_model` take
+//!   the write lock;
+//! * a **prepared-statement cache**: an LRU keyed by *normalized SQL
+//!   text* + the [`QueryConfig`] (backend, device, strategies, workers).
+//!   A hit returns the same `Arc`-shared [`PreparedQuery`] — pointer
+//!   equality is the test-visible proof that no parse/bind/lower work
+//!   happened. `$1..$n` placeholder values are bound per execution by
+//!   patching the compiled programs' constant slots;
+//! * **invalidation**: any `register_table` / `register_model` clears the
+//!   cache (a replaced table may change schemas, statistics, and plans —
+//!   a stale compiled plan must never serve);
+//! * execution itself rides the process-wide shared worker pool
+//!   (`tqp_exec::sched`), so N concurrent clients share `workers`
+//!   threads instead of oversubscribing N×workers.
+//!
+//! Key normalization collapses insignificant whitespace and lowercases
+//! everything *outside string literals*, so `SELECT  A FROM T` and
+//! `select a from t` share a cache entry while `'ABC'` ≠ `'abc'` stays
+//! intact.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+use tqp_core::{PreparedQuery, QueryConfig, Session, TqpError};
+use tqp_data::DataFrame;
+use tqp_exec::ExecStats;
+use tqp_ml::Model;
+use tqp_tensor::Scalar;
+
+/// Default prepared-statement cache capacity.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// Cache observability counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Whole-cache invalidations (table/model registrations).
+    pub invalidations: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+/// Normalize SQL text for cache keying: trim, collapse whitespace runs to
+/// one space, and lowercase — except inside single-quoted string literals,
+/// which are preserved byte-for-byte (including `''` escapes).
+pub fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_str = false;
+    let mut pending_space = false;
+    for c in sql.chars() {
+        if in_str {
+            out.push(c);
+            if c == '\'' {
+                // `''` inside a literal re-enters string mode on the next
+                // quote; treating each quote as a toggle handles that.
+                in_str = false;
+            }
+            continue;
+        }
+        if c == '\'' {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(c);
+            in_str = true;
+        } else if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+        }
+    }
+    out
+}
+
+/// One cache entry with its LRU stamp.
+struct Entry {
+    prepared: PreparedQuery,
+    last_used: u64,
+}
+
+/// The LRU prepared-statement cache (guarded by `Server`'s lock).
+struct Lru {
+    map: HashMap<String, Entry>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Lru {
+        Lru {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<PreparedQuery> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.prepared.clone()
+        })
+    }
+
+    fn insert(&mut self, key: String, prepared: PreparedQuery) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Evict the least-recently-used entry.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                prepared,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// A serving endpoint over one shared session. Wrap it in an [`Arc`] and
+/// hand clones to client threads; every method takes `&self`.
+pub struct Server {
+    session: RwLock<Session>,
+    cache: RwLock<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Server {
+    /// Serve an existing session with the default cache capacity.
+    pub fn new(session: Session) -> Server {
+        Server::with_cache_capacity(session, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Serve with an explicit prepared-statement cache capacity.
+    pub fn with_cache_capacity(session: Session, capacity: usize) -> Server {
+        Server {
+            session: RwLock::new(session),
+            cache: RwLock::new(Lru::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Read access to the underlying session (concurrent with other
+    /// readers; blocks only registrations).
+    pub fn session(&self) -> RwLockReadGuard<'_, Session> {
+        self.session.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Prepare a statement through the cache. A hit returns the *same*
+    /// `Arc`-shared compiled statement (verify with
+    /// [`PreparedQuery::ptr_eq`]); a miss compiles once and caches.
+    ///
+    /// Lock order is always session → cache (registrations take the same
+    /// order), so prepare cannot deadlock against invalidation.
+    pub fn prepare(&self, sql: &str, cfg: QueryConfig) -> Result<PreparedQuery, TqpError> {
+        let key = cache_key(sql, &cfg);
+        let session = self.session();
+        if let Some(hit) = {
+            let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
+            cache.get(&key)
+        } {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        // Compile outside the cache lock: a slow compile must not stall
+        // concurrent hits on other statements. A racing prepare of the
+        // same SQL may compile twice; last insert wins and both results
+        // are valid (they were compiled against the same locked session).
+        let prepared = session.prepare(sql, cfg)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(racing) = cache.get(&key) {
+            // Another client finished first — serve its statement so every
+            // caller shares one compiled copy.
+            return Ok(racing);
+        }
+        cache.insert(key, prepared.clone());
+        Ok(prepared)
+    }
+
+    /// Execute a prepared statement with parameter values (empty for
+    /// parameter-free statements). Concurrent-safe: takes the session
+    /// read lock for the duration of the run.
+    pub fn execute(
+        &self,
+        prepared: &PreparedQuery,
+        params: &[Scalar],
+    ) -> Result<(DataFrame, ExecStats), TqpError> {
+        let session = self.session();
+        prepared.execute(&session, params)
+    }
+
+    /// Prepare (through the cache) and execute in one call.
+    pub fn query(
+        &self,
+        sql: &str,
+        cfg: QueryConfig,
+        params: &[Scalar],
+    ) -> Result<(DataFrame, ExecStats), TqpError> {
+        let prepared = self.prepare(sql, cfg)?;
+        self.execute(&prepared, params)
+    }
+
+    /// Register (or replace) a table. Takes the session write lock and
+    /// **invalidates the whole statement cache** — plans compiled against
+    /// the previous schema/statistics must never serve again.
+    pub fn register_table(&self, name: &str, frame: DataFrame) {
+        let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
+        session.register_table(name, frame);
+        self.invalidate();
+    }
+
+    /// Register a `PREDICT` model; invalidates the cache (a model swap
+    /// changes `PREDICT` splice points compiled into programs).
+    pub fn register_model(&self, name: &str, model: Arc<dyn Model>) {
+        let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
+        session.register_model(name, model);
+        self.invalidate();
+    }
+
+    fn invalidate(&self) {
+        let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
+        cache.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache counters (hits/misses/evictions/invalidations, current size).
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.read().unwrap_or_else(|e| e.into_inner());
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: cache.evictions,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: cache.map.len(),
+            capacity: cache.capacity,
+        }
+    }
+}
+
+/// Cache key: normalized SQL + the full per-query configuration (a query
+/// prepared for `Backend::Wasm` must not serve a `Backend::Eager` client).
+fn cache_key(sql: &str, cfg: &QueryConfig) -> String {
+    format!("{}\u{1}{:?}", normalize_sql(sql), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tqp_data::frame::df;
+    use tqp_data::Column;
+
+    fn server() -> Server {
+        let mut s = Session::new();
+        s.register_table(
+            "t",
+            df(vec![
+                ("id", Column::from_i64(vec![1, 2, 3, 4])),
+                ("v", Column::from_f64(vec![1.5, 2.5, 3.5, 4.5])),
+            ]),
+        );
+        Server::new(s)
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_and_case_outside_strings() {
+        assert_eq!(
+            normalize_sql("SELECT  a\n FROM t WHERE s = 'It''s  BIG'"),
+            "select a from t where s = 'It''s  BIG'"
+        );
+        assert_eq!(normalize_sql("  select 1  "), "select 1");
+    }
+
+    #[test]
+    fn cache_hits_share_one_compiled_statement() {
+        let srv = server();
+        let cfg = QueryConfig::default();
+        let a = srv.prepare("select id from t where v > 2.0", cfg).unwrap();
+        // Different spelling, same normalized key → pointer-equal hit.
+        let b = srv
+            .prepare("SELECT id\nFROM t  WHERE v > 2.0", cfg)
+            .unwrap();
+        assert!(a.ptr_eq(&b), "cache hit must not recompile");
+        let stats = srv.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn different_configs_do_not_share_entries() {
+        let srv = server();
+        let a = srv
+            .prepare("select id from t", QueryConfig::default())
+            .unwrap();
+        let b = srv
+            .prepare(
+                "select id from t",
+                QueryConfig::default().backend(tqp_exec::Backend::Wasm),
+            )
+            .unwrap();
+        assert!(!a.ptr_eq(&b));
+    }
+
+    #[test]
+    fn registration_invalidates_the_cache() {
+        let srv = server();
+        let cfg = QueryConfig::default();
+        let before = srv.prepare("select id from t", cfg).unwrap();
+        let (out, _) = srv.execute(&before, &[]).unwrap();
+        assert_eq!(out.nrows(), 4);
+        srv.register_table(
+            "t",
+            df(vec![
+                ("id", Column::from_i64(vec![7])),
+                ("v", Column::from_f64(vec![9.0])),
+            ]),
+        );
+        let after = srv.prepare("select id from t", cfg).unwrap();
+        assert!(!before.ptr_eq(&after), "stale entry served after replace");
+        let (out, _) = srv.execute(&after, &[]).unwrap();
+        assert_eq!(out.nrows(), 1);
+        assert_eq!(out.column(0).get(0).as_i64(), 7);
+        assert!(srv.cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn held_handles_refuse_to_run_after_incompatible_replacement() {
+        // A client that kept a PreparedQuery across a register_table that
+        // CHANGED the schema must get a clean execution error — the old
+        // compiled program carries positional column indices that would
+        // read the wrong columns from the reshaped table.
+        let srv = server();
+        let held = srv
+            .prepare("select v from t where id > 1", QueryConfig::default())
+            .unwrap();
+        assert!(srv.execute(&held, &[]).is_ok());
+        srv.register_table(
+            "t",
+            df(vec![
+                // Columns reordered and retyped relative to compile time.
+                ("v", Column::from_str(vec!["x".into(), "y".into()])),
+                ("id", Column::from_i64(vec![1, 2])),
+            ]),
+        );
+        match srv.execute(&held, &[]) {
+            Err(tqp_core::TqpError::Execution(msg)) => {
+                assert!(msg.contains("different schema"), "{msg}")
+            }
+            other => panic!("expected execution error, got {:?}", other.map(|_| ())),
+        }
+        // Same-schema replacement keeps held handles valid (they read the
+        // new data by table name — the intended serving semantics).
+        let srv = server();
+        let held = srv
+            .prepare("select v from t where id > 1", QueryConfig::default())
+            .unwrap();
+        srv.register_table(
+            "t",
+            df(vec![
+                ("id", Column::from_i64(vec![5, 6])),
+                ("v", Column::from_f64(vec![1.0, 2.0])),
+            ]),
+        );
+        let (out, _) = srv.execute(&held, &[]).unwrap();
+        assert_eq!(out.nrows(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = Session::new();
+        s.register_table("t", df(vec![("a", Column::from_i64(vec![1]))]));
+        let srv = Server::with_cache_capacity(s, 2);
+        let cfg = QueryConfig::default();
+        let q1 = srv.prepare("select a from t", cfg).unwrap();
+        let _q2 = srv.prepare("select a + 1 from t", cfg).unwrap();
+        // Touch q1 so q2 is the LRU victim when q3 arrives.
+        let q1b = srv.prepare("select a from t", cfg).unwrap();
+        assert!(q1.ptr_eq(&q1b));
+        let _q3 = srv.prepare("select a + 2 from t", cfg).unwrap();
+        let stats = srv.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // q1 survived the eviction.
+        let q1c = srv.prepare("select a from t", cfg).unwrap();
+        assert!(q1.ptr_eq(&q1c));
+    }
+
+    #[test]
+    fn parameterized_statements_execute_through_the_server() {
+        let srv = server();
+        let cfg = QueryConfig::default();
+        let q = srv
+            .prepare("select id from t where v > $1 order by id", cfg)
+            .unwrap();
+        assert_eq!(q.n_params(), 1);
+        let (out, _) = srv.execute(&q, &[Scalar::F64(2.0)]).unwrap();
+        assert_eq!(out.nrows(), 3);
+        let (out, _) = srv.execute(&q, &[Scalar::F64(4.0)]).unwrap();
+        assert_eq!(out.nrows(), 1);
+    }
+}

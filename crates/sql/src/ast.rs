@@ -148,6 +148,9 @@ pub enum Expr {
         name: String,
     },
     Literal(Literal),
+    /// Prepared-statement placeholder `$n` (1-based). Bound at prepare
+    /// time; the value is supplied per execution.
+    Param(usize),
     Binary {
         op: BinaryOp,
         left: Box<Expr>,
@@ -268,6 +271,7 @@ impl Expr {
             }
             Expr::Column { .. }
             | Expr::Literal(_)
+            | Expr::Param(_)
             | Expr::Exists { .. }
             | Expr::ScalarSubquery(_) => {}
         }
@@ -334,6 +338,7 @@ impl std::fmt::Display for Expr {
             } => write!(f, "{t}.{name}"),
             Expr::Column { table: None, name } => write!(f, "{name}"),
             Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Param(n) => write!(f, "${n}"),
             Expr::Binary { op, left, right } => {
                 write!(f, "({left} {} {right})", op.sql())
             }

@@ -23,6 +23,8 @@ pub enum Token {
     Float(f64),
     /// Single-quoted string literal (unescaped).
     Str(String),
+    /// Prepared-statement placeholder `$n` (1-based, as written).
+    Param(usize),
     LParen,
     RParen,
     Comma,
@@ -134,6 +136,34 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                     })?)
                 };
                 out.push(Spanned { tok, offset: start });
+            }
+            b'$' => {
+                let start = i;
+                i += 1;
+                let digits_start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i == digits_start {
+                    return Err(LexError {
+                        message: "expected digits after '$' (parameter placeholder)".into(),
+                        offset: start,
+                    });
+                }
+                let n: usize = input[digits_start..i].parse().map_err(|_| LexError {
+                    message: format!("bad parameter index {}", &input[digits_start..i]),
+                    offset: start,
+                })?;
+                if n == 0 {
+                    return Err(LexError {
+                        message: "parameter placeholders are 1-based ($1, $2, ...)".into(),
+                        offset: start,
+                    });
+                }
+                out.push(Spanned {
+                    tok: Token::Param(n),
+                    offset: start,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
@@ -329,6 +359,25 @@ mod tests {
             toks("Brand#12"),
             vec![Token::Ident("Brand#12".into()), Token::Eof]
         );
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        assert_eq!(
+            toks("a < $1 and b = $12"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Lt,
+                Token::Param(1),
+                Token::Ident("and".into()),
+                Token::Ident("b".into()),
+                Token::Eq,
+                Token::Param(12),
+                Token::Eof,
+            ]
+        );
+        assert!(lex("a < $").is_err());
+        assert!(lex("a < $0").is_err());
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! `PREDICT('model', args...)` scalar function embedding ML inference into
 //! a query.
 //!
+//! **Prepared-statement placeholders**: `$1..$n` (1-based) parse as
+//! [`Expr::Param`] anywhere an expression is accepted. Their types are
+//! inferred at bind time from the surrounding comparison/arithmetic
+//! context (`l_quantity < $1` types `$1` from the column; a bare `$1`
+//! with no typed context is a bind error, and every occurrence of one
+//! placeholder must agree on a single type). Values are supplied per
+//! execution through `tqp_core::PreparedQuery::execute` — binding
+//! patches compiled constant slots and never re-parses.
+//!
 //! This crate corresponds to TQP's *parsing layer* front half (paper §2.2):
 //! text → AST. The AST is bound, typed, and optimized in `tqp-ir`.
 

@@ -515,6 +515,10 @@ impl Parser {
                 self.advance();
                 Ok(Expr::Literal(Literal::Str(s)))
             }
+            Token::Param(n) => {
+                self.advance();
+                Ok(Expr::Param(n))
+            }
             Token::LParen => {
                 self.advance();
                 if self.peek_kw("select") || self.peek_kw("with") {
@@ -760,6 +764,22 @@ mod tests {
             SelectItem::Expr { alias: Some(a), .. } if a == "bee"
         ));
         assert!(q.select.selection.is_some());
+    }
+
+    #[test]
+    fn parameter_placeholders_parse_and_roundtrip() {
+        let q = parse("select a from t where x < $1 and y between $2 and $2 + 1").unwrap();
+        let mut params = Vec::new();
+        q.select.selection.as_ref().unwrap().visit(&mut |e| {
+            if let Expr::Param(n) = e {
+                params.push(*n);
+            }
+        });
+        assert_eq!(params, vec![1, 2, 2]);
+        // The printer re-emits `$n` and the output re-parses identically.
+        let text = q.to_string();
+        assert!(text.contains("$1") && text.contains("$2"), "{text}");
+        assert_eq!(parse(&text).unwrap(), q);
     }
 
     #[test]

@@ -213,10 +213,14 @@ fn figure4_query_end_to_end() {
 }
 
 #[test]
-fn predict_missing_model_panics_cleanly() {
+fn predict_missing_model_is_a_clean_execution_error() {
+    // Formerly a panic; the serve-layer error split pre-flights missing
+    // models into a retryable TqpError::Execution instead.
     let s = numeric_session();
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = s.sql("select predict('nope', a) from points");
-    }));
-    assert!(err.is_err());
+    match s.sql("select predict('nope', a) from points") {
+        Err(tqp_repro::core::TqpError::Execution(msg)) => {
+            assert!(msg.contains("nope"), "{msg}");
+        }
+        other => panic!("expected an execution error, got {:?}", other.map(|_| ())),
+    }
 }

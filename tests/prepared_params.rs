@@ -1,0 +1,271 @@
+//! ExprProgram parameter-binding edge cases: NULL parameters, dtype
+//! coercion of bound constants, a parameter reused across CSE-shared
+//! registers, and rebinding one prepared statement with different values
+//! — across the vectorized and artifact backends.
+
+use tqp_repro::core::{QueryConfig, Session, TqpError};
+use tqp_repro::data::frame::df;
+use tqp_repro::data::Column;
+use tqp_repro::exec::exprprog::ExprOp;
+use tqp_repro::exec::program::ProgOp;
+use tqp_repro::exec::Backend;
+use tqp_tensor::Scalar;
+
+fn session() -> Session {
+    let mut s = Session::new();
+    s.register_table(
+        "t",
+        df(vec![
+            ("id", Column::from_i64(vec![1, 2, 3, 4, 5])),
+            ("v", Column::from_f64(vec![10.0, 20.0, 30.0, 40.0, 50.0])),
+            (
+                "name",
+                Column::from_str(vec![
+                    "alpha".into(),
+                    "beta".into(),
+                    "gamma".into(),
+                    "delta".into(),
+                    "epsilon".into(),
+                ]),
+            ),
+            (
+                "d",
+                Column::from_date_ns(
+                    (0..5)
+                        .map(|i| (8035 + i * 100) * 86_400_000_000_000)
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+    s
+}
+
+const ALL_BACKENDS: &[Backend] = &[
+    Backend::Eager,
+    Backend::Fused,
+    Backend::Graph,
+    Backend::Wasm,
+];
+
+#[test]
+fn null_parameters_drop_rows_in_comparisons() {
+    // SQL three-valued logic: `v > NULL` is NULL, and a NULL conjunct
+    // never passes a filter — so a NULL-bound parameter selects nothing.
+    let s = session();
+    for &backend in ALL_BACKENDS {
+        let p = s
+            .prepare(
+                "select count(*) as c from t where v > $1",
+                QueryConfig::default().backend(backend),
+            )
+            .unwrap();
+        let (out, _) = p.execute(&s, &[Scalar::Null]).unwrap();
+        assert_eq!(out.column(0).get(0).as_i64(), 0, "{backend:?}");
+        // A real value on the same handle still works afterwards.
+        let (out, _) = p.execute(&s, &[Scalar::F64(25.0)]).unwrap();
+        assert_eq!(out.column(0).get(0).as_i64(), 3, "{backend:?}");
+    }
+}
+
+#[test]
+fn null_parameter_in_projection_arithmetic_is_null_row() {
+    // NULL propagates through arithmetic; the aggregate consumes it
+    // (COUNT skips NULLs), matching the row oracle's Kleene semantics.
+    let s = session();
+    let p = s
+        .prepare("select count(v + $1) as c from t", QueryConfig::default())
+        .unwrap();
+    let (out, _) = p.execute(&s, &[Scalar::Null]).unwrap();
+    assert_eq!(out.column(0).get(0).as_i64(), 0);
+    let (out, _) = p.execute(&s, &[Scalar::F64(1.0)]).unwrap();
+    assert_eq!(out.column(0).get(0).as_i64(), 5);
+}
+
+#[test]
+fn bound_constants_coerce_onto_the_compiled_dtype() {
+    let s = session();
+    for &backend in ALL_BACKENDS {
+        let cfg = QueryConfig::default().backend(backend);
+        // $1 compiles against Float64 `v`; binding an integer widens it.
+        let p = s
+            .prepare("select id from t where v <= $1 order by id", cfg)
+            .unwrap();
+        let (out, _) = p.execute(&s, &[Scalar::I64(30)]).unwrap();
+        assert_eq!(out.nrows(), 3, "{backend:?}");
+        // I32 widens too.
+        let (out, _) = p.execute(&s, &[Scalar::I32(20)]).unwrap();
+        assert_eq!(out.nrows(), 2, "{backend:?}");
+        // A float cannot narrow onto an Int64 slot — that's an execution
+        // error, not silent truncation.
+        let pi = s.prepare("select id from t where id = $1", cfg).unwrap();
+        match pi.execute(&s, &[Scalar::F64(2.5)]) {
+            Err(TqpError::Execution(msg)) => {
+                assert!(msg.contains("cannot bind"), "{msg}")
+            }
+            other => panic!(
+                "{backend:?}: expected coercion error, got {:?}",
+                other.map(|_| ())
+            ),
+        }
+        // Date slots accept `YYYY-MM-DD` strings.
+        let pd = s
+            .prepare("select count(*) as c from t where d < $1", cfg)
+            .unwrap();
+        let (out, _) = pd.execute(&s, &[Scalar::Str("1994-01-01".into())]).unwrap();
+        assert!(out.column(0).get(0).as_i64() >= 1, "{backend:?}");
+    }
+}
+
+#[test]
+fn a_parameter_reused_across_cse_shared_registers_patches_once() {
+    let s = session();
+    // $1 used twice in general (non-comparison) positions: CSE must give
+    // both uses the same LoadConst register → exactly ONE param slot.
+    let p = s
+        .prepare(
+            "select v + $1 as a, v - $1 as b from t order by a",
+            QueryConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(p.n_params(), 1);
+    let mut slots = Vec::new();
+    for op in &p.program().ops {
+        if let ProgOp::Project { exprs, .. } = op {
+            slots.extend(exprs.params.iter().copied());
+        }
+    }
+    assert_eq!(slots.len(), 1, "one shared slot for a reused parameter");
+    let (out, _) = p.execute(&s, &[Scalar::F64(5.0)]).unwrap();
+    assert_eq!(out.column(0).get(0).as_f64(), 15.0);
+    assert_eq!(out.column(1).get(0).as_f64(), 5.0);
+
+    // Mixed shapes: `v > $1` compiles to the CompareConst fast path while
+    // `$1 + 25.0` needs a LoadConst — two slots, one parameter, one value
+    // patched into both.
+    let p = s
+        .prepare(
+            "select id from t where v > $1 and v < $1 + 25.0 order by id",
+            QueryConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(p.n_params(), 1);
+    let mut cmp_slots = 0;
+    let mut load_slots = 0;
+    for op in &p.program().ops {
+        if let ProgOp::Filter { conjuncts, .. } = op {
+            for ps in &conjuncts.params {
+                match conjuncts.ops[ps.reg] {
+                    ExprOp::CompareConst { .. } => cmp_slots += 1,
+                    ExprOp::LoadConst { .. } => load_slots += 1,
+                    _ => panic!("slot must be a patchable constant"),
+                }
+            }
+        }
+    }
+    assert_eq!((cmp_slots, load_slots), (1, 1));
+    // One bound value reaches both uses: (v > 15 and v < 40) → {20, 30}.
+    let (out, _) = p.execute(&s, &[Scalar::F64(15.0)]).unwrap();
+    assert_eq!(out.nrows(), 2);
+    assert_eq!(out.column(0).get(0).as_i64(), 2);
+
+    // Distinct parameters do NOT merge even with equal placeholder types.
+    let p2 = s
+        .prepare(
+            "select id from t where v > $1 and v < $2",
+            QueryConfig::default(),
+        )
+        .unwrap();
+    assert_eq!(p2.n_params(), 2);
+    let (out, _) = p2
+        .execute(&s, &[Scalar::F64(15.0), Scalar::F64(45.0)])
+        .unwrap();
+    assert_eq!(out.nrows(), 3);
+}
+
+#[test]
+fn rebinding_the_same_prepared_statement_never_recompiles() {
+    let s = session();
+    for &backend in ALL_BACKENDS {
+        let p = s
+            .prepare(
+                "select id, v from t where v between $1 and $2 order by id",
+                QueryConfig::default().backend(backend),
+            )
+            .unwrap();
+        assert_eq!(p.n_params(), 2);
+        // The pristine program keeps its placeholder slots across
+        // executions — binding patches a clone.
+        let pristine_before = format!("{:?}", p.program().ops.len());
+        let expect = [
+            (&[10.0, 30.0][..], 3usize),
+            (&[45.0, 60.0][..], 1),
+            (&[0.0, 5.0][..], 0),
+            (&[10.0, 30.0][..], 3), // re-binding earlier values again
+        ];
+        for (vals, nrows) in expect {
+            let args: Vec<Scalar> = vals.iter().map(|&v| Scalar::F64(v)).collect();
+            let (out, _) = p.execute(&s, &args).unwrap();
+            assert_eq!(out.nrows(), nrows, "{backend:?} {vals:?}");
+        }
+        assert_eq!(format!("{:?}", p.program().ops.len()), pristine_before);
+        assert_eq!(p.n_params(), 2, "pristine program must stay re-bindable");
+    }
+}
+
+#[test]
+fn string_and_like_adjacent_parameters() {
+    let s = session();
+    let p = s
+        .prepare(
+            "select id from t where name = $1 or name = $2 order by id",
+            QueryConfig::default(),
+        )
+        .unwrap();
+    let (out, _) = p
+        .execute(
+            &s,
+            &[Scalar::Str("beta".into()), Scalar::Str("delta".into())],
+        )
+        .unwrap();
+    assert_eq!(out.nrows(), 2);
+    // IN lists with placeholders (desugared to OR chains at bind time).
+    let pin = s
+        .prepare(
+            "select count(*) as c from t where name in ($1, 'alpha')",
+            QueryConfig::default(),
+        )
+        .unwrap();
+    let (out, _) = pin.execute(&s, &[Scalar::Str("gamma".into())]).unwrap();
+    assert_eq!(out.column(0).get(0).as_i64(), 2);
+}
+
+#[test]
+fn parameterized_results_match_literal_equivalents_on_all_backends() {
+    // Binding $1=K must give byte-identical results to compiling the SQL
+    // with the literal K spliced in — on every backend.
+    let s = session();
+    for &backend in ALL_BACKENDS {
+        let cfg = QueryConfig::default().backend(backend);
+        let p = s
+            .prepare(
+                "select id, v * $1 as scaled from t where v >= $2 order by id",
+                cfg,
+            )
+            .unwrap();
+        for (k, lo) in [(2.0, 20.0), (0.5, 45.0)] {
+            let (bound, _) = p.execute(&s, &[Scalar::F64(k), Scalar::F64(lo)]).unwrap();
+            let literal_sql =
+                format!("select id, v * {k:?} as scaled from t where v >= {lo:?} order by id");
+            let (lit, _) = s.compile(&literal_sql, cfg).unwrap().run(&s).unwrap();
+            assert_eq!(bound.nrows(), lit.nrows(), "{backend:?}");
+            for i in 0..bound.nrows() {
+                assert_eq!(
+                    format!("{:?}", bound.row(i)),
+                    format!("{:?}", lit.row(i)),
+                    "{backend:?} row {i}"
+                );
+            }
+        }
+    }
+}
