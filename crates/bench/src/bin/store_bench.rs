@@ -1,0 +1,278 @@
+//! Storage-layer benchmark: CSV → `tqp-store` ingestion, cold-scan
+//! decode bandwidth, compression ratios, and **zone-map pruning** on
+//! Q6/Q1-style predicates — pruned vs unpruned chunk counts and latency.
+//!
+//! Writes `BENCH_store.json` (format `tqp-bench-store` v1):
+//!
+//! * **ingest** — streaming CSV → store (chunk-at-a-time, no whole-table
+//!   materialization): MB/s over the CSV bytes, plus on-disk size vs the
+//!   CSV and vs the decoded in-memory tensor footprint;
+//! * **cold scan** — full-table chunk decode into tensors, MB/s over
+//!   decoded bytes;
+//! * **pruning** — lineitem is stored **clustered on `l_shipdate`**
+//!   (the classic warehouse layout; zone maps need physical locality to
+//!   bite), then a Q6-style one-year date slice and a narrow key band
+//!   run with pruning on and off at the same worker counts: chunks
+//!   pruned/scanned come from `ExecStats`, latency is the median of
+//!   `TQP_RUNS` runs, and results are digest-checked bitwise between the
+//!   pruned and unpruned executions.
+//!
+//! ```bash
+//! TQP_SF=0.05 TQP_RUNS=3 TQP_WORKERS=1,4 cargo run --release -p tqp-bench --bin store_bench
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tqp_bench::{runs, scale_factor, worker_counts};
+
+/// Median of raw microsecond samples.
+fn median(samples: &[u64]) -> u64 {
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+use tqp_core::{QueryConfig, Session};
+use tqp_data::tpch::{TpchConfig, TpchData};
+use tqp_data::{csv, Column, DataFrame};
+use tqp_exec::TableSource;
+use tqp_json::Json;
+use tqp_store::store_csv;
+
+/// The benchmarked queries: a Q6-style date slice (the pruning headline),
+/// a Q1-style wide aggregation (barely selective — pruning should be a
+/// no-op, not a regression), and a clustered-key point band.
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "q6_dateslice",
+        "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+         where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' \
+         and l_discount between 0.05 and 0.07 and l_quantity < 24",
+    ),
+    (
+        "q1_wide",
+        "select l_returnflag, l_linestatus, sum(l_quantity) as sq, count(*) as c \
+         from lineitem where l_shipdate <= date '1998-09-02' \
+         group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus",
+    ),
+    (
+        "key_band",
+        "select count(*) as c, sum(l_quantity) as s from lineitem \
+         where l_shipdate >= date '1997-06-01' and l_shipdate < date '1997-07-01'",
+    ),
+];
+
+/// Stable content digest of a frame (bitwise: Debug formatting).
+fn digest(frame: &DataFrame) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..frame.nrows() {
+        for b in format!("{:?}", frame.row(i)).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Approximate in-memory tensor footprint of a frame.
+fn mem_bytes(frame: &DataFrame) -> u64 {
+    frame
+        .columns()
+        .iter()
+        .map(|c| match c {
+            Column::Bool(v) => v.len() as u64,
+            Column::Int64(v) => 8 * v.len() as u64,
+            Column::Float64(_) | Column::Date(_) => 8 * c.len() as u64,
+            Column::Str(v) => {
+                let w = v.iter().map(|s| s.len()).max().unwrap_or(1).max(1) as u64;
+                w * v.len() as u64
+            }
+        })
+        .sum()
+}
+
+fn main() {
+    let sf = scale_factor();
+    let n_runs = runs();
+    let chunk_rows: usize = std::env::var("TQP_STORE_CHUNK_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    let dir = std::env::temp_dir().join(format!("tqp_store_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    eprintln!("generating TPC-H data at SF {sf} ...");
+    let data = TpchData::generate(&TpchConfig {
+        scale_factor: sf,
+        seed: 20_220_901,
+    });
+    let tables = data.tables();
+    let lineitem = &tables.iter().find(|(n, _)| *n == "lineitem").unwrap().1;
+
+    // Cluster on l_shipdate: the layout that gives zone maps locality.
+    let ship_idx = lineitem.schema().index_of("l_shipdate").unwrap();
+    let dates = match lineitem.column(ship_idx) {
+        Column::Date(v) => v.clone(),
+        _ => unreachable!("l_shipdate is a date"),
+    };
+    let mut order: Vec<usize> = (0..lineitem.nrows()).collect();
+    order.sort_by_key(|&i| dates[i]);
+    let clustered = lineitem.take(&order);
+
+    // --- Ingest: frame → CSV → streamed store ---------------------------
+    let csv_path = dir.join("lineitem.csv");
+    csv::write_csv(&clustered, &csv_path).unwrap();
+    let csv_bytes = std::fs::metadata(&csv_path).unwrap().len();
+    let t0 = Instant::now();
+    let stored = store_csv(
+        &csv_path,
+        clustered.schema(),
+        &dir.join("lineitem.tqps"),
+        chunk_rows,
+    )
+    .unwrap();
+    let ingest_us = t0.elapsed().as_micros() as u64;
+    let stored = Arc::new(stored);
+    let frame_side = csv::read_csv(clustered.schema(), &csv_path).unwrap();
+    let memory_bytes = mem_bytes(&frame_side);
+    eprintln!(
+        "ingested {} rows into {} chunks: csv {} KB, store {} KB, mem {} KB",
+        stored.nrows(),
+        stored.n_chunks(),
+        csv_bytes / 1024,
+        stored.file_bytes() / 1024,
+        memory_bytes / 1024,
+    );
+
+    // --- Cold scan: full chunk decode bandwidth -------------------------
+    let cold_us: Vec<u64> = (0..n_runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let tt = TableSource::Stored(Arc::clone(&stored)).to_tensor_table();
+            let us = t0.elapsed().as_micros() as u64;
+            std::hint::black_box(&tt);
+            us
+        })
+        .collect();
+    let decoded_bytes: u64 = TableSource::Stored(Arc::clone(&stored))
+        .to_tensor_table()
+        .tensors
+        .iter()
+        .map(|t| t.nbytes() as u64)
+        .sum();
+    let cold_med = median(&cold_us);
+    let cold_mb_s = decoded_bytes as f64 / 1.0e6 / (cold_med as f64 / 1.0e6);
+
+    let mut results = vec![
+        Json::obj(vec![
+            ("kind", Json::str("ingest")),
+            ("rows", Json::I64(stored.nrows() as i64)),
+            ("chunks", Json::I64(stored.n_chunks() as i64)),
+            ("chunk_rows", Json::I64(chunk_rows as i64)),
+            ("csv_bytes", Json::I64(csv_bytes as i64)),
+            ("store_bytes", Json::I64(stored.file_bytes() as i64)),
+            ("memory_bytes", Json::I64(memory_bytes as i64)),
+            (
+                "compression_vs_csv",
+                Json::F64(csv_bytes as f64 / stored.file_bytes() as f64),
+            ),
+            (
+                "compression_vs_memory",
+                Json::F64(memory_bytes as f64 / stored.file_bytes() as f64),
+            ),
+            ("ingest_us", Json::I64(ingest_us as i64)),
+            (
+                "ingest_mb_s",
+                Json::F64(csv_bytes as f64 / 1.0e6 / (ingest_us as f64 / 1.0e6)),
+            ),
+        ]),
+        Json::obj(vec![
+            ("kind", Json::str("cold_scan")),
+            ("decoded_bytes", Json::I64(decoded_bytes as i64)),
+            ("median_us", Json::I64(cold_med as i64)),
+            ("mb_s", Json::F64(cold_mb_s)),
+        ]),
+    ];
+
+    // --- Pruned vs unpruned query latency -------------------------------
+    // The store-backed session; the dimension tables are irrelevant here.
+    let mut session = Session::new();
+    session.register_stored_table("lineitem", Arc::clone(&stored));
+
+    for &workers in &worker_counts() {
+        for (name, sql) in QUERIES {
+            let mut row = vec![
+                ("kind", Json::str("prune")),
+                ("query", Json::str(*name)),
+                ("workers", Json::I64(workers as i64)),
+            ];
+            let mut digests = Vec::new();
+            let mut pruned_med = 0u64;
+            let mut unpruned_med = 0u64;
+            for prune in [true, false] {
+                let cfg = QueryConfig::default().workers(workers).prune_scans(prune);
+                let q = session.compile(sql, cfg).unwrap();
+                // Warm-up + measured runs (§2.3 protocol).
+                for _ in 0..n_runs {
+                    let _ = q.run(&session).unwrap();
+                }
+                let mut us = Vec::with_capacity(n_runs);
+                let mut last_stats = None;
+                for _ in 0..n_runs.max(1) {
+                    let (frame, stats) = q.run(&session).unwrap();
+                    us.push(stats.wall_us);
+                    digests.push(digest(&frame));
+                    last_stats = Some(stats);
+                }
+                let stats = last_stats.unwrap();
+                let med = median(&us);
+                let label = if prune { "pruned" } else { "unpruned" };
+                if prune {
+                    pruned_med = med;
+                    row.push(("chunks_scanned", Json::I64(stats.chunks_scanned as i64)));
+                    row.push(("chunks_pruned", Json::I64(stats.chunks_pruned as i64)));
+                    row.push((
+                        "pruned_fraction",
+                        Json::F64(
+                            stats.chunks_pruned as f64
+                                / (stats.chunks_scanned + stats.chunks_pruned).max(1) as f64,
+                        ),
+                    ));
+                } else {
+                    unpruned_med = med;
+                }
+                row.push(match label {
+                    "pruned" => ("pruned_us", Json::I64(med as i64)),
+                    _ => ("unpruned_us", Json::I64(med as i64)),
+                });
+            }
+            let identical = digests.windows(2).all(|w| w[0] == w[1]);
+            assert!(identical, "{name}: pruned/unpruned results diverged");
+            row.push((
+                "speedup",
+                Json::F64(unpruned_med as f64 / pruned_med.max(1) as f64),
+            ));
+            row.push(("bitwise_identical", Json::Bool(identical)));
+            eprintln!(
+                "{name} workers={workers}: pruned {} µs vs unpruned {} µs ({:.2}x)",
+                pruned_med,
+                unpruned_med,
+                unpruned_med as f64 / pruned_med.max(1) as f64
+            );
+            results.push(Json::obj(row));
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("format", Json::str("tqp-bench-store")),
+        ("version", Json::I64(1)),
+        ("scale_factor", Json::F64(sf)),
+        ("runs", Json::I64(n_runs as i64)),
+        ("chunk_rows", Json::I64(chunk_rows as i64)),
+        ("clustered_on", Json::str("l_shipdate")),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write("BENCH_store.json", doc.to_string_pretty()).expect("write BENCH_store.json");
+    println!("{}", doc.to_string_pretty());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -35,11 +35,12 @@ use std::sync::Arc;
 
 use tqp_baseline::RowEngine;
 use tqp_data::DataFrame;
-use tqp_exec::{Backend, Device, ExecConfig, Executor, GpuStrategy, Storage};
+use tqp_exec::{Backend, Device, ExecConfig, Executor, GpuStrategy, Storage, TableSource};
 use tqp_ir::physical::PhysicalPlan;
 use tqp_ir::{compile_sql, Catalog, CompileError, PhysicalOptions};
 use tqp_ml::{Model, ModelRegistry};
 use tqp_profile::Profiler;
+use tqp_store::StoredTable;
 use tqp_tensor::Scalar;
 
 /// Per-query configuration: physical strategies + backend + device.
@@ -49,6 +50,9 @@ pub struct QueryConfig {
     pub backend: Backend,
     pub device: Device,
     pub gpu_strategy: GpuStrategy,
+    /// Zone-map chunk pruning for store-backed scans (default on; results
+    /// are identical either way — the knob exists for benchmarking).
+    pub prune_scans: bool,
     /// Worker threads for morsel-parallel CPU execution (1 = sequential).
     pub workers: usize,
 }
@@ -60,6 +64,7 @@ impl Default for QueryConfig {
             backend: Backend::Eager,
             device: Device::Cpu,
             gpu_strategy: GpuStrategy::Resident,
+            prune_scans: true,
             workers: tqp_exec::default_workers(),
         }
     }
@@ -93,6 +98,12 @@ impl QueryConfig {
     /// Builder-style worker count for morsel-parallel execution.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n.max(1);
+        self
+    }
+
+    /// Builder-style zone-map pruning toggle for store-backed scans.
+    pub fn prune_scans(mut self, on: bool) -> Self {
+        self.prune_scans = on;
         self
     }
 }
@@ -161,14 +172,36 @@ impl Session {
     }
 
     /// Register (or replace) a table; it is immediately ingested into the
-    /// tensor representation (paper §2.1 — numerics zero-copy).
+    /// tensor representation (paper §2.1 — numerics zero-copy), and full
+    /// column statistics (min/max, NULL counts, distinct estimates) are
+    /// computed for the catalog so the optimizer's selectivity math runs
+    /// on real numbers.
     pub fn register_table(&mut self, name: &str, frame: DataFrame) {
         let key = name.to_ascii_lowercase();
-        self.catalog
-            .register(&key, frame.schema().clone(), frame.nrows());
-        self.storage
-            .insert(key.clone(), tqp_data::ingest::frame_to_tensors(&frame));
+        self.catalog.register_with_stats(
+            &key,
+            frame.schema().clone(),
+            tqp_data::stats::frame_stats(&frame),
+        );
+        self.storage.insert(
+            key.clone(),
+            TableSource::Mem(tqp_data::ingest::frame_to_tensors(&frame)),
+        );
         self.frames.insert(key, frame);
+    }
+
+    /// Register (or replace) a table backed by a persistent `tqp-store`
+    /// file. No data is materialized: scans decode (and zone-map-prune)
+    /// chunks on demand, and the catalog receives the statistics the
+    /// store's footer carries — computed by the same builder the
+    /// in-memory path uses, so plans (and therefore results) are
+    /// bit-identical between the two registrations of the same data.
+    pub fn register_stored_table(&mut self, name: &str, table: Arc<StoredTable>) {
+        let key = name.to_ascii_lowercase();
+        self.catalog
+            .register_with_stats(&key, table.schema().clone(), table.stats().clone());
+        self.frames.remove(&key);
+        self.storage.insert(key, TableSource::Stored(table));
     }
 
     /// Register a whole TPC-H instance.
@@ -252,11 +285,45 @@ impl Session {
     }
 
     /// Execute on the row-oriented baseline engine (the paper's Spark
-    /// comparison axis) — same plan, different substrate.
+    /// comparison axis) — same plan, different substrate. Store-backed
+    /// tables **that the plan actually scans** are materialized whole
+    /// for the row engine (it is the differential-test oracle, not a
+    /// production path); frames are shared, not copied (columns are
+    /// `Arc`-backed), and queries over in-memory tables pay nothing.
     pub fn sql_baseline(&self, sql: &str) -> Result<DataFrame, TqpError> {
         let plan = compile_sql(sql, &self.catalog, &PhysicalOptions::default())
             .map_err(TqpError::Compile)?;
-        let engine = RowEngine::new(&self.frames, &self.models);
+        fn scanned_tables(p: &PhysicalPlan, out: &mut Vec<String>) {
+            if let PhysicalPlan::Scan { table, .. } = p {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            for c in p.children() {
+                scanned_tables(c, out);
+            }
+        }
+        let mut needed = Vec::new();
+        scanned_tables(&plan, &mut needed);
+        let needed_stored: Vec<&String> = needed
+            .iter()
+            .filter(|t| matches!(self.storage.get(t.as_str()), Some(TableSource::Stored(_))))
+            .collect();
+        if needed_stored.is_empty() {
+            let engine = RowEngine::new(&self.frames, &self.models);
+            return Ok(engine.execute(&plan));
+        }
+        // Shallow-clone the frame map (Arc-backed columns) and add only
+        // the stored tables this query touches.
+        let mut frames = self.frames.clone();
+        for name in needed_stored {
+            let src = self.storage.get(name.as_str()).expect("checked above");
+            frames.insert(
+                name.clone(),
+                tqp_data::ingest::tensors_to_frame(&src.to_tensor_table()),
+            );
+        }
+        let engine = RowEngine::new(&frames, &self.models);
         Ok(engine.execute(&plan))
     }
 }
@@ -267,6 +334,7 @@ fn exec_config(cfg: QueryConfig) -> ExecConfig {
         backend: cfg.backend,
         device: cfg.device,
         gpu_strategy: cfg.gpu_strategy,
+        prune_scans: cfg.prune_scans,
         workers: cfg.workers,
     }
 }

@@ -116,8 +116,145 @@ pub fn write_csv(frame: &DataFrame, path: &Path) -> Result<(), CsvError> {
     Ok(())
 }
 
+/// Typed per-column builder used by the chunked reader.
+fn build_column(
+    field: &crate::frame::Field,
+    cells: Vec<String>,
+    first_line: usize,
+) -> Result<Column, CsvError> {
+    let col = match field.ty {
+        LogicalType::Bool => Column::from_bool(
+            cells
+                .iter()
+                .map(|c| c.eq_ignore_ascii_case("true"))
+                .collect(),
+        ),
+        LogicalType::Int64 => {
+            let mut vals = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                vals.push(c.parse::<i64>().map_err(|_| CsvError::Parse {
+                    line: first_line + i,
+                    column: field.name.clone(),
+                    value: c.clone(),
+                })?);
+            }
+            Column::from_i64(vals)
+        }
+        LogicalType::Float64 => {
+            let mut vals = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                vals.push(c.parse::<f64>().map_err(|_| CsvError::Parse {
+                    line: first_line + i,
+                    column: field.name.clone(),
+                    value: c.clone(),
+                })?);
+            }
+            Column::from_f64(vals)
+        }
+        LogicalType::Date => {
+            let mut vals = Vec::with_capacity(cells.len());
+            for (i, c) in cells.iter().enumerate() {
+                vals.push(dates::parse_to_ns(c).ok_or_else(|| CsvError::Parse {
+                    line: first_line + i,
+                    column: field.name.clone(),
+                    value: c.clone(),
+                })?);
+            }
+            Column::from_date_ns(vals)
+        }
+        LogicalType::Str => Column::from_str(cells),
+    };
+    Ok(col)
+}
+
+/// Streaming CSV reader yielding frames of at most `chunk_rows` rows —
+/// the ingestion path `tqp-store` uses to build a table **without ever
+/// materializing it whole**. The header row is skipped; memory high-water
+/// is one chunk.
+pub struct CsvChunks {
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+    schema: Schema,
+    chunk_rows: usize,
+    /// 1-based line number of the next data line (header = line 1).
+    next_line: usize,
+    done: bool,
+}
+
+impl CsvChunks {
+    /// Open a CSV file for chunked reading against a known schema.
+    pub fn open(schema: &Schema, path: &Path, chunk_rows: usize) -> Result<CsvChunks, CsvError> {
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        let mut lines = reader.lines();
+        let _header = lines.next().transpose()?;
+        Ok(CsvChunks {
+            lines,
+            schema: schema.clone(),
+            chunk_rows: chunk_rows.max(1),
+            next_line: 2,
+            done: false,
+        })
+    }
+
+    fn read_chunk(&mut self) -> Result<Option<DataFrame>, CsvError> {
+        let ncols = self.schema.len();
+        let mut builders: Vec<Vec<String>> = vec![Vec::new(); ncols];
+        let mut rows = 0usize;
+        let first_line = self.next_line;
+        while rows < self.chunk_rows {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                break;
+            };
+            let line = line?;
+            self.next_line += 1;
+            if line.is_empty() {
+                continue;
+            }
+            let cells = split_line(&line);
+            if cells.len() != ncols {
+                return Err(CsvError::Arity {
+                    line: self.next_line - 1,
+                    expected: ncols,
+                    got: cells.len(),
+                });
+            }
+            for (b, c) in builders.iter_mut().zip(cells) {
+                b.push(c);
+            }
+            rows += 1;
+        }
+        if rows == 0 {
+            return Ok(None);
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for (field, cells) in self.schema.fields.iter().zip(builders) {
+            columns.push(build_column(field, cells, first_line)?);
+        }
+        Ok(Some(DataFrame::new(self.schema.clone(), columns)))
+    }
+}
+
+impl Iterator for CsvChunks {
+    type Item = Result<DataFrame, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_chunk() {
+            Ok(Some(frame)) => Some(Ok(frame)),
+            Ok(None) => None,
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Read a CSV file against a known schema (header row is validated against
-/// field names positionally and then skipped).
+/// field names positionally and then skipped). Materializes the whole
+/// table; use [`CsvChunks`] for streaming ingestion.
 pub fn read_csv(schema: &Schema, path: &Path) -> Result<DataFrame, CsvError> {
     let reader = BufReader::new(std::fs::File::open(path)?);
     let mut lines = reader.lines();
@@ -143,49 +280,7 @@ pub fn read_csv(schema: &Schema, path: &Path) -> Result<DataFrame, CsvError> {
     }
     let mut columns = Vec::with_capacity(ncols);
     for (field, cells) in schema.fields.iter().zip(builders) {
-        let col = match field.ty {
-            LogicalType::Bool => Column::from_bool(
-                cells
-                    .iter()
-                    .map(|c| c.eq_ignore_ascii_case("true"))
-                    .collect(),
-            ),
-            LogicalType::Int64 => {
-                let mut vals = Vec::with_capacity(cells.len());
-                for (i, c) in cells.iter().enumerate() {
-                    vals.push(c.parse::<i64>().map_err(|_| CsvError::Parse {
-                        line: i + 2,
-                        column: field.name.clone(),
-                        value: c.clone(),
-                    })?);
-                }
-                Column::from_i64(vals)
-            }
-            LogicalType::Float64 => {
-                let mut vals = Vec::with_capacity(cells.len());
-                for (i, c) in cells.iter().enumerate() {
-                    vals.push(c.parse::<f64>().map_err(|_| CsvError::Parse {
-                        line: i + 2,
-                        column: field.name.clone(),
-                        value: c.clone(),
-                    })?);
-                }
-                Column::from_f64(vals)
-            }
-            LogicalType::Date => {
-                let mut vals = Vec::with_capacity(cells.len());
-                for (i, c) in cells.iter().enumerate() {
-                    vals.push(dates::parse_to_ns(c).ok_or_else(|| CsvError::Parse {
-                        line: i + 2,
-                        column: field.name.clone(),
-                        value: c.clone(),
-                    })?);
-                }
-                Column::from_date_ns(vals)
-            }
-            LogicalType::Str => Column::from_str(cells),
-        };
-        columns.push(col);
+        columns.push(build_column(field, cells, 2)?);
     }
     Ok(DataFrame::new(schema.clone(), columns))
 }
@@ -224,6 +319,48 @@ mod tests {
             vec!["he said \"hi\"", "x"]
         );
         assert_eq!(split_line(""), vec![""]);
+    }
+
+    #[test]
+    fn chunked_reader_matches_whole_read() {
+        let n = 1003i64;
+        let frame = df(vec![
+            ("id", Column::from_i64((0..n).collect())),
+            (
+                "s",
+                Column::from_str((0..n).map(|i| format!("row {i}, quoted \"x\"")).collect()),
+            ),
+        ]);
+        let dir = std::env::temp_dir().join("tqp_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunked.csv");
+        write_csv(&frame, &path).unwrap();
+        let whole = read_csv(frame.schema(), &path).unwrap();
+        let mut rows = 0usize;
+        let mut n_chunks = 0usize;
+        for chunk in CsvChunks::open(frame.schema(), &path, 100).unwrap() {
+            let chunk = chunk.unwrap();
+            assert!(chunk.nrows() <= 100);
+            for i in 0..chunk.nrows() {
+                assert_eq!(chunk.row(i), whole.row(rows + i));
+            }
+            rows += chunk.nrows();
+            n_chunks += 1;
+        }
+        assert_eq!(rows, n as usize);
+        assert_eq!(n_chunks, 11);
+    }
+
+    #[test]
+    fn chunked_reader_surfaces_parse_errors_once() {
+        let dir = std::env::temp_dir().join("tqp_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunked_bad.csv");
+        std::fs::write(&path, "a\n1\nnope\n2\n").unwrap();
+        let schema = Schema::new(vec![crate::frame::Field::new("a", LogicalType::Int64)]);
+        let results: Vec<_> = CsvChunks::open(&schema, &path, 2).unwrap().collect();
+        assert_eq!(results.len(), 1);
+        assert!(matches!(results[0], Err(CsvError::Parse { line: 3, .. })));
     }
 
     #[test]

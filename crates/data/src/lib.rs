@@ -22,7 +22,9 @@ pub mod datasets;
 pub mod dates;
 pub mod frame;
 pub mod ingest;
+pub mod stats;
 pub mod tpch;
 
 pub use column::{Column, LogicalType};
 pub use frame::{DataFrame, Field, Schema};
+pub use stats::{ColumnStats, StatsBuilder, TableStats};

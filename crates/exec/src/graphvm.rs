@@ -48,7 +48,7 @@ pub fn run_graph(
     models: &ModelRegistry,
     profiler: &Profiler,
     cfg: ExecConfig,
-) -> (DataFrame, DeviceMeter) {
+) -> (DataFrame, DeviceMeter, crate::ScanStats) {
     let prog = load_artifact(artifact, profiler);
     vm::run_program(&prog, storage, models, profiler, cfg, false)
 }
@@ -59,7 +59,7 @@ pub fn run_wasm(
     storage: &Storage,
     models: &ModelRegistry,
     profiler: &Profiler,
-) -> (DataFrame, DeviceMeter) {
+) -> (DataFrame, DeviceMeter, crate::ScanStats) {
     let prog = load_artifact(artifact, profiler);
     let dilation: u32 = std::env::var("TQP_WASM_DILATION")
         .ok()
@@ -70,8 +70,13 @@ pub fn run_wasm(
     let start = profiler.now_us();
     let t0 = std::time::Instant::now();
     let mut tables = std::collections::HashMap::new();
-    for (name, tt) in storage {
-        tables.insert(name.clone(), tqp_data::ingest::tensors_to_frame(tt));
+    for (name, src) in storage {
+        // Stored tables decode every chunk here: the sandbox boundary is
+        // a whole-table copy by design (ORT-Web ships the data in).
+        tables.insert(
+            name.clone(),
+            tqp_data::ingest::tensors_to_frame(&src.to_tensor_table()),
+        );
     }
     profiler.record(
         "WasmSandboxCopy",
@@ -97,7 +102,11 @@ pub fn run_wasm(
         out.nrows() as u64,
         0,
     );
-    (out, DeviceMeter::new(false, crate::GpuStrategy::Resident))
+    (
+        out,
+        DeviceMeter::new(false, crate::GpuStrategy::Resident),
+        crate::ScanStats::default(),
+    )
 }
 
 #[cfg(test)]
@@ -149,8 +158,8 @@ mod tests {
         let bytes = serialize_program(&lower(&plan));
         let models = ModelRegistry::new();
         let profiler = Profiler::new();
-        let (g, _) = run_graph(&bytes, &storage, &models, &profiler, ExecConfig::default());
-        let (w, _) = run_wasm(&bytes, &storage, &models, &profiler);
+        let (g, _, _) = run_graph(&bytes, &storage, &models, &profiler, ExecConfig::default());
+        let (w, _, _) = run_wasm(&bytes, &storage, &models, &profiler);
         assert_eq!(g.nrows(), w.nrows());
         for i in 0..g.nrows() {
             assert_eq!(g.row(i), w.row(i));

@@ -51,16 +51,19 @@ pub mod join;
 pub mod program;
 pub mod scalar;
 pub mod sched;
+pub mod stored;
 pub mod viz;
 pub mod vm;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tqp_data::ingest::TensorTable;
 use tqp_data::DataFrame;
 use tqp_ir::physical::PhysicalPlan;
 use tqp_ml::ModelRegistry;
 use tqp_profile::Profiler;
+use tqp_store::StoredTable;
 
 /// Execution backend (the paper's lowering targets, §2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +106,11 @@ pub struct ExecConfig {
     pub backend: Backend,
     pub device: Device,
     pub gpu_strategy: GpuStrategy,
+    /// Zone-map chunk pruning for `tqp-store`-backed scans (default on).
+    /// Pruning never changes results — it only skips chunks the following
+    /// filter would empty — so the knob exists for benchmarking the
+    /// pruned-vs-unpruned scan cost, not for correctness.
+    pub prune_scans: bool,
     /// Worker threads for morsel-parallel CPU execution: chunked pipeline
     /// segments, partitioned aggregation (optionally fused into its
     /// feeding segment), radix-partitioned join build, parallel hash-probe
@@ -135,13 +143,92 @@ impl Default for ExecConfig {
             backend: Backend::Eager,
             device: Device::Cpu,
             gpu_strategy: GpuStrategy::Resident,
+            prune_scans: true,
             workers: default_workers(),
         }
     }
 }
 
-/// Tensor-format table storage: the output of ingestion (paper §2.1).
-pub type Storage = HashMap<String, TensorTable>;
+/// One executable table: fully ingested tensors, or an on-disk
+/// `tqp-store` table decoded chunk-at-a-time by the scan path.
+#[derive(Debug, Clone)]
+pub enum TableSource {
+    /// In-memory tensor form (the classic `frame_to_tensors` ingest).
+    Mem(TensorTable),
+    /// Persistent chunked columnar storage; scans prune and decode chunks
+    /// on demand (see [`stored`]).
+    Stored(Arc<StoredTable>),
+}
+
+impl TableSource {
+    /// The table schema.
+    pub fn schema(&self) -> &tqp_data::Schema {
+        match self {
+            TableSource::Mem(t) => &t.schema,
+            TableSource::Stored(t) => t.schema(),
+        }
+    }
+
+    /// Total rows.
+    pub fn nrows(&self) -> usize {
+        match self {
+            TableSource::Mem(t) => t.nrows(),
+            TableSource::Stored(t) => t.nrows(),
+        }
+    }
+
+    /// Materialize as a whole tensor table (decodes every chunk of a
+    /// stored table — the Wasm sandbox-copy path; the VM scan never
+    /// calls this).
+    pub fn to_tensor_table(&self) -> TensorTable {
+        match self {
+            TableSource::Mem(t) => t.clone(),
+            TableSource::Stored(t) => stored::materialize(t),
+        }
+    }
+
+    /// The stored-table handle, when disk-backed.
+    pub fn as_stored(&self) -> Option<&Arc<StoredTable>> {
+        match self {
+            TableSource::Stored(t) => Some(t),
+            TableSource::Mem(_) => None,
+        }
+    }
+}
+
+impl From<TensorTable> for TableSource {
+    fn from(t: TensorTable) -> TableSource {
+        TableSource::Mem(t)
+    }
+}
+
+impl From<Arc<StoredTable>> for TableSource {
+    fn from(t: Arc<StoredTable>) -> TableSource {
+        TableSource::Stored(t)
+    }
+}
+
+/// Table storage: the output of ingestion (paper §2.1) — in-memory tensor
+/// tables and/or handles to persistent `tqp-store` tables.
+pub type Storage = HashMap<String, TableSource>;
+
+/// Chunk-level accounting for one execution's stored-table scans (all
+/// zero when every scanned table is in-memory).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Chunks decoded.
+    pub chunks_scanned: u64,
+    /// Chunks skipped by the zone-map pruning pre-pass.
+    pub chunks_pruned: u64,
+}
+
+impl ScanStats {
+    /// Accumulate another scan's counters.
+    pub fn add(&mut self, other: ScanStats) {
+        self.chunks_scanned += other.chunks_scanned;
+        self.chunks_pruned += other.chunks_pruned;
+    }
+}
 
 /// Timing/accounting for one execution.
 #[derive(Debug, Clone, Default)]
@@ -152,6 +239,10 @@ pub struct ExecStats {
     pub gpu_modeled_us: Option<u64>,
     /// Output rows.
     pub rows: usize,
+    /// Stored-table chunks decoded (0 for in-memory scans).
+    pub chunks_scanned: u64,
+    /// Stored-table chunks skipped by zone-map pruning.
+    pub chunks_pruned: u64,
 }
 
 impl ExecStats {
@@ -241,7 +332,7 @@ impl Executor {
         profiler: &Profiler,
     ) -> (DataFrame, ExecStats) {
         let t0 = std::time::Instant::now();
-        let (frame, meter) = match self.cfg.backend {
+        let (frame, meter, scans) = match self.cfg.backend {
             Backend::Eager => {
                 vm::run_program(&self.program, storage, models, profiler, self.cfg, false)
             }
@@ -269,6 +360,8 @@ impl Executor {
                 wall_us,
                 gpu_modeled_us,
                 rows,
+                chunks_scanned: scans.chunks_scanned,
+                chunks_pruned: scans.chunks_pruned,
             },
         )
     }
@@ -278,7 +371,12 @@ impl Executor {
 pub fn ingest_tables(tables: &HashMap<String, DataFrame>) -> Storage {
     tables
         .iter()
-        .map(|(name, frame)| (name.clone(), tqp_data::ingest::frame_to_tensors(frame)))
+        .map(|(name, frame)| {
+            (
+                name.clone(),
+                TableSource::Mem(tqp_data::ingest::frame_to_tensors(frame)),
+            )
+        })
         .collect()
 }
 
@@ -300,13 +398,13 @@ mod tests {
         let s = ExecStats {
             wall_us: 100,
             gpu_modeled_us: Some(7),
-            rows: 0,
+            ..Default::default()
         };
         assert_eq!(s.reported_us(), 7);
         let s = ExecStats {
             wall_us: 100,
             gpu_modeled_us: None,
-            rows: 0,
+            ..Default::default()
         };
         assert_eq!(s.reported_us(), 100);
     }

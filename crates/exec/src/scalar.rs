@@ -398,7 +398,7 @@ mod tests {
             let prog = lower(&plan);
             let scalar_out = run_program_scalar(&prog, &tables, &ModelRegistry::new());
             let storage = crate::ingest_tables(&tables);
-            let (vec_out, _) = vm::run_program(
+            let (vec_out, _, _) = vm::run_program(
                 &prog,
                 &storage,
                 &ModelRegistry::new(),

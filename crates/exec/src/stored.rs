@@ -1,0 +1,298 @@
+//! Stored-table scans: zone-map pruning pre-pass + chunk-at-a-time decode
+//! through the shared morsel scheduler.
+//!
+//! A `tqp-store` table arrives at the VM as chunks with per-column
+//! [`ZoneMap`]s. Before decoding anything, the scan inspects the compiled
+//! filter that consumes it (when one directly follows in the pipeline
+//! segment): every conjunct whose compiled form is `CompareConst` or
+//! `IsNull` over a bare column load is evaluated **against the zone maps**
+//! — a chunk no row of which can satisfy some conjunct is skipped without
+//! touching its bytes. Surviving chunks decode in parallel via
+//! [`crate::sched::map_tasks`] and concatenate **in chunk order**.
+//!
+//! ## Determinism under pruning
+//!
+//! Pruning only ever removes rows the filter was about to drop, so the
+//! post-filter row sequence is identical to the in-memory path's. The one
+//! place raw (pre-filter) geometry leaks into results is the fused
+//! partitioned aggregation, whose float partials merge per scan-morsel:
+//! the scan therefore reports a [`ScanLayout`] mapping pruned row
+//! coordinates back to **original** row offsets, and the aggregation
+//! route carves its morsels in original coordinates (pruned gaps become
+//! empty partials — merge identities). Partial grouping is then
+//! bit-identical to an unpruned in-memory scan of the same table at every
+//! worker count.
+
+use std::sync::Arc;
+
+use tqp_store::{StoredTable, ZoneMap};
+use tqp_tensor::{Scalar, Tensor};
+
+use crate::batch::Batch;
+use crate::expr::to_cmp;
+use crate::exprprog::{ExprOp, ExprProgram};
+
+/// Pruned-scan coordinate map: which original row ranges survived.
+#[derive(Debug, Clone)]
+pub struct ScanLayout {
+    /// Rows the unpruned table holds.
+    pub original_rows: usize,
+    /// Kept ranges as `(original_start, len)`, ascending, non-adjacent
+    /// gaps = pruned chunks.
+    kept: Vec<(usize, usize)>,
+    /// Cumulative kept rows before each range (same length as `kept`).
+    prefix: Vec<usize>,
+}
+
+impl ScanLayout {
+    /// Build from kept ranges in ascending original order.
+    pub fn new(original_rows: usize, kept: Vec<(usize, usize)>) -> ScanLayout {
+        let mut prefix = Vec::with_capacity(kept.len());
+        let mut acc = 0usize;
+        for &(_, len) in &kept {
+            prefix.push(acc);
+            acc += len;
+        }
+        ScanLayout {
+            original_rows,
+            kept,
+            prefix,
+        }
+    }
+
+    /// An identity layout (nothing pruned).
+    pub fn identity(rows: usize) -> ScanLayout {
+        ScanLayout::new(rows, vec![(0, rows)])
+    }
+
+    /// Number of kept rows strictly before original row `orig`.
+    fn kept_before(&self, orig: usize) -> usize {
+        // Last range starting at or before `orig`.
+        match self.kept.partition_point(|&(start, _)| start <= orig) {
+            0 => 0,
+            i => {
+                let (start, len) = self.kept[i - 1];
+                self.prefix[i - 1] + (orig - start).min(len)
+            }
+        }
+    }
+
+    /// Map an original row range `[lo, hi)` to pruned coordinates. The
+    /// kept rows of an original range are contiguous in pruned space
+    /// because pruning removes whole ranges and preserves order.
+    pub fn project(&self, lo: usize, hi: usize) -> (usize, usize) {
+        (self.kept_before(lo), self.kept_before(hi))
+    }
+
+    /// Total kept rows.
+    pub fn kept_rows(&self) -> usize {
+        self.prefix
+            .last()
+            .map_or(0, |&p| p + self.kept.last().unwrap().1)
+    }
+}
+
+/// One zone-testable conjunct extracted from a compiled filter.
+#[derive(Debug, Clone)]
+pub enum PrunePred {
+    /// `column <op> constant` (the compiled `CompareConst` fast path).
+    Cmp {
+        /// Stored-table column index (scan projection already applied).
+        col: usize,
+        op: tqp_tensor::ops::CmpOp,
+        value: Scalar,
+    },
+    /// `column IS [NOT] NULL`.
+    Null { col: usize, negated: bool },
+}
+
+impl PrunePred {
+    /// Could any row of the chunk behind `zone` satisfy this conjunct?
+    fn may_match(&self, zone: &ZoneMap, rows: u64) -> bool {
+        match self {
+            PrunePred::Cmp { op, value, .. } => zone.may_match_compare(*op, value),
+            PrunePred::Null { negated, .. } => zone.may_match_is_null(*negated, rows),
+        }
+    }
+
+    /// The stored-table column this predicate tests.
+    fn col(&self) -> usize {
+        match self {
+            PrunePred::Cmp { col, .. } | PrunePred::Null { col, .. } => *col,
+        }
+    }
+}
+
+/// Extract the zone-testable conjuncts of a compiled filter. Every output
+/// of the program is one conjunct; only outputs whose defining op is a
+/// `CompareConst`/`IsNull` over a direct `LoadColumn` participate —
+/// anything else (arithmetic, LIKE, OR-trees, CASE) is left to the real
+/// filter. `projection` maps scan-batch column indexes back to stored
+/// columns. Programs still carrying unbound parameter slots yield nothing
+/// (their constants are placeholders).
+pub fn prunable_conjuncts(prog: &ExprProgram, projection: Option<&[usize]>) -> Vec<PrunePred> {
+    if !prog.params.is_empty() {
+        return Vec::new();
+    }
+    let table_col = |scan_col: usize| -> usize {
+        match projection {
+            Some(p) => p[scan_col],
+            None => scan_col,
+        }
+    };
+    let mut out = Vec::new();
+    for &reg in &prog.outputs {
+        match &prog.ops[reg] {
+            ExprOp::CompareConst { op, src, value } => {
+                if let ExprOp::LoadColumn { index, .. } = &prog.ops[*src] {
+                    if let Some(cmp) = to_cmp(*op) {
+                        out.push(PrunePred::Cmp {
+                            col: table_col(*index),
+                            op: cmp,
+                            value: value.clone(),
+                        });
+                    }
+                }
+            }
+            ExprOp::IsNull { src, negated } => {
+                if let ExprOp::LoadColumn { index, .. } = &prog.ops[*src] {
+                    out.push(PrunePred::Null {
+                        col: table_col(*index),
+                        negated: *negated,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Outcome of a stored scan: the decoded batch, the coordinate layout,
+/// and pruning counters.
+pub struct StoredScan {
+    pub batch: Batch,
+    pub layout: ScanLayout,
+    pub chunks_scanned: u64,
+    pub chunks_pruned: u64,
+}
+
+/// Scan a stored table: prune chunks against `preds`, decode survivors
+/// (fanned out over the shared pool when `workers > 1`), concatenate in
+/// chunk order.
+pub fn scan_stored(
+    table: &Arc<StoredTable>,
+    cols: &[usize],
+    preds: &[PrunePred],
+    workers: usize,
+) -> StoredScan {
+    let n_chunks = table.n_chunks();
+    let mut keep: Vec<usize> = Vec::with_capacity(n_chunks);
+    let mut kept_ranges: Vec<(usize, usize)> = Vec::with_capacity(n_chunks);
+    let mut orig = 0usize;
+    for c in 0..n_chunks {
+        let rows = table.chunk_len(c);
+        let survives = preds
+            .iter()
+            .all(|p| p.may_match(table.zone(c, p.col()), rows as u64));
+        if survives {
+            keep.push(c);
+            kept_ranges.push((orig, rows));
+        }
+        orig += rows;
+    }
+    let layout = ScanLayout::new(table.nrows(), kept_ranges);
+    let chunks_pruned = (n_chunks - keep.len()) as u64;
+    let chunks_scanned = keep.len() as u64;
+
+    let batch = if keep.is_empty() {
+        decoded_to_batch(table.empty_columns(cols))
+    } else {
+        let parts: Vec<Batch> = crate::sched::map_tasks(keep.len(), workers, |k| {
+            let decoded = table
+                .decode_chunk(keep[k], cols)
+                .unwrap_or_else(|e| panic!("decoding chunk {} of {:?}: {e}", keep[k], table));
+            decoded_to_batch(decoded)
+        });
+        Batch::vcat_all(parts)
+    };
+    StoredScan {
+        batch,
+        layout,
+        chunks_scanned,
+        chunks_pruned,
+    }
+}
+
+/// Materialize a whole stored table as one tensor table (the Wasm
+/// sandbox-copy and baseline-oracle path — sequential, unpruned).
+pub fn materialize(table: &StoredTable) -> tqp_data::ingest::TensorTable {
+    let cols: Vec<usize> = (0..table.schema().len()).collect();
+    let mut per_col: Vec<Vec<Tensor>> = vec![Vec::new(); cols.len()];
+    for c in 0..table.n_chunks() {
+        let decoded = table
+            .decode_chunk(c, &cols)
+            .unwrap_or_else(|e| panic!("decoding chunk {c} of {table:?}: {e}"));
+        for (slot, (tensor, validity)) in per_col.iter_mut().zip(decoded) {
+            assert!(
+                validity.is_none(),
+                "cannot materialize a NULL-bearing stored table as a frame"
+            );
+            slot.push(tensor);
+        }
+    }
+    let tensors: Vec<Tensor> = if table.n_chunks() == 0 {
+        table
+            .empty_columns(&cols)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    } else {
+        per_col
+            .iter()
+            .map(|parts| {
+                let refs: Vec<&Tensor> = parts.iter().collect();
+                tqp_tensor::index::concat(&refs)
+            })
+            .collect()
+    };
+    tqp_data::ingest::TensorTable {
+        schema: table.schema().clone(),
+        tensors,
+    }
+}
+
+fn decoded_to_batch(decoded: Vec<tqp_store::DecodedColumn>) -> Batch {
+    let mut columns = Vec::with_capacity(decoded.len());
+    let mut validity = Vec::with_capacity(decoded.len());
+    for (t, v) in decoded {
+        columns.push(t);
+        validity.push(v);
+    }
+    Batch::with_validity(columns, validity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_projection() {
+        // Original 100 rows; kept [10, 30) and [60, 80).
+        let l = ScanLayout::new(100, vec![(10, 20), (60, 20)]);
+        assert_eq!(l.kept_rows(), 40);
+        assert_eq!(l.project(0, 10), (0, 0));
+        assert_eq!(l.project(0, 100), (0, 40));
+        assert_eq!(l.project(10, 30), (0, 20));
+        assert_eq!(l.project(15, 65), (5, 25));
+        assert_eq!(l.project(30, 60), (20, 20));
+        assert_eq!(l.project(70, 90), (30, 40));
+    }
+
+    #[test]
+    fn identity_layout() {
+        let l = ScanLayout::identity(50);
+        assert_eq!(l.project(7, 31), (7, 31));
+        assert_eq!(l.kept_rows(), 50);
+    }
+}

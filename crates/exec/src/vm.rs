@@ -45,6 +45,7 @@
 //! and charges the [`DeviceMeter`] — the simulated-GPU path stays
 //! single-threaded so modeled time is independent of host parallelism.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tqp_data::{DataFrame, LogicalType};
@@ -62,7 +63,8 @@ use crate::device::{kernel_count, DeviceMeter};
 use crate::exprprog::{self, ExprProgram, FusedEval};
 use crate::join;
 use crate::program::{ProgOp, ReduceExprs, TensorProgram};
-use crate::{Device, ExecConfig, Storage};
+use crate::stored::{self, ScanLayout};
+use crate::{Device, ExecConfig, ScanStats, Storage, TableSource};
 
 /// Minimum scanned rows before a pipeline segment is worth chunking.
 const PAR_SEGMENT_MIN_ROWS: usize = 64 * 1024;
@@ -89,8 +91,9 @@ impl Value {
     }
 }
 
-/// Execute a program against storage, producing the result frame and the
-/// device meter. `fused` selects the Fused (TorchScript-analog) mode.
+/// Execute a program against storage, producing the result frame, the
+/// device meter, and chunk-scan counters. `fused` selects the Fused
+/// (TorchScript-analog) mode.
 pub fn run_program(
     prog: &TensorProgram,
     storage: &Storage,
@@ -98,17 +101,24 @@ pub fn run_program(
     profiler: &Profiler,
     cfg: ExecConfig,
     fused: bool,
-) -> (DataFrame, DeviceMeter) {
+) -> (DataFrame, DeviceMeter, ScanStats) {
     let mut meter = DeviceMeter::new(cfg.device == Device::GpuSim, cfg.gpu_strategy);
     let cx = Vm {
         storage,
         models,
         profiler,
         fused,
+        prune: cfg.prune_scans,
         workers: cfg.workers.max(1),
+        chunks_scanned: AtomicU64::new(0),
+        chunks_pruned: AtomicU64::new(0),
     };
     let batch = cx.exec(prog, &mut meter);
-    (batch_to_frame(&batch, &prog.schema), meter)
+    let scans = ScanStats {
+        chunks_scanned: cx.chunks_scanned.load(Ordering::Relaxed),
+        chunks_pruned: cx.chunks_pruned.load(Ordering::Relaxed),
+    };
+    (batch_to_frame(&batch, &prog.schema), meter, scans)
 }
 
 /// VM context: immutable inputs shared by worker threads.
@@ -117,7 +127,12 @@ struct Vm<'a> {
     models: &'a ModelRegistry,
     profiler: &'a Profiler,
     fused: bool,
+    /// Zone-map chunk pruning enabled (stored tables only).
+    prune: bool,
     workers: usize,
+    /// Stored-table chunk counters (updated on the submitting thread).
+    chunks_scanned: AtomicU64,
+    chunks_pruned: AtomicU64,
 }
 
 /// Per-op sample from one morsel: (duration µs, output rows, output bytes).
@@ -161,11 +176,27 @@ impl Vm<'_> {
                     _ => None,
                 };
 
-                let scanned = self.exec_scan_op(i, &prog.ops[i], meter);
+                // A Filter directly consuming the scan inside this segment
+                // drives the zone-map pruning pre-pass for stored tables
+                // (the segment guarantees no other op reads the scan).
+                let prune_filter = if seg_end > i + 1 {
+                    match &prog.ops[i + 1] {
+                        ProgOp::Filter { conjuncts, .. } => Some(conjuncts),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let (scanned, layout) = self.exec_scan_op(i, &prog.ops[i], meter, prune_filter);
                 if let Some((dst, strategy, reduce)) = fused_agg {
-                    if scanned.nrows() >= agg::par_min_rows() {
-                        let out = self
-                            .exec_segment_agg_parallel(prog, i, seg_end, scanned, strategy, reduce);
+                    // Gate on the *original* (pre-pruning) row count so a
+                    // pruned stored scan takes the same aggregation route
+                    // — and the same morsel geometry — as the in-memory
+                    // path over the same table (bitwise parity contract).
+                    if layout.original_rows >= agg::par_min_rows() {
+                        let out = self.exec_segment_agg_parallel(
+                            prog, i, seg_end, scanned, &layout, strategy, reduce,
+                        );
                         regs[dst] = Some(Value::Batch(out));
                         for k in i..=seg_end {
                             self.release(&mut regs, &prog.ops[k], &last_use, k, prog.output);
@@ -310,20 +341,26 @@ impl Vm<'_> {
     /// and immediately computes a partial aggregate from the chain output;
     /// partials merge in fixed morsel order (the determinism contract —
     /// see [`crate::agg`]). Morsel geometry comes from
-    /// [`agg::par_morsel_rows`], never from the worker count, so results
-    /// are bit-identical at every `workers` setting.
+    /// [`agg::par_morsel_rows`] over the scan's **original** row space
+    /// (`layout` maps pruned stored scans back to it; chunks a pruned
+    /// scan skipped become empty partials — merge identities), never from
+    /// the worker count, so results are bit-identical at every `workers`
+    /// setting *and* bit-identical between pruned, unpruned, and
+    /// in-memory scans of the same table.
+    #[allow(clippy::too_many_arguments)]
     fn exec_segment_agg_parallel(
         &self,
         prog: &TensorProgram,
         start: usize,
         chain_end: usize,
         scanned: Batch,
+        layout: &ScanLayout,
         strategy: AggStrategy,
         reduce: &ReduceExprs,
     ) -> Batch {
-        let n = scanned.nrows();
+        let n_orig = layout.original_rows;
         let morsel_rows = agg::par_morsel_rows();
-        let n_morsels = n.div_ceil(morsel_rows);
+        let n_morsels = n_orig.div_ceil(morsel_rows);
         let chain_len = chain_end - start - 1;
         let start_us = self.profiler.now_us();
 
@@ -333,7 +370,8 @@ impl Vm<'_> {
         let scanned = &scanned;
         let slots: Vec<MorselOut> = agg::map_morsels(n_morsels, self.workers, |m| {
             let lo = m * morsel_rows;
-            let hi = ((m + 1) * morsel_rows).min(n);
+            let hi = ((m + 1) * morsel_rows).min(n_orig);
+            let (lo, hi) = layout.project(lo, hi);
             let morsel = scanned.slice_rows(lo, hi);
             let mut samples: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
             let out = self.run_chain_morsel(prog, start, chain_end, morsel, &mut samples);
@@ -462,8 +500,18 @@ impl Vm<'_> {
         Batch::with_validity(columns, validity)
     }
 
-    /// Execute a `Scan` with profiling/metering, returning the batch.
-    fn exec_scan_op(&self, idx: usize, op: &ProgOp, meter: &mut DeviceMeter) -> Batch {
+    /// Execute a `Scan` with profiling/metering. Returns the batch plus
+    /// the original-coordinate layout (identity for in-memory tables;
+    /// pruned ranges for stored tables when `prune_filter` zone tests
+    /// skipped chunks). `prune_filter` is the compiled filter directly
+    /// consuming this scan inside its pipeline segment, if any.
+    fn exec_scan_op(
+        &self,
+        idx: usize,
+        op: &ProgOp,
+        meter: &mut DeviceMeter,
+        prune_filter: Option<&ExprProgram>,
+    ) -> (Batch, ScanLayout) {
         let ProgOp::Scan {
             table, projection, ..
         } = op
@@ -472,18 +520,46 @@ impl Vm<'_> {
         };
         let start = self.profiler.now_us();
         let t0 = Instant::now();
-        let tt = self
+        let src = self
             .storage
             .get(table)
             .unwrap_or_else(|| panic!("table {table} not ingested"));
-        let tensors: Vec<Tensor> = match projection {
-            Some(p) => p.iter().map(|&i| tt.tensors[i].clone()).collect(),
-            None => tt.tensors.clone(),
+        let (out, layout) = match src {
+            TableSource::Mem(tt) => {
+                let tensors: Vec<Tensor> = match projection {
+                    Some(p) => p.iter().map(|&i| tt.tensors[i].clone()).collect(),
+                    None => tt.tensors.clone(),
+                };
+                let out = Batch::new(tensors);
+                let layout = ScanLayout::identity(out.nrows());
+                (out, layout)
+            }
+            TableSource::Stored(st) => {
+                let cols: Vec<usize> = match projection {
+                    Some(p) => p.clone(),
+                    None => (0..st.schema().len()).collect(),
+                };
+                // Metered (GpuSim) runs stay sequential and unpruned so
+                // modeled time is configuration-independent.
+                let preds = if self.prune && !meter.is_enabled() {
+                    prune_filter
+                        .map(|f| stored::prunable_conjuncts(f, projection.as_deref()))
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                let workers = if meter.is_enabled() { 1 } else { self.workers };
+                let scan = stored::scan_stored(st, &cols, &preds, workers);
+                self.chunks_scanned
+                    .fetch_add(scan.chunks_scanned, Ordering::Relaxed);
+                self.chunks_pruned
+                    .fetch_add(scan.chunks_pruned, Ordering::Relaxed);
+                (scan.batch, scan.layout)
+            }
         };
-        let out = Batch::new(tensors);
         meter.op(kernel_count("Scan", 0), 0, out.nbytes());
         self.span(&op_key(&op.name(), idx), start, t0, &out);
-        out
+        (out, layout)
     }
 
     /// Execute one op sequentially with profiling/metering.
@@ -496,7 +572,7 @@ impl Vm<'_> {
     ) {
         match op {
             ProgOp::Scan { dst, .. } => {
-                let out = self.exec_scan_op(idx, op, meter);
+                let (out, _) = self.exec_scan_op(idx, op, meter, None);
                 regs[*dst] = Some(Value::Batch(out));
             }
             ProgOp::Filter {
@@ -833,7 +909,7 @@ mod tests {
         let prog = lower(&plan);
         let models = ModelRegistry::new();
         let profiler = Profiler::disabled();
-        let (out, _) = run_program(
+        let (out, _, _) = run_program(
             &prog,
             &storage,
             &models,
@@ -910,7 +986,7 @@ mod tests {
             device: Device::GpuSim,
             ..Default::default()
         };
-        let (_, meter) = run_program(&prog, &storage, &models, &profiler, cfg, false);
+        let (_, meter, _) = run_program(&prog, &storage, &models, &profiler, cfg, false);
         assert!(meter.total_us() > 0);
     }
 
@@ -947,8 +1023,8 @@ mod tests {
             workers: 4,
             ..Default::default()
         };
-        let (seq, _) = run_program(&prog, &storage, &models, &profiler, seq_cfg, false);
-        let (par, _) = run_program(&prog, &storage, &models, &profiler, par_cfg, false);
+        let (seq, _, _) = run_program(&prog, &storage, &models, &profiler, seq_cfg, false);
+        let (par, _, _) = run_program(&prog, &storage, &models, &profiler, par_cfg, false);
         assert_eq!(seq.nrows(), par.nrows());
         for i in 0..seq.nrows() {
             assert_eq!(seq.row(i), par.row(i), "row {i}");
@@ -992,7 +1068,7 @@ mod tests {
                 ..Default::default()
             };
             for fused in [false, true] {
-                let (out, _) = run_program(&prog, &storage, &models, &profiler, cfg, fused);
+                let (out, _, _) = run_program(&prog, &storage, &models, &profiler, cfg, fused);
                 frames.push((workers, fused, out));
             }
         }
@@ -1038,7 +1114,7 @@ mod tests {
                 workers,
                 ..Default::default()
             };
-            let (out, _) = run_program(&prog, &storage, &models, &profiler, cfg, false);
+            let (out, _, _) = run_program(&prog, &storage, &models, &profiler, cfg, false);
             assert_eq!(out.nrows(), 1, "workers={workers}");
             assert_eq!(out.column(0).get(0).as_i64(), 0);
             assert_eq!(out.column(1).get(0).as_f64(), 0.0);

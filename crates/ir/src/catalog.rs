@@ -1,13 +1,16 @@
-//! Table catalog: name → schema + row-count statistics.
+//! Table catalog: name → schema + statistics.
 //!
-//! The optimizer's greedy join ordering uses the row counts; the binder uses
-//! the schemas. The catalog deliberately knows nothing about where the data
-//! lives — execution engines resolve table names against their own storage
-//! (a `Session` in `tqp-core`).
+//! The optimizer's greedy join ordering uses the row counts — and, when a
+//! table was registered with full [`TableStats`] (per-column min/max,
+//! NULL counts, distinct estimates; produced by in-memory ingestion or
+//! read from a `tqp-store` footer), filter-selectivity estimation uses
+//! those too. The binder uses the schemas. The catalog deliberately knows
+//! nothing about where the data lives — execution engines resolve table
+//! names against their own storage (a `Session` in `tqp-core`).
 
 use std::collections::HashMap;
 
-use tqp_data::Schema;
+use tqp_data::{Schema, TableStats};
 
 /// Metadata for one registered table.
 #[derive(Debug, Clone)]
@@ -15,6 +18,10 @@ pub struct TableMeta {
     pub schema: Schema,
     /// Estimated (or exact) row count, used for join ordering.
     pub rows: usize,
+    /// Full column statistics when the registration path computed them
+    /// (`None` for schema-only registrations, e.g. [`Catalog::tpch`]);
+    /// selectivity estimation falls back to fixed constants without them.
+    pub stats: Option<TableStats>,
 }
 
 /// A name → table metadata map (case-insensitive names).
@@ -29,10 +36,29 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a table.
+    /// Register (or replace) a table with row count only.
     pub fn register(&mut self, name: &str, schema: Schema, rows: usize) {
-        self.tables
-            .insert(name.to_ascii_lowercase(), TableMeta { schema, rows });
+        self.tables.insert(
+            name.to_ascii_lowercase(),
+            TableMeta {
+                schema,
+                rows,
+                stats: None,
+            },
+        );
+    }
+
+    /// Register (or replace) a table with full column statistics.
+    pub fn register_with_stats(&mut self, name: &str, schema: Schema, stats: TableStats) {
+        let rows = stats.rows;
+        self.tables.insert(
+            name.to_ascii_lowercase(),
+            TableMeta {
+                schema,
+                rows,
+                stats: Some(stats),
+            },
+        );
     }
 
     /// Look up a table.

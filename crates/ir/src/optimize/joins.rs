@@ -11,6 +11,7 @@ use crate::catalog::Catalog;
 use crate::expr::{BinOp, BoundExpr};
 use crate::optimize::{conjoin, map_children, split_conjuncts};
 use crate::plan::{ColMeta, JoinType, LogicalPlan};
+use tqp_tensor::Scalar;
 
 /// Run the pass bottom-up over the whole plan.
 pub fn extract_joins(plan: LogicalPlan, catalog: &Catalog) -> LogicalPlan {
@@ -434,7 +435,9 @@ pub(crate) fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
         LogicalPlan::Scan { table, .. } => {
             catalog.get(table).map(|m| m.rows as f64).unwrap_or(1000.0)
         }
-        LogicalPlan::Filter { input, .. } => estimate(input, catalog) * 0.2,
+        LogicalPlan::Filter { input, predicate } => {
+            estimate(input, catalog) * filter_selectivity(predicate, input, catalog)
+        }
         LogicalPlan::Project { input, .. } => estimate(input, catalog),
         LogicalPlan::Join {
             left,
@@ -460,6 +463,221 @@ pub(crate) fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
         LogicalPlan::Sort { input, .. } => estimate(input, catalog),
         LogicalPlan::Limit { input, n } => estimate(input, catalog).min(*n as f64),
     }
+}
+
+// ---------------------------------------------------------------------
+// Stats-driven filter selectivity
+// ---------------------------------------------------------------------
+
+/// Fallback selectivity for a filter (or a conjunct) the statistics can't
+/// estimate — the pre-stats constant, kept so schema-only catalogs plan
+/// exactly as before.
+const DEFAULT_FILTER_SELECTIVITY: f64 = 0.2;
+
+/// Selectivity of a filter predicate over `input`. When `input` is a
+/// scan whose catalog entry carries full [`tqp_data::TableStats`]
+/// (in-memory ingestion and `tqp-store` footers both produce them), each
+/// conjunct is estimated from real min/max ranges, distinct counts, and
+/// NULL fractions; otherwise the historic `0.2` constant applies to the
+/// whole filter.
+fn filter_selectivity(predicate: &BoundExpr, input: &LogicalPlan, catalog: &Catalog) -> f64 {
+    let Some((stats, projection)) = scan_stats(input, catalog) else {
+        return DEFAULT_FILTER_SELECTIVITY;
+    };
+    let mut conjuncts = Vec::new();
+    split_conjuncts(predicate.clone(), &mut conjuncts);
+    let mut s = 1.0;
+    for c in &conjuncts {
+        s *= conjunct_selectivity(c, stats, projection);
+    }
+    // Never estimate a truly empty (or full) input: keep ordering stable
+    // under small estimation errors.
+    s.clamp(1e-4, 1.0)
+}
+
+/// Stats + projection mapping when the filter sits directly on a scan.
+fn scan_stats<'a>(
+    input: &'a LogicalPlan,
+    catalog: &'a Catalog,
+) -> Option<(&'a tqp_data::TableStats, Option<&'a [usize]>)> {
+    if let LogicalPlan::Scan {
+        table, projection, ..
+    } = input
+    {
+        let stats = catalog.get(table)?.stats.as_ref()?;
+        return Some((stats, projection.as_deref()));
+    }
+    None
+}
+
+/// Column stats for a scan-output column index (through the projection).
+fn col_stats<'a>(
+    index: usize,
+    stats: &'a tqp_data::TableStats,
+    projection: Option<&[usize]>,
+) -> Option<&'a tqp_data::ColumnStats> {
+    let table_col = match projection {
+        Some(p) => *p.get(index)?,
+        None => index,
+    };
+    stats.columns.get(table_col)
+}
+
+fn numeric_f64(s: &Scalar) -> Option<f64> {
+    match s {
+        Scalar::I64(x) => Some(*x as f64),
+        Scalar::F64(x) if !x.is_nan() => Some(*x),
+        _ => None,
+    }
+}
+
+/// Selectivity of one conjunct (System-R style estimates).
+fn conjunct_selectivity(
+    e: &BoundExpr,
+    stats: &tqp_data::TableStats,
+    projection: Option<&[usize]>,
+) -> f64 {
+    let rows = stats.rows.max(1) as f64;
+    match e {
+        BoundExpr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+            ..
+        } => {
+            let a = conjunct_selectivity(left, stats, projection);
+            let b = conjunct_selectivity(right, stats, projection);
+            (a + b - a * b).clamp(0.0, 1.0)
+        }
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+            ..
+        } => {
+            let a = conjunct_selectivity(left, stats, projection);
+            let b = conjunct_selectivity(right, stats, projection);
+            (a * b).clamp(0.0, 1.0)
+        }
+        BoundExpr::Binary {
+            op, left, right, ..
+        } => {
+            // Normalize to column-op-literal.
+            let (col, value, op) = match (left.as_ref(), right.as_ref()) {
+                (BoundExpr::Column { index, .. }, BoundExpr::Literal { value, .. }) => {
+                    (*index, value, *op)
+                }
+                (BoundExpr::Literal { value, .. }, BoundExpr::Column { index, .. }) => {
+                    let flipped = match op {
+                        BinOp::Lt => BinOp::Gt,
+                        BinOp::LtEq => BinOp::GtEq,
+                        BinOp::Gt => BinOp::Lt,
+                        BinOp::GtEq => BinOp::LtEq,
+                        other => *other,
+                    };
+                    (*index, value, flipped)
+                }
+                _ => return DEFAULT_FILTER_SELECTIVITY,
+            };
+            let Some(cs) = col_stats(col, stats, projection) else {
+                return DEFAULT_FILTER_SELECTIVITY;
+            };
+            let valid = 1.0 - (cs.null_count as f64 / rows).clamp(0.0, 1.0);
+            let distinct = cs.distinct.max(1) as f64;
+            match op {
+                BinOp::Eq => {
+                    if out_of_range(cs, value) {
+                        0.0
+                    } else {
+                        valid / distinct
+                    }
+                }
+                BinOp::NotEq => valid * (1.0 - 1.0 / distinct),
+                BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                    let frac = range_fraction(cs, value, op).unwrap_or(1.0 / 3.0);
+                    valid * frac
+                }
+                _ => DEFAULT_FILTER_SELECTIVITY,
+            }
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let BoundExpr::Column { index, .. } = expr.as_ref() else {
+                return DEFAULT_FILTER_SELECTIVITY;
+            };
+            let Some(cs) = col_stats(*index, stats, projection) else {
+                return DEFAULT_FILTER_SELECTIVITY;
+            };
+            let valid = 1.0 - (cs.null_count as f64 / rows).clamp(0.0, 1.0);
+            let hit = (list.len() as f64 / cs.distinct.max(1) as f64).clamp(0.0, 1.0);
+            if *negated {
+                valid * (1.0 - hit)
+            } else {
+                valid * hit
+            }
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let BoundExpr::Column { index, .. } = expr.as_ref() else {
+                return 0.5;
+            };
+            let Some(cs) = col_stats(*index, stats, projection) else {
+                return 0.5;
+            };
+            let null_frac = (cs.null_count as f64 / rows).clamp(0.0, 1.0);
+            if *negated {
+                1.0 - null_frac
+            } else {
+                null_frac
+            }
+        }
+        BoundExpr::Not(inner) => {
+            (1.0 - conjunct_selectivity(inner, stats, projection)).clamp(0.0, 1.0)
+        }
+        BoundExpr::Like { negated, .. } => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        _ => DEFAULT_FILTER_SELECTIVITY,
+    }
+}
+
+/// True when an equality constant provably falls outside the column's
+/// min/max (zone-style reasoning lifted to table level).
+fn out_of_range(cs: &tqp_data::ColumnStats, value: &Scalar) -> bool {
+    let (Some(min), Some(max), Some(v)) = (
+        cs.min.as_ref().and_then(numeric_f64),
+        cs.max.as_ref().and_then(numeric_f64),
+        numeric_f64(value),
+    ) else {
+        return false;
+    };
+    v < min || v > max
+}
+
+/// Fraction of the column's [min, max] range a one-sided comparison
+/// keeps (`None` when the bounds or the constant aren't numeric).
+fn range_fraction(cs: &tqp_data::ColumnStats, value: &Scalar, op: BinOp) -> Option<f64> {
+    let min = cs.min.as_ref().and_then(numeric_f64)?;
+    let max = cs.max.as_ref().and_then(numeric_f64)?;
+    let v = numeric_f64(value)?;
+    let below = if max > min {
+        ((v - min) / (max - min)).clamp(0.0, 1.0)
+    } else if v > min || (v == min && op == BinOp::LtEq) {
+        1.0
+    } else {
+        0.0
+    };
+    Some(match op {
+        BinOp::Lt | BinOp::LtEq => below,
+        BinOp::Gt | BinOp::GtEq => 1.0 - below,
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -636,5 +854,108 @@ mod tests {
             count_nodes(&p, &|n| matches!(n, LogicalPlan::CrossJoin { .. })),
             1
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Stats-driven selectivity
+    // -----------------------------------------------------------------
+
+    /// A catalog whose `big` table carries real column statistics.
+    fn stats_catalog() -> Catalog {
+        use tqp_data::frame::df;
+        use tqp_data::Column;
+        let n = 10_000i64;
+        let frame = df(vec![
+            ("id", Column::from_i64((0..n).collect())),
+            (
+                "small_id",
+                Column::from_i64((0..n).map(|i| i % 10).collect()),
+            ),
+            (
+                "v",
+                Column::from_f64((0..n).map(|i| (i % 100) as f64).collect()),
+            ),
+        ]);
+        let mut c = catalog();
+        c.register_with_stats(
+            "big",
+            frame.schema().clone(),
+            tqp_data::stats::frame_stats(&frame),
+        );
+        c
+    }
+
+    fn filtered_estimate(sql_pred: &str, c: &Catalog) -> f64 {
+        let sql = format!("select big.v from big where {sql_pred}");
+        let bound = bind_query(&tqp_sql::parse(&sql).unwrap(), c).unwrap();
+        estimate(&bound, c)
+    }
+
+    #[test]
+    fn stats_drive_filter_estimates() {
+        let c = stats_catalog();
+        // Equality on a 10-value column: ~1/10 of 10k rows.
+        let eq = filtered_estimate("big.small_id = 3", &c);
+        assert!((900.0..1100.0).contains(&eq), "eq estimate {eq}");
+        // Range keeping ~25% of [0, 99].
+        let rng = filtered_estimate("big.v < 25.0", &c);
+        assert!((2000.0..3100.0).contains(&rng), "range estimate {rng}");
+        // Equality provably outside [min, max] → floor, not 20%.
+        let out = filtered_estimate("big.id = 99999", &c);
+        assert!(out <= 10.0, "out-of-range estimate {out}");
+        // Conjuncts multiply.
+        let both = filtered_estimate("big.small_id = 3 and big.v < 25.0", &c);
+        assert!(both < eq.min(rng), "conjunction estimate {both}");
+    }
+
+    #[test]
+    fn missing_stats_keep_the_legacy_constant() {
+        let c = catalog();
+        let e = filtered_estimate("big.v < 25.0", &c);
+        assert!((e - 2000.0).abs() < 1.0, "fallback 0.2 × 10000, got {e}");
+    }
+
+    #[test]
+    fn stats_fix_misleading_join_order() {
+        // Both relations have 10k rows; `wide.k = 1` keeps almost all of
+        // `wide` (2 distinct values) while `narrow.k = 1` keeps ~0.1%
+        // (1000 distinct values). Without stats both filters estimate
+        // identically; with stats the narrow side must drive the build.
+        use tqp_data::frame::df;
+        use tqp_data::Column;
+        let n = 10_000i64;
+        let wide = df(vec![
+            ("k", Column::from_i64((0..n).map(|i| i % 2).collect())),
+            ("j", Column::from_i64((0..n).collect())),
+        ]);
+        let narrow = df(vec![
+            ("k", Column::from_i64((0..n).map(|i| i % 1000).collect())),
+            ("j", Column::from_i64((0..n).collect())),
+        ]);
+        let mut c = Catalog::new();
+        c.register_with_stats(
+            "wide",
+            wide.schema().clone(),
+            tqp_data::stats::frame_stats(&wide),
+        );
+        c.register_with_stats(
+            "narrow",
+            narrow.schema().clone(),
+            tqp_data::stats::frame_stats(&narrow),
+        );
+        let sql = "select wide.j from wide, narrow \
+                   where wide.j = narrow.j and wide.k = 1 and narrow.k = 1";
+        let bound = bind_query(&tqp_sql::parse(sql).unwrap(), &c).unwrap();
+        let p = extract_joins(bound, &c);
+        // The greedy order starts from the smallest estimated relation:
+        // the narrow-filtered scan must be the join's left (first) input.
+        fn first_scan_table(p: &LogicalPlan) -> Option<&str> {
+            match p {
+                LogicalPlan::Scan { table, .. } => Some(table),
+                LogicalPlan::Join { left, .. } => first_scan_table(left),
+                _ => p.children().into_iter().find_map(first_scan_table),
+            }
+        }
+        assert_eq!(first_scan_table(&p), Some("narrow"));
     }
 }

@@ -13,9 +13,13 @@
 //!   equality is the test-visible proof that no parse/bind/lower work
 //!   happened. `$1..$n` placeholder values are bound per execution by
 //!   patching the compiled programs' constant slots;
-//! * **invalidation**: any `register_table` / `register_model` clears the
-//!   cache (a replaced table may change schemas, statistics, and plans —
-//!   a stale compiled plan must never serve);
+//! * **invalidation**: `register_table` evicts **only the statements that
+//!   scan the replaced table** (a replaced table may change schemas,
+//!   statistics, and plans — but statements over other tables compiled
+//!   against unchanged state and stay hot); `register_model` still
+//!   flushes the whole cache, because `PREDICT` splice points are
+//!   compiled into programs and model references aren't tracked per
+//!   entry;
 //! * execution itself rides the process-wide shared worker pool
 //!   (`tqp_exec::sched`), so N concurrent clients share `workers`
 //!   threads instead of oversubscribing N×workers.
@@ -45,8 +49,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted by capacity pressure.
     pub evictions: u64,
-    /// Whole-cache invalidations (table/model registrations).
+    /// Whole-cache invalidations (model registrations).
     pub invalidations: u64,
+    /// Per-table invalidations (table registrations evicting only the
+    /// statements that scan the replaced table).
+    pub partial_invalidations: u64,
     pub entries: usize,
     pub capacity: usize,
 }
@@ -90,9 +97,11 @@ pub fn normalize_sql(sql: &str) -> String {
     out
 }
 
-/// One cache entry with its LRU stamp.
+/// One cache entry with its LRU stamp and the tables its compiled
+/// program scans (lowercased; drives per-table invalidation).
 struct Entry {
     prepared: PreparedQuery,
+    tables: Vec<String>,
     last_used: u64,
 }
 
@@ -137,10 +146,17 @@ impl Lru {
                 self.evictions += 1;
             }
         }
+        let tables = prepared
+            .program()
+            .tables()
+            .into_iter()
+            .map(|t| t.to_ascii_lowercase())
+            .collect();
         self.map.insert(
             key,
             Entry {
                 prepared,
+                tables,
                 last_used: self.tick,
             },
         );
@@ -148,6 +164,11 @@ impl Lru {
 
     fn clear(&mut self) {
         self.map.clear();
+    }
+
+    /// Drop only the entries whose programs scan `table` (lowercased).
+    fn remove_table(&mut self, table: &str) {
+        self.map.retain(|_, e| !e.tables.iter().any(|t| t == table));
     }
 }
 
@@ -159,6 +180,7 @@ pub struct Server {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    partial_invalidations: AtomicU64,
 }
 
 impl Server {
@@ -175,6 +197,7 @@ impl Server {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            partial_invalidations: AtomicU64::new(0),
         }
     }
 
@@ -240,12 +263,22 @@ impl Server {
     }
 
     /// Register (or replace) a table. Takes the session write lock and
-    /// **invalidates the whole statement cache** — plans compiled against
-    /// the previous schema/statistics must never serve again.
+    /// invalidates **only the cached statements that scan this table** —
+    /// plans compiled against the previous schema/statistics must never
+    /// serve again, but statements over other tables stay hot.
     pub fn register_table(&self, name: &str, frame: DataFrame) {
         let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
         session.register_table(name, frame);
-        self.invalidate();
+        self.invalidate_table(name);
+    }
+
+    /// Register (or replace) a table backed by a persistent `tqp-store`
+    /// file (chunk-at-a-time scans, footer statistics). Same per-table
+    /// invalidation as [`Server::register_table`].
+    pub fn register_stored_table(&self, name: &str, table: Arc<tqp_store::StoredTable>) {
+        let mut session = self.session.write().unwrap_or_else(|e| e.into_inner());
+        session.register_stored_table(name, table);
+        self.invalidate_table(name);
     }
 
     /// Register a `PREDICT` model; invalidates the cache (a model swap
@@ -262,6 +295,13 @@ impl Server {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
+    fn invalidate_table(&self, name: &str) {
+        let key = name.to_ascii_lowercase();
+        let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
+        cache.remove_table(&key);
+        self.partial_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Cache counters (hits/misses/evictions/invalidations, current size).
     pub fn cache_stats(&self) -> CacheStats {
         let cache = self.cache.read().unwrap_or_else(|e| e.into_inner());
@@ -270,6 +310,7 @@ impl Server {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: cache.evictions,
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            partial_invalidations: self.partial_invalidations.load(Ordering::Relaxed),
             entries: cache.map.len(),
             capacity: cache.capacity,
         }
@@ -357,7 +398,7 @@ mod tests {
         let (out, _) = srv.execute(&after, &[]).unwrap();
         assert_eq!(out.nrows(), 1);
         assert_eq!(out.column(0).get(0).as_i64(), 7);
-        assert!(srv.cache_stats().invalidations >= 1);
+        assert!(srv.cache_stats().partial_invalidations >= 1);
     }
 
     #[test]
@@ -420,6 +461,56 @@ mod tests {
         // q1 survived the eviction.
         let q1c = srv.prepare("select a from t", cfg).unwrap();
         assert!(q1.ptr_eq(&q1c));
+    }
+
+    #[test]
+    fn table_registration_only_evicts_statements_over_that_table() {
+        let mut s = Session::new();
+        s.register_table("t", df(vec![("a", Column::from_i64(vec![1, 2]))]));
+        s.register_table("u", df(vec![("b", Column::from_i64(vec![3]))]));
+        let srv = Server::new(s);
+        let cfg = QueryConfig::default();
+        let over_t = srv.prepare("select a from t", cfg).unwrap();
+        let over_u = srv.prepare("select b from u", cfg).unwrap();
+        let over_both = srv.prepare("select a, b from t, u", cfg).unwrap();
+        assert_eq!(srv.cache_stats().entries, 3);
+
+        srv.register_table("t", df(vec![("a", Column::from_i64(vec![9]))]));
+
+        // Statements scanning `t` (directly or via the join) are evicted…
+        let over_t2 = srv.prepare("select a from t", cfg).unwrap();
+        assert!(!over_t.ptr_eq(&over_t2), "stale t statement survived");
+        let over_both2 = srv.prepare("select a, b from t, u", cfg).unwrap();
+        assert!(
+            !over_both.ptr_eq(&over_both2),
+            "stale join statement survived"
+        );
+        // …while statements over other tables stay hot.
+        let over_u2 = srv.prepare("select b from u", cfg).unwrap();
+        assert!(over_u.ptr_eq(&over_u2), "unrelated statement was flushed");
+
+        let stats = srv.cache_stats();
+        assert_eq!(stats.partial_invalidations, 1);
+        assert_eq!(stats.invalidations, 0, "no whole-cache flush happened");
+    }
+
+    #[test]
+    fn model_registration_still_flushes_everything() {
+        let mut s = Session::new();
+        s.register_table("t", df(vec![("a", Column::from_f64(vec![1.0]))]));
+        let srv = Server::new(s);
+        let cfg = QueryConfig::default();
+        let q = srv.prepare("select a from t", cfg).unwrap();
+        let x = tqp_tensor::Tensor::from_f64_matrix(vec![0.0, 1.0], 2, 1);
+        let y = tqp_tensor::Tensor::from_f64(vec![0.0, 1.0]);
+        srv.register_model(
+            "m",
+            std::sync::Arc::new(tqp_ml::linear::LinearRegression::fit(&x, &y, 5, 0.1)),
+        );
+        let q2 = srv.prepare("select a from t", cfg).unwrap();
+        assert!(!q.ptr_eq(&q2), "model swap must flush the whole cache");
+        let stats = srv.cache_stats();
+        assert!(stats.invalidations >= 1);
     }
 
     #[test]

@@ -1,0 +1,606 @@
+//! Column-chunk encodings: byte-exact encode/decode of one column's
+//! values for one chunk, plus the bit-packed validity bitmap.
+//!
+//! Every encoder is paired with a decoder that reproduces the input
+//! exactly (NULL positions decode to the type's default value — their
+//! content is masked by validity downstream). The writer picks the
+//! cheapest encoding by exact encoded size, so compression is never worse
+//! than plain.
+
+use tqp_data::LogicalType;
+
+use crate::{Result, StoreError};
+
+/// Encoding tags persisted in column blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Raw values (LE numerics; `u32` length-prefixed UTF-8 strings).
+    Plain = 0,
+    /// Frame-of-reference: `min` + fixed byte width deltas (ints/dates).
+    For = 1,
+    /// Run-length `(len, value)` pairs (ints/dates/bools).
+    Rle = 2,
+    /// Dictionary: distinct strings in first-appearance order + narrow
+    /// indices.
+    Dict = 3,
+    /// One bit per row (bools).
+    BitPack = 4,
+}
+
+impl Encoding {
+    fn from_tag(tag: u8) -> Result<Encoding> {
+        Ok(match tag {
+            0 => Encoding::Plain,
+            1 => Encoding::For,
+            2 => Encoding::Rle,
+            3 => Encoding::Dict,
+            4 => Encoding::BitPack,
+            other => return Err(StoreError::Format(format!("unknown encoding tag {other}"))),
+        })
+    }
+}
+
+/// Decoded values of one column chunk (typed; dates ride as i64).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkValues {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+}
+
+#[allow(clippy::len_without_is_empty)]
+impl ChunkValues {
+    /// Row count.
+    pub fn len(&self) -> usize {
+        match self {
+            ChunkValues::I64(v) => v.len(),
+            ChunkValues::F64(v) => v.len(),
+            ChunkValues::Bool(v) => v.len(),
+            ChunkValues::Str(v) => v.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte-buffer primitives
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// A forward reader over a byte slice with truncation checks.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Format(format!(
+                "truncated block: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| StoreError::Format("invalid UTF-8 in string payload".into()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validity bitmaps
+// ---------------------------------------------------------------------
+
+/// Append the validity section: `0` (all valid) or `1` + bit-packed map.
+pub(crate) fn encode_validity(out: &mut Vec<u8>, validity: Option<&[bool]>) {
+    match validity {
+        None => out.push(0),
+        Some(bits) if bits.iter().all(|&b| b) => out.push(0),
+        Some(bits) => {
+            out.push(1);
+            out.extend_from_slice(&pack_bits(bits));
+        }
+    }
+}
+
+/// Read the validity section back (row count known from the chunk meta).
+pub(crate) fn decode_validity(cur: &mut Cursor<'_>, rows: usize) -> Result<Option<Vec<bool>>> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => {
+            let packed = cur.take(rows.div_ceil(8))?;
+            Ok(Some(unpack_bits(packed, rows)))
+        }
+        other => Err(StoreError::Format(format!("bad validity tag {other}"))),
+    }
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(packed: &[u8], rows: usize) -> Vec<bool> {
+    (0..rows)
+        .map(|i| packed[i / 8] & (1 << (i % 8)) != 0)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Value encodings
+// ---------------------------------------------------------------------
+
+/// Byte width needed to carry `range` (0 means all values equal).
+fn for_width(range: u64) -> usize {
+    if range == 0 {
+        0
+    } else if range <= u8::MAX as u64 {
+        1
+    } else if range <= u16::MAX as u64 {
+        2
+    } else if range <= u32::MAX as u64 {
+        4
+    } else {
+        8
+    }
+}
+
+fn rle_runs_i64(v: &[i64]) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<i64> = None;
+    for &x in v {
+        if prev != Some(x) {
+            runs += 1;
+            prev = Some(x);
+        }
+    }
+    runs
+}
+
+/// Encode one column chunk's values, choosing the cheapest encoding.
+/// Returns the chosen encoding (the tag is also written into the block).
+pub(crate) fn encode_values(out: &mut Vec<u8>, values: &ChunkValues) -> Encoding {
+    match values {
+        ChunkValues::I64(v) => encode_i64(out, v),
+        ChunkValues::F64(v) => {
+            out.push(Encoding::Plain as u8);
+            for &x in v {
+                put_f64(out, x);
+            }
+            Encoding::Plain
+        }
+        ChunkValues::Bool(v) => encode_bool(out, v),
+        ChunkValues::Str(v) => encode_str(out, v),
+    }
+}
+
+fn encode_i64(out: &mut Vec<u8>, v: &[i64]) -> Encoding {
+    let n = v.len();
+    let plain_cost = 8 * n;
+    let (min, max) = v
+        .iter()
+        .fold((i64::MAX, i64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let (for_cost, width) = if n == 0 {
+        (usize::MAX, 0)
+    } else {
+        let range = (max as i128 - min as i128) as u64;
+        let w = for_width(range);
+        (8 + 1 + w * n, w)
+    };
+    let runs = rle_runs_i64(v);
+    let rle_cost = 4 + runs * 12;
+
+    if n > 0 && rle_cost < plain_cost && rle_cost <= for_cost {
+        out.push(Encoding::Rle as u8);
+        put_u32(out, runs as u32);
+        let mut i = 0;
+        while i < n {
+            let val = v[i];
+            let mut j = i + 1;
+            while j < n && v[j] == val {
+                j += 1;
+            }
+            put_u32(out, (j - i) as u32);
+            put_i64(out, val);
+            i = j;
+        }
+        Encoding::Rle
+    } else if n > 0 && for_cost < plain_cost {
+        out.push(Encoding::For as u8);
+        put_i64(out, min);
+        out.push(width as u8);
+        for &x in v {
+            let delta = (x as i128 - min as i128) as u64;
+            out.extend_from_slice(&delta.to_le_bytes()[..width]);
+        }
+        Encoding::For
+    } else {
+        out.push(Encoding::Plain as u8);
+        for &x in v {
+            put_i64(out, x);
+        }
+        Encoding::Plain
+    }
+}
+
+fn encode_bool(out: &mut Vec<u8>, v: &[bool]) -> Encoding {
+    // Runs of identical bools are common (sorted/clustered data); compare
+    // against the 1-bit packing.
+    let runs = {
+        let mut runs = 0;
+        let mut prev: Option<bool> = None;
+        for &x in v {
+            if prev != Some(x) {
+                runs += 1;
+                prev = Some(x);
+            }
+        }
+        runs
+    };
+    let rle_cost = 4 + runs * 5;
+    let pack_cost = v.len().div_ceil(8);
+    if !v.is_empty() && rle_cost < pack_cost {
+        out.push(Encoding::Rle as u8);
+        put_u32(out, runs as u32);
+        let mut i = 0;
+        while i < v.len() {
+            let val = v[i];
+            let mut j = i + 1;
+            while j < v.len() && v[j] == val {
+                j += 1;
+            }
+            put_u32(out, (j - i) as u32);
+            out.push(val as u8);
+            i = j;
+        }
+        Encoding::Rle
+    } else {
+        out.push(Encoding::BitPack as u8);
+        out.extend_from_slice(&pack_bits(v));
+        Encoding::BitPack
+    }
+}
+
+fn encode_str(out: &mut Vec<u8>, v: &[String]) -> Encoding {
+    // Build the dictionary in first-appearance order so encoding is
+    // deterministic regardless of platform hash order.
+    let mut dict: Vec<&str> = Vec::new();
+    let mut index_of = std::collections::HashMap::new();
+    let mut indices = Vec::with_capacity(v.len());
+    for s in v {
+        let idx = *index_of.entry(s.as_str()).or_insert_with(|| {
+            dict.push(s.as_str());
+            dict.len() - 1
+        });
+        indices.push(idx);
+    }
+    let idx_width: usize = if dict.len() <= u8::MAX as usize + 1 {
+        1
+    } else if dict.len() <= u16::MAX as usize + 1 {
+        2
+    } else {
+        4
+    };
+    let plain_cost: usize = v.iter().map(|s| 4 + s.len()).sum();
+    let dict_cost: usize =
+        4 + dict.iter().map(|s| 4 + s.len()).sum::<usize>() + 1 + idx_width * v.len();
+    if !v.is_empty() && dict_cost < plain_cost {
+        out.push(Encoding::Dict as u8);
+        put_u32(out, dict.len() as u32);
+        for s in &dict {
+            put_bytes(out, s.as_bytes());
+        }
+        out.push(idx_width as u8);
+        for &i in &indices {
+            out.extend_from_slice(&(i as u64).to_le_bytes()[..idx_width]);
+        }
+        Encoding::Dict
+    } else {
+        out.push(Encoding::Plain as u8);
+        for s in v {
+            put_bytes(out, s.as_bytes());
+        }
+        Encoding::Plain
+    }
+}
+
+/// Decode one column chunk's value section.
+pub(crate) fn decode_values(
+    cur: &mut Cursor<'_>,
+    ty: LogicalType,
+    rows: usize,
+) -> Result<ChunkValues> {
+    let enc = Encoding::from_tag(cur.u8()?)?;
+    match (ty, enc) {
+        (LogicalType::Int64 | LogicalType::Date, Encoding::Plain) => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(cur.i64()?);
+            }
+            Ok(ChunkValues::I64(v))
+        }
+        (LogicalType::Int64 | LogicalType::Date, Encoding::For) => {
+            let min = cur.i64()?;
+            let width = cur.u8()? as usize;
+            let mut v = Vec::with_capacity(rows);
+            if width == 0 {
+                v.resize(rows, min);
+            } else {
+                for _ in 0..rows {
+                    let raw = cur.take(width)?;
+                    let mut b = [0u8; 8];
+                    b[..width].copy_from_slice(raw);
+                    let delta = u64::from_le_bytes(b);
+                    v.push((min as i128 + delta as i128) as i64);
+                }
+            }
+            Ok(ChunkValues::I64(v))
+        }
+        (LogicalType::Int64 | LogicalType::Date, Encoding::Rle) => {
+            let runs = cur.u32()? as usize;
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..runs {
+                let len = cur.u32()? as usize;
+                let val = cur.i64()?;
+                v.extend(std::iter::repeat_n(val, len));
+            }
+            if v.len() != rows {
+                return Err(StoreError::Format(format!(
+                    "rle decoded {} rows, expected {rows}",
+                    v.len()
+                )));
+            }
+            Ok(ChunkValues::I64(v))
+        }
+        (LogicalType::Float64, Encoding::Plain) => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(cur.f64()?);
+            }
+            Ok(ChunkValues::F64(v))
+        }
+        (LogicalType::Bool, Encoding::BitPack) => {
+            let packed = cur.take(rows.div_ceil(8))?;
+            Ok(ChunkValues::Bool(unpack_bits(packed, rows)))
+        }
+        (LogicalType::Bool, Encoding::Rle) => {
+            let runs = cur.u32()? as usize;
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..runs {
+                let len = cur.u32()? as usize;
+                let val = cur.u8()? != 0;
+                v.extend(std::iter::repeat_n(val, len));
+            }
+            if v.len() != rows {
+                return Err(StoreError::Format(format!(
+                    "rle decoded {} rows, expected {rows}",
+                    v.len()
+                )));
+            }
+            Ok(ChunkValues::Bool(v))
+        }
+        (LogicalType::Str, Encoding::Plain) => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(cur.string()?);
+            }
+            Ok(ChunkValues::Str(v))
+        }
+        (LogicalType::Str, Encoding::Dict) => {
+            let n_dict = cur.u32()? as usize;
+            let mut dict = Vec::with_capacity(n_dict);
+            for _ in 0..n_dict {
+                dict.push(cur.string()?);
+            }
+            let idx_width = cur.u8()? as usize;
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let raw = cur.take(idx_width)?;
+                let mut b = [0u8; 8];
+                b[..idx_width].copy_from_slice(raw);
+                let idx = u64::from_le_bytes(b) as usize;
+                let s = dict.get(idx).ok_or_else(|| {
+                    StoreError::Format(format!("dict index {idx} out of range {n_dict}"))
+                })?;
+                v.push(s.clone());
+            }
+            Ok(ChunkValues::Str(v))
+        }
+        (ty, enc) => Err(StoreError::Format(format!(
+            "encoding {enc:?} invalid for column type {ty:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: ChunkValues, ty: LogicalType, expect: Encoding) {
+        let mut buf = Vec::new();
+        let enc = encode_values(&mut buf, &values);
+        assert_eq!(enc, expect, "encoding choice for {values:?}");
+        let mut cur = Cursor::new(&buf);
+        let back = decode_values(&mut cur, ty, values.len()).unwrap();
+        assert_eq!(back, values);
+        assert_eq!(cur.remaining(), 0, "trailing bytes");
+    }
+
+    #[test]
+    fn int_for_roundtrip() {
+        roundtrip(
+            ChunkValues::I64((1000..2000).collect()),
+            LogicalType::Int64,
+            Encoding::For,
+        );
+    }
+
+    #[test]
+    fn int_rle_roundtrip() {
+        let mut v = vec![7i64; 500];
+        v.extend(vec![-3i64; 500]);
+        roundtrip(ChunkValues::I64(v), LogicalType::Int64, Encoding::Rle);
+    }
+
+    #[test]
+    fn int_plain_on_incompressible() {
+        let v: Vec<i64> = (0..100)
+            .map(|i| i64::MIN / 2 + i * (i64::MAX / 200))
+            .collect();
+        roundtrip(ChunkValues::I64(v), LogicalType::Int64, Encoding::Plain);
+    }
+
+    #[test]
+    fn int_extremes() {
+        let v = vec![i64::MIN, i64::MAX, 0, -1, 1];
+        let mut buf = Vec::new();
+        encode_values(&mut buf, &ChunkValues::I64(v.clone()));
+        let back = decode_values(&mut Cursor::new(&buf), LogicalType::Int64, 5).unwrap();
+        assert_eq!(back, ChunkValues::I64(v));
+    }
+
+    #[test]
+    fn float_roundtrip_bit_exact() {
+        let v = vec![
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,
+            1.5e300,
+            f64::NAN,
+        ];
+        let mut buf = Vec::new();
+        encode_values(&mut buf, &ChunkValues::F64(v.clone()));
+        let ChunkValues::F64(back) =
+            decode_values(&mut Cursor::new(&buf), LogicalType::Float64, v.len()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        for (a, b) in back.iter().zip(&v) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bool_bitpack_and_rle() {
+        roundtrip(
+            ChunkValues::Bool((0..100).map(|i| i % 3 == 0).collect()),
+            LogicalType::Bool,
+            Encoding::BitPack,
+        );
+        roundtrip(
+            ChunkValues::Bool(vec![true; 1000]),
+            LogicalType::Bool,
+            Encoding::Rle,
+        );
+    }
+
+    #[test]
+    fn string_dict_and_plain() {
+        roundtrip(
+            ChunkValues::Str((0..300).map(|i| format!("cat{}", i % 4)).collect()),
+            LogicalType::Str,
+            Encoding::Dict,
+        );
+        roundtrip(
+            ChunkValues::Str((0..50).map(|i| format!("unique value {i}")).collect()),
+            LogicalType::Str,
+            Encoding::Plain,
+        );
+    }
+
+    #[test]
+    fn validity_roundtrip() {
+        let bits: Vec<bool> = (0..37).map(|i| i % 5 != 0).collect();
+        let mut buf = Vec::new();
+        encode_validity(&mut buf, Some(&bits));
+        let back = decode_validity(&mut Cursor::new(&buf), 37).unwrap();
+        assert_eq!(back, Some(bits));
+        // All-valid collapses to the absent marker.
+        let mut buf = Vec::new();
+        encode_validity(&mut buf, Some(&[true, true]));
+        assert_eq!(buf, vec![0]);
+        assert_eq!(decode_validity(&mut Cursor::new(&buf), 2).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_blocks_error_not_panic() {
+        let mut buf = Vec::new();
+        encode_values(&mut buf, &ChunkValues::I64(vec![1, 2, 3]));
+        // Truncation.
+        let mut cur = Cursor::new(&buf[..buf.len() - 1]);
+        assert!(decode_values(&mut cur, LogicalType::Int64, 3).is_err());
+        // Wrong type for the tag.
+        let mut cur = Cursor::new(&buf);
+        assert!(decode_values(&mut cur, LogicalType::Str, 3).is_err());
+        // Unknown tag.
+        let mut cur = Cursor::new(&[99u8]);
+        assert!(decode_values(&mut cur, LogicalType::Int64, 0).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Footer metadata: schema, per-chunk layout + zone maps, table stats —
+//! serialization shared by the writer and reader.
+
+use tqp_data::stats::{ColumnStats, TableStats};
+use tqp_data::{Field, LogicalType, Schema};
+use tqp_tensor::Scalar;
+
+use crate::encode::{put_bytes, put_f64, put_i64, put_u32, put_u64, Cursor};
+use crate::zone::ZoneMap;
+use crate::{Result, StoreError};
+
+/// Footer entry for one column of one chunk.
+#[derive(Debug, Clone)]
+pub struct ColChunkMeta {
+    /// Absolute file offset of the column block.
+    pub offset: u64,
+    /// Block length in bytes.
+    pub len: u64,
+    pub zone: ZoneMap,
+}
+
+/// Footer entry for one chunk.
+#[derive(Debug, Clone)]
+pub struct ChunkMeta {
+    pub rows: u64,
+    pub cols: Vec<ColChunkMeta>,
+}
+
+fn ty_tag(ty: LogicalType) -> u8 {
+    match ty {
+        LogicalType::Bool => 0,
+        LogicalType::Int64 => 1,
+        LogicalType::Float64 => 2,
+        LogicalType::Date => 3,
+        LogicalType::Str => 4,
+    }
+}
+
+fn ty_from_tag(tag: u8) -> Result<LogicalType> {
+    Ok(match tag {
+        0 => LogicalType::Bool,
+        1 => LogicalType::Int64,
+        2 => LogicalType::Float64,
+        3 => LogicalType::Date,
+        4 => LogicalType::Str,
+        other => return Err(StoreError::Format(format!("unknown type tag {other}"))),
+    })
+}
+
+/// Scalar payload typed by the column's logical type (dates as i64 ns).
+fn put_scalar(out: &mut Vec<u8>, ty: LogicalType, v: &Scalar) {
+    match (ty, v) {
+        (LogicalType::Bool, Scalar::Bool(b)) => out.push(*b as u8),
+        (LogicalType::Int64 | LogicalType::Date, Scalar::I64(x)) => put_i64(out, *x),
+        (LogicalType::Float64, Scalar::F64(x)) => put_f64(out, *x),
+        (LogicalType::Str, Scalar::Str(s)) => put_bytes(out, s.as_bytes()),
+        (ty, v) => panic!("stat scalar {v:?} does not match column type {ty:?}"),
+    }
+}
+
+fn read_scalar(cur: &mut Cursor<'_>, ty: LogicalType) -> Result<Scalar> {
+    Ok(match ty {
+        LogicalType::Bool => Scalar::Bool(cur.u8()? != 0),
+        LogicalType::Int64 | LogicalType::Date => Scalar::I64(cur.i64()?),
+        LogicalType::Float64 => Scalar::F64(cur.f64()?),
+        LogicalType::Str => Scalar::Str(cur.string()?),
+    })
+}
+
+fn put_minmax(out: &mut Vec<u8>, ty: LogicalType, min: &Option<Scalar>, max: &Option<Scalar>) {
+    match (min, max) {
+        (Some(lo), Some(hi)) => {
+            out.push(1);
+            put_scalar(out, ty, lo);
+            put_scalar(out, ty, hi);
+        }
+        _ => out.push(0),
+    }
+}
+
+fn read_minmax(cur: &mut Cursor<'_>, ty: LogicalType) -> Result<(Option<Scalar>, Option<Scalar>)> {
+    if cur.u8()? == 0 {
+        return Ok((None, None));
+    }
+    Ok((Some(read_scalar(cur, ty)?), Some(read_scalar(cur, ty)?)))
+}
+
+/// The parsed footer.
+pub struct Footer {
+    pub schema: Schema,
+    pub chunk_rows: u64,
+    pub str_widths: Vec<u32>,
+    pub rows: u64,
+    pub chunks: Vec<ChunkMeta>,
+    pub stats: TableStats,
+}
+
+/// Serialize the footer.
+pub fn encode_footer(f: &Footer) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, f.schema.len() as u32);
+    for field in &f.schema.fields {
+        put_bytes(&mut out, field.name.as_bytes());
+        out.push(ty_tag(field.ty));
+    }
+    put_u64(&mut out, f.chunk_rows);
+    for &w in &f.str_widths {
+        put_u32(&mut out, w);
+    }
+    put_u64(&mut out, f.rows);
+    put_u64(&mut out, f.chunks.len() as u64);
+    for chunk in &f.chunks {
+        put_u64(&mut out, chunk.rows);
+        for (col, field) in chunk.cols.iter().zip(&f.schema.fields) {
+            put_u64(&mut out, col.offset);
+            put_u64(&mut out, col.len);
+            put_minmax(&mut out, field.ty, &col.zone.min, &col.zone.max);
+            put_u64(&mut out, col.zone.null_count);
+            put_u32(&mut out, col.zone.distinct);
+        }
+    }
+    for (cs, field) in f.stats.columns.iter().zip(&f.schema.fields) {
+        put_minmax(&mut out, field.ty, &cs.min, &cs.max);
+        put_u64(&mut out, cs.null_count as u64);
+        put_u64(&mut out, cs.distinct as u64);
+    }
+    out
+}
+
+/// Parse a footer buffer.
+pub fn decode_footer(buf: &[u8]) -> Result<Footer> {
+    let mut cur = Cursor::new(buf);
+    let ncols = cur.u32()? as usize;
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name = cur.string()?;
+        let ty = ty_from_tag(cur.u8()?)?;
+        fields.push(Field::new(name, ty));
+    }
+    let schema = Schema::new(fields);
+    let chunk_rows = cur.u64()?;
+    let mut str_widths = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        str_widths.push(cur.u32()?);
+    }
+    let rows = cur.u64()?;
+    let n_chunks = cur.u64()? as usize;
+    let mut chunks = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let rows = cur.u64()?;
+        let mut cols = Vec::with_capacity(ncols);
+        for field in &schema.fields {
+            let offset = cur.u64()?;
+            let len = cur.u64()?;
+            let (min, max) = read_minmax(&mut cur, field.ty)?;
+            let null_count = cur.u64()?;
+            let distinct = cur.u32()?;
+            cols.push(ColChunkMeta {
+                offset,
+                len,
+                zone: ZoneMap {
+                    min,
+                    max,
+                    null_count,
+                    distinct,
+                },
+            });
+        }
+        chunks.push(ChunkMeta { rows, cols });
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for field in &schema.fields {
+        let (min, max) = read_minmax(&mut cur, field.ty)?;
+        let null_count = cur.u64()? as usize;
+        let distinct = cur.u64()? as usize;
+        columns.push(ColumnStats {
+            min,
+            max,
+            null_count,
+            distinct,
+        });
+    }
+    if cur.remaining() != 0 {
+        return Err(StoreError::Format(format!(
+            "{} trailing bytes after footer",
+            cur.remaining()
+        )));
+    }
+    Ok(Footer {
+        schema,
+        chunk_rows,
+        str_widths,
+        rows,
+        chunks,
+        stats: TableStats {
+            rows: rows as usize,
+            columns,
+        },
+    })
+}

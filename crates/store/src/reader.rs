@@ -1,0 +1,446 @@
+//! The store reader: opens a table file, parses the footer, and decodes
+//! chunks on demand — **chunk-at-a-time** into the tensors the execution
+//! layer consumes, never materializing the file whole unless a caller
+//! explicitly concatenates every chunk.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use tqp_data::stats::TableStats;
+use tqp_data::{LogicalType, Schema};
+use tqp_tensor::Tensor;
+
+use crate::encode::{decode_validity, decode_values, ChunkValues, Cursor};
+use crate::meta::{decode_footer, ChunkMeta, Footer};
+use crate::zone::ZoneMap;
+use crate::{Result, StoreError, FORMAT_VERSION, MAGIC};
+
+/// One decoded column chunk: a value tensor plus optional validity.
+pub type DecodedColumn = (Tensor, Option<Tensor>);
+
+/// An opened stored table: footer metadata in memory, chunk payloads on
+/// disk. `Send + Sync`; chunk decodes open their own file handle, so the
+/// executor fans decodes out across worker threads freely.
+pub struct StoredTable {
+    path: PathBuf,
+    schema: Schema,
+    chunk_rows: usize,
+    rows: usize,
+    str_widths: Vec<u32>,
+    chunks: Vec<ChunkMeta>,
+    stats: TableStats,
+    file_bytes: u64,
+}
+
+impl std::fmt::Debug for StoredTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoredTable")
+            .field("path", &self.path)
+            .field("rows", &self.rows)
+            .field("chunks", &self.chunks.len())
+            .field("chunk_rows", &self.chunk_rows)
+            .finish()
+    }
+}
+
+impl StoredTable {
+    /// Open an existing store file (reads header + footer only).
+    pub fn open(path: &Path) -> Result<StoredTable> {
+        let mut file = std::fs::File::open(path)?;
+        let file_bytes = file.seek(SeekFrom::End(0))?;
+        let mut head = [0u8; 8];
+        if file_bytes < 20 {
+            return Err(StoreError::Format(format!(
+                "{} is too small to be a store file",
+                path.display()
+            )));
+        }
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        if &head[..4] != MAGIC {
+            return Err(StoreError::Format(format!(
+                "{} has bad magic (not a tqp-store file)",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Format(format!(
+                "store format version {version} unsupported (this build reads version {FORMAT_VERSION})"
+            )));
+        }
+        let mut tail = [0u8; 12];
+        file.seek(SeekFrom::End(-12))?;
+        file.read_exact(&mut tail)?;
+        if &tail[8..] != MAGIC {
+            return Err(StoreError::Format(format!(
+                "{} is truncated (missing trailing magic)",
+                path.display()
+            )));
+        }
+        let footer_off = u64::from_le_bytes(tail[..8].try_into().unwrap());
+        if footer_off < 8 || footer_off > file_bytes - 12 {
+            return Err(StoreError::Format(format!(
+                "footer offset {footer_off} out of range"
+            )));
+        }
+        let mut buf = vec![0u8; (file_bytes - 12 - footer_off) as usize];
+        file.seek(SeekFrom::Start(footer_off))?;
+        file.read_exact(&mut buf)?;
+        let footer = decode_footer(&buf)?;
+        StoredTable::from_footer(path.to_path_buf(), footer, file_bytes)
+    }
+
+    /// Build from an in-memory footer (the writer's `finish` path).
+    pub(crate) fn from_footer(
+        path: PathBuf,
+        footer: Footer,
+        file_bytes: u64,
+    ) -> Result<StoredTable> {
+        Ok(StoredTable {
+            path,
+            schema: footer.schema,
+            chunk_rows: footer.chunk_rows as usize,
+            rows: footer.rows as usize,
+            str_widths: footer.str_widths,
+            chunks: footer.chunks,
+            stats: footer.stats,
+            file_bytes,
+        })
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Nominal rows per chunk (the last chunk may be shorter).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Rows in chunk `i`.
+    pub fn chunk_len(&self, i: usize) -> usize {
+        self.chunks[i].rows as usize
+    }
+
+    /// Zone map of column `col` in chunk `i`.
+    pub fn zone(&self, i: usize, col: usize) -> &ZoneMap {
+        &self.chunks[i].cols[col].zone
+    }
+
+    /// Whole-table statistics from the footer.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// On-disk size in bytes (compression accounting).
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Table-wide maximum string byte width of column `col` (0 for
+    /// non-string columns) — the width every decoded chunk pads to, so
+    /// chunk concatenation is bit-identical to whole-table ingestion.
+    pub fn str_width(&self, col: usize) -> usize {
+        self.str_widths[col] as usize
+    }
+
+    /// Decode the given columns of chunk `i` (schema order preserved
+    /// within the projection).
+    pub fn decode_chunk(&self, i: usize, cols: &[usize]) -> Result<Vec<DecodedColumn>> {
+        let chunk = &self.chunks[i];
+        let rows = chunk.rows as usize;
+        let mut file = std::fs::File::open(&self.path)?;
+        let mut out = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let meta = &chunk.cols[c];
+            let mut buf = vec![0u8; meta.len as usize];
+            file.seek(SeekFrom::Start(meta.offset))?;
+            file.read_exact(&mut buf)?;
+            let mut cur = Cursor::new(&buf);
+            let validity = decode_validity(&mut cur, rows)?;
+            let values = decode_values(&mut cur, self.schema.fields[c].ty, rows)?;
+            if cur.remaining() != 0 {
+                return Err(StoreError::Format(format!(
+                    "chunk {i} column {c}: {} trailing bytes",
+                    cur.remaining()
+                )));
+            }
+            let tensor = self.values_to_tensor(c, values);
+            let validity = validity.map(Tensor::from_bool);
+            out.push((tensor, validity));
+        }
+        Ok(out)
+    }
+
+    /// Zero-row tensors of the right dtype/width for the given columns
+    /// (the shape of a fully-pruned or empty-table scan).
+    pub fn empty_columns(&self, cols: &[usize]) -> Vec<DecodedColumn> {
+        cols.iter()
+            .map(|&c| {
+                let t = match self.schema.fields[c].ty {
+                    LogicalType::Bool => Tensor::from_bool(vec![]),
+                    LogicalType::Int64 | LogicalType::Date => Tensor::from_i64(vec![]),
+                    LogicalType::Float64 => Tensor::from_f64(vec![]),
+                    LogicalType::Str => Tensor::from_strings(&[], self.str_width(c)),
+                };
+                (t, None)
+            })
+            .collect()
+    }
+
+    fn values_to_tensor(&self, col: usize, values: ChunkValues) -> Tensor {
+        match values {
+            ChunkValues::I64(v) => Tensor::from_i64(v),
+            ChunkValues::F64(v) => Tensor::from_f64(v),
+            ChunkValues::Bool(v) => Tensor::from_bool(v),
+            ChunkValues::Str(v) => {
+                let refs: Vec<&str> = v.iter().map(|s| s.as_str()).collect();
+                Tensor::from_strings(&refs, self.str_width(col))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{store_csv, store_frame, StoreWriter};
+    use tqp_data::frame::df;
+    use tqp_data::ingest::frame_to_tensors;
+    use tqp_data::Column;
+    use tqp_tensor::Scalar;
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tqp_store_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_frame(n: i64) -> tqp_data::DataFrame {
+        df(vec![
+            ("id", Column::from_i64((0..n).collect())),
+            (
+                "flag",
+                Column::from_bool((0..n).map(|i| i % 3 == 0).collect()),
+            ),
+            (
+                "price",
+                Column::from_f64((0..n).map(|i| (i as f64) * 0.25 - 10.0).collect()),
+            ),
+            (
+                "day",
+                Column::from_date_ns((0..n).map(|i| (i % 30) * 86_400_000_000_000).collect()),
+            ),
+            (
+                "name",
+                Column::from_str((0..n).map(|i| format!("name-{}", i % 7)).collect()),
+            ),
+        ])
+    }
+
+    /// Decode every chunk and compare against whole-table ingestion —
+    /// the bit-exactness contract the executor relies on.
+    fn assert_bit_exact(table: &StoredTable, frame: &tqp_data::DataFrame) {
+        let reference = frame_to_tensors(frame);
+        let ncols = frame.ncols();
+        let all: Vec<usize> = (0..ncols).collect();
+        let mut row = 0usize;
+        for i in 0..table.n_chunks() {
+            let decoded = table.decode_chunk(i, &all).unwrap();
+            for (c, (t, validity)) in decoded.iter().enumerate() {
+                assert!(validity.is_none(), "frame data has no NULLs");
+                let r = &reference.tensors[c];
+                assert_eq!(t.dtype(), r.dtype(), "col {c}");
+                assert_eq!(t.row_width(), r.row_width(), "col {c} width");
+                for k in 0..t.nrows() {
+                    assert_eq!(t.get(k), r.get(row + k), "col {c} row {}", row + k);
+                }
+            }
+            row += table.chunk_len(i);
+        }
+        assert_eq!(row, frame.nrows());
+    }
+
+    #[test]
+    fn frame_roundtrip_multi_chunk() {
+        let dir = tmpdir();
+        let frame = sample_frame(2500);
+        let path = dir.join("roundtrip.tqps");
+        let table = store_frame(&frame, &path, 700).unwrap();
+        assert_eq!(table.nrows(), 2500);
+        assert_eq!(table.n_chunks(), 4);
+        assert_eq!(table.chunk_len(3), 400);
+        assert_bit_exact(&table, &frame);
+        // Re-open from disk: identical metadata, identical decode.
+        let reopened = StoredTable::open(&path).unwrap();
+        assert_eq!(reopened.nrows(), table.nrows());
+        assert_eq!(reopened.stats(), table.stats());
+        assert_bit_exact(&reopened, &frame);
+    }
+
+    #[test]
+    fn csv_streaming_ingest_matches_frame_path() {
+        let dir = tmpdir();
+        let frame = sample_frame(1203);
+        let csv_path = dir.join("ingest.csv");
+        tqp_data::csv::write_csv(&frame, &csv_path).unwrap();
+        let table = store_csv(&csv_path, frame.schema(), &dir.join("ingest.tqps"), 256).unwrap();
+        assert_eq!(table.nrows(), 1203);
+        assert_eq!(table.n_chunks(), 5);
+        // CSV float formatting is %.4 — rebuild the frame through the
+        // same round-trip for value comparison.
+        let reread = tqp_data::csv::read_csv(frame.schema(), &csv_path).unwrap();
+        assert_bit_exact(&table, &reread);
+        // Streamed stats equal whole-frame stats on the same data.
+        assert_eq!(table.stats(), &tqp_data::stats::frame_stats(&reread));
+    }
+
+    #[test]
+    fn zone_maps_reflect_chunk_ranges() {
+        let dir = tmpdir();
+        let frame = df(vec![("v", Column::from_i64((0..1000).collect()))]);
+        let table = store_frame(&frame, &dir.join("zones.tqps"), 100).unwrap();
+        assert_eq!(table.n_chunks(), 10);
+        for i in 0..10 {
+            let z = table.zone(i, 0);
+            assert_eq!(z.min, Some(Scalar::I64(i as i64 * 100)));
+            assert_eq!(z.max, Some(Scalar::I64(i as i64 * 100 + 99)));
+            assert_eq!(z.null_count, 0);
+            assert_eq!(z.distinct, 100);
+        }
+    }
+
+    #[test]
+    fn validity_roundtrip_through_file() {
+        let dir = tmpdir();
+        let schema = Schema::new(vec![
+            tqp_data::Field::new("x", LogicalType::Int64),
+            tqp_data::Field::new("s", LogicalType::Str),
+        ]);
+        let path = dir.join("nulls.tqps");
+        let mut w = StoreWriter::create(&path, &schema, 4).unwrap();
+        let xs = Column::from_i64(vec![1, 0, 3, 0, 5, 6]);
+        let ss = Column::from_str(vec![
+            "a".into(),
+            "".into(),
+            "c".into(),
+            "".into(),
+            "e".into(),
+            "f".into(),
+        ]);
+        let vx = vec![true, false, true, false, true, true];
+        w.append_columns(&[xs, ss], &[Some(vx.clone()), Some(vx.clone())])
+            .unwrap();
+        let table = w.finish().unwrap();
+        assert_eq!(table.n_chunks(), 2);
+        // Chunk 0 has the NULLs; chunk 1 is all-valid.
+        assert_eq!(table.zone(0, 0).null_count, 2);
+        assert_eq!(table.zone(0, 0).min, Some(Scalar::I64(1)));
+        assert_eq!(table.zone(1, 0).null_count, 0);
+        let d0 = table.decode_chunk(0, &[0, 1]).unwrap();
+        let v0 = d0[0].1.as_ref().unwrap();
+        assert_eq!(v0.as_bool(), &[true, false, true, false]);
+        assert!(d0[1].1.is_some());
+        let d1 = table.decode_chunk(1, &[0]).unwrap();
+        assert!(d1[0].1.is_none());
+        assert_eq!(table.stats().columns[0].null_count, 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let dir = tmpdir();
+        let frame = sample_frame(0);
+        let table = store_frame(&frame, &dir.join("empty.tqps"), 16).unwrap();
+        assert_eq!(table.nrows(), 0);
+        assert_eq!(table.n_chunks(), 0);
+        let empty = table.empty_columns(&[0, 4]);
+        assert_eq!(empty[0].0.nrows(), 0);
+        assert_eq!(empty[0].0.dtype(), tqp_tensor::DType::I64);
+        assert_eq!(empty[1].0.dtype(), tqp_tensor::DType::U8);
+    }
+
+    #[test]
+    fn version_and_corruption_checks() {
+        let dir = tmpdir();
+        let frame = sample_frame(10);
+        let path = dir.join("vers.tqps");
+        store_frame(&frame, &path, 8).unwrap();
+        // Not a store file.
+        let junk = dir.join("junk.tqps");
+        std::fs::write(&junk, b"definitely not a store file, but long enough").unwrap();
+        assert!(matches!(
+            StoredTable::open(&junk),
+            Err(StoreError::Format(_))
+        ));
+        // Future version is rejected with a message naming both versions.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let bumped = dir.join("v99.tqps");
+        std::fs::write(&bumped, &bytes).unwrap();
+        match StoredTable::open(&bumped) {
+            Err(StoreError::Format(msg)) => {
+                assert!(msg.contains("99") && msg.contains('1'), "{msg}");
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
+        // Truncation loses the trailing magic.
+        let cut = dir.join("cut.tqps");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&cut, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(StoredTable::open(&cut).is_err());
+    }
+
+    #[test]
+    fn projection_decodes_only_requested_columns() {
+        let dir = tmpdir();
+        let frame = sample_frame(300);
+        let table = store_frame(&frame, &dir.join("proj.tqps"), 128).unwrap();
+        let cols = table.decode_chunk(0, &[2, 4]).unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].0.dtype(), tqp_tensor::DType::F64);
+        assert_eq!(cols[0].0.get(0), Scalar::F64(-10.0));
+        assert_eq!(cols[1].0.str_at(0), "name-0");
+    }
+
+    #[test]
+    fn compression_beats_plain_on_typical_data() {
+        let dir = tmpdir();
+        // Clustered ints + low-cardinality strings: both should compress.
+        let n = 20_000i64;
+        let frame = df(vec![
+            (
+                "k",
+                Column::from_i64((0..n).map(|i| 1000 + i % 251).collect()),
+            ),
+            (
+                "cat",
+                Column::from_str((0..n).map(|i| format!("category-{}", i % 5)).collect()),
+            ),
+        ]);
+        let table = store_frame(&frame, &dir.join("comp.tqps"), 4096).unwrap();
+        let plain_bytes = (n as u64) * 8 + (n as u64) * (4 + "category-0".len() as u64);
+        assert!(
+            table.file_bytes() < plain_bytes / 2,
+            "file {} vs plain {plain_bytes}",
+            table.file_bytes()
+        );
+        assert_bit_exact(&table, &frame);
+    }
+}

@@ -1,0 +1,320 @@
+//! The streaming store writer: buffers rows to the chunk boundary, picks
+//! a per-column encoding, tracks zone maps and table statistics, and
+//! finalizes the footer. Memory high-water is one chunk — ingesting a CSV
+//! never materializes the table.
+
+use std::io::{Seek, Write};
+use std::path::{Path, PathBuf};
+
+use tqp_data::stats::{ColumnStatsBuilder, StatsBuilder};
+use tqp_data::{Column, DataFrame, LogicalType, Schema};
+use tqp_tensor::Scalar;
+
+use crate::encode::{encode_validity, encode_values, ChunkValues};
+use crate::meta::{encode_footer, ChunkMeta, ColChunkMeta, Footer};
+use crate::reader::StoredTable;
+use crate::zone::ZoneMap;
+use crate::{Result, DEFAULT_CHUNK_ROWS, FORMAT_VERSION, MAGIC};
+
+/// Typed pending buffer for one column.
+enum ColBuf {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+}
+
+impl ColBuf {
+    fn new(ty: LogicalType) -> ColBuf {
+        match ty {
+            LogicalType::Bool => ColBuf::Bool(Vec::new()),
+            LogicalType::Int64 | LogicalType::Date => ColBuf::I64(Vec::new()),
+            LogicalType::Float64 => ColBuf::F64(Vec::new()),
+            LogicalType::Str => ColBuf::Str(Vec::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColBuf::I64(v) => v.len(),
+            ColBuf::F64(v) => v.len(),
+            ColBuf::Bool(v) => v.len(),
+            ColBuf::Str(v) => v.len(),
+        }
+    }
+
+    fn push_column(&mut self, col: &Column) {
+        match (self, col) {
+            (ColBuf::Bool(b), Column::Bool(v)) => b.extend_from_slice(v),
+            (ColBuf::I64(b), Column::Int64(v) | Column::Date(v)) => b.extend_from_slice(v),
+            (ColBuf::F64(b), Column::Float64(v)) => b.extend_from_slice(v),
+            (ColBuf::Str(b), Column::Str(v)) => b.extend(v.iter().cloned()),
+            _ => panic!("column type does not match the schema"),
+        }
+    }
+
+    /// Take the first `n` buffered values as chunk values.
+    fn drain_chunk(&mut self, n: usize) -> ChunkValues {
+        match self {
+            ColBuf::I64(v) => ChunkValues::I64(v.drain(..n).collect()),
+            ColBuf::F64(v) => ChunkValues::F64(v.drain(..n).collect()),
+            ColBuf::Bool(v) => ChunkValues::Bool(v.drain(..n).collect()),
+            ColBuf::Str(v) => ChunkValues::Str(v.drain(..n).collect()),
+        }
+    }
+}
+
+/// A streaming writer for one table file.
+pub struct StoreWriter {
+    file: std::io::BufWriter<std::fs::File>,
+    path: PathBuf,
+    schema: Schema,
+    chunk_rows: usize,
+    /// Next write offset (header already written).
+    offset: u64,
+    bufs: Vec<ColBuf>,
+    /// Pending validity per column: `None` = all rows so far valid.
+    validity: Vec<Option<Vec<bool>>>,
+    buffered: usize,
+    chunks: Vec<ChunkMeta>,
+    stats: StatsBuilder,
+    str_widths: Vec<u32>,
+}
+
+impl StoreWriter {
+    /// Create (truncating) a store file for `schema`, flushing every
+    /// `chunk_rows` buffered rows.
+    pub fn create(path: &Path, schema: &Schema, chunk_rows: usize) -> Result<StoreWriter> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        file.write_all(MAGIC)?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        let ncols = schema.len();
+        Ok(StoreWriter {
+            file,
+            path: path.to_path_buf(),
+            schema: schema.clone(),
+            chunk_rows: chunk_rows.max(1),
+            offset: 8,
+            bufs: schema.fields.iter().map(|f| ColBuf::new(f.ty)).collect(),
+            validity: vec![None; ncols],
+            buffered: 0,
+            chunks: Vec::new(),
+            stats: StatsBuilder::new(ncols),
+            str_widths: vec![0; ncols],
+        })
+    }
+
+    /// The default chunk size.
+    pub fn create_default(path: &Path, schema: &Schema) -> Result<StoreWriter> {
+        StoreWriter::create(path, schema, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Append a frame (all rows valid). Flushes complete chunks as the
+    /// buffer fills.
+    pub fn append_frame(&mut self, frame: &DataFrame) -> Result<()> {
+        assert_eq!(
+            frame.schema(),
+            &self.schema,
+            "appended frame schema mismatch"
+        );
+        let cols: Vec<Column> = frame.columns().to_vec();
+        self.append_columns(&cols, &vec![None; cols.len()])
+    }
+
+    /// Append columns with optional per-column validity (for NULL-bearing
+    /// producers and tests; `Column` itself cannot carry NULLs, so values
+    /// at invalid positions are placeholders and decode as written).
+    pub fn append_columns(
+        &mut self,
+        columns: &[Column],
+        validity: &[Option<Vec<bool>>],
+    ) -> Result<()> {
+        assert_eq!(columns.len(), self.schema.len(), "column arity mismatch");
+        assert_eq!(columns.len(), validity.len(), "validity arity mismatch");
+        let n = columns.first().map_or(0, |c| c.len());
+        for (i, (col, val)) in columns.iter().zip(validity).enumerate() {
+            assert_eq!(col.len(), n, "ragged append");
+            assert_eq!(
+                col.logical_type(),
+                self.schema.fields[i].ty,
+                "column {i} type mismatch"
+            );
+            if let Some(v) = val {
+                assert_eq!(v.len(), n, "validity length mismatch");
+            }
+            // Extend the pending validity, materializing it lazily.
+            let had = self.bufs[i].len();
+            match val {
+                None => {
+                    if let Some(p) = &mut self.validity[i] {
+                        p.extend(std::iter::repeat_n(true, n));
+                    }
+                }
+                Some(v) => {
+                    if self.validity[i].is_some() || v.iter().any(|&b| !b) {
+                        let p = self.validity[i].get_or_insert_with(|| vec![true; had]);
+                        p.extend_from_slice(v);
+                    }
+                }
+            }
+            self.bufs[i].push_column(col);
+        }
+        self.buffered += n;
+        while self.buffered >= self.chunk_rows {
+            self.flush_chunk(self.chunk_rows)?;
+        }
+        Ok(())
+    }
+
+    /// Encode and write one chunk of `n` rows from the buffer front.
+    fn flush_chunk(&mut self, n: usize) -> Result<()> {
+        let ncols = self.schema.len();
+        let mut cols = Vec::with_capacity(ncols);
+        for c in 0..ncols {
+            let values = self.bufs[c].drain_chunk(n);
+            debug_assert_eq!(values.len(), n);
+            let chunk_validity: Option<Vec<bool>> = match &mut self.validity[c] {
+                None => None,
+                Some(pending) => {
+                    let head: Vec<bool> = pending.drain(..n).collect();
+                    if head.iter().all(|&b| b) {
+                        None
+                    } else {
+                        Some(head)
+                    }
+                }
+            };
+
+            // Zone map + table stats from the valid values only.
+            let mut zb = ColumnStatsBuilder::new();
+            let valid_at = |i: usize| chunk_validity.as_ref().is_none_or(|v| v[i]);
+            let mut nulls = 0usize;
+            match &values {
+                ChunkValues::I64(v) => {
+                    for (i, &x) in v.iter().enumerate() {
+                        if valid_at(i) {
+                            zb.update_i64(x);
+                        } else {
+                            nulls += 1;
+                        }
+                    }
+                }
+                ChunkValues::F64(v) => {
+                    for (i, &x) in v.iter().enumerate() {
+                        if valid_at(i) {
+                            zb.update_f64(x);
+                        } else {
+                            nulls += 1;
+                        }
+                    }
+                }
+                ChunkValues::Bool(v) => {
+                    for (i, &x) in v.iter().enumerate() {
+                        if valid_at(i) {
+                            zb.update(&Scalar::Bool(x));
+                        } else {
+                            nulls += 1;
+                        }
+                    }
+                }
+                ChunkValues::Str(v) => {
+                    for (i, s) in v.iter().enumerate() {
+                        if valid_at(i) {
+                            zb.update_str(s);
+                        } else {
+                            nulls += 1;
+                        }
+                        // Placeholder bytes still occupy tensor width.
+                        self.str_widths[c] = self.str_widths[c].max(s.len() as u32);
+                    }
+                }
+            }
+            zb.add_nulls(nulls);
+            self.stats.columns[c].merge(&zb);
+            let chunk_stats = zb.finish();
+            let zone = ZoneMap {
+                min: chunk_stats.min,
+                max: chunk_stats.max,
+                null_count: chunk_stats.null_count as u64,
+                distinct: chunk_stats.distinct.min(u32::MAX as usize) as u32,
+            };
+
+            // Encode the block: validity section then value section.
+            let mut block = Vec::new();
+            encode_validity(&mut block, chunk_validity.as_deref());
+            encode_values(&mut block, &values);
+            self.file.write_all(&block)?;
+            cols.push(ColChunkMeta {
+                offset: self.offset,
+                len: block.len() as u64,
+                zone,
+            });
+            self.offset += block.len() as u64;
+        }
+        self.stats.rows += n;
+        self.buffered -= n;
+        self.chunks.push(ChunkMeta {
+            rows: n as u64,
+            cols,
+        });
+        Ok(())
+    }
+
+    /// Flush the tail chunk, write the footer, and return the opened
+    /// table (metadata from memory — no re-read).
+    pub fn finish(mut self) -> Result<StoredTable> {
+        if self.buffered > 0 {
+            self.flush_chunk(self.buffered)?;
+        }
+        let footer = Footer {
+            schema: self.schema,
+            chunk_rows: self.chunk_rows as u64,
+            str_widths: self.str_widths,
+            rows: self.stats.rows as u64,
+            chunks: self.chunks,
+            stats: self.stats.finish(),
+        };
+        let bytes = encode_footer(&footer);
+        self.file.write_all(&bytes)?;
+        self.file.write_all(&self.offset.to_le_bytes())?;
+        self.file.write_all(MAGIC)?;
+        self.file.flush()?;
+        let file_bytes = self.file.get_mut().stream_position()?;
+        StoredTable::from_footer(self.path, footer, file_bytes)
+    }
+}
+
+/// Stream a CSV file into a store file chunk-by-chunk (the no-whole-table
+/// ingestion path). Returns the opened table.
+pub fn store_csv(
+    csv_path: &Path,
+    schema: &Schema,
+    out_path: &Path,
+    chunk_rows: usize,
+) -> Result<StoredTable> {
+    let mut w = StoreWriter::create(out_path, schema, chunk_rows)?;
+    for chunk in tqp_data::csv::CsvChunks::open(schema, csv_path, chunk_rows)? {
+        let frame = chunk?;
+        w.append_frame(&frame)?;
+    }
+    w.finish()
+}
+
+/// Store an in-memory frame (test/bench convenience; the chunk layout is
+/// identical to streaming the same rows).
+pub fn store_frame(frame: &DataFrame, out_path: &Path, chunk_rows: usize) -> Result<StoredTable> {
+    let mut w = StoreWriter::create(out_path, frame.schema(), chunk_rows)?;
+    w.append_frame(frame)?;
+    w.finish()
+}
+
+impl std::fmt::Debug for StoreWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreWriter")
+            .field("path", &self.path)
+            .field("chunk_rows", &self.chunk_rows)
+            .field("buffered", &self.buffered)
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-chunk zone maps and the conservative "may this chunk match?"
+//! decision rules the scan pruning pre-pass evaluates.
+
+use tqp_data::stats::scalar_cmp;
+use tqp_tensor::ops::CmpOp;
+use tqp_tensor::Scalar;
+
+/// Min/max + NULL count + distinct estimate for one column of one chunk.
+///
+/// `min`/`max` cover **non-NULL** values only; both are `None` when the
+/// chunk column is entirely NULL (or the chunk is empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    pub min: Option<Scalar>,
+    pub max: Option<Scalar>,
+    pub null_count: u64,
+    /// Estimated distinct non-NULL values in the chunk.
+    pub distinct: u32,
+}
+
+/// Ordering used for prune decisions. Unlike [`scalar_cmp`] (`total_cmp`,
+/// which puts `-0.0 < 0.0`), floats compare with **IEEE semantics** here —
+/// the same ordering the filter kernels apply — so zone boundaries at
+/// `±0.0` never prune a chunk the filter would keep. NaN operands are
+/// screened out by the caller before this runs.
+fn prune_cmp(a: &Scalar, b: &Scalar) -> std::cmp::Ordering {
+    match (a, b) {
+        (Scalar::F64(x), Scalar::F64(y)) => {
+            x.partial_cmp(y).expect("NaN screened before prune_cmp")
+        }
+        _ => scalar_cmp(a, b),
+    }
+}
+
+/// Comparable scalars: same variant (dates ride as `I64`). Pruning must
+/// never guess across types — a mismatch means "cannot prune".
+fn comparable(a: &Scalar, b: &Scalar) -> bool {
+    matches!(
+        (a, b),
+        (Scalar::Bool(_), Scalar::Bool(_))
+            | (Scalar::I64(_), Scalar::I64(_))
+            | (Scalar::F64(_), Scalar::F64(_))
+            | (Scalar::Str(_), Scalar::Str(_))
+    )
+}
+
+impl ZoneMap {
+    /// Could any row of this chunk satisfy `column <op> value`?
+    ///
+    /// Returns `false` only when the conjunct is **provably false for
+    /// every row**: all non-NULL values fall outside the satisfying
+    /// range, and NULL rows never satisfy a comparison (three-valued
+    /// logic: `NULL <op> v` is NULL, which a filter drops). Any
+    /// uncertainty — type mismatch, NaN bounds, missing min/max with
+    /// valid rows — answers `true` (decode the chunk; the filter decides).
+    pub fn may_match_compare(&self, op: CmpOp, value: &Scalar) -> bool {
+        let (Some(min), Some(max)) = (&self.min, &self.max) else {
+            // No non-NULL values: every row is NULL, comparisons all fail.
+            return false;
+        };
+        if value.is_null() {
+            // NULL constant: comparison is NULL for every row.
+            return false;
+        }
+        if !comparable(min, value) || !comparable(max, value) {
+            return true;
+        }
+        // NaN bounds poison range reasoning (total_cmp sorts NaN above
+        // +inf, which does not model `>` semantics); stay conservative.
+        if let (Scalar::F64(lo), Scalar::F64(hi)) = (min, max) {
+            if lo.is_nan() || hi.is_nan() {
+                return true;
+            }
+            if let Scalar::F64(v) = value {
+                if v.is_nan() {
+                    // x <op> NaN is false for every ordered comparison and
+                    // for equality; Ne is true wherever x is valid.
+                    return matches!(op, CmpOp::Ne);
+                }
+            }
+        }
+        match op {
+            CmpOp::Eq => prune_cmp(value, min).is_ge() && prune_cmp(value, max).is_le(),
+            CmpOp::Ne => {
+                // Only prunable when every valid row equals `value`.
+                !(prune_cmp(min, max).is_eq() && prune_cmp(min, value).is_eq())
+            }
+            CmpOp::Lt => prune_cmp(min, value).is_lt(),
+            CmpOp::Le => prune_cmp(min, value).is_le(),
+            CmpOp::Gt => prune_cmp(max, value).is_gt(),
+            CmpOp::Ge => prune_cmp(max, value).is_ge(),
+        }
+    }
+
+    /// Could any row satisfy `IS NULL` (`negated = false`) or
+    /// `IS NOT NULL` (`negated = true`)?
+    pub fn may_match_is_null(&self, negated: bool, rows: u64) -> bool {
+        if negated {
+            self.null_count < rows
+        } else {
+            self.null_count > 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone_i64(min: i64, max: i64, nulls: u64) -> ZoneMap {
+        ZoneMap {
+            min: Some(Scalar::I64(min)),
+            max: Some(Scalar::I64(max)),
+            null_count: nulls,
+            distinct: 0,
+        }
+    }
+
+    #[test]
+    fn range_pruning() {
+        let z = zone_i64(10, 20, 0);
+        assert!(!z.may_match_compare(CmpOp::Eq, &Scalar::I64(9)));
+        assert!(z.may_match_compare(CmpOp::Eq, &Scalar::I64(10)));
+        assert!(!z.may_match_compare(CmpOp::Lt, &Scalar::I64(10)));
+        assert!(z.may_match_compare(CmpOp::Le, &Scalar::I64(10)));
+        assert!(!z.may_match_compare(CmpOp::Gt, &Scalar::I64(20)));
+        assert!(z.may_match_compare(CmpOp::Ge, &Scalar::I64(20)));
+        assert!(z.may_match_compare(CmpOp::Ne, &Scalar::I64(15)));
+        assert!(!zone_i64(5, 5, 0).may_match_compare(CmpOp::Ne, &Scalar::I64(5)));
+    }
+
+    #[test]
+    fn all_null_chunk_prunes_every_comparison() {
+        let z = ZoneMap {
+            min: None,
+            max: None,
+            null_count: 100,
+            distinct: 0,
+        };
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            assert!(!z.may_match_compare(op, &Scalar::I64(0)));
+        }
+        assert!(z.may_match_is_null(false, 100));
+        assert!(!z.may_match_is_null(true, 100));
+    }
+
+    #[test]
+    fn type_mismatch_never_prunes() {
+        let z = zone_i64(0, 1, 0);
+        assert!(z.may_match_compare(CmpOp::Eq, &Scalar::F64(99.0)));
+        assert!(z.may_match_compare(CmpOp::Eq, &Scalar::Str("x".into())));
+    }
+
+    #[test]
+    fn string_ranges() {
+        let z = ZoneMap {
+            min: Some(Scalar::Str("BRAND#11".into())),
+            max: Some(Scalar::Str("BRAND#35".into())),
+            null_count: 0,
+            distinct: 10,
+        };
+        assert!(!z.may_match_compare(CmpOp::Eq, &Scalar::Str("BRAND#55".into())));
+        assert!(z.may_match_compare(CmpOp::Eq, &Scalar::Str("BRAND#22".into())));
+        assert!(!z.may_match_compare(CmpOp::Gt, &Scalar::Str("BRAND#35".into())));
+    }
+
+    #[test]
+    fn nan_stays_conservative() {
+        let z = ZoneMap {
+            min: Some(Scalar::F64(f64::NAN)),
+            max: Some(Scalar::F64(f64::NAN)),
+            null_count: 0,
+            distinct: 1,
+        };
+        assert!(z.may_match_compare(CmpOp::Gt, &Scalar::F64(0.0)));
+        let z = ZoneMap {
+            min: Some(Scalar::F64(0.0)),
+            max: Some(Scalar::F64(1.0)),
+            null_count: 0,
+            distinct: 2,
+        };
+        assert!(!z.may_match_compare(CmpOp::Eq, &Scalar::F64(f64::NAN)));
+        assert!(z.may_match_compare(CmpOp::Ne, &Scalar::F64(f64::NAN)));
+    }
+
+    #[test]
+    fn signed_zero_boundaries_use_ieee_equality() {
+        // A chunk of 0.0 values must not be pruned for `x = -0.0` (IEEE
+        // equality holds) even though total_cmp orders -0.0 below 0.0.
+        let z = ZoneMap {
+            min: Some(Scalar::F64(0.0)),
+            max: Some(Scalar::F64(0.0)),
+            null_count: 0,
+            distinct: 1,
+        };
+        assert!(z.may_match_compare(CmpOp::Eq, &Scalar::F64(-0.0)));
+        assert!(z.may_match_compare(CmpOp::Ge, &Scalar::F64(-0.0)));
+        assert!(!z.may_match_compare(CmpOp::Gt, &Scalar::F64(-0.0)));
+    }
+
+    #[test]
+    fn null_tests() {
+        let z = zone_i64(0, 9, 3);
+        assert!(z.may_match_is_null(false, 10));
+        assert!(z.may_match_is_null(true, 10));
+        let z = zone_i64(0, 9, 0);
+        assert!(!z.may_match_is_null(false, 10));
+        assert!(z.may_match_is_null(true, 10));
+    }
+}

@@ -12,4 +12,5 @@ pub use tqp_ml as ml;
 pub use tqp_profile as profile;
 pub use tqp_serve as serve;
 pub use tqp_sql as sql;
+pub use tqp_store as store;
 pub use tqp_tensor as tensor;

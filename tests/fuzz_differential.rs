@@ -11,6 +11,13 @@
 //! SQL plus the seed is printed so the case can be replayed with
 //! `TQP_FUZZ_SEED`.
 //!
+//! **Stored-table mode**: every query additionally runs against a second
+//! session whose TPC-H tables live in `tqp-store` files (chunked,
+//! compressed, zone-map-pruned scans). Both sessions hold identical data
+//! and identical catalog statistics, so they compile identical plans —
+//! the stored run is asserted **bitwise** equal to the in-memory run,
+//! not just value-tolerant.
+//!
 //! Budget knobs (CI pins them): `TQP_FUZZ_QUERIES` (default 40),
 //! `TQP_FUZZ_SEED` (default 0xC0FFEE), `TQP_FUZZ_SF` (default 0.01).
 
@@ -467,23 +474,58 @@ const BACKENDS: &[(Backend, JoinStrategy, AggStrategy, &str)] = &[
     ),
 ];
 
-/// Run one query through the oracle and every backend; Err holds the
-/// first divergence (or compile/run failure).
-fn check(session: &Session, sql: &str) -> Result<(), String> {
-    let expect = session
+/// The differential pair: the classic in-memory session plus a session
+/// whose tables are `tqp-store` files over the same data.
+struct Sessions {
+    mem: Session,
+    stored: Session,
+}
+
+/// Bitwise row equality (both sessions run the same plan, so order and
+/// float bits must match exactly).
+fn frames_bitwise(got: &DataFrame, expect: &DataFrame) -> Result<(), String> {
+    if got.nrows() != expect.nrows() {
+        return Err(format!("row count {} vs {}", got.nrows(), expect.nrows()));
+    }
+    for i in 0..got.nrows() {
+        let (g, e) = (format!("{:?}", got.row(i)), format!("{:?}", expect.row(i)));
+        if g != e {
+            return Err(format!("row {i}: {g} vs {e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Run one query through the oracle and every backend — on both the
+/// in-memory and the store-backed session; Err holds the first
+/// divergence (or compile/run failure).
+fn check(sessions: &Sessions, sql: &str) -> Result<(), String> {
+    let expect = sessions
+        .mem
         .sql_baseline(sql)
         .map_err(|e| format!("oracle failed: {e}"))?;
     for &(backend, join, agg, label) in BACKENDS {
         let cfg = QueryConfig::default()
             .backend(backend)
             .physical(PhysicalOptions { join, agg });
-        let q = session
+        let q = sessions
+            .mem
             .compile(sql, cfg)
             .map_err(|e| format!("[{label}] compile failed: {e}"))?;
         let (got, _) = q
-            .run(session)
+            .run(&sessions.mem)
             .map_err(|e| format!("[{label}] run failed: {e}"))?;
         frames_match(&got, &expect).map_err(|e| format!("[{label}] {e}"))?;
+        // Stored-table mode: same query over the tqp-store scan path,
+        // bitwise against the in-memory tensor result.
+        let sq = sessions
+            .stored
+            .compile(sql, cfg)
+            .map_err(|e| format!("[{label}/store] compile failed: {e}"))?;
+        let (sgot, _) = sq
+            .run(&sessions.stored)
+            .map_err(|e| format!("[{label}/store] run failed: {e}"))?;
+        frames_bitwise(&sgot, &got).map_err(|e| format!("[{label}/store] {e}"))?;
     }
     Ok(())
 }
@@ -522,12 +564,12 @@ fn candidates(s: &Spec) -> Vec<Spec> {
     out
 }
 
-fn shrink(session: &Session, spec: Spec) -> Spec {
+fn shrink(sessions: &Sessions, spec: Spec) -> Spec {
     let mut cur = spec;
     loop {
         let mut reduced = None;
         for cand in candidates(&cur) {
-            if check(session, &cand.to_sql()).is_err() {
+            if check(sessions, &cand.to_sql()).is_err() {
                 reduced = Some(cand);
                 break;
             }
@@ -537,6 +579,22 @@ fn shrink(session: &Session, spec: Spec) -> Spec {
             None => return cur,
         }
     }
+}
+
+/// Build the in-memory/store-backed session pair over identical data.
+fn build_sessions(data: &TpchData) -> Sessions {
+    let mut mem = Session::new();
+    mem.register_tpch(data);
+    let dir = std::env::temp_dir().join(format!("tqp_fuzz_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut stored = Session::new();
+    for (name, frame) in data.tables() {
+        let path = dir.join(format!("{name}.tqps"));
+        let table = tqp_repro::store::store_frame(frame, &path, 2048)
+            .unwrap_or_else(|e| panic!("storing {name}: {e}"));
+        stored.register_stored_table(name, std::sync::Arc::new(table));
+    }
+    Sessions { mem, stored }
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -563,17 +621,16 @@ fn randomized_queries_match_the_oracle_on_all_backends() {
         scale_factor: sf,
         seed: 20_220_901,
     });
-    let mut session = Session::new();
-    session.register_tpch(&data);
+    let sessions = build_sessions(&data);
 
     let mut rng = StdRng::seed_from_u64(seed);
     for qi in 0..n_queries {
         let spec = generate(&mut rng);
         let sql = spec.to_sql();
-        if let Err(err) = check(&session, &sql) {
-            let minimal = shrink(&session, spec);
+        if let Err(err) = check(&sessions, &sql) {
+            let minimal = shrink(&sessions, spec);
             let minimal_sql = minimal.to_sql();
-            let minimal_err = check(&session, &minimal_sql).unwrap_err();
+            let minimal_err = check(&sessions, &minimal_sql).unwrap_err();
             panic!(
                 "fuzz query {qi} diverged (seed {seed:#x}):\n  original: {sql}\n  \
                  error:    {err}\n  shrunk:   {minimal_sql}\n  shrunk error: {minimal_err}\n\

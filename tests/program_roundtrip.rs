@@ -61,9 +61,9 @@ fn roundtripped_artifact_is_byte_identical_on_all_backends() {
             // route through this path)...
             for fused in [false, true] {
                 let cfg = ExecConfig::default();
-                let (direct, _) =
+                let (direct, _, _) =
                     vm::run_program(&prog, s.storage(), &models, &profiler, cfg, fused);
-                let (via_artifact, _) =
+                let (via_artifact, _, _) =
                     vm::run_program(&shipped, s.storage(), &models, &profiler, cfg, fused);
                 let label = if fused { "fused" } else { "eager" };
                 assert_identical(n, label, &direct, &via_artifact);

@@ -1,0 +1,303 @@
+//! Proptest round-trip suite for every `tqp-store` chunk encoding:
+//! random columns across all dtypes and NULL patterns must survive
+//! write → footer → chunked decode **bit-exactly** — values at valid
+//! positions, validity masks exactly, zone maps consistent with the data
+//! (min/max bound every valid value, NULL counts exact), and table stats
+//! equal to a whole-frame single-pass computation of the same rows.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use tqp_repro::data::stats::scalar_cmp;
+use tqp_repro::data::{Column, Field, LogicalType, Schema};
+use tqp_repro::store::{StoreWriter, StoredTable};
+use tqp_tensor::Scalar;
+
+/// A generated column: values + optional validity.
+struct GenCol {
+    field: Field,
+    column: Column,
+    validity: Option<Vec<bool>>,
+}
+
+struct Gen {
+    rng: TestRng,
+}
+
+impl Gen {
+    fn usize_below(&mut self, n: usize) -> usize {
+        self.rng.below(n as u64) as usize
+    }
+
+    /// Random validity: None, sparse NULLs, dense NULLs, or all-NULL.
+    fn validity(&mut self, n: usize) -> Option<Vec<bool>> {
+        match self.usize_below(4) {
+            0 => None,
+            1 => Some((0..n).map(|_| self.rng.below(10) != 0).collect()),
+            2 => Some((0..n).map(|_| self.rng.below(2) == 0).collect()),
+            _ => Some(vec![false; n]),
+        }
+    }
+
+    /// Random i64 distribution chosen to exercise Plain/FoR/RLE.
+    fn ints(&mut self, n: usize) -> Vec<i64> {
+        match self.usize_below(4) {
+            // Tight range → FoR.
+            0 => {
+                let base = self.rng.next_u64() as i64;
+                (0..n)
+                    .map(|_| base.wrapping_add(self.rng.below(200) as i64))
+                    .collect()
+            }
+            // Long runs → RLE.
+            1 => {
+                let mut v = Vec::with_capacity(n);
+                let mut cur = self.rng.below(5) as i64;
+                while v.len() < n {
+                    let run = 1 + self.usize_below(40);
+                    for _ in 0..run.min(n - v.len()) {
+                        v.push(cur);
+                    }
+                    cur = self.rng.below(5) as i64;
+                }
+                v
+            }
+            // Full-range chaos (+ extremes) → Plain.
+            2 => (0..n)
+                .map(|i| match i {
+                    0 => i64::MIN,
+                    1 => i64::MAX,
+                    _ => self.rng.next_u64() as i64,
+                })
+                .collect(),
+            // All-equal → FoR width 0.
+            _ => vec![self.rng.next_u64() as i64; n],
+        }
+    }
+
+    fn floats(&mut self, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| match self.usize_below(8) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::INFINITY,
+                3 => f64::NEG_INFINITY,
+                4 => f64::NAN,
+                5 => f64::MIN_POSITIVE,
+                _ => (self.rng.next_u64() as i64 as f64) * 1e-3 + i as f64,
+            })
+            .collect()
+    }
+
+    fn strings(&mut self, n: usize) -> Vec<String> {
+        let card = 1 + self.usize_below(12);
+        let wide = self.usize_below(2) == 0;
+        (0..n)
+            .map(|_| {
+                let k = self.usize_below(card * 3);
+                if wide {
+                    // High-cardinality free text → Plain.
+                    format!("free-text value {} #{k}", self.rng.next_u64())
+                } else {
+                    // Low-cardinality (incl. empty + non-ASCII) → Dict.
+                    match k % card {
+                        0 => String::new(),
+                        1 => "naïve-ütf8-√".to_string(),
+                        k => format!("cat-{k}"),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn column(&mut self, ty: LogicalType, n: usize) -> Column {
+        match ty {
+            LogicalType::Bool => {
+                Column::from_bool((0..n).map(|_| self.rng.below(3) == 0).collect())
+            }
+            LogicalType::Int64 => Column::from_i64(self.ints(n)),
+            LogicalType::Float64 => Column::from_f64(self.floats(n)),
+            LogicalType::Date => {
+                Column::from_date_ns(self.ints(n).iter().map(|v| v % (1 << 48)).collect())
+            }
+            LogicalType::Str => Column::from_str(self.strings(n)),
+        }
+    }
+
+    fn gen_table(&mut self, n: usize) -> Vec<GenCol> {
+        let all = [
+            LogicalType::Bool,
+            LogicalType::Int64,
+            LogicalType::Float64,
+            LogicalType::Date,
+            LogicalType::Str,
+        ];
+        // Every dtype present, in random multiplicity 1-2.
+        let mut cols = Vec::new();
+        for (i, &ty) in all.iter().enumerate() {
+            for rep in 0..1 + self.usize_below(2) {
+                cols.push(GenCol {
+                    field: Field::new(format!("c{i}_{rep}"), ty),
+                    column: self.column(ty, n),
+                    validity: self.validity(n),
+                });
+            }
+        }
+        cols
+    }
+}
+
+fn tmp_path(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tqp_property_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}_{seed}.tqps"))
+}
+
+fn scalar_bits(s: &Scalar) -> String {
+    match s {
+        // NaN payloads and ±0.0 must survive exactly.
+        Scalar::F64(v) => format!("f64:{:016x}", v.to_bits()),
+        other => format!("{other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Write random columns chunked, reopen from disk, decode every
+    // chunk: values at valid positions bit-exact, validity exact, zone
+    // maps sound, streamed table stats equal the one-pass computation.
+    #[test]
+    fn chunked_roundtrip_all_encodings(seed in any::<u64>()) {
+        let mut g = Gen { rng: TestRng::new(seed) };
+        let n = 1 + g.usize_below(700);
+        let chunk_rows = 1 + g.usize_below(250);
+        let cols = g.gen_table(n);
+        let schema = Schema::new(cols.iter().map(|c| c.field.clone()).collect());
+        let path = tmp_path("rt", seed);
+
+        let mut w = StoreWriter::create(&path, &schema, chunk_rows).unwrap();
+        let columns: Vec<Column> = cols.iter().map(|c| c.column.clone()).collect();
+        let validity: Vec<Option<Vec<bool>>> = cols.iter().map(|c| c.validity.clone()).collect();
+        w.append_columns(&columns, &validity).unwrap();
+        let written = w.finish().unwrap();
+
+        // Reopen from disk — metadata must round-trip through the footer.
+        let table = StoredTable::open(&path).unwrap();
+        prop_assert_eq!(table.nrows(), n);
+        prop_assert_eq!(table.n_chunks(), n.div_ceil(chunk_rows));
+        // Structural equality via Debug: Scalar's PartialEq is IEEE, so
+        // a NaN max would compare unequal to its identical round-trip.
+        prop_assert_eq!(format!("{:?}", table.stats()), format!("{:?}", written.stats()));
+
+        let all: Vec<usize> = (0..schema.len()).collect();
+        let mut row0 = 0usize;
+        for ci in 0..table.n_chunks() {
+            let rows = table.chunk_len(ci);
+            let decoded = table.decode_chunk(ci, &all).unwrap();
+            for (c, col) in cols.iter().enumerate() {
+                let (tensor, dec_validity) = &decoded[c];
+                prop_assert_eq!(tensor.nrows(), rows);
+                let mut nulls = 0u64;
+                for r in 0..rows {
+                    let orig_valid = col.validity.as_ref().is_none_or(|v| v[row0 + r]);
+                    let dec_valid = dec_validity.as_ref().is_none_or(|v| v.as_bool()[r]);
+                    prop_assert_eq!(orig_valid, dec_valid, "validity col {} row {}", c, row0 + r);
+                    if orig_valid {
+                        prop_assert_eq!(
+                            scalar_bits(&tensor.get(r)),
+                            scalar_bits(&col.column.get(row0 + r)),
+                            "value col {} row {}", c, row0 + r
+                        );
+                    } else {
+                        nulls += 1;
+                    }
+                }
+                // Zone-map soundness: every valid value within [min, max]
+                // (floats skipped when NaN present — bounds are
+                // conservative there), NULL count exact.
+                let zone = table.zone(ci, c);
+                prop_assert_eq!(zone.null_count, nulls, "null count col {c}");
+                if let (Some(min), Some(max)) = (&zone.min, &zone.max) {
+                    let nan_bounds = matches!(min, Scalar::F64(v) if v.is_nan())
+                        || matches!(max, Scalar::F64(v) if v.is_nan());
+                    if !nan_bounds {
+                        for r in 0..rows {
+                            let valid = col.validity.as_ref().is_none_or(|v| v[row0 + r]);
+                            let val = col.column.get(row0 + r);
+                            if !valid || matches!(val, Scalar::F64(v) if v.is_nan()) {
+                                continue;
+                            }
+                            prop_assert!(
+                                scalar_cmp(&val, min).is_ge() && scalar_cmp(&val, max).is_le(),
+                                "zone bounds col {} chunk {}: {:?} outside [{:?}, {:?}]",
+                                c, ci, val, min, max
+                            );
+                        }
+                    }
+                } else {
+                    prop_assert_eq!(zone.null_count, rows as u64, "empty zone only when all NULL");
+                }
+            }
+            row0 += rows;
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    // Appending the same rows in randomly-sized slices produces the
+    // same chunks, zone maps, and stats as one big append (the streaming
+    // CSV path appends chunk-reader-sized frames).
+    #[test]
+    fn append_granularity_is_invisible(seed in any::<u64>()) {
+        let mut g = Gen { rng: TestRng::new(seed) };
+        let n = 50 + g.usize_below(400);
+        let chunk_rows = 1 + g.usize_below(97);
+        let cols = g.gen_table(n);
+        let schema = Schema::new(cols.iter().map(|c| c.field.clone()).collect());
+        let columns: Vec<Column> = cols.iter().map(|c| c.column.clone()).collect();
+        let validity: Vec<Option<Vec<bool>>> = cols.iter().map(|c| c.validity.clone()).collect();
+
+        let whole_path = tmp_path("whole", seed);
+        let mut w = StoreWriter::create(&whole_path, &schema, chunk_rows).unwrap();
+        w.append_columns(&columns, &validity).unwrap();
+        let whole = w.finish().unwrap();
+
+        let sliced_path = tmp_path("sliced", seed);
+        let mut w = StoreWriter::create(&sliced_path, &schema, chunk_rows).unwrap();
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + 1 + g.usize_below(120)).min(n);
+            let idx: Vec<usize> = (lo..hi).collect();
+            let part_cols: Vec<Column> = columns.iter().map(|c| c.take(&idx)).collect();
+            let part_val: Vec<Option<Vec<bool>>> = validity
+                .iter()
+                .map(|v| v.as_ref().map(|v| v[lo..hi].to_vec()))
+                .collect();
+            w.append_columns(&part_cols, &part_val).unwrap();
+            lo = hi;
+        }
+        let sliced = w.finish().unwrap();
+
+        prop_assert_eq!(whole.n_chunks(), sliced.n_chunks());
+        prop_assert_eq!(format!("{:?}", whole.stats()), format!("{:?}", sliced.stats()));
+        let all: Vec<usize> = (0..schema.len()).collect();
+        for ci in 0..whole.n_chunks() {
+            prop_assert_eq!(whole.chunk_len(ci), sliced.chunk_len(ci));
+            for c in 0..schema.len() {
+                prop_assert_eq!(
+                    format!("{:?}", whole.zone(ci, c)),
+                    format!("{:?}", sliced.zone(ci, c)),
+                    "zone chunk {} col {}", ci, c
+                );
+            }
+            let a = whole.decode_chunk(ci, &all).unwrap();
+            let b = sliced.decode_chunk(ci, &all).unwrap();
+            for c in 0..schema.len() {
+                for r in 0..whole.chunk_len(ci) {
+                    prop_assert_eq!(scalar_bits(&a[c].0.get(r)), scalar_bits(&b[c].0.get(r)));
+                }
+            }
+        }
+        std::fs::remove_file(&whole_path).ok();
+        std::fs::remove_file(&sliced_path).ok();
+    }
+}
