@@ -100,6 +100,32 @@ pub fn median_us(mut f: impl FnMut() -> Option<u64>) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// Median **nanoseconds per call** of `f`, over `runs()` samples after
+/// `runs()` warm-ups. Each sample loops `f` until it lasts at least ~2 ms
+/// (calibrated from one timed call), so sub-microsecond sites report
+/// their real per-call cost instead of a truncated zero.
+pub fn median_ns(mut f: impl FnMut()) -> u64 {
+    const MIN_SAMPLE_NS: u64 = 2_000_000;
+    let n = runs();
+    for _ in 0..n {
+        f();
+    }
+    let t0 = Instant::now();
+    f();
+    let once = (t0.elapsed().as_nanos() as u64).max(1);
+    let iters = (MIN_SAMPLE_NS / once).clamp(1, 1_000_000);
+    let mut samples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push((t0.elapsed().as_nanos() as u64) / iters);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
 /// Pretty milliseconds.
 pub fn fmt_ms(us: u64) -> String {
     format!("{:.2} ms", us as f64 / 1000.0)

@@ -55,6 +55,10 @@ pub struct QueryConfig {
     pub prune_scans: bool,
     /// Worker threads for morsel-parallel CPU execution (1 = sequential).
     pub workers: usize,
+    /// Fused kernel specialization of compiled expressions (default on;
+    /// results are bitwise-identical either way — the knob keeps the
+    /// unfused path alive as a differential oracle).
+    pub fuse_exprs: bool,
 }
 
 impl Default for QueryConfig {
@@ -66,6 +70,7 @@ impl Default for QueryConfig {
             gpu_strategy: GpuStrategy::Resident,
             prune_scans: true,
             workers: tqp_exec::default_workers(),
+            fuse_exprs: true,
         }
     }
 }
@@ -104,6 +109,12 @@ impl QueryConfig {
     /// Builder-style zone-map pruning toggle for store-backed scans.
     pub fn prune_scans(mut self, on: bool) -> Self {
         self.prune_scans = on;
+        self
+    }
+
+    /// Builder-style expression-fusion toggle.
+    pub fn fuse_exprs(mut self, on: bool) -> Self {
+        self.fuse_exprs = on;
         self
     }
 }
@@ -336,6 +347,7 @@ fn exec_config(cfg: QueryConfig) -> ExecConfig {
         gpu_strategy: cfg.gpu_strategy,
         prune_scans: cfg.prune_scans,
         workers: cfg.workers,
+        fuse_exprs: cfg.fuse_exprs,
     }
 }
 

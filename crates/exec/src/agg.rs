@@ -50,7 +50,7 @@ use tqp_tensor::{DType, Tensor};
 
 use crate::batch::Batch;
 use crate::expr::{hash_rows, Evaled};
-use crate::exprprog;
+use crate::exprfuse;
 use crate::join::FxBuild;
 use crate::program::{CompiledAgg, ReduceExprs};
 
@@ -95,8 +95,9 @@ fn eval_reduce(
     input: &Batch,
     reduce: &ReduceExprs,
     models: &ModelRegistry,
+    fuse: bool,
 ) -> (Vec<Tensor>, Vec<Option<Evaled>>) {
-    let outs = exprprog::eval_all(&reduce.exprs, input, models);
+    let outs = exprfuse::eval_all(&reduce.exprs, input, models, fuse);
     let keys: Vec<Tensor> = outs[..reduce.n_keys]
         .iter()
         .map(|(v, validity)| {
@@ -122,8 +123,9 @@ pub fn aggregate(
     reduce: &ReduceExprs,
     strategy: Strategy,
     models: &ModelRegistry,
+    fuse: bool,
 ) -> Batch {
-    aggregate_seq(input, reduce, strategy, models, 1)
+    aggregate_seq(input, reduce, strategy, models, 1, fuse)
 }
 
 /// Execute an aggregation with the partitioned parallel path when eligible
@@ -138,18 +140,19 @@ pub fn aggregate_par(
     strategy: Strategy,
     models: &ModelRegistry,
     workers: usize,
+    fuse: bool,
 ) -> Batch {
     let workers = workers.max(1);
     let n = input.nrows();
     if !parallel_eligible(&reduce.aggs) || n < par_min_rows() {
-        return aggregate_seq(input, reduce, strategy, models, workers);
+        return aggregate_seq(input, reduce, strategy, models, workers, fuse);
     }
     let morsel_rows = par_morsel_rows();
     let n_morsels = n.div_ceil(morsel_rows);
     let partials = map_morsels(n_morsels, workers, |m| {
         let lo = m * morsel_rows;
         let hi = ((m + 1) * morsel_rows).min(n);
-        partial_aggregate(&input.slice_rows(lo, hi), reduce, models)
+        partial_aggregate(&input.slice_rows(lo, hi), reduce, models, fuse)
     });
     merge_partials(partials, reduce.n_keys, &reduce.aggs, strategy, workers)
 }
@@ -191,8 +194,9 @@ fn aggregate_seq(
     strategy: Strategy,
     models: &ModelRegistry,
     workers: usize,
+    fuse: bool,
 ) -> Batch {
-    let (keys, args) = eval_reduce(input, reduce, models);
+    let (keys, args) = eval_reduce(input, reduce, models, fuse);
     if reduce.n_keys == 0 {
         return global_aggregate(input.nrows(), &reduce.aggs, &args);
     }
@@ -340,9 +344,10 @@ pub fn partial_aggregate(
     morsel: &Batch,
     reduce: &ReduceExprs,
     models: &ModelRegistry,
+    fuse: bool,
 ) -> AggPartial {
     let n = morsel.nrows();
-    let (keys, args) = eval_reduce(morsel, reduce, models);
+    let (keys, args) = eval_reduce(morsel, reduce, models, fuse);
     let (ids, firsts) = hash_group_rows(&keys, n);
     let g = firsts.nrows();
     let key_cols: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
@@ -859,6 +864,7 @@ mod tests {
             ),
             strategy,
             &ModelRegistry::new(),
+            true,
         )
     }
 
@@ -919,7 +925,13 @@ mod tests {
             reduce.exprs.outputs[reduce.aggs[0].arg.unwrap()],
             reduce.exprs.outputs[reduce.aggs[1].arg.unwrap()]
         );
-        let out = aggregate(&batch(), &reduce, Strategy::Sort, &ModelRegistry::new());
+        let out = aggregate(
+            &batch(),
+            &reduce,
+            Strategy::Sort,
+            &ModelRegistry::new(),
+            true,
+        );
         assert_eq!(group_of(&out, "a"), vec![18.0, 6.0]);
     }
 
@@ -937,6 +949,7 @@ mod tests {
             ),
             Strategy::Sort,
             &ModelRegistry::new(),
+            true,
         );
         assert_eq!(out.nrows(), 1);
         assert_eq!(out.columns[0].as_f64(), &[15.0]);
@@ -964,6 +977,7 @@ mod tests {
             ),
             Strategy::Sort,
             &ModelRegistry::new(),
+            true,
         );
         assert_eq!(out.nrows(), 1);
         assert_eq!(out.columns[0].as_f64(), &[0.0]);
@@ -984,6 +998,7 @@ mod tests {
             &reduce_of(&[E::col(0, LogicalType::Str)], &[star()]),
             Strategy::Sort,
             &ModelRegistry::new(),
+            true,
         );
         assert_eq!(out.nrows(), 0);
     }
@@ -1019,6 +1034,7 @@ mod tests {
                 ),
                 strat,
                 &ModelRegistry::new(),
+                true,
             );
             assert_eq!(out.columns[1].as_i64(), &[2], "{strat:?}");
             assert_eq!(out.columns[2].as_f64(), &[30.0]);
@@ -1055,9 +1071,9 @@ mod tests {
         );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let one = aggregate_par(&b, &reduce, strat, &models, 1);
+            let one = aggregate_par(&b, &reduce, strat, &models, 1, true);
             for workers in [2, 5, 8] {
-                let many = aggregate_par(&b, &reduce, strat, &models, workers);
+                let many = aggregate_par(&b, &reduce, strat, &models, workers, true);
                 assert_eq!(one.nrows(), many.nrows(), "{strat:?}");
                 for c in 0..one.ncols() {
                     match one.columns[c].dtype() {
@@ -1089,7 +1105,7 @@ mod tests {
             // order (that is what makes the input adversarial); their
             // seq-vs-par agreement is asserted on benign values in
             // `parallel_grouped_matches_sequential`.
-            let seq = aggregate(&b, &reduce, strat, &models);
+            let seq = aggregate(&b, &reduce, strat, &models, true);
             assert_eq!(seq.nrows(), one.nrows(), "{strat:?}");
             assert_eq!(
                 seq.columns[0].as_i64(),
@@ -1151,8 +1167,8 @@ mod tests {
         );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let seq = aggregate(&b, &reduce, strat, &models);
-            let par = aggregate_par(&b, &reduce, strat, &models, 4);
+            let seq = aggregate(&b, &reduce, strat, &models, true);
+            let par = aggregate_par(&b, &reduce, strat, &models, 4, true);
             assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
             for c in 0..seq.ncols() {
                 assert_eq!(
@@ -1181,8 +1197,8 @@ mod tests {
             ],
         );
         let models = ModelRegistry::new();
-        let one = aggregate_par(&b, &reduce, Strategy::Sort, &models, 1);
-        let many = aggregate_par(&b, &reduce, Strategy::Sort, &models, 6);
+        let one = aggregate_par(&b, &reduce, Strategy::Sort, &models, 1, true);
+        let many = aggregate_par(&b, &reduce, Strategy::Sort, &models, 6, true);
         assert_eq!(one.nrows(), 1);
         assert_eq!(
             one.columns[0].as_f64()[0].to_bits(),
@@ -1225,9 +1241,9 @@ mod tests {
             ],
         );
         let models = ModelRegistry::new();
-        let seq = aggregate(&b, &reduce, Strategy::Hash, &models);
+        let seq = aggregate(&b, &reduce, Strategy::Hash, &models, true);
         for workers in [1usize, 4] {
-            let par = aggregate_par(&b, &reduce, Strategy::Hash, &models, workers);
+            let par = aggregate_par(&b, &reduce, Strategy::Hash, &models, workers, true);
             assert_eq!(seq.nrows(), par.nrows(), "workers {workers}");
             assert_eq!(seq.columns[0].str_at(0), par.columns[0].str_at(0));
             assert_eq!(seq.columns[1].str_at(0), par.columns[1].str_at(0));
@@ -1277,9 +1293,9 @@ mod tests {
         );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let seq = aggregate(&b, &reduce, strat, &models);
+            let seq = aggregate(&b, &reduce, strat, &models, true);
             for workers in [1usize, 4] {
-                let par = aggregate_par(&b, &reduce, strat, &models, workers);
+                let par = aggregate_par(&b, &reduce, strat, &models, workers, true);
                 assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
                 assert_eq!(seq.columns[1].as_i64(), par.columns[1].as_i64());
                 for r in 0..seq.nrows() {
@@ -1308,6 +1324,7 @@ mod tests {
             ),
             Strategy::Sort,
             &ModelRegistry::new(),
+            true,
         );
         assert_eq!(out.columns[1].str_at(0), "apple");
         assert_eq!(out.columns[1].str_at(1), "kiwi");

@@ -45,6 +45,7 @@ pub mod agg;
 pub mod batch;
 pub mod device;
 pub mod expr;
+pub mod exprfuse;
 pub mod exprprog;
 pub mod graphvm;
 pub mod join;
@@ -126,6 +127,13 @@ pub struct ExecConfig {
     /// process); shrinking it below the default 16 Ki rows trades merge
     /// overhead for scheduling granularity without affecting determinism.
     pub workers: usize,
+    /// Specialize hot `ExprProgram` shapes into fused, type-monomorphized
+    /// kernels (see [`exprfuse`]; default on). Never changes results —
+    /// fused kernels are bitwise-identical to the generic executor and
+    /// unfusible programs fall back silently — so the knob exists to keep
+    /// the unfused path alive as a differential oracle and for A/B
+    /// benchmarking the specialization win.
+    pub fuse_exprs: bool,
 }
 
 /// Default CPU worker count: all cores, capped to keep scoped-thread spawn
@@ -145,6 +153,7 @@ impl Default for ExecConfig {
             gpu_strategy: GpuStrategy::Resident,
             prune_scans: true,
             workers: default_workers(),
+            fuse_exprs: true,
         }
     }
 }

@@ -249,8 +249,13 @@ pub fn materialize(table: &StoredTable) -> tqp_data::ingest::TensorTable {
             .collect()
     } else {
         per_col
-            .iter()
-            .map(|parts| {
+            .into_iter()
+            .map(|mut parts| {
+                // Single-chunk tables (and single survivors after pruning)
+                // hand the decoded tensor through without a copy.
+                if parts.len() == 1 {
+                    return parts.pop().expect("one part");
+                }
                 let refs: Vec<&Tensor> = parts.iter().collect();
                 tqp_tensor::index::concat(&refs)
             })

@@ -60,7 +60,8 @@ use tqp_tensor::{DType, Tensor};
 use crate::agg;
 use crate::batch::Batch;
 use crate::device::{kernel_count, DeviceMeter};
-use crate::exprprog::{self, ExprProgram, FusedEval};
+use crate::exprfuse;
+use crate::exprprog::{ExprProgram, FusedEval};
 use crate::join;
 use crate::program::{ProgOp, ReduceExprs, TensorProgram};
 use crate::stored::{self, ScanLayout};
@@ -108,6 +109,7 @@ pub fn run_program(
         models,
         profiler,
         fused,
+        fuse: cfg.fuse_exprs,
         prune: cfg.prune_scans,
         workers: cfg.workers.max(1),
         chunks_scanned: AtomicU64::new(0),
@@ -127,6 +129,8 @@ struct Vm<'a> {
     models: &'a ModelRegistry,
     profiler: &'a Profiler,
     fused: bool,
+    /// Kernel specialization of `ExprProgram`s enabled (`exprfuse`).
+    fuse: bool,
     /// Zone-map chunk pruning enabled (stored tables only).
     prune: bool,
     workers: usize,
@@ -377,7 +381,7 @@ impl Vm<'_> {
             let out = self.run_chain_morsel(prog, start, chain_end, morsel, &mut samples);
             let t0 = Instant::now();
             let rows = out.nrows() as u64;
-            let part = agg::partial_aggregate(&out, reduce, self.models);
+            let part = agg::partial_aggregate(&out, reduce, self.models, self.fuse);
             (part, samples, t0.elapsed().as_micros() as u64, rows)
         });
 
@@ -445,8 +449,10 @@ impl Vm<'_> {
         // Eager: the compiled program evaluates every conjunct over the
         // full input in one straight-line kernel pass (shared subterms
         // once), AND-folds all masks + validity into one scratch buffer
-        // sized once per batch, and compacts once.
-        let mask = exprprog::eval_conjuncts_eager(conjuncts, &input, self.models);
+        // sized once per batch, and compacts once. When the program
+        // specializes, `conjunct_mask` takes the fused kernel instead —
+        // a single chunked pass with no intermediate mask tensors.
+        let mask = exprfuse::conjunct_mask(conjuncts, &input, self.models, self.fuse);
         input.take(&mask_to_indices(&mask))
     }
 
@@ -458,6 +464,15 @@ impl Vm<'_> {
     /// expression registers compact alongside the batch, so subterms
     /// shared across conjuncts stay computed-once.
     fn apply_filter_fused(&self, conjuncts: &ExprProgram, input: Batch) -> Batch {
+        // A specialized kernel already short-circuits per 1k-row chunk and
+        // evaluates string predicates only on still-alive rows, which is
+        // the benefit selection-vector compaction buys — without the
+        // gather. Take it when the program fuses (bitwise-identical mask).
+        if self.fuse {
+            if let Some(mask) = exprfuse::try_conjunct_mask(conjuncts, &input, self.models) {
+                return input.take(&mask_to_indices(&mask));
+            }
+        }
         let mut ev = FusedEval::new(conjuncts);
         let mut acc: Option<Tensor> = None;
         let mut current = input;
@@ -490,7 +505,7 @@ impl Vm<'_> {
     }
 
     fn apply_project(&self, exprs: &ExprProgram, input: &Batch) -> Batch {
-        let outs = exprprog::eval_all(exprs, input, self.models);
+        let outs = exprfuse::eval_all(exprs, input, self.models, self.fuse);
         let mut columns = Vec::with_capacity(outs.len());
         let mut validity = Vec::with_capacity(outs.len());
         for (v, val) in outs {
@@ -714,9 +729,9 @@ impl Vm<'_> {
                 // worker-independent; the CPU path takes the partitioned
                 // parallel route when the input is large enough.
                 let out = if meter.is_enabled() {
-                    agg::aggregate(child, reduce, strat, self.models)
+                    agg::aggregate(child, reduce, strat, self.models, self.fuse)
                 } else {
-                    agg::aggregate_par(child, reduce, strat, self.models, self.workers)
+                    agg::aggregate_par(child, reduce, strat, self.models, self.workers, self.fuse)
                 };
                 meter.op(
                     kernel_count("Aggregate", reduce.aggs.len()),
@@ -736,17 +751,18 @@ impl Vm<'_> {
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
                 let in_bytes = child.nbytes();
-                let tensor_keys: Vec<TSortKey> = exprprog::eval_all(keys, child, self.models)
-                    .into_iter()
-                    .zip(desc)
-                    .map(|((v, val), &d)| {
-                        assert!(val.is_none(), "NULL sort keys unsupported");
-                        TSortKey {
-                            values: v,
-                            order: if d { Order::Desc } else { Order::Asc },
-                        }
-                    })
-                    .collect();
+                let tensor_keys: Vec<TSortKey> =
+                    exprfuse::eval_all(keys, child, self.models, self.fuse)
+                        .into_iter()
+                        .zip(desc)
+                        .map(|((v, val), &d)| {
+                            assert!(val.is_none(), "NULL sort keys unsupported");
+                            TSortKey {
+                                values: v,
+                                order: if d { Order::Desc } else { Order::Asc },
+                            }
+                        })
+                        .collect();
                 // Safe at any worker count: a stable sort permutation is
                 // unique, so the parallel chunk-sort + merge is
                 // bit-identical to the sequential LSD sort.

@@ -342,6 +342,12 @@ pub fn slice_rows(t: &Tensor, lo: usize, hi: usize) -> Tensor {
 /// same dtype. String matrices of different widths are re-padded to the max.
 pub fn concat(parts: &[&Tensor]) -> Tensor {
     assert!(!parts.is_empty(), "concat of zero tensors");
+    if parts.len() == 1 {
+        // O(1) handle clone. Byte-identical to the copying path even for
+        // string matrices: a single part *is* the max width, and its
+        // padding is already zeros.
+        return parts[0].clone();
+    }
     let dt = parts[0].dtype();
     assert!(
         parts.iter().all(|p| p.dtype() == dt),

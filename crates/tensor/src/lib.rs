@@ -27,6 +27,7 @@
 pub mod dtype;
 pub mod gemm;
 pub mod index;
+pub mod kernels;
 pub mod ops;
 pub mod pool;
 pub mod reduce;

@@ -516,6 +516,17 @@ fn check(sessions: &Sessions, sql: &str) -> Result<(), String> {
             .run(&sessions.mem)
             .map_err(|e| format!("[{label}] run failed: {e}"))?;
         frames_match(&got, &expect).map_err(|e| format!("[{label}] {e}"))?;
+        // Fusion off: the generic per-op expression path must be bitwise
+        // the fused-kernel path on every backend (the fused dense masks
+        // and output evaluation may reorder nothing, drop nothing).
+        let uq = sessions
+            .mem
+            .compile(sql, cfg.fuse_exprs(false))
+            .map_err(|e| format!("[{label}/nofuse] compile failed: {e}"))?;
+        let (ugot, _) = uq
+            .run(&sessions.mem)
+            .map_err(|e| format!("[{label}/nofuse] run failed: {e}"))?;
+        frames_bitwise(&ugot, &got).map_err(|e| format!("[{label}/nofuse] {e}"))?;
         // Stored-table mode: same query over the tqp-store scan path,
         // bitwise against the in-memory tensor result.
         let sq = sessions

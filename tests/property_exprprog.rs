@@ -23,6 +23,7 @@ use proptest::TestRng;
 use tqp_repro::data::LogicalType;
 use tqp_repro::exec::batch::Batch;
 use tqp_repro::exec::expr as tree;
+use tqp_repro::exec::exprfuse;
 use tqp_repro::exec::exprprog;
 use tqp_repro::ir::expr::{BinOp, BoundExpr as E, ScalarFunc};
 use tqp_repro::ml::ModelRegistry;
@@ -412,6 +413,14 @@ proptest! {
         let models = ModelRegistry::new();
         let prog = exprprog::compile_exprs(&conjuncts);
         let eager_mask = exprprog::eval_conjuncts_eager(&prog, &batch, &models);
+        // The fused-kernel mask (or its generic fallback for shapes the
+        // specializer rejects) must be bitwise the eager fold.
+        let fused_mask = exprfuse::conjunct_mask(&prog, &batch, &models, true);
+        prop_assert_eq!(
+            fused_mask.as_bool(), eager_mask.as_bool(),
+            "fused kernel/eager divergence for {:?}\nprogram:\n{}",
+            conjuncts, prog.display()
+        );
         let eager_idx = tqp_tensor::index::mask_to_indices(&eager_mask);
         for compact_at in 0..conjuncts.len() {
             let mut ev = exprprog::FusedEval::new(&prog);
@@ -442,6 +451,168 @@ proptest! {
                 &live, &eager_idx.as_i64().to_vec(),
                 "fused/eager divergence (compact_at={}) for {:?}\nprogram:\n{}",
                 compact_at, conjuncts, prog.display()
+            );
+        }
+    }
+}
+
+/// Adversarial-float batch for the fused dense-mask path: columns
+/// 0 i:Int64 (with `MIN`/`MAX` extremes), 1 f:Float64 (NaN, ±0.0, ±inf,
+/// mixed exponents), 2 nf:Float64 nullable (same values, NULL-masked),
+/// 3 b:Bool.
+fn adversarial_batch() -> Batch {
+    let n = N_ROWS;
+    let iv: Vec<i64> = (0..n)
+        .map(|k| match k % 9 {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            2 => i64::MIN + 1,
+            3 => i64::MAX - 1,
+            4 => 0,
+            _ => (k as i64 * 37) % 200 - 100,
+        })
+        .collect();
+    let fv: Vec<f64> = (0..n)
+        .map(|k| match k % 11 {
+            0 => f64::NAN,
+            1 => 0.0,
+            2 => -0.0,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => 1e-300,
+            6 => -1e300,
+            7 => 5e-2,
+            _ => (k as f64 - 20.0) * 1.75,
+        })
+        .collect();
+    let bv: Vec<bool> = (0..n).map(|k| k % 3 != 1).collect();
+    let nf_valid: Vec<bool> = (0..n).map(|k| k % 4 != 2).collect();
+    Batch::with_validity(
+        vec![
+            Tensor::from_i64(iv),
+            Tensor::from_f64(fv.clone()),
+            Tensor::from_f64(fv),
+            Tensor::from_bool(bv),
+        ],
+        vec![None, None, Some(Tensor::from_bool(nf_valid)), None],
+    )
+}
+
+/// One random compare-against-constant conjunct over the adversarial
+/// batch — the exact shape the fused kernel canonicalizes into merged
+/// interval predicates. Constants include every interval-edge value the
+/// canonicalizer special-cases.
+fn adversarial_conjunct(g: &mut Gen) -> E {
+    let cmp = [
+        BinOp::Eq,
+        BinOp::NotEq,
+        BinOp::Lt,
+        BinOp::LtEq,
+        BinOp::Gt,
+        BinOp::GtEq,
+    ][g.pick(6) as usize];
+    match g.pick(8) {
+        0..=2 => {
+            let c = [
+                i64::MIN,
+                i64::MIN + 1,
+                -50,
+                0,
+                3,
+                77,
+                i64::MAX - 1,
+                i64::MAX,
+            ][g.pick(8) as usize];
+            E::Binary {
+                op: cmp,
+                left: Box::new(E::col(0, LogicalType::Int64)),
+                right: Box::new(E::lit_i64(c)),
+                ty: LogicalType::Bool,
+            }
+        }
+        3..=6 => {
+            let c = [
+                f64::NAN,
+                0.0,
+                -0.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                1e-300,
+                -1e300,
+                5e-2,
+                -7.25,
+            ][g.pick(9) as usize];
+            E::Binary {
+                op: cmp,
+                left: Box::new(E::col(
+                    if g.pick(2) == 0 { 1 } else { 2 },
+                    LogicalType::Float64,
+                )),
+                right: Box::new(E::lit_f64(c)),
+                ty: LogicalType::Bool,
+            }
+        }
+        _ => E::col(3, LogicalType::Bool),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // The fused kernel's canonicalized dense mask path — interval merging,
+    // i64 MIN/MAX edges, NaN constants, ±0.0 bound ties, runtime validity
+    // folds — is bitwise the eager unfused fold AND the tree
+    // interpreter's mask, for random compare chains that repeatedly hit
+    // the same columns (forcing interval merges and empty intervals).
+    #[test]
+    fn fused_dense_mask_matches_eager_and_tree(seed in any::<u64>()) {
+        let mut g = Gen { rng: TestRng::new(seed) };
+        let batch = adversarial_batch();
+        let models = ModelRegistry::new();
+        let n_conj = 1 + g.pick(5) as usize;
+        let conjuncts: Vec<E> = (0..n_conj).map(|_| adversarial_conjunct(&mut g)).collect();
+        let prog = exprprog::compile_exprs(&conjuncts);
+        let fused = exprfuse::conjunct_mask(&prog, &batch, &models, true);
+        let eager = exprprog::eval_conjuncts_eager(&prog, &batch, &models);
+        prop_assert_eq!(
+            fused.as_bool(), eager.as_bool(),
+            "fused/eager divergence for {:?}\nprogram:\n{}", conjuncts, prog.display()
+        );
+        let mut tree_mask: Option<Tensor> = None;
+        for c in &conjuncts {
+            let m = tree::eval_mask(c, &batch, &models);
+            tree_mask = Some(match tree_mask.take() {
+                Some(prev) => tqp_tensor::ops::and(&prev, &m),
+                None => m,
+            });
+        }
+        let tree_mask = tree_mask.unwrap();
+        prop_assert_eq!(
+            eager.as_bool(), tree_mask.as_bool(),
+            "eager/tree divergence for {:?}", conjuncts
+        );
+    }
+
+    // Fused all-outputs evaluation (projections / aggregate inputs / sort
+    // keys) is bitwise the generic per-op evaluation across every dtype
+    // and validity layout the expression generator can produce.
+    #[test]
+    fn fused_outputs_match_generic_eval_all(seed in any::<u64>()) {
+        let mut g = Gen { rng: TestRng::new(seed) };
+        let exprs: Vec<E> = (0..3).map(|_| g.any_expr(3)).collect();
+        let batch = test_batch();
+        let models = ModelRegistry::new();
+        let prog = exprprog::compile_exprs(&exprs);
+        let generic = exprprog::eval_all(&prog, &batch, &models);
+        let fused = exprfuse::eval_all(&prog, &batch, &models, true);
+        for (k, e) in exprs.iter().enumerate() {
+            prop_assert!(
+                tensors_bit_equal(&generic[k].0, &fused[k].0),
+                "fused output value mismatch for {e:?}\nprogram:\n{}", prog.display()
+            );
+            prop_assert!(
+                validity_equal(&generic[k].1, &fused[k].1),
+                "fused output validity mismatch for {e:?}\nprogram:\n{}", prog.display()
             );
         }
     }
