@@ -59,6 +59,10 @@ pub struct QueryConfig {
     /// results are bitwise-identical either way — the knob keeps the
     /// unfused path alive as a differential oracle).
     pub fuse_exprs: bool,
+    /// Vectorized flat-hash engine for joins and group-by (default on;
+    /// results are bitwise-identical either way — the knob keeps the
+    /// legacy `HashMap` path alive as a differential oracle).
+    pub flat_hash: bool,
 }
 
 impl Default for QueryConfig {
@@ -71,6 +75,7 @@ impl Default for QueryConfig {
             prune_scans: true,
             workers: tqp_exec::default_workers(),
             fuse_exprs: true,
+            flat_hash: true,
         }
     }
 }
@@ -115,6 +120,12 @@ impl QueryConfig {
     /// Builder-style expression-fusion toggle.
     pub fn fuse_exprs(mut self, on: bool) -> Self {
         self.fuse_exprs = on;
+        self
+    }
+
+    /// Builder-style flat-hash-engine toggle.
+    pub fn flat_hash(mut self, on: bool) -> Self {
+        self.flat_hash = on;
         self
     }
 }
@@ -348,6 +359,7 @@ fn exec_config(cfg: QueryConfig) -> ExecConfig {
         prune_scans: cfg.prune_scans,
         workers: cfg.workers,
         fuse_exprs: cfg.fuse_exprs,
+        flat_hash: cfg.flat_hash,
     }
 }
 

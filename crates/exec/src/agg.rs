@@ -124,8 +124,9 @@ pub fn aggregate(
     strategy: Strategy,
     models: &ModelRegistry,
     fuse: bool,
+    flat: bool,
 ) -> Batch {
-    aggregate_seq(input, reduce, strategy, models, 1, fuse)
+    aggregate_seq(input, reduce, strategy, models, 1, fuse, flat)
 }
 
 /// Execute an aggregation with the partitioned parallel path when eligible
@@ -141,20 +142,28 @@ pub fn aggregate_par(
     models: &ModelRegistry,
     workers: usize,
     fuse: bool,
+    flat: bool,
 ) -> Batch {
     let workers = workers.max(1);
     let n = input.nrows();
     if !parallel_eligible(&reduce.aggs) || n < par_min_rows() {
-        return aggregate_seq(input, reduce, strategy, models, workers, fuse);
+        return aggregate_seq(input, reduce, strategy, models, workers, fuse, flat);
     }
     let morsel_rows = par_morsel_rows();
     let n_morsels = n.div_ceil(morsel_rows);
     let partials = map_morsels(n_morsels, workers, |m| {
         let lo = m * morsel_rows;
         let hi = ((m + 1) * morsel_rows).min(n);
-        partial_aggregate(&input.slice_rows(lo, hi), reduce, models, fuse)
+        partial_aggregate(&input.slice_rows(lo, hi), reduce, models, fuse, flat)
     });
-    merge_partials(partials, reduce.n_keys, &reduce.aggs, strategy, workers)
+    merge_partials(
+        partials,
+        reduce.n_keys,
+        &reduce.aggs,
+        strategy,
+        workers,
+        flat,
+    )
 }
 
 /// Run `f(m)` for every morsel index in `0..n_morsels`, scheduling
@@ -195,6 +204,7 @@ fn aggregate_seq(
     models: &ModelRegistry,
     workers: usize,
     fuse: bool,
+    flat: bool,
 ) -> Batch {
     let (keys, args) = eval_reduce(input, reduce, models, fuse);
     if reduce.n_keys == 0 {
@@ -202,7 +212,7 @@ fn aggregate_seq(
     }
     match strategy {
         Strategy::Sort => sort_aggregate(&keys, &reduce.aggs, &args, input.nrows(), workers),
-        Strategy::Hash => hash_aggregate(&keys, &reduce.aggs, &args, input.nrows()),
+        Strategy::Hash => hash_aggregate(&keys, &reduce.aggs, &args, input.nrows(), flat),
     }
 }
 
@@ -345,10 +355,11 @@ pub fn partial_aggregate(
     reduce: &ReduceExprs,
     models: &ModelRegistry,
     fuse: bool,
+    flat: bool,
 ) -> AggPartial {
     let n = morsel.nrows();
     let (keys, args) = eval_reduce(morsel, reduce, models, fuse);
-    let (ids, firsts) = hash_group_rows(&keys, n);
+    let (ids, firsts) = hash_group_rows(&keys, n, flat);
     let g = firsts.nrows();
     let key_cols: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
     let cols = reduce
@@ -436,6 +447,7 @@ pub fn merge_partials(
     aggs: &[CompiledAgg],
     strategy: Strategy,
     workers: usize,
+    flat: bool,
 ) -> Batch {
     let total: usize = partials.iter().map(|p| p.groups).sum();
     // A global aggregate whose every morsel came up empty (e.g. a fused
@@ -450,7 +462,7 @@ pub fn merge_partials(
             concat(&parts)
         })
         .collect();
-    let (ids, firsts) = hash_group_rows(&merged_keys, total);
+    let (ids, firsts) = hash_group_rows(&merged_keys, total, flat);
     let g = firsts.nrows();
     let mut columns: Vec<Tensor> = merged_keys.iter().map(|k| take(k, &firsts)).collect();
     for (a, call) in aggs.iter().enumerate() {
@@ -567,17 +579,34 @@ fn merge_one(
 /// group ids in first-appearance order plus one representative row per
 /// group. Zero key columns means a single global group (the ungrouped
 /// aggregate case).
-fn hash_group_rows(keys: &[Tensor], n: usize) -> (Tensor, Tensor) {
+///
+/// Two interchangeable implementations behind `flat` (see
+/// [`crate::join`]'s module docs for the rollout story): the default
+/// hashes the key columns **once, blockwise**
+/// ([`tqp_tensor::hash::hash_columns`]) and groups through the flat
+/// open-addressing table of [`tqp_tensor::hash::group_rows_by_hash`];
+/// `flat = false` keeps the legacy `HashMap` collision-chain path as a
+/// differential oracle. Both assign gids in first-appearance order over a
+/// sequential row scan and verify collisions through [`rows_equal`], so
+/// group numbering — and therefore every aggregate output — is identical
+/// whichever path runs.
+fn hash_group_rows(keys: &[Tensor], n: usize, flat: bool) -> (Tensor, Tensor) {
     if keys.is_empty() {
         let firsts = if n == 0 { vec![] } else { vec![0] };
         return (Tensor::from_i64(vec![0; n]), Tensor::from_i64(firsts));
     }
     let key_refs: Vec<&Tensor> = keys.iter().collect();
+    if flat {
+        let hashes = tqp_tensor::hash::hash_columns(&key_refs);
+        let (gids, firsts) =
+            tqp_tensor::hash::group_rows_by_hash(&hashes, |i, j| rows_equal(keys, i, j));
+        return (Tensor::from_i64(gids), Tensor::from_i64(firsts));
+    }
     let hashes = hash_rows(&key_refs);
     let hv = hashes.as_i64();
     // hash → chain of (first_row, gid); verify on collision.
     let mut table: HashMap<i64, Vec<(u32, u32)>, FxBuild> =
-        HashMap::with_capacity_and_hasher(n * 2, FxBuild);
+        HashMap::with_capacity_and_hasher(n, FxBuild);
     let mut gids = vec![0i64; n];
     let mut firsts: Vec<i64> = Vec::new();
     for i in 0..n {
@@ -756,8 +785,9 @@ fn hash_aggregate(
     aggs: &[CompiledAgg],
     args: &[Option<Evaled>],
     n: usize,
+    flat: bool,
 ) -> Batch {
-    let (ids, firsts) = hash_group_rows(keys, n);
+    let (ids, firsts) = hash_group_rows(keys, n, flat);
     let g = firsts.nrows();
 
     let mut columns: Vec<Tensor> = keys.iter().map(|k| take(k, &firsts)).collect();
@@ -865,6 +895,7 @@ mod tests {
             strategy,
             &ModelRegistry::new(),
             true,
+            true,
         )
     }
 
@@ -931,6 +962,7 @@ mod tests {
             Strategy::Sort,
             &ModelRegistry::new(),
             true,
+            true,
         );
         assert_eq!(group_of(&out, "a"), vec![18.0, 6.0]);
     }
@@ -949,6 +981,7 @@ mod tests {
             ),
             Strategy::Sort,
             &ModelRegistry::new(),
+            true,
             true,
         );
         assert_eq!(out.nrows(), 1);
@@ -978,6 +1011,7 @@ mod tests {
             Strategy::Sort,
             &ModelRegistry::new(),
             true,
+            true,
         );
         assert_eq!(out.nrows(), 1);
         assert_eq!(out.columns[0].as_f64(), &[0.0]);
@@ -998,6 +1032,7 @@ mod tests {
             &reduce_of(&[E::col(0, LogicalType::Str)], &[star()]),
             Strategy::Sort,
             &ModelRegistry::new(),
+            true,
             true,
         );
         assert_eq!(out.nrows(), 0);
@@ -1035,6 +1070,7 @@ mod tests {
                 strat,
                 &ModelRegistry::new(),
                 true,
+                true,
             );
             assert_eq!(out.columns[1].as_i64(), &[2], "{strat:?}");
             assert_eq!(out.columns[2].as_f64(), &[30.0]);
@@ -1071,9 +1107,9 @@ mod tests {
         );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let one = aggregate_par(&b, &reduce, strat, &models, 1, true);
+            let one = aggregate_par(&b, &reduce, strat, &models, 1, true, true);
             for workers in [2, 5, 8] {
-                let many = aggregate_par(&b, &reduce, strat, &models, workers, true);
+                let many = aggregate_par(&b, &reduce, strat, &models, workers, true, true);
                 assert_eq!(one.nrows(), many.nrows(), "{strat:?}");
                 for c in 0..one.ncols() {
                     match one.columns[c].dtype() {
@@ -1105,7 +1141,7 @@ mod tests {
             // order (that is what makes the input adversarial); their
             // seq-vs-par agreement is asserted on benign values in
             // `parallel_grouped_matches_sequential`.
-            let seq = aggregate(&b, &reduce, strat, &models, true);
+            let seq = aggregate(&b, &reduce, strat, &models, true, true);
             assert_eq!(seq.nrows(), one.nrows(), "{strat:?}");
             assert_eq!(
                 seq.columns[0].as_i64(),
@@ -1167,8 +1203,8 @@ mod tests {
         );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let seq = aggregate(&b, &reduce, strat, &models, true);
-            let par = aggregate_par(&b, &reduce, strat, &models, 4, true);
+            let seq = aggregate(&b, &reduce, strat, &models, true, true);
+            let par = aggregate_par(&b, &reduce, strat, &models, 4, true, true);
             assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
             for c in 0..seq.ncols() {
                 assert_eq!(
@@ -1197,8 +1233,8 @@ mod tests {
             ],
         );
         let models = ModelRegistry::new();
-        let one = aggregate_par(&b, &reduce, Strategy::Sort, &models, 1, true);
-        let many = aggregate_par(&b, &reduce, Strategy::Sort, &models, 6, true);
+        let one = aggregate_par(&b, &reduce, Strategy::Sort, &models, 1, true, true);
+        let many = aggregate_par(&b, &reduce, Strategy::Sort, &models, 6, true, true);
         assert_eq!(one.nrows(), 1);
         assert_eq!(
             one.columns[0].as_f64()[0].to_bits(),
@@ -1241,9 +1277,9 @@ mod tests {
             ],
         );
         let models = ModelRegistry::new();
-        let seq = aggregate(&b, &reduce, Strategy::Hash, &models, true);
+        let seq = aggregate(&b, &reduce, Strategy::Hash, &models, true, true);
         for workers in [1usize, 4] {
-            let par = aggregate_par(&b, &reduce, Strategy::Hash, &models, workers, true);
+            let par = aggregate_par(&b, &reduce, Strategy::Hash, &models, workers, true, true);
             assert_eq!(seq.nrows(), par.nrows(), "workers {workers}");
             assert_eq!(seq.columns[0].str_at(0), par.columns[0].str_at(0));
             assert_eq!(seq.columns[1].str_at(0), par.columns[1].str_at(0));
@@ -1293,9 +1329,9 @@ mod tests {
         );
         let models = ModelRegistry::new();
         for strat in [Strategy::Sort, Strategy::Hash] {
-            let seq = aggregate(&b, &reduce, strat, &models, true);
+            let seq = aggregate(&b, &reduce, strat, &models, true, true);
             for workers in [1usize, 4] {
-                let par = aggregate_par(&b, &reduce, strat, &models, workers, true);
+                let par = aggregate_par(&b, &reduce, strat, &models, workers, true, true);
                 assert_eq!(seq.nrows(), par.nrows(), "{strat:?}");
                 assert_eq!(seq.columns[1].as_i64(), par.columns[1].as_i64());
                 for r in 0..seq.nrows() {
@@ -1324,6 +1360,7 @@ mod tests {
             ),
             Strategy::Sort,
             &ModelRegistry::new(),
+            true,
             true,
         );
         assert_eq!(out.columns[1].str_at(0), "apple");

@@ -6,8 +6,17 @@
 //!   `[lo, hi)`, expand runs into aligned index tensors with
 //!   `repeat_interleave`/`cumsum`/`arange` arithmetic, then gather. No data-
 //!   dependent control flow — every step is a dense kernel.
-//! * **Hash**: FxHash row-hash build table with collision chains; probe
-//!   produces the same aligned pair-index tensors.
+//! * **Hash**: two interchangeable build tables behind one probe contract.
+//!   The default **flat** path hashes each side exactly once with the
+//!   blockwise kernels in [`tqp_tensor::hash`] and builds a
+//!   [`FlatRowTable`] — a power-of-two directory over contiguous row/key
+//!   arenas, filled by a counting pass (no per-key `Vec` allocations, no
+//!   second hash on insert). The legacy **map** path
+//!   (`HashMap<i64, Vec<u32>>` collision chains, which re-hash the
+//!   combined key through FxHash on every insert and lookup) is kept as a
+//!   differential oracle behind `ExecConfig::flat_hash = false`. Both emit
+//!   probe pairs in (probe row asc, build row asc) order and verify true
+//!   key equality on hashed keys, so flat on/off is bitwise identical.
 //!
 //! Multi-column keys reduce to the single-key case by joining on a 64-bit
 //! combined row hash and verifying true key equality on the expanded pairs
@@ -20,6 +29,7 @@ use std::collections::HashMap;
 use tqp_ir::physical::JoinStrategy;
 use tqp_ir::plan::JoinType;
 use tqp_ml::ModelRegistry;
+use tqp_tensor::hash::{self, FlatRowTable};
 use tqp_tensor::index::{
     arange, exclusive_cumsum, mask_to_indices, repeat_interleave, searchsorted, take, Side,
 };
@@ -87,21 +97,29 @@ pub fn sort_merge_join(
 /// and non-integer keys are reduced to a 64-bit row hash; the probe then
 /// verifies true key equality on the expanded pairs (collision-safe).
 ///
-/// Large builds construct **radix-partitioned**: `parts.len()` (a power of
-/// two) disjoint hash maps, each owning the keys whose mixed high bits
-/// select it, built by independent workers. Each worker scans the key
-/// vector in row order and keeps only its own partition, so every key's
-/// row-index bucket is filled in ascending row order — **exactly** the
-/// bucket a sequential build produces. Probe output is therefore identical
-/// whatever the partition count, which is why it may follow the worker
-/// knob freely.
+/// Large builds construct **radix-partitioned**: `2^bits` disjoint tables,
+/// each owning the keys whose mixed high bits select it, built by
+/// independent workers. Each worker scans the key vector in row order and
+/// keeps only its own partition, so every key's row-index bucket is filled
+/// in ascending row order — **exactly** the bucket a sequential build
+/// produces. Probe output is therefore identical whatever the partition
+/// count, which is why it may follow the worker knob freely.
 pub struct JoinTable {
-    /// One map when built sequentially, `2^bits` radix partitions otherwise.
-    parts: Vec<HashMap<i64, Vec<u32>, FxBuild>>,
+    /// One table when built sequentially, `2^bits` radix partitions
+    /// otherwise.
+    parts: Parts,
     /// log2 of the partition count (0 = unpartitioned).
     bits: u32,
     /// True when keys were hashed (probe must verify equality).
     hashed: bool,
+}
+
+/// The two interchangeable build-table representations (see module docs).
+enum Parts {
+    /// Legacy collision-chain maps — the differential oracle.
+    Map(Vec<HashMap<i64, Vec<u32>, FxBuild>>),
+    /// Flat arena tables over a precomputed blockwise hash column.
+    Flat(Vec<FlatRowTable>),
 }
 
 /// Fibonacci-mix the key and keep the top `bits` bits: cheap, and robust to
@@ -114,29 +132,30 @@ fn radix_of(k: i64, bits: u32) -> usize {
 impl JoinTable {
     /// Number of distinct build keys.
     pub fn len(&self) -> usize {
-        self.parts.iter().map(|m| m.len()).sum()
+        match &self.parts {
+            Parts::Map(ms) => ms.iter().map(|m| m.len()).sum(),
+            Parts::Flat(ts) => ts.iter().map(|t| t.len()).sum(),
+        }
     }
 
     /// True when no build rows were inserted.
     pub fn is_empty(&self) -> bool {
-        self.parts.iter().all(|m| m.is_empty())
+        match &self.parts {
+            Parts::Map(ms) => ms.iter().all(|m| m.is_empty()),
+            Parts::Flat(ts) => ts.iter().all(|t| t.is_empty()),
+        }
     }
 
-    /// The row-index bucket for `k`, if any build row has that key.
-    #[inline]
-    fn get(&self, k: i64) -> Option<&Vec<u32>> {
-        let p = if self.bits == 0 {
-            0
-        } else {
-            radix_of(k, self.bits)
-        };
-        self.parts[p].get(&k)
+    /// True when this table uses the flat arena representation.
+    pub fn is_flat(&self) -> bool {
+        matches!(self.parts, Parts::Flat(_))
     }
 }
 
-/// Build the hash table over `keys` of the build-side batch, sequentially.
+/// Build the hash table over `keys` of the build-side batch, sequentially,
+/// on the default (flat) path.
 pub fn build_table(build: &Batch, keys: &[usize]) -> JoinTable {
-    build_table_par(build, keys, 1)
+    build_table_par(build, keys, 1, true, None)
 }
 
 /// Minimum build rows before the radix-partitioned parallel build pays for
@@ -150,7 +169,19 @@ const MAX_RADIX_BITS: u32 = 4;
 /// Build the hash table, radix-partitioned across up to `workers` threads
 /// when the build side is large enough. The table's *content* is identical
 /// to [`build_table`] at any worker count (see [`JoinTable`]).
-pub fn build_table_par(build: &Batch, keys: &[usize], workers: usize) -> JoinTable {
+///
+/// `flat` selects the representation (flat arena vs legacy map oracle);
+/// `distinct` is an optional distinct-key estimate (the catalog's KMV
+/// sketch, threaded through the plan) used to size the flat directory —
+/// without it the directory assumes all-distinct keys, the same
+/// over-allocation the map path used to bake in as `rows * 2`.
+pub fn build_table_par(
+    build: &Batch,
+    keys: &[usize],
+    workers: usize,
+    flat: bool,
+    distinct: Option<u64>,
+) -> JoinTable {
     assert!(
         !keys.is_empty(),
         "tensor joins require at least one equi key"
@@ -158,6 +189,9 @@ pub fn build_table_par(build: &Batch, keys: &[usize], workers: usize) -> JoinTab
     let rkeys: Vec<&Tensor> = keys.iter().map(|&k| &build.columns[k]).collect();
     let hashed =
         !(rkeys.len() == 1 && rkeys[0].dtype() == DType::I64 && rkeys[0].shape().len() == 1);
+    if flat {
+        return build_flat(&rkeys, hashed, workers, distinct);
+    }
     let rkey = if hashed {
         hash_rows(&rkeys)
     } else {
@@ -167,12 +201,12 @@ pub fn build_table_par(build: &Batch, keys: &[usize], workers: usize) -> JoinTab
 
     if workers <= 1 || rk.len() < PAR_BUILD_MIN_ROWS {
         let mut map: HashMap<i64, Vec<u32>, FxBuild> =
-            HashMap::with_capacity_and_hasher(rk.len() * 2, FxBuild);
+            HashMap::with_capacity_and_hasher(rk.len(), FxBuild);
         for (i, &k) in rk.iter().enumerate() {
             map.entry(k).or_default().push(i as u32);
         }
         return JoinTable {
-            parts: vec![map],
+            parts: Parts::Map(vec![map]),
             bits: 0,
             hashed,
         };
@@ -206,7 +240,7 @@ pub fn build_table_par(build: &Batch, keys: &[usize], workers: usize) -> JoinTab
     let parts: Vec<HashMap<i64, Vec<u32>, FxBuild>> = crate::sched::map_tasks(p, workers, |pi| {
         let cap: usize = bins_ref.iter().map(|b| b[pi].len()).sum();
         let mut map: HashMap<i64, Vec<u32>, FxBuild> =
-            HashMap::with_capacity_and_hasher(cap * 2, FxBuild);
+            HashMap::with_capacity_and_hasher(cap, FxBuild);
         for b in bins_ref {
             for &(k, i) in &b[pi] {
                 map.entry(k).or_default().push(i);
@@ -215,7 +249,88 @@ pub fn build_table_par(build: &Batch, keys: &[usize], workers: usize) -> JoinTab
         map
     });
     JoinTable {
-        parts,
+        parts: Parts::Map(parts),
+        bits,
+        hashed,
+    }
+}
+
+/// Reduce key columns to one `(keys, hashes)` pair for the flat path,
+/// hashing the side exactly once, blockwise. Single bare-I64 keys stay raw
+/// (probe compares true values); everything else joins on the combined row
+/// hash and verifies equality on the expanded pairs.
+fn flat_keys(cols: &[&Tensor], hashed: bool) -> (Vec<i64>, Vec<u64>) {
+    if hashed {
+        let h = hash::hash_columns(cols);
+        let k = h.iter().map(|&x| x as i64).collect();
+        (k, h)
+    } else {
+        let k = cols[0].as_i64().to_vec();
+        let h = hash::hash_i64(&k);
+        (k, h)
+    }
+}
+
+/// The flat-arena build: hash once, then counting-pass table construction
+/// (sequential, or radix-partitioned on the hash's top bits — the same
+/// partition a mixed single-I64 key selects under [`radix_of`], since
+/// `mix64` leaves the top 32 bits of the Fibonacci product unchanged).
+fn build_flat(rkeys: &[&Tensor], hashed: bool, workers: usize, distinct: Option<u64>) -> JoinTable {
+    let (kvec, hvec) = flat_keys(rkeys, hashed);
+    let n = kvec.len();
+
+    if workers <= 1 || n < PAR_BUILD_MIN_ROWS {
+        return JoinTable {
+            parts: Parts::Flat(vec![FlatRowTable::build(&kvec, &hvec, distinct)]),
+            bits: 0,
+            hashed,
+        };
+    }
+
+    let bits = (workers.next_power_of_two().trailing_zeros()).clamp(1, MAX_RADIX_BITS);
+    let p = 1usize << bits;
+
+    // Phase 1 — contiguous worker ranges bin (key, row, hash) triples per
+    // partition, in row order (same shape as the map path's phase 1, plus
+    // the hash so partitions never re-hash).
+    let threads = workers.min(n);
+    let chunk = n.div_ceil(threads);
+    /// Per-partition (keys, rows, hashes) columns, per phase-1 worker.
+    type FlatBins = Vec<(Vec<i64>, Vec<u32>, Vec<u64>)>;
+    let (kref, href) = (&kvec, &hvec);
+    let bins: Vec<FlatBins> = crate::sched::map_tasks(threads, workers, |t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        let mut local: FlatBins = vec![(Vec::new(), Vec::new(), Vec::new()); p];
+        for i in lo..hi {
+            let pi = (href[i] >> (64 - bits)) as usize;
+            local[pi].0.push(kref[i]);
+            local[pi].1.push(i as u32);
+            local[pi].2.push(href[i]);
+        }
+        local
+    });
+
+    // Phase 2 — one flat table per partition over the workers' bins in
+    // worker order; ranges are contiguous and ascending, so every bucket
+    // fills in ascending global row order. The distinct estimate splits
+    // evenly across partitions (the mixed top bits spread keys uniformly).
+    let part_hint = distinct.map(|d| (d >> bits).max(1));
+    let bins_ref = &bins;
+    let parts: Vec<FlatRowTable> = crate::sched::map_tasks(p, workers, |pi| {
+        let cap: usize = bins_ref.iter().map(|b| b[pi].0.len()).sum();
+        let mut ks = Vec::with_capacity(cap);
+        let mut rs = Vec::with_capacity(cap);
+        let mut hs = Vec::with_capacity(cap);
+        for b in bins_ref {
+            ks.extend_from_slice(&b[pi].0);
+            rs.extend_from_slice(&b[pi].1);
+            hs.extend_from_slice(&b[pi].2);
+        }
+        FlatRowTable::build_with_rows(&ks, &rs, &hs, part_hint)
+    });
+    JoinTable {
+        parts: Parts::Flat(parts),
         bits,
         hashed,
     }
@@ -240,16 +355,27 @@ pub fn probe_table(
     assert!(!on.is_empty(), "tensor joins require at least one equi key");
     let lkeys: Vec<&Tensor> = on.iter().map(|&(l, _)| &left.columns[l]).collect();
     let rkeys: Vec<&Tensor> = on.iter().map(|&(_, r)| &right.columns[r]).collect();
-    let lkey = if table.hashed {
-        hash_rows(&lkeys)
-    } else {
+    if !table.hashed {
         assert!(
             lkeys.len() == 1 && lkeys[0].dtype() == DType::I64,
             "probe keys must match build keys (plan bug)"
         );
-        lkeys[0].clone()
+    }
+    let (left_idx, right_idx) = match &table.parts {
+        Parts::Map(maps) => {
+            let lkey = if table.hashed {
+                hash_rows(&lkeys)
+            } else {
+                lkeys[0].clone()
+            };
+            probe_pairs_map(maps, table.bits, lkey.as_i64(), workers)
+        }
+        Parts::Flat(parts) => {
+            // Hash the probe side exactly once, blockwise.
+            let (lk, lh) = flat_keys(&lkeys, table.hashed);
+            probe_pairs_flat(parts, table.bits, &lk, &lh, workers)
+        }
     };
-    let (left_idx, right_idx) = probe_pairs(table, lkey.as_i64(), workers);
     finish_join(
         left,
         right,
@@ -372,46 +498,27 @@ fn smj_pairs(lkey: &Tensor, rkey: &Tensor) -> (Tensor, Tensor) {
     (left_idx, right_idx)
 }
 
-/// Probe-side pair expansion over a prebuilt table. Pairs are emitted in
-/// probe-row order; parallel chunks concatenate in order, keeping the
-/// output bit-identical to a sequential probe.
-fn probe_pairs(table: &JoinTable, lk: &[i64], workers: usize) -> (Tensor, Tensor) {
-    /// Minimum probe rows per worker before chunking pays for itself.
-    const PAR_PROBE_THRESHOLD: usize = 16 * 1024;
+/// Minimum probe rows per worker before chunking pays for itself.
+const PAR_PROBE_THRESHOLD: usize = 16 * 1024;
 
-    let probe_chunk = |base: usize, chunk: &[i64]| -> (Vec<i64>, Vec<i64>) {
-        // Pre-size from build-bucket cardinality: one counting pass over
-        // the buckets, then exact-capacity fills — no growth reallocations
-        // in the inner expansion loop.
-        let total: usize = chunk
-            .iter()
-            .map(|&k| table.get(k).map_or(0, |m| m.len()))
-            .sum();
-        let mut li = Vec::with_capacity(total);
-        let mut ri = Vec::with_capacity(total);
-        for (i, &k) in chunk.iter().enumerate() {
-            if let Some(matches) = table.get(k) {
-                for &j in matches {
-                    li.push((base + i) as i64);
-                    ri.push(j as i64);
-                }
-            }
-        }
-        (li, ri)
-    };
-
-    if workers <= 1 || lk.len() < PAR_PROBE_THRESHOLD * 2 {
-        let (li, ri) = probe_chunk(0, lk);
+/// Shared probe-chunking harness: pairs are emitted in probe-row order;
+/// parallel chunks concatenate in order, keeping the output bit-identical
+/// to a sequential probe. `chunk_fn(lo, hi)` expands probe rows
+/// `[lo, hi)` into absolute pair lists.
+fn collect_pairs(
+    n: usize,
+    workers: usize,
+    chunk_fn: &(dyn Fn(usize, usize) -> (Vec<i64>, Vec<i64>) + Sync),
+) -> (Tensor, Tensor) {
+    if workers <= 1 || n < PAR_PROBE_THRESHOLD * 2 {
+        let (li, ri) = chunk_fn(0, n);
         return (Tensor::from_i64(li), Tensor::from_i64(ri));
     }
 
-    let n_chunks = workers.min(lk.len() / PAR_PROBE_THRESHOLD).max(1);
-    let chunk_len = lk.len().div_ceil(n_chunks);
-    let probe_chunk = &probe_chunk;
+    let n_chunks = workers.min(n / PAR_PROBE_THRESHOLD).max(1);
+    let chunk_len = n.div_ceil(n_chunks);
     let partials: Vec<(Vec<i64>, Vec<i64>)> = crate::sched::map_tasks(n_chunks, workers, |c| {
-        let base = c * chunk_len;
-        let chunk = &lk[base..((c + 1) * chunk_len).min(lk.len())];
-        probe_chunk(base, chunk)
+        chunk_fn(c * chunk_len, ((c + 1) * chunk_len).min(n))
     });
     let total: usize = partials.iter().map(|p| p.0.len()).sum();
     let mut li = Vec::with_capacity(total);
@@ -421,6 +528,96 @@ fn probe_pairs(table: &JoinTable, lk: &[i64], workers: usize) -> (Tensor, Tensor
         ri.extend(part.1);
     }
     (Tensor::from_i64(li), Tensor::from_i64(ri))
+}
+
+/// Probe-side pair expansion over a legacy map table.
+fn probe_pairs_map(
+    maps: &[HashMap<i64, Vec<u32>, FxBuild>],
+    bits: u32,
+    lk: &[i64],
+    workers: usize,
+) -> (Tensor, Tensor) {
+    let get = |k: i64| -> Option<&Vec<u32>> {
+        let p = if bits == 0 { 0 } else { radix_of(k, bits) };
+        maps[p].get(&k)
+    };
+    collect_pairs(lk.len(), workers, &|lo, hi| {
+        // Pre-size from build-bucket cardinality: one counting pass over
+        // the buckets, then exact-capacity fills — no growth reallocations
+        // in the inner expansion loop.
+        let chunk = &lk[lo..hi];
+        let total: usize = chunk.iter().map(|&k| get(k).map_or(0, |m| m.len())).sum();
+        let mut li = Vec::with_capacity(total);
+        let mut ri = Vec::with_capacity(total);
+        for (i, &k) in chunk.iter().enumerate() {
+            if let Some(matches) = get(k) {
+                for &j in matches {
+                    li.push((lo + i) as i64);
+                    ri.push(j as i64);
+                }
+            }
+        }
+        (li, ri)
+    })
+}
+
+/// Probe rows per two-phase block. The range pass is a tight loop of
+/// independent directory lookups, so its cache misses overlap instead of
+/// serializing behind the key-compare chain; the scan pass then walks
+/// bucket runs whose `starts` lines are already hot. (A whole-chunk count
+/// pass and a fused lookup+scan loop both measured slower: the former
+/// pays two cold directory sweeps, the latter one dependent-load chain
+/// per row.)
+const PROBE_BLOCK_ROWS: usize = 1024;
+
+/// Probe-side pair expansion over flat arena tables: partition by the
+/// hash's top bits, bucket by its masked low bits, then per
+/// [`PROBE_BLOCK_ROWS`] block gather every row's bucket `[start, end)`
+/// range into a stack array before scanning the contiguous key runs and
+/// emitting pairs.
+fn probe_pairs_flat(
+    parts: &[FlatRowTable],
+    bits: u32,
+    lk: &[i64],
+    lh: &[u64],
+    workers: usize,
+) -> (Tensor, Tensor) {
+    let part_of = |h: u64| -> usize {
+        if bits == 0 {
+            0
+        } else {
+            (h >> (64 - bits)) as usize
+        }
+    };
+    collect_pairs(lk.len(), workers, &|lo, hi| {
+        // At least one pair per probe row is the common inner-join case;
+        // reserve for it up front, let rare high-fanout blocks grow.
+        let mut li = Vec::with_capacity(hi - lo);
+        let mut ri = Vec::with_capacity(hi - lo);
+        let mut ranges = [(0u32, 0u32, 0u32); PROBE_BLOCK_ROWS];
+        let mut b = lo;
+        while b < hi {
+            let e = (b + PROBE_BLOCK_ROWS).min(hi);
+            for (slot, i) in (b..e).enumerate() {
+                let p = part_of(lh[i]);
+                let (s, t) = parts[p].bucket_range(lh[i]);
+                ranges[slot] = (p as u32, s, t);
+            }
+            for (slot, i) in (b..e).enumerate() {
+                let (p, s, t) = ranges[slot];
+                let (bkeys, brows) = parts[p as usize].entries(s, t);
+                let k = lk[i];
+                for (bk, &r) in bkeys.iter().zip(brows) {
+                    if *bk == k {
+                        li.push(i as i64);
+                        ri.push(r as i64);
+                    }
+                }
+            }
+            b = e;
+        }
+        (li, ri)
+    })
 }
 
 /// `matched[i] = true` iff left row i appears in the pair list.
@@ -652,7 +849,8 @@ mod tests {
             (0..8192i64).map(|i| i * 3 % 5000).collect(),
         )]);
         let models = ModelRegistry::new();
-        let seq_table = build_table(&build, &[0]);
+        // Golden output: sequential legacy-map build.
+        let seq_table = build_table_par(&build, &[0], 1, false, None);
         let seq = probe_table(
             &seq_table,
             &probe,
@@ -663,25 +861,29 @@ mod tests {
             &models,
             1,
         );
-        for workers in [2, 4, 8] {
-            let par_table = build_table_par(&build, &[0], workers);
-            assert_eq!(par_table.len(), seq_table.len());
-            assert_eq!(par_table.is_empty(), seq_table.is_empty());
-            let par = probe_table(
-                &par_table,
-                &probe,
-                &build,
-                JoinType::Inner,
-                &[(0, 0)],
-                None,
-                &models,
-                workers,
-            );
-            assert_eq!(seq.nrows(), par.nrows(), "workers={workers}");
-            for c in 0..seq.ncols() {
-                match seq.columns[c].dtype() {
-                    DType::F64 => assert_eq!(seq.columns[c].as_f64(), par.columns[c].as_f64()),
-                    _ => assert_eq!(seq.columns[c].as_i64(), par.columns[c].as_i64()),
+        // Every representation × worker count must reproduce it bitwise.
+        for flat in [false, true] {
+            for workers in [1, 2, 4, 8] {
+                let par_table = build_table_par(&build, &[0], workers, flat, None);
+                assert_eq!(par_table.len(), seq_table.len());
+                assert_eq!(par_table.is_empty(), seq_table.is_empty());
+                assert_eq!(par_table.is_flat(), flat);
+                let par = probe_table(
+                    &par_table,
+                    &probe,
+                    &build,
+                    JoinType::Inner,
+                    &[(0, 0)],
+                    None,
+                    &models,
+                    workers,
+                );
+                assert_eq!(seq.nrows(), par.nrows(), "flat={flat} workers={workers}");
+                for c in 0..seq.ncols() {
+                    match seq.columns[c].dtype() {
+                        DType::F64 => assert_eq!(seq.columns[c].as_f64(), par.columns[c].as_f64()),
+                        _ => assert_eq!(seq.columns[c].as_i64(), par.columns[c].as_i64()),
+                    }
                 }
             }
         }
@@ -702,7 +904,7 @@ mod tests {
         let models = ModelRegistry::new();
         let on = [(0usize, 0usize), (1usize, 1usize)];
         let seq = probe_table(
-            &build_table(&build, &[0, 1]),
+            &build_table_par(&build, &[0, 1], 1, false, None),
             &probe,
             &build,
             JoinType::Inner,
@@ -711,19 +913,61 @@ mod tests {
             &models,
             1,
         );
-        let par = probe_table(
-            &build_table_par(&build, &[0, 1], 4),
+        for flat in [false, true] {
+            let par = probe_table(
+                &build_table_par(&build, &[0, 1], 4, flat, None),
+                &probe,
+                &build,
+                JoinType::Inner,
+                &on,
+                None,
+                &models,
+                4,
+            );
+            assert_eq!(seq.nrows(), par.nrows(), "flat={flat}");
+            for c in 0..seq.ncols() {
+                assert_eq!(seq.columns[c].as_i64(), par.columns[c].as_i64(), "col {c}");
+            }
+        }
+    }
+
+    /// The distinct hint only sizes the flat directory; wildly wrong hints
+    /// must not change the join output.
+    #[test]
+    fn distinct_hint_is_output_invariant() {
+        let build = b(vec![
+            Tensor::from_i64((0..5000i64).map(|i| i % 37).collect()),
+            Tensor::from_f64((0..5000).map(|i| i as f64).collect()),
+        ]);
+        let probe = b(vec![Tensor::from_i64((0..100i64).collect())]);
+        let models = ModelRegistry::new();
+        let golden = probe_table(
+            &build_table_par(&build, &[0], 1, true, None),
             &probe,
             &build,
             JoinType::Inner,
-            &on,
+            &[(0, 0)],
             None,
             &models,
-            4,
+            1,
         );
-        assert_eq!(seq.nrows(), par.nrows());
-        for c in 0..seq.ncols() {
-            assert_eq!(seq.columns[c].as_i64(), par.columns[c].as_i64(), "col {c}");
+        for hint in [Some(1u64), Some(37), Some(1 << 40)] {
+            let t = build_table_par(&build, &[0], 1, true, hint);
+            assert_eq!(t.len(), 37);
+            let out = probe_table(
+                &t,
+                &probe,
+                &build,
+                JoinType::Inner,
+                &[(0, 0)],
+                None,
+                &models,
+                1,
+            );
+            assert_eq!(out.nrows(), golden.nrows(), "hint={hint:?}");
+            assert_eq!(out.columns[0].as_i64(), golden.columns[0].as_i64());
+            assert_eq!(out.columns[1].as_i64(), golden.columns[1].as_i64());
+            assert_eq!(out.columns[2].as_f64(), golden.columns[2].as_f64());
         }
     }
 

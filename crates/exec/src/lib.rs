@@ -134,6 +134,16 @@ pub struct ExecConfig {
     /// the unfused path alive as a differential oracle and for A/B
     /// benchmarking the specialization win.
     pub fuse_exprs: bool,
+    /// Use the vectorized hash engine (default on): blockwise multi-lane
+    /// key hashing, flat-arena join tables (`tqp_tensor::hash::FlatRowTable`)
+    /// and open-addressed group-by lookup, with each join side hashed
+    /// exactly once per query. Never changes results — flat buckets
+    /// preserve ascending build-row order and group ids stay
+    /// first-appearance-ordered, so output is bitwise identical to the
+    /// `HashMap` path at any worker count. `false` keeps the legacy
+    /// `HashMap`-based build/probe/group-by alive as a differential oracle
+    /// and for A/B benchmarking (`join_bench`).
+    pub flat_hash: bool,
 }
 
 /// Default CPU worker count: all cores, capped to keep scoped-thread spawn
@@ -154,6 +164,7 @@ impl Default for ExecConfig {
             prune_scans: true,
             workers: default_workers(),
             fuse_exprs: true,
+            flat_hash: true,
         }
     }
 }

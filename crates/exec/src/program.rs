@@ -136,10 +136,14 @@ pub enum ProgOp {
         exprs: ExprProgram,
     },
     /// Build the hash table over the right (build) side's key columns.
+    /// `distinct` is the optimizer's distinct-key estimate for the build
+    /// side (from the catalog's KMV sketch), used to size the flat hash
+    /// directory; `None` sizes for all-distinct keys.
     HashBuild {
         dst: Reg,
         src: Reg,
         keys: Vec<usize>,
+        distinct: Option<u64>,
     },
     /// Probe a [`ProgOp::HashBuild`] table with the left side's keys,
     /// verify/filter pairs, and assemble the join output.
@@ -491,6 +495,7 @@ impl Builder {
                 strategy,
                 on,
                 residual,
+                build_distinct,
             } => {
                 let l = self.lower_node(left);
                 let r = self.lower_node(right);
@@ -502,6 +507,7 @@ impl Builder {
                             dst: table,
                             src: r,
                             keys: on.iter().map(|&(_, rk)| rk).collect(),
+                            distinct: *build_distinct,
                         });
                         let dst = self.fresh();
                         self.ops.push(ProgOp::HashProbe {
@@ -904,15 +910,29 @@ fn op_to_json(op: &ProgOp) -> Json {
             ("src", reg(*src)),
             ("exprs", exprprog_to_json(exprs)),
         ]),
-        ProgOp::HashBuild { dst, src, keys } => Json::obj(vec![
-            ("op", Json::str("hash_build")),
-            ("dst", reg(*dst)),
-            ("src", reg(*src)),
-            (
-                "keys",
-                Json::Arr(keys.iter().map(|&k| Json::I64(k as i64)).collect()),
-            ),
-        ]),
+        ProgOp::HashBuild {
+            dst,
+            src,
+            keys,
+            distinct,
+        } => {
+            let mut fields = vec![
+                ("op", Json::str("hash_build")),
+                ("dst", reg(*dst)),
+                ("src", reg(*src)),
+                (
+                    "keys",
+                    Json::Arr(keys.iter().map(|&k| Json::I64(k as i64)).collect()),
+                ),
+            ];
+            // Emitted only when present, so artifacts without an estimate
+            // re-encode byte-identically to version-2 artifacts that
+            // predate the field.
+            if let Some(d) = distinct {
+                fields.push(("distinct", Json::I64(*d as i64)));
+            }
+            Json::obj(fields)
+        }
         ProgOp::HashProbe {
             dst,
             table,
@@ -1055,6 +1075,9 @@ fn op_from_json(j: &Json) -> Result<ProgOp, ProgramError> {
                         })
                 })
                 .collect::<Result<Vec<_>, _>>()?,
+            // Optional: absent in artifacts lowered without stats (and in
+            // all pre-estimate artifacts).
+            distinct: j.get("distinct").and_then(|v| v.as_i64()).map(|d| d as u64),
         }),
         "hash_probe" => Ok(ProgOp::HashProbe {
             dst,

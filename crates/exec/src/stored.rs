@@ -23,7 +23,7 @@
 //! bit-identical to an unpruned in-memory scan of the same table at every
 //! worker count.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use tqp_store::{StoredTable, ZoneMap};
 use tqp_tensor::{Scalar, Tensor};
@@ -221,6 +221,192 @@ pub fn scan_stored(
         layout,
         chunks_scanned,
         chunks_pruned,
+    }
+}
+
+/// Outcome of opening a stored scan as a stream: the (lazy) chunk stream,
+/// the coordinate layout, and pruning counters. Nothing is decoded yet.
+pub struct StreamScan {
+    pub stream: StoredStream,
+    pub layout: ScanLayout,
+    pub chunks_scanned: u64,
+    pub chunks_pruned: u64,
+}
+
+/// Open a stored scan **without decoding anything**: the zone-map prune
+/// pass runs eagerly (it is metadata-only), decode is deferred to
+/// [`StoredStream::slice`] — morsel-sized batches are handed straight to
+/// the pipeline segment, chunk by chunk, with **no whole-scan
+/// concatenation**. On the pruned path this eliminates the old
+/// decode-then-concat copy entirely: a morsel inside one chunk is a plain
+/// `slice_rows` of that chunk's decoded batch.
+pub fn open_stream(table: &Arc<StoredTable>, cols: &[usize], preds: &[PrunePred]) -> StreamScan {
+    let n_chunks = table.n_chunks();
+    let mut keep: Vec<usize> = Vec::with_capacity(n_chunks);
+    let mut kept_ranges: Vec<(usize, usize)> = Vec::with_capacity(n_chunks);
+    let mut bounds: Vec<usize> = vec![0];
+    let mut orig = 0usize;
+    let mut kept_rows = 0usize;
+    for c in 0..n_chunks {
+        let rows = table.chunk_len(c);
+        let survives = preds
+            .iter()
+            .all(|p| p.may_match(table.zone(c, p.col()), rows as u64));
+        if survives {
+            keep.push(c);
+            kept_ranges.push((orig, rows));
+            kept_rows += rows;
+            bounds.push(kept_rows);
+        }
+        orig += rows;
+    }
+    let layout = ScanLayout::new(table.nrows(), kept_ranges);
+    let chunks_pruned = (n_chunks - keep.len()) as u64;
+    let chunks_scanned = keep.len() as u64;
+    let cache = (0..keep.len()).map(|_| OnceLock::new()).collect();
+    StreamScan {
+        stream: StoredStream {
+            table: Arc::clone(table),
+            cols: cols.to_vec(),
+            keep,
+            bounds,
+            cache,
+        },
+        layout,
+        chunks_scanned,
+        chunks_pruned,
+    }
+}
+
+/// A lazily-decoding view over the surviving chunks of a pruned stored
+/// scan, addressed in **pruned** row coordinates (the same coordinates
+/// [`ScanLayout::project`] produces).
+///
+/// Each chunk decodes at most once, on first touch, into a cached
+/// [`Batch`]; tensors are reference-counted, so handing slices of it to
+/// morsel workers shares the decoded buffers instead of copying them.
+pub struct StoredStream {
+    table: Arc<StoredTable>,
+    cols: Vec<usize>,
+    /// Surviving chunk indexes, ascending.
+    keep: Vec<usize>,
+    /// Pruned-coordinate start of each kept chunk (length `keep + 1`;
+    /// chunk `k` covers pruned rows `[bounds[k], bounds[k+1])`).
+    bounds: Vec<usize>,
+    /// Lazily decoded chunks (thread-safe: morsel workers may race to
+    /// decode, exactly one wins and the rest share its batch).
+    cache: Vec<OnceLock<Batch>>,
+}
+
+impl StoredStream {
+    /// Total rows the stream exposes (pruned coordinates).
+    pub fn nrows(&self) -> usize {
+        *self.bounds.last().expect("bounds never empty")
+    }
+
+    /// The decoded batch of kept-chunk `k`, decoding on first touch.
+    fn chunk(&self, k: usize) -> &Batch {
+        self.cache[k].get_or_init(|| {
+            let decoded = self
+                .table
+                .decode_chunk(self.keep[k], &self.cols)
+                .unwrap_or_else(|e| {
+                    panic!("decoding chunk {} of {:?}: {e}", self.keep[k], self.table)
+                });
+            decoded_to_batch(decoded)
+        })
+    }
+
+    /// An empty batch with the scan's column shapes.
+    fn empty(&self) -> Batch {
+        decoded_to_batch(self.table.empty_columns(&self.cols))
+    }
+
+    /// Materialize pruned rows `[lo, hi)` as one batch. A morsel inside a
+    /// single chunk — the common case, since agg morsels (16 Ki) divide
+    /// the chunk size (64 Ki) — is one `slice_rows` of the cached decode;
+    /// boundary-spanning morsels concatenate the few pieces involved.
+    pub fn slice(&self, lo: usize, hi: usize) -> Batch {
+        if lo >= hi {
+            return self.empty();
+        }
+        // Last chunk starting at or before `lo`.
+        let first = self.bounds.partition_point(|&b| b <= lo) - 1;
+        let mut pieces = Vec::new();
+        let mut k = first;
+        while k < self.keep.len() && self.bounds[k] < hi {
+            let c_lo = self.bounds[k];
+            let c_hi = self.bounds[k + 1];
+            let piece = self
+                .chunk(k)
+                .slice_rows(lo.max(c_lo) - c_lo, hi.min(c_hi) - c_lo);
+            if pieces.is_empty() && hi <= c_hi {
+                return piece; // entirely inside one chunk: zero concat
+            }
+            pieces.push(piece);
+            k += 1;
+        }
+        Batch::vcat_all(pieces)
+    }
+
+    /// Decode everything into one batch (the non-streaming consumers:
+    /// barrier ops reading the whole scan). Chunks decode fanned out over
+    /// the shared pool and concatenate in chunk order — byte-identical to
+    /// the eager [`scan_stored`] batch.
+    pub fn into_batch(self, workers: usize) -> Batch {
+        if self.keep.is_empty() {
+            return self.empty();
+        }
+        let parts: Vec<Batch> = crate::sched::map_tasks(self.keep.len(), workers, |k| {
+            // Reuse any chunk a streaming consumer already decoded.
+            match self.cache[k].get() {
+                Some(b) => b.clone(),
+                None => {
+                    let decoded = self
+                        .table
+                        .decode_chunk(self.keep[k], &self.cols)
+                        .unwrap_or_else(|e| {
+                            panic!("decoding chunk {} of {:?}: {e}", self.keep[k], self.table)
+                        });
+                    decoded_to_batch(decoded)
+                }
+            }
+        });
+        Batch::vcat_all(parts)
+    }
+}
+
+/// What a `Scan` op hands to the rest of the pipeline: either a fully
+/// materialized batch (in-memory tables, metered runs) or a lazy stored
+/// stream that decodes chunk-at-a-time as morsels pull on it.
+pub enum ScanSource {
+    Whole(Batch),
+    Stream(StoredStream),
+}
+
+impl ScanSource {
+    /// Rows the source exposes (pruned coordinates for streams).
+    pub fn nrows(&self) -> usize {
+        match self {
+            ScanSource::Whole(b) => b.nrows(),
+            ScanSource::Stream(s) => s.nrows(),
+        }
+    }
+
+    /// Materialize rows `[lo, hi)`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Batch {
+        match self {
+            ScanSource::Whole(b) => b.slice_rows(lo, hi),
+            ScanSource::Stream(s) => s.slice(lo, hi),
+        }
+    }
+
+    /// Materialize the whole source as one batch.
+    pub fn into_batch(self, workers: usize) -> Batch {
+        match self {
+            ScanSource::Whole(b) => b,
+            ScanSource::Stream(s) => s.into_batch(workers),
+        }
     }
 }
 

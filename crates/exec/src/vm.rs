@@ -64,7 +64,7 @@ use crate::exprfuse;
 use crate::exprprog::{ExprProgram, FusedEval};
 use crate::join;
 use crate::program::{ProgOp, ReduceExprs, TensorProgram};
-use crate::stored::{self, ScanLayout};
+use crate::stored::{self, ScanLayout, ScanSource};
 use crate::{Device, ExecConfig, ScanStats, Storage, TableSource};
 
 /// Minimum scanned rows before a pipeline segment is worth chunking.
@@ -111,6 +111,7 @@ pub fn run_program(
         fused,
         fuse: cfg.fuse_exprs,
         prune: cfg.prune_scans,
+        flat: cfg.flat_hash,
         workers: cfg.workers.max(1),
         chunks_scanned: AtomicU64::new(0),
         chunks_pruned: AtomicU64::new(0),
@@ -133,6 +134,8 @@ struct Vm<'a> {
     fuse: bool,
     /// Zone-map chunk pruning enabled (stored tables only).
     prune: bool,
+    /// Vectorized flat-hash engine enabled (join tables + group-by).
+    flat: bool,
     workers: usize,
     /// Stored-table chunk counters (updated on the submitting thread).
     chunks_scanned: AtomicU64,
@@ -219,7 +222,7 @@ impl Vm<'_> {
                     continue;
                 }
                 // Too small to chunk: finish the segment sequentially.
-                regs[prog.ops[i].dst()] = Some(Value::Batch(scanned));
+                regs[prog.ops[i].dst()] = Some(Value::Batch(scanned.into_batch(self.workers)));
                 for k in i + 1..seg_end {
                     self.exec_op(k, &prog.ops[k], &mut regs, meter);
                     self.release(&mut regs, &prog.ops[k], &last_use, k, prog.output);
@@ -278,13 +281,16 @@ impl Vm<'_> {
     }
 
     /// Partition-parallel segment execution: split, run chain per morsel,
-    /// concatenate in morsel order.
+    /// concatenate in morsel order. `scanned` may be a lazy stored stream:
+    /// each worker's `slice_rows` then decodes (and caches) only the
+    /// chunks its morsel touches — decode itself is morsel-parallel and
+    /// no whole-scan concatenation ever happens.
     fn exec_segment_parallel(
         &self,
         prog: &TensorProgram,
         start: usize,
         end: usize,
-        scanned: Batch,
+        scanned: ScanSource,
     ) -> Batch {
         let n = scanned.nrows();
         let n_chunks = self
@@ -357,7 +363,7 @@ impl Vm<'_> {
         prog: &TensorProgram,
         start: usize,
         chain_end: usize,
-        scanned: Batch,
+        scanned: ScanSource,
         layout: &ScanLayout,
         strategy: AggStrategy,
         reduce: &ReduceExprs,
@@ -381,7 +387,7 @@ impl Vm<'_> {
             let out = self.run_chain_morsel(prog, start, chain_end, morsel, &mut samples);
             let t0 = Instant::now();
             let rows = out.nrows() as u64;
-            let part = agg::partial_aggregate(&out, reduce, self.models, self.fuse);
+            let part = agg::partial_aggregate(&out, reduce, self.models, self.fuse, self.flat);
             (part, samples, t0.elapsed().as_micros() as u64, rows)
         });
 
@@ -416,7 +422,14 @@ impl Vm<'_> {
             AggStrategy::Hash => agg::Strategy::Hash,
         };
         let t0 = Instant::now();
-        let out = agg::merge_partials(partials, reduce.n_keys, &reduce.aggs, strat, self.workers);
+        let out = agg::merge_partials(
+            partials,
+            reduce.n_keys,
+            &reduce.aggs,
+            strat,
+            self.workers,
+            self.flat,
+        );
         self.profiler.record(
             &op_key_par(&prog.ops[chain_end].name(), chain_end, n_morsels),
             "relational",
@@ -515,18 +528,25 @@ impl Vm<'_> {
         Batch::with_validity(columns, validity)
     }
 
-    /// Execute a `Scan` with profiling/metering. Returns the batch plus
-    /// the original-coordinate layout (identity for in-memory tables;
+    /// Execute a `Scan` with profiling/metering. Returns the scan source
+    /// plus the original-coordinate layout (identity for in-memory tables;
     /// pruned ranges for stored tables when `prune_filter` zone tests
     /// skipped chunks). `prune_filter` is the compiled filter directly
     /// consuming this scan inside its pipeline segment, if any.
+    ///
+    /// In-memory tables and metered (GpuSim) runs return a fully
+    /// materialized [`ScanSource::Whole`] — the meter needs real batch
+    /// bytes and metered runs must stay sequential. CPU stored scans
+    /// return a lazy [`ScanSource::Stream`]: only chunk *metadata* is read
+    /// here (the pruning pre-pass); decode happens chunk-at-a-time as the
+    /// pipeline segment pulls morsels.
     fn exec_scan_op(
         &self,
         idx: usize,
         op: &ProgOp,
         meter: &mut DeviceMeter,
         prune_filter: Option<&ExprProgram>,
-    ) -> (Batch, ScanLayout) {
+    ) -> (ScanSource, ScanLayout) {
         let ProgOp::Scan {
             table, projection, ..
         } = op
@@ -547,7 +567,7 @@ impl Vm<'_> {
                 };
                 let out = Batch::new(tensors);
                 let layout = ScanLayout::identity(out.nrows());
-                (out, layout)
+                (ScanSource::Whole(out), layout)
             }
             TableSource::Stored(st) => {
                 let cols: Vec<usize> = match projection {
@@ -563,17 +583,39 @@ impl Vm<'_> {
                 } else {
                     Vec::new()
                 };
-                let workers = if meter.is_enabled() { 1 } else { self.workers };
-                let scan = stored::scan_stored(st, &cols, &preds, workers);
-                self.chunks_scanned
-                    .fetch_add(scan.chunks_scanned, Ordering::Relaxed);
-                self.chunks_pruned
-                    .fetch_add(scan.chunks_pruned, Ordering::Relaxed);
-                (scan.batch, scan.layout)
+                if meter.is_enabled() {
+                    let scan = stored::scan_stored(st, &cols, &preds, 1);
+                    self.chunks_scanned
+                        .fetch_add(scan.chunks_scanned, Ordering::Relaxed);
+                    self.chunks_pruned
+                        .fetch_add(scan.chunks_pruned, Ordering::Relaxed);
+                    (ScanSource::Whole(scan.batch), scan.layout)
+                } else {
+                    let scan = stored::open_stream(st, &cols, &preds);
+                    self.chunks_scanned
+                        .fetch_add(scan.chunks_scanned, Ordering::Relaxed);
+                    self.chunks_pruned
+                        .fetch_add(scan.chunks_pruned, Ordering::Relaxed);
+                    (ScanSource::Stream(scan.stream), scan.layout)
+                }
             }
         };
-        meter.op(kernel_count("Scan", 0), 0, out.nbytes());
-        self.span(&op_key(&op.name(), idx), start, t0, &out);
+        // A lazy stream has decoded nothing yet: charge zero bytes (the
+        // meter is disabled on this path anyway) and record the kept row
+        // count; per-chunk decode cost lands in the downstream ops' spans.
+        let (rows, bytes) = match &out {
+            ScanSource::Whole(b) => (b.nrows() as u64, b.nbytes()),
+            ScanSource::Stream(s) => (s.nrows() as u64, 0),
+        };
+        meter.op(kernel_count("Scan", 0), 0, bytes);
+        self.profiler.record(
+            &op_key(&op.name(), idx),
+            "relational",
+            start,
+            t0.elapsed().as_micros() as u64,
+            rows,
+            bytes as u64,
+        );
         (out, layout)
     }
 
@@ -588,7 +630,9 @@ impl Vm<'_> {
         match op {
             ProgOp::Scan { dst, .. } => {
                 let (out, _) = self.exec_scan_op(idx, op, meter, None);
-                regs[*dst] = Some(Value::Batch(out));
+                // A scan outside any segment feeds a barrier op that needs
+                // the whole batch (decode fans out over the pool).
+                regs[*dst] = Some(Value::Batch(out.into_batch(self.workers)));
             }
             ProgOp::Filter {
                 dst,
@@ -626,7 +670,12 @@ impl Vm<'_> {
                 self.span(&op_key(&op.name(), idx), start, t0, &out);
                 regs[*dst] = Some(Value::Batch(out));
             }
-            ProgOp::HashBuild { dst, src, keys } => {
+            ProgOp::HashBuild {
+                dst,
+                src,
+                keys,
+                distinct,
+            } => {
                 let build = regs[*src].as_ref().expect("src register live").batch();
                 let start = self.profiler.now_us();
                 let t0 = Instant::now();
@@ -635,6 +684,8 @@ impl Vm<'_> {
                     build,
                     keys,
                     if meter.is_enabled() { 1 } else { self.workers },
+                    self.flat,
+                    *distinct,
                 );
                 let entries = table.len();
                 meter.op(
@@ -729,9 +780,17 @@ impl Vm<'_> {
                 // worker-independent; the CPU path takes the partitioned
                 // parallel route when the input is large enough.
                 let out = if meter.is_enabled() {
-                    agg::aggregate(child, reduce, strat, self.models, self.fuse)
+                    agg::aggregate(child, reduce, strat, self.models, self.fuse, self.flat)
                 } else {
-                    agg::aggregate_par(child, reduce, strat, self.models, self.workers, self.fuse)
+                    agg::aggregate_par(
+                        child,
+                        reduce,
+                        strat,
+                        self.models,
+                        self.workers,
+                        self.fuse,
+                        self.flat,
+                    )
                 };
                 meter.op(
                     kernel_count("Aggregate", reduce.aggs.len()),

@@ -617,28 +617,37 @@ pub fn plan_to_json(p: &PhysicalPlan) -> Json {
             strategy,
             on,
             residual,
-        } => Json::obj(vec![
-            ("op", Json::str("join")),
-            ("left", plan_to_json(left)),
-            ("right", plan_to_json(right)),
-            ("join_type", join_type_to_json(*join_type)),
-            ("strategy", join_strategy_to_json(*strategy)),
-            (
-                "on",
-                Json::Arr(
-                    on.iter()
-                        .map(|&(l, r)| Json::arr([Json::I64(l as i64), Json::I64(r as i64)]))
-                        .collect(),
+            build_distinct,
+        } => {
+            let mut fields = vec![
+                ("op", Json::str("join")),
+                ("left", plan_to_json(left)),
+                ("right", plan_to_json(right)),
+                ("join_type", join_type_to_json(*join_type)),
+                ("strategy", join_strategy_to_json(*strategy)),
+                (
+                    "on",
+                    Json::Arr(
+                        on.iter()
+                            .map(|&(l, r)| Json::arr([Json::I64(l as i64), Json::I64(r as i64)]))
+                            .collect(),
+                    ),
                 ),
-            ),
-            (
-                "residual",
-                match residual {
-                    Some(e) => expr_to_json(e),
-                    None => Json::Null,
-                },
-            ),
-        ]),
+                (
+                    "residual",
+                    match residual {
+                        Some(e) => expr_to_json(e),
+                        None => Json::Null,
+                    },
+                ),
+            ];
+            // Emitted only when present so plans without stats round-trip
+            // byte-identically with older encodings.
+            if let Some(d) = build_distinct {
+                fields.push(("build_distinct", Json::I64(*d as i64)));
+            }
+            Json::obj(fields)
+        }
         PhysicalPlan::CrossJoin { left, right } => Json::obj(vec![
             ("op", Json::str("cross_join")),
             ("left", plan_to_json(left)),
@@ -739,6 +748,10 @@ pub fn plan_from_json(j: &Json) -> R<PhysicalPlan> {
                 Json::Null => None,
                 e => Some(expr_from_json(e)?),
             },
+            build_distinct: j
+                .get("build_distinct")
+                .and_then(Json::as_i64)
+                .map(|d| d as u64),
         }),
         "cross_join" => Ok(PhysicalPlan::CrossJoin {
             left: input("left")?,

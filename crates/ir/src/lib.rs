@@ -46,7 +46,9 @@ pub fn compile_sql(
     let ast = tqp_sql::parse(sql).map_err(CompileError::Parse)?;
     let logical = bind_query(&ast, catalog).map_err(CompileError::Bind)?;
     let optimized = optimize::optimize(logical, catalog);
-    Ok(plan_physical(&optimized, opts))
+    let mut plan = plan_physical(&optimized, opts);
+    physical::annotate_build_stats(&mut plan, catalog);
+    Ok(plan)
 }
 
 /// Errors from the full compilation pipeline.

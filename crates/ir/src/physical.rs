@@ -75,6 +75,11 @@ pub enum PhysicalPlan {
         strategy: JoinStrategy,
         on: Vec<(usize, usize)>,
         residual: Option<BoundExpr>,
+        /// Distinct-key estimate for the build (right) side, from the
+        /// catalog's KMV column sketches ([`annotate_build_stats`]); sizes
+        /// the executor's flat hash directory. `None` when stats are
+        /// absent or the key columns cannot be traced to a base table.
+        build_distinct: Option<u64>,
     },
     CrossJoin {
         left: Box<PhysicalPlan>,
@@ -239,6 +244,7 @@ pub fn plan_physical(plan: &LogicalPlan, opts: &PhysicalOptions) -> PhysicalPlan
             strategy: opts.join,
             on: on.clone(),
             residual: residual.clone(),
+            build_distinct: None,
         },
         LogicalPlan::CrossJoin { left, right } => PhysicalPlan::CrossJoin {
             left: Box::new(plan_physical(left, opts)),
@@ -264,6 +270,83 @@ pub fn plan_physical(plan: &LogicalPlan, opts: &PhysicalOptions) -> PhysicalPlan
             input: Box::new(plan_physical(input, opts)),
             n: *n,
         },
+    }
+}
+
+/// Annotate every hash join with a build-side distinct-key estimate from
+/// the catalog's KMV column sketches: each right key column is traced
+/// through schema-preserving operators down to a base-table column, the
+/// per-column distinct estimates multiply (saturating) for multi-key
+/// joins, and the result lands in [`PhysicalPlan::Join::build_distinct`].
+///
+/// The table-level per-column estimate is an *upper bound* on the
+/// post-filter build side's distinct keys, which is the right direction
+/// for directory sizing — the executor clamps the directory to the actual
+/// entry count, so an over-estimate never over-allocates and an
+/// under-estimate (KMV error, ~10%) only lengthens buckets slightly. A key
+/// that cannot be traced (computed key, join output, aggregate) leaves the
+/// estimate `None`.
+pub fn annotate_build_stats(plan: &mut PhysicalPlan, catalog: &crate::catalog::Catalog) {
+    // Distinct estimate of output column `col` of `plan`, when it is a
+    // base-table column reached through schema-preserving operators.
+    fn column_distinct(
+        plan: &PhysicalPlan,
+        col: usize,
+        catalog: &crate::catalog::Catalog,
+    ) -> Option<u64> {
+        match plan {
+            PhysicalPlan::Scan {
+                table, projection, ..
+            } => {
+                let meta = catalog.get(table)?;
+                let stats = meta.stats.as_ref()?;
+                let orig = match projection {
+                    Some(p) => *p.get(col)?,
+                    None => col,
+                };
+                let d = stats.columns.get(orig)?.distinct;
+                (d > 0).then_some(d as u64)
+            }
+            // Filters/sorts/limits only remove or reorder rows: the
+            // table-level distinct stays an upper bound for the column.
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => column_distinct(input, col, catalog),
+            PhysicalPlan::Project { input, exprs, .. } => match exprs.get(col)? {
+                BoundExpr::Column { index, .. } => column_distinct(input, *index, catalog),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    match plan {
+        PhysicalPlan::Join {
+            left,
+            right,
+            strategy,
+            on,
+            build_distinct,
+            ..
+        } => {
+            annotate_build_stats(left, catalog);
+            annotate_build_stats(right, catalog);
+            if *strategy == JoinStrategy::Hash {
+                *build_distinct = on.iter().try_fold(1u64, |acc, &(_, rk)| {
+                    column_distinct(right, rk, catalog).map(|d| acc.saturating_mul(d))
+                });
+            }
+        }
+        PhysicalPlan::CrossJoin { left, right } => {
+            annotate_build_stats(left, catalog);
+            annotate_build_stats(right, catalog);
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Aggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. } => annotate_build_stats(input, catalog),
+        PhysicalPlan::Scan { .. } => {}
     }
 }
 

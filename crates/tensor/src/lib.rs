@@ -26,6 +26,7 @@
 
 pub mod dtype;
 pub mod gemm;
+pub mod hash;
 pub mod index;
 pub mod kernels;
 pub mod ops;

@@ -527,6 +527,19 @@ fn check(sessions: &Sessions, sql: &str) -> Result<(), String> {
             .run(&sessions.mem)
             .map_err(|e| format!("[{label}/nofuse] run failed: {e}"))?;
         frames_bitwise(&ugot, &got).map_err(|e| format!("[{label}/nofuse] {e}"))?;
+        // Flat hash engine off: the legacy HashMap build/probe/group-by
+        // must be bitwise the flat-arena path (hash-strategy plans only —
+        // sort-merge/sort-agg configs build no hash tables).
+        if join == JoinStrategy::Hash || agg == AggStrategy::Hash {
+            let fq = sessions
+                .mem
+                .compile(sql, cfg.flat_hash(false))
+                .map_err(|e| format!("[{label}/noflat] compile failed: {e}"))?;
+            let (fgot, _) = fq
+                .run(&sessions.mem)
+                .map_err(|e| format!("[{label}/noflat] run failed: {e}"))?;
+            frames_bitwise(&fgot, &got).map_err(|e| format!("[{label}/noflat] {e}"))?;
+        }
         // Stored-table mode: same query over the tqp-store scan path,
         // bitwise against the in-memory tensor result.
         let sq = sessions

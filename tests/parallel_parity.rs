@@ -57,29 +57,38 @@ fn exact_rows(frame: &DataFrame) -> Vec<Vec<String>> {
         .collect()
 }
 
-fn run_parity(backend: Backend, physical: PhysicalOptions, label: &str) {
+/// Run every TPC-H query over the {workers} × {flat_hash} grid and demand
+/// byte-identical output across the whole grid. The flat axis locks in
+/// the flat-vs-`HashMap` independence contract of the vectorized hash
+/// engine (sort-merge/sort-agg configs pass `&[true]` — no hash tables).
+fn run_parity(backend: Backend, physical: PhysicalOptions, flats: &[bool], label: &str) {
     let s = session();
     for (n, sql) in queries::all() {
         let mut outs = Vec::new();
-        for workers in [1usize, 4] {
-            let q = s
-                .compile(
-                    sql,
-                    QueryConfig::default()
-                        .backend(backend)
-                        .physical(physical)
-                        .workers(workers),
-                )
-                .unwrap_or_else(|e| panic!("Q{n} [{label}] compile: {e}"));
-            let (out, _) = q
-                .run(&s)
-                .unwrap_or_else(|e| panic!("Q{n} [{label}] run: {e}"));
-            outs.push(exact_rows(&out));
+        for &flat in flats {
+            for workers in [1usize, 4] {
+                let q = s
+                    .compile(
+                        sql,
+                        QueryConfig::default()
+                            .backend(backend)
+                            .physical(physical)
+                            .workers(workers)
+                            .flat_hash(flat),
+                    )
+                    .unwrap_or_else(|e| panic!("Q{n} [{label}] compile: {e}"));
+                let (out, _) = q
+                    .run(&s)
+                    .unwrap_or_else(|e| panic!("Q{n} [{label}] run: {e}"));
+                outs.push(exact_rows(&out));
+            }
         }
-        assert_eq!(
-            outs[0], outs[1],
-            "Q{n} [{label}]: workers=1 vs workers=4 not byte-identical"
-        );
+        for (k, out) in outs.iter().enumerate().skip(1) {
+            assert_eq!(
+                &outs[0], out,
+                "Q{n} [{label}]: grid point {k} not byte-identical to baseline"
+            );
+        }
     }
 }
 
@@ -91,6 +100,7 @@ fn eager_sortmerge_sortagg_worker_parity() {
             join: JoinStrategy::SortMerge,
             agg: AggStrategy::Sort,
         },
+        &[true],
         "eager/smj/sort",
     );
 }
@@ -103,6 +113,7 @@ fn eager_hash_strategies_worker_parity() {
             join: JoinStrategy::Hash,
             agg: AggStrategy::Hash,
         },
+        &[true, false],
         "eager/hash/hash",
     );
 }
@@ -115,6 +126,7 @@ fn fused_sortmerge_sortagg_worker_parity() {
             join: JoinStrategy::SortMerge,
             agg: AggStrategy::Sort,
         },
+        &[true],
         "fused/smj/sort",
     );
 }
@@ -127,6 +139,7 @@ fn fused_hash_strategies_worker_parity() {
             join: JoinStrategy::Hash,
             agg: AggStrategy::Hash,
         },
+        &[true, false],
         "fused/hash/hash",
     );
 }
@@ -139,6 +152,7 @@ fn graph_sortmerge_sortagg_worker_parity() {
             join: JoinStrategy::SortMerge,
             agg: AggStrategy::Sort,
         },
+        &[true],
         "graph/smj/sort",
     );
 }
@@ -151,6 +165,7 @@ fn graph_hash_strategies_worker_parity() {
             join: JoinStrategy::Hash,
             agg: AggStrategy::Hash,
         },
+        &[true, false],
         "graph/hash/hash",
     );
 }

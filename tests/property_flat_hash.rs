@@ -1,0 +1,178 @@
+//! Property tests for the vectorized hash engine
+//! (`tqp_tensor::hash`): the flat arena table must agree with a plain
+//! `HashMap<i64, Vec<u32>>` oracle — same key set, same per-key row
+//! list, and rows in **ascending input order** within every bucket (the
+//! determinism contract the join build relies on) — on adversarial key
+//! distributions: extremes (`i64::MIN`/`MAX`), all-equal, dense
+//! sequential, and synthetic same-bucket collisions built by *inverting*
+//! the `mix64` finalizer.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use tqp_tensor::hash::{self, FlatRowTable};
+
+/// Oracle: per-key ascending row ids, in first-appearance key order.
+fn oracle(keys: &[i64]) -> HashMap<i64, Vec<u32>> {
+    let mut m: HashMap<i64, Vec<u32>> = HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        m.entry(k).or_default().push(i as u32);
+    }
+    m
+}
+
+/// Assert the flat table holds exactly the oracle's contents, with every
+/// bucket's rows for a key in ascending order.
+fn assert_matches_oracle(keys: &[i64]) {
+    let hashes = hash::hash_i64(keys);
+    let want = oracle(keys);
+    for hint in [None, Some(1u64), Some(keys.len() as u64 * 4 + 1)] {
+        let t = FlatRowTable::build(keys, &hashes, hint);
+        assert_eq!(t.len(), want.len(), "distinct count (hint {hint:?})");
+        assert_eq!(t.n_entries(), keys.len(), "entry count (hint {hint:?})");
+        for (&k, rows) in &want {
+            let h = hash::hash_i64(&[k])[0];
+            assert_eq!(
+                t.count_matches(k, h),
+                rows.len(),
+                "count for key {k} (hint {hint:?})"
+            );
+            let (bkeys, brows) = t.bucket(h);
+            let got: Vec<u32> = bkeys
+                .iter()
+                .zip(brows)
+                .filter(|&(bk, _)| *bk == k)
+                .map(|(_, &r)| r)
+                .collect();
+            assert_eq!(got, *rows, "rows for key {k} in ascending input order");
+        }
+    }
+}
+
+/// Multiplicative inverse of an odd u64 (Newton's iteration).
+fn odd_inverse(m: u64) -> u64 {
+    let mut inv = m; // correct mod 2^3
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(inv)));
+    }
+    inv
+}
+
+/// Invert `mix64`: `x ^ (x >> 32)` is self-inverse, the Fibonacci
+/// multiply inverts via the odd inverse — so we can manufacture keys
+/// whose hashes share any chosen top/bottom bit pattern.
+fn mix64_invert(h: u64) -> u64 {
+    const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+    let x = h ^ (h >> 32);
+    x.wrapping_mul(odd_inverse(FIB))
+}
+
+#[test]
+fn mix64_inversion_is_exact() {
+    for h in [
+        0u64,
+        1,
+        0xdead_beef,
+        u64::MAX,
+        1 << 63,
+        0x1234_5678_9abc_def0,
+    ] {
+        assert_eq!(hash::mix64(mix64_invert(h)), h);
+    }
+}
+
+#[test]
+fn extreme_keys_match_oracle() {
+    let keys = [
+        i64::MIN,
+        i64::MAX,
+        0,
+        -1,
+        1,
+        i64::MIN,
+        i64::MAX,
+        i64::MIN + 1,
+        i64::MAX - 1,
+        0,
+    ];
+    assert_matches_oracle(&keys);
+}
+
+#[test]
+fn all_equal_keys_match_oracle() {
+    assert_matches_oracle(&vec![42i64; 4097]);
+}
+
+#[test]
+fn dense_sequential_keys_match_oracle() {
+    let keys: Vec<i64> = (0..10_000).collect();
+    assert_matches_oracle(&keys);
+}
+
+/// Keys engineered (via mix64 inversion) so every hash lands in the same
+/// directory slot of a 1024-bucket table *and* shares identical low 32
+/// bits: the bucket scan must still separate them by key equality while
+/// keeping each key's rows in input order.
+#[test]
+fn synthetic_same_bucket_collisions_match_oracle() {
+    let mut keys = Vec::new();
+    for i in 0..64u64 {
+        // Same low bits (directory index), distinct high bits.
+        let h = 0x0000_0000_dead_0000u64 | (i << 40);
+        let k = mix64_invert(h) as i64;
+        // Three duplicate rows per engineered key, interleaved.
+        keys.push(k);
+    }
+    let base = keys.clone();
+    keys.extend(&base);
+    keys.extend(&base);
+    assert_matches_oracle(&keys);
+}
+
+/// Group-by lookup: first-appearance group ids must match a HashMap scan.
+fn assert_groups_match(keys: &[i64]) {
+    let hashes = hash::hash_i64(keys);
+    let (gids, firsts) = hash::group_rows_by_hash(&hashes, |i, j| keys[i] == keys[j]);
+    let mut seen: HashMap<i64, i64> = HashMap::new();
+    let mut want_firsts = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        let next = seen.len() as i64;
+        let gid = *seen.entry(k).or_insert_with(|| {
+            want_firsts.push(i as i64);
+            next
+        });
+        assert_eq!(gids[i], gid, "gid for row {i}");
+    }
+    assert_eq!(firsts, want_firsts, "first-appearance rows");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_keys_match_oracle(keys in prop::collection::vec(any::<i64>(), 0..500)) {
+        assert_matches_oracle(&keys);
+    }
+
+    #[test]
+    fn high_collision_keys_match_oracle(keys in prop::collection::vec(-8i64..8, 0..800)) {
+        assert_matches_oracle(&keys);
+    }
+
+    #[test]
+    fn random_groups_match_oracle(keys in prop::collection::vec(-50i64..50, 0..600)) {
+        assert_groups_match(&keys);
+    }
+
+    #[test]
+    fn group_ids_are_hash_independent(keys in prop::collection::vec(any::<i64>(), 0..300)) {
+        // Shifting every hash by a constant must not change group ids —
+        // they are first-appearance ordered, not hash ordered.
+        let hashes = hash::hash_i64(&keys);
+        let (gids, firsts) = hash::group_rows_by_hash(&hashes, |i, j| keys[i] == keys[j]);
+        let shifted: Vec<u64> = hashes.iter().map(|h| h.wrapping_mul(0x10001).wrapping_add(7)).collect();
+        let (gids2, firsts2) = hash::group_rows_by_hash(&shifted, |i, j| keys[i] == keys[j]);
+        prop_assert_eq!(gids, gids2);
+        prop_assert_eq!(firsts, firsts2);
+    }
+}
