@@ -34,7 +34,7 @@
 //! TQP_SF=0.05 TQP_RUNS=3 cargo run --release -p tqp-bench --bin expr_bench
 //! ```
 
-use tqp_bench::{median_ns, runs, scale_factor, tpch_session};
+use tqp_bench::{fmt_ns, median_ns, runs, scale_factor, tpch_session};
 use tqp_data::tpch::queries;
 use tqp_exec::batch::Batch;
 use tqp_exec::exprprog::{self, ExprProgram};
@@ -410,14 +410,5 @@ fn main() {
             eprintln!("  {r}");
         }
         std::process::exit(1);
-    }
-}
-
-/// Pretty-print a nanosecond total at µs/ms granularity.
-fn fmt_ns(ns: u64) -> String {
-    if ns >= 1_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.1} us", ns as f64 / 1e3)
     }
 }

@@ -30,54 +30,15 @@
 //!     cargo run --release -p tqp-bench --bin join_bench
 //! ```
 
-use tqp_bench::{median_ns, runs, scale_factor, tpch_session, worker_counts};
-use tqp_core::{QueryConfig, Session};
-use tqp_exec::batch::Batch;
+use tqp_bench::{
+    batch_checksum, fmt_ns, frame_checksum, key_batch, median_ns, runs, scale_factor, tpch_session,
+    worker_counts,
+};
+use tqp_core::QueryConfig;
 use tqp_exec::join;
-use tqp_exec::TableSource;
 use tqp_ir::plan::JoinType;
 use tqp_json::Json;
 use tqp_ml::ModelRegistry;
-use tqp_tensor::Scalar;
-
-/// Slim single-column batch holding one ingested TPC-H column.
-fn key_batch(session: &Session, table: &str, col: usize) -> Batch {
-    match session.storage().get(table).expect("table ingested") {
-        TableSource::Mem(tt) => Batch::new(vec![tt.tensors[col].clone()]),
-        TableSource::Stored(_) => unreachable!("bench session ingests in memory"),
-    }
-}
-
-/// Order-sensitive FNV fold over a batch's i64 columns (probe outputs are
-/// all-i64 here) — the parity checksum comparing flat and map paths.
-fn batch_checksum(b: &Batch) -> u64 {
-    const P: u64 = 0x0000_0100_0000_01b3;
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for c in &b.columns {
-        for &v in c.as_i64() {
-            h = (h ^ v as u64).wrapping_mul(P);
-        }
-    }
-    h
-}
-
-/// Order-sensitive checksum of a result frame (floats by bit pattern).
-fn frame_checksum(f: &tqp_data::DataFrame) -> u64 {
-    const P: u64 = 0x0000_0100_0000_01b3;
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |v: u64| h = (h ^ v).wrapping_mul(P);
-    for i in 0..f.nrows() {
-        for s in f.row(i) {
-            match s {
-                Scalar::F64(v) => mix(v.to_bits()),
-                Scalar::F32(v) => mix(v.to_bits() as u64),
-                Scalar::I64(v) => mix(v as u64),
-                other => format!("{other:?}").bytes().for_each(|b| mix(b as u64)),
-            }
-        }
-    }
-    h
-}
 
 struct SiteResult {
     site: &'static str,
@@ -287,13 +248,4 @@ fn record(
         map_ns,
         flat_ns,
     });
-}
-
-/// Pretty-print a nanosecond total at µs/ms granularity.
-fn fmt_ns(ns: u64) -> String {
-    if ns >= 1_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
-    } else {
-        format!("{:.1} us", ns as f64 / 1e3)
-    }
 }

@@ -24,7 +24,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use tqp_bench::{runs, scale_factor, worker_counts};
+use tqp_bench::{runs, scale_factor, tpch_data, worker_counts};
 
 /// Median of raw microsecond samples.
 fn median(samples: &[u64]) -> u64 {
@@ -33,7 +33,7 @@ fn median(samples: &[u64]) -> u64 {
     v[v.len() / 2]
 }
 use tqp_core::{QueryConfig, Session};
-use tqp_data::tpch::{TpchConfig, TpchData};
+
 use tqp_data::{csv, Column, DataFrame};
 use tqp_exec::TableSource;
 use tqp_json::Json;
@@ -101,11 +101,7 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("tqp_store_bench_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
-    eprintln!("generating TPC-H data at SF {sf} ...");
-    let data = TpchData::generate(&TpchConfig {
-        scale_factor: sf,
-        seed: 20_220_901,
-    });
+    let data = tpch_data();
     let tables = data.tables();
     let lineitem = &tables.iter().find(|(n, _)| *n == "lineitem").unwrap().1;
 

@@ -9,7 +9,9 @@ use std::time::Instant;
 
 use tqp_core::Session;
 use tqp_data::tpch::{TpchConfig, TpchData};
-use tqp_exec::default_workers;
+use tqp_exec::batch::Batch;
+use tqp_exec::{default_workers, TableSource};
+use tqp_tensor::Scalar;
 
 /// Scale factor from `TQP_SF` (default 0.1).
 pub fn scale_factor() -> f64 {
@@ -68,17 +70,68 @@ pub fn worker_counts() -> Vec<usize> {
     }
 }
 
-/// Build a session with the TPC-H tables at [`scale_factor`].
-pub fn tpch_session() -> Session {
+/// Generate the TPC-H dataset at [`scale_factor`] with the canonical
+/// benchmark seed — the one data-gen every binary shares, whether it
+/// ingests into a [`Session`] ([`tpch_session`]) or works on the raw
+/// frames (`store_bench`'s clustered CSV→store path).
+pub fn tpch_data() -> TpchData {
     let sf = scale_factor();
     eprintln!("generating TPC-H data at SF {sf} ...");
-    let data = TpchData::generate(&TpchConfig {
+    TpchData::generate(&TpchConfig {
         scale_factor: sf,
         seed: 20_220_901,
-    });
+    })
+}
+
+/// Build a session with the TPC-H tables at [`scale_factor`].
+pub fn tpch_session() -> Session {
+    let data = tpch_data();
     let mut s = Session::new();
     s.register_tpch(&data);
     s
+}
+
+/// Slim single-column batch holding one ingested TPC-H column — the
+/// standard way micro-benchmarks pull a raw key column out of a
+/// [`tpch_session`] without dragging the rest of the table along.
+pub fn key_batch(session: &Session, table: &str, col: usize) -> Batch {
+    match session.storage().get(table).expect("table ingested") {
+        TableSource::Mem(tt) => Batch::new(vec![tt.tensors[col].clone()]),
+        TableSource::Stored(_) => unreachable!("bench session ingests in memory"),
+    }
+}
+
+/// Order-sensitive FNV fold over a batch's i64 columns — the parity
+/// checksum micro-benchmarks use to demand identical output from the
+/// configurations they compare.
+pub fn batch_checksum(b: &Batch) -> u64 {
+    const P: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in &b.columns {
+        for &v in c.as_i64() {
+            h = (h ^ v as u64).wrapping_mul(P);
+        }
+    }
+    h
+}
+
+/// Order-sensitive checksum of a result frame (floats by bit pattern) —
+/// the end-to-end analogue of [`batch_checksum`].
+pub fn frame_checksum(f: &tqp_data::DataFrame) -> u64 {
+    const P: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| h = (h ^ v).wrapping_mul(P);
+    for i in 0..f.nrows() {
+        for s in f.row(i) {
+            match s {
+                Scalar::F64(v) => mix(v.to_bits()),
+                Scalar::F32(v) => mix(v.to_bits() as u64),
+                Scalar::I64(v) => mix(v as u64),
+                other => format!("{other:?}").bytes().for_each(|b| mix(b as u64)),
+            }
+        }
+    }
+    h
 }
 
 /// Median of `runs()` measurements (after `runs()` warm-ups) of `f`,
@@ -129,6 +182,15 @@ pub fn median_ns(mut f: impl FnMut()) -> u64 {
 /// Pretty milliseconds.
 pub fn fmt_ms(us: u64) -> String {
     format!("{:.2} ms", us as f64 / 1000.0)
+}
+
+/// Pretty-print a nanosecond total at µs/ms granularity.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1} us", ns as f64 / 1e3)
+    }
 }
 
 /// Render one comparison row of a figure table.

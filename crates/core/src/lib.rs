@@ -63,6 +63,11 @@ pub struct QueryConfig {
     /// results are bitwise-identical either way — the knob keeps the
     /// legacy `HashMap` path alive as a differential oracle).
     pub flat_hash: bool,
+    /// Explicit SIMD kernel layer (default on; vector and scalar tiers
+    /// share the same lane-split fold order, so results are bitwise
+    /// identical either way — the knob keeps the scalar oracle alive for
+    /// differential testing).
+    pub simd: bool,
 }
 
 impl Default for QueryConfig {
@@ -76,6 +81,7 @@ impl Default for QueryConfig {
             workers: tqp_exec::default_workers(),
             fuse_exprs: true,
             flat_hash: true,
+            simd: true,
         }
     }
 }
@@ -126,6 +132,12 @@ impl QueryConfig {
     /// Builder-style flat-hash-engine toggle.
     pub fn flat_hash(mut self, on: bool) -> Self {
         self.flat_hash = on;
+        self
+    }
+
+    /// Builder-style SIMD kernel-layer toggle.
+    pub fn simd(mut self, on: bool) -> Self {
+        self.simd = on;
         self
     }
 }
@@ -360,6 +372,7 @@ fn exec_config(cfg: QueryConfig) -> ExecConfig {
         workers: cfg.workers,
         fuse_exprs: cfg.fuse_exprs,
         flat_hash: cfg.flat_hash,
+        simd: cfg.simd,
     }
 }
 

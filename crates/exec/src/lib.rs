@@ -144,6 +144,16 @@ pub struct ExecConfig {
     /// `HashMap`-based build/probe/group-by alive as a differential oracle
     /// and for A/B benchmarking (`join_bench`).
     pub flat_hash: bool,
+    /// Use the explicit SIMD kernel layer (`tqp_tensor::simd`; default on).
+    /// Vector paths (AVX-512/AVX2, picked once per process by runtime
+    /// feature detection) share the exact lane-split accumulator layout and
+    /// fold order with the scalar fallback, so results are bitwise
+    /// identical at any setting — the knob keeps the scalar oracle alive
+    /// for differential testing and A/B benchmarking (`simd_bench`).
+    /// `false` forces the scalar tier for this executor's run; the
+    /// `TQP_SIMD` environment variable (read once per process: `off` /
+    /// `avx2`) caps the detected level below whatever this knob asks for.
+    pub simd: bool,
 }
 
 /// Default CPU worker count: all cores, capped to keep scoped-thread spawn
@@ -165,6 +175,7 @@ impl Default for ExecConfig {
             workers: default_workers(),
             fuse_exprs: true,
             flat_hash: true,
+            simd: true,
         }
     }
 }
@@ -263,6 +274,10 @@ pub struct ExecStats {
     pub chunks_scanned: u64,
     /// Stored-table chunks skipped by zone-map pruning.
     pub chunks_pruned: u64,
+    /// Per-family SIMD kernel dispatches during this run (how many times a
+    /// vectorized hash/filter/gather/reduce/decode path was taken; all zero
+    /// when `ExecConfig::simd` is off or the host lacks AVX2).
+    pub simd_dispatch: tqp_tensor::simd::DispatchCounts,
 }
 
 impl ExecStats {
@@ -351,6 +366,8 @@ impl Executor {
         models: &ModelRegistry,
         profiler: &Profiler,
     ) -> (DataFrame, ExecStats) {
+        tqp_tensor::simd::set_enabled(self.cfg.simd);
+        let simd_before = tqp_tensor::simd::counters();
         let t0 = std::time::Instant::now();
         let (frame, meter, scans) = match self.cfg.backend {
             Backend::Eager => {
@@ -382,6 +399,7 @@ impl Executor {
                 rows,
                 chunks_scanned: scans.chunks_scanned,
                 chunks_pruned: scans.chunks_pruned,
+                simd_dispatch: tqp_tensor::simd::counters().since(&simd_before),
             },
         )
     }

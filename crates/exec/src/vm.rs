@@ -574,9 +574,11 @@ impl Vm<'_> {
                     Some(p) => p.clone(),
                     None => (0..st.schema().len()).collect(),
                 };
-                // Metered (GpuSim) runs stay sequential and unpruned so
-                // modeled time is configuration-independent.
-                let preds = if self.prune && !meter.is_enabled() {
+                // Zone-map pruning applies on both paths; metered (GpuSim)
+                // runs still decode eagerly and sequentially, but only the
+                // surviving chunks — skipped chunks never reach the device,
+                // so neither wall time nor modeled bytes are spent on them.
+                let preds = if self.prune {
                     prune_filter
                         .map(|f| stored::prunable_conjuncts(f, projection.as_deref()))
                         .unwrap_or_default()

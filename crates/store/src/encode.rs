@@ -187,9 +187,9 @@ fn pack_bits(bits: &[bool]) -> Vec<u8> {
 }
 
 fn unpack_bits(packed: &[u8], rows: usize) -> Vec<bool> {
-    (0..rows)
-        .map(|i| packed[i / 8] & (1 << (i % 8)) != 0)
-        .collect()
+    let mut out = vec![false; rows];
+    tqp_tensor::simd::unpack_bits_into(packed, &mut out);
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -379,10 +379,9 @@ pub(crate) fn decode_values(
     let enc = Encoding::from_tag(cur.u8()?)?;
     match (ty, enc) {
         (LogicalType::Int64 | LogicalType::Date, Encoding::Plain) => {
-            let mut v = Vec::with_capacity(rows);
-            for _ in 0..rows {
-                v.push(cur.i64()?);
-            }
+            let raw = cur.take(8 * rows)?;
+            let mut v = vec![0i64; rows];
+            tqp_tensor::simd::decode_i64_le(raw, &mut v);
             Ok(ChunkValues::I64(v))
         }
         (LogicalType::Int64 | LogicalType::Date, Encoding::For) => {
@@ -391,14 +390,12 @@ pub(crate) fn decode_values(
             let mut v = Vec::with_capacity(rows);
             if width == 0 {
                 v.resize(rows, min);
+            } else if width > 8 {
+                return Err(StoreError::Format(format!("bad FOR width {width}")));
             } else {
-                for _ in 0..rows {
-                    let raw = cur.take(width)?;
-                    let mut b = [0u8; 8];
-                    b[..width].copy_from_slice(raw);
-                    let delta = u64::from_le_bytes(b);
-                    v.push((min as i128 + delta as i128) as i64);
-                }
+                let raw = cur.take(width * rows)?;
+                v.resize(rows, 0);
+                tqp_tensor::simd::decode_for(raw, width, min, &mut v);
             }
             Ok(ChunkValues::I64(v))
         }
@@ -408,7 +405,7 @@ pub(crate) fn decode_values(
             for _ in 0..runs {
                 let len = cur.u32()? as usize;
                 let val = cur.i64()?;
-                v.extend(std::iter::repeat_n(val, len));
+                tqp_tensor::simd::splat_i64(&mut v, val, len);
             }
             if v.len() != rows {
                 return Err(StoreError::Format(format!(
@@ -419,10 +416,9 @@ pub(crate) fn decode_values(
             Ok(ChunkValues::I64(v))
         }
         (LogicalType::Float64, Encoding::Plain) => {
-            let mut v = Vec::with_capacity(rows);
-            for _ in 0..rows {
-                v.push(cur.f64()?);
-            }
+            let raw = cur.take(8 * rows)?;
+            let mut v = vec![0.0f64; rows];
+            tqp_tensor::simd::decode_f64_le(raw, &mut v);
             Ok(ChunkValues::F64(v))
         }
         (LogicalType::Bool, Encoding::BitPack) => {

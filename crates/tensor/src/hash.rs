@@ -78,46 +78,18 @@ pub fn hash_i64(vals: &[i64]) -> Vec<u64> {
 }
 
 /// [`hash_i64`] into a caller-provided buffer (must be the same length).
+/// Dispatches to the explicit SIMD tier (`simd::hash_i64`); all tiers
+/// compute the identical per-element `mix64`.
 pub fn hash_i64_into(vals: &[i64], out: &mut [u64]) {
     assert_eq!(vals.len(), out.len(), "hash output length mismatch");
-    for (vblock, oblock) in vals
-        .chunks(HASH_BLOCK_ROWS)
-        .zip(out.chunks_mut(HASH_BLOCK_ROWS))
-    {
-        let mut vs = vblock.chunks_exact(HASH_LANES);
-        let mut os = oblock.chunks_exact_mut(HASH_LANES);
-        for (v, o) in (&mut vs).zip(&mut os) {
-            // Straight-line lane body: no loop-carried state, so the
-            // compiler vectorizes the multiply/xor chain across lanes.
-            for l in 0..HASH_LANES {
-                o[l] = mix64(v[l] as u64);
-            }
-        }
-        for (v, o) in vs.remainder().iter().zip(os.into_remainder()) {
-            *o = mix64(*v as u64);
-        }
-    }
+    crate::simd::hash_i64(vals, out);
 }
 
 /// Fold one `i64` column into an existing row-hash accumulator column
-/// (blockwise, same lane structure as [`hash_i64_into`]).
+/// (vectorized; per-element result identical on every tier).
 fn combine_i64(acc: &mut [u64], vals: &[i64]) {
     assert_eq!(acc.len(), vals.len(), "hash combine length mismatch");
-    for (ablock, vblock) in acc
-        .chunks_mut(HASH_BLOCK_ROWS)
-        .zip(vals.chunks(HASH_BLOCK_ROWS))
-    {
-        let mut accs = ablock.chunks_exact_mut(HASH_LANES);
-        let mut vs = vblock.chunks_exact(HASH_LANES);
-        for (a, v) in (&mut accs).zip(&mut vs) {
-            for l in 0..HASH_LANES {
-                a[l] = (a[l] ^ mix64(v[l] as u64)).wrapping_mul(COMBINE);
-            }
-        }
-        for (a, v) in accs.into_remainder().iter_mut().zip(vs.remainder()) {
-            *a = (*a ^ mix64(*v as u64)).wrapping_mul(COMBINE);
-        }
-    }
+    crate::simd::hash_combine_i64(acc, vals);
 }
 
 /// FNV-1a over one string row (strings cannot lane-split; everything else
@@ -152,11 +124,7 @@ pub fn hash_columns(cols: &[&Tensor]) -> Vec<u64> {
                     *a = (*a ^ mix64(v as u64)).wrapping_mul(COMBINE);
                 }
             }
-            DType::F64 => {
-                for (a, &v) in acc.iter_mut().zip(c.as_f64()) {
-                    *a = (*a ^ mix64(v.to_bits())).wrapping_mul(COMBINE);
-                }
-            }
+            DType::F64 => crate::simd::hash_combine_f64(&mut acc, c.as_f64()),
             DType::F32 => {
                 for (a, &v) in acc.iter_mut().zip(c.as_f32()) {
                     *a = (*a ^ mix64(v.to_bits() as u64)).wrapping_mul(COMBINE);
@@ -187,9 +155,12 @@ pub fn scatter_count(idx: &[u32], n: usize) -> Vec<u32> {
     counts
 }
 
-/// Gather pass: `out[i] = src[idx[i]]`.
+/// Gather pass: `out[i] = src[idx[i]]` (hardware-gather tier when the
+/// index set validates in bounds; panics on out-of-range either way).
 pub fn gather_u32(src: &[u32], idx: &[u32]) -> Vec<u32> {
-    idx.iter().map(|&i| src[i as usize]).collect()
+    let mut out = vec![0u32; idx.len()];
+    crate::simd::gather_u32(src, idx, &mut out);
+    out
 }
 
 /// Directory size for `n` entries with an optional distinct-key estimate
@@ -338,10 +309,12 @@ impl FlatRowTable {
     }
 
     /// Number of entries matching key `k` (the probe's pre-sizing pass).
+    /// Long skewed buckets scan with the vectorized equality count;
+    /// typical short buckets stay on the scalar loop.
     #[inline]
     pub fn count_matches(&self, k: i64, h: u64) -> usize {
         let (keys, _) = self.bucket(h);
-        keys.iter().filter(|&&e| e == k).count()
+        crate::simd::count_eq_i64(keys, k)
     }
 
     /// The arena range `[start, end)` of the bucket `h` selects — the

@@ -24,7 +24,7 @@ pub fn mask_to_indices(mask: &Tensor) -> Tensor {
                 if lo >= hi {
                     0
                 } else {
-                    m[lo..hi].iter().filter(|&&b| b).count()
+                    crate::simd::count_true(&m[lo..hi])
                 }
             })
             .collect();
@@ -64,23 +64,14 @@ pub fn mask_to_indices(mask: &Tensor) -> Tensor {
         return Tensor::from_i64(out);
     }
     let mut out = Vec::with_capacity(m.len() / 2);
-    for (i, &b) in m.iter().enumerate() {
-        if b {
-            out.push(i as i64);
-        }
-    }
+    crate::simd::compact_indices_into(m, 0, &mut out);
     Tensor::from_i64(out)
 }
 
 /// Number of `true` bits in a bool tensor.
 pub fn count_true(mask: &Tensor) -> usize {
     let m = mask.as_bool();
-    par_reduce(
-        m.len(),
-        |r| m[r].iter().filter(|&&b| b).count(),
-        |a, b| a + b,
-        0,
-    )
+    par_reduce(m.len(), |r| crate::simd::count_true(&m[r]), |a, b| a + b, 0)
 }
 
 /// Row gather (`index_select` on dim 0). Works for rank-1 tensors of any
@@ -166,9 +157,27 @@ pub fn take(t: &Tensor, idx: &Tensor) -> Tensor {
         match t.dtype() {
             DType::Bool => gather1!(as_bool, Tensor::from_bool, bool),
             DType::I32 => gather1!(as_i32, Tensor::from_i32, i32),
-            DType::I64 => gather1!(as_i64, Tensor::from_i64, i64),
+            // The 8-byte dtypes ride the hardware-gather kernel (same
+            // bounds-check-then-panic contract as direct indexing).
+            DType::I64 => {
+                let src = t.as_i64();
+                let mut out = vec![0i64; ix.len()];
+                par_chunks_mut(&mut out, |s, c| {
+                    let len = c.len();
+                    crate::simd::gather_i64(src, &ix[s..s + len], c);
+                });
+                Tensor::from_i64(out)
+            }
             DType::F32 => gather1!(as_f32, Tensor::from_f32, f32),
-            DType::F64 => gather1!(as_f64, Tensor::from_f64, f64),
+            DType::F64 => {
+                let src = t.as_f64();
+                let mut out = vec![0f64; ix.len()];
+                par_chunks_mut(&mut out, |s, c| {
+                    let len = c.len();
+                    crate::simd::gather_f64(src, &ix[s..s + len], c);
+                });
+                Tensor::from_f64(out)
+            }
             DType::U8 => gather1!(as_u8, Tensor::from_u8, u8),
         }
     }

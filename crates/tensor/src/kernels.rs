@@ -336,94 +336,128 @@ enum DensePlan {
     ConstFalse,
 }
 
-/// Fold one canonical predicate pass into a mask slice. `$assign` is `=`
-/// for the mask-writing first pass of a plan and `&=` for every later
-/// pass AND-folding into it. Plain indexless zip loops — the shape LLVM
-/// autovectorizes (an `iter().map().collect()` equivalent measured ~20%
-/// slower).
-macro_rules! dense_fold {
-    ($mask:expr, $d:expr, $assign:tt, $test:expr) => {{
-        let m: &mut [bool] = $mask;
-        let t = $test;
-        for (o, &x) in m.iter_mut().zip($d) {
-            *o $assign t(x);
-        }
-    }};
+/// Fold one [`DensePred`] pass over a row range into a mask slice
+/// through the explicit SIMD layer (`and = false` writes the mask,
+/// `true` AND-folds into it). The predicate lowers to a canonical
+/// [`crate::simd::CmpI64`]/[`crate::simd::CmpF64`] op — single-bounded
+/// intervals (`<= c`, `>= c` — Q1's whole filter) as one plain compare,
+/// true two-sided ranges as the wrapping-subtract form; a non-strict
+/// infinite `f64` bound rejects only NaN, which the opposite bound's
+/// compare already does, so it drops (when both bounds are vacuous — a
+/// literal `x <= inf` — one compare must still run for the NaN
+/// rejection). The scalar tier of each mask kernel is the same plain
+/// Rust comparison loop this path ran before the SIMD layer existed.
+#[inline(always)]
+fn i64_col<'a>(cols: &[ColInput<'a>], ch: usize) -> &'a [i64] {
+    match cols[ch] {
+        ColInput::I64(d) => d,
+        _ => unreachable!("dense predicate channel must be i64"),
+    }
 }
 
-/// Dispatch one [`DensePred`] pass over a row range (`$assign` as in
-/// [`dense_fold!`]). The `f64` interval test monomorphizes per strictness
-/// combination so the per-row work is two compares and an AND with no
-/// flag branches inside the loop.
-macro_rules! dense_pred_fold {
-    ($p:expr, $m:expr, $cols:expr, $validity:expr, $s:expr, $e:expr, $assign:tt) => {{
-        let (s, e) = ($s, $e);
-        match *$p {
-            DensePred::I64In { col, lo, hi } => {
-                let d = &i64_col($cols, col)[s..e];
-                // Single-bounded intervals (`<= c`, `>= c` — Q1's whole
-                // filter) run as one plain compare; only true two-sided
-                // ranges need the wrapping-subtract form.
-                if lo == i64::MIN {
-                    dense_fold!($m, d, $assign, |x: i64| x <= hi);
-                } else if hi == i64::MAX {
-                    dense_fold!($m, d, $assign, |x: i64| x >= lo);
-                } else {
-                    let r = hi.wrapping_sub(lo) as u64;
-                    dense_fold!($m, d, $assign, |x: i64| x.wrapping_sub(lo) as u64 <= r);
-                }
-            }
-            DensePred::I64Ne { col, c } => {
-                dense_fold!($m, &i64_col($cols, col)[s..e], $assign, |x: i64| x != c);
-            }
-            DensePred::F64In {
-                col,
-                lo,
-                lo_strict,
-                hi,
-                hi_strict,
-            } => {
-                let d = &f64_col($cols, col)[s..e];
-                // A non-strict infinite bound rejects only NaN, which the
-                // opposite bound's compare already does — drop it. (When
-                // both bounds are vacuous — a literal `x <= inf` — one
-                // compare must still run for the NaN rejection.)
-                let lo_vac = lo == f64::NEG_INFINITY && !lo_strict;
-                let hi_vac = hi == f64::INFINITY && !hi_strict;
-                match (lo_vac, hi_vac, lo_strict, hi_strict) {
-                    (_, true, _, _) if lo_vac => {
-                        dense_fold!($m, d, $assign, |x: f64| x <= hi)
-                    }
-                    (true, _, _, true) => dense_fold!($m, d, $assign, |x: f64| x < hi),
-                    (true, _, _, false) => dense_fold!($m, d, $assign, |x: f64| x <= hi),
-                    (_, true, true, _) => dense_fold!($m, d, $assign, |x: f64| x > lo),
-                    (_, true, false, _) => dense_fold!($m, d, $assign, |x: f64| x >= lo),
-                    (_, _, false, false) => {
-                        dense_fold!($m, d, $assign, |x: f64| (x >= lo) & (x <= hi))
-                    }
-                    (_, _, false, true) => {
-                        dense_fold!($m, d, $assign, |x: f64| (x >= lo) & (x < hi))
-                    }
-                    (_, _, true, false) => {
-                        dense_fold!($m, d, $assign, |x: f64| (x > lo) & (x <= hi))
-                    }
-                    (_, _, true, true) => {
-                        dense_fold!($m, d, $assign, |x: f64| (x > lo) & (x < hi))
-                    }
-                }
-            }
-            DensePred::F64Ne { col, c } => {
-                dense_fold!($m, &f64_col($cols, col)[s..e], $assign, |x: f64| x != c);
-            }
-            DensePred::BoolCol { col } => {
-                dense_fold!($m, &bool_col($cols, col)[s..e], $assign, |x: bool| x);
-            }
-            DensePred::Valid { vc } => {
-                let v = $validity[vc].expect("Valid pred requires a present channel");
-                dense_fold!($m, &v[s..e], $assign, |x: bool| x);
-            }
+#[inline(always)]
+fn f64_col<'a>(cols: &[ColInput<'a>], ch: usize) -> &'a [f64] {
+    match cols[ch] {
+        ColInput::F64(d) => d,
+        _ => unreachable!("dense predicate channel must be f64"),
+    }
+}
+
+#[inline(always)]
+fn bool_col<'a>(cols: &[ColInput<'a>], ch: usize) -> &'a [bool] {
+    match cols[ch] {
+        ColInput::Bool(d) => d,
+        _ => unreachable!("dense predicate channel must be bool"),
+    }
+}
+
+/// Lower a [`CmpOp`]-against-constant to the canonical SIMD-layer op.
+#[inline(always)]
+fn cmp_const_i64(op: CmpOp, c: i64) -> crate::simd::CmpI64 {
+    use crate::simd::CmpI64;
+    match op {
+        CmpOp::Eq => CmpI64::Eq(c),
+        CmpOp::Ne => CmpI64::Ne(c),
+        CmpOp::Lt => CmpI64::Lt(c),
+        CmpOp::Le => CmpI64::Le(c),
+        CmpOp::Gt => CmpI64::Gt(c),
+        CmpOp::Ge => CmpI64::Ge(c),
+    }
+}
+
+/// Lower a [`CmpOp`]-against-constant to the canonical SIMD-layer op.
+#[inline(always)]
+fn cmp_const_f64(op: CmpOp, c: f64) -> crate::simd::CmpF64 {
+    use crate::simd::CmpF64;
+    match op {
+        CmpOp::Eq => CmpF64::Eq(c),
+        CmpOp::Ne => CmpF64::Ne(c),
+        CmpOp::Lt => CmpF64::Lt(c),
+        CmpOp::Le => CmpF64::Le(c),
+        CmpOp::Gt => CmpF64::Gt(c),
+        CmpOp::Ge => CmpF64::Ge(c),
+    }
+}
+
+fn dense_pred_fold(
+    p: &DensePred,
+    m: &mut [bool],
+    cols: &[ColInput],
+    validity: &[Option<&[bool]>],
+    s: usize,
+    e: usize,
+    and: bool,
+) {
+    use crate::simd::{CmpF64, CmpI64};
+    match *p {
+        DensePred::I64In { col, lo, hi } => {
+            let op = if lo == i64::MIN {
+                CmpI64::Le(hi)
+            } else if hi == i64::MAX {
+                CmpI64::Ge(lo)
+            } else {
+                CmpI64::In(lo, hi.wrapping_sub(lo) as u64)
+            };
+            crate::simd::mask_i64(op, &i64_col(cols, col)[s..e], m, and);
         }
-    }};
+        DensePred::I64Ne { col, c } => {
+            crate::simd::mask_i64(CmpI64::Ne(c), &i64_col(cols, col)[s..e], m, and);
+        }
+        DensePred::F64In {
+            col,
+            lo,
+            lo_strict,
+            hi,
+            hi_strict,
+        } => {
+            let lo_vac = lo == f64::NEG_INFINITY && !lo_strict;
+            let hi_vac = hi == f64::INFINITY && !hi_strict;
+            let op = match (lo_vac, hi_vac) {
+                (true, true) => CmpF64::Le(hi),
+                (true, false) if hi_strict => CmpF64::Lt(hi),
+                (true, false) => CmpF64::Le(hi),
+                (false, true) if lo_strict => CmpF64::Gt(lo),
+                (false, true) => CmpF64::Ge(lo),
+                (false, false) => CmpF64::In {
+                    lo,
+                    lo_strict,
+                    hi,
+                    hi_strict,
+                },
+            };
+            crate::simd::mask_f64(op, &f64_col(cols, col)[s..e], m, and);
+        }
+        DensePred::F64Ne { col, c } => {
+            crate::simd::mask_f64(CmpF64::Ne(c), &f64_col(cols, col)[s..e], m, and);
+        }
+        DensePred::BoolCol { col } => {
+            crate::simd::mask_bool(&bool_col(cols, col)[s..e], m, and);
+        }
+        DensePred::Valid { vc } => {
+            let v = validity[vc].expect("Valid pred requires a present channel");
+            crate::simd::mask_bool(&v[s..e], m, and);
+        }
+    }
 }
 
 /// Chunk-local register file. Buffers are allocated once per kernel run
@@ -813,27 +847,6 @@ impl FusedKernel {
         validity: &[Option<&[bool]>],
         n: usize,
     ) -> Vec<bool> {
-        #[inline(always)]
-        fn i64_col<'a>(cols: &[ColInput<'a>], ch: usize) -> &'a [i64] {
-            match cols[ch] {
-                ColInput::I64(d) => d,
-                _ => unreachable!("dense predicate channel must be i64"),
-            }
-        }
-        #[inline(always)]
-        fn f64_col<'a>(cols: &[ColInput<'a>], ch: usize) -> &'a [f64] {
-            match cols[ch] {
-                ColInput::F64(d) => d,
-                _ => unreachable!("dense predicate channel must be f64"),
-            }
-        }
-        #[inline(always)]
-        fn bool_col<'a>(cols: &[ColInput<'a>], ch: usize) -> &'a [bool] {
-            match cols[ch] {
-                ColInput::Bool(d) => d,
-                _ => unreachable!("dense predicate channel must be bool"),
-            }
-        }
         // Every predicate canonicalized away (e.g. a lone `x != NaN`):
         // the conjunction is vacuously true.
         let Some((first, rest)) = preds.split_first() else {
@@ -844,9 +857,9 @@ impl FusedKernel {
         while s < n {
             let e = (s + CHUNK_ROWS).min(n);
             let m = &mut mask[s..e];
-            dense_pred_fold!(first, m, cols, validity, s, e, =);
+            dense_pred_fold(first, m, cols, validity, s, e, false);
             for p in rest {
-                dense_pred_fold!(p, &mut *m, cols, validity, s, e, &=);
+                dense_pred_fold(p, m, cols, validity, s, e, true);
             }
             s = e;
         }
@@ -885,24 +898,17 @@ impl FusedKernel {
                 start = cj.end;
                 // Fold the conjunct value...
                 if let Some(reg) = cj.reg {
-                    let b = &regs.bools[reg][..len];
-                    for (mi, &v) in m.iter_mut().zip(b) {
-                        *mi &= v;
-                    }
+                    crate::simd::mask_bool(&regs.bools[reg][..len], m, true);
                 } else if let Some(chan) = cj.col {
                     let ColInput::Bool(col) = cols[chan] else {
                         unreachable!("bare-column conjunct channel must be bool");
                     };
-                    for (mi, &v) in m.iter_mut().zip(&col[base..base + len]) {
-                        *mi &= v;
-                    }
+                    crate::simd::mask_bool(&col[base..base + len], m, true);
                 }
                 // ...then its validity channels (NULL = drop).
                 for &vc in &cj.vchans {
                     if let Some(v) = validity[vc] {
-                        for (mi, &b) in m.iter_mut().zip(&v[base..base + len]) {
-                            *mi &= b;
-                        }
+                        crate::simd::mask_bool(&v[base..base + len], m, true);
                     }
                 }
                 // Chunk short-circuit: nothing alive, skip the remaining
@@ -1130,14 +1136,24 @@ impl FusedKernel {
                         KSrc::Col(ch) => i64_col(ch),
                         KSrc::Buf(s) => &regs.i64s[s][..len],
                     };
-                    cmp_const_kernel!(*op, a, consts.i64s[*c], &mut regs.bools[*dst][..len]);
+                    crate::simd::mask_i64(
+                        cmp_const_i64(*op, consts.i64s[*c]),
+                        a,
+                        &mut regs.bools[*dst][..len],
+                        false,
+                    );
                 }
                 KOp::CmpConstF64 { dst, op, src, c } => {
                     let a: &[f64] = match *src {
                         KSrc::Col(ch) => f64_col(ch),
                         KSrc::Buf(s) => &regs.f64s[s][..len],
                     };
-                    cmp_const_kernel!(*op, a, consts.f64s[*c], &mut regs.bools[*dst][..len]);
+                    crate::simd::mask_f64(
+                        cmp_const_f64(*op, consts.f64s[*c]),
+                        a,
+                        &mut regs.bools[*dst][..len],
+                        false,
+                    );
                 }
                 KOp::CmpConstBool { dst, op, src, c } => {
                     let (head, tail) = regs.bools.split_at_mut(*dst);

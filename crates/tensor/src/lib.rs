@@ -32,6 +32,7 @@ pub mod kernels;
 pub mod ops;
 pub mod pool;
 pub mod reduce;
+pub mod simd;
 pub mod sort;
 pub mod strings;
 pub mod tensor;

@@ -21,20 +21,22 @@ pub enum AggFn {
 }
 
 /// Sum of a numeric tensor as `f64` (parallel tree reduction).
+///
+/// Float ranges reduce with the canonical lane-split kernel
+/// ([`crate::simd::sum_f64`]): the accumulation order is fixed by the
+/// kernel definition, not by the dispatch tier, so results are bitwise
+/// identical with SIMD on or off. The thread-range geometry of
+/// [`par_reduce`] is unchanged, so worker count keeps its (pre-existing)
+/// determinism contract too.
 pub fn sum_f64(t: &Tensor) -> f64 {
     match t.dtype() {
         DType::F64 => {
             let x = t.as_f64();
-            par_reduce(x.len(), |r| x[r].iter().sum::<f64>(), |a, b| a + b, 0.0)
+            par_reduce(x.len(), |r| crate::simd::sum_f64(&x[r]), |a, b| a + b, 0.0)
         }
         DType::F32 => {
             let x = t.as_f32();
-            par_reduce(
-                x.len(),
-                |r| x[r].iter().map(|&v| v as f64).sum::<f64>(),
-                |a, b| a + b,
-                0.0,
-            )
+            par_reduce(x.len(), |r| crate::simd::sum_f32(&x[r]), |a, b| a + b, 0.0)
         }
         DType::I64 => sum_i64(t) as f64,
         DType::I32 => sum_i64(t) as f64,
@@ -48,7 +50,7 @@ pub fn sum_i64(t: &Tensor) -> i64 {
     match t.dtype() {
         DType::I64 => {
             let x = t.as_i64();
-            par_reduce(x.len(), |r| x[r].iter().sum::<i64>(), |a, b| a + b, 0)
+            par_reduce(x.len(), |r| crate::simd::sum_i64(&x[r]), |a, b| a + b, 0)
         }
         DType::I32 => {
             let x = t.as_i32();
@@ -63,7 +65,7 @@ pub fn sum_i64(t: &Tensor) -> i64 {
             let x = t.as_bool();
             par_reduce(
                 x.len(),
-                |r| x[r].iter().filter(|&&b| b).count() as i64,
+                |r| crate::simd::count_true(&x[r]) as i64,
                 |a, b| a + b,
                 0,
             )
@@ -73,21 +75,43 @@ pub fn sum_i64(t: &Tensor) -> i64 {
 }
 
 /// Minimum as `f64`, or `None` on empty input.
+///
+/// Folds with the canonical comparator [`crate::simd::cmin`] (identity
+/// `+inf`): deterministic on NaN (ignored) and signed-zero ties, and
+/// identical on every dispatch tier — see the `simd` module docs.
 pub fn min_f64(t: &Tensor) -> Option<f64> {
     if t.is_empty() {
         return None;
     }
+    if t.dtype() == DType::F64 {
+        let x = t.as_f64();
+        return Some(par_reduce(
+            x.len(),
+            |r| crate::simd::min_f64(&x[r]),
+            crate::simd::cmin,
+            f64::INFINITY,
+        ));
+    }
     let v = t.to_f64_vec();
-    Some(v.into_iter().fold(f64::INFINITY, f64::min))
+    Some(crate::simd::min_f64(&v))
 }
 
-/// Maximum as `f64`, or `None` on empty input.
+/// Maximum as `f64`, or `None` on empty input (mirror of [`min_f64`]).
 pub fn max_f64(t: &Tensor) -> Option<f64> {
     if t.is_empty() {
         return None;
     }
+    if t.dtype() == DType::F64 {
+        let x = t.as_f64();
+        return Some(par_reduce(
+            x.len(),
+            |r| crate::simd::max_f64(&x[r]),
+            crate::simd::cmax,
+            f64::NEG_INFINITY,
+        ));
+    }
     let v = t.to_f64_vec();
-    Some(v.into_iter().fold(f64::NEG_INFINITY, f64::max))
+    Some(crate::simd::max_f64(&v))
 }
 
 /// Mean, or `None` on empty input.

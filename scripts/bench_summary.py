@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Consolidated bench-gate summary: one table of per-site ratios.
+
+Each bench binary (expr/join/store/simd) is its own hard regression gate
+— it exits non-zero when its optimized path regresses past the 1.25x
+noise margin — so by the time this runs, every gate has already passed.
+This step folds the four BENCH_*.json files into one table so a human
+scanning the CI log sees every per-site ratio in one place, and fails
+only if a bench file is missing or unreadable (i.e. a gate was skipped).
+
+Usage: python3 scripts/bench_summary.py [dir]
+"""
+
+import json
+import os
+import sys
+
+
+def rows(doc):
+    """Yield (site, ratio, gated) per result record, format-aware."""
+    fmt = doc.get("format", "?")
+    for r in doc.get("results", []):
+        big = r.get("rows", 0) > 10_000
+        if fmt == "tqp-bench-expr":
+            if "speedup_fused" in r:
+                site = f"q{r.get('query', '?')}/{r.get('site', '?')}"
+                yield site, r["speedup_fused"], big
+        elif fmt == "tqp-bench-join":
+            site = f"{r.get('site', '?')}/w{r.get('workers', '?')}"
+            yield site, r.get("speedup_flat", 0.0), big
+        elif fmt == "tqp-bench-store":
+            if r.get("kind") == "prune":
+                site = f"{r.get('query', '?')}/w{r.get('workers', '?')}"
+                yield site, r.get("speedup", 0.0), False
+        elif fmt == "tqp-bench-simd":
+            site = f"{r.get('family', '?')}/{r.get('site', '?')}"
+            yield site, r.get("speedup_simd", 0.0), r.get("gated", False)
+
+
+def main():
+    base = sys.argv[1] if len(sys.argv) > 1 else "."
+    files = {
+        "expr": "BENCH_expr.json",
+        "join": "BENCH_join.json",
+        "store": "BENCH_store.json",
+        "simd": "BENCH_simd.json",
+    }
+    missing = []
+    print(f"{'bench':<6} {'site':<28} {'ratio':>8}  gate")
+    print("-" * 52)
+    for name, fname in files.items():
+        path = os.path.join(base, fname)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            missing.append(f"{fname}: {e}")
+            continue
+        level = doc.get("level")
+        suffix = f" (level {level})" if level else ""
+        for site, ratio, gated in rows(doc):
+            mark = "gated" if gated else "-"
+            print(f"{name:<6} {site:<28} {ratio:>7.2f}x  {mark}{suffix}")
+            suffix = ""
+    if missing:
+        print("\nmissing or unreadable bench files:", file=sys.stderr)
+        for m in missing:
+            print(f"  {m}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

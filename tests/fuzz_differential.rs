@@ -540,6 +540,17 @@ fn check(sessions: &Sessions, sql: &str) -> Result<(), String> {
                 .map_err(|e| format!("[{label}/noflat] run failed: {e}"))?;
             frames_bitwise(&fgot, &got).map_err(|e| format!("[{label}/noflat] {e}"))?;
         }
+        // SIMD off: the scalar fallback tier must be bitwise the
+        // vectorized tier (they share the canonical lane-split fold, so
+        // even float aggregates cannot disagree).
+        let nq = sessions
+            .mem
+            .compile(sql, cfg.simd(false))
+            .map_err(|e| format!("[{label}/nosimd] compile failed: {e}"))?;
+        let (ngot, _) = nq
+            .run(&sessions.mem)
+            .map_err(|e| format!("[{label}/nosimd] run failed: {e}"))?;
+        frames_bitwise(&ngot, &got).map_err(|e| format!("[{label}/nosimd] {e}"))?;
         // Stored-table mode: same query over the tqp-store scan path,
         // bitwise against the in-memory tensor result.
         let sq = sessions
