@@ -43,6 +43,8 @@ use tqp_profile::Profiler;
 use tqp_store::StoredTable;
 use tqp_tensor::Scalar;
 
+pub use tqp_exec::sched::{CancelReason, CancelToken};
+
 /// Per-query configuration: physical strategies + backend + device.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryConfig {
@@ -68,6 +70,12 @@ pub struct QueryConfig {
     /// identical either way — the knob keeps the scalar oracle alive for
     /// differential testing).
     pub simd: bool,
+    /// Per-query execution deadline (default: none). An execution that
+    /// exceeds it aborts at the next morsel/section boundary with a
+    /// retryable [`TqpError::Execution`] and frees its worker-pool slots.
+    /// A pure *execution* property: it never affects compilation, and the
+    /// serving layer excludes it from prepared-statement cache keys.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for QueryConfig {
@@ -82,6 +90,7 @@ impl Default for QueryConfig {
             fuse_exprs: true,
             flat_hash: true,
             simd: true,
+            deadline: None,
         }
     }
 }
@@ -140,6 +149,12 @@ impl QueryConfig {
         self.simd = on;
         self
     }
+
+    /// Builder-style per-query execution deadline.
+    pub fn deadline(mut self, d: std::time::Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
 }
 
 /// Errors surfaced by the façade. The compile/run split matters to
@@ -163,6 +178,16 @@ impl TqpError {
     /// changes; false for permanently-bad SQL.
     pub fn is_retryable(&self) -> bool {
         matches!(self, TqpError::Execution(_) | TqpError::UnknownTable(_))
+    }
+
+    /// True when this error is a cancellation/deadline abort (a subset of
+    /// the retryable executions) — the serving layers use this to count
+    /// cancelled queries separately from genuine failures.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, TqpError::Execution(m)
+            if [CancelReason::Cancelled, CancelReason::DeadlineExceeded]
+                .iter()
+                .any(|r| tqp_exec::sched::Cancelled(*r).message() == m))
     }
 }
 
@@ -285,7 +310,11 @@ impl Session {
         let plan = compile_sql(sql, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
         let executor = Executor::compile(&plan, exec_config(cfg));
         let pre = RunPreconditions::capture(executor.program(), &self.catalog);
-        Ok(CompiledQuery { executor, pre })
+        Ok(CompiledQuery {
+            executor,
+            pre,
+            deadline: cfg.deadline,
+        })
     }
 
     /// Prepare a statement: the full compile pipeline (parse → bind →
@@ -309,7 +338,11 @@ impl Session {
     pub fn compile_plan(&self, plan: &PhysicalPlan, cfg: QueryConfig) -> CompiledQuery {
         let executor = Executor::compile(plan, exec_config(cfg));
         let pre = RunPreconditions::capture(executor.program(), &self.catalog);
-        CompiledQuery { executor, pre }
+        CompiledQuery {
+            executor,
+            pre,
+            deadline: cfg.deadline,
+        }
     }
 
     /// One-shot convenience: compile + run on the default configuration.
@@ -360,6 +393,33 @@ impl Session {
         let engine = RowEngine::new(&frames, &self.models);
         Ok(engine.execute(&plan))
     }
+}
+
+/// Run `f` under a cancellation token: the token rides the executing
+/// thread (and every worker-pool section it opens — see
+/// `tqp_exec::sched`), and a [`Cancelled`](tqp_exec::sched::Cancelled)
+/// unwind from a morsel/section-boundary check is converted into a
+/// retryable [`TqpError::Execution`]. Real panics re-raise untouched with
+/// their original payloads.
+fn run_cancellable<T>(
+    token: &CancelToken,
+    f: impl FnOnce() -> Result<T, TqpError>,
+) -> Result<T, TqpError> {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    if let Some(reason) = token.state() {
+        return Err(cancel_error(reason));
+    }
+    match catch_unwind(AssertUnwindSafe(|| tqp_exec::sched::with_token(token, f))) {
+        Ok(res) => res,
+        Err(payload) => match tqp_exec::sched::cancelled_payload(payload.as_ref()) {
+            Some(c) => Err(TqpError::Execution(c.message().to_string())),
+            None => resume_unwind(payload),
+        },
+    }
+}
+
+fn cancel_error(reason: CancelReason) -> TqpError {
+    TqpError::Execution(tqp_exec::sched::Cancelled(reason).message().to_string())
 }
 
 /// Translate the façade config into the executor's.
@@ -493,7 +553,50 @@ impl PreparedQuery {
     /// statements). Parameter-free executions run the cached executor
     /// directly; parameterized ones clone the compiled program and patch
     /// its constant slots — **never** re-entering the compiler.
+    ///
+    /// Honours the statement's [`QueryConfig::deadline`], if any: an
+    /// execution that exceeds it aborts at the next morsel/section
+    /// boundary with a retryable [`TqpError::Execution`].
     pub fn execute(
+        &self,
+        session: &Session,
+        params: &[Scalar],
+    ) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+        match self.effective_token(None) {
+            None => self.execute_inner(session, params),
+            Some(token) => run_cancellable(&token, || self.execute_inner(session, params)),
+        }
+    }
+
+    /// Execute under an external cancellation token (a network front-end's
+    /// per-connection token, an explicit CANCEL handle). The statement's
+    /// [`QueryConfig::deadline`] still applies on top: whichever trips
+    /// first aborts the run at the next morsel/section boundary with a
+    /// retryable [`TqpError::Execution`], freeing its worker-pool slots.
+    pub fn execute_cancellable(
+        &self,
+        session: &Session,
+        params: &[Scalar],
+        token: &CancelToken,
+    ) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+        let token = self
+            .effective_token(Some(token))
+            .expect("external token always yields an effective token");
+        run_cancellable(&token, || self.execute_inner(session, params))
+    }
+
+    /// Combine an optional external token with the statement's configured
+    /// deadline. `None` means "run plain" (no token machinery at all —
+    /// the deadline-free fast path pays nothing).
+    fn effective_token(&self, external: Option<&CancelToken>) -> Option<CancelToken> {
+        match (external, self.inner.cfg.deadline) {
+            (None, None) => None,
+            (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+            (Some(t), d) => Some(t.child(d)),
+        }
+    }
+
+    fn execute_inner(
         &self,
         session: &Session,
         params: &[Scalar],
@@ -527,6 +630,8 @@ pub struct CompiledQuery {
     executor: Executor,
     /// Compile-time-captured run preconditions (cheap per-execution check).
     pre: RunPreconditions,
+    /// Execution deadline from the compiling [`QueryConfig`].
+    deadline: Option<std::time::Duration>,
 }
 
 impl CompiledQuery {
@@ -536,6 +641,13 @@ impl CompiledQuery {
     /// bound) surface as [`TqpError::Execution`] — distinguishable from
     /// compile failures by serve-layer callers.
     pub fn run(&self, session: &Session) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+        match self.deadline {
+            None => self.run_inner(session),
+            Some(d) => run_cancellable(&CancelToken::with_deadline(d), || self.run_inner(session)),
+        }
+    }
+
+    fn run_inner(&self, session: &Session) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
         self.pre.check_session(session)?;
         if self.pre.n_params > 0 {
             return Err(TqpError::Execution(format!(
@@ -736,6 +848,61 @@ mod tests {
         // Clones share the compiled statement.
         let p2 = p.clone();
         assert!(p.ptr_eq(&p2));
+    }
+
+    #[test]
+    fn expired_deadline_is_a_retryable_execution_error() {
+        let s = session();
+        // An already-expired deadline must abort before (or at) the first
+        // boundary check — and classify as retryable, not compile-bad.
+        let q = s
+            .compile(
+                "select sum(v) from t",
+                QueryConfig::default().deadline(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        match q.run(&s) {
+            Err(e @ TqpError::Execution(_)) => {
+                assert!(e.is_retryable());
+                assert!(e.to_string().contains("deadline"), "{e}");
+            }
+            other => panic!("expected deadline error, got {:?}", other.map(|_| ())),
+        }
+        // Prepared path: same statement, same classification.
+        let p = s
+            .prepare(
+                "select sum(v) from t",
+                QueryConfig::default().deadline(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        assert!(matches!(p.execute(&s, &[]), Err(TqpError::Execution(_))));
+        // A generous deadline does not perturb results.
+        let p = s
+            .prepare(
+                "select sum(v) from t",
+                QueryConfig::default().deadline(std::time::Duration::from_secs(3600)),
+            )
+            .unwrap();
+        let (out, _) = p.execute(&s, &[]).unwrap();
+        assert_eq!(out.nrows(), 1);
+    }
+
+    #[test]
+    fn external_token_cancels_between_executions() {
+        let s = session();
+        let p = s
+            .prepare("select id from t where v > $1", QueryConfig::default())
+            .unwrap();
+        let token = CancelToken::new();
+        let (out, _) = p
+            .execute_cancellable(&s, &[Scalar::F64(2.0)], &token)
+            .unwrap();
+        assert_eq!(out.nrows(), 2);
+        token.cancel();
+        match p.execute_cancellable(&s, &[Scalar::F64(2.0)], &token) {
+            Err(TqpError::Execution(msg)) => assert!(msg.contains("cancelled"), "{msg}"),
+            other => panic!("expected cancelled error, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

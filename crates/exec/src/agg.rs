@@ -152,6 +152,8 @@ pub fn aggregate_par(
     let morsel_rows = par_morsel_rows();
     let n_morsels = n.div_ceil(morsel_rows);
     let partials = map_morsels(n_morsels, workers, |m| {
+        // Morsel boundary: deadline/cancellation check per partial.
+        crate::sched::check_cancelled();
         let lo = m * morsel_rows;
         let hi = ((m + 1) * morsel_rows).min(n);
         partial_aggregate(&input.slice_rows(lo, hi), reduce, models, fuse, flat)

@@ -224,6 +224,8 @@ pub fn build_table_par(
     type RadixBins = Vec<Vec<(i64, u32)>>;
     let rk_ref = &rk;
     let bins: Vec<RadixBins> = crate::sched::map_tasks(threads, workers, |t| {
+        // Partition boundary: deadline/cancellation check per build task.
+        crate::sched::check_cancelled();
         let lo = t * chunk;
         let hi = ((t + 1) * chunk).min(n);
         let mut local: Vec<Vec<(i64, u32)>> = vec![Vec::new(); p];
@@ -299,6 +301,8 @@ fn build_flat(rkeys: &[&Tensor], hashed: bool, workers: usize, distinct: Option<
     type FlatBins = Vec<(Vec<i64>, Vec<u32>, Vec<u64>)>;
     let (kref, href) = (&kvec, &hvec);
     let bins: Vec<FlatBins> = crate::sched::map_tasks(threads, workers, |t| {
+        // Partition boundary: deadline/cancellation check per build task.
+        crate::sched::check_cancelled();
         let lo = t * chunk;
         let hi = ((t + 1) * chunk).min(n);
         let mut local: FlatBins = vec![(Vec::new(), Vec::new(), Vec::new()); p];
@@ -518,6 +522,8 @@ fn collect_pairs(
     let n_chunks = workers.min(n / PAR_PROBE_THRESHOLD).max(1);
     let chunk_len = n.div_ceil(n_chunks);
     let partials: Vec<(Vec<i64>, Vec<i64>)> = crate::sched::map_tasks(n_chunks, workers, |c| {
+        // Probe-chunk boundary: deadline/cancellation check per chunk.
+        crate::sched::check_cancelled();
         chunk_fn(c * chunk_len, ((c + 1) * chunk_len).min(n))
     });
     let total: usize = partials.iter().map(|p| p.0.len()).sum();

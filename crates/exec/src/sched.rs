@@ -30,10 +30,28 @@
 //!
 //! Pool size defaults to [`crate::default_workers`] and can be pinned
 //! with `TQP_POOL_THREADS` (read once per process).
+//!
+//! ## Cancellation
+//!
+//! A [`CancelToken`] carries an optional deadline and a manual cancel
+//! flag (plus an optional parent token — a per-query token chained to a
+//! per-connection one cancels when *either* trips). The token active on
+//! the submitting thread (installed by [`with_token`]) is captured into
+//! every section it opens, and pool helpers re-install it while running
+//! that section's tasks, so nested sections and explicit
+//! [`check_cancelled`] calls deep inside task bodies all observe it.
+//! Cancellation aborts by unwinding with a [`Cancelled`] payload: the
+//! scheduler stops dispatching the section's remaining task bodies, the
+//! payload propagates to the submitting thread via the same
+//! `resume_unwind` path real task panics take, and the top of the stack
+//! (`tqp-core`) converts it into a retryable `TqpError::Execution`. Pool
+//! worker threads are never poisoned — every task body already runs
+//! under `catch_unwind`.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Number of shared pool worker threads (`TQP_POOL_THREADS` override,
 /// read once; defaults to [`crate::default_workers`]).
@@ -46,6 +64,185 @@ pub fn pool_threads() -> usize {
             .unwrap_or_else(crate::default_workers)
             .max(1)
     })
+}
+
+/// Why a query stopped early (the [`Cancelled`] unwind payload's reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (client disconnect, explicit
+    /// CANCEL frame, server shutdown).
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+/// The unwind payload carried when execution aborts at a cancellation
+/// check. It is **not** a real panic: the default panic hook suppresses
+/// its message, and `tqp-core` converts it into a retryable
+/// `TqpError::Execution` at the top of the execution stack.
+#[derive(Debug, Clone, Copy)]
+pub struct Cancelled(pub CancelReason);
+
+impl Cancelled {
+    /// Human-readable abort message (what the `TqpError` carries).
+    pub fn message(&self) -> &'static str {
+        match self.0 {
+            CancelReason::Cancelled => "query cancelled",
+            CancelReason::DeadlineExceeded => "query deadline exceeded",
+        }
+    }
+}
+
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<CancelInner>>,
+}
+
+impl CancelInner {
+    fn state(&self) -> Option<CancelReason> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(CancelReason::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(CancelReason::DeadlineExceeded);
+            }
+        }
+        self.parent.as_ref().and_then(|p| p.state())
+    }
+}
+
+/// A cancellation handle for one query (or one connection). Clones share
+/// state; [`CancelToken::child`] derives a token that additionally trips
+/// when the parent does — the serving layer's per-query tokens are
+/// children of a per-connection token, so a disconnect aborts whatever
+/// query is in flight.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A manual-only token (never expires on its own).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A token that trips once `deadline` elapses (measured from now).
+    pub fn with_deadline(deadline: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// Derive a child token: cancelled when this token is, with its own
+    /// optional deadline on top.
+    pub fn child(&self, deadline: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: deadline.map(|d| Instant::now() + d),
+                parent: Some(self.inner.clone()),
+            }),
+        }
+    }
+
+    /// Trip the token. Execution riding it aborts at the next
+    /// morsel/section boundary check.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Why the token is tripped, if it is.
+    pub fn state(&self) -> Option<CancelReason> {
+        self.inner.state()
+    }
+
+    /// True once the token (or an ancestor) tripped or a deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.state().is_some()
+    }
+}
+
+thread_local! {
+    /// The token execution on this thread currently rides (installed by
+    /// [`with_token`] on submitting threads and by the pool's task loop
+    /// on helpers).
+    static CURRENT_TOKEN: std::cell::RefCell<Option<CancelToken>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install a quiet panic hook for [`Cancelled`] unwinds: cancellation
+/// aborts execution by unwinding, and a morsel-parallel query can trip
+/// dozens of checks at once — none of which is a programming error worth
+/// a stderr backtrace. All other panics print as before.
+fn install_cancel_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Cancelled>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Run `f` with `token` installed as the current thread's cancellation
+/// token (restoring the previous one afterwards). Every section `f`
+/// submits — and every [`check_cancelled`] call it makes, however deep —
+/// observes the token.
+pub fn with_token<T>(token: &CancelToken, f: impl FnOnce() -> T) -> T {
+    install_cancel_hook();
+    let prev = CURRENT_TOKEN.with(|c| c.replace(Some(token.clone())));
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT_TOKEN.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The token installed on this thread, if any.
+pub fn current_token() -> Option<CancelToken> {
+    CURRENT_TOKEN.with(|c| c.borrow().clone())
+}
+
+/// Morsel/section-boundary cancellation check: unwinds with a
+/// [`Cancelled`] payload when the current thread's token has tripped.
+/// Free when no token is installed (one thread-local read).
+#[inline]
+pub fn check_cancelled() {
+    let state = CURRENT_TOKEN.with(|c| c.borrow().as_ref().and_then(|t| t.state()));
+    if let Some(reason) = state {
+        std::panic::panic_any(Cancelled(reason));
+    }
+}
+
+/// Downcast an unwind payload into its [`Cancelled`] value, if that is
+/// what it carries (the serving layers' catch-site helper).
+pub fn cancelled_payload(payload: &(dyn std::any::Any + Send)) -> Option<Cancelled> {
+    payload.downcast_ref::<Cancelled>().copied()
 }
 
 type TaskFn = dyn Fn(usize) + Sync;
@@ -65,9 +262,28 @@ struct Section {
     /// remaining executor).
     helpers_cap: usize,
     panicked: AtomicBool,
+    /// The first panic's payload, carried back to the submitting thread
+    /// verbatim (`resume_unwind`) so server logs name the real failure —
+    /// and so [`Cancelled`] unwinds survive the pool boundary intact.
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The submitting thread's cancellation token at submit time; pool
+    /// helpers install it while running this section's tasks.
+    token: Option<CancelToken>,
     /// Completed task count, guarded for the completion wait.
     done: Mutex<usize>,
     done_cv: Condvar,
+}
+
+impl Section {
+    /// Record the first panic payload (later ones are dropped — one
+    /// unwind reaches the caller, and the first is the root cause).
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.payload.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        self.panicked.store(true, Ordering::Relaxed);
+    }
 }
 
 // SAFETY: the erased closure is `Sync` (bound enforced by `run_scope`'s
@@ -134,22 +350,46 @@ fn worker_loop(p: &'static Pool) {
 
 /// Claim-and-run loop shared by pool helpers and section callers. Returns
 /// the number of tasks this thread executed.
+///
+/// Once any task panicked (or the section's token tripped), remaining
+/// claimed tasks are *counted as done without running their bodies*: the
+/// caller is going to re-raise the recorded payload before anyone reads
+/// the result slots, so executing the rest would only burn pool time a
+/// cancelled query was trying to free.
 fn run_tasks(s: &Section) -> u64 {
+    // Helpers observe the submitting thread's cancellation token while
+    // inside this section (nested sections inherit it transitively).
+    let prev = CURRENT_TOKEN.with(|c| c.replace(s.token.clone()));
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT_TOKEN.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let _restore = Restore(prev);
     let mut ran = 0;
     loop {
         let i = s.next.fetch_add(1, Ordering::Relaxed);
         if i >= s.total {
             break;
         }
-        // SAFETY: the closure pointer is dereferenced only under a claimed
-        // index `i < total`. A claimed-but-unfinished task keeps
-        // `done < total`, which keeps `run_scope` (and therefore the
-        // caller's closure borrow) alive until this task completes — a
-        // helper that arrives after all tasks were claimed breaks out
-        // above without ever touching the pointer.
-        let f = unsafe { &*s.task };
-        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
-            s.panicked.store(true, Ordering::Relaxed);
+        if !s.panicked.load(Ordering::Relaxed) {
+            if let Some(reason) = s.token.as_ref().and_then(|t| t.state()) {
+                s.record_panic(Box::new(Cancelled(reason)));
+            } else {
+                // SAFETY: the closure pointer is dereferenced only under a
+                // claimed index `i < total`. A claimed-but-unfinished task
+                // keeps `done < total`, which keeps `run_scope` (and
+                // therefore the caller's closure borrow) alive until this
+                // task completes — a helper that arrives after all tasks
+                // were claimed breaks out above without ever touching the
+                // pointer.
+                let f = unsafe { &*s.task };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    s.record_panic(payload);
+                }
+            }
         }
         ran += 1;
         let mut done = s.done.lock().unwrap();
@@ -171,6 +411,7 @@ pub fn run_scope(n_tasks: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
     let helpers_cap = workers.max(1).min(n_tasks).saturating_sub(1);
     if helpers_cap == 0 {
         for i in 0..n_tasks {
+            check_cancelled();
             f(i);
         }
         return;
@@ -190,6 +431,8 @@ pub fn run_scope(n_tasks: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
         helpers: AtomicUsize::new(0),
         helpers_cap,
         panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        token: current_token(),
         done: Mutex::new(0),
         done_cv: Condvar::new(),
     });
@@ -213,8 +456,13 @@ pub fn run_scope(n_tasks: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
     }
     // A freed admission slot may unblock workers parked on other sections.
     p.work_cv.notify_all();
-    if section.panicked.load(Ordering::Relaxed) {
-        panic!("task panicked in shared-pool section");
+    // Re-raise the first task panic on the submitting thread with its
+    // original payload (message, site, or `Cancelled` marker) intact —
+    // a generic "a task panicked" here would hide the real failure from
+    // server logs.
+    let payload = section.payload.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
     }
 }
 
@@ -226,7 +474,12 @@ pub fn map_tasks<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Syn
         return Vec::new();
     }
     if workers.max(1).min(n) <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                check_cancelled();
+                f(i)
+            })
+            .collect();
     }
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     run_scope(n, workers, &|i| {
@@ -304,12 +557,96 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shared-pool section")]
-    fn task_panics_propagate_to_the_caller() {
+    #[should_panic(expected = "boom at task 5")]
+    fn task_panics_propagate_with_their_original_payload() {
+        // The caller must observe the task's own message, not a generic
+        // "task panicked in shared-pool section".
         run_scope(8, 4, &|i| {
             if i == 5 {
-                panic!("boom");
+                panic!("boom at task {i}");
             }
         });
+    }
+
+    #[test]
+    fn nested_section_panic_payload_survives_both_hops() {
+        let err = std::panic::catch_unwind(|| {
+            map_tasks(4, 4, |i| {
+                map_tasks(4, 4, move |j| {
+                    if i == 2 && j == 3 {
+                        panic!("inner boom {i}-{j}");
+                    }
+                    0usize
+                })
+            })
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string payload>".into());
+        assert!(msg.contains("inner boom 2-3"), "{msg}");
+    }
+
+    #[test]
+    fn cancel_token_deadline_and_parent_chain() {
+        let parent = CancelToken::new();
+        let child = parent.child(None);
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert_eq!(child.state(), Some(CancelReason::Cancelled));
+
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.state(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_a_section_with_a_cancelled_payload() {
+        let token = CancelToken::new();
+        token.cancel();
+        let err = std::panic::catch_unwind(|| with_token(&token, || map_tasks(64, 4, |i| i * 2)))
+            .unwrap_err();
+        let c = cancelled_payload(err.as_ref()).expect("Cancelled payload");
+        assert_eq!(c.0, CancelReason::Cancelled);
+    }
+
+    #[test]
+    fn mid_flight_cancellation_frees_the_section() {
+        // Trip the token from a task body: every later-claimed task body
+        // is skipped, and the caller unwinds with the Cancelled payload.
+        let token = CancelToken::new();
+        let executed = AtomicUsize::new(0);
+        let tok = token.clone();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_token(&token, || {
+                run_scope(256, 4, &|i| {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                    if i == 3 {
+                        tok.cancel();
+                    }
+                    check_cancelled();
+                })
+            })
+        }))
+        .unwrap_err();
+        assert!(cancelled_payload(err.as_ref()).is_some());
+        // Not every task body ran (the skip fast-path kicked in) — and
+        // the pool is still serviceable afterwards.
+        assert!(executed.load(Ordering::SeqCst) < 256);
+        let out = map_tasks(16, 4, |i| i + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tokens_propagate_to_sequential_fallbacks() {
+        // workers = 1 never touches the pool; the inline path must still
+        // honour the token.
+        let token = CancelToken::new();
+        token.cancel();
+        let err =
+            std::panic::catch_unwind(|| with_token(&token, || map_tasks(4, 1, |i| i))).unwrap_err();
+        assert!(cancelled_payload(err.as_ref()).is_some());
     }
 }

@@ -209,6 +209,8 @@ pub fn scan_stored(
         decoded_to_batch(table.empty_columns(cols))
     } else {
         let parts: Vec<Batch> = crate::sched::map_tasks(keep.len(), workers, |k| {
+            // Chunk boundary: deadline/cancellation check per decode.
+            crate::sched::check_cancelled();
             let decoded = table
                 .decode_chunk(keep[k], cols)
                 .unwrap_or_else(|e| panic!("decoding chunk {} of {:?}: {e}", keep[k], table));
@@ -306,6 +308,9 @@ impl StoredStream {
 
     /// The decoded batch of kept-chunk `k`, decoding on first touch.
     fn chunk(&self, k: usize) -> &Batch {
+        // Chunk boundary: streaming consumers check their query's token
+        // before paying for another decode.
+        crate::sched::check_cancelled();
         self.cache[k].get_or_init(|| {
             let decoded = self
                 .table

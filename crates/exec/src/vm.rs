@@ -154,6 +154,9 @@ impl Vm<'_> {
 
         let mut i = 0;
         while i < prog.ops.len() {
+            // Section boundary: a cancelled/deadline-expired query aborts
+            // here before starting its next operator.
+            crate::sched::check_cancelled();
             // A chunkable segment: Scan + element-wise chain. Parallel
             // execution is only taken on the real-CPU path — the GPU cost
             // model charges whole-tensor kernels, so metered runs stay
@@ -268,6 +271,9 @@ impl Vm<'_> {
         mut batch: Batch,
         samples: &mut [Vec<OpSample>],
     ) -> Batch {
+        // Morsel boundary: each worker checks its query's token before
+        // pushing another morsel through the chain.
+        crate::sched::check_cancelled();
         for (k, op) in prog.ops[start + 1..end].iter().enumerate() {
             let t0 = Instant::now();
             batch = self.apply_elementwise(op, batch);

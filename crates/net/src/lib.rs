@@ -1,0 +1,146 @@
+//! # tqp-net — the network front-end
+//!
+//! A TCP serving layer over [`tqp_serve::Server`]: remote clients speak a
+//! length-prefixed binary protocol ([`wire`]) to prepare, execute, and
+//! register against one shared session, with the three properties a
+//! multi-tenant endpoint needs that the in-process layer cannot provide:
+//!
+//! 1. **Admission control** — a global in-flight cap; saturated servers
+//!    reject with a retryable `Overloaded` error instead of queueing
+//!    without bound behind the morsel scheduler ([`NetConfig`]).
+//! 2. **Deadlines** — every request may carry one; expiry aborts the
+//!    execution at its next morsel/section boundary via the cancellation
+//!    tokens threaded through `tqp-exec`, freeing pool slots.
+//! 3. **Cancellation** — explicit CANCEL frames and client disconnects
+//!    trip the same tokens, so a vanished client cannot pin the shared
+//!    worker pool.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tqp_core::{QueryConfig, Session};
+//! use tqp_net::{NetClient, NetConfig, NetServer};
+//! # use tqp_data::{frame::df, Column};
+//!
+//! let mut session = Session::new();
+//! session.register_table("t", df(vec![("id", Column::from_i64(vec![1, 2, 3]))]));
+//! let server = Arc::new(tqp_serve::Server::new(session));
+//! let mut net = NetServer::bind(server, "127.0.0.1:0", NetConfig::default()).unwrap();
+//! let mut client = NetClient::connect(net.local_addr()).unwrap();
+//! let result = client.query("select id from t where id > 1", &QueryConfig::default(), &[]).unwrap();
+//! assert_eq!(result.rows, 2);
+//! net.shutdown();
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Canceller, NetClient, NetError, RemoteResult, RemoteStatement};
+pub use server::{NetConfig, NetServer, NetStats};
+pub use wire::{ErrorCode, Op};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tqp_core::{QueryConfig, Session};
+    use tqp_data::frame::df;
+    use tqp_data::Column;
+
+    fn serving() -> (NetServer, std::net::SocketAddr) {
+        let mut session = Session::new();
+        session.register_table(
+            "t",
+            df(vec![
+                ("id", Column::from_i64(vec![1, 2, 3, 4])),
+                ("v", Column::from_f64(vec![1.5, 2.5, 3.5, 4.5])),
+            ]),
+        );
+        let server = Arc::new(tqp_serve::Server::new(session));
+        let net = NetServer::bind(server, "127.0.0.1:0", NetConfig::default()).unwrap();
+        let addr = net.local_addr();
+        (net, addr)
+    }
+
+    #[test]
+    fn query_prepare_execute_register_roundtrip() {
+        let (mut net, addr) = serving();
+        let mut c = NetClient::connect(addr).unwrap();
+        let cfg = QueryConfig::default();
+
+        let r = c
+            .query("select id from t where v > 2.0", &cfg, &[])
+            .unwrap();
+        assert_eq!(r.rows, 3);
+        assert_eq!(r.frame.column(0).get(0).as_i64(), 2);
+
+        let stmt = c
+            .prepare("select id from t where v > $1 order by id", &cfg)
+            .unwrap();
+        assert_eq!(stmt.n_params, 1);
+        let r = c
+            .execute(&stmt, &[tqp_tensor::Scalar::F64(3.0)], None)
+            .unwrap();
+        assert_eq!(r.rows, 2);
+
+        c.register_table("u", &df(vec![("x", Column::from_i64(vec![9]))]))
+            .unwrap();
+        let r = c.query("select x from u", &cfg, &[]).unwrap();
+        assert_eq!(r.frame.column(0).get(0).as_i64(), 9);
+
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.queries_ok, 3);
+        assert_eq!(stats.queries_failed, 0);
+        assert_eq!(stats.accepted, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn typed_errors_cross_the_wire() {
+        let (mut net, addr) = serving();
+        let mut c = NetClient::connect(addr).unwrap();
+        let cfg = QueryConfig::default();
+
+        match c.query("select nope from", &cfg, &[]) {
+            Err(NetError::Remote {
+                code: ErrorCode::Compile,
+                retryable: false,
+                ..
+            }) => {}
+            other => panic!("expected compile error, got {other:?}"),
+        }
+        // An unknown table is a *bind* failure — permanently bad SQL, not
+        // retryable (TqpError::UnknownTable only arises at execution when
+        // a table vanishes after compile).
+        match c.query("select a from missing", &cfg, &[]) {
+            Err(NetError::Remote {
+                code: ErrorCode::Compile,
+                retryable: false,
+                ..
+            }) => {}
+            other => panic!("expected bind error, got {other:?}"),
+        }
+        // The connection survives error replies.
+        assert_eq!(c.query("select id from t", &cfg, &[]).unwrap().rows, 4);
+        net.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_reject_with_a_retryable_error() {
+        let (mut net, addr) = serving();
+        let mut c = NetClient::connect(addr).unwrap();
+        let cfg = QueryConfig::default().deadline(std::time::Duration::ZERO);
+        match c.query("select id from t", &cfg, &[]) {
+            Err(NetError::Remote {
+                code: ErrorCode::Execution,
+                retryable: true,
+                message,
+            }) => assert!(message.contains("deadline"), "{message}"),
+            other => panic!("expected deadline abort, got {other:?}"),
+        }
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.inflight, 0, "cancelled query leaked its slot");
+        net.shutdown();
+    }
+}

@@ -1,0 +1,518 @@
+//! The accepting side: a thread-per-connection TCP front-end over the
+//! shared [`Server`] from `tqp-serve`.
+//!
+//! Each connection gets **two** threads:
+//!
+//! - a *reader* that owns the receive side of the socket. It forwards
+//!   request frames to the worker, handles [`Op::Cancel`] out of band
+//!   (tripping the token of whatever query is executing), and — when the
+//!   peer disconnects mid-query — trips the per-connection token so the
+//!   in-flight execution aborts at its next morsel/section boundary
+//!   instead of burning pool slots for a client that will never read the
+//!   answer;
+//! - a *worker* that executes requests one at a time and owns all writes.
+//!
+//! Admission control is a global in-flight cap shared by every
+//! connection: a query that would exceed it is rejected immediately with
+//! a retryable `Overloaded` error instead of queueing unboundedly behind
+//! the morsel scheduler.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tqp_core::{CancelToken, PreparedQuery, TqpError};
+use tqp_serve::Server;
+use tqp_tensor::Scalar;
+
+use crate::wire::{
+    read_dataframe, read_frame, read_scalar, write_dataframe, write_frame, ErrorCode, Op,
+    PayloadReader, PayloadWriter, WireError,
+};
+
+/// Network front-end tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Maximum queries executing concurrently across ALL connections;
+    /// excess requests are rejected with a retryable `Overloaded` error
+    /// (backpressure, not unbounded queueing).
+    pub max_inflight: usize,
+    /// Maximum accepted frame size in bytes (requests above it are a
+    /// protocol error; guards against absurd allocations).
+    pub max_frame: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_inflight: 16,
+            max_frame: 64 << 20,
+        }
+    }
+}
+
+/// A monotonic-counter snapshot of front-end activity (the `STATS`
+/// frame's payload, in field order).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Queries that returned a result frame.
+    pub queries_ok: u64,
+    /// Queries that returned an error frame (cancellations included).
+    pub queries_failed: u64,
+    /// The subset of failures that were cancellation/deadline aborts.
+    pub cancelled: u64,
+    /// Queries rejected by admission control.
+    pub overload_rejected: u64,
+    /// Queries executing right now.
+    pub inflight: u64,
+    /// High-water mark of `inflight`.
+    pub peak_inflight: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    cancelled: AtomicU64,
+    overload_rejected: AtomicU64,
+    peak_inflight: AtomicU64,
+}
+
+struct Shared {
+    server: Arc<Server>,
+    cfg: NetConfig,
+    stats: StatsInner,
+    inflight: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Open sockets, so shutdown can unblock their reader threads.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Connection worker threads, joined at shutdown.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            active: self.stats.active.load(Ordering::Relaxed),
+            queries_ok: self.stats.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.stats.queries_failed.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            overload_rejected: self.stats.overload_rejected.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+            peak_inflight: self.stats.peak_inflight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Claim an in-flight slot, or `None` when the server is saturated.
+    fn try_admit(self: &Arc<Self>) -> Option<InflightGuard> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cfg.max_inflight {
+                self.stats.overload_rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        self.stats
+            .peak_inflight
+            .fetch_max(cur as u64 + 1, Ordering::Relaxed);
+        Some(InflightGuard(self.clone()))
+    }
+}
+
+/// RAII release of an admission slot — dropped on every exit path, so a
+/// cancelled or panicking query can never leak capacity.
+struct InflightGuard(Arc<Shared>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A listening network front-end. Dropping it shuts the listener and all
+/// connections down.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind and start accepting. Use `"127.0.0.1:0"` to let the OS pick a
+    /// port (see [`NetServer::local_addr`]).
+    pub fn bind(
+        server: Arc<Server>,
+        addr: impl ToSocketAddrs,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server,
+            cfg,
+            stats: StatsInner::default(),
+            inflight: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(NetServer {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Aggregate front-end metrics.
+    pub fn stats(&self) -> NetStats {
+        self.shared.snapshot()
+    }
+
+    /// Stop accepting, abort in-flight queries, close every connection,
+    /// and join all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Closing the sockets EOFs every reader thread; each reader trips
+        // its connection token on the way out, aborting in-flight work.
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = self.shared.handles.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.active.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().push(clone);
+        }
+        let worker = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                handle_connection(stream, &shared);
+                shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+            })
+        };
+        shared.handles.lock().unwrap().push(worker);
+    }
+}
+
+/// One request frame, parsed enough to dispatch.
+enum Request {
+    Frame(Op, Vec<u8>),
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // The token every query on this connection is a child of: tripped on
+    // disconnect (reader EOF) and at server shutdown.
+    let conn_token = CancelToken::new();
+    // The token of the query executing right now, for out-of-band CANCEL.
+    let active: Arc<Mutex<Option<CancelToken>>> = Arc::new(Mutex::new(None));
+    let (tx, rx) = sync_channel::<Request>(8);
+
+    let reader = {
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let conn_token = conn_token.clone();
+        let active = active.clone();
+        let max_frame = shared.cfg.max_frame;
+        std::thread::spawn(move || {
+            let mut r = BufReader::new(stream);
+            loop {
+                match read_frame(&mut r, max_frame) {
+                    Ok(Some((Op::Cancel, _))) => {
+                        if let Some(tok) = active.lock().unwrap().as_ref() {
+                            tok.cancel();
+                        }
+                    }
+                    Ok(Some((op, payload))) => {
+                        if tx.send(Request::Frame(op, payload)).is_err() {
+                            break;
+                        }
+                    }
+                    // Clean EOF or transport error: either way the client
+                    // is gone — abort whatever is still executing.
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            conn_token.cancel();
+        })
+    };
+
+    serve_requests(&stream, rx, &conn_token, &active, shared);
+
+    // Make sure the reader is unblocked (worker may exit first on a write
+    // error), then reap it.
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = reader.join();
+}
+
+/// The worker half: executes requests in order, owns all writes.
+fn serve_requests(
+    mut stream: &TcpStream,
+    rx: Receiver<Request>,
+    conn_token: &CancelToken,
+    active: &Mutex<Option<CancelToken>>,
+    shared: &Arc<Shared>,
+) {
+    // Per-connection prepared-statement handles. The PreparedQuery values
+    // are Arc-shared with the serve cache; the id namespace is private to
+    // this connection.
+    let mut stmts: HashMap<u64, PreparedQuery> = HashMap::new();
+    let mut next_id: u64 = 1;
+
+    while let Ok(Request::Frame(op, payload)) = rx.recv() {
+        let reply = dispatch(
+            op,
+            &payload,
+            conn_token,
+            active,
+            shared,
+            &mut stmts,
+            &mut next_id,
+        );
+        let frame = match reply {
+            Ok(frame) => frame,
+            Err(reply_err) => error_frame(&reply_err),
+        };
+        if write_frame(&mut stream, &frame).is_err() {
+            break;
+        }
+    }
+}
+
+/// A fully-typed error reply.
+struct Reply {
+    code: ErrorCode,
+    retryable: bool,
+    message: String,
+}
+
+fn error_frame(e: &Reply) -> Vec<u8> {
+    let mut w = PayloadWriter::new(Op::Error);
+    w.u8(e.code as u8);
+    w.u8(e.retryable as u8);
+    w.str(&e.message);
+    w.frame()
+}
+
+fn protocol_error(msg: impl Into<String>) -> Reply {
+    Reply {
+        code: ErrorCode::Protocol,
+        retryable: false,
+        message: msg.into(),
+    }
+}
+
+impl From<WireError> for Reply {
+    fn from(e: WireError) -> Reply {
+        protocol_error(e.0)
+    }
+}
+
+impl From<&TqpError> for Reply {
+    fn from(e: &TqpError) -> Reply {
+        let code = match e {
+            TqpError::Compile(_) => ErrorCode::Compile,
+            TqpError::UnknownTable(_) => ErrorCode::UnknownTable,
+            TqpError::Execution(_) => ErrorCode::Execution,
+        };
+        Reply {
+            code,
+            retryable: e.is_retryable(),
+            message: e.to_string(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    op: Op,
+    payload: &[u8],
+    conn_token: &CancelToken,
+    active: &Mutex<Option<CancelToken>>,
+    shared: &Arc<Shared>,
+    stmts: &mut HashMap<u64, PreparedQuery>,
+    next_id: &mut u64,
+) -> Result<Vec<u8>, Reply> {
+    let mut r = PayloadReader::new(payload);
+    match op {
+        Op::Prepare => {
+            let cfg = crate::wire::read_config(&mut r)?;
+            let sql = r.str()?;
+            r.finish()?;
+            let prepared = shared
+                .server
+                .prepare(&sql, cfg)
+                .map_err(|e| Reply::from(&e))?;
+            let id = *next_id;
+            *next_id += 1;
+            let mut w = PayloadWriter::new(Op::Prepared);
+            w.u64(id);
+            w.u16(prepared.n_params() as u16);
+            stmts.insert(id, prepared);
+            Ok(w.frame())
+        }
+        Op::Execute => {
+            let id = r.u64()?;
+            let deadline_ms = r.u64()?;
+            let params = read_params(&mut r)?;
+            r.finish()?;
+            let prepared = stmts
+                .get(&id)
+                .ok_or_else(|| protocol_error(format!("unknown statement id {id}")))?
+                .clone();
+            let deadline = crate::wire::decode_deadline(deadline_ms);
+            run_query(conn_token, active, shared, deadline, |token| {
+                shared.server.execute_cancellable(&prepared, &params, token)
+            })
+        }
+        Op::Query => {
+            let cfg = crate::wire::read_config(&mut r)?;
+            let sql = r.str()?;
+            let params = read_params(&mut r)?;
+            r.finish()?;
+            // `query_cancellable` stacks cfg.deadline onto the token we
+            // hand it, so the child here carries no deadline of its own.
+            run_query(conn_token, active, shared, None, |token| {
+                shared.server.query_cancellable(&sql, cfg, &params, token)
+            })
+        }
+        Op::Register => {
+            let name = r.str()?;
+            let frame = read_dataframe(&mut r)?;
+            r.finish()?;
+            shared.server.register_table(&name, frame);
+            Ok(PayloadWriter::new(Op::Registered).frame())
+        }
+        Op::Stats => {
+            r.finish()?;
+            let s = shared.snapshot();
+            let mut w = PayloadWriter::new(Op::StatsReply);
+            for v in [
+                s.accepted,
+                s.active,
+                s.queries_ok,
+                s.queries_failed,
+                s.cancelled,
+                s.overload_rejected,
+                s.inflight,
+                s.peak_inflight,
+            ] {
+                w.u64(v);
+            }
+            Ok(w.frame())
+        }
+        // CANCEL is consumed by the reader thread; one that drains here
+        // raced a finished query — nothing to cancel, no reply owed.
+        Op::Cancel => Ok(Vec::new()),
+        other => Err(protocol_error(format!(
+            "unexpected server-side opcode {other:?}"
+        ))),
+    }
+}
+
+fn read_params(r: &mut PayloadReader) -> Result<Vec<Scalar>, WireError> {
+    let n = r.u16()? as usize;
+    let mut params = Vec::with_capacity(n);
+    for _ in 0..n {
+        params.push(read_scalar(r)?);
+    }
+    Ok(params)
+}
+
+/// Admission → token wiring → execution → metrics, shared by EXECUTE and
+/// QUERY.
+fn run_query(
+    conn_token: &CancelToken,
+    active: &Mutex<Option<CancelToken>>,
+    shared: &Arc<Shared>,
+    deadline: Option<std::time::Duration>,
+    f: impl FnOnce(&CancelToken) -> Result<(tqp_data::DataFrame, tqp_exec::ExecStats), TqpError>,
+) -> Result<Vec<u8>, Reply> {
+    let Some(_slot) = shared.try_admit() else {
+        return Err(Reply {
+            code: ErrorCode::Overloaded,
+            retryable: true,
+            message: format!(
+                "server saturated: {} queries in flight",
+                shared.cfg.max_inflight
+            ),
+        });
+    };
+    let token = conn_token.child(deadline);
+    *active.lock().unwrap() = Some(token.clone());
+    let result = f(&token);
+    *active.lock().unwrap() = None;
+    match result {
+        Ok((frame, stats)) => {
+            shared.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+            let mut w = PayloadWriter::new(Op::Result);
+            w.u64(stats.wall_us);
+            w.u64(frame.nrows() as u64);
+            write_dataframe(&mut w, &frame);
+            Ok(w.frame())
+        }
+        Err(e) => {
+            shared.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+            if e.is_cancellation() {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(Reply::from(&e))
+        }
+    }
+}

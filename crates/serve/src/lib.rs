@@ -52,20 +52,33 @@ pub struct CacheStats {
     /// Whole-cache invalidations (model registrations).
     pub invalidations: u64,
     /// Per-table invalidations (table registrations evicting only the
-    /// statements that scan the replaced table).
+    /// statements that scan the replaced table). Counted only when at
+    /// least one statement was actually evicted — a registration nothing
+    /// cached ever scanned is not an invalidation event.
     pub partial_invalidations: u64,
     pub entries: usize,
     pub capacity: usize,
 }
 
 /// Normalize SQL text for cache keying: trim, collapse whitespace runs to
-/// one space, and lowercase — except inside single-quoted string literals,
-/// which are preserved byte-for-byte (including `''` escapes).
+/// one space, strip `-- ...` line comments, and lowercase — except inside
+/// single-quoted string literals, which are preserved byte-for-byte
+/// (including `''` escapes).
+///
+/// Comment stripping mirrors the lexer's skip rule (`crates/sql/src/
+/// lexer.rs`): `--` outside a string literal discards everything to the
+/// end of the line, and the comment itself acts as whitespace. Keeping
+/// comment text in the key was a real cache-collision bug: the keys of
+/// `select a -- x\nfrom t` and `select a -- x from t` used to collapse
+/// the newline and collide — one key for two different token streams, so
+/// the cache could serve the wrong prepared statement. The invariant now:
+/// **equal keys ⇒ equal token streams** (property-tested).
 pub fn normalize_sql(sql: &str) -> String {
     let mut out = String::with_capacity(sql.len());
     let mut in_str = false;
     let mut pending_space = false;
-    for c in sql.chars() {
+    let mut chars = sql.chars().peekable();
+    while let Some(c) = chars.next() {
         if in_str {
             out.push(c);
             if c == '\'' {
@@ -75,7 +88,17 @@ pub fn normalize_sql(sql: &str) -> String {
             }
             continue;
         }
-        if c == '\'' {
+        if c == '-' && chars.peek() == Some(&'-') {
+            // `--` line comment: discard to end of line (the lexer never
+            // sees it, so the key must not either); it separates tokens
+            // exactly like whitespace does.
+            for c in chars.by_ref() {
+                if c == '\n' {
+                    break;
+                }
+            }
+            pending_space = true;
+        } else if c == '\'' {
             if pending_space && !out.is_empty() {
                 out.push(' ');
             }
@@ -166,9 +189,14 @@ impl Lru {
         self.map.clear();
     }
 
-    /// Drop only the entries whose programs scan `table` (lowercased).
-    fn remove_table(&mut self, table: &str) {
+    /// Drop only the entries whose programs scan `table` (lowercased),
+    /// returning how many entries were actually removed — the caller's
+    /// `partial_invalidations` counter must reflect real evictions, not
+    /// no-op registrations of tables nothing cached ever scanned.
+    fn remove_table(&mut self, table: &str) -> usize {
+        let before = self.map.len();
         self.map.retain(|_, e| !e.tables.iter().any(|t| t == table));
+        before - self.map.len()
     }
 }
 
@@ -214,6 +242,13 @@ impl Server {
     /// Lock order is always session → cache (registrations take the same
     /// order), so prepare cannot deadlock against invalidation.
     pub fn prepare(&self, sql: &str, cfg: QueryConfig) -> Result<PreparedQuery, TqpError> {
+        // The deadline is a per-request execution property: strip it from
+        // the compiled entry (and the key — see [`cache_key`]) so clients
+        // running the same statement under different deadlines share one
+        // compiled copy. `query`/`query_cancellable` apply the request's
+        // deadline through a cancellation token at execute time instead.
+        let mut cfg = cfg;
+        cfg.deadline = None;
         let key = cache_key(sql, &cfg);
         let session = self.session();
         if let Some(hit) = {
@@ -251,7 +286,24 @@ impl Server {
         prepared.execute(&session, params)
     }
 
-    /// Prepare (through the cache) and execute in one call.
+    /// Execute under an external cancellation token (the network
+    /// front-end's per-request token, chained to its per-connection one):
+    /// tripping the token — or exceeding the statement's configured
+    /// deadline — aborts at the next morsel/section boundary with a
+    /// retryable [`TqpError::Execution`], freeing the shared pool's slots.
+    pub fn execute_cancellable(
+        &self,
+        prepared: &PreparedQuery,
+        params: &[Scalar],
+        token: &tqp_core::CancelToken,
+    ) -> Result<(DataFrame, ExecStats), TqpError> {
+        let session = self.session();
+        prepared.execute_cancellable(&session, params, token)
+    }
+
+    /// Prepare (through the cache) and execute in one call. A
+    /// `cfg.deadline` is honored per request (via a deadline token), even
+    /// when the prepared statement itself came out of the shared cache.
     pub fn query(
         &self,
         sql: &str,
@@ -259,7 +311,31 @@ impl Server {
         params: &[Scalar],
     ) -> Result<(DataFrame, ExecStats), TqpError> {
         let prepared = self.prepare(sql, cfg)?;
-        self.execute(&prepared, params)
+        match cfg.deadline {
+            Some(d) => self.execute_cancellable(
+                &prepared,
+                params,
+                &tqp_core::CancelToken::with_deadline(d),
+            ),
+            None => self.execute(&prepared, params),
+        }
+    }
+
+    /// Prepare (through the cache) and execute under an external
+    /// cancellation token; a `cfg.deadline` stacks on top of it (the run
+    /// aborts on whichever trips first).
+    pub fn query_cancellable(
+        &self,
+        sql: &str,
+        cfg: QueryConfig,
+        params: &[Scalar],
+        token: &tqp_core::CancelToken,
+    ) -> Result<(DataFrame, ExecStats), TqpError> {
+        let prepared = self.prepare(sql, cfg)?;
+        match cfg.deadline {
+            Some(d) => self.execute_cancellable(&prepared, params, &token.child(Some(d))),
+            None => self.execute_cancellable(&prepared, params, token),
+        }
     }
 
     /// Register (or replace) a table. Takes the session write lock and
@@ -298,8 +374,12 @@ impl Server {
     fn invalidate_table(&self, name: &str) {
         let key = name.to_ascii_lowercase();
         let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
-        cache.remove_table(&key);
-        self.partial_invalidations.fetch_add(1, Ordering::Relaxed);
+        // Count only invalidations that evicted something: registering a
+        // table no cached statement scans is not an invalidation event,
+        // and operators watching this counter for churn must not see one.
+        if cache.remove_table(&key) > 0 {
+            self.partial_invalidations.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Cache counters (hits/misses/evictions/invalidations, current size).
@@ -317,10 +397,15 @@ impl Server {
     }
 }
 
-/// Cache key: normalized SQL + the full per-query configuration (a query
-/// prepared for `Backend::Wasm` must not serve a `Backend::Eager` client).
+/// Cache key: normalized SQL + the per-query configuration (a query
+/// prepared for `Backend::Wasm` must not serve a `Backend::Eager` client)
+/// — **except** the deadline, which is a pure execution property: two
+/// clients running the same statement under different deadlines must
+/// share one compiled entry instead of fragmenting the cache.
 fn cache_key(sql: &str, cfg: &QueryConfig) -> String {
-    format!("{}\u{1}{:?}", normalize_sql(sql), cfg)
+    let mut keyed = *cfg;
+    keyed.deadline = None;
+    format!("{}\u{1}{:?}", normalize_sql(sql), keyed)
 }
 
 #[cfg(test)]
@@ -348,6 +433,76 @@ mod tests {
             "select a from t where s = 'It''s  BIG'"
         );
         assert_eq!(normalize_sql("  select 1  "), "select 1");
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_cache_keys() {
+        // The collision pair: with comment text kept in the key, the
+        // whitespace collapse folded the newline and these two — which
+        // lex to DIFFERENT token streams (`from t` is commented out in
+        // the second) — shared one key, so the cache could serve the
+        // wrong prepared statement.
+        let with_newline = "select a -- x\nfrom t";
+        let without_newline = "select a -- x from t";
+        let cfg = QueryConfig::default();
+        assert_ne!(
+            cache_key(with_newline, &cfg),
+            cache_key(without_newline, &cfg),
+            "comment-hidden newline must keep these statements distinct"
+        );
+        assert_eq!(normalize_sql(with_newline), "select a from t");
+        assert_eq!(normalize_sql(without_newline), "select a");
+        // `--` inside a string literal is data, not a comment.
+        assert_eq!(
+            normalize_sql("select '--keep' -- drop\nfrom t"),
+            "select '--keep' from t"
+        );
+        // Even `5--3` opens a comment — mirroring the lexer's skip rule.
+        assert_eq!(normalize_sql("select 5--3\n+ 1"), "select 5 + 1");
+    }
+
+    #[test]
+    fn deadline_does_not_fragment_the_cache() {
+        let srv = server();
+        let a = srv
+            .prepare("select id from t", QueryConfig::default())
+            .unwrap();
+        let b = srv
+            .prepare(
+                "select id from t",
+                QueryConfig::default().deadline(std::time::Duration::from_secs(30)),
+            )
+            .unwrap();
+        assert!(a.ptr_eq(&b), "deadline is an execution property, not a key");
+        // …and the request's deadline still applies: an already-expired
+        // deadline on a cached statement aborts with a retryable error.
+        match srv.query(
+            "select id from t",
+            QueryConfig::default().deadline(std::time::Duration::ZERO),
+            &[],
+        ) {
+            Err(tqp_core::TqpError::Execution(msg)) => {
+                assert!(msg.contains("deadline"), "{msg}")
+            }
+            other => panic!("expected deadline abort, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn registering_an_uncached_table_is_not_an_invalidation_event() {
+        let srv = server();
+        let cfg = QueryConfig::default();
+        let _cached = srv.prepare("select id from t", cfg).unwrap();
+        // `u` has no cached statements: replacing it removes nothing and
+        // must not count as a partial invalidation.
+        srv.register_table("u", df(vec![("b", Column::from_i64(vec![1]))]));
+        assert_eq!(srv.cache_stats().partial_invalidations, 0);
+        // Replacing `t` evicts its one statement — that IS one event.
+        srv.register_table("t", df(vec![("id", Column::from_i64(vec![2]))]));
+        assert_eq!(srv.cache_stats().partial_invalidations, 1);
+        // Replacing `t` again, now with an empty cache: still one.
+        srv.register_table("t", df(vec![("id", Column::from_i64(vec![3]))]));
+        assert_eq!(srv.cache_stats().partial_invalidations, 1);
     }
 
     #[test]

@@ -4,9 +4,13 @@
 Each bench binary (expr/join/store/simd) is its own hard regression gate
 — it exits non-zero when its optimized path regresses past the 1.25x
 noise margin — so by the time this runs, every gate has already passed.
-This step folds the four BENCH_*.json files into one table so a human
-scanning the CI log sees every per-site ratio in one place, and fails
-only if a bench file is missing or unreadable (i.e. a gate was skipped).
+serve_bench is gated on correctness rather than speed: it asserts
+bitwise digest parity and zero failed front-end queries internally, and
+its real-socket records surface here as achieved/offered throughput
+ratios. This step folds the five BENCH_*.json files into one table so a
+human scanning the CI log sees every per-site ratio in one place, and
+fails only if a bench file is missing or unreadable (i.e. a gate was
+skipped).
 
 Usage: python3 scripts/bench_summary.py [dir]
 """
@@ -35,6 +39,15 @@ def rows(doc):
         elif fmt == "tqp-bench-simd":
             site = f"{r.get('family', '?')}/{r.get('site', '?')}"
             yield site, r.get("speedup_simd", 0.0), r.get("gated", False)
+        elif fmt == "tqp-bench-serve":
+            # Real-socket records: ratio = achieved/offered throughput
+            # (1.0 = the front-end kept up with the open-loop schedule);
+            # the gate mark is the bitwise parity check against
+            # in-process execution.
+            if r.get("kind") == "net" and r.get("offered_qps"):
+                site = f"{r.get('stmt', '?')}/c{r.get('clients', '?')}"
+                ratio = r.get("achieved_qps", 0.0) / r["offered_qps"]
+                yield site, ratio, r.get("bitwise_identical", False)
 
 
 def main():
@@ -44,6 +57,7 @@ def main():
         "join": "BENCH_join.json",
         "store": "BENCH_store.json",
         "simd": "BENCH_simd.json",
+        "serve": "BENCH_serve.json",
     }
     missing = []
     print(f"{'bench':<6} {'site':<28} {'ratio':>8}  gate")

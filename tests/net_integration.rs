@@ -1,0 +1,348 @@
+//! Network front-end integration: real sockets against a shared
+//! [`Server`], checking the three serving contracts end to end —
+//!
+//! 1. results over the wire are **bitwise identical** to in-process
+//!    execution, under genuine client concurrency;
+//! 2. deadlines, CANCEL frames, and client disconnects abort cleanly
+//!    with retryable errors and **free their pool slots** (the server
+//!    keeps answering at full capacity afterwards);
+//! 3. admission control sheds load with typed `Overloaded` rejections
+//!    instead of queueing without bound.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tqp_repro::core::{QueryConfig, Session};
+use tqp_repro::data::frame::df;
+use tqp_repro::data::{Column, DataFrame};
+use tqp_repro::net::{wire, ErrorCode, NetClient, NetConfig, NetError, NetServer};
+use tqp_repro::serve::Server;
+use tqp_tensor::Scalar;
+
+const N_ROWS: i64 = 120_000;
+
+/// `t`: the comparison workload. `slow`: a group-by over ~60k distinct
+/// strings — enough work (hashing + sorting the group keys) that a query
+/// against it reliably spans many morsel-boundary cancellation checks.
+fn session() -> Session {
+    let mut s = Session::new();
+    s.register_table(
+        "t",
+        df(vec![
+            ("id", Column::from_i64((0..N_ROWS).collect())),
+            (
+                "grp",
+                Column::from_i64((0..N_ROWS).map(|i| i % 7).collect()),
+            ),
+            (
+                "v",
+                Column::from_f64(
+                    (0..N_ROWS)
+                        .map(|i| ((i % 9973) as f64) * 1.5 - 250.0)
+                        .collect(),
+                ),
+            ),
+        ]),
+    );
+    s.register_table(
+        "slow",
+        df(vec![
+            (
+                "tag",
+                Column::from_str(
+                    (0..N_ROWS)
+                        .map(|i| format!("key{:06}", i % 60_000))
+                        .collect(),
+                ),
+            ),
+            (
+                "v",
+                Column::from_f64((0..N_ROWS).map(|i| i as f64 * 0.25).collect()),
+            ),
+        ]),
+    );
+    s
+}
+
+const SLOW_SQL: &str =
+    "select tag, count(*) as c, sum(v) as s from slow group by tag order by tag desc";
+
+fn serving(cfg: NetConfig) -> (Arc<Server>, NetServer) {
+    let server = Arc::new(Server::new(session()));
+    let net = NetServer::bind(server.clone(), "127.0.0.1:0", cfg).unwrap();
+    (server, net)
+}
+
+/// Canonical row digest — exact formatting, no tolerance.
+fn digest(frame: &DataFrame) -> Vec<String> {
+    (0..frame.nrows())
+        .map(|i| format!("{:?}", frame.row(i)))
+        .collect()
+}
+
+#[test]
+fn concurrent_socket_clients_match_in_process_execution() {
+    let (server, mut net) = serving(NetConfig::default());
+    let addr = net.local_addr();
+    let cfg = QueryConfig::default().workers(4);
+
+    let statements: &[(&str, Option<f64>)] = &[
+        (
+            "select grp, sum(v) as s, count(*) as c from t where id % 3 = 0 group by grp order by grp",
+            None,
+        ),
+        (
+            "select id, v * 2.0 as vv from t where v > $1 and id < 5000 order by id",
+            Some(333.25),
+        ),
+        (
+            "select count(*) as c, min(v) as mn, max(v) as mx from t where grp = 2",
+            None,
+        ),
+    ];
+
+    // In-process reference digests.
+    let reference: Vec<Vec<String>> = statements
+        .iter()
+        .map(|&(sql, p)| {
+            let params: Vec<Scalar> = p.map(Scalar::F64).into_iter().collect();
+            digest(&server.query(sql, cfg, &params).unwrap().0)
+        })
+        .collect();
+    let reference = Arc::new(reference);
+
+    // 6 socket clients × 8 rounds × all statements, half through the
+    // one-shot QUERY path and half through PREPARE + EXECUTE handles.
+    let threads: Vec<_> = (0..6)
+        .map(|tid| {
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut c = NetClient::connect(addr).unwrap();
+                let handles: Vec<_> = statements
+                    .iter()
+                    .map(|&(sql, _)| c.prepare(sql, &cfg).unwrap())
+                    .collect();
+                for round in 0..8 {
+                    for (si, &(sql, p)) in statements.iter().enumerate() {
+                        let params: Vec<Scalar> = p.map(Scalar::F64).into_iter().collect();
+                        let result = if (tid + round + si) % 2 == 0 {
+                            c.query(sql, &cfg, &params).unwrap()
+                        } else {
+                            c.execute(&handles[si], &params, None).unwrap()
+                        };
+                        assert_eq!(result.rows as usize, result.frame.nrows());
+                        assert_eq!(
+                            digest(&result.frame),
+                            reference[si],
+                            "client {tid} round {round} stmt {si} diverged from in-process"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let stats = net.stats();
+    assert_eq!(stats.accepted, 6);
+    assert_eq!(stats.queries_ok, 6 * 8 * 3);
+    assert_eq!(stats.queries_failed, 0);
+    assert_eq!(stats.inflight, 0);
+    // Socket clients share the serve cache with in-process callers: only
+    // the reference prepares compiled.
+    assert_eq!(server.cache_stats().misses, 3);
+    net.shutdown();
+}
+
+#[test]
+fn deadlines_cancels_and_disconnects_free_their_pool_slots() {
+    let (server, mut net) = serving(NetConfig {
+        max_inflight: 4,
+        ..NetConfig::default()
+    });
+    let addr = net.local_addr();
+    let run_cfg = QueryConfig::default().workers(2);
+
+    // --- Mass deadline expiry: a wave of queries that can never finish
+    // in time, across several connections at once.
+    let waves: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = NetClient::connect(addr).unwrap();
+                let mut aborted = 0;
+                for _ in 0..3 {
+                    let cfg = run_cfg.deadline(Duration::from_millis(1));
+                    match c.query(SLOW_SQL, &cfg, &[]) {
+                        Err(NetError::Remote {
+                            code: ErrorCode::Execution,
+                            retryable: true,
+                            ..
+                        }) => aborted += 1,
+                        Ok(_) => {} // finished inside 1ms — machine's fast, fine
+                        other => panic!("expected deadline abort, got {other:?}"),
+                    }
+                }
+                aborted
+            })
+        })
+        .collect();
+    let aborted: i32 = waves.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(aborted >= 1, "no deadline ever expired on the slow query");
+
+    // --- Explicit CANCEL frames against an in-flight query.
+    {
+        let mut c = NetClient::connect(addr).unwrap();
+        let mut canceller = c.canceller().unwrap();
+        let mut cancelled_seen = false;
+        for _ in 0..5 {
+            let killer = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(3));
+                canceller.cancel().unwrap();
+                canceller
+            });
+            match c.query(SLOW_SQL, &run_cfg, &[]) {
+                Err(NetError::Remote {
+                    code: ErrorCode::Execution,
+                    retryable: true,
+                    message,
+                }) => {
+                    assert!(message.contains("cancel"), "{message}");
+                    cancelled_seen = true;
+                }
+                Ok(_) => {} // the race went to the query — retry
+                other => panic!("expected cancellation, got {other:?}"),
+            }
+            canceller = killer.join().unwrap();
+            if cancelled_seen {
+                break;
+            }
+        }
+        assert!(cancelled_seen, "CANCEL never landed in 5 attempts");
+        // The connection survives its own cancellations.
+        let r = c
+            .query("select count(*) as c from t", &run_cfg, &[])
+            .unwrap();
+        assert_eq!(r.frame.column(0).get(0).as_i64(), N_ROWS);
+    }
+
+    // --- Mid-query disconnects: write a QUERY frame, slam the socket
+    // shut without reading the answer. The reader thread's EOF must trip
+    // the connection token and reap the in-flight execution.
+    for _ in 0..3 {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut w = wire::PayloadWriter::new(wire::Op::Query);
+        wire::write_config(&mut w, &run_cfg);
+        w.str(SLOW_SQL);
+        w.u16(0);
+        raw.write_all(&w.frame()).unwrap();
+        raw.flush().unwrap();
+        // Give the server a beat to start executing, then vanish.
+        std::thread::sleep(Duration::from_millis(5));
+        drop(raw);
+    }
+    // The aborts are asynchronous. Every client above has disconnected,
+    // so drain = all connections reaped (readers saw EOF, in-flight work
+    // aborted, workers exited) and no slot still held.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = net.stats();
+        if s.active == 0 && s.inflight == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnected queries never drained: {s:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // --- The acceptance bar: after all that violence, the pool still
+    // runs a full query to completion, and nothing leaked.
+    let stats = net.stats();
+    assert_eq!(stats.inflight, 0, "slot leak: {stats:?}");
+    assert!(stats.cancelled >= 1, "{stats:?}");
+    let mut c = NetClient::connect(addr).unwrap();
+    let r = c.query(SLOW_SQL, &run_cfg, &[]).unwrap();
+    assert_eq!(r.frame.nrows(), 60_000);
+    let (in_proc, _) = server.query(SLOW_SQL, run_cfg, &[]).unwrap();
+    assert_eq!(digest(&r.frame), digest(&in_proc));
+    net.shutdown();
+}
+
+#[test]
+fn admission_control_sheds_load_with_typed_rejections() {
+    let (_server, mut net) = serving(NetConfig {
+        max_inflight: 1,
+        ..NetConfig::default()
+    });
+    let addr = net.local_addr();
+    let slow_cfg = QueryConfig::default().workers(1);
+
+    // One connection keeps the single slot busy with back-to-back slow
+    // queries; a prober fires cheap queries until one bounces off the
+    // admission cap. Retry the whole arrangement if a sweep somehow
+    // never overlaps.
+    let mut saw_overload = false;
+    'attempts: for _ in 0..5 {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hog = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = NetClient::connect(addr).unwrap();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // The prober can win the single slot — then the hog is
+                    // the one shed. Either way the slot stays contended.
+                    match c.query(SLOW_SQL, &slow_cfg, &[]) {
+                        Ok(_) => {}
+                        Err(NetError::Remote {
+                            code: ErrorCode::Overloaded,
+                            ..
+                        }) => {}
+                        other => panic!("hog query failed: {other:?}"),
+                    }
+                }
+            })
+        };
+        let mut prober = NetClient::connect(addr).unwrap();
+        let until = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < until {
+            match prober.query("select id from t where id < 3", &slow_cfg, &[]) {
+                Err(NetError::Remote {
+                    code: ErrorCode::Overloaded,
+                    retryable: true,
+                    message,
+                }) => {
+                    assert!(message.contains("saturated"), "{message}");
+                    saw_overload = true;
+                }
+                Ok(_) => {}
+                other => panic!("expected Ok or Overloaded, got {other:?}"),
+            }
+            if saw_overload {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                hog.join().unwrap();
+                break 'attempts;
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        hog.join().unwrap();
+    }
+    assert!(saw_overload, "admission cap of 1 never rejected a prober");
+    assert!(net.stats().overload_rejected >= 1);
+
+    // Rejection is shedding, not failure: once the hog is gone the same
+    // prober connection executes normally.
+    let mut c = NetClient::connect(addr).unwrap();
+    assert_eq!(
+        c.query("select id from t where id = 7", &slow_cfg, &[])
+            .unwrap()
+            .rows,
+        1
+    );
+    assert_eq!(net.stats().inflight, 0);
+    net.shutdown();
+}

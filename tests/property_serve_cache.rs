@@ -1,0 +1,198 @@
+//! Prepared-cache key soundness: **equal keys ⇒ equal token streams.**
+//!
+//! The serving layer keys its prepared-statement cache on
+//! `normalize_sql(sql)` (plus the config). If two statements that lex
+//! differently ever share a normalized form, the cache serves the wrong
+//! compiled statement — exactly what happened when `-- comment` text was
+//! kept in the key and the whitespace collapse folded the terminating
+//! newline. These properties render random token sequences through random
+//! formatting (whitespace runs, keyword case, `-- ...` line comments) and
+//! pin the normalized key to the token stream.
+
+use proptest::prelude::*;
+use tqp_repro::serve::normalize_sql;
+use tqp_repro::sql::lexer::{lex, Token};
+
+/// Lex to a comparison stream with identifiers lowercased: normalization
+/// lowercases text outside string literals, and the lexer itself treats
+/// keywords case-insensitively, so case is not part of a statement's
+/// identity.
+fn canon_tokens(sql: &str) -> Result<Vec<Token>, String> {
+    let spanned = lex(sql).map_err(|e| e.to_string())?;
+    Ok(spanned
+        .into_iter()
+        .map(|s| match s.tok {
+            Token::Ident(w) => Token::Ident(w.to_ascii_lowercase()),
+            t => t,
+        })
+        .collect())
+}
+
+/// One renderable atom: canonical text plus whether it is case-flippable.
+#[derive(Clone, Debug)]
+enum Atom {
+    Word(String),
+    Fixed(String),
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,5}".prop_map(Atom::Word),
+        (0i64..1000).prop_map(|n| Atom::Fixed(n.to_string())),
+        (0i64..50, 0i64..100).prop_map(|(a, b)| Atom::Fixed(format!("{a}.{b:02}"))),
+        // String literals may contain `--`, runs of spaces, and `''`
+        // escapes — all must survive normalization byte-for-byte.
+        "[a-z -]{0,8}".prop_map(|s| Atom::Fixed(format!("'{}--  it''s'", s))),
+        prop_oneof![
+            Just("+"),
+            Just("-"),
+            Just("*"),
+            Just("/"),
+            Just("%"),
+            Just("="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">="),
+            Just("<>"),
+            Just("("),
+            Just(")"),
+            Just(","),
+            Just("."),
+            Just(";"),
+            Just("$1"),
+            Just("$2"),
+        ]
+        .prop_map(|s| Atom::Fixed(s.to_string())),
+    ]
+}
+
+/// A separator between atoms. Comment separators carry a terminating
+/// newline so the following atoms survive, and a *leading* space so a
+/// preceding `-` atom cannot fuse with the comment opener into `---`;
+/// the comment body is free to contain SQL-looking words — that is the
+/// collision hazard under test.
+fn separator() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(" ".to_string()),
+        Just("  ".to_string()),
+        Just("\t".to_string()),
+        Just("\n".to_string()),
+        Just(" \n ".to_string()),
+        "[a-z0-9 ]{0,10}".prop_map(|c| format!(" --{c}\n")),
+        "[a-z0-9 ]{0,10}".prop_map(|c| format!(" --{c}\n ")),
+    ]
+}
+
+/// A statement suffix: possibly a trailing comment with NO newline, which
+/// silently swallows everything after it — the other half of the original
+/// collision pair.
+fn suffix() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just(" ".to_string()),
+        "[a-z0-9 ]{0,12}".prop_map(|c| format!(" --{c}")),
+    ]
+}
+
+/// Random per-character case flips for word atoms.
+fn apply_case(word: &str, flips: u64) -> String {
+    word.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if (flips >> (i % 64)) & 1 == 1 {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Render a token sequence through one random formatting.
+fn render(atoms: &[Atom], seps: &[String], case_flips: u64, suffix: &str) -> String {
+    let mut out = String::new();
+    for (i, a) in atoms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(&seps[(i - 1) % seps.len().max(1)]);
+        }
+        match a {
+            Atom::Word(w) => out.push_str(&apply_case(w, case_flips.rotate_left(i as u32))),
+            Atom::Fixed(s) => out.push_str(s),
+        }
+    }
+    out.push_str(suffix);
+    out
+}
+
+fn rendered_statement() -> impl Strategy<Value = (Vec<Atom>, String)> {
+    (
+        prop::collection::vec(atom(), 1..12),
+        prop::collection::vec(separator(), 1..12),
+        any::<u64>(),
+        suffix(),
+    )
+        .prop_map(|(atoms, seps, flips, sfx)| {
+            let text = render(&atoms, &seps, flips, &sfx);
+            (atoms, text)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The load-bearing invariant: normalization never changes what the
+    // statement lexes to. (With comment text kept in the key this fails
+    // on the very first comment-bearing input: the collapsed newline
+    // turns trailing clauses into comment text.)
+    #[test]
+    fn normalization_preserves_the_token_stream((_atoms, sql) in rendered_statement()) {
+        let before = canon_tokens(&sql)
+            .map_err(|e| TestCaseError::fail(format!("{sql:?}: {e}")))?;
+        let normalized = normalize_sql(&sql);
+        let after = canon_tokens(&normalized)
+            .map_err(|e| TestCaseError::fail(format!("normalized {normalized:?}: {e}")))?;
+        prop_assert_eq!(before, after, "sql: {:?} normalized: {:?}", sql, normalized);
+    }
+
+    // The cache-soundness corollary stated directly: two statements that
+    // share a key must lex identically. Pairs are drawn half from the
+    // same token sequence (differently formatted — keys collide by
+    // design) and half independently.
+    #[test]
+    fn equal_keys_imply_equal_token_streams(
+        (atoms, sql_a) in rendered_statement(),
+        (other, sql_b) in rendered_statement(),
+        reuse in any::<bool>(),
+        seps in prop::collection::vec(separator(), 1..12),
+        flips in any::<u64>(),
+        sfx in suffix(),
+    ) {
+        let _ = other;
+        let sql_b = if reuse { render(&atoms, &seps, flips, &sfx) } else { sql_b };
+        if normalize_sql(&sql_a) == normalize_sql(&sql_b) {
+            let ta = canon_tokens(&sql_a)
+                .map_err(|e| TestCaseError::fail(format!("{sql_a:?}: {e}")))?;
+            let tb = canon_tokens(&sql_b)
+                .map_err(|e| TestCaseError::fail(format!("{sql_b:?}: {e}")))?;
+            prop_assert_eq!(ta, tb, "colliding keys: {:?} vs {:?}", sql_a, sql_b);
+        }
+    }
+
+    // Completeness: formatting never fragments the cache — any two
+    // renderings of one token sequence share a single key.
+    #[test]
+    fn formatting_variants_share_one_key(
+        (atoms, sql_a) in rendered_statement(),
+        seps in prop::collection::vec(separator(), 1..12),
+        flips in any::<u64>(),
+        sfx in suffix(),
+    ) {
+        let sql_b = render(&atoms, &seps, flips, &sfx);
+        prop_assert_eq!(
+            normalize_sql(&sql_a),
+            normalize_sql(&sql_b),
+            "one statement, two keys: {:?} vs {:?}", sql_a, sql_b
+        );
+    }
+}
