@@ -88,15 +88,94 @@ fn main() {
         }
     }
 
+    // Observability-overhead gate: the metrics registry is always on in
+    // production (tracing stays per-query opt-in), so registry-enabled
+    // execution must be indistinguishable from the kill-switched run.
+    // Measured on Q1/Q6/Q19 (scan/filter/join-heavy), gated on the
+    // *summed* medians — per-query times at smoke scale sit in the
+    // hundreds of microseconds where a 3% margin alone would be noise —
+    // plus a small absolute slack for the same reason.
+    const OBS_SLACK_US: u64 = 300;
+    let mut obs_queries: Vec<Json> = Vec::new();
+    let (mut total_on, mut total_off) = (0u64, 0u64);
+    println!(
+        "\n  {:<5} {:>12} {:>12} {:>9}",
+        "query", "obs off", "obs on", "ratio"
+    );
+    for n in [1usize, 6, 19] {
+        let q = session
+            .compile(
+                queries::query(n),
+                QueryConfig::default().backend(Backend::Fused).workers(w_hi),
+            )
+            .unwrap_or_else(|e| panic!("Q{n} compile: {e}"));
+        tqp_obs::set_enabled(false);
+        let off = median_us(|| {
+            q.run(&session).unwrap_or_else(|e| panic!("Q{n} run: {e}"));
+            None
+        });
+        tqp_obs::set_enabled(true);
+        let on = median_us(|| {
+            q.run(&session).unwrap_or_else(|e| panic!("Q{n} run: {e}"));
+            None
+        });
+        total_off += off;
+        total_on += on;
+        println!(
+            "  Q{:<4} {:>12} {:>12} {:>8.3}x",
+            n,
+            fmt_ms(off),
+            fmt_ms(on),
+            on as f64 / off.max(1) as f64
+        );
+        obs_queries.push(Json::obj(vec![
+            ("query", Json::I64(n as i64)),
+            ("off_us", Json::I64(off as i64)),
+            ("on_us", Json::I64(on as i64)),
+            ("ratio", Json::F64(on as f64 / off.max(1) as f64)),
+        ]));
+    }
+    let obs_ratio = total_on as f64 / total_off.max(1) as f64;
+    let obs_pass = total_on <= total_off + total_off * 3 / 100 + OBS_SLACK_US;
+    println!(
+        "  total {:>11} {:>12} {:>8.3}x  ({})",
+        fmt_ms(total_off),
+        fmt_ms(total_on),
+        obs_ratio,
+        if obs_pass {
+            "within 3% gate"
+        } else {
+            "GATE BREACH"
+        }
+    );
+
     let n_records = results.len();
     let doc = Json::obj(vec![
         ("format", Json::str("tqp-bench-tpch")),
-        ("version", Json::I64(1)),
+        ("version", Json::I64(2)),
         ("scale_factor", Json::F64(scale_factor())),
         ("runs", Json::I64(runs() as i64)),
         ("host_workers", Json::I64(host as i64)),
         ("results", Json::Arr(results)),
+        (
+            "obs_overhead",
+            Json::obj(vec![
+                ("queries", Json::Arr(obs_queries)),
+                ("off_us", Json::I64(total_off as i64)),
+                ("on_us", Json::I64(total_on as i64)),
+                ("ratio", Json::F64(obs_ratio)),
+                ("slack_us", Json::I64(OBS_SLACK_US as i64)),
+                ("pass", Json::Bool(obs_pass)),
+            ]),
+        ),
     ]);
     std::fs::write("BENCH_tpch.json", doc.to_string_pretty()).expect("write BENCH_tpch.json");
     println!("\n  wrote BENCH_tpch.json ({n_records} records)");
+    if !obs_pass {
+        eprintln!(
+            "tpch_bench: observability overhead gate FAILED: registry-on \
+             {total_on} us vs registry-off {total_off} us (> 3% + {OBS_SLACK_US} us slack)"
+        );
+        std::process::exit(1);
+    }
 }

@@ -37,8 +37,9 @@ use tqp_baseline::RowEngine;
 use tqp_data::DataFrame;
 use tqp_exec::{Backend, Device, ExecConfig, Executor, GpuStrategy, Storage, TableSource};
 use tqp_ir::physical::PhysicalPlan;
-use tqp_ir::{compile_sql, Catalog, CompileError, PhysicalOptions};
+use tqp_ir::{compile_query, compile_sql, Catalog, CompileError, PhysicalOptions};
 use tqp_ml::{Model, ModelRegistry};
+use tqp_obs::QueryTrace;
 use tqp_profile::Profiler;
 use tqp_store::StoredTable;
 use tqp_tensor::Scalar;
@@ -76,6 +77,17 @@ pub struct QueryConfig {
     /// A pure *execution* property: it never affects compilation, and the
     /// serving layer excludes it from prepared-statement cache keys.
     pub deadline: Option<std::time::Duration>,
+    /// Capture a per-query [`QueryTrace`] (spans + per-op attribution)
+    /// for this execution (default off). A pure *execution* property like
+    /// `deadline`: it never affects compilation or results, and the
+    /// serving layer excludes it from prepared-statement cache keys. When
+    /// off, executions allocate no trace machinery at all.
+    pub trace: bool,
+    /// Slow-query threshold in milliseconds (default: none). Executions
+    /// whose wall time meets or exceeds it are appended to the process
+    /// slow-query ring buffer ([`tqp_obs::slow_queries`]), tagged with a
+    /// trace id. Excluded from prepared-statement cache keys.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for QueryConfig {
@@ -91,6 +103,8 @@ impl Default for QueryConfig {
             flat_hash: true,
             simd: true,
             deadline: None,
+            trace: false,
+            slow_query_ms: None,
         }
     }
 }
@@ -153,6 +167,18 @@ impl QueryConfig {
     /// Builder-style per-query execution deadline.
     pub fn deadline(mut self, d: std::time::Duration) -> Self {
         self.deadline = Some(d);
+        self
+    }
+
+    /// Builder-style per-query trace capture toggle.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Builder-style slow-query threshold (milliseconds).
+    pub fn slow_query_ms(mut self, ms: u64) -> Self {
+        self.slow_query_ms = Some(ms);
         self
     }
 }
@@ -306,14 +332,26 @@ impl Session {
     }
 
     /// Compile SQL into an executable query for the given configuration.
+    ///
+    /// Accepts `EXPLAIN <query>` and `EXPLAIN ANALYZE <query>` prefixes:
+    /// both compile the inner query through the full pipeline and return a
+    /// single-column `plan` frame when run — the former renders the
+    /// physical tree with optimizer row estimates without executing, the
+    /// latter executes and annotates each operator with actual rows and
+    /// wall time. Because the rendering happens at run time through the
+    /// ordinary query path, both work identically in-process and over the
+    /// socket front-end.
     pub fn compile(&self, sql: &str, cfg: QueryConfig) -> Result<CompiledQuery, TqpError> {
-        let plan = compile_sql(sql, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
+        let (kind, ast) = parse_stmt(sql)?;
+        let plan = compile_query(&ast, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
         let executor = Executor::compile(&plan, exec_config(cfg));
         let pre = RunPreconditions::capture(executor.program(), &self.catalog);
         Ok(CompiledQuery {
             executor,
             pre,
-            deadline: cfg.deadline,
+            cfg,
+            kind,
+            sql: sql.to_string(),
         })
     }
 
@@ -325,11 +363,18 @@ impl Session {
     /// placeholders in the SQL become patchable constant slots; values are
     /// bound per execution without re-entering the compiler.
     pub fn prepare(&self, sql: &str, cfg: QueryConfig) -> Result<PreparedQuery, TqpError> {
-        let plan = compile_sql(sql, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
+        let (kind, ast) = parse_stmt(sql)?;
+        let plan = compile_query(&ast, &self.catalog, &cfg.physical).map_err(TqpError::Compile)?;
         let executor = Executor::compile(&plan, exec_config(cfg));
         let pre = RunPreconditions::capture(executor.program(), &self.catalog);
         Ok(PreparedQuery {
-            inner: Arc::new(PreparedInner { cfg, executor, pre }),
+            inner: Arc::new(PreparedInner {
+                cfg,
+                executor,
+                pre,
+                kind,
+                sql: sql.to_string(),
+            }),
         })
     }
 
@@ -341,7 +386,9 @@ impl Session {
         CompiledQuery {
             executor,
             pre,
-            deadline: cfg.deadline,
+            cfg,
+            kind: QueryKind::Query,
+            sql: "<external plan>".to_string(),
         }
     }
 
@@ -436,6 +483,258 @@ fn exec_config(cfg: QueryConfig) -> ExecConfig {
     }
 }
 
+/// What a compiled statement does when run: execute the query, render its
+/// plan (`EXPLAIN`), or execute *and* render with actuals
+/// (`EXPLAIN ANALYZE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryKind {
+    Query,
+    Explain,
+    ExplainAnalyze,
+}
+
+/// Parse a statement and split off the `EXPLAIN`/`EXPLAIN ANALYZE` prefix.
+fn parse_stmt(sql: &str) -> Result<(QueryKind, tqp_sql::Query), TqpError> {
+    let stmt =
+        tqp_sql::parse_statement(sql).map_err(|e| TqpError::Compile(CompileError::Parse(e)))?;
+    Ok(match stmt {
+        tqp_sql::Statement::Query(q) => (QueryKind::Query, q),
+        tqp_sql::Statement::Explain(q) => (QueryKind::Explain, q),
+        tqp_sql::Statement::ExplainAnalyze(q) => (QueryKind::ExplainAnalyze, q),
+    })
+}
+
+/// Per-execution observability options, applied on top of the statement's
+/// compiled [`QueryConfig`]. The serving layer strips `trace`/
+/// `slow_query_ms` (like `deadline`) from prepared-statement cache keys
+/// and re-applies each request's values through here.
+#[derive(Clone, Copy, Default)]
+pub struct RunOptions<'a> {
+    /// External cancellation token (combined with the statement deadline).
+    pub token: Option<&'a CancelToken>,
+    /// Capture a [`QueryTrace`] for this execution (OR-ed with the
+    /// compiled config's `trace`).
+    pub trace: bool,
+    /// Slow-query threshold override (falls back to the compiled config).
+    pub slow_query_ms: Option<u64>,
+}
+
+/// Run an executor, optionally capturing a [`QueryTrace`], and feed the
+/// slow-query log. This is the **single choke point** every core
+/// execution path funnels through (compiled, prepared, parameterized, and
+/// therefore also every socket-served query), so a slow query is logged
+/// exactly once no matter which surface issued it.
+///
+/// Tracing uses a fresh local [`Profiler`] so the trace holds only this
+/// execution's spans; when the session profiler is also enabled the spans
+/// are mirrored into it, preserving `enable_profiling` semantics. With
+/// tracing off (and no slow-query threshold crossed) nothing is allocated.
+fn run_with_obs(
+    executor: &Executor,
+    session: &Session,
+    sql: &str,
+    trace_on: bool,
+    slow_ms: Option<u64>,
+) -> (DataFrame, tqp_exec::ExecStats, Option<QueryTrace>) {
+    let (frame, stats, trace) = if trace_on && tqp_obs::enabled() {
+        let local = Profiler::new();
+        let (frame, stats) = executor.run(&session.storage, &session.models, &local);
+        let spans = local.spans();
+        if session.profiler.is_enabled() {
+            for s in &spans {
+                session.profiler.record_chunks(
+                    &s.name,
+                    &s.category,
+                    s.start_us,
+                    s.dur_us,
+                    s.rows,
+                    s.bytes,
+                    s.chunks,
+                );
+            }
+        }
+        let cfg = executor.config();
+        let d = &stats.simd_dispatch;
+        let mut trace = QueryTrace {
+            trace_id: tqp_obs::next_trace_id(),
+            sql: sql.to_string(),
+            backend: format!("{:?}", cfg.backend),
+            workers: cfg.workers as u64,
+            wall_us: stats.wall_us,
+            rows: stats.rows as u64,
+            chunks_scanned: stats.chunks_scanned,
+            chunks_pruned: stats.chunks_pruned,
+            simd_dispatch: vec![
+                ("hash".to_string(), d.hash),
+                ("filter".to_string(), d.filter),
+                ("gather".to_string(), d.gather),
+                ("reduce".to_string(), d.reduce),
+                ("decode".to_string(), d.decode),
+            ],
+            spans: spans
+                .into_iter()
+                .map(|s| tqp_obs::TraceSpan {
+                    name: s.name,
+                    category: s.category,
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                    rows: s.rows,
+                    bytes: s.bytes,
+                    chunks: s.chunks,
+                })
+                .collect(),
+            ops: Vec::new(),
+        };
+        trace.build_ops();
+        (frame, stats, Some(trace))
+    } else {
+        let (frame, stats) = executor.run(&session.storage, &session.models, &session.profiler);
+        (frame, stats, None)
+    };
+    observe_slow(sql, slow_ms, &stats, trace.as_ref());
+    (frame, stats, trace)
+}
+
+/// Append to the slow-query ring buffer when the threshold is met.
+fn observe_slow(
+    sql: &str,
+    slow_ms: Option<u64>,
+    stats: &tqp_exec::ExecStats,
+    trace: Option<&QueryTrace>,
+) {
+    let Some(ms) = slow_ms else { return };
+    if !tqp_obs::enabled() || stats.wall_us < ms.saturating_mul(1000) {
+        return;
+    }
+    tqp_obs::record_slow_query(tqp_obs::SlowQuery {
+        trace_id: trace
+            .map(|t| t.trace_id)
+            .unwrap_or_else(tqp_obs::next_trace_id),
+        sql: sql.to_string(),
+        wall_us: stats.wall_us,
+        rows: stats.rows as u64,
+        threshold_ms: ms,
+    });
+}
+
+/// One `EXPLAIN [ANALYZE]` output row: a physical-plan node with the
+/// optimizer's row estimate and (for ANALYZE) the measured actuals.
+///
+/// `actual_rows`/`wall_us` come from per-op span attribution through the
+/// lowering's node→op map; they are `None` for plan nodes that lowered to
+/// no runtime op and for parameterized executions (which re-bind through
+/// [`Executor::from_parts`] and lose the map). Actual rows are **bitwise
+/// stable** across worker counts and backends: every span site charges
+/// operator *output* rows regardless of morsel route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRow {
+    /// Tree depth (root = 0); rendering indents two spaces per level.
+    pub depth: usize,
+    /// Operator label, e.g. `Scan(lineitem)`, `HashJoin(Inner)`.
+    pub op: String,
+    /// Optimizer cardinality estimate (stats-driven where available).
+    pub est_rows: f64,
+    /// Measured output rows, summed over this node's program op.
+    pub actual_rows: Option<u64>,
+    /// Measured wall time attributed to this node's program op.
+    pub wall_us: Option<u64>,
+}
+
+impl ExplainRow {
+    /// Render one indented text line (`analyze` adds the actuals).
+    pub fn render(&self, analyze: bool) -> String {
+        let mut s = format!("{}{}", "  ".repeat(self.depth), self.op);
+        if analyze {
+            let actual = self
+                .actual_rows
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "?".into());
+            let us = self
+                .wall_us
+                .map(|u| format!("{u} us"))
+                .unwrap_or_else(|| "? us".into());
+            s.push_str(&format!(
+                "  (est={} rows, actual={actual} rows, {us})",
+                fmt_est(self.est_rows)
+            ));
+        } else {
+            s.push_str(&format!("  (est={} rows)", fmt_est(self.est_rows)));
+        }
+        s
+    }
+}
+
+fn fmt_est(est: f64) -> String {
+    if (est - est.round()).abs() < 1e-9 {
+        format!("{}", est.round() as i64)
+    } else {
+        format!("{est:.1}")
+    }
+}
+
+/// Walk a physical plan and produce [`ExplainRow`]s in display (pre-)
+/// order. The walk simultaneously assigns each node its **post-order
+/// index** — the order `tqp_exec::program::lower_with_map` visits nodes —
+/// so per-op actuals from a trace can be joined back onto the tree.
+fn explain_rows(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    node_map: Option<&[Option<usize>]>,
+    op_stats: Option<&HashMap<u64, (u64, u64)>>,
+) -> Vec<ExplainRow> {
+    fn go(
+        p: &PhysicalPlan,
+        depth: usize,
+        post: &mut usize,
+        catalog: &Catalog,
+        node_map: Option<&[Option<usize>]>,
+        op_stats: Option<&HashMap<u64, (u64, u64)>>,
+    ) -> Vec<ExplainRow> {
+        let mut child_rows = Vec::new();
+        for c in p.children() {
+            child_rows.extend(go(c, depth + 1, post, catalog, node_map, op_stats));
+        }
+        let my_post = *post;
+        *post += 1;
+        let actual = node_map
+            .and_then(|m| m.get(my_post).copied().flatten())
+            .and_then(|op| op_stats.and_then(|s| s.get(&(op as u64)).copied()));
+        let mut rows = vec![ExplainRow {
+            depth,
+            op: p.op_name(),
+            est_rows: tqp_ir::estimate_physical(p, catalog),
+            actual_rows: actual.map(|(r, _)| r),
+            wall_us: actual.map(|(_, us)| us),
+        }];
+        rows.extend(child_rows);
+        rows
+    }
+    let mut post = 0;
+    go(plan, 0, &mut post, catalog, node_map, op_stats)
+}
+
+/// Fold a trace's per-op attribution into `op index → (rows, total_us)`.
+fn op_stats_of(trace: &QueryTrace) -> HashMap<u64, (u64, u64)> {
+    trace
+        .ops
+        .iter()
+        .map(|o| (o.op_index, (o.rows, o.total_us)))
+        .collect()
+}
+
+/// Render explain rows as the single-column `plan` result frame.
+fn explain_frame(rows: &[ExplainRow], analyze: bool) -> (DataFrame, tqp_exec::ExecStats) {
+    let lines: Vec<String> = rows.iter().map(|r| r.render(analyze)).collect();
+    let stats = tqp_exec::ExecStats {
+        rows: lines.len(),
+        ..Default::default()
+    };
+    (
+        tqp_data::frame::df(vec![("plan", tqp_data::Column::from_str(lines))]),
+        stats,
+    )
+}
+
 /// Run-time preconditions of a compiled query, captured **once at compile
 /// time** so per-execution checking is two cheap slice walks (no program
 /// re-scan, no allocation on the cached hot path):
@@ -520,6 +819,10 @@ struct PreparedInner {
     executor: Executor,
     /// Compile-time-captured run preconditions (cheap per-execution check).
     pre: RunPreconditions,
+    /// Plain query vs. `EXPLAIN`/`EXPLAIN ANALYZE` statement.
+    kind: QueryKind,
+    /// Original statement text (trace + slow-query-log attribution).
+    sql: String,
 }
 
 impl PreparedQuery {
@@ -562,10 +865,8 @@ impl PreparedQuery {
         session: &Session,
         params: &[Scalar],
     ) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
-        match self.effective_token(None) {
-            None => self.execute_inner(session, params),
-            Some(token) => run_cancellable(&token, || self.execute_inner(session, params)),
-        }
+        self.execute_with(session, params, &RunOptions::default())
+            .map(|(f, s, _)| (f, s))
     }
 
     /// Execute under an external cancellation token (a network front-end's
@@ -579,10 +880,33 @@ impl PreparedQuery {
         params: &[Scalar],
         token: &CancelToken,
     ) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
-        let token = self
-            .effective_token(Some(token))
-            .expect("external token always yields an effective token");
-        run_cancellable(&token, || self.execute_inner(session, params))
+        self.execute_with(
+            session,
+            params,
+            &RunOptions {
+                token: Some(token),
+                ..RunOptions::default()
+            },
+        )
+        .map(|(f, s, _)| (f, s))
+    }
+
+    /// Execute with per-execution observability options: an external
+    /// cancellation token, trace capture, and a slow-query threshold —
+    /// applied on top of the compiled config (`trace` OR-ed, the others
+    /// falling back to it). Returns the captured [`QueryTrace`] when
+    /// tracing was on, which the socket front-end serves through its
+    /// `PROFILE` frame.
+    pub fn execute_with(
+        &self,
+        session: &Session,
+        params: &[Scalar],
+        opts: &RunOptions,
+    ) -> Result<(DataFrame, tqp_exec::ExecStats, Option<QueryTrace>), TqpError> {
+        match self.effective_token(opts.token) {
+            None => self.execute_inner(session, params, opts),
+            Some(token) => run_cancellable(&token, || self.execute_inner(session, params, opts)),
+        }
     }
 
     /// Combine an optional external token with the statement's configured
@@ -600,8 +924,16 @@ impl PreparedQuery {
         &self,
         session: &Session,
         params: &[Scalar],
-    ) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+        opts: &RunOptions,
+    ) -> Result<(DataFrame, tqp_exec::ExecStats, Option<QueryTrace>), TqpError> {
         let inner = &self.inner;
+        if inner.kind == QueryKind::Explain {
+            // Plan rendering only — no execution, no parameter values
+            // needed (placeholder slots stay unbound).
+            let rows = explain_rows(inner.executor.plan(), &session.catalog, None, None);
+            let (frame, stats) = explain_frame(&rows, false);
+            return Ok((frame, stats, None));
+        }
         if params.len() != inner.pre.n_params {
             return Err(TqpError::Execution(format!(
                 "query takes {} parameter(s), {} supplied",
@@ -610,18 +942,38 @@ impl PreparedQuery {
             )));
         }
         inner.pre.check_session(session)?;
-        if inner.pre.n_params == 0 {
-            return Ok(inner
+        let analyze = inner.kind == QueryKind::ExplainAnalyze;
+        let trace_on = analyze || opts.trace || inner.cfg.trace;
+        let slow_ms = opts.slow_query_ms.or(inner.cfg.slow_query_ms);
+        let (frame, stats, trace, node_map) = if inner.pre.n_params == 0 {
+            let (f, s, t) = run_with_obs(&inner.executor, session, &inner.sql, trace_on, slow_ms);
+            (f, s, t, inner.executor.node_map().map(|m| m.to_vec()))
+        } else {
+            let bound = inner
                 .executor
-                .run(&session.storage, &session.models, &session.profiler));
+                .program()
+                .bind_params(params)
+                .map_err(TqpError::Execution)?;
+            let ex =
+                Executor::from_parts(inner.executor.plan().clone(), bound, exec_config(inner.cfg));
+            let (f, s, t) = run_with_obs(&ex, session, &inner.sql, trace_on, slow_ms);
+            // `from_parts` re-lowers without the node→op map: EXPLAIN
+            // ANALYZE of a parameterized statement renders `actual=?`.
+            (f, s, t, None)
+        };
+        if analyze {
+            let op_stats = trace.as_ref().map(op_stats_of);
+            let rows = explain_rows(
+                inner.executor.plan(),
+                &session.catalog,
+                node_map.as_deref(),
+                op_stats.as_ref(),
+            );
+            let (frame, mut estats) = explain_frame(&rows, true);
+            estats.wall_us = stats.wall_us;
+            return Ok((frame, estats, trace));
         }
-        let bound = inner
-            .executor
-            .program()
-            .bind_params(params)
-            .map_err(TqpError::Execution)?;
-        let ex = Executor::from_parts(inner.executor.plan().clone(), bound, exec_config(inner.cfg));
-        Ok(ex.run(&session.storage, &session.models, &session.profiler))
+        Ok((frame, stats, trace))
     }
 }
 
@@ -630,8 +982,13 @@ pub struct CompiledQuery {
     executor: Executor,
     /// Compile-time-captured run preconditions (cheap per-execution check).
     pre: RunPreconditions,
-    /// Execution deadline from the compiling [`QueryConfig`].
-    deadline: Option<std::time::Duration>,
+    /// The compiling configuration (deadline + observability knobs apply
+    /// per execution).
+    cfg: QueryConfig,
+    /// Plain query vs. `EXPLAIN`/`EXPLAIN ANALYZE` statement.
+    kind: QueryKind,
+    /// Original statement text (trace + slow-query-log attribution).
+    sql: String,
 }
 
 impl CompiledQuery {
@@ -641,13 +998,31 @@ impl CompiledQuery {
     /// bound) surface as [`TqpError::Execution`] — distinguishable from
     /// compile failures by serve-layer callers.
     pub fn run(&self, session: &Session) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
-        match self.deadline {
+        self.run_traced(session).map(|(f, s, _)| (f, s))
+    }
+
+    /// Execute and also return the captured [`QueryTrace`] when the
+    /// compiling config had [`QueryConfig::trace`] on (or the statement is
+    /// `EXPLAIN ANALYZE`).
+    pub fn run_traced(
+        &self,
+        session: &Session,
+    ) -> Result<(DataFrame, tqp_exec::ExecStats, Option<QueryTrace>), TqpError> {
+        match self.cfg.deadline {
             None => self.run_inner(session),
             Some(d) => run_cancellable(&CancelToken::with_deadline(d), || self.run_inner(session)),
         }
     }
 
-    fn run_inner(&self, session: &Session) -> Result<(DataFrame, tqp_exec::ExecStats), TqpError> {
+    fn run_inner(
+        &self,
+        session: &Session,
+    ) -> Result<(DataFrame, tqp_exec::ExecStats, Option<QueryTrace>), TqpError> {
+        if self.kind == QueryKind::Explain {
+            let rows = explain_rows(self.executor.plan(), &session.catalog, None, None);
+            let (frame, stats) = explain_frame(&rows, false);
+            return Ok((frame, stats, None));
+        }
         self.pre.check_session(session)?;
         if self.pre.n_params > 0 {
             return Err(TqpError::Execution(format!(
@@ -655,9 +1030,56 @@ impl CompiledQuery {
                 self.pre.n_params
             )));
         }
-        Ok(self
-            .executor
-            .run(&session.storage, &session.models, &session.profiler))
+        if self.kind == QueryKind::ExplainAnalyze {
+            let (rows, stats, trace) = self.analyze_rows_inner(session);
+            let (frame, mut estats) = explain_frame(&rows, true);
+            estats.wall_us = stats.wall_us;
+            return Ok((frame, estats, trace));
+        }
+        Ok(run_with_obs(
+            &self.executor,
+            session,
+            &self.sql,
+            self.cfg.trace,
+            self.cfg.slow_query_ms,
+        ))
+    }
+
+    /// Structured `EXPLAIN ANALYZE`: execute the query (tracing forced on)
+    /// and return one [`ExplainRow`] per plan node with estimates and
+    /// measured actuals. Works on any compiled statement regardless of how
+    /// it was phrased; this is the API the worker-count/backend invariance
+    /// tests assert on.
+    pub fn explain_analyze_rows(&self, session: &Session) -> Result<Vec<ExplainRow>, TqpError> {
+        self.pre.check_session(session)?;
+        if self.pre.n_params > 0 {
+            return Err(TqpError::Execution(format!(
+                "query takes {} parameter(s); prepare it and execute with values",
+                self.pre.n_params
+            )));
+        }
+        Ok(self.analyze_rows_inner(session).0)
+    }
+
+    fn analyze_rows_inner(
+        &self,
+        session: &Session,
+    ) -> (Vec<ExplainRow>, tqp_exec::ExecStats, Option<QueryTrace>) {
+        let (_frame, stats, trace) = run_with_obs(
+            &self.executor,
+            session,
+            &self.sql,
+            true,
+            self.cfg.slow_query_ms,
+        );
+        let op_stats = trace.as_ref().map(op_stats_of);
+        let rows = explain_rows(
+            self.executor.plan(),
+            &session.catalog,
+            self.executor.node_map(),
+            op_stats.as_ref(),
+        );
+        (rows, stats, trace)
     }
 
     /// The underlying physical plan.
@@ -903,6 +1325,113 @@ mod tests {
             Err(TqpError::Execution(msg)) => assert!(msg.contains("cancelled"), "{msg}"),
             other => panic!("expected cancelled error, got {:?}", other.map(|_| ())),
         }
+    }
+
+    #[test]
+    fn explain_renders_estimates_without_executing() {
+        let s = session();
+        let q = s
+            .compile(
+                "explain select id from t where v > 2.0",
+                QueryConfig::default(),
+            )
+            .unwrap();
+        let (out, stats) = q.run(&s).unwrap();
+        assert_eq!(out.schema().fields[0].name, "plan");
+        let text: Vec<String> = (0..out.nrows())
+            .map(|i| out.column(0).get(i).as_str().to_string())
+            .collect();
+        assert!(text.iter().any(|l| l.contains("Scan(t)")), "{text:?}");
+        assert!(text.iter().all(|l| l.contains("est=")), "{text:?}");
+        assert!(text.iter().all(|l| !l.contains("actual=")), "{text:?}");
+        assert_eq!(stats.rows, out.nrows());
+    }
+
+    #[test]
+    fn explain_analyze_reports_actual_rows() {
+        let s = session();
+        let q = s
+            .compile(
+                "explain analyze select id from t where v > 2.0 order by id",
+                QueryConfig::default(),
+            )
+            .unwrap();
+        let (out, _) = q.run(&s).unwrap();
+        let text: Vec<String> = (0..out.nrows())
+            .map(|i| out.column(0).get(i).as_str().to_string())
+            .collect();
+        assert!(text.iter().all(|l| l.contains("actual=")), "{text:?}");
+        // The scan sees all 3 rows; the filter passes 2.
+        assert!(
+            text.iter()
+                .any(|l| l.contains("Scan(t)") && l.contains("actual=3")),
+            "{text:?}"
+        );
+        // Structured rows agree with the rendering.
+        let q2 = s
+            .compile(
+                "select id from t where v > 2.0 order by id",
+                QueryConfig::default(),
+            )
+            .unwrap();
+        let rows = q2.explain_analyze_rows(&s).unwrap();
+        assert_eq!(rows[0].depth, 0);
+        let scan = rows.iter().find(|r| r.op.starts_with("Scan")).unwrap();
+        assert_eq!(scan.actual_rows, Some(3));
+    }
+
+    #[test]
+    fn traced_run_captures_query_trace() {
+        let s = session();
+        let q = s
+            .compile("select sum(v) from t", QueryConfig::default().trace(true))
+            .unwrap();
+        let (_, stats, trace) = q.run_traced(&s).unwrap();
+        let trace = trace.expect("trace requested");
+        assert!(trace.trace_id > 0);
+        assert_eq!(trace.sql, "select sum(v) from t");
+        assert_eq!(trace.backend, "Eager");
+        assert_eq!(trace.wall_us, stats.wall_us);
+        assert!(!trace.spans.is_empty());
+        assert!(!trace.ops.is_empty());
+        // Untraced runs allocate no trace.
+        let q2 = s
+            .compile("select sum(v) from t", QueryConfig::default())
+            .unwrap();
+        let (_, _, none) = q2.run_traced(&s).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn slow_query_log_records_once_with_trace_id() {
+        let s = session();
+        let marker = "select id, v from t where v > 0.25 order by id";
+        let q = s
+            .compile(marker, QueryConfig::default().slow_query_ms(0).trace(true))
+            .unwrap();
+        let (_, _, trace) = q.run_traced(&s).unwrap();
+        let hits: Vec<_> = tqp_obs::slow_queries()
+            .into_iter()
+            .filter(|e| e.sql == marker)
+            .collect();
+        assert_eq!(hits.len(), 1, "slow query must be logged exactly once");
+        assert_eq!(hits[0].trace_id, trace.unwrap().trace_id);
+        assert_eq!(hits[0].threshold_ms, 0);
+    }
+
+    #[test]
+    fn explain_over_prepared_statements() {
+        let s = session();
+        let p = s
+            .prepare(
+                "explain select id from t where v > $1",
+                QueryConfig::default(),
+            )
+            .unwrap();
+        // EXPLAIN renders without parameter values.
+        let (out, _) = p.execute(&s, &[]).unwrap();
+        assert!(out.nrows() > 0);
+        assert_eq!(out.schema().fields[0].name, "plan");
     }
 
     #[test]

@@ -88,9 +88,11 @@ pub fn run_wasm(
     );
 
     // Scalar interpretation, dilated to model WASM-vs-native overhead.
+    // Per-op spans record on the first iteration only, so trace row
+    // counts are independent of the dilation factor.
     let start = profiler.now_us();
     let t0 = std::time::Instant::now();
-    let mut out = scalar::run_program_scalar(&prog, &tables, models);
+    let mut out = scalar::run_program_scalar_profiled(&prog, &tables, models, Some(profiler));
     for _ in 1..dilation {
         out = scalar::run_program_scalar(&prog, &tables, models);
     }

@@ -298,12 +298,17 @@ pub struct Executor {
     cfg: ExecConfig,
     /// Serialized artifact for Graph/Wasm.
     artifact: Option<bytes::Bytes>,
+    /// Plan-node → program-op attribution table (post-order, children
+    /// left-to-right; see [`program::lower_with_map`]). Present on the
+    /// [`Executor::compile`] path; `None` for parameter-patched programs
+    /// assembled via [`Executor::from_parts`].
+    node_map: Option<Vec<Option<usize>>>,
 }
 
 impl Executor {
     /// Compile a physical plan for a backend/device configuration.
     pub fn compile(plan: &PhysicalPlan, cfg: ExecConfig) -> Executor {
-        let program = program::lower(plan);
+        let (program, node_map) = program::lower_with_map(plan);
         let artifact = match cfg.backend {
             Backend::Graph | Backend::Wasm => Some(program::serialize_program(&program)),
             _ => None,
@@ -313,6 +318,7 @@ impl Executor {
             program,
             cfg,
             artifact,
+            node_map: Some(node_map),
         }
     }
 
@@ -335,12 +341,18 @@ impl Executor {
             program,
             cfg,
             artifact,
+            node_map: None,
         }
     }
 
     /// The physical plan this executor was compiled from.
     pub fn plan(&self) -> &PhysicalPlan {
         &self.plan
+    }
+
+    /// The plan-node → program-op attribution table (compile path only).
+    pub fn node_map(&self) -> Option<&[Option<usize>]> {
+        self.node_map.as_deref()
     }
 
     /// The lowered tensor program this executor runs.
@@ -391,18 +403,68 @@ impl Executor {
             Device::Cpu => None,
         };
         let rows = frame.nrows();
-        (
-            frame,
-            ExecStats {
-                wall_us,
-                gpu_modeled_us,
-                rows,
-                chunks_scanned: scans.chunks_scanned,
-                chunks_pruned: scans.chunks_pruned,
-                simd_dispatch: tqp_tensor::simd::counters().since(&simd_before),
-            },
-        )
+        let stats = ExecStats {
+            wall_us,
+            gpu_modeled_us,
+            rows,
+            chunks_scanned: scans.chunks_scanned,
+            chunks_pruned: scans.chunks_pruned,
+            simd_dispatch: tqp_tensor::simd::counters().since(&simd_before),
+        };
+        record_exec_metrics(&stats);
+        (frame, stats)
     }
+}
+
+/// Cached `exec.*`/`simd.*` registry handles — registration locks once,
+/// per-query updates are relaxed atomics.
+struct ExecMetrics {
+    queries: tqp_obs::Counter,
+    rows: tqp_obs::Counter,
+    chunks_scanned: tqp_obs::Counter,
+    chunks_pruned: tqp_obs::Counter,
+    query_us: tqp_obs::Histogram,
+    simd_hash: tqp_obs::Counter,
+    simd_filter: tqp_obs::Counter,
+    simd_gather: tqp_obs::Counter,
+    simd_reduce: tqp_obs::Counter,
+    simd_decode: tqp_obs::Counter,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: std::sync::OnceLock<ExecMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = tqp_obs::registry();
+        ExecMetrics {
+            queries: r.counter("exec.queries"),
+            rows: r.counter("exec.rows"),
+            chunks_scanned: r.counter("exec.chunks_scanned"),
+            chunks_pruned: r.counter("exec.chunks_pruned"),
+            query_us: r.histogram("exec.query_us"),
+            simd_hash: r.counter("simd.hash"),
+            simd_filter: r.counter("simd.filter"),
+            simd_gather: r.counter("simd.gather"),
+            simd_reduce: r.counter("simd.reduce"),
+            simd_decode: r.counter("simd.decode"),
+        }
+    })
+}
+
+fn record_exec_metrics(stats: &ExecStats) {
+    if !tqp_obs::enabled() {
+        return;
+    }
+    let m = exec_metrics();
+    m.queries.inc();
+    m.rows.add(stats.rows as u64);
+    m.chunks_scanned.add(stats.chunks_scanned);
+    m.chunks_pruned.add(stats.chunks_pruned);
+    m.query_us.observe(stats.wall_us);
+    m.simd_hash.add(stats.simd_dispatch.hash);
+    m.simd_filter.add(stats.simd_dispatch.filter);
+    m.simd_gather.add(stats.simd_dispatch.gather);
+    m.simd_reduce.add(stats.simd_dispatch.reduce);
+    m.simd_decode.add(stats.simd_dispatch.decode);
 }
 
 /// Ingest a map of DataFrames into tensor storage.

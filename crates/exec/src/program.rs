@@ -409,22 +409,38 @@ impl TensorProgram {
 /// are compiled to [`ExprProgram`]s here — this is the last point in the
 /// pipeline where a `BoundExpr` exists.
 pub fn lower(plan: &PhysicalPlan) -> TensorProgram {
+    lower_with_map(plan).0
+}
+
+/// [`lower`] plus a plan-node → program-op side table for trace
+/// attribution (`EXPLAIN ANALYZE`). The table has one entry per plan
+/// node in **post-order, children left-to-right** (the recursion order
+/// of lowering itself, so the root is last); each entry is the index of
+/// the op producing that node's output register. An elided node (a
+/// Filter whose conjuncts all folded to true) aliases its child's op;
+/// `None` only for a leaf that lowered to nothing (cannot happen today).
+pub fn lower_with_map(plan: &PhysicalPlan) -> (TensorProgram, Vec<Option<usize>>) {
     let mut b = Builder {
         ops: Vec::new(),
         next_reg: 0,
+        node_ops: Vec::new(),
     };
     let output = b.lower_node(plan);
-    TensorProgram {
-        ops: b.ops,
-        n_regs: b.next_reg,
-        output,
-        schema: dedup_names(&plan.schema()),
-    }
+    (
+        TensorProgram {
+            ops: b.ops,
+            n_regs: b.next_reg,
+            output,
+            schema: dedup_names(&plan.schema()),
+        },
+        b.node_ops,
+    )
 }
 
 struct Builder {
     ops: Vec<ProgOp>,
     next_reg: usize,
+    node_ops: Vec<Option<usize>>,
 }
 
 impl Builder {
@@ -435,6 +451,16 @@ impl Builder {
     }
 
     fn lower_node(&mut self, plan: &PhysicalPlan) -> Reg {
+        let reg = self.lower_node_inner(plan);
+        // Single-assignment registers make the producing op unambiguous;
+        // an elided Filter returns its child's register and so aliases
+        // the child's op.
+        let entry = self.ops.iter().rposition(|o| o.dst() == reg);
+        self.node_ops.push(entry);
+        reg
+    }
+
+    fn lower_node_inner(&mut self, plan: &PhysicalPlan) -> Reg {
         match plan {
             PhysicalPlan::Scan {
                 table, projection, ..

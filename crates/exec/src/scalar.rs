@@ -65,9 +65,44 @@ pub fn run_program_scalar(
     tables: &HashMap<String, DataFrame>,
     models: &ModelRegistry,
 ) -> DataFrame {
+    run_program_scalar_profiled(prog, tables, models, None)
+}
+
+/// [`run_program_scalar`] with per-op span recording. Spans follow the
+/// vectorized VM's conventions — keyed [`tqp_profile::op_key`] by program
+/// index, rows = output rows (`HashBuild` charges its build-input rows) —
+/// so `EXPLAIN ANALYZE` attribution is backend-invariant.
+pub fn run_program_scalar_profiled(
+    prog: &TensorProgram,
+    tables: &HashMap<String, DataFrame>,
+    models: &ModelRegistry,
+    profiler: Option<&tqp_profile::Profiler>,
+) -> DataFrame {
+    let profiler = profiler.filter(|p| p.is_enabled());
     let mut regs: Vec<Option<RowValue>> = (0..prog.n_regs).map(|_| None).collect();
-    for op in &prog.ops {
+    for (idx, op) in prog.ops.iter().enumerate() {
+        let start_us = profiler.map(|p| p.now_us()).unwrap_or(0);
+        let t0 = std::time::Instant::now();
         let value = exec_op(op, &regs, tables, models);
+        if let Some(p) = profiler {
+            let rows = match (&value, op) {
+                // The vectorized VM charges HashBuild with its build-side
+                // input rows (the table itself has no output rows).
+                (RowValue::Table(_), ProgOp::HashBuild { src, .. }) => {
+                    regs[*src].as_ref().map(|v| v.rows().len()).unwrap_or(0)
+                }
+                (RowValue::Table(_), _) => 0,
+                (RowValue::Rows { rows, .. }, _) => rows.len(),
+            };
+            p.record(
+                &tqp_profile::op_key(&op.name(), idx),
+                "relational",
+                start_us,
+                t0.elapsed().as_micros() as u64,
+                rows as u64,
+                0,
+            );
+        }
         regs[op.dst()] = Some(value);
     }
     let rows = match regs[prog.output].take() {

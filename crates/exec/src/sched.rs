@@ -310,6 +310,7 @@ fn pool() -> &'static Pool {
         helper_tasks: AtomicU64::new(0),
     });
     START.call_once(|| {
+        sched_metrics().pool_threads.set(pool_threads() as i64);
         for i in 0..pool_threads() {
             std::thread::Builder::new()
                 .name(format!("tqp-pool-{i}"))
@@ -318,6 +319,30 @@ fn pool() -> &'static Pool {
         }
     });
     p
+}
+
+/// Cached `sched.*` registry handles: queue depth and busy-helper gauges
+/// (the pool's utilization signal) plus section/helper-task counters.
+struct SchedMetrics {
+    pool_threads: tqp_obs::Gauge,
+    queue_depth: tqp_obs::Gauge,
+    active_helpers: tqp_obs::Gauge,
+    sections: tqp_obs::Counter,
+    helper_tasks: tqp_obs::Counter,
+}
+
+fn sched_metrics() -> &'static SchedMetrics {
+    static METRICS: OnceLock<SchedMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = tqp_obs::registry();
+        SchedMetrics {
+            pool_threads: r.gauge("sched.pool_threads"),
+            queue_depth: r.gauge("sched.queue_depth"),
+            active_helpers: r.gauge("sched.active_helpers"),
+            sections: r.counter("sched.sections"),
+            helper_tasks: r.counter("sched.helper_tasks"),
+        }
+    })
 }
 
 /// Total tasks executed by pool helpers since process start.
@@ -342,8 +367,12 @@ fn worker_loop(p: &'static Pool) {
                 q = p.work_cv.wait(q).unwrap();
             }
         };
+        let m = sched_metrics();
+        m.active_helpers.add(1);
         let ran = run_tasks(&section);
         p.helper_tasks.fetch_add(ran, Ordering::Relaxed);
+        m.helper_tasks.add(ran);
+        m.active_helpers.sub(1);
         section.helpers.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -440,6 +469,9 @@ pub fn run_scope(n_tasks: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
         let mut q = p.queue.lock().unwrap();
         q.push(section.clone());
     }
+    let m = sched_metrics();
+    m.sections.inc();
+    m.queue_depth.add(1);
     p.work_cv.notify_all();
 
     // The caller drives its own section: claim tasks until none are left,
@@ -454,6 +486,7 @@ pub fn run_scope(n_tasks: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
         let mut q = p.queue.lock().unwrap();
         q.retain(|s| !Arc::ptr_eq(s, &section));
     }
+    m.queue_depth.sub(1);
     // A freed admission slot may unblock workers parked on other sections.
     p.work_cv.notify_all();
     // Re-raise the first task panic on the submitting thread with its

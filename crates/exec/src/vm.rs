@@ -340,13 +340,14 @@ impl Vm<'_> {
             let (dur, rows, bytes) = merged[k]
                 .iter()
                 .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
-            self.profiler.record(
-                &op_key_par(&op.name(), start + 1 + k, n_chunks),
+            self.profiler.record_chunks(
+                &op_key_par(&op.name(), start + 1 + k),
                 "relational",
                 start_us,
                 dur,
                 rows,
                 bytes,
+                n_chunks as u64,
             );
         }
         out
@@ -380,9 +381,9 @@ impl Vm<'_> {
         let chain_len = chain_end - start - 1;
         let start_us = self.profiler.now_us();
 
-        // Per-morsel result: partial state, chain op samples, partial-agg
-        // CPU time (µs), and the chain-output (aggregate input) rows.
-        type MorselOut = (agg::AggPartial, Vec<Vec<OpSample>>, u64, u64);
+        // Per-morsel result: partial state, chain op samples, and the
+        // partial-agg CPU time (µs).
+        type MorselOut = (agg::AggPartial, Vec<Vec<OpSample>>, u64);
         let scanned = &scanned;
         let slots: Vec<MorselOut> = agg::map_morsels(n_morsels, self.workers, |m| {
             let lo = m * morsel_rows;
@@ -392,34 +393,32 @@ impl Vm<'_> {
             let mut samples: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
             let out = self.run_chain_morsel(prog, start, chain_end, morsel, &mut samples);
             let t0 = Instant::now();
-            let rows = out.nrows() as u64;
             let part = agg::partial_aggregate(&out, reduce, self.models, self.fuse, self.flat);
-            (part, samples, t0.elapsed().as_micros() as u64, rows)
+            (part, samples, t0.elapsed().as_micros() as u64)
         });
 
         let mut partials = Vec::with_capacity(n_morsels);
         let mut merged: Vec<Vec<OpSample>> = vec![Vec::new(); chain_len];
         let mut partial_us = 0u64;
-        let mut agg_in_rows = 0u64;
         for r in slots {
             partials.push(r.0);
             for (k, s) in r.1.into_iter().enumerate() {
                 merged[k].extend(s);
             }
             partial_us += r.2;
-            agg_in_rows += r.3;
         }
         for (k, op) in prog.ops[start + 1..chain_end].iter().enumerate() {
             let (dur, rows, bytes) = merged[k]
                 .iter()
                 .fold((0, 0, 0), |acc, s| (acc.0 + s.0, acc.1 + s.1, acc.2 + s.2));
-            self.profiler.record(
-                &op_key_par(&op.name(), start + 1 + k, n_morsels),
+            self.profiler.record_chunks(
+                &op_key_par(&op.name(), start + 1 + k),
                 "relational",
                 start_us,
                 dur,
                 rows,
                 bytes,
+                n_morsels as u64,
             );
         }
 
@@ -436,13 +435,18 @@ impl Vm<'_> {
             self.workers,
             self.flat,
         );
-        self.profiler.record(
-            &op_key_par(&prog.ops[chain_end].name(), chain_end, n_morsels),
+        // Rows = aggregate OUTPUT rows, matching the sequential path's
+        // span semantics so EXPLAIN ANALYZE attribution is
+        // route-invariant; the aggregate-input total stays readable as
+        // the chain tail's rows.
+        self.profiler.record_chunks(
+            &op_key_par(&prog.ops[chain_end].name(), chain_end),
             "relational",
             start_us,
             partial_us + t0.elapsed().as_micros() as u64,
-            agg_in_rows,
+            out.nrows() as u64,
             out.nbytes() as u64,
+            n_morsels as u64,
         );
         out
     }

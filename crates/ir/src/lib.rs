@@ -32,6 +32,7 @@ pub mod plan;
 pub use bind::{bind_query, BindError};
 pub use catalog::{Catalog, TableMeta};
 pub use expr::{AggCall, AggFunc, BinOp, BoundExpr, ScalarFunc};
+pub use optimize::joins::estimate_physical;
 pub use physical::{plan_physical, AggStrategy, JoinStrategy, PhysicalOptions, PhysicalPlan};
 pub use plan::{ColMeta, JoinType, LogicalPlan, PlanSchema};
 
@@ -44,7 +45,19 @@ pub fn compile_sql(
     opts: &PhysicalOptions,
 ) -> Result<PhysicalPlan, CompileError> {
     let ast = tqp_sql::parse(sql).map_err(CompileError::Parse)?;
-    let logical = bind_query(&ast, catalog).map_err(CompileError::Bind)?;
+    compile_query(&ast, catalog, opts)
+}
+
+/// Compile an already-parsed query to an optimized physical plan.
+///
+/// Used by callers that pre-parse the statement themselves (e.g. to strip
+/// an `EXPLAIN` prefix) and hand the inner query straight to the binder.
+pub fn compile_query(
+    ast: &tqp_sql::Query,
+    catalog: &Catalog,
+    opts: &PhysicalOptions,
+) -> Result<PhysicalPlan, CompileError> {
+    let logical = bind_query(ast, catalog).map_err(CompileError::Bind)?;
     let optimized = optimize::optimize(logical, catalog);
     let mut plan = plan_physical(&optimized, opts);
     physical::annotate_build_stats(&mut plan, catalog);

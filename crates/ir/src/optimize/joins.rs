@@ -465,6 +465,72 @@ pub(crate) fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
     }
 }
 
+/// Cardinality estimate for a **physical** plan node — the same
+/// System-R style arithmetic [`estimate`] applies during greedy join
+/// ordering, re-applied post-planning so `EXPLAIN` can annotate every
+/// operator with its estimated rows next to the measured actuals.
+pub fn estimate_physical(plan: &crate::physical::PhysicalPlan, catalog: &Catalog) -> f64 {
+    use crate::physical::PhysicalPlan as P;
+    match plan {
+        P::Scan { table, .. } => catalog.get(table).map(|m| m.rows as f64).unwrap_or(1000.0),
+        P::Filter { input, predicate } => {
+            let sel = match physical_scan_stats(input, catalog) {
+                Some((stats, projection)) => {
+                    let mut conjuncts = Vec::new();
+                    split_conjuncts(predicate.clone(), &mut conjuncts);
+                    let mut s = 1.0;
+                    for c in &conjuncts {
+                        s *= conjunct_selectivity(c, stats, projection);
+                    }
+                    s.clamp(1e-4, 1.0)
+                }
+                None => DEFAULT_FILTER_SELECTIVITY,
+            };
+            estimate_physical(input, catalog) * sel
+        }
+        P::Project { input, .. } => estimate_physical(input, catalog),
+        P::Join {
+            left,
+            right,
+            join_type,
+            ..
+        } => match join_type {
+            JoinType::Semi | JoinType::Anti => estimate_physical(left, catalog) * 0.5,
+            _ => estimate_physical(left, catalog).max(estimate_physical(right, catalog)),
+        },
+        P::CrossJoin { left, right } => {
+            estimate_physical(left, catalog) * estimate_physical(right, catalog)
+        }
+        P::Aggregate {
+            input, group_by, ..
+        } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                estimate_physical(input, catalog) * 0.1
+            }
+        }
+        P::Sort { input, .. } => estimate_physical(input, catalog),
+        P::Limit { input, n } => estimate_physical(input, catalog).min(*n as f64),
+    }
+}
+
+/// Stats + projection mapping when a physical filter sits directly on a
+/// scan (mirror of [`scan_stats`]).
+fn physical_scan_stats<'a>(
+    input: &'a crate::physical::PhysicalPlan,
+    catalog: &'a Catalog,
+) -> Option<(&'a tqp_data::TableStats, Option<&'a [usize]>)> {
+    if let crate::physical::PhysicalPlan::Scan {
+        table, projection, ..
+    } = input
+    {
+        let stats = catalog.get(table)?.stats.as_ref()?;
+        return Some((stats, projection.as_deref()));
+    }
+    None
+}
+
 // ---------------------------------------------------------------------
 // Stats-driven filter selectivity
 // ---------------------------------------------------------------------

@@ -222,6 +222,13 @@ impl NetClient {
 
     /// Fetch the server's aggregate front-end metrics.
     pub fn stats(&mut self) -> Result<NetStats, NetError> {
+        self.stats_full().map(|(s, _)| s)
+    }
+
+    /// STATS: front-end counters plus the process metrics-registry
+    /// snapshot (counters/gauges/histograms under `exec.*`, `simd.*`,
+    /// `cache.*`, `net.*`, `sched.*`).
+    pub fn stats_full(&mut self) -> Result<(NetStats, tqp_obs::Snapshot), NetError> {
         let payload = self.expect(PayloadWriter::new(Op::Stats).frame(), Op::StatsReply)?;
         let mut r = PayloadReader::new(&payload);
         let stats = NetStats {
@@ -234,8 +241,32 @@ impl NetClient {
             inflight: r.u64()?,
             peak_inflight: r.u64()?,
         };
+        let snap_json = r.str()?;
         r.finish()?;
-        Ok(stats)
+        let doc = tqp_json::Json::parse(&snap_json)
+            .map_err(|e| NetError::Wire(format!("bad snapshot JSON: {e}")))?;
+        let snapshot = tqp_obs::Snapshot::from_json(&doc)
+            .map_err(|e| NetError::Wire(format!("bad snapshot document: {e}")))?;
+        Ok((stats, snapshot))
+    }
+
+    /// PROFILE: fetch the trace of the previous traced query on this
+    /// connection (`Ok(None)` when no traced query ran yet). Run queries
+    /// with `cfg.trace` on (QUERY, or PREPARE + EXECUTE) to capture one.
+    pub fn profile(&mut self) -> Result<Option<tqp_obs::QueryTrace>, NetError> {
+        let payload = self.expect(PayloadWriter::new(Op::Profile).frame(), Op::ProfileReply)?;
+        let mut r = PayloadReader::new(&payload);
+        let has_trace = r.u8()? != 0;
+        let trace_json = r.str()?;
+        r.finish()?;
+        if !has_trace {
+            return Ok(None);
+        }
+        let doc = tqp_json::Json::parse(&trace_json)
+            .map_err(|e| NetError::Wire(format!("bad trace JSON: {e}")))?;
+        let trace = tqp_obs::QueryTrace::from_json(&doc)
+            .map_err(|e| NetError::Wire(format!("bad trace document: {e}")))?;
+        Ok(Some(trace))
     }
 }
 

@@ -25,7 +25,8 @@ use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use tqp_core::{CancelToken, PreparedQuery, TqpError};
+use tqp_core::{CancelToken, PreparedQuery, RunOptions, TqpError};
+use tqp_obs::QueryTrace;
 use tqp_serve::Server;
 use tqp_tensor::Scalar;
 
@@ -33,6 +34,37 @@ use crate::wire::{
     read_dataframe, read_frame, read_scalar, write_dataframe, write_frame, ErrorCode, Op,
     PayloadReader, PayloadWriter, WireError,
 };
+
+/// Registry handles for the `net.*` namespace, mirroring the front-end's
+/// local atomics into the process-wide metrics registry.
+struct NetMetrics {
+    accepted: tqp_obs::Counter,
+    queries_ok: tqp_obs::Counter,
+    queries_failed: tqp_obs::Counter,
+    cancelled: tqp_obs::Counter,
+    overload_rejected: tqp_obs::Counter,
+    active: tqp_obs::Gauge,
+    inflight: tqp_obs::Gauge,
+    query_us: tqp_obs::Histogram,
+}
+
+fn net_metrics() -> &'static NetMetrics {
+    use std::sync::OnceLock;
+    static M: OnceLock<NetMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = tqp_obs::registry();
+        NetMetrics {
+            accepted: r.counter("net.accepted"),
+            queries_ok: r.counter("net.queries_ok"),
+            queries_failed: r.counter("net.queries_failed"),
+            cancelled: r.counter("net.cancelled"),
+            overload_rejected: r.counter("net.overload_rejected"),
+            active: r.gauge("net.active"),
+            inflight: r.gauge("net.inflight"),
+            query_us: r.histogram("net.query_us"),
+        }
+    })
+}
 
 /// Network front-end tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -120,6 +152,7 @@ impl Shared {
         loop {
             if cur >= self.cfg.max_inflight {
                 self.stats.overload_rejected.fetch_add(1, Ordering::Relaxed);
+                net_metrics().overload_rejected.inc();
                 return None;
             }
             match self.inflight.compare_exchange_weak(
@@ -135,6 +168,7 @@ impl Shared {
         self.stats
             .peak_inflight
             .fetch_max(cur as u64 + 1, Ordering::Relaxed);
+        net_metrics().inflight.add(1);
         Some(InflightGuard(self.clone()))
     }
 }
@@ -146,6 +180,7 @@ struct InflightGuard(Arc<Shared>);
 impl Drop for InflightGuard {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+        net_metrics().inflight.sub(1);
     }
 }
 
@@ -235,6 +270,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         let _ = stream.set_nodelay(true);
         shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
         shared.stats.active.fetch_add(1, Ordering::Relaxed);
+        net_metrics().accepted.inc();
+        net_metrics().active.add(1);
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().unwrap().push(clone);
         }
@@ -243,6 +280,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             std::thread::spawn(move || {
                 handle_connection(stream, &shared);
                 shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+                net_metrics().active.sub(1);
             })
         };
         shared.handles.lock().unwrap().push(worker);
@@ -312,8 +350,10 @@ fn serve_requests(
     // Per-connection prepared-statement handles. The PreparedQuery values
     // are Arc-shared with the serve cache; the id namespace is private to
     // this connection.
-    let mut stmts: HashMap<u64, PreparedQuery> = HashMap::new();
+    let mut stmts: HashMap<u64, Stmt> = HashMap::new();
     let mut next_id: u64 = 1;
+    // The most recent traced query's capture, served by PROFILE frames.
+    let mut last_trace: Option<QueryTrace> = None;
 
     while let Ok(Request::Frame(op, payload)) = rx.recv() {
         let reply = dispatch(
@@ -324,6 +364,7 @@ fn serve_requests(
             shared,
             &mut stmts,
             &mut next_id,
+            &mut last_trace,
         );
         let frame = match reply {
             Ok(frame) => frame,
@@ -379,6 +420,16 @@ impl From<&TqpError> for Reply {
     }
 }
 
+/// A per-connection prepared-statement entry: the cached compiled handle
+/// plus the execution-property knobs from the client's PREPARE config
+/// (the serve cache strips them from the shared compiled entry, so the
+/// connection re-applies them per EXECUTE).
+struct Stmt {
+    prepared: PreparedQuery,
+    trace: bool,
+    slow_query_ms: Option<u64>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
     op: Op,
@@ -386,8 +437,9 @@ fn dispatch(
     conn_token: &CancelToken,
     active: &Mutex<Option<CancelToken>>,
     shared: &Arc<Shared>,
-    stmts: &mut HashMap<u64, PreparedQuery>,
+    stmts: &mut HashMap<u64, Stmt>,
     next_id: &mut u64,
+    last_trace: &mut Option<QueryTrace>,
 ) -> Result<Vec<u8>, Reply> {
     let mut r = PayloadReader::new(payload);
     match op {
@@ -404,7 +456,14 @@ fn dispatch(
             let mut w = PayloadWriter::new(Op::Prepared);
             w.u64(id);
             w.u16(prepared.n_params() as u16);
-            stmts.insert(id, prepared);
+            stmts.insert(
+                id,
+                Stmt {
+                    prepared,
+                    trace: cfg.trace,
+                    slow_query_ms: cfg.slow_query_ms,
+                },
+            );
             Ok(w.frame())
         }
         Op::Execute => {
@@ -412,13 +471,21 @@ fn dispatch(
             let deadline_ms = r.u64()?;
             let params = read_params(&mut r)?;
             r.finish()?;
-            let prepared = stmts
+            let stmt = stmts
                 .get(&id)
-                .ok_or_else(|| protocol_error(format!("unknown statement id {id}")))?
-                .clone();
+                .ok_or_else(|| protocol_error(format!("unknown statement id {id}")))?;
+            let (prepared, trace, slow) = (stmt.prepared.clone(), stmt.trace, stmt.slow_query_ms);
             let deadline = crate::wire::decode_deadline(deadline_ms);
-            run_query(conn_token, active, shared, deadline, |token| {
-                shared.server.execute_cancellable(&prepared, &params, token)
+            run_query(conn_token, active, shared, deadline, last_trace, |token| {
+                shared.server.execute_with(
+                    &prepared,
+                    &params,
+                    &RunOptions {
+                        token: Some(token),
+                        trace,
+                        slow_query_ms: slow,
+                    },
+                )
             })
         }
         Op::Query => {
@@ -426,10 +493,13 @@ fn dispatch(
             let sql = r.str()?;
             let params = read_params(&mut r)?;
             r.finish()?;
-            // `query_cancellable` stacks cfg.deadline onto the token we
-            // hand it, so the child here carries no deadline of its own.
-            run_query(conn_token, active, shared, None, |token| {
-                shared.server.query_cancellable(&sql, cfg, &params, token)
+            // `query_cancellable_traced` stacks cfg.deadline onto the
+            // token we hand it, so the child here carries no deadline of
+            // its own.
+            run_query(conn_token, active, shared, None, last_trace, |token| {
+                shared
+                    .server
+                    .query_cancellable_traced(&sql, cfg, &params, token)
             })
         }
         Op::Register => {
@@ -455,6 +525,22 @@ fn dispatch(
             ] {
                 w.u64(v);
             }
+            w.str(&tqp_obs::registry().snapshot().to_json().to_string());
+            Ok(w.frame())
+        }
+        Op::Profile => {
+            r.finish()?;
+            let mut w = PayloadWriter::new(Op::ProfileReply);
+            match last_trace {
+                Some(trace) => {
+                    w.u8(1);
+                    w.str(&trace.to_json().to_string());
+                }
+                None => {
+                    w.u8(0);
+                    w.str("");
+                }
+            }
             Ok(w.frame())
         }
         // CANCEL is consumed by the reader thread; one that drains here
@@ -476,13 +562,18 @@ fn read_params(r: &mut PayloadReader) -> Result<Vec<Scalar>, WireError> {
 }
 
 /// Admission → token wiring → execution → metrics, shared by EXECUTE and
-/// QUERY.
+/// QUERY. A captured trace replaces the connection's `last_trace` (served
+/// by PROFILE frames); untraced queries leave it in place.
 fn run_query(
     conn_token: &CancelToken,
     active: &Mutex<Option<CancelToken>>,
     shared: &Arc<Shared>,
     deadline: Option<std::time::Duration>,
-    f: impl FnOnce(&CancelToken) -> Result<(tqp_data::DataFrame, tqp_exec::ExecStats), TqpError>,
+    last_trace: &mut Option<QueryTrace>,
+    f: impl FnOnce(
+        &CancelToken,
+    )
+        -> Result<(tqp_data::DataFrame, tqp_exec::ExecStats, Option<QueryTrace>), TqpError>,
 ) -> Result<Vec<u8>, Reply> {
     let Some(_slot) = shared.try_admit() else {
         return Err(Reply {
@@ -499,8 +590,14 @@ fn run_query(
     let result = f(&token);
     *active.lock().unwrap() = None;
     match result {
-        Ok((frame, stats)) => {
+        Ok((frame, stats, trace)) => {
             shared.stats.queries_ok.fetch_add(1, Ordering::Relaxed);
+            let m = net_metrics();
+            m.queries_ok.inc();
+            m.query_us.observe(stats.wall_us);
+            if let Some(trace) = trace {
+                *last_trace = Some(trace);
+            }
             let mut w = PayloadWriter::new(Op::Result);
             w.u64(stats.wall_us);
             w.u64(frame.nrows() as u64);
@@ -509,8 +606,10 @@ fn run_query(
         }
         Err(e) => {
             shared.stats.queries_failed.fetch_add(1, Ordering::Relaxed);
+            net_metrics().queries_failed.inc();
             if e.is_cancellation() {
                 shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                net_metrics().cancelled.inc();
             }
             Err(Reply::from(&e))
         }

@@ -33,6 +33,10 @@ pub enum Op {
     Cancel = 0x05,
     /// Empty payload → [`Op::Stats`].
     Stats = 0x06,
+    /// Empty payload → [`Op::ProfileReply`]: the trace of the **previous
+    /// traced query on this connection** (queries run with `trace` on
+    /// retain their trace server-side until the next one replaces it).
+    Profile = 0x07,
     /// `[u64 stmt_id][u16 n_params]`.
     Prepared = 0x81,
     /// `[u64 wall_us][u64 rows][DataFrame]`.
@@ -40,8 +44,14 @@ pub enum Op {
     /// Empty payload.
     Registered = 0x83,
     /// `[u64 × 8]`: accepted, active, ok, failed, cancelled, rejected,
-    /// inflight, peak_inflight (see `NetStats`).
+    /// inflight, peak_inflight (see `NetStats`), then `[str snapshot]` —
+    /// the process metrics-registry snapshot as JSON (see
+    /// `tqp_obs::Snapshot`).
     StatsReply = 0x84,
+    /// `[u8 has_trace][str trace_json]`: the connection's last captured
+    /// query trace (`has_trace` = 0 → no traced query ran yet, and the
+    /// string is empty).
+    ProfileReply = 0x85,
     /// `[u8 code][u8 retryable][message]` (see [`ErrorCode`]).
     Error = 0xEF,
 }
@@ -56,10 +66,12 @@ impl Op {
             0x04 => Op::Register,
             0x05 => Op::Cancel,
             0x06 => Op::Stats,
+            0x07 => Op::Profile,
             0x81 => Op::Prepared,
             0x82 => Op::Result,
             0x83 => Op::Registered,
             0x84 => Op::StatsReply,
+            0x85 => Op::ProfileReply,
             0xEF => Op::Error,
             _ => return None,
         })
@@ -428,7 +440,8 @@ pub fn read_dataframe(r: &mut PayloadReader) -> Result<DataFrame, WireError> {
 }
 
 /// Encode a query configuration: `[u8 backend][u8 device][u16 workers]
-/// [u8 flags][u64 deadline_ms]`. Physical-plan options stay at their
+/// [u8 flags][u64 deadline_ms][u64 slow_query_ms]` (both `u64::MAX` =
+/// none; flag bit 4 = trace capture). Physical-plan options stay at their
 /// defaults — they are compiler tuning, not a client-facing contract.
 pub fn write_config(w: &mut PayloadWriter, cfg: &tqp_core::QueryConfig) {
     w.u8(match cfg.backend {
@@ -445,9 +458,11 @@ pub fn write_config(w: &mut PayloadWriter, cfg: &tqp_core::QueryConfig) {
     let flags = (cfg.prune_scans as u8)
         | (cfg.fuse_exprs as u8) << 1
         | (cfg.flat_hash as u8) << 2
-        | (cfg.simd as u8) << 3;
+        | (cfg.simd as u8) << 3
+        | (cfg.trace as u8) << 4;
     w.u8(flags);
     w.u64(encode_deadline(cfg.deadline));
+    w.u64(cfg.slow_query_ms.unwrap_or(u64::MAX));
 }
 
 /// Deadline wire encoding: `u64::MAX` = none, anything else = whole
@@ -481,6 +496,7 @@ pub fn read_config(r: &mut PayloadReader) -> Result<tqp_core::QueryConfig, WireE
     let workers = r.u16()? as usize;
     let flags = r.u8()?;
     let deadline = decode_deadline(r.u64()?);
+    let slow = r.u64()?;
     let mut cfg = tqp_core::QueryConfig::default()
         .backend(backend)
         .device(device)
@@ -489,7 +505,9 @@ pub fn read_config(r: &mut PayloadReader) -> Result<tqp_core::QueryConfig, WireE
     cfg.fuse_exprs = flags & 2 != 0;
     cfg.flat_hash = flags & 4 != 0;
     cfg.simd = flags & 8 != 0;
+    cfg.trace = flags & 16 != 0;
     cfg.deadline = deadline;
+    cfg.slow_query_ms = (slow != u64::MAX).then_some(slow);
     Ok(cfg)
 }
 
@@ -584,7 +602,9 @@ mod tests {
         let cfg = tqp_core::QueryConfig::default()
             .backend(tqp_exec::Backend::Fused)
             .workers(3)
-            .deadline(std::time::Duration::from_millis(250));
+            .deadline(std::time::Duration::from_millis(250))
+            .trace(true)
+            .slow_query_ms(75);
         write_config(&mut w, &cfg);
         let buf = w.frame();
         let (_, payload) = read_frame(&mut io::Cursor::new(buf), 1 << 20)
@@ -600,5 +620,7 @@ mod tests {
         assert_eq!(back.workers, 3);
         assert_eq!(back.deadline, Some(std::time::Duration::from_millis(250)));
         assert!(back.prune_scans && back.fuse_exprs && back.flat_hash && back.simd);
+        assert!(back.trace);
+        assert_eq!(back.slow_query_ms, Some(75));
     }
 }

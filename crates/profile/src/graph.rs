@@ -66,7 +66,11 @@ impl DotGraph {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('"', "\\\"").replace('\n', "\\n")
+    // Backslashes first, or the quote escaping's own backslashes would be
+    // doubled.
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -95,5 +99,14 @@ mod tests {
         let mut g = DotGraph::new();
         g.add_node("Filter(\"x\")", "relational");
         assert!(g.to_dot("t").contains("\\\"x\\\""));
+    }
+
+    #[test]
+    fn escapes_backslashes() {
+        let mut g = DotGraph::new();
+        g.add_node(r#"Filter(LIKE "%a\_b%")"#, "relational");
+        let dot = g.to_dot("t");
+        assert!(dot.contains(r#"\\_b"#));
+        assert!(dot.contains(r#"\"%a"#));
     }
 }

@@ -26,10 +26,13 @@ pub fn op_key(name: &str, idx: usize) -> String {
     format!("{name}@op{idx}")
 }
 
-/// Span key for a morsel-parallel operator execution: `{name}@op{idx}[xN]`
-/// where `N` is the number of morsels/chunks the op ran over.
-pub fn op_key_par(name: &str, idx: usize, chunks: usize) -> String {
-    format!("{name}@op{idx}[x{chunks}]")
+/// Span key for a morsel-parallel operator execution. Identical to
+/// [`op_key`]: the key deliberately does **not** embed the morsel count,
+/// so the same operator aggregates under one stable key across worker
+/// counts and batch sizes — the chunk count rides in [`Span::chunks`]
+/// metadata instead (see [`Profiler::record_chunks`]).
+pub fn op_key_par(name: &str, idx: usize) -> String {
+    op_key(name, idx)
 }
 
 /// One recorded operator span.
@@ -49,6 +52,9 @@ pub struct Span {
     pub rows: u64,
     /// Bytes moved/produced (feeds the device cost model reports).
     pub bytes: u64,
+    /// Morsel/chunk count for parallel segment executions (0 when the
+    /// span ran sequentially). Metadata only — never part of the key.
+    pub chunks: u64,
 }
 
 /// Thread-safe span recorder.
@@ -98,6 +104,22 @@ impl Profiler {
         rows: u64,
         bytes: u64,
     ) {
+        self.record_chunks(name, category, start_us, dur_us, rows, bytes, 0);
+    }
+
+    /// Record a span with an explicit morsel/chunk count (parallel
+    /// segment executions; sequential spans use [`Profiler::record`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_chunks(
+        &self,
+        name: &str,
+        category: &str,
+        start_us: u64,
+        dur_us: u64,
+        rows: u64,
+        bytes: u64,
+        chunks: u64,
+    ) {
         if !self.enabled {
             return;
         }
@@ -108,6 +130,7 @@ impl Profiler {
             dur_us,
             rows,
             bytes,
+            chunks,
         });
     }
 
@@ -219,6 +242,7 @@ impl Profiler {
                         Json::obj(vec![
                             ("rows", Json::I64(s.rows as i64)),
                             ("bytes", Json::I64(s.bytes as i64)),
+                            ("chunks", Json::I64(s.chunks as i64)),
                         ]),
                     ),
                 ])
@@ -301,6 +325,38 @@ mod tests {
             Some("Scan(lineitem)")
         );
         assert_eq!(event.get("dur").and_then(tqp_json::Json::as_i64), Some(42));
+    }
+
+    #[test]
+    fn chrome_trace_escapes_quotes_and_backslashes() {
+        let p = Profiler::new();
+        // Operator labels can embed LIKE patterns with quotes and escapes.
+        let name = r#"Filter(name LIKE "%a\_b%")"#;
+        p.record_chunks(name, r#"cat"\"#, 0, 7, 3, 24, 4);
+        let trace = p.chrome_trace();
+        let v = tqp_json::Json::parse(&trace).unwrap();
+        let event = v.get("traceEvents").and_then(|e| e.at(0)).unwrap();
+        assert_eq!(
+            event.get("name").and_then(tqp_json::Json::as_str),
+            Some(name)
+        );
+        assert_eq!(
+            event.get("cat").and_then(tqp_json::Json::as_str),
+            Some(r#"cat"\"#)
+        );
+        assert_eq!(
+            event
+                .get("args")
+                .and_then(|a| a.get("chunks"))
+                .and_then(tqp_json::Json::as_i64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn op_keys_are_stable_across_chunk_counts() {
+        assert_eq!(op_key("HashProbe", 3), "HashProbe@op3");
+        assert_eq!(op_key_par("HashProbe", 3), op_key("HashProbe", 3));
     }
 
     #[test]

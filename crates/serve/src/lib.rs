@@ -33,14 +33,43 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
-use tqp_core::{PreparedQuery, QueryConfig, Session, TqpError};
+use tqp_core::{PreparedQuery, QueryConfig, RunOptions, Session, TqpError};
 use tqp_data::DataFrame;
 use tqp_exec::ExecStats;
 use tqp_ml::Model;
+use tqp_obs::QueryTrace;
 use tqp_tensor::Scalar;
 
 /// Default prepared-statement cache capacity.
 pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+/// Registry handles for the `cache.*` namespace, mirroring the server's
+/// local atomics into the process-wide metrics registry (one process may
+/// host several `Server`s; the registry view is the aggregate).
+struct CacheMetrics {
+    hits: tqp_obs::Counter,
+    misses: tqp_obs::Counter,
+    evictions: tqp_obs::Counter,
+    invalidations: tqp_obs::Counter,
+    partial_invalidations: tqp_obs::Counter,
+    entries: tqp_obs::Gauge,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    use std::sync::OnceLock;
+    static M: OnceLock<CacheMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = tqp_obs::registry();
+        CacheMetrics {
+            hits: r.counter("cache.hits"),
+            misses: r.counter("cache.misses"),
+            evictions: r.counter("cache.evictions"),
+            invalidations: r.counter("cache.invalidations"),
+            partial_invalidations: r.counter("cache.partial_invalidations"),
+            entries: r.gauge("cache.entries"),
+        }
+    })
+}
 
 /// Cache observability counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +196,7 @@ impl Lru {
             {
                 self.map.remove(&victim);
                 self.evictions += 1;
+                cache_metrics().evictions.inc();
             }
         }
         let tables = prepared
@@ -183,10 +213,12 @@ impl Lru {
                 last_used: self.tick,
             },
         );
+        cache_metrics().entries.set(self.map.len() as i64);
     }
 
     fn clear(&mut self) {
         self.map.clear();
+        cache_metrics().entries.set(0);
     }
 
     /// Drop only the entries whose programs scan `table` (lowercased),
@@ -196,6 +228,7 @@ impl Lru {
     fn remove_table(&mut self, table: &str) -> usize {
         let before = self.map.len();
         self.map.retain(|_, e| !e.tables.iter().any(|t| t == table));
+        cache_metrics().entries.set(self.map.len() as i64);
         before - self.map.len()
     }
 }
@@ -242,13 +275,17 @@ impl Server {
     /// Lock order is always session → cache (registrations take the same
     /// order), so prepare cannot deadlock against invalidation.
     pub fn prepare(&self, sql: &str, cfg: QueryConfig) -> Result<PreparedQuery, TqpError> {
-        // The deadline is a per-request execution property: strip it from
-        // the compiled entry (and the key — see [`cache_key`]) so clients
-        // running the same statement under different deadlines share one
-        // compiled copy. `query`/`query_cancellable` apply the request's
-        // deadline through a cancellation token at execute time instead.
+        // Deadline, trace capture, and the slow-query threshold are
+        // per-request execution properties: strip them from the compiled
+        // entry (and the key — see [`cache_key`]) so clients running the
+        // same statement under different execution knobs share one
+        // compiled copy. `query*` re-applies the request's values at
+        // execute time (deadline via a cancellation token, trace/slow via
+        // [`RunOptions`]).
         let mut cfg = cfg;
         cfg.deadline = None;
+        cfg.trace = false;
+        cfg.slow_query_ms = None;
         let key = cache_key(sql, &cfg);
         let session = self.session();
         if let Some(hit) = {
@@ -256,6 +293,7 @@ impl Server {
             cache.get(&key)
         } {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().hits.inc();
             return Ok(hit);
         }
         // Compile outside the cache lock: a slow compile must not stall
@@ -264,6 +302,7 @@ impl Server {
         // are valid (they were compiled against the same locked session).
         let prepared = session.prepare(sql, cfg)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        cache_metrics().misses.inc();
         let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
         if let Some(racing) = cache.get(&key) {
             // Another client finished first — serve its statement so every
@@ -301,6 +340,19 @@ impl Server {
         prepared.execute_cancellable(&session, params, token)
     }
 
+    /// Execute a prepared statement with full per-execution options
+    /// (cancellation token, trace capture, slow-query threshold) —
+    /// the socket front-end's EXECUTE path.
+    pub fn execute_with(
+        &self,
+        prepared: &PreparedQuery,
+        params: &[Scalar],
+        opts: &RunOptions,
+    ) -> Result<(DataFrame, ExecStats, Option<QueryTrace>), TqpError> {
+        let session = self.session();
+        prepared.execute_with(&session, params, opts)
+    }
+
     /// Prepare (through the cache) and execute in one call. A
     /// `cfg.deadline` is honored per request (via a deadline token), even
     /// when the prepared statement itself came out of the shared cache.
@@ -310,15 +362,33 @@ impl Server {
         cfg: QueryConfig,
         params: &[Scalar],
     ) -> Result<(DataFrame, ExecStats), TqpError> {
+        self.query_traced(sql, cfg, params).map(|(f, s, _)| (f, s))
+    }
+
+    /// [`Server::query`], additionally returning the captured
+    /// [`QueryTrace`] when the request's `cfg.trace` was on. Trace
+    /// capture and the slow-query threshold are applied per request even
+    /// though the cached compiled entry has them stripped — the socket
+    /// front-end relies on this to serve `PROFILE` frames from cache-hot
+    /// statements.
+    pub fn query_traced(
+        &self,
+        sql: &str,
+        cfg: QueryConfig,
+        params: &[Scalar],
+    ) -> Result<(DataFrame, ExecStats, Option<QueryTrace>), TqpError> {
         let prepared = self.prepare(sql, cfg)?;
-        match cfg.deadline {
-            Some(d) => self.execute_cancellable(
-                &prepared,
-                params,
-                &tqp_core::CancelToken::with_deadline(d),
-            ),
-            None => self.execute(&prepared, params),
-        }
+        let session = self.session();
+        let deadline_token = cfg.deadline.map(tqp_core::CancelToken::with_deadline);
+        prepared.execute_with(
+            &session,
+            params,
+            &RunOptions {
+                token: deadline_token.as_ref(),
+                trace: cfg.trace,
+                slow_query_ms: cfg.slow_query_ms,
+            },
+        )
     }
 
     /// Prepare (through the cache) and execute under an external
@@ -331,11 +401,31 @@ impl Server {
         params: &[Scalar],
         token: &tqp_core::CancelToken,
     ) -> Result<(DataFrame, ExecStats), TqpError> {
+        self.query_cancellable_traced(sql, cfg, params, token)
+            .map(|(f, s, _)| (f, s))
+    }
+
+    /// [`Server::query_cancellable`] with per-request trace capture and
+    /// slow-query threshold (see [`Server::query_traced`]).
+    pub fn query_cancellable_traced(
+        &self,
+        sql: &str,
+        cfg: QueryConfig,
+        params: &[Scalar],
+        token: &tqp_core::CancelToken,
+    ) -> Result<(DataFrame, ExecStats, Option<QueryTrace>), TqpError> {
         let prepared = self.prepare(sql, cfg)?;
-        match cfg.deadline {
-            Some(d) => self.execute_cancellable(&prepared, params, &token.child(Some(d))),
-            None => self.execute_cancellable(&prepared, params, token),
-        }
+        let session = self.session();
+        let token = token.child(cfg.deadline);
+        prepared.execute_with(
+            &session,
+            params,
+            &RunOptions {
+                token: Some(&token),
+                trace: cfg.trace,
+                slow_query_ms: cfg.slow_query_ms,
+            },
+        )
     }
 
     /// Register (or replace) a table. Takes the session write lock and
@@ -369,6 +459,7 @@ impl Server {
         let mut cache = self.cache.write().unwrap_or_else(|e| e.into_inner());
         cache.clear();
         self.invalidations.fetch_add(1, Ordering::Relaxed);
+        cache_metrics().invalidations.inc();
     }
 
     fn invalidate_table(&self, name: &str) {
@@ -379,6 +470,7 @@ impl Server {
         // and operators watching this counter for churn must not see one.
         if cache.remove_table(&key) > 0 {
             self.partial_invalidations.fetch_add(1, Ordering::Relaxed);
+            cache_metrics().partial_invalidations.inc();
         }
     }
 
@@ -399,12 +491,15 @@ impl Server {
 
 /// Cache key: normalized SQL + the per-query configuration (a query
 /// prepared for `Backend::Wasm` must not serve a `Backend::Eager` client)
-/// — **except** the deadline, which is a pure execution property: two
-/// clients running the same statement under different deadlines must
-/// share one compiled entry instead of fragmenting the cache.
+/// — **except** the deadline, trace flag, and slow-query threshold, which
+/// are pure execution properties: clients running the same statement
+/// under different execution knobs must share one compiled entry instead
+/// of fragmenting the cache.
 fn cache_key(sql: &str, cfg: &QueryConfig) -> String {
     let mut keyed = *cfg;
     keyed.deadline = None;
+    keyed.trace = false;
+    keyed.slow_query_ms = None;
     format!("{}\u{1}{:?}", normalize_sql(sql), keyed)
 }
 
@@ -666,6 +761,40 @@ mod tests {
         assert!(!q.ptr_eq(&q2), "model swap must flush the whole cache");
         let stats = srv.cache_stats();
         assert!(stats.invalidations >= 1);
+    }
+
+    #[test]
+    fn trace_knobs_do_not_fragment_the_cache_but_still_apply() {
+        let srv = server();
+        let a = srv
+            .prepare("select id from t order by id", QueryConfig::default())
+            .unwrap();
+        let b = srv
+            .prepare(
+                "select id from t order by id",
+                QueryConfig::default().trace(true).slow_query_ms(5000),
+            )
+            .unwrap();
+        assert!(
+            a.ptr_eq(&b),
+            "trace knobs are execution properties, not keys"
+        );
+        // A traced request against the cache-hot statement still captures.
+        let (out, _, trace) = srv
+            .query_traced(
+                "select id from t order by id",
+                QueryConfig::default().trace(true),
+                &[],
+            )
+            .unwrap();
+        assert_eq!(out.nrows(), 4);
+        let trace = trace.expect("per-request trace on a cached statement");
+        assert!(!trace.spans.is_empty());
+        // An untraced request allocates none.
+        let (_, _, none) = srv
+            .query_traced("select id from t order by id", QueryConfig::default(), &[])
+            .unwrap();
+        assert!(none.is_none());
     }
 
     #[test]

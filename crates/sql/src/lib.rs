@@ -26,4 +26,4 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::*;
-pub use parser::{parse, parse_expr, ParseError};
+pub use parser::{parse, parse_expr, parse_statement, ParseError, Statement};

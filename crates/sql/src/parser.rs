@@ -50,6 +50,54 @@ pub fn parse(input: &str) -> Result<Query, ParseError> {
     Ok(q)
 }
 
+/// A top-level SQL statement: a plain query, or an `EXPLAIN` /
+/// `EXPLAIN ANALYZE` wrapper around one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Query(Query),
+    /// `EXPLAIN <query>` — render the physical plan without executing.
+    Explain(Query),
+    /// `EXPLAIN ANALYZE <query>` — execute, then render the plan
+    /// annotated with measured per-operator actuals.
+    ExplainAnalyze(Query),
+}
+
+impl Statement {
+    /// The wrapped query, whatever the statement kind.
+    pub fn query(&self) -> &Query {
+        match self {
+            Statement::Query(q) | Statement::Explain(q) | Statement::ExplainAnalyze(q) => q,
+        }
+    }
+}
+
+/// Parse a top-level statement: `[EXPLAIN [ANALYZE]] <query> [;]`.
+/// `EXPLAIN`/`ANALYZE` are contextual keywords — only recognized in this
+/// leading position, so neither joins the reserved-word list.
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let toks = lex(input).map_err(|e| ParseError {
+        message: e.message,
+        offset: e.offset,
+    })?;
+    let mut p = Parser { toks, pos: 0 };
+    let kind = if p.peek_kw("explain") {
+        p.advance();
+        if p.eat_kw("analyze") {
+            Statement::ExplainAnalyze as fn(Query) -> Statement
+        } else {
+            Statement::Explain as fn(Query) -> Statement
+        }
+    } else {
+        Statement::Query as fn(Query) -> Statement
+    };
+    let q = p.query()?;
+    if p.peek_is(&Token::Semi) {
+        p.advance();
+    }
+    p.expect_eof()?;
+    Ok(kind(q))
+}
+
 /// Parse a standalone scalar expression (used by tests and the REPL-style
 /// examples).
 pub fn parse_expr(input: &str) -> Result<Expr, ParseError> {
@@ -997,5 +1045,32 @@ mod tests {
         let printed = q1.to_string();
         let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn statement_parses_explain_prefixes() {
+        let q = parse("select a from t").unwrap();
+        assert_eq!(
+            parse_statement("select a from t").unwrap(),
+            Statement::Query(q.clone())
+        );
+        assert_eq!(
+            parse_statement("EXPLAIN select a from t").unwrap(),
+            Statement::Explain(q.clone())
+        );
+        assert_eq!(
+            parse_statement("explain analyze select a from t;").unwrap(),
+            Statement::ExplainAnalyze(q.clone())
+        );
+        assert_eq!(
+            parse_statement("explain analyze select a from t")
+                .unwrap()
+                .query(),
+            &q
+        );
+        // EXPLAIN is contextual: still usable as an identifier elsewhere.
+        assert!(parse_statement("select explain from t").is_ok());
+        assert!(parse_statement("explain").is_err());
+        assert!(parse_statement("explain analyze").is_err());
     }
 }

@@ -23,6 +23,16 @@ import sys
 def rows(doc):
     """Yield (site, ratio, gated) per result record, format-aware."""
     fmt = doc.get("format", "?")
+    if fmt == "tqp-bench-tpch":
+        # Observability-overhead gate (v2): registry-on / registry-off
+        # wall-time ratio per query plus the summed gate total. The gate
+        # itself ran inside tpch_bench (exits non-zero past 3% + slack).
+        oh = doc.get("obs_overhead")
+        if oh:
+            for r in oh.get("queries", []):
+                yield f"q{r.get('query', '?')}/obs-overhead", r.get("ratio", 0.0), False
+            yield "total/obs-overhead", oh.get("ratio", 0.0), oh.get("pass", False)
+        return
     for r in doc.get("results", []):
         big = r.get("rows", 0) > 10_000
         if fmt == "tqp-bench-expr":
@@ -53,6 +63,7 @@ def rows(doc):
 def main():
     base = sys.argv[1] if len(sys.argv) > 1 else "."
     files = {
+        "tpch": "BENCH_tpch.json",
         "expr": "BENCH_expr.json",
         "join": "BENCH_join.json",
         "store": "BENCH_store.json",

@@ -10,6 +10,7 @@ pub use tqp_exec as exec;
 pub use tqp_ir as ir;
 pub use tqp_ml as ml;
 pub use tqp_net as net;
+pub use tqp_obs as obs;
 pub use tqp_profile as profile;
 pub use tqp_serve as serve;
 pub use tqp_sql as sql;

@@ -1,0 +1,117 @@
+//! Metrics-registry properties: merge-order invariance and exposition
+//! format.
+//!
+//! The registry is the always-on layer under `exec.*`/`net.*`/`cache.*`,
+//! fed concurrently by worker threads. Its correctness contract is that
+//! **aggregation is order-free**: per-worker deltas applied in any
+//! interleaving produce the same snapshot as a single-threaded replay.
+//! The exposition contract is that `prometheus_text` always emits valid
+//! line format, whatever metric names and values are registered.
+
+use proptest::prelude::*;
+use tqp_repro::obs::{Registry, Snapshot};
+
+/// Deterministic Fisher–Yates from a seed (the shim has no shuffle).
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        // SplitMix64 step — cheap, well distributed.
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        items.swap(i, (z as usize) % (i + 1));
+    }
+}
+
+const METRICS: &[&str] = &["exec.rows", "exec.chunks", "net.queries_ok", "cache.hits"];
+const HISTS: &[&str] = &["exec.query_us", "net.query_us"];
+
+/// Apply one worker's delta batch: counter bumps and histogram
+/// observations, selected by index.
+fn apply(reg: &Registry, deltas: &[(u8, u64)]) {
+    for &(which, v) in deltas {
+        let w = which as usize;
+        if w < METRICS.len() {
+            reg.counter(METRICS[w]).add(v);
+        } else {
+            reg.histogram(HISTS[w - METRICS.len()]).observe(v);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Per-worker deltas merged in any interleaving == sequential replay.
+    #[test]
+    fn registry_merge_is_order_free(
+        workers in prop::collection::vec(
+            prop::collection::vec((0u8..6, 0u64..1_000_000), 0..20),
+            1..5,
+        ),
+        seed in 0u64..u64::MAX,
+    ) {
+        // Sequential, worker-by-worker replay.
+        let seq = Registry::new();
+        for w in &workers {
+            apply(&seq, w);
+        }
+
+        // The same deltas, globally shuffled across workers.
+        let mut flat: Vec<(u8, u64)> = workers.iter().flatten().copied().collect();
+        shuffle(&mut flat, seed);
+        let merged = Registry::new();
+        apply(&merged, &flat);
+
+        prop_assert_eq!(seq.snapshot(), merged.snapshot());
+    }
+
+    // Snapshots survive the JSON wire encoding (what STATS ships).
+    #[test]
+    fn snapshot_json_roundtrip(
+        deltas in prop::collection::vec((0u8..6, 0u64..1_000_000), 0..40),
+    ) {
+        let reg = Registry::new();
+        apply(&reg, &deltas);
+        let snap = reg.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        prop_assert_eq!(snap, back);
+    }
+
+    // Every non-comment exposition line is `name value` with a numeric
+    // value and a legal metric name — the Prometheus text line format.
+    #[test]
+    fn prometheus_text_is_line_format_clean(
+        deltas in prop::collection::vec((0u8..6, 0u64..1_000_000), 0..40),
+    ) {
+        let reg = Registry::new();
+        apply(&reg, &deltas);
+        let text = reg.snapshot().prometheus_text();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with("# ") {
+                continue;
+            }
+            let (name, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| TestCaseError::fail(format!("no value: {line:?}")))?;
+            // Metric name (with optional {labels} suffix, e.g. quantiles).
+            let bare = name.split('{').next().unwrap();
+            prop_assert!(
+                !bare.is_empty()
+                    && bare.chars().next().unwrap().is_ascii_alphabetic()
+                    && bare
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            if name.contains('{') {
+                prop_assert!(name.ends_with('}'), "unclosed labels in {line:?}");
+            }
+            prop_assert!(
+                value.parse::<f64>().is_ok(),
+                "non-numeric value in {line:?}"
+            );
+        }
+    }
+}
